@@ -1,0 +1,74 @@
+//! Host-time cost of simulating the collectives the figures sweep, plus
+//! the mapping-optimization ablation (exhaustive vs greedy).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cpm_cluster::{ClusterSpec, GroundTruth, MpiProfile};
+use cpm_collectives::mapping::optimize_mapping;
+use cpm_collectives::measure;
+use cpm_core::matrix::SymMatrix;
+use cpm_core::rank::Rank;
+use cpm_models::{GatherEmpirics, LmoExtended};
+use cpm_netsim::SimCluster;
+
+fn paper_cluster() -> SimCluster {
+    let truth = GroundTruth::synthesize(&ClusterSpec::paper_cluster(), 1);
+    SimCluster::new(truth, MpiProfile::lam_7_1_3(), 0.0, 1)
+}
+
+fn bench_collectives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("collectives/simulate16");
+    g.sample_size(20);
+    let cl = paper_cluster();
+    let m = 32 * 1024;
+    g.bench_function("linear_scatter", |b| {
+        b.iter(|| {
+            black_box(measure::linear_scatter_times(&cl, Rank(0), m, 1, 1).unwrap())
+        });
+    });
+    g.bench_function("binomial_scatter", |b| {
+        b.iter(|| {
+            black_box(measure::binomial_scatter_times(&cl, Rank(0), m, 1, 1).unwrap())
+        });
+    });
+    g.bench_function("linear_gather", |b| {
+        b.iter(|| {
+            black_box(measure::linear_gather_times(&cl, Rank(0), m, 1, 1).unwrap())
+        });
+    });
+    g.finish();
+}
+
+fn skewed_model(n: usize) -> LmoExtended {
+    let mut cvec = vec![30e-6; n];
+    let mut t = vec![5e-9; n];
+    cvec[n / 2] = 300e-6;
+    t[n / 2] = 50e-9;
+    LmoExtended::new(
+        cvec,
+        t,
+        SymMatrix::filled(n, 40e-6),
+        SymMatrix::filled(n, 12e6),
+        GatherEmpirics::none(),
+    )
+}
+
+fn bench_mapping(c: &mut Criterion) {
+    let mut g = c.benchmark_group("collectives/mapping");
+    g.sample_size(10);
+    let model8 = skewed_model(8);
+    g.bench_function("exhaustive_n8", |b| {
+        b.iter(|| black_box(optimize_mapping(&model8, Rank(0), 16 * 1024, 8).predicted));
+    });
+    for n in [8usize, 32, 128] {
+        let model = skewed_model(n);
+        g.bench_with_input(BenchmarkId::new("greedy", n), &n, |b, _| {
+            b.iter(|| black_box(optimize_mapping(&model, Rank(0), 16 * 1024, 0).predicted));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_collectives, bench_mapping);
+criterion_main!(benches);

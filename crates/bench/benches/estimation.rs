@@ -1,0 +1,51 @@
+//! Host-time cost of the estimation procedures at small cluster sizes, and
+//! the ablation the DESIGN calls out: how much the parallel experiment
+//! schedule saves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cpm_cluster::{ClusterSpec, GroundTruth, MpiProfile};
+use cpm_estimate::{estimate_hockney_het, estimate_lmo, EstimateConfig};
+use cpm_netsim::SimCluster;
+
+fn cluster(n: usize) -> SimCluster {
+    let truth = GroundTruth::synthesize(&ClusterSpec::homogeneous(n), 1);
+    SimCluster::new(truth, MpiProfile::ideal(), 0.0, 1)
+}
+
+fn cfg() -> EstimateConfig {
+    EstimateConfig { reps: 2, ..EstimateConfig::with_seed(1) }
+}
+
+fn bench_hockney(c: &mut Criterion) {
+    let mut g = c.benchmark_group("estimate/hockney");
+    g.sample_size(10);
+    for n in [4usize, 8] {
+        let cl = cluster(n);
+        g.bench_with_input(BenchmarkId::new("parallel", n), &n, |b, _| {
+            b.iter(|| black_box(estimate_hockney_het(&cl, &cfg()).unwrap().model));
+        });
+        g.bench_with_input(BenchmarkId::new("serial", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(estimate_hockney_het(&cl, &cfg().serial()).unwrap().model)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_lmo(c: &mut Criterion) {
+    let mut g = c.benchmark_group("estimate/lmo");
+    g.sample_size(10);
+    for n in [4usize, 6] {
+        let cl = cluster(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(estimate_lmo(&cl, &cfg()).unwrap().model));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_hockney, bench_lmo);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Throughput of the discrete-event kernel: how fast the simulator itself
+//! runs (host time), independent of virtual time. The interesting knobs are
+//! the number of ranks (thread-backed processes) and the message count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use cpm_cluster::{ClusterSpec, GroundTruth, MpiProfile};
+use cpm_core::rank::Rank;
+use cpm_netsim::{simulate, SimCluster};
+
+fn cluster(n: usize) -> SimCluster {
+    let truth = GroundTruth::synthesize(&ClusterSpec::homogeneous(n), 1);
+    SimCluster::new(truth, MpiProfile::ideal(), 0.0, 1)
+}
+
+/// Ping-pong: 2 ranks exchanging `count` roundtrips in one simulation.
+fn bench_pingpong(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel/pingpong");
+    g.sample_size(20);
+    for count in [10usize, 100, 1000] {
+        g.throughput(Throughput::Elements(count as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(count), &count, |b, &count| {
+            let cl = cluster(2);
+            b.iter(|| {
+                let out = simulate(&cl, |p| {
+                    if p.rank() == Rank(0) {
+                        for _ in 0..count {
+                            p.send(Rank(1), 1024);
+                            let _ = p.recv(Rank(1));
+                        }
+                    } else {
+                        for _ in 0..count {
+                            let _ = p.recv(Rank(0));
+                            p.send(Rank(0), 1024);
+                        }
+                    }
+                    p.now()
+                })
+                .unwrap();
+                black_box(out.end_time)
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Spawn cost: a full simulation of a 16-rank barrier-only program — this
+/// is the per-run overhead every experiment pays (thread spawn + join).
+fn bench_spawn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel/spawn");
+    g.sample_size(20);
+    for n in [2usize, 8, 16] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let cl = cluster(n);
+            b.iter(|| {
+                let out = simulate(&cl, |p| {
+                    p.barrier();
+                    p.now()
+                })
+                .unwrap();
+                black_box(out.end_time)
+            });
+        });
+    }
+    g.finish();
+}
+
+/// A 16-rank linear gather — the workhorse of the figure sweeps.
+fn bench_gather(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel/gather16");
+    g.sample_size(20);
+    let cl = cluster(16);
+    g.bench_function("32KB", |b| {
+        b.iter(|| {
+            let out = simulate(&cl, |p| {
+                if p.rank() == Rank(0) {
+                    for i in 1..p.size() {
+                        let _ = p.recv(Rank::from(i));
+                    }
+                } else {
+                    p.send(Rank(0), 32 * 1024);
+                }
+                p.now()
+            })
+            .unwrap();
+            black_box(out.end_time)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pingpong, bench_spawn, bench_gather);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Evaluation speed of the analytical predictions — these run inside
+//! schedulers at runtime (algorithm selection per collective call), so they
+//! must be cheap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cpm_core::matrix::SymMatrix;
+use cpm_core::rank::Rank;
+use cpm_core::tree::BinomialTree;
+use cpm_models::collective::{binomial_recursive, linear_serial};
+use cpm_models::{GatherEmpirics, HockneyHet, LmoExtended};
+
+fn lmo(n: usize) -> LmoExtended {
+    LmoExtended::new(
+        vec![45e-6; n],
+        vec![7e-9; n],
+        SymMatrix::filled(n, 42e-6),
+        SymMatrix::filled(n, 11.7e6),
+        GatherEmpirics {
+            m1: 4096,
+            m2: 66560,
+            escalation_probability: 0.4,
+            escalation_magnitude: 0.19,
+            escalation_prob_knots: (1..30).map(|k| (k as f64 * 4096.0, 0.02 * k as f64)).collect(),
+        },
+    )
+}
+
+fn bench_predictions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("models/predict");
+    for n in [16usize, 64, 256] {
+        let model = lmo(n);
+        let hockney: HockneyHet = model.to_hockney();
+        let tree = BinomialTree::new(n, Rank(0));
+        g.bench_with_input(BenchmarkId::new("lmo_scatter", n), &n, |b, _| {
+            b.iter(|| black_box(model.linear_scatter(Rank(0), black_box(65536))));
+        });
+        g.bench_with_input(BenchmarkId::new("lmo_gather", n), &n, |b, _| {
+            b.iter(|| black_box(model.linear_gather(Rank(0), black_box(32768))));
+        });
+        g.bench_with_input(BenchmarkId::new("hockney_serial", n), &n, |b, _| {
+            b.iter(|| black_box(linear_serial(&hockney, Rank(0), black_box(65536))));
+        });
+        g.bench_with_input(BenchmarkId::new("binomial_recursive", n), &n, |b, _| {
+            b.iter(|| black_box(binomial_recursive(&hockney, &tree, black_box(65536))));
+        });
+    }
+    g.finish();
+}
+
+fn bench_tree_construction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("models/tree");
+    for n in [16usize, 256, 1024] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| black_box(BinomialTree::new(n, Rank(0))));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_predictions, bench_tree_construction);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Ablation: the two binomial-scatter predictions the separated model can
+//! express — the paper's eq. (1) (one full point-to-point time per level)
+//! vs the refined formula that serializes only the sender's processor and
+//! overlaps everything else (`LmoExtended::binomial_scatter`). The refined
+//! form exists *because* the LMO model separates contributions; a Hockney
+//! model cannot write it.
+
+use cpm_bench::{Figure, PaperContext, Series};
+use cpm_collectives::measure;
+use cpm_core::tree::BinomialTree;
+use cpm_models::collective::binomial_recursive;
+use cpm_stats::summary::median;
+
+fn main() {
+    let ctx = PaperContext::from_env();
+    let root = ctx.root;
+    let tree = BinomialTree::new(ctx.sim.n(), root);
+    let reps = ctx.obs_reps();
+    // Small sizes are where the two formulas differ: there the root's
+    // fixed costs dominate and the refined overlap matters. At large sizes
+    // the byte terms dominate and both coincide.
+    let mut sizes: Vec<u64> = vec![128, 256, 512, 1024, 2048, 4096];
+    sizes.extend((1..=25).map(|k| k * 8 * 1024));
+
+    eprintln!("[cpm] observing binomial scatter over {} sizes …", sizes.len());
+    let observed = Series {
+        label: "observation".into(),
+        points: sizes
+            .iter()
+            .map(|&m| {
+                let ts = measure::binomial_scatter_times(&ctx.sim, root, m, reps, m)
+                    .expect("simulation runs");
+                (m, median(&ts).expect("reps > 0"))
+            })
+            .collect(),
+    };
+
+    let mut fig = Figure::new(
+        "ablation_binomial",
+        "binomial scatter: eq. (1) vs the refined separated-model formula",
+    );
+    fig.push(observed.clone());
+    fig.push(Series::from_fn("LMO eq. (1)", &sizes, |m| {
+        binomial_recursive(&ctx.lmo, &tree, m)
+    }));
+    fig.push(Series::from_fn("LMO refined", &sizes, |m| {
+        ctx.lmo.binomial_scatter(&tree, m)
+    }));
+    print!("{}", fig.render());
+
+    let eq1 = fig.series[1].mean_rel_error_vs(&observed).unwrap();
+    let refined = fig.series[2].mean_rel_error_vs(&observed).unwrap();
+    println!();
+    println!("mean |rel err| eq. (1):  {:.1}%", eq1 * 100.0);
+    println!("mean |rel err| refined:  {:.1}%", refined * 100.0);
+    println!(
+        "refined better: {}",
+        if refined < eq1 { "yes" } else { "no (check cluster regime)" }
+    );
+    fig.save(cpm_bench::output::results_dir()).expect("write results");
+}

@@ -1,0 +1,92 @@
+//! Ablation: the two readings of the triplet equations (DESIGN §5a.6).
+//!
+//! `Paper` = eqs. (8)/(11) verbatim; `Overlap` = calibrated to the overlap
+//! of the root's first receive with the slower child's round trip. Both
+//! recover the per-pair Hockney `α` exactly, but only `Overlap` separates
+//! `C` from `L` — which the serial terms of the collective formulas need.
+
+use cpm_bench::PaperContext;
+use cpm_collectives::measure;
+use cpm_core::units::{format_bytes, KIB};
+use cpm_core::Rank;
+use cpm_estimate::{estimate_lmo, EstimateConfig};
+use cpm_models::LmoExtended;
+
+fn param_errors(truth: &cpm_cluster::GroundTruth, model: &LmoExtended) -> (f64, f64, f64, f64) {
+    let n = truth.n();
+    let mut c_err = 0.0f64;
+    let mut t_err = 0.0f64;
+    for i in 0..n {
+        c_err = c_err.max(((model.c[i] - truth.c[i]) / truth.c[i]).abs());
+        t_err = t_err.max(((model.t[i] - truth.t[i]) / truth.t[i]).abs());
+    }
+    let mut l_err = 0.0f64;
+    let mut b_err = 0.0f64;
+    for ((i, j), want) in truth.l.iter() {
+        l_err = l_err.max(((model.l.get(i, j) - want) / want).abs());
+    }
+    for ((i, j), want) in truth.beta.iter() {
+        b_err = b_err.max(((model.beta.get(i, j) - want) / want).abs());
+    }
+    (c_err, l_err, t_err, b_err)
+}
+
+fn main() {
+    let (seed, profile) = PaperContext::env_seed_profile();
+    let (_, sim) = PaperContext::cluster_only(seed, &profile);
+    let cfg = EstimateConfig::with_seed(seed ^ 0xab1);
+
+    eprintln!("[cpm] estimating with the overlap-calibrated solver …");
+    let overlap = estimate_lmo(&sim, &cfg).expect("estimation").model;
+    eprintln!("[cpm] estimating with the paper's verbatim equations …");
+    let paper = estimate_lmo(&sim, &cfg.paper_solver()).expect("estimation").model;
+
+    println!("== Ablation: triplet-equation variants (max |rel err| vs ground truth) ==");
+    println!("{:<10} {:>8} {:>8} {:>8} {:>8}", "solver", "C", "L", "t", "β");
+    for (name, model) in [("Overlap", &overlap), ("Paper", &paper)] {
+        let (c, l, t, b) = param_errors(&sim.truth, model);
+        println!(
+            "{:<10} {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}%",
+            name,
+            c * 100.0,
+            l * 100.0,
+            t * 100.0,
+            b * 100.0
+        );
+    }
+
+    // The per-pair α is exact either way.
+    let alpha_err = |m: &LmoExtended| {
+        let mut worst = 0.0f64;
+        for ((i, j), _) in sim.truth.l.iter() {
+            let want = sim.truth.c[i.idx()] + sim.truth.l.get(i, j) + sim.truth.c[j.idx()];
+            let got = m.c[i.idx()] + m.l.get(i, j) + m.c[j.idx()];
+            worst = worst.max(((got - want) / want).abs());
+        }
+        worst
+    };
+    println!();
+    println!(
+        "per-pair α = C_i+L_ij+C_j: Overlap {:.2}%, Paper {:.2}% (both exact up to noise)",
+        alpha_err(&overlap) * 100.0,
+        alpha_err(&paper) * 100.0
+    );
+
+    // Where the difference lands: the serial term of scatter predictions.
+    println!();
+    println!(
+        "{:>10} {:>12} {:>14} {:>14}",
+        "M", "observed", "Overlap pred", "Paper pred"
+    );
+    for m in [2 * KIB, 16 * KIB, 48 * KIB] {
+        let obs = measure::linear_scatter_once(&sim, Rank(0), m);
+        println!(
+            "{:>10} {:>10.3}ms {:>12.3}ms {:>12.3}ms",
+            format_bytes(m),
+            obs * 1e3,
+            overlap.linear_scatter(Rank(0), m) * 1e3,
+            paper.linear_scatter(Rank(0), m) * 1e3
+        );
+    }
+    println!("(the Paper variant underpredicts the serial part by (n−1)·C/2)");
+}

@@ -1,0 +1,82 @@
+//! §IV estimation-cost experiment: serial vs parallel scheduling of the
+//! communication experiments on non-overlapping pairs/triplets.
+//!
+//! Expected shape (paper): parallel estimation of the heterogeneous
+//! Hockney model took 5 s vs 16 s serial, with identical parameter values.
+//! We report the *virtual* cluster time consumed, which is what the
+//! single-switch optimization shrinks, plus the experiment counts
+//! (C(n,2) = 120 roundtrip pairs, 3·C(n,3) = 1680 one-to-two experiments
+//! for n = 16).
+
+use cpm_bench::PaperContext;
+use cpm_core::rank::{n_choose_2, n_choose_3};
+use cpm_estimate::{estimate_hockney_het, estimate_lmo, EstimateConfig};
+
+fn main() {
+    let (seed, profile) = PaperContext::env_seed_profile();
+    let (_, sim) = PaperContext::cluster_only(seed, &profile);
+    let n = sim.n();
+    let cfg = EstimateConfig::with_seed(seed ^ 0xc057);
+
+    println!("== Estimation cost: serial vs parallel experiment scheduling ==");
+    println!(
+        "cluster: {} nodes → C(n,2) = {} pairs, 3·C(n,3) = {} one-to-two experiments",
+        n,
+        n_choose_2(n),
+        3 * n_choose_3(n)
+    );
+    println!();
+
+    eprintln!("[cpm] heterogeneous Hockney, parallel …");
+    let h_par = estimate_hockney_het(&sim, &cfg).expect("estimation");
+    eprintln!("[cpm] heterogeneous Hockney, serial …");
+    let h_ser = estimate_hockney_het(&sim, &cfg.serial()).expect("estimation");
+    println!("heterogeneous Hockney:");
+    println!(
+        "  parallel: {:>8.2} s virtual, {:>5} runs",
+        h_par.virtual_cost, h_par.runs
+    );
+    println!(
+        "  serial:   {:>8.2} s virtual, {:>5} runs",
+        h_ser.virtual_cost, h_ser.runs
+    );
+    println!(
+        "  speedup:  {:>8.1}x  (paper observed 16 s → 5 s ≈ 3.2x)",
+        h_ser.virtual_cost / h_par.virtual_cost
+    );
+    let alpha_dev = h_par.model.alpha.max_rel_error(&h_ser.model.alpha);
+    let beta_dev = h_par.model.beta.max_rel_error(&h_ser.model.beta);
+    println!(
+        "  parameter agreement: max |Δα| = {:.2}%, max |Δβ| = {:.2}% \
+         (paper: 'both experiments give the same values')",
+        alpha_dev * 100.0,
+        beta_dev * 100.0
+    );
+    println!();
+
+    eprintln!("[cpm] LMO, parallel …");
+    let l_par = estimate_lmo(&sim, &cfg).expect("estimation");
+    eprintln!("[cpm] LMO, serial …");
+    let l_ser = estimate_lmo(&sim, &cfg.serial()).expect("estimation");
+    println!("extended LMO (triplet procedure):");
+    println!(
+        "  parallel: {:>8.2} s virtual, {:>5} runs",
+        l_par.virtual_cost, l_par.runs
+    );
+    println!(
+        "  serial:   {:>8.2} s virtual, {:>5} runs",
+        l_ser.virtual_cost, l_ser.runs
+    );
+    println!(
+        "  speedup:  {:>8.1}x",
+        l_ser.virtual_cost / l_par.virtual_cost
+    );
+    let t_dev = l_par
+        .model
+        .t
+        .iter()
+        .zip(&l_ser.model.t)
+        .map(|(a, b)| ((a - b) / b).abs())
+        .fold(0.0, f64::max);
+    println!("  parameter agreement: max |Δt| = {:.2}%", t_dev * 100.0);
+}

@@ -1,0 +1,53 @@
+//! Fig. 1: the prediction of the execution time of linear scatter on the
+//! 16-node heterogeneous cluster — observation vs the four Hockney bounds
+//! (homogeneous/heterogeneous × serial/parallel).
+//!
+//! Expected shape (paper): both serial predictions are pessimistic, both
+//! parallel predictions far too optimistic; the observation sits between.
+
+use cpm_bench::{Figure, PaperContext, Series};
+use cpm_collectives::measure;
+use cpm_core::sweep::paper_figure_sweep;
+use cpm_stats::summary::median;
+
+fn main() {
+    let ctx = PaperContext::from_env();
+    let sizes = paper_figure_sweep();
+    let reps = ctx.obs_reps();
+    let root = ctx.root;
+
+    eprintln!("[cpm] observing linear scatter over {} sizes …", sizes.len());
+    let observed = Series {
+        label: "observation".into(),
+        points: sizes
+            .iter()
+            .map(|&m| {
+                let ts = measure::linear_scatter_times(&ctx.sim, root, m, reps, m)
+                    .expect("simulation runs");
+                (m, median(&ts).expect("reps > 0"))
+            })
+            .collect(),
+    };
+
+    let mut fig = Figure::new("fig1", "linear scatter vs Hockney bounds (16 nodes)");
+    fig.push(observed.clone());
+    fig.push(Series::from_fn("hom Hockney serial", &sizes, |m| {
+        ctx.hockney_hom.linear_serial(m)
+    }));
+    fig.push(Series::from_fn("hom Hockney parallel", &sizes, |m| {
+        ctx.hockney_hom.linear_parallel(m)
+    }));
+    fig.push(Series::from_fn("het Hockney serial", &sizes, |m| {
+        ctx.hockney_het.linear_serial(root, m)
+    }));
+    fig.push(Series::from_fn("het Hockney parallel", &sizes, |m| {
+        ctx.hockney_het.linear_parallel(root, m)
+    }));
+
+    print!("{}", fig.render());
+    for s in &fig.series[1..] {
+        let err = s.mean_rel_error_vs(&observed).unwrap_or(f64::NAN);
+        println!("mean |rel err| {:<22} {:>7.1}%", s.label, err * 100.0);
+    }
+    fig.save(cpm_bench::output::results_dir()).expect("write results");
+}

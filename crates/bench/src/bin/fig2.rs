@@ -1,0 +1,40 @@
+//! Fig. 2: the binomial communication tree for scatter/gather over 16
+//! processors — nodes, arcs, and the number of data blocks per arc.
+
+use cpm_bench::PaperContext;
+use cpm_core::rank::Rank;
+use cpm_core::tree::BinomialTree;
+
+fn render(tree: &BinomialTree, r: Rank, prefix: &str, out: &mut String) {
+    for (k, (child, blocks)) in tree.children_of(r).iter().enumerate() {
+        let last = k + 1 == tree.children_of(r).len();
+        let (tee, cont) = if last { ("└─", "  ") } else { ("├─", "│ ") };
+        out.push_str(&format!("{prefix}{tee} {child}  [{blocks} block(s)]\n"));
+        render(tree, *child, &format!("{prefix}{cont}"), out);
+    }
+}
+
+fn main() {
+    let (_, profile) = PaperContext::env_seed_profile();
+    let _ = profile;
+    let n: usize =
+        std::env::var("CPM_N").ok().and_then(|s| s.parse().ok()).unwrap_or(16);
+    let root: u32 =
+        std::env::var("CPM_ROOT").ok().and_then(|s| s.parse().ok()).unwrap_or(0);
+    let tree = BinomialTree::new(n, Rank(root));
+
+    println!("== Fig. 2 — binomial communication tree, n={n}, root={root} ==");
+    let mut out = String::new();
+    out.push_str(&format!("{}\n", tree.root()));
+    render(&tree, tree.root(), "", &mut out);
+    print!("{out}");
+    println!("height (root rounds): {}", tree.height());
+    let blocks: u64 = tree
+        .arcs()
+        .iter()
+        .filter(|a| a.from == tree.root())
+        .map(|a| a.blocks)
+        .sum();
+    println!("blocks leaving the root: {blocks} (= n−1 = {})", n - 1);
+    println!("arcs: {} (one per non-root process)", tree.arcs().len());
+}

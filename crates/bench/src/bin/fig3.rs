@@ -1,0 +1,57 @@
+//! Fig. 3: binomial scatter — observation vs the homogeneous Hockney
+//! formula `log₂n·α + (n−1)βM` vs the heterogeneous recursive prediction
+//! (paper eqs. (1)/(2)).
+//!
+//! Expected shape (paper): the heterogeneous recursive formula tracks the
+//! observation much better than the homogeneous closed form.
+
+use cpm_bench::{Figure, PaperContext, Series};
+use cpm_collectives::measure;
+use cpm_core::sweep::paper_figure_sweep;
+use cpm_core::tree::BinomialTree;
+use cpm_models::collective::binomial_recursive;
+use cpm_stats::summary::median;
+
+fn main() {
+    let ctx = PaperContext::from_env();
+    let sizes = paper_figure_sweep();
+    let reps = ctx.obs_reps();
+    let root = ctx.root;
+    let tree = BinomialTree::new(ctx.sim.n(), root);
+
+    eprintln!("[cpm] observing binomial scatter over {} sizes …", sizes.len());
+    let observed = Series {
+        label: "observation".into(),
+        points: sizes
+            .iter()
+            .map(|&m| {
+                let ts = measure::binomial_scatter_times(&ctx.sim, root, m, reps, m)
+                    .expect("simulation runs");
+                (m, median(&ts).expect("reps > 0"))
+            })
+            .collect(),
+    };
+
+    let mut fig = Figure::new(
+        "fig3",
+        "binomial scatter: hom vs het Hockney predictions (16 nodes)",
+    );
+    fig.push(observed.clone());
+    fig.push(Series::from_fn("hom Hockney (log2 n)", &sizes, |m| {
+        ctx.hockney_hom.binomial(m)
+    }));
+    fig.push(Series::from_fn("het Hockney recursive", &sizes, |m| {
+        binomial_recursive(&ctx.hockney_het, &tree, m)
+    }));
+
+    print!("{}", fig.render());
+    let hom_err = fig.series[1].mean_rel_error_vs(&observed).unwrap();
+    let het_err = fig.series[2].mean_rel_error_vs(&observed).unwrap();
+    println!("mean |rel err| hom Hockney: {:.1}%", hom_err * 100.0);
+    println!("mean |rel err| het Hockney (recursive): {:.1}%", het_err * 100.0);
+    println!(
+        "heterogeneous recursive better: {}",
+        if het_err < hom_err { "yes (as in the paper)" } else { "NO — check setup" }
+    );
+    fig.save(cpm_bench::output::results_dir()).expect("write results");
+}

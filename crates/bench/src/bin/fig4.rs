@@ -1,0 +1,63 @@
+//! Fig. 4: linear scatter — observation (with the 64 KB LAM leap) vs the
+//! LMO, PLogP, LogGP and heterogeneous-Hockney predictions.
+//!
+//! Expected shape (paper): LMO tracks the observation closely (modulo the
+//! leap, which the linear model deliberately ignores); PLogP is comparable
+//! at medium sizes; LogGP and Hockney are far off.
+
+use cpm_bench::{Figure, PaperContext, Series};
+use cpm_collectives::measure;
+use cpm_core::sweep::paper_figure_sweep;
+use cpm_stats::summary::median;
+
+fn main() {
+    let ctx = PaperContext::from_env();
+    let sizes = paper_figure_sweep();
+    let reps = ctx.obs_reps();
+    let root = ctx.root;
+
+    eprintln!("[cpm] observing linear scatter over {} sizes …", sizes.len());
+    let observed = Series {
+        label: "observation".into(),
+        points: sizes
+            .iter()
+            .map(|&m| {
+                let ts = measure::linear_scatter_times(&ctx.sim, root, m, reps, m)
+                    .expect("simulation runs");
+                (m, median(&ts).expect("reps > 0"))
+            })
+            .collect(),
+    };
+
+    let mut fig =
+        Figure::new("fig4", "linear scatter: LMO vs traditional models (16 nodes)");
+    fig.push(observed.clone());
+    fig.push(Series::from_fn("LMO (eq. 4)", &sizes, |m| {
+        ctx.lmo.linear_scatter(root, m)
+    }));
+    fig.push(Series::from_fn("PLogP", &sizes, |m| ctx.plogp.linear(m)));
+    fig.push(Series::from_fn("LogGP", &sizes, |m| ctx.loggp.linear(m)));
+    fig.push(Series::from_fn("het Hockney serial", &sizes, |m| {
+        ctx.hockney_het.linear_serial(root, m)
+    }));
+
+    print!("{}", fig.render());
+    println!();
+    for s in &fig.series[1..] {
+        let err = s.mean_rel_error_vs(&observed).unwrap_or(f64::NAN);
+        println!("mean |rel err| {:<22} {:>7.1}%", s.label, err * 100.0);
+    }
+    // The leap: observation at 64KB jumps relative to 60KB beyond the
+    // linear trend.
+    if let (Some(a), Some(b), Some(c)) =
+        (observed.at(56 * 1024), observed.at(60 * 1024), observed.at(64 * 1024))
+    {
+        let trend = b + (b - a);
+        println!(
+            "leap check at 64KB: observed {:.2} ms vs linear trend {:.2} ms",
+            c * 1e3,
+            trend * 1e3
+        );
+    }
+    fig.save(cpm_bench::output::results_dir()).expect("write results");
+}

@@ -1,0 +1,122 @@
+//! Fig. 5: linear gather — observation (two linear regimes + the
+//! escalation band between M1 and M2) vs the models. Only the LMO
+//! prediction is piecewise and only it reflects the irregularities.
+
+use cpm_bench::{Figure, PaperContext, Series};
+use cpm_collectives::measure;
+use cpm_core::sweep::paper_figure_sweep;
+use cpm_stats::summary::{median, quantile};
+use cpm_stats::{Histogram, Summary};
+
+fn main() {
+    let ctx = PaperContext::from_env();
+    let sizes = paper_figure_sweep();
+    let reps = ctx.obs_reps().max(8);
+    let root = ctx.root;
+
+    eprintln!("[cpm] observing linear gather over {} sizes …", sizes.len());
+    let mut obs_mean = Series { label: "obs mean".into(), points: Vec::new() };
+    let mut obs_median = Series { label: "obs median".into(), points: Vec::new() };
+    let mut obs_min = Series { label: "obs min".into(), points: Vec::new() };
+    let mut obs_p90 = Series { label: "obs p90".into(), points: Vec::new() };
+    for &m in &sizes {
+        let ts = measure::linear_gather_times(&ctx.sim, root, m, reps, m)
+            .expect("simulation runs");
+        obs_mean.points.push((m, Summary::of(&ts).mean()));
+        obs_median.points.push((m, median(&ts).unwrap()));
+        obs_min
+            .points
+            .push((m, ts.iter().copied().fold(f64::INFINITY, f64::min)));
+        obs_p90.points.push((m, quantile(&ts, 0.9).unwrap()));
+    }
+
+    let mut fig = Figure::new(
+        "fig5",
+        "linear gather: irregularities and the LMO piecewise prediction",
+    );
+    fig.push(obs_mean.clone());
+    fig.push(obs_median.clone());
+    fig.push(obs_min);
+    fig.push(obs_p90);
+    fig.push(Series::from_fn("LMO base (eq. 5)", &sizes, |m| {
+        ctx.lmo.linear_gather(root, m).base
+    }));
+    fig.push(Series::from_fn("LMO expected", &sizes, |m| {
+        ctx.lmo.linear_gather(root, m).expected
+    }));
+    fig.push(Series::from_fn("PLogP", &sizes, |m| ctx.plogp.linear(m)));
+    fig.push(Series::from_fn("LogGP", &sizes, |m| ctx.loggp.linear(m)));
+    fig.push(Series::from_fn("het Hockney serial", &sizes, |m| {
+        ctx.hockney_het.linear_serial(root, m)
+    }));
+
+    print!("{}", fig.render());
+    println!();
+    println!(
+        "LMO empirical parameters: M1 = {} B, M2 = {} B, p = {:.2}, magnitude = {:.0} ms",
+        ctx.lmo.gather.m1,
+        ctx.lmo.gather.m2,
+        ctx.lmo.gather.escalation_probability,
+        ctx.lmo.gather.escalation_magnitude * 1e3
+    );
+    println!(
+        "paper (LAM 7.1.3): M1 = 4096 B, M2 = 66560 B, escalations reach 250 ms"
+    );
+    // The LMO `expected` value predicts the *mean* (escalations are
+    // stochastic); compare per regime so the bimodal medium band does not
+    // swamp the clean regions.
+    let (m1, m2) = (ctx.lmo.gather.m1, ctx.lmo.gather.m2);
+    let regime_of = |m: u64| {
+        if m < m1 {
+            0
+        } else if m > m2 {
+            2
+        } else {
+            1
+        }
+    };
+    println!();
+    println!(
+        "{:<22} {:>12} {:>12} {:>12}",
+        "mean |rel err| vs mean", "small", "medium", "large"
+    );
+    for label in ["LMO expected", "PLogP", "LogGP", "het Hockney serial"] {
+        let s = fig.series.iter().find(|s| s.label == label).unwrap();
+        let mut errs = [(0.0, 0usize); 3];
+        for &(m, obs) in &obs_mean.points {
+            if let Some(pred) = s.at(m) {
+                let r = regime_of(m);
+                errs[r].0 += ((pred - obs) / obs).abs();
+                errs[r].1 += 1;
+            }
+        }
+        let pct = |e: (f64, usize)| {
+            if e.1 == 0 {
+                f64::NAN
+            } else {
+                e.0 / e.1 as f64 * 100.0
+            }
+        };
+        println!(
+            "{:<22} {:>11.1}% {:>11.1}% {:>11.1}%",
+            label,
+            pct(errs[0]),
+            pct(errs[1]),
+            pct(errs[2])
+        );
+    }
+    // The distribution inside the escalation band, as the paper describes
+    // it: a clean mode on the linear trend plus a heavy escalated cluster.
+    let mid = 32 * 1024;
+    let ts = measure::linear_gather_times(&ctx.sim, root, mid, 48, 0xf5)
+        .expect("simulation runs");
+    if let Some(h) = Histogram::from_samples(&ts, 10) {
+        println!();
+        println!(
+            "distribution of 48 linear gathers at {} (escalation band):",
+            cpm_core::units::format_bytes(mid)
+        );
+        print!("{}", h.render(32, |c| format!("{:.0}ms", c * 1e3)));
+    }
+    fig.save(cpm_bench::output::results_dir()).expect("write results");
+}

@@ -1,0 +1,57 @@
+//! Fig. 7: the LMO model-based optimization of linear gather — medium
+//! messages split into sub-M1 pieces gathered in series.
+//!
+//! Expected shape (paper): in the escalation region the optimized gather is
+//! up to ~10× faster on average than the native linear gather.
+
+use cpm_bench::{Figure, PaperContext, Series};
+use cpm_collectives::measure;
+use cpm_core::units::{format_bytes, KIB};
+use cpm_stats::Summary;
+
+fn main() {
+    let ctx = PaperContext::from_env();
+    let reps = ctx.obs_reps().max(12);
+    let root = ctx.root;
+    let empirics = ctx.lmo.gather;
+
+    // Sweep the escalation region plus a margin on both sides.
+    let mut sizes = vec![2 * KIB];
+    let mut m = 8 * KIB;
+    while m <= 96 * KIB {
+        sizes.push(m);
+        m += 8 * KIB;
+    }
+
+    eprintln!("[cpm] native vs optimized gather over {} sizes …", sizes.len());
+    let mut native = Series { label: "native gather (mean)".into(), points: Vec::new() };
+    let mut optimized =
+        Series { label: "optimized gather (mean)".into(), points: Vec::new() };
+    let mut speedups = Vec::new();
+    for &m in &sizes {
+        let nat = measure::linear_gather_times(&ctx.sim, root, m, reps, m)
+            .expect("simulation runs");
+        let opt =
+            measure::optimized_gather_times(&ctx.sim, root, m, &empirics, reps, m)
+                .expect("simulation runs");
+        let nat_mean = Summary::of(&nat).mean();
+        let opt_mean = Summary::of(&opt).mean();
+        native.points.push((m, nat_mean));
+        optimized.points.push((m, opt_mean));
+        speedups.push((m, nat_mean / opt_mean));
+    }
+
+    let mut fig = Figure::new("fig7", "LMO model-based optimization of linear gather");
+    fig.push(native);
+    fig.push(optimized);
+    print!("{}", fig.render());
+
+    println!();
+    println!("{:>10} {:>10}", "M", "speedup");
+    for (m, s) in &speedups {
+        println!("{:>10} {:>9.1}x", format_bytes(*m), s);
+    }
+    let best = speedups.iter().map(|p| p.1).fold(0.0, f64::max);
+    println!("best speedup in the escalation region: {best:.1}x (paper: ~10x)");
+    fig.save(cpm_bench::output::results_dir()).expect("write results");
+}

@@ -1,0 +1,66 @@
+//! Sensitivity of the paper's conclusions to the network generation.
+//!
+//! The paper's platform is 100 Mbit Ethernet, where the wire dominates the
+//! per-byte cost. On faster networks the processor terms grow in relative
+//! importance — which is precisely when separating processor from network
+//! contributions pays off most. This experiment re-runs the fig4-style
+//! comparison and the algorithm switch point on three network generations.
+
+use cpm_bench::PaperContext;
+use cpm_cluster::{ClusterSpec, GroundTruth, MpiProfile, SynthesisBaseline};
+use cpm_collectives::measure;
+use cpm_collectives::select::scatter_crossover;
+use cpm_core::units::{format_bytes, KIB};
+use cpm_core::Rank;
+use cpm_estimate::{estimate_hockney_het, estimate_lmo, EstimateConfig};
+use cpm_netsim::SimCluster;
+
+fn main() {
+    let (seed, _) = PaperContext::env_seed_profile();
+    let spec = ClusterSpec::paper_cluster();
+    let generations = [
+        ("100Mb Ethernet", SynthesisBaseline::fast_ethernet()),
+        ("Gigabit Ethernet", SynthesisBaseline::gigabit()),
+        ("low-latency interconnect", SynthesisBaseline::low_latency_interconnect()),
+    ];
+
+    println!("== Sensitivity to the network generation (no irregularities) ==");
+    println!(
+        "{:<26} {:>10} {:>12} {:>14} {:>12}",
+        "network", "LMO err", "Hockney err", "switch point", "p2p(64KB)"
+    );
+    for (name, base) in generations {
+        let truth = GroundTruth::synthesize_with(&spec, seed, &base);
+        let sim = SimCluster::new(truth, MpiProfile::ideal(), 0.0, seed);
+        let cfg = EstimateConfig { reps: 3, ..EstimateConfig::with_seed(seed ^ 0x5e) };
+        eprintln!("[cpm] estimating on {name} …");
+        let lmo = estimate_lmo(&sim, &cfg).expect("estimation").model;
+        let hockney = estimate_hockney_het(&sim, &cfg).expect("estimation").model;
+
+        let sizes = [4 * KIB, 32 * KIB, 128 * KIB];
+        let mut lmo_err = 0.0;
+        let mut hock_err = 0.0;
+        for &m in &sizes {
+            let obs = measure::linear_scatter_once(&sim, Rank(0), m);
+            lmo_err += (lmo.linear_scatter(Rank(0), m) - obs).abs() / obs;
+            hock_err += (hockney.linear_serial(Rank(0), m) - obs).abs() / obs;
+        }
+        let switch = scatter_crossover(&lmo, Rank(0), 1, 1024 * 1024)
+            .map(format_bytes)
+            .unwrap_or_else(|| "none".into());
+        let p2p = sim.truth.p2p_time(Rank(0), Rank(1), 64 * KIB);
+        println!(
+            "{:<26} {:>9.1}% {:>11.1}% {:>14} {:>10.2}ms",
+            name,
+            lmo_err / sizes.len() as f64 * 100.0,
+            hock_err / sizes.len() as f64 * 100.0,
+            switch,
+            p2p * 1e3
+        );
+    }
+    println!();
+    println!("LMO stays accurate across generations while the Hockney serial");
+    println!("bound's error tracks how far the platform is from \"fully");
+    println!("serialized\" — and the binomial→linear switch point moves with");
+    println!("the wire/CPU cost ratio, which is what a tuned MPI must track.");
+}

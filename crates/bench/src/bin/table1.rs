@@ -1,0 +1,51 @@
+//! Table I: the 16-node heterogeneous cluster, plus the synthesized
+//! ground-truth communication parameters the simulator uses for it.
+
+use cpm_bench::PaperContext;
+use cpm_core::rank::Rank;
+
+fn main() {
+    let (seed, profile) = PaperContext::env_seed_profile();
+    let (config, sim) = PaperContext::cluster_only(seed, &profile);
+    let spec = &config.spec;
+    println!("== Table I — specification of the 16-node heterogeneous cluster ==");
+    println!(
+        "{:<4} {:<24} {:<8} {:<18} {:>8} {:>8} {:>6}",
+        "Type", "Model", "OS", "Processor", "FSB", "L2", "Nodes"
+    );
+    for (k, t) in spec.types.iter().enumerate() {
+        println!(
+            "{:<4} {:<24} {:<8} {:<18} {:>5}MHz {:>6}KB {:>6}",
+            k + 1,
+            t.model,
+            t.os,
+            t.processor,
+            t.fsb_mhz,
+            t.l2_kb,
+            t.count
+        );
+    }
+
+    let truth = &sim.truth;
+    println!();
+    println!("== Synthesized ground truth (hidden from the estimators) ==");
+    println!("{:<5} {:<6} {:>10} {:>12}", "Node", "Type", "C (µs)", "t (ns/B)");
+    for i in 0..spec.n_nodes() {
+        println!(
+            "{:<5} {:<6} {:>10.1} {:>12.2}",
+            i,
+            spec.node_type_index(i),
+            truth.c[i] * 1e6,
+            truth.t[i] * 1e9
+        );
+    }
+    let mean_l = truth.l.mean().unwrap() * 1e6;
+    let mean_b = truth.beta.mean().unwrap() / 1e6;
+    println!();
+    println!("links: mean L = {mean_l:.1} µs, mean β = {mean_b:.2} MB/s (single switch, symmetric)");
+    println!("profile: {}", config.profile.name);
+    println!(
+        "p2p example: T(0↔12, 64KB) = {:.3} ms",
+        truth.p2p_time(Rank(0), Rank(12), 64 * 1024) * 1e3
+    );
+}

@@ -1,0 +1,58 @@
+//! Table II: the closed-form linear scatter/gather predictions of all four
+//! model families, evaluated with *estimated* parameters and compared
+//! against the observation at representative sizes of each gather regime.
+
+use cpm_bench::PaperContext;
+use cpm_collectives::measure;
+use cpm_core::units::{format_bytes, KIB};
+use cpm_models::table2::Table2Models;
+use cpm_stats::Summary;
+
+fn main() {
+    let ctx = PaperContext::from_env();
+    let reps = ctx.obs_reps();
+    let root = ctx.root;
+    let models = Table2Models {
+        hockney: ctx.hockney_het.clone(),
+        loggp: ctx.loggp.clone(),
+        plogp: ctx.plogp.clone(),
+        lmo: ctx.lmo.clone(),
+    };
+
+    // One size per gather regime: small, medium (escalating), large.
+    let sizes = [2 * KIB, 32 * KIB, 100 * KIB];
+    for m in sizes {
+        let obs_scatter = Summary::of(
+            &measure::linear_scatter_times(&ctx.sim, root, m, reps, m).unwrap(),
+        )
+        .mean();
+        let obs_gather = Summary::of(
+            &measure::linear_gather_times(&ctx.sim, root, m, reps, m).unwrap(),
+        )
+        .mean();
+        println!("== Table II at M = {} ==", format_bytes(m));
+        println!(
+            "{:<16} {:>14} {:>14} {:>14}",
+            "model", "scatter (ms)", "gather (ms)", "distinguishes"
+        );
+        println!(
+            "{:<16} {:>14.3} {:>14.3} {:>14}",
+            "observation",
+            obs_scatter * 1e3,
+            obs_gather * 1e3,
+            "-"
+        );
+        for row in models.evaluate(root, m) {
+            println!(
+                "{:<16} {:>14.3} {:>14.3} {:>14}",
+                row.model,
+                row.scatter * 1e3,
+                row.gather * 1e3,
+                if row.distinguishes { "yes" } else { "no" }
+            );
+        }
+        println!();
+    }
+    println!("Only the LMO row can differ between scatter and gather — the");
+    println!("traditional models apply one formula to both (paper, Table II).");
+}

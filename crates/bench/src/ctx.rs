@@ -1,0 +1,104 @@
+//! Shared experiment context: the simulated paper cluster plus every
+//! estimated model, built once per binary.
+
+use cpm_cluster::ClusterConfig;
+use cpm_core::rank::Rank;
+use cpm_estimate::lmo::estimate_lmo_full;
+use cpm_estimate::{estimate_hockney_het, estimate_loggp, estimate_plogp, EstimateConfig};
+use cpm_models::{HockneyHet, HockneyHom, LmoExtended, LogGp, PLogP};
+use cpm_netsim::SimCluster;
+
+/// Everything the figure binaries need: the cluster and the four estimated
+/// models of Table II (plus the homogeneous Hockney average).
+pub struct PaperContext {
+    pub config: ClusterConfig,
+    pub sim: SimCluster,
+    pub root: Rank,
+    pub hockney_hom: HockneyHom,
+    pub hockney_het: HockneyHet,
+    pub loggp: LogGp,
+    pub plogp: PLogP,
+    pub lmo: LmoExtended,
+}
+
+impl PaperContext {
+    /// Reads `CPM_SEED` (default 2009) and `CPM_PROFILE`
+    /// (`lam`/`mpich`/`ideal`, default `lam`) and estimates all models.
+    /// Progress goes to stderr since estimation takes a few seconds.
+    pub fn from_env() -> Self {
+        let (seed, profile) = Self::env_seed_profile();
+        Self::new(seed, &profile)
+    }
+
+    /// Resolves just the cluster, without estimating any model — enough for
+    /// binaries that only print the spec or run raw observations.
+    pub fn cluster_only(seed: u64, profile: &str) -> (ClusterConfig, SimCluster) {
+        let config = match profile {
+            "lam" => ClusterConfig::paper_lam(seed),
+            "mpich" => ClusterConfig::paper_mpich(seed),
+            "ideal" => ClusterConfig::ideal(
+                cpm_cluster::ClusterSpec::paper_cluster(),
+                seed,
+            ),
+            other => panic!("unknown CPM_PROFILE {other:?}; use lam|mpich|ideal"),
+        };
+        let sim = SimCluster::from_config(&config);
+        (config, sim)
+    }
+
+    /// The seed/profile pair from the environment, shared by all binaries.
+    pub fn env_seed_profile() -> (u64, String) {
+        let seed = std::env::var("CPM_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(2009);
+        let profile = std::env::var("CPM_PROFILE").unwrap_or_else(|_| "lam".into());
+        (seed, profile)
+    }
+
+    /// Builds the context for an explicit seed and profile name.
+    ///
+    /// # Panics
+    /// Panics on an unknown profile name or if any estimation fails (the
+    /// binaries have no useful recovery).
+    pub fn new(seed: u64, profile: &str) -> Self {
+        let (config, sim) = Self::cluster_only(seed, profile);
+        let est_cfg = EstimateConfig::with_seed(seed ^ 0xbead);
+
+        eprintln!("[cpm] estimating heterogeneous Hockney …");
+        let hockney_het = estimate_hockney_het(&sim, &est_cfg)
+            .expect("Hockney estimation")
+            .model;
+        let hockney_hom = hockney_het.averaged();
+        eprintln!("[cpm] estimating LogGP …");
+        let loggp = estimate_loggp(&sim, &est_cfg).expect("LogGP estimation").model;
+        eprintln!("[cpm] estimating PLogP …");
+        let plogp = estimate_plogp(&sim, &est_cfg).expect("PLogP estimation").model;
+        eprintln!("[cpm] estimating LMO (triplet procedure + gather empirics) …");
+        let lmo = estimate_lmo_full(&sim, &est_cfg).expect("LMO estimation").model;
+        eprintln!(
+            "[cpm] LMO empirics: M1={} M2={} p={:.2} magnitude={:.0}ms",
+            lmo.gather.m1,
+            lmo.gather.m2,
+            lmo.gather.escalation_probability,
+            lmo.gather.escalation_magnitude * 1e3
+        );
+
+        PaperContext {
+            config,
+            sim,
+            root: Rank(0),
+            hockney_hom,
+            hockney_het,
+            loggp,
+            plogp,
+            lmo,
+        }
+    }
+
+    /// Observation repetitions per sweep point (medium sizes escalate
+    /// stochastically, so several are needed).
+    pub fn obs_reps(&self) -> usize {
+        std::env::var("CPM_REPS").ok().and_then(|s| s.parse().ok()).unwrap_or(8)
+    }
+}

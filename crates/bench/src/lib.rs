@@ -1,0 +1,28 @@
+//! # cpm-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! paper's evaluation section. One binary per artifact:
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `table1` | Table I — the 16-node heterogeneous cluster |
+//! | `fig1` | Fig. 1 — linear scatter vs the four Hockney bounds |
+//! | `fig2` | Fig. 2 — the binomial communication tree for 16 processes |
+//! | `fig3` | Fig. 3 — binomial scatter vs homogeneous/heterogeneous Hockney |
+//! | `fig4` | Fig. 4 — linear scatter vs LMO/PLogP/LogGP/Hockney |
+//! | `fig5` | Fig. 5 — linear gather irregularities vs the LMO piecewise model |
+//! | `fig6` | Fig. 6 — algorithm selection, 100–200 KB |
+//! | `fig7` | Fig. 7 — LMO-optimized gather vs native gather |
+//! | `table2` | Table II — closed-form predictions side by side |
+//! | `estimation_cost` | §IV — serial vs parallel estimation cost |
+//!
+//! Binaries honour two environment variables: `CPM_SEED` (default 2009)
+//! and `CPM_PROFILE` (`lam` — default, `mpich`, or `ideal` for the
+//! irregularity-free ablation). Each binary prints a human-readable table
+//! and writes machine-readable JSON under `bench_results/`.
+
+pub mod ctx;
+pub mod output;
+
+pub use ctx::PaperContext;
+pub use output::{Figure, Series};

@@ -1,0 +1,173 @@
+//! Rendering and persistence of experiment results.
+
+use std::fs;
+use std::path::Path;
+
+use cpm_core::units::{format_bytes, Bytes};
+use serde::{Deserialize, Serialize};
+
+/// One labelled curve: time (seconds) per message size.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Series {
+    pub label: String,
+    pub points: Vec<(Bytes, f64)>,
+}
+
+impl Series {
+    /// Builds a series by evaluating `f` over `sizes`.
+    pub fn from_fn(
+        label: impl Into<String>,
+        sizes: &[Bytes],
+        mut f: impl FnMut(Bytes) -> f64,
+    ) -> Self {
+        Series { label: label.into(), points: sizes.iter().map(|&m| (m, f(m))).collect() }
+    }
+
+    /// The value at a given size, if present.
+    pub fn at(&self, m: Bytes) -> Option<f64> {
+        self.points.iter().find(|p| p.0 == m).map(|p| p.1)
+    }
+
+    /// Mean absolute relative error against a reference series over the
+    /// sizes both define (the accuracy number EXPERIMENTS.md reports).
+    pub fn mean_rel_error_vs(&self, reference: &Series) -> Option<f64> {
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for &(m, obs) in &reference.points {
+            if let Some(pred) = self.at(m) {
+                if obs != 0.0 {
+                    total += ((pred - obs) / obs).abs();
+                    count += 1;
+                }
+            }
+        }
+        (count > 0).then(|| total / count as f64)
+    }
+}
+
+/// A figure: several series over a common sweep, with an identity.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Figure {
+    /// e.g. "fig4".
+    pub id: String,
+    pub title: String,
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    pub fn new(id: impl Into<String>, title: impl Into<String>) -> Self {
+        Figure { id: id.into(), title: title.into(), series: Vec::new() }
+    }
+
+    pub fn push(&mut self, s: Series) {
+        self.series.push(s);
+    }
+
+    /// Renders the figure as an aligned text table (sizes down, series
+    /// across), times in milliseconds.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n", self.id, self.title));
+        if self.series.is_empty() {
+            out.push_str("(no series)\n");
+            return out;
+        }
+        let sizes: Vec<Bytes> = self.series[0].points.iter().map(|p| p.0).collect();
+        out.push_str(&format!("{:>10}", "M"));
+        for s in &self.series {
+            out.push_str(&format!("  {:>18}", truncate(&s.label, 18)));
+        }
+        out.push('\n');
+        for m in sizes {
+            out.push_str(&format!("{:>10}", format_bytes(m)));
+            for s in &self.series {
+                match s.at(m) {
+                    Some(v) => out.push_str(&format!("  {:>16.3}ms", v * 1e3)),
+                    None => out.push_str(&format!("  {:>18}", "-")),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the figure as JSON under `dir/<id>.json`.
+    pub fn save(&self, dir: impl AsRef<Path>) -> std::io::Result<()> {
+        let dir = dir.as_ref();
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.id));
+        fs::write(path, serde_json::to_string_pretty(self).expect("figure serializes"))
+    }
+
+    /// Loads a figure back from JSON.
+    pub fn load(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let data = fs::read_to_string(path)?;
+        serde_json::from_str(&data)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.chars().count() <= n {
+        s.to_string()
+    } else {
+        s.chars().take(n.saturating_sub(1)).collect::<String>() + "…"
+    }
+}
+
+/// The default output directory for figure JSON.
+pub fn results_dir() -> std::path::PathBuf {
+    std::env::var_os("CPM_RESULTS_DIR")
+        .map(Into::into)
+        .unwrap_or_else(|| "bench_results".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig() -> Figure {
+        let mut f = Figure::new("figX", "test figure");
+        f.push(Series::from_fn("obs", &[1024, 2048], |m| m as f64 * 1e-6));
+        f.push(Series::from_fn("pred", &[1024, 2048], |m| m as f64 * 1.1e-6));
+        f
+    }
+
+    #[test]
+    fn series_lookup_and_error() {
+        let f = fig();
+        assert_eq!(f.series[0].at(1024), Some(1024.0 * 1e-6));
+        assert_eq!(f.series[0].at(999), None);
+        let err = f.series[1].mean_rel_error_vs(&f.series[0]).unwrap();
+        assert!((err - 0.1).abs() < 1e-9, "{err}");
+    }
+
+    #[test]
+    fn render_contains_everything() {
+        let r = fig().render();
+        assert!(r.contains("figX"));
+        assert!(r.contains("obs"));
+        assert!(r.contains("pred"));
+        assert!(r.contains("1KB"));
+        assert!(r.contains("2KB"));
+    }
+
+    #[test]
+    fn save_and_load_round_trip() {
+        let dir = std::env::temp_dir().join(format!("cpm-bench-test-{}", std::process::id()));
+        let f = fig();
+        f.save(&dir).unwrap();
+        let back = Figure::load(dir.join("figX.json")).unwrap();
+        assert_eq!(back.id, "figX");
+        assert_eq!(back.series.len(), 2);
+        assert_eq!(back.series[0].points, f.series[0].points);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn rel_error_none_without_overlap() {
+        let a = Series::from_fn("a", &[1], |_| 1.0);
+        let b = Series::from_fn("b", &[2], |_| 1.0);
+        assert!(a.mean_rel_error_vs(&b).is_none());
+    }
+}

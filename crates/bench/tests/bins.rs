@@ -1,0 +1,50 @@
+//! Smoke tests for the fast experiment binaries (the sweep-heavy figures
+//! are exercised manually / in CI-release; these two run in milliseconds
+//! and pin the printable structure).
+
+use std::process::Command;
+
+fn run(bin: &str, envs: &[(&str, &str)]) -> String {
+    let mut cmd = Command::new(bin);
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    let out = cmd.output().expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{bin} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf8")
+}
+
+#[test]
+fn table1_prints_the_cluster_and_truth() {
+    let out = run(env!("CARGO_BIN_EXE_table1"), &[]);
+    assert!(out.contains("Table I"), "{out}");
+    assert!(out.contains("Dell Poweredge SC1425"), "{out}");
+    assert!(out.contains("2.9 Celeron"), "{out}");
+    assert!(out.contains("ground truth"), "{out}");
+    // 16 node rows in the truth table.
+    let node_rows = out
+        .lines()
+        .filter(|l| l.trim_start().chars().next().is_some_and(|c| c.is_ascii_digit()))
+        .count();
+    assert!(node_rows >= 16, "{node_rows} rows\n{out}");
+}
+
+#[test]
+fn fig2_renders_the_binomial_tree() {
+    let out = run(env!("CARGO_BIN_EXE_fig2"), &[]);
+    assert!(out.contains("binomial communication tree"), "{out}");
+    assert!(out.contains("[8 block(s)]"), "{out}");
+    assert!(out.contains("height (root rounds): 4"), "{out}");
+    assert!(out.contains("blocks leaving the root: 15"), "{out}");
+}
+
+#[test]
+fn fig2_honours_custom_n_and_root() {
+    let out = run(env!("CARGO_BIN_EXE_fig2"), &[("CPM_N", "6"), ("CPM_ROOT", "2")]);
+    assert!(out.contains("n=6, root=2"), "{out}");
+    assert!(out.contains("blocks leaving the root: 5"), "{out}");
+}

@@ -1,0 +1,129 @@
+//! Complete simulation configuration with serde round-trip.
+//!
+//! A [`ClusterConfig`] is everything needed to reproduce a simulated
+//! cluster bit-for-bit: the hardware spec, the synthesis seed (or explicit
+//! ground truth), the MPI irregularity profile and the measurement-noise
+//! level. Experiment binaries read/write these as JSON so runs are
+//! reproducible and shareable.
+
+use serde::{Deserialize, Serialize};
+
+use crate::profile::MpiProfile;
+use crate::spec::ClusterSpec;
+use crate::topology::Topology;
+use crate::truth::GroundTruth;
+
+/// Where the ground-truth parameters come from.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum TruthSource {
+    /// Synthesize from the spec with this seed.
+    Seed(u64),
+    /// Use these explicit parameters.
+    Explicit(GroundTruth),
+}
+
+/// A complete, serializable simulation configuration.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    pub spec: ClusterSpec,
+    pub truth: TruthSource,
+    pub profile: MpiProfile,
+    /// Relative standard deviation of multiplicative measurement noise
+    /// applied to simulated durations (0 disables noise).
+    pub noise_rel: f64,
+    /// Seed for the simulator's stochastic elements (escalations, noise).
+    pub sim_seed: u64,
+    /// Network topology (defaults to the paper's single switch).
+    #[serde(default)]
+    pub topology: Topology,
+}
+
+impl ClusterConfig {
+    /// The paper's evaluation platform: the 16-node heterogeneous cluster
+    /// under LAM 7.1.3, with 1 % measurement noise.
+    pub fn paper_lam(seed: u64) -> Self {
+        ClusterConfig {
+            spec: ClusterSpec::paper_cluster(),
+            truth: TruthSource::Seed(seed),
+            profile: MpiProfile::lam_7_1_3(),
+            noise_rel: 0.01,
+            sim_seed: seed,
+            topology: Topology::SingleSwitch,
+        }
+    }
+
+    /// The same cluster under MPICH 1.2.7.
+    pub fn paper_mpich(seed: u64) -> Self {
+        ClusterConfig { profile: MpiProfile::mpich_1_2_7(), ..Self::paper_lam(seed) }
+    }
+
+    /// An idealized run without irregularities or noise, for ablations.
+    pub fn ideal(spec: ClusterSpec, seed: u64) -> Self {
+        ClusterConfig {
+            spec,
+            truth: TruthSource::Seed(seed),
+            profile: MpiProfile::ideal(),
+            noise_rel: 0.0,
+            sim_seed: seed,
+            topology: Topology::SingleSwitch,
+        }
+    }
+
+    /// Resolves the ground truth (synthesizing it when seeded).
+    pub fn ground_truth(&self) -> GroundTruth {
+        match &self.truth {
+            TruthSource::Seed(s) => GroundTruth::synthesize(&self.spec, *s),
+            TruthSource::Explicit(g) => g.clone(),
+        }
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("config serializes")
+    }
+
+    /// Parses from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_round_trip_seeded() {
+        let cfg = ClusterConfig::paper_lam(11);
+        let json = cfg.to_json();
+        let back = ClusterConfig::from_json(&json).unwrap();
+        assert_eq!(cfg, back);
+        assert_eq!(back.ground_truth(), cfg.ground_truth());
+    }
+
+    #[test]
+    fn json_round_trip_explicit_truth() {
+        let mut cfg = ClusterConfig::paper_mpich(3);
+        cfg.truth = TruthSource::Explicit(cfg.ground_truth());
+        let back = ClusterConfig::from_json(&cfg.to_json()).unwrap();
+        assert_eq!(cfg, back);
+    }
+
+    #[test]
+    fn presets_differ_only_as_documented() {
+        let lam = ClusterConfig::paper_lam(5);
+        let mpich = ClusterConfig::paper_mpich(5);
+        assert_eq!(lam.spec, mpich.spec);
+        assert_eq!(lam.ground_truth(), mpich.ground_truth());
+        assert_ne!(lam.profile, mpich.profile);
+
+        let ideal = ClusterConfig::ideal(ClusterSpec::homogeneous(4), 5);
+        assert_eq!(ideal.noise_rel, 0.0);
+        assert_eq!(ideal.profile.name, "ideal");
+    }
+
+    #[test]
+    fn rejects_malformed_json() {
+        assert!(ClusterConfig::from_json("{\"nope\": 1}").is_err());
+    }
+}

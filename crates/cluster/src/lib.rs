@@ -1,0 +1,27 @@
+//! # cpm-cluster
+//!
+//! Cluster descriptions and ground truth for the simulator.
+//!
+//! * [`spec`] — the paper's 16-node heterogeneous cluster (Table I) as data,
+//!   plus constructors for homogeneous and custom clusters.
+//! * [`truth`] — synthesis of *ground-truth* communication parameters
+//!   (`C_i`, `t_i`, `L_ij`, `β_ij`) from a spec. The simulator consumes
+//!   these; the estimators never see them and must recover them from
+//!   simulated measurements.
+//! * [`topology`] — single-switch (the paper's platform) and the
+//!   two-switch boundary-of-validity extension.
+//! * [`profile`] — MPI implementation profiles: the irregularity thresholds
+//!   and magnitudes the paper reports for LAM 7.1.3 and MPICH 1.2.7.
+//! * [`config`] — serde round-trip of a complete simulation configuration.
+
+pub mod config;
+pub mod profile;
+pub mod spec;
+pub mod topology;
+pub mod truth;
+
+pub use config::ClusterConfig;
+pub use topology::Topology;
+pub use profile::MpiProfile;
+pub use spec::{ClusterSpec, NodeTypeSpec};
+pub use truth::{GroundTruth, SynthesisBaseline};

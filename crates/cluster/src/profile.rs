@@ -1,0 +1,181 @@
+//! MPI implementation profiles.
+//!
+//! The paper's irregularity thresholds are properties of "the particular
+//! cluster and MPI implementation": on the 16-node cluster it observed
+//! `M1 = 4KB, M2 = 65KB` under LAM 7.1.3 and `M1 = 3KB, M2 = 125KB` under
+//! MPICH 1.2.7, a repeating leap in scatter at 64 KB under LAM/Open MPI,
+//! and non-deterministic gather escalations reaching 0.25 s. An
+//! [`MpiProfile`] bundles these so the simulator can inject the matching
+//! irregularities mechanically.
+
+use cpm_core::units::{Bytes, KIB};
+use serde::{Deserialize, Serialize};
+
+/// The TCP/MPI irregularity profile of a cluster + MPI implementation.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MpiProfile {
+    /// Human-readable name, e.g. "LAM 7.1.3".
+    pub name: String,
+    /// Below this size, many-to-one reception is fully parallel (paper M1).
+    pub m1: Bytes,
+    /// Above this size, many-to-one transmissions serialize at the receiver
+    /// (paper M2).
+    pub m2: Bytes,
+    /// Largest escalation delay, seconds (paper: ~0.25 s).
+    pub escalation_max: f64,
+    /// Smallest escalation delay, seconds (TCP retransmission timeouts put
+    /// a floor under observed escalations).
+    pub escalation_min: f64,
+    /// Per-transfer escalation probability when the message size reaches
+    /// `m2`. The probability applies to each concurrent inbound transfer,
+    /// so the chance that a whole many-to-one operation escalates compounds
+    /// with the fan-in — the paper observed the probability of linear
+    /// behaviour shrinking as M grows.
+    pub escalation_p_max: f64,
+    /// Per-transfer escalation probability just above `m1`.
+    pub escalation_p_min: f64,
+    /// Sender-side stall repeating every `leap_segment` bytes (the 64 KB
+    /// scatter leap). `None` disables the leap (MPICH did not show it).
+    pub leap_segment: Option<Bytes>,
+    /// Stall duration per completed segment, seconds.
+    pub leap_delay: f64,
+}
+
+impl MpiProfile {
+    /// LAM 7.1.3 on the paper's cluster: `M1 = 4KB`, `M2 = 65KB`, the 64 KB
+    /// scatter leap, escalations up to 0.25 s.
+    pub fn lam_7_1_3() -> Self {
+        MpiProfile {
+            name: "LAM 7.1.3".into(),
+            m1: 4 * KIB,
+            m2: 65 * KIB,
+            escalation_max: 0.25,
+            escalation_min: 0.10,
+            escalation_p_max: 0.15,
+            escalation_p_min: 0.015,
+            leap_segment: Some(64 * KIB),
+            leap_delay: 0.25e-3,
+        }
+    }
+
+    /// MPICH 1.2.7 on the paper's cluster: `M1 = 3KB`, `M2 = 125KB`, no
+    /// scatter leap.
+    pub fn mpich_1_2_7() -> Self {
+        MpiProfile {
+            name: "MPICH 1.2.7".into(),
+            m1: 3 * KIB,
+            m2: 125 * KIB,
+            escalation_max: 0.25,
+            escalation_min: 0.10,
+            escalation_p_max: 0.15,
+            escalation_p_min: 0.015,
+            leap_segment: None,
+            leap_delay: 0.0,
+        }
+    }
+
+    /// An idealized implementation without irregularities — the control for
+    /// ablation experiments (every model should predict well here).
+    pub fn ideal() -> Self {
+        MpiProfile {
+            name: "ideal".into(),
+            m1: Bytes::MAX,
+            m2: Bytes::MAX,
+            escalation_max: 0.0,
+            escalation_min: 0.0,
+            escalation_p_max: 0.0,
+            escalation_p_min: 0.0,
+            leap_segment: None,
+            leap_delay: 0.0,
+        }
+    }
+
+    /// `true` when `m` falls in the escalation-prone medium region.
+    pub fn is_medium(&self, m: Bytes) -> bool {
+        m > self.m1 && m < self.m2
+    }
+
+    /// `true` when many-to-one reception of `m`-byte messages serializes.
+    pub fn is_large(&self, m: Bytes) -> bool {
+        m >= self.m2 && self.m2 != Bytes::MAX
+    }
+
+    /// Escalation probability for a medium message of `m` bytes: ramps
+    /// linearly from `escalation_p_min` at `m1` to `escalation_p_max` at
+    /// `m2`.
+    pub fn escalation_probability(&self, m: Bytes) -> f64 {
+        if !self.is_medium(m) {
+            return 0.0;
+        }
+        let f = (m - self.m1) as f64 / (self.m2 - self.m1) as f64;
+        self.escalation_p_min + f * (self.escalation_p_max - self.escalation_p_min)
+    }
+
+    /// Sender stall for an `m`-byte message: `leap_delay` per completed
+    /// `leap_segment`.
+    pub fn leap_stall(&self, m: Bytes) -> f64 {
+        match self.leap_segment {
+            Some(seg) if seg > 0 => (m / seg) as f64 * self.leap_delay,
+            _ => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_thresholds() {
+        let lam = MpiProfile::lam_7_1_3();
+        assert_eq!(lam.m1, 4096);
+        assert_eq!(lam.m2, 66560);
+        let mpich = MpiProfile::mpich_1_2_7();
+        assert_eq!(mpich.m1, 3072);
+        assert_eq!(mpich.m2, 128000);
+        assert!(mpich.leap_segment.is_none());
+    }
+
+    #[test]
+    fn size_classification() {
+        let lam = MpiProfile::lam_7_1_3();
+        assert!(!lam.is_medium(4 * KIB));
+        assert!(lam.is_medium(4 * KIB + 1));
+        assert!(lam.is_medium(64 * KIB));
+        assert!(!lam.is_medium(65 * KIB));
+        assert!(lam.is_large(65 * KIB));
+        assert!(!lam.is_large(64 * KIB));
+    }
+
+    #[test]
+    fn escalation_probability_ramps() {
+        let lam = MpiProfile::lam_7_1_3();
+        assert_eq!(lam.escalation_probability(KIB), 0.0);
+        assert_eq!(lam.escalation_probability(100 * KIB), 0.0);
+        let p_low = lam.escalation_probability(5 * KIB);
+        let p_high = lam.escalation_probability(60 * KIB);
+        assert!(p_low > 0.0 && p_low < p_high && p_high <= lam.escalation_p_max);
+    }
+
+    #[test]
+    fn leap_stall_steps_at_segments() {
+        let lam = MpiProfile::lam_7_1_3();
+        assert_eq!(lam.leap_stall(63 * KIB), 0.0);
+        assert_eq!(lam.leap_stall(64 * KIB), lam.leap_delay);
+        assert_eq!(lam.leap_stall(127 * KIB), lam.leap_delay);
+        assert_eq!(lam.leap_stall(128 * KIB), 2.0 * lam.leap_delay);
+        let mpich = MpiProfile::mpich_1_2_7();
+        assert_eq!(mpich.leap_stall(1024 * KIB), 0.0);
+    }
+
+    #[test]
+    fn ideal_profile_is_inert() {
+        let p = MpiProfile::ideal();
+        for m in [KIB, 64 * KIB, 1024 * KIB] {
+            assert!(!p.is_medium(m));
+            assert!(!p.is_large(m));
+            assert_eq!(p.escalation_probability(m), 0.0);
+            assert_eq!(p.leap_stall(m), 0.0);
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Cluster specifications.
+//!
+//! [`ClusterSpec::paper_cluster`] encodes Table I of the paper verbatim: the
+//! 16-node heterogeneous cluster at UCD's Heterogeneous Computing Laboratory
+//! on which every figure of the evaluation section was measured. Nodes are
+//! numbered in table order: type 1 nodes first, then type 2, and so on.
+
+use serde::{Deserialize, Serialize};
+
+/// One row of Table I: a node type present in the cluster.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NodeTypeSpec {
+    /// Hardware model, e.g. "Dell Poweredge 750".
+    pub model: String,
+    /// Operating system ("FC4" or "Debian" in the paper).
+    pub os: String,
+    /// Processor description, e.g. "3.4 Xeon".
+    pub processor: String,
+    /// Processor clock in GHz (parsed out of the processor column).
+    pub ghz: f64,
+    /// Front-side bus, MHz.
+    pub fsb_mhz: u32,
+    /// L2 cache, KB.
+    pub l2_kb: u32,
+    /// Number of nodes of this type.
+    pub count: usize,
+}
+
+/// A cluster: an ordered list of node types, expanded into nodes in table
+/// order.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    pub name: String,
+    pub types: Vec<NodeTypeSpec>,
+}
+
+impl ClusterSpec {
+    /// The 16-node heterogeneous cluster of Table I.
+    pub fn paper_cluster() -> Self {
+        fn t(
+            model: &str,
+            os: &str,
+            processor: &str,
+            ghz: f64,
+            fsb_mhz: u32,
+            l2_kb: u32,
+            count: usize,
+        ) -> NodeTypeSpec {
+            NodeTypeSpec {
+                model: model.into(),
+                os: os.into(),
+                processor: processor.into(),
+                ghz,
+                fsb_mhz,
+                l2_kb,
+                count,
+            }
+        }
+        ClusterSpec {
+            name: "hcl-16-node-heterogeneous".into(),
+            types: vec![
+                t("Dell Poweredge SC1425", "FC4", "3.6 Xeon", 3.6, 800, 2048, 2),
+                t("Dell Poweredge 750", "FC4", "3.4 Xeon", 3.4, 800, 1024, 6),
+                t("IBM E-server 326", "Debian", "1.8 AMD Opteron", 1.8, 1000, 1024, 2),
+                t("IBM X-Series 306", "Debian", "3.2 P4", 3.2, 800, 1024, 1),
+                t("HP Proliant DL 320 G3", "FC4", "3.4 P4", 3.4, 800, 1024, 1),
+                t("HP Proliant DL 320 G3", "FC4", "2.9 Celeron", 2.9, 533, 256, 1),
+                t("HP Proliant DL 140 G2", "Debian", "3.4 Xeon", 3.4, 800, 1024, 3),
+            ],
+        }
+    }
+
+    /// A homogeneous cluster of `n` identical mid-range nodes, for control
+    /// experiments.
+    pub fn homogeneous(n: usize) -> Self {
+        ClusterSpec {
+            name: format!("homogeneous-{n}-node"),
+            types: vec![NodeTypeSpec {
+                model: "Generic 1U".into(),
+                os: "Linux".into(),
+                processor: "3.4 Xeon".into(),
+                ghz: 3.4,
+                fsb_mhz: 800,
+                l2_kb: 1024,
+                count: n,
+            }],
+        }
+    }
+
+    /// Total number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.types.iter().map(|t| t.count).sum()
+    }
+
+    /// The type of node `idx` (nodes are expanded in table order).
+    ///
+    /// # Panics
+    /// Panics when `idx` is out of range.
+    pub fn node_type(&self, idx: usize) -> &NodeTypeSpec {
+        let mut rem = idx;
+        for t in &self.types {
+            if rem < t.count {
+                return t;
+            }
+            rem -= t.count;
+        }
+        panic!("node index {idx} out of range for {} nodes", self.n_nodes())
+    }
+
+    /// The 1-based Table I type number of node `idx`.
+    pub fn node_type_index(&self, idx: usize) -> usize {
+        let mut rem = idx;
+        for (k, t) in self.types.iter().enumerate() {
+            if rem < t.count {
+                return k + 1;
+            }
+            rem -= t.count;
+        }
+        panic!("node index {idx} out of range for {} nodes", self.n_nodes())
+    }
+
+    /// `true` if all nodes are of one type.
+    pub fn is_homogeneous(&self) -> bool {
+        self.types.len() <= 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_1_has_16_nodes_in_7_types() {
+        let c = ClusterSpec::paper_cluster();
+        assert_eq!(c.types.len(), 7);
+        assert_eq!(c.n_nodes(), 16);
+        assert!(!c.is_homogeneous());
+        // Counts per row: 2 + 6 + 2 + 1 + 1 + 1 + 3.
+        let counts: Vec<usize> = c.types.iter().map(|t| t.count).collect();
+        assert_eq!(counts, vec![2, 6, 2, 1, 1, 1, 3]);
+    }
+
+    #[test]
+    fn node_expansion_order_follows_table() {
+        let c = ClusterSpec::paper_cluster();
+        assert_eq!(c.node_type(0).processor, "3.6 Xeon");
+        assert_eq!(c.node_type(1).processor, "3.6 Xeon");
+        assert_eq!(c.node_type(2).processor, "3.4 Xeon");
+        assert_eq!(c.node_type(7).processor, "3.4 Xeon");
+        assert_eq!(c.node_type(8).processor, "1.8 AMD Opteron");
+        assert_eq!(c.node_type(10).processor, "3.2 P4");
+        assert_eq!(c.node_type(11).processor, "3.4 P4");
+        assert_eq!(c.node_type(12).processor, "2.9 Celeron");
+        assert_eq!(c.node_type(13).model, "HP Proliant DL 140 G2");
+        assert_eq!(c.node_type(15).model, "HP Proliant DL 140 G2");
+    }
+
+    #[test]
+    fn type_indices_are_1_based_table_rows() {
+        let c = ClusterSpec::paper_cluster();
+        assert_eq!(c.node_type_index(0), 1);
+        assert_eq!(c.node_type_index(2), 2);
+        assert_eq!(c.node_type_index(12), 6);
+        assert_eq!(c.node_type_index(15), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_node() {
+        let c = ClusterSpec::paper_cluster();
+        let _ = c.node_type(16);
+    }
+
+    #[test]
+    fn homogeneous_constructor() {
+        let c = ClusterSpec::homogeneous(8);
+        assert_eq!(c.n_nodes(), 8);
+        assert!(c.is_homogeneous());
+        assert_eq!(c.node_type(7).ghz, 3.4);
+    }
+}

@@ -1,0 +1,95 @@
+//! Network topology.
+//!
+//! The paper's target platform — and the domain of validity of its model —
+//! is "a homogeneous or heterogeneous cluster with a *single switch*":
+//! flows to distinct destinations never contend. [`Topology::TwoSwitch`]
+//! models the simplest violation, two switches joined by one uplink that
+//! all cross-switch flows share, so the boundary of the model's validity
+//! can be demonstrated experimentally (see the `boundary` experiment
+//! binary).
+
+use serde::{Deserialize, Serialize};
+
+/// How the cluster's nodes are wired.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize, Default)]
+pub enum Topology {
+    /// Every node on one switch: full bisection, the paper's platform.
+    #[default]
+    SingleSwitch,
+    /// Nodes `0..split` on switch A, the rest on switch B, joined by a
+    /// single shared uplink.
+    TwoSwitch {
+        /// Number of nodes on the first switch.
+        split: usize,
+        /// Uplink capacity, bytes/second, shared by all cross-switch flows.
+        uplink_beta: f64,
+        /// Extra fixed latency per cross-switch hop, seconds.
+        uplink_latency: f64,
+    },
+}
+
+impl Topology {
+    /// A two-switch topology with an uplink equal in speed to one access
+    /// link — the worst sensible case.
+    pub fn two_switch(split: usize, uplink_beta: f64) -> Self {
+        Topology::TwoSwitch { split, uplink_beta, uplink_latency: 10e-6 }
+    }
+
+    /// `true` when a transfer from `src` to `dst` crosses switches.
+    pub fn crosses(&self, src: usize, dst: usize) -> bool {
+        match self {
+            Topology::SingleSwitch => false,
+            Topology::TwoSwitch { split, .. } => (src < *split) != (dst < *split),
+        }
+    }
+
+    /// Uplink characteristics if this topology has one.
+    pub fn uplink(&self) -> Option<(f64, f64)> {
+        match self {
+            Topology::SingleSwitch => None,
+            Topology::TwoSwitch { uplink_beta, uplink_latency, .. } => {
+                Some((*uplink_beta, *uplink_latency))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_switch_never_crosses() {
+        let t = Topology::SingleSwitch;
+        for (a, b) in [(0, 1), (0, 15), (7, 8)] {
+            assert!(!t.crosses(a, b));
+        }
+        assert!(t.uplink().is_none());
+    }
+
+    #[test]
+    fn two_switch_partition() {
+        let t = Topology::two_switch(8, 11.7e6);
+        assert!(!t.crosses(0, 7));
+        assert!(!t.crosses(8, 15));
+        assert!(t.crosses(0, 8));
+        assert!(t.crosses(15, 7));
+        let (beta, lat) = t.uplink().unwrap();
+        assert_eq!(beta, 11.7e6);
+        assert!(lat > 0.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        for t in [Topology::SingleSwitch, Topology::two_switch(4, 5e6)] {
+            let json = serde_json::to_string(&t).unwrap();
+            let back: Topology = serde_json::from_str(&json).unwrap();
+            assert_eq!(t, back);
+        }
+    }
+
+    #[test]
+    fn default_is_single_switch() {
+        assert_eq!(Topology::default(), Topology::SingleSwitch);
+    }
+}

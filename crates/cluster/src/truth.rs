@@ -1,0 +1,281 @@
+//! Ground-truth communication parameters.
+//!
+//! The simulator needs concrete values for the quantities the extended LMO
+//! model names: per-node fixed processing delays `C_i`, per-node per-byte
+//! processing delays `t_i`, per-link fixed latencies `L_ij` and per-link
+//! transmission rates `β_ij`. On the real cluster these are physical facts;
+//! here they are synthesized from the node specifications of Table I —
+//! faster processors get smaller processing delays, the network is 100 Mbit
+//! switched Ethernet, and a seeded jitter differentiates individual nodes
+//! and links the way real hardware does.
+//!
+//! The synthesized values are *hidden* from the estimation pipeline, which
+//! must recover them from simulated measurements; tests compare the two.
+
+use cpm_core::matrix::SymMatrix;
+use cpm_core::rank::Rank;
+use cpm_core::traits::PointToPoint;
+use cpm_core::units::Bytes;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::spec::ClusterSpec;
+
+/// Ground-truth parameters of a simulated cluster, in the vocabulary of the
+/// extended LMO model.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GroundTruth {
+    /// Fixed processing delay of each node, seconds (`C_i`).
+    pub c: Vec<f64>,
+    /// Per-byte processing delay of each node, seconds/byte (`t_i`).
+    pub t: Vec<f64>,
+    /// Fixed network latency of each link, seconds (`L_ij`).
+    pub l: SymMatrix<f64>,
+    /// Transmission rate of each link, bytes/second (`β_ij`).
+    pub beta: SymMatrix<f64>,
+}
+
+/// Baseline communication characteristics used by the synthesis. The
+/// defaults model 100 Mbit switched Ethernet with TCP, the platform of the
+/// paper's cluster.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct SynthesisBaseline {
+    /// Nominal link transmission rate, bytes/second.
+    pub beta: f64,
+    /// Nominal link fixed latency, seconds.
+    pub latency: f64,
+    /// Relative jitter applied per link (uniform ±).
+    pub link_jitter: f64,
+    /// Relative jitter applied per node (uniform ±).
+    pub node_jitter: f64,
+}
+
+impl Default for SynthesisBaseline {
+    fn default() -> Self {
+        Self::fast_ethernet()
+    }
+}
+
+impl SynthesisBaseline {
+    /// 100 Mbit switched Ethernet (~11.7 MB/s of TCP payload) — the
+    /// paper's network generation.
+    pub fn fast_ethernet() -> Self {
+        SynthesisBaseline {
+            beta: 11.7e6,
+            latency: 42e-6,
+            link_jitter: 0.06,
+            node_jitter: 0.04,
+        }
+    }
+
+    /// Gigabit Ethernet (~117 MB/s): the wire rate approaches the CPU
+    /// per-byte rate, which moves every crossover the models predict.
+    pub fn gigabit() -> Self {
+        SynthesisBaseline {
+            beta: 117e6,
+            latency: 28e-6,
+            link_jitter: 0.05,
+            node_jitter: 0.04,
+        }
+    }
+
+    /// A low-latency high-bandwidth interconnect (InfiniBand-like SDR,
+    /// ~900 MB/s, single-digit-µs latency): here the processor terms
+    /// dominate everything — the regime where separating processor from
+    /// network contributions matters most.
+    pub fn low_latency_interconnect() -> Self {
+        SynthesisBaseline {
+            beta: 900e6,
+            latency: 5e-6,
+            link_jitter: 0.03,
+            node_jitter: 0.04,
+        }
+    }
+}
+
+impl GroundTruth {
+    /// Synthesizes ground truth for a cluster spec with the default Ethernet
+    /// baseline. `seed` controls all jitter; equal seeds give equal truth.
+    pub fn synthesize(spec: &ClusterSpec, seed: u64) -> Self {
+        Self::synthesize_with(spec, seed, &SynthesisBaseline::default())
+    }
+
+    /// Synthesizes ground truth with an explicit baseline.
+    pub fn synthesize_with(
+        spec: &ClusterSpec,
+        seed: u64,
+        base: &SynthesisBaseline,
+    ) -> Self {
+        let n = spec.n_nodes();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+
+        // Per-node CPU parameters scale with a performance factor derived
+        // from the spec: clock speed dominates, the front-side bus and L2
+        // size modulate the per-byte (memory-bound) term.
+        let mut c = Vec::with_capacity(n);
+        let mut t = Vec::with_capacity(n);
+        for i in 0..n {
+            let ty = spec.node_type(i);
+            // Fixed delay: protocol-stack entry cost, faster clock → lower.
+            let c_base = 30e-6 + 60e-6 / ty.ghz.max(0.5);
+            // Per-byte delay: memcpy through the socket stack; slower bus
+            // and small L2 hurt it.
+            let bus_factor = 800.0 / ty.fsb_mhz.max(100) as f64;
+            let cache_factor = if ty.l2_kb < 512 { 1.5 } else { 1.0 };
+            let t_base = 5e-9 * bus_factor * cache_factor + 8e-9 / ty.ghz.max(0.5);
+            let jc = 1.0 + rng.gen_range(-base.node_jitter..=base.node_jitter);
+            let jt = 1.0 + rng.gen_range(-base.node_jitter..=base.node_jitter);
+            c.push(c_base * jc);
+            t.push(t_base * jt);
+        }
+
+        // Per-link parameters: single switch, so every pair is one hop with
+        // symmetric characteristics and small per-link jitter (cable/NIC
+        // variation).
+        let l = SymMatrix::from_fn(n, |_, _| {
+            base.latency * (1.0 + rng.gen_range(-base.link_jitter..=base.link_jitter))
+        });
+        let beta = SymMatrix::from_fn(n, |_, _| {
+            base.beta * (1.0 + rng.gen_range(-base.link_jitter..=base.link_jitter))
+        });
+
+        GroundTruth { c, t, l, beta }
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.c.len()
+    }
+
+    /// The ideal point-to-point time of the extended LMO model:
+    /// `C_i + L_ij + C_j + M(t_i + 1/β_ij + t_j)` — what a transfer costs in
+    /// the simulator when no irregularity fires and no other traffic
+    /// interferes.
+    pub fn p2p_time(&self, i: Rank, j: Rank, m: Bytes) -> f64 {
+        let mf = m as f64;
+        self.c[i.idx()]
+            + *self.l.get(i, j)
+            + self.c[j.idx()]
+            + mf * (self.t[i.idx()] + 1.0 / *self.beta.get(i, j) + self.t[j.idx()])
+    }
+}
+
+impl PointToPoint for GroundTruth {
+    fn p2p(&self, src: Rank, dst: Rank, m: Bytes) -> f64 {
+        self.p2p_time(src, dst, m)
+    }
+    fn n(&self) -> usize {
+        self.n()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let spec = ClusterSpec::paper_cluster();
+        let a = GroundTruth::synthesize(&spec, 7);
+        let b = GroundTruth::synthesize(&spec, 7);
+        assert_eq!(a, b);
+        let c = GroundTruth::synthesize(&spec, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn heterogeneity_reflects_spec() {
+        let spec = ClusterSpec::paper_cluster();
+        let g = GroundTruth::synthesize(&spec, 1);
+        assert_eq!(g.n(), 16);
+        // The Celeron (node 12, 2.9 GHz, 533 MHz FSB, 256 KB L2) must be the
+        // slowest processor in both fixed and per-byte terms.
+        let slowest_c = (0..16).max_by(|&a, &b| g.c[a].total_cmp(&g.c[b])).unwrap();
+        let slowest_t = (0..16).max_by(|&a, &b| g.t[a].total_cmp(&g.t[b])).unwrap();
+        // The Opteron at 1.8 GHz has the largest fixed delay; the Celeron,
+        // with its slow bus and small cache, the largest per-byte delay.
+        assert!([8, 9].contains(&slowest_c), "slowest C is node {slowest_c}");
+        assert_eq!(slowest_t, 12, "slowest t is the Celeron");
+        // The 3.6 GHz Xeons must be among the fastest.
+        assert!(g.c[0] < g.c[12]);
+        assert!(g.t[0] < g.t[12]);
+    }
+
+    #[test]
+    fn parameters_have_physical_magnitudes() {
+        let g = GroundTruth::synthesize(&ClusterSpec::paper_cluster(), 3);
+        for i in 0..16 {
+            assert!(g.c[i] > 10e-6 && g.c[i] < 200e-6, "C_{i} = {}", g.c[i]);
+            assert!(g.t[i] > 1e-9 && g.t[i] < 50e-9, "t_{i} = {}", g.t[i]);
+        }
+        for ((i, j), &l) in g.l.iter() {
+            assert!(l > 10e-6 && l < 100e-6, "L_{i}{j} = {l}");
+        }
+        for ((i, j), &b) in g.beta.iter() {
+            assert!(b > 8e6 && b < 16e6, "beta_{i}{j} = {b}");
+        }
+    }
+
+    #[test]
+    fn p2p_time_is_symmetric_and_linear_in_m() {
+        let g = GroundTruth::synthesize(&ClusterSpec::paper_cluster(), 5);
+        let (i, j) = (Rank(0), Rank(12));
+        // β symmetric and C/L enter symmetrically → p2p symmetric.
+        assert!((g.p2p_time(i, j, 4096) - g.p2p_time(j, i, 4096)).abs() < 1e-15);
+        // Linear: t(2M) - t(M) == t(3M) - t(2M).
+        let d1 = g.p2p_time(i, j, 2048) - g.p2p_time(i, j, 1024);
+        let d2 = g.p2p_time(i, j, 3072) - g.p2p_time(i, j, 2048);
+        assert!((d1 - d2).abs() < 1e-12);
+        // Zero-byte transfer still costs the fixed parts.
+        let zero = g.p2p_time(i, j, 0);
+        assert!((zero - (g.c[0] + g.l.get(i, j) + g.c[12])).abs() < 1e-15);
+    }
+
+    #[test]
+    fn homogeneous_cluster_is_nearly_uniform() {
+        let g = GroundTruth::synthesize_with(
+            &ClusterSpec::homogeneous(8),
+            2,
+            &SynthesisBaseline { node_jitter: 0.0, link_jitter: 0.0, ..Default::default() },
+        );
+        for i in 1..8 {
+            assert_eq!(g.c[i], g.c[0]);
+            assert_eq!(g.t[i], g.t[0]);
+        }
+        let first = *g.beta.get(Rank(0), Rank(1));
+        for (_, &b) in g.beta.iter() {
+            assert_eq!(b, first);
+        }
+    }
+
+    #[test]
+    fn network_generations_order_sensibly() {
+        let spec = ClusterSpec::homogeneous(4);
+        let fe = GroundTruth::synthesize_with(&spec, 1, &SynthesisBaseline::fast_ethernet());
+        let ge = GroundTruth::synthesize_with(&spec, 1, &SynthesisBaseline::gigabit());
+        let ib = GroundTruth::synthesize_with(
+            &spec,
+            1,
+            &SynthesisBaseline::low_latency_interconnect(),
+        );
+        let m = 64 * 1024;
+        let t_fe = fe.p2p_time(Rank(0), Rank(1), m);
+        let t_ge = ge.p2p_time(Rank(0), Rank(1), m);
+        let t_ib = ib.p2p_time(Rank(0), Rank(1), m);
+        assert!(t_fe > t_ge && t_ge > t_ib, "{t_fe} > {t_ge} > {t_ib}");
+        // On the fast interconnect the processor terms dominate: removing
+        // them would more than halve the time.
+        let proc_part = m as f64 * (ib.t[0] + ib.t[1]) + ib.c[0] + ib.c[1];
+        assert!(proc_part > 0.5 * t_ib, "proc {proc_part} of {t_ib}");
+    }
+
+    #[test]
+    fn implements_point_to_point_trait() {
+        let g = GroundTruth::synthesize(&ClusterSpec::paper_cluster(), 5);
+        let m: &dyn PointToPoint = &g;
+        assert_eq!(m.n(), 16);
+        assert!(!m.is_homogeneous());
+        assert!(m.p2p(Rank(0), Rank(1), 1024) > 0.0);
+    }
+}

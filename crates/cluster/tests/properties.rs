@@ -1,0 +1,93 @@
+//! Property-based tests for cluster specification and ground-truth
+//! synthesis.
+
+use cpm_cluster::{ClusterConfig, ClusterSpec, GroundTruth, MpiProfile, SynthesisBaseline};
+use cpm_core::rank::Rank;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Synthesis produces physically sane parameters for any seed and any
+    /// homogeneous cluster size.
+    #[test]
+    fn synthesis_physical_ranges(n in 2usize..32, seed in 0u64..10_000) {
+        let g = GroundTruth::synthesize(&ClusterSpec::homogeneous(n), seed);
+        prop_assert_eq!(g.n(), n);
+        for i in 0..n {
+            prop_assert!(g.c[i] > 0.0 && g.c[i] < 1e-3);
+            prop_assert!(g.t[i] > 0.0 && g.t[i] < 1e-6);
+        }
+        for (_, &l) in g.l.iter() {
+            prop_assert!(l > 0.0 && l < 1e-3);
+        }
+        for (_, &b) in g.beta.iter() {
+            prop_assert!(b > 1e5 && b < 1e10);
+        }
+    }
+
+    /// p2p time is symmetric, monotone in M, and additive in the expected
+    /// way: T(M) − T(0) is proportional to M.
+    #[test]
+    fn p2p_time_laws(seed in 0u64..10_000, m in 1u64..1_000_000) {
+        let g = GroundTruth::synthesize(&ClusterSpec::paper_cluster(), seed);
+        let (i, j) = (Rank(2), Rank(13));
+        prop_assert!((g.p2p_time(i, j, m) - g.p2p_time(j, i, m)).abs() < 1e-15);
+        prop_assert!(g.p2p_time(i, j, m) > g.p2p_time(i, j, 0));
+        // Linearity: slope computed from two points matches a third.
+        let slope = (g.p2p_time(i, j, m) - g.p2p_time(i, j, 0)) / m as f64;
+        let predicted = g.p2p_time(i, j, 0) + slope * (2 * m) as f64;
+        prop_assert!((g.p2p_time(i, j, 2 * m) - predicted).abs() < 1e-12);
+    }
+
+    /// Jitter bounds are honoured: all links stay within ±jitter of the
+    /// baseline.
+    #[test]
+    fn jitter_bounds(seed in 0u64..10_000, jitter in 0.0f64..0.3) {
+        let base = SynthesisBaseline {
+            beta: 12e6,
+            latency: 40e-6,
+            link_jitter: jitter,
+            node_jitter: 0.0,
+        };
+        let g = GroundTruth::synthesize_with(&ClusterSpec::homogeneous(6), seed, &base);
+        for (_, &b) in g.beta.iter() {
+            prop_assert!(b >= 12e6 * (1.0 - jitter) - 1e-6);
+            prop_assert!(b <= 12e6 * (1.0 + jitter) + 1e-6);
+        }
+        for (_, &l) in g.l.iter() {
+            prop_assert!(l >= 40e-6 * (1.0 - jitter) - 1e-18);
+            prop_assert!(l <= 40e-6 * (1.0 + jitter) + 1e-18);
+        }
+    }
+
+    /// Configs round-trip through JSON for arbitrary seeds and profiles.
+    #[test]
+    fn config_json_roundtrip(seed in 0u64..10_000, which in 0u8..3) {
+        let cfg = match which {
+            0 => ClusterConfig::paper_lam(seed),
+            1 => ClusterConfig::paper_mpich(seed),
+            _ => ClusterConfig::ideal(ClusterSpec::homogeneous(4), seed),
+        };
+        let back = ClusterConfig::from_json(&cfg.to_json()).unwrap();
+        prop_assert_eq!(&back, &cfg);
+        prop_assert_eq!(back.ground_truth(), cfg.ground_truth());
+    }
+
+    /// Profile classification is a partition: every size is exactly one of
+    /// small/medium/large (with "small" meaning neither of the others).
+    #[test]
+    fn profile_partition(m in 0u64..1_000_000) {
+        for p in [MpiProfile::lam_7_1_3(), MpiProfile::mpich_1_2_7()] {
+            let medium = p.is_medium(m);
+            let large = p.is_large(m);
+            prop_assert!(!(medium && large));
+            if m <= p.m1 {
+                prop_assert!(!medium && !large);
+            }
+            if m >= p.m2 {
+                prop_assert!(large && !medium);
+            }
+        }
+    }
+}

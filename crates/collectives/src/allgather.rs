@@ -1,0 +1,180 @@
+//! All-gather.
+//!
+//! Every rank contributes an `m`-byte block and ends up with all `n`
+//! blocks. The classic *ring* algorithm runs `n−1` steps; in step `k` each
+//! rank forwards to its right neighbour the block it received in step
+//! `k−1` (starting with its own), so every link carries exactly one block
+//! per step and the switch sees a perfect matching per step.
+
+use cpm_core::rank::Rank;
+use cpm_core::traits::PointToPoint;
+use cpm_core::units::Bytes;
+use cpm_vmpi::Comm;
+
+/// Ring all-gather: `n−1` steps of simultaneous neighbour exchange.
+///
+/// All ranks must call this collectively.
+pub fn ring_allgather(c: &mut Comm<'_>, m: Bytes) {
+    let n = c.size();
+    if n == 1 {
+        return;
+    }
+    let me = c.rank().idx();
+    let right = Rank::from((me + 1) % n);
+    let left = Rank::from((me + n - 1) % n);
+    for _step in 0..n - 1 {
+        // Even ranks send first to break the cycle; with n ≥ 2 and a ring
+        // there is always at least one even and the pattern drains.
+        if me.is_multiple_of(2) {
+            c.send(right, m);
+            let _ = c.recv(left);
+        } else {
+            let _ = c.recv(left);
+            c.send(right, m);
+        }
+    }
+}
+
+/// Ring all-gather using overlapped exchanges (`MPI_Sendrecv`): each step
+/// sends right and receives left *concurrently*, so a step costs one
+/// point-to-point time instead of the blocking ring's two phases.
+///
+/// All ranks must call this collectively.
+pub fn ring_allgather_overlap(c: &mut Comm<'_>, m: Bytes) {
+    let n = c.size();
+    if n == 1 {
+        return;
+    }
+    let me = c.rank().idx();
+    let right = Rank::from((me + 1) % n);
+    let left = Rank::from((me + n - 1) % n);
+    for _step in 0..n - 1 {
+        let _ = c.sendrecv_exchange(right, m, left);
+    }
+}
+
+/// Prediction for [`ring_allgather_overlap`]: `n−1` steps of one slowest
+/// neighbour transfer each.
+pub fn predict_ring_allgather_overlap<M: PointToPoint + ?Sized>(
+    model: &M,
+    m: Bytes,
+) -> f64 {
+    let n = model.n();
+    if n <= 1 {
+        return 0.0;
+    }
+    let step_max = (0..n)
+        .map(|r| model.p2p(Rank::from(r), Rank::from((r + 1) % n), m))
+        .fold(0.0, f64::max);
+    (n - 1) as f64 * step_max
+}
+
+/// The LMO-style prediction of the (blocking) ring all-gather: `n−1`
+/// serialized steps, each of which runs in **two phases** — the even ranks
+/// send while the odd ranks receive, then the roles flip (blocking
+/// send/recv cannot overlap the two directions the way a nonblocking
+/// `MPI_Sendrecv` ring would). Each phase costs the slowest neighbour
+/// transfer active in it.
+pub fn predict_ring_allgather<M: PointToPoint + ?Sized>(model: &M, m: Bytes) -> f64 {
+    let n = model.n();
+    if n <= 1 {
+        return 0.0;
+    }
+    let step_max = (0..n)
+        .map(|r| model.p2p(Rank::from(r), Rank::from((r + 1) % n), m))
+        .fold(0.0, f64::max);
+    (n - 1) as f64 * 2.0 * step_max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::collective_times;
+    use cpm_cluster::{ClusterSpec, GroundTruth, MpiProfile};
+    use cpm_core::units::KIB;
+    use cpm_netsim::SimCluster;
+    use cpm_vmpi::run;
+
+    fn cluster(n: usize) -> SimCluster {
+        let truth = GroundTruth::synthesize(&ClusterSpec::homogeneous(n), 6);
+        SimCluster::new(truth, MpiProfile::ideal(), 0.0, 6)
+    }
+
+    #[test]
+    fn moves_the_right_number_of_blocks() {
+        for n in [2usize, 5, 8] {
+            let cl = cluster(n);
+            let out = run(&cl, |c| ring_allgather(c, KIB)).unwrap();
+            assert_eq!(out.stats.msgs_sent, n * (n - 1), "n={n}");
+            assert_eq!(out.stats.msgs_received, n * (n - 1), "n={n}");
+        }
+    }
+
+    #[test]
+    fn single_rank_is_a_no_op() {
+        let cl = cluster(1);
+        let out = run(&cl, |c| ring_allgather(c, KIB)).unwrap();
+        assert_eq!(out.stats.msgs_sent, 0);
+        assert_eq!(out.end_time, 0.0);
+    }
+
+    #[test]
+    fn prediction_bounds_the_observation() {
+        for n in [4usize, 7, 8] {
+            let cl = cluster(n);
+            let m = 8 * KIB;
+            let obs = collective_times(&cl, Rank(0), 1, 1, |c| ring_allgather(c, m))
+                .unwrap()[0];
+            let pred = predict_ring_allgather(&cl.truth, m);
+            assert!(obs <= pred * 1.05, "n={n}: obs {obs} vs bound {pred}");
+            assert!(obs >= pred * 0.4, "n={n}: obs {obs} vs {pred}");
+        }
+    }
+
+    #[test]
+    fn overlapped_ring_halves_the_blocking_ring() {
+        let n = 8;
+        let cl = cluster(n);
+        let m = 16 * KIB;
+        let blocking = collective_times(&cl, Rank(0), 1, 1, |c| {
+            ring_allgather(c, m)
+        })
+        .unwrap()[0];
+        let overlapped = collective_times(&cl, Rank(0), 1, 1, |c| {
+            ring_allgather_overlap(c, m)
+        })
+        .unwrap()[0];
+        let ratio = blocking / overlapped;
+        assert!(ratio > 1.6 && ratio < 2.2, "ratio {ratio}");
+        // And the overlapped observation matches its tighter prediction.
+        let pred = predict_ring_allgather_overlap(&cl.truth, m);
+        assert!(
+            (overlapped - pred).abs() / pred < 0.15,
+            "obs {overlapped} vs pred {pred}"
+        );
+    }
+
+    #[test]
+    fn overlapped_ring_conserves_messages() {
+        let n = 6;
+        let cl = cluster(n);
+        let out = cpm_vmpi::run(&cl, |c| ring_allgather_overlap(c, KIB)).unwrap();
+        assert_eq!(out.stats.msgs_sent, n * (n - 1));
+        assert_eq!(out.stats.msgs_received, n * (n - 1));
+    }
+
+    #[test]
+    fn cost_grows_linearly_with_n() {
+        let m = 4 * KIB;
+        let t4 = collective_times(&cluster(4), Rank(0), 1, 1, |c| {
+            ring_allgather(c, m)
+        })
+        .unwrap()[0];
+        let t8 = collective_times(&cluster(8), Rank(0), 1, 1, |c| {
+            ring_allgather(c, m)
+        })
+        .unwrap()[0];
+        let ratio = t8 / t4;
+        assert!(ratio > 1.8 && ratio < 3.0, "ratio {ratio}");
+    }
+}

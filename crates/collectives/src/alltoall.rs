@@ -1,0 +1,123 @@
+//! All-to-all exchange.
+//!
+//! The heaviest regular communication pattern: every rank sends a distinct
+//! `m`-byte block to every other rank. It exercises the simulator's
+//! contention model hardest — n·(n−1) simultaneous flows, every node both
+//! saturating its tx engine and serializing its rx engine — and gives the
+//! models a pattern whose cost is *not* root-centric.
+
+use cpm_core::rank::Rank;
+use cpm_core::traits::PointToPoint;
+use cpm_core::units::Bytes;
+use cpm_vmpi::Comm;
+
+/// Linear (pairwise-rotation) all-to-all: in round `k = 1..n`, rank `r`
+/// sends to `r + k (mod n)` and receives from `r − k (mod n)`. Every pair
+/// exchanges exactly once per direction and no two ranks target the same
+/// receiver in the same round, so the switch carries a perfect matching at
+/// a time.
+///
+/// All ranks must call this collectively.
+pub fn linear_alltoall(c: &mut Comm<'_>, m: Bytes) {
+    let n = c.size();
+    let me = c.rank().idx();
+    for k in 1..n {
+        let dst = Rank::from((me + k) % n);
+        let src = Rank::from((me + n - k) % n);
+        c.send(dst, m);
+        let _ = c.recv(src);
+    }
+}
+
+/// The LMO-style prediction for the rotation all-to-all: each of the `n−1`
+/// rounds costs one full point-to-point exchange on the slowest pair active
+/// in that round (transfers within a round parallelize across the switch;
+/// rounds serialize because every rank must finish its receive before the
+/// next send).
+pub fn predict_linear_alltoall<M: PointToPoint + ?Sized>(model: &M, m: Bytes) -> f64 {
+    let n = model.n();
+    let mut total = 0.0;
+    for k in 1..n {
+        let round_max = (0..n)
+            .map(|r| model.p2p(Rank::from(r), Rank::from((r + k) % n), m))
+            .fold(0.0, f64::max);
+        total += round_max;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::collective_times;
+    use cpm_cluster::{ClusterSpec, GroundTruth, MpiProfile};
+    use cpm_core::units::KIB;
+    use cpm_netsim::SimCluster;
+    use cpm_vmpi::run;
+
+    fn cluster(n: usize) -> SimCluster {
+        let spec = if n == 16 {
+            ClusterSpec::paper_cluster()
+        } else {
+            ClusterSpec::homogeneous(n)
+        };
+        let truth = GroundTruth::synthesize(&spec, 4);
+        SimCluster::new(truth, MpiProfile::ideal(), 0.0, 4)
+    }
+
+    #[test]
+    fn conserves_all_pairs() {
+        let n = 8;
+        let cl = cluster(n);
+        let out = run(&cl, |c| linear_alltoall(c, 2 * KIB)).unwrap();
+        assert_eq!(out.stats.msgs_sent, n * (n - 1));
+        assert_eq!(out.stats.msgs_received, n * (n - 1));
+    }
+
+    #[test]
+    fn completes_on_the_heterogeneous_cluster() {
+        let cl = cluster(16);
+        let t = collective_times(&cl, Rank(0), 1, 1, |c| linear_alltoall(c, 4 * KIB))
+            .unwrap()[0];
+        assert!(t > 0.0);
+        // All-to-all moves (n-1)× the bytes of a scatter at equal m; it
+        // must cost more than a single scatter.
+        let scatter = crate::measure::linear_scatter_once(&cl, Rank(0), 4 * KIB);
+        assert!(t > scatter, "alltoall {t} vs scatter {scatter}");
+    }
+
+    #[test]
+    fn prediction_tracks_observation_on_ideal_cluster() {
+        let cl = cluster(8);
+        let truth = cl.truth.clone();
+        let m = 8 * KIB;
+        let obs = collective_times(&cl, Rank(0), 1, 1, |c| linear_alltoall(c, m))
+            .unwrap()[0];
+        let pred = predict_linear_alltoall(&truth, m);
+        // The blocking rotation couples rounds loosely (a slow pair delays
+        // only its members), so the max-per-round prediction is an upper
+        // bound within a modest factor.
+        assert!(obs <= pred * 1.05, "obs {obs} vs upper-bound {pred}");
+        assert!(obs >= pred * 0.5, "obs {obs} vs {pred}");
+    }
+
+    #[test]
+    fn two_ranks_degenerate_to_a_single_exchange() {
+        let cl = cluster(2);
+        let truth = cl.truth.clone();
+        let m = 4 * KIB;
+        let out = run(&cl, |c| {
+            let t0 = c.wtime();
+            linear_alltoall(c, m);
+            c.wtime() - t0
+        })
+        .unwrap();
+        // Both ranks send then receive; the exchange is symmetric and both
+        // finish when the slower direction completes.
+        let p2p = truth.p2p_time(Rank(0), Rank(1), m);
+        for t in &out.results {
+            assert!(*t < 2.0 * p2p, "{t} vs p2p {p2p}");
+            assert!(*t > 0.5 * p2p);
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! # cpm-collectives
+//!
+//! Collective communication algorithms, implemented as real message-passing
+//! programs over `cpm-vmpi` (so their execution times *emerge* from the
+//! simulator rather than from a formula), plus model-driven optimization:
+//!
+//! * [`scatter`] — the linear (flat-tree) and binomial algorithms;
+//! * [`gather`] — the linear and binomial algorithms;
+//! * [`bcast`] — linear and binomial broadcast (the "any collective"
+//!   claim exercised on a third operation);
+//! * [`alltoall`] — the pairwise-rotation exchange, the heaviest regular
+//!   pattern, with its LMO-style prediction;
+//! * [`allgather`] — the ring algorithm, a perfect matching per step;
+//! * [`reduce`] — linear and binomial reduce, the first collective with a
+//!   computation term the network-only models cannot express;
+//! * [`scatterv`] — variable-block scatter/gather plus model-driven
+//!   heterogeneous data partitioning (equalize every receiver's tail);
+//! * [`optimized`] — the LMO-based optimized gather of the paper's Fig. 7:
+//!   medium messages are split into sub-`M1` pieces gathered in series,
+//!   dodging the escalation region (the paper gained ~10×);
+//! * [`select`] — model-based algorithm selection (Fig. 6): predict linear
+//!   vs binomial with a model and pick the winner;
+//! * [`mapping`] — heterogeneous mapping of processors onto binomial-tree
+//!   positions, the Hatta-style optimization the introduction motivates;
+//! * [`tuned`] — [`TunedCollectives`], the model-backed dispatcher a
+//!   downstream application uses: estimate once, then every collective
+//!   call picks its algorithm from the model (the paper's companion
+//!   software tool \[13\]);
+//! * [`measure`] — the observation harness: barrier-synchronized
+//!   repetitions timed on the root.
+
+pub mod allgather;
+pub mod alltoall;
+pub mod bcast;
+pub mod gather;
+pub mod mapping;
+pub mod measure;
+pub mod optimized;
+pub mod reduce;
+pub mod scatter;
+pub mod scatterv;
+pub mod select;
+pub mod tuned;
+
+pub use allgather::{ring_allgather, ring_allgather_overlap};
+pub use alltoall::linear_alltoall;
+pub use bcast::{binomial_bcast, linear_bcast};
+pub use gather::{binomial_gather, linear_gather};
+pub use optimized::optimized_gather;
+pub use reduce::{binomial_reduce, linear_reduce};
+pub use scatter::{binomial_scatter, linear_scatter};
+pub use scatterv::{balanced_partition, linear_gatherv, linear_scatterv};
+pub use select::{select_scatter_algorithm, ScatterAlgorithm};
+pub use tuned::TunedCollectives;

@@ -1,0 +1,207 @@
+//! Heterogeneous mapping of processors onto binomial-tree positions.
+//!
+//! On a heterogeneous cluster the execution time of a binomial collective
+//! depends on which processor occupies which tree position (the paper:
+//! "the communication execution time associated with each sub-tree will
+//! also depend on mapping of the processors of the cluster to the nodes of
+//! the binomial communication tree"; Hatta et al. built optimal trees this
+//! way). A heterogeneous model makes the mapping optimizable: evaluate the
+//! recursive prediction (paper eq. (1)) per candidate mapping and keep the
+//! best.
+//!
+//! Exhaustive search is factorial; [`optimize_mapping`] uses it for tiny
+//! clusters and a greedy heuristic — fastest processors at the positions
+//! with the most forwarding work — beyond that.
+
+use cpm_core::rank::Rank;
+use cpm_core::traits::PointToPoint;
+use cpm_core::tree::BinomialTree;
+use cpm_core::units::Bytes;
+use cpm_models::collective::binomial_recursive;
+
+/// A mapping and its predicted binomial scatter/gather time.
+#[derive(Clone, Debug)]
+pub struct MappingChoice {
+    pub tree: BinomialTree,
+    pub predicted: f64,
+}
+
+/// Evaluates the recursive prediction for an explicit mapping.
+pub fn evaluate_mapping<M: PointToPoint + ?Sized>(
+    model: &M,
+    root: Rank,
+    mapping: Vec<Rank>,
+    m: Bytes,
+) -> MappingChoice {
+    let tree = BinomialTree::with_mapping(mapping.len(), root, mapping);
+    let predicted = binomial_recursive(model, &tree, m);
+    MappingChoice { tree, predicted }
+}
+
+/// Finds a good processor-to-tree-position mapping for the binomial
+/// algorithm rooted at `root`.
+///
+/// For `n ≤ exhaustive_limit` every permutation is scored; otherwise a
+/// greedy heuristic assigns the fastest processors (smallest
+/// `p2p(root, ·, m)` from the root) to the virtual ranks with the largest
+/// sub-trees.
+pub fn optimize_mapping<M: PointToPoint + ?Sized>(
+    model: &M,
+    root: Rank,
+    m: Bytes,
+    exhaustive_limit: usize,
+) -> MappingChoice {
+    let n = model.n();
+    assert!(root.idx() < n, "root out of range");
+    if n <= exhaustive_limit {
+        exhaustive(model, root, m)
+    } else {
+        greedy(model, root, m)
+    }
+}
+
+fn exhaustive<M: PointToPoint + ?Sized>(model: &M, root: Rank, m: Bytes) -> MappingChoice {
+    let n = model.n();
+    let mut rest: Vec<Rank> =
+        (0..n).map(Rank::from).filter(|r| *r != root).collect();
+    let mut best: Option<MappingChoice> = None;
+    permute(&mut rest, 0, &mut |perm| {
+        let mut mapping = Vec::with_capacity(n);
+        mapping.push(root);
+        mapping.extend_from_slice(perm);
+        let cand = evaluate_mapping(model, root, mapping, m);
+        if best.as_ref().is_none_or(|b| cand.predicted < b.predicted) {
+            best = Some(cand);
+        }
+    });
+    best.expect("at least the identity mapping")
+}
+
+fn permute<T: Copy>(items: &mut [T], k: usize, f: &mut impl FnMut(&[T])) {
+    if k == items.len() {
+        f(items);
+        return;
+    }
+    for i in k..items.len() {
+        items.swap(k, i);
+        permute(items, k + 1, f);
+        items.swap(k, i);
+    }
+}
+
+fn greedy<M: PointToPoint + ?Sized>(model: &M, root: Rank, m: Bytes) -> MappingChoice {
+    let n = model.n();
+    // Virtual ranks sorted by descending sub-tree size: positions that
+    // forward the most data get the fastest processors.
+    let probe = BinomialTree::new(n, root);
+    let mut positions: Vec<usize> = (1..n).collect();
+    positions.sort_by(|&a, &b| {
+        let sa = probe.subtree_size(probe.process_at(a));
+        let sb = probe.subtree_size(probe.process_at(b));
+        sb.cmp(&sa).then(a.cmp(&b))
+    });
+    // Processors sorted by ascending cost from the root at this size.
+    let mut procs: Vec<Rank> =
+        (0..n).map(Rank::from).filter(|r| *r != root).collect();
+    procs.sort_by(|&a, &b| {
+        model
+            .p2p(root, a, m)
+            .total_cmp(&model.p2p(root, b, m))
+            .then(a.cmp(&b))
+    });
+
+    let mut mapping = vec![root; n];
+    for (pos, proc_) in positions.into_iter().zip(procs) {
+        mapping[pos] = proc_;
+    }
+    evaluate_mapping(model, root, mapping, m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpm_core::matrix::SymMatrix;
+    use cpm_models::{GatherEmpirics, LmoExtended};
+
+    /// One slow processor (index 3): C and t an order of magnitude worse.
+    fn skewed(n: usize) -> LmoExtended {
+        let mut c = vec![30e-6; n];
+        let mut t = vec![5e-9; n];
+        c[3] = 300e-6;
+        t[3] = 50e-9;
+        LmoExtended::new(
+            c,
+            t,
+            SymMatrix::filled(n, 40e-6),
+            SymMatrix::filled(n, 12e6),
+            GatherEmpirics::none(),
+        )
+    }
+
+    #[test]
+    fn exhaustive_never_loses_to_default() {
+        let m = skewed(8);
+        let default = evaluate_mapping(
+            &m,
+            Rank(0),
+            (0..8usize).map(Rank::from).collect(),
+            16 * 1024,
+        );
+        let best = optimize_mapping(&m, Rank(0), 16 * 1024, 8);
+        assert!(best.predicted <= default.predicted + 1e-15);
+    }
+
+    #[test]
+    fn optimum_pushes_the_slow_processor_to_a_leaf() {
+        let m = skewed(8);
+        let best = optimize_mapping(&m, Rank(0), 16 * 1024, 8);
+        // The slow processor must not forward anything.
+        assert_eq!(
+            best.tree.children_of(Rank(3)),
+            vec![],
+            "slow node should be a leaf; tree arcs: {:?}",
+            best.tree.arcs()
+        );
+    }
+
+    #[test]
+    fn greedy_matches_exhaustive_on_small_skewed_cluster() {
+        let m = skewed(8);
+        let ex = optimize_mapping(&m, Rank(0), 16 * 1024, 8);
+        let gr = optimize_mapping(&m, Rank(0), 16 * 1024, 0);
+        // Greedy is within 25% of optimal here (it also makes the slow
+        // node a leaf).
+        assert!(gr.predicted <= ex.predicted * 1.25, "{} vs {}", gr.predicted, ex.predicted);
+        assert_eq!(gr.tree.children_of(Rank(3)), vec![]);
+    }
+
+    #[test]
+    fn homogeneous_model_is_mapping_invariant() {
+        let n = 8;
+        let uniform = LmoExtended::new(
+            vec![30e-6; n],
+            vec![5e-9; n],
+            SymMatrix::filled(n, 40e-6),
+            SymMatrix::filled(n, 12e6),
+            GatherEmpirics::none(),
+        );
+        let a = evaluate_mapping(
+            &uniform,
+            Rank(0),
+            (0..n).map(Rank::from).collect(),
+            8192,
+        );
+        let mut rev: Vec<Rank> = (0..n).map(Rank::from).collect();
+        rev[1..].reverse();
+        let b = evaluate_mapping(&uniform, Rank(0), rev, 8192);
+        assert!((a.predicted - b.predicted).abs() < 1e-15);
+    }
+
+    #[test]
+    fn greedy_handles_nonzero_root() {
+        let m = skewed(9);
+        let best = optimize_mapping(&m, Rank(2), 4096, 0);
+        assert_eq!(best.tree.root(), Rank(2));
+        assert!(best.predicted > 0.0);
+    }
+}

@@ -1,0 +1,167 @@
+//! The observation harness.
+//!
+//! Collectives are measured the way MPIBlib measures them: repetitions
+//! separated by a global barrier, with the operation's completion time
+//! taken as the maximum local duration over all ranks (all ranks leave the
+//! barrier together). The sender-side timing the paper recommends for the
+//! *estimation* experiments lives in `cpm-estimate`; for observing whole
+//! collectives the max-time method senses the true completion (a root-only
+//! timer would miss the tail of a scatter).
+
+use cpm_core::error::Result;
+use cpm_core::rank::Rank;
+use cpm_core::tree::BinomialTree;
+use cpm_core::units::Bytes;
+use cpm_netsim::SimCluster;
+use cpm_vmpi::{run_timed_max, Comm};
+
+use crate::gather::{binomial_gather, linear_gather};
+use crate::optimized::optimized_gather;
+use crate::scatter::{binomial_scatter, linear_scatter};
+use cpm_models::GatherEmpirics;
+
+/// Measures any collective `op` `reps` times, returning per-repetition
+/// completion times (max-time over ranks).
+pub fn collective_times<F>(
+    cluster: &SimCluster,
+    _root: Rank,
+    reps: usize,
+    seed: u64,
+    op: F,
+) -> Result<Vec<f64>>
+where
+    F: Fn(&mut Comm<'_>) + Sync,
+{
+    run_timed_max(&cluster.reseeded(seed), reps, |c, _| op(c))
+}
+
+/// Root-side times of `reps` linear scatters.
+pub fn linear_scatter_times(
+    cluster: &SimCluster,
+    root: Rank,
+    m: Bytes,
+    reps: usize,
+    seed: u64,
+) -> Result<Vec<f64>> {
+    collective_times(cluster, root, reps, seed, |c| linear_scatter(c, root, m))
+}
+
+/// Root-side times of `reps` linear gathers.
+pub fn linear_gather_times(
+    cluster: &SimCluster,
+    root: Rank,
+    m: Bytes,
+    reps: usize,
+    seed: u64,
+) -> Result<Vec<f64>> {
+    collective_times(cluster, root, reps, seed, |c| linear_gather(c, root, m))
+}
+
+/// Root-side times of `reps` binomial scatters (conventional tree mapping).
+pub fn binomial_scatter_times(
+    cluster: &SimCluster,
+    root: Rank,
+    m: Bytes,
+    reps: usize,
+    seed: u64,
+) -> Result<Vec<f64>> {
+    let tree = BinomialTree::new(cluster.n(), root);
+    collective_times(cluster, root, reps, seed, |c| binomial_scatter(c, &tree, m))
+}
+
+/// Root-side times of `reps` binomial gathers.
+pub fn binomial_gather_times(
+    cluster: &SimCluster,
+    root: Rank,
+    m: Bytes,
+    reps: usize,
+    seed: u64,
+) -> Result<Vec<f64>> {
+    let tree = BinomialTree::new(cluster.n(), root);
+    collective_times(cluster, root, reps, seed, |c| binomial_gather(c, &tree, m))
+}
+
+/// Root-side times of `reps` optimized gathers.
+pub fn optimized_gather_times(
+    cluster: &SimCluster,
+    root: Rank,
+    m: Bytes,
+    empirics: &GatherEmpirics,
+    reps: usize,
+    seed: u64,
+) -> Result<Vec<f64>> {
+    collective_times(cluster, root, reps, seed, |c| {
+        optimized_gather(c, root, m, empirics)
+    })
+}
+
+/// One linear scatter observation (first repetition).
+pub fn linear_scatter_once(cluster: &SimCluster, root: Rank, m: Bytes) -> f64 {
+    linear_scatter_times(cluster, root, m, 1, cluster.seed).expect("simulation runs")[0]
+}
+
+/// One linear gather observation.
+pub fn linear_gather_once(cluster: &SimCluster, root: Rank, m: Bytes) -> f64 {
+    linear_gather_times(cluster, root, m, 1, cluster.seed).expect("simulation runs")[0]
+}
+
+/// One binomial scatter observation rooted at 0.
+pub fn binomial_scatter_once(cluster: &SimCluster, root: Rank, m: Bytes) -> f64 {
+    binomial_scatter_times(cluster, root, m, 1, cluster.seed).expect("simulation runs")
+        [0]
+}
+
+/// One binomial scatter observation with an arbitrary root (alias kept for
+/// clarity at call sites exercising non-zero roots).
+pub fn binomial_scatter_once_rooted(
+    cluster: &SimCluster,
+    root: Rank,
+    m: Bytes,
+) -> f64 {
+    binomial_scatter_once(cluster, root, m)
+}
+
+/// One binomial gather observation.
+pub fn binomial_gather_once(cluster: &SimCluster, root: Rank, m: Bytes) -> f64 {
+    binomial_gather_times(cluster, root, m, 1, cluster.seed).expect("simulation runs")[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpm_cluster::{ClusterSpec, GroundTruth, MpiProfile};
+    use cpm_core::units::KIB;
+
+    fn cluster() -> SimCluster {
+        let truth = GroundTruth::synthesize(&ClusterSpec::homogeneous(4), 1);
+        SimCluster::new(truth, MpiProfile::ideal(), 0.0, 1)
+    }
+
+    #[test]
+    fn repetitions_are_stable_without_noise() {
+        let cl = cluster();
+        let ts = linear_scatter_times(&cl, Rank(0), 4 * KIB, 5, 1).unwrap();
+        assert_eq!(ts.len(), 5);
+        for t in &ts {
+            assert!((t - ts[0]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn noise_makes_repetitions_vary() {
+        let truth = GroundTruth::synthesize(&ClusterSpec::homogeneous(4), 1);
+        let cl = SimCluster::new(truth, MpiProfile::ideal(), 0.02, 1);
+        let ts = linear_scatter_times(&cl, Rank(0), 4 * KIB, 6, 1).unwrap();
+        let spread = ts.iter().cloned().fold(0.0f64, f64::max)
+            - ts.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(spread > 0.0);
+    }
+
+    #[test]
+    fn once_helpers_agree_with_times() {
+        let cl = cluster();
+        let once = linear_gather_once(&cl, Rank(0), KIB);
+        let times = linear_gather_times(&cl, Rank(0), KIB, 1, cl.seed).unwrap();
+        assert_eq!(once, times[0]);
+    }
+}

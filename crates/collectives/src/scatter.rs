@@ -1,0 +1,153 @@
+//! Scatter algorithms.
+//!
+//! `MPI_Scatter` distributes `n` distinct blocks of `m` bytes from the root,
+//! one per process. The *linear* (flat-tree) algorithm sends each block
+//! directly; on a switched cluster the root's per-message processing
+//! serializes while the transfers and the receivers' processing parallelize
+//! — the structure LMO's eq. (4) captures. The *binomial* algorithm
+//! forwards halves of the buffer down a binomial tree: `⌈log₂n⌉` rounds at
+//! the price of moving each block multiple times.
+
+use cpm_core::rank::Rank;
+use cpm_core::tree::BinomialTree;
+use cpm_core::units::Bytes;
+use cpm_vmpi::Comm;
+
+/// Linear scatter: the root sends one `m`-byte block to every other rank,
+/// in increasing rank order; every other rank receives its block.
+///
+/// All ranks must call this collectively.
+pub fn linear_scatter(c: &mut Comm<'_>, root: Rank, m: Bytes) {
+    let n = c.size();
+    assert!(root.idx() < n, "root out of range");
+    if c.rank() == root {
+        for i in 0..n {
+            if i != root.idx() {
+                c.send(Rank::from(i), m);
+            }
+        }
+    } else {
+        let _ = c.recv(root);
+    }
+}
+
+/// Binomial scatter along `tree`: every non-root receives its sub-tree's
+/// blocks from its parent, then forwards each child's share, largest
+/// sub-tree first (the paper: "the largest messages 2^k·M are sent first").
+///
+/// `m` is the per-process block size; the message on an arc carries
+/// `blocks·m` bytes. All ranks in the tree must call this collectively.
+pub fn binomial_scatter(c: &mut Comm<'_>, tree: &BinomialTree, m: Bytes) {
+    let me = c.rank();
+    if let Some(parent) = tree.parent_of(me) {
+        let _ = c.recv(parent);
+    }
+    for (child, blocks) in tree.children_of(me) {
+        c.send(child, blocks * m);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure;
+    use cpm_cluster::{ClusterSpec, GroundTruth, MpiProfile};
+    use cpm_core::units::KIB;
+    use cpm_netsim::SimCluster;
+
+    fn cluster(n: usize) -> SimCluster {
+        let spec = if n == 16 {
+            ClusterSpec::paper_cluster()
+        } else {
+            ClusterSpec::homogeneous(n)
+        };
+        let truth = GroundTruth::synthesize(&spec, 2);
+        SimCluster::new(truth, MpiProfile::ideal(), 0.0, 2)
+    }
+
+    #[test]
+    fn linear_scatter_root_time_matches_lmo_structure() {
+        // Without irregularities the root-side time is the serial tx part
+        // plus the slowest tail — eq. (4)'s shape, except the DES lets
+        // early transfers overlap later tx slots, so the observation is
+        // bounded by the formula.
+        let cl = cluster(16);
+        let truth = cl.truth.clone();
+        let m = 16 * KIB;
+        let root = Rank(0);
+        let t = measure::linear_scatter_once(&cl, root, m);
+
+        let serial: f64 = 15.0 * (truth.c[0] + m as f64 * truth.t[0]);
+        let max_tail = (1..16usize)
+            .map(|i| {
+                *truth.l.get(root, Rank::from(i))
+                    + m as f64 / *truth.beta.get(root, Rank::from(i))
+                    + truth.c[i]
+                    + m as f64 * truth.t[i]
+            })
+            .fold(0.0, f64::max);
+        assert!(t >= serial, "root must pay the serial part: {t} vs {serial}");
+        assert!(
+            t <= serial + max_tail + 1e-9,
+            "observation {t} exceeds eq. (4) bound {}",
+            serial + max_tail
+        );
+    }
+
+    #[test]
+    fn linear_scatter_completion_sensed_by_receivers() {
+        // Every receiver gets exactly its block; receivers finish in a
+        // wave, the last no earlier than the serial part.
+        let cl = cluster(8);
+        let out = cpm_vmpi::run(&cl, |c| {
+            linear_scatter(c, Rank(0), 4 * KIB);
+            c.wtime()
+        })
+        .unwrap();
+        let root_done = out.results[0];
+        let last = out.results.iter().copied().fold(0.0, f64::max);
+        assert!(last >= root_done, "some receiver finishes after the root");
+    }
+
+    #[test]
+    fn binomial_scatter_beats_linear_for_tiny_blocks() {
+        // With near-empty blocks, fixed costs dominate: ⌈log₂n⌉ store-and-
+        // forward hops (≈ 2C+L each) beat the root's n−1 serialized send
+        // slots plus a tail. The block must be tiny — already at a few
+        // hundred bytes the top arc carries n/2 blocks and the binomial
+        // tree starts losing, which is exactly the crossover the models are
+        // meant to locate.
+        let cl = cluster(16);
+        let m = 32;
+        let lin = measure::linear_scatter_once(&cl, Rank(0), m);
+        let bin = measure::binomial_scatter_once(&cl, Rank(0), m);
+        assert!(bin < lin, "binomial {bin} vs linear {lin}");
+    }
+
+    #[test]
+    fn linear_scatter_beats_binomial_for_large_blocks() {
+        // For large blocks the binomial tree moves each block ~log n times;
+        // the linear algorithm moves it once.
+        let cl = cluster(16);
+        let m = 128 * KIB;
+        let lin = measure::linear_scatter_once(&cl, Rank(0), m);
+        let bin = measure::binomial_scatter_once(&cl, Rank(0), m);
+        assert!(lin < bin, "linear {lin} vs binomial {bin}");
+    }
+
+    #[test]
+    fn binomial_scatter_from_nonzero_root() {
+        let cl = cluster(8);
+        let t = measure::binomial_scatter_once_rooted(&cl, Rank(3), 4 * KIB);
+        assert!(t > 0.0);
+    }
+
+    #[test]
+    fn two_rank_degenerate_case() {
+        let cl = cluster(2);
+        let lin = measure::linear_scatter_once(&cl, Rank(0), KIB);
+        let bin = measure::binomial_scatter_once(&cl, Rank(0), KIB);
+        // Both algorithms degenerate to a single send.
+        assert!((lin - bin).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,53 @@
+//! Workspace-wide error type.
+
+use std::fmt;
+
+/// Errors surfaced by the cpm crates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CpmError {
+    /// A configuration was internally inconsistent (sizes, ranges).
+    InvalidConfig(String),
+    /// An estimation procedure could not produce parameters (e.g. singular
+    /// system, insufficient measurements).
+    Estimation(String),
+    /// A simulation failed (deadlock between processes, rank panic).
+    Simulation(String),
+    /// Statistics could not be computed (empty sample, zero variance where
+    /// variance is required, …).
+    Statistics(String),
+}
+
+impl fmt::Display for CpmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CpmError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
+            CpmError::Estimation(m) => write!(f, "estimation failed: {m}"),
+            CpmError::Simulation(m) => write!(f, "simulation failed: {m}"),
+            CpmError::Statistics(m) => write!(f, "statistics failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CpmError {}
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, CpmError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_category_and_message() {
+        let e = CpmError::Estimation("singular system".into());
+        assert_eq!(e.to_string(), "estimation failed: singular system");
+        let e = CpmError::Simulation("deadlock".into());
+        assert!(e.to_string().contains("deadlock"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&CpmError::InvalidConfig("x".into()));
+    }
+}

@@ -1,0 +1,127 @@
+//! Message-size sweeps.
+//!
+//! The paper's figures sweep message size from about 1 KB to 200 KB. These
+//! helpers build the grids used both by figures and by estimation procedures
+//! (which need a grid plus adaptive refinement, see `cpm-estimate`).
+
+use crate::units::{Bytes, KIB};
+
+/// A linear sweep of `count` message sizes from `from` to `to`, inclusive,
+/// deduplicated and sorted.
+pub fn linear(from: Bytes, to: Bytes, count: usize) -> Vec<Bytes> {
+    assert!(count >= 2, "a sweep needs at least two points");
+    assert!(from < to, "sweep range must be non-empty");
+    let mut out: Vec<Bytes> = (0..count)
+        .map(|k| {
+            let f = k as f64 / (count - 1) as f64;
+            (from as f64 + f * (to - from) as f64).round() as Bytes
+        })
+        .collect();
+    out.dedup();
+    out
+}
+
+/// A geometric (log-spaced) sweep of message sizes from `from` to `to`,
+/// inclusive, deduplicated.
+pub fn geometric(from: Bytes, to: Bytes, count: usize) -> Vec<Bytes> {
+    assert!(count >= 2, "a sweep needs at least two points");
+    assert!(from >= 1, "geometric sweep requires from >= 1");
+    assert!(from < to, "sweep range must be non-empty");
+    let (lf, lt) = ((from as f64).ln(), (to as f64).ln());
+    let mut out: Vec<Bytes> = (0..count)
+        .map(|k| {
+            let f = k as f64 / (count - 1) as f64;
+            (lf + f * (lt - lf)).exp().round() as Bytes
+        })
+        .collect();
+    out.dedup();
+    out
+}
+
+/// Powers of two from `from` to `to`, inclusive when powers land on the
+/// bounds.
+pub fn powers_of_two(from: Bytes, to: Bytes) -> Vec<Bytes> {
+    let mut out = Vec::new();
+    let mut m = 1u64;
+    while m < from {
+        m <<= 1;
+    }
+    while m <= to {
+        out.push(m);
+        m <<= 1;
+    }
+    out
+}
+
+/// The sweep used by the paper's scatter/gather figures: 1 KB to 200 KB in
+/// 4 KB steps (dense enough to show the 64 KB leap and the escalation band).
+pub fn paper_figure_sweep() -> Vec<Bytes> {
+    let mut out = vec![KIB];
+    let mut m = 4 * KIB;
+    while m <= 200 * KIB {
+        out.push(m);
+        m += 4 * KIB;
+    }
+    out
+}
+
+/// The sweep for the algorithm-selection figure (Fig. 6): 100 KB to 200 KB.
+pub fn fig6_sweep() -> Vec<Bytes> {
+    let mut out = Vec::new();
+    let mut m = 100 * KIB;
+    while m <= 200 * KIB {
+        out.push(m);
+        m += 5 * KIB;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_covers_bounds() {
+        let s = linear(KIB, 10 * KIB, 10);
+        assert_eq!(*s.first().unwrap(), KIB);
+        assert_eq!(*s.last().unwrap(), 10 * KIB);
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn geometric_covers_bounds_and_grows() {
+        let s = geometric(KIB, 1024 * KIB, 11);
+        assert_eq!(*s.first().unwrap(), KIB);
+        assert_eq!(*s.last().unwrap(), 1024 * KIB);
+        // Ratio roughly constant (factor 2 for this range/count).
+        for w in s.windows(2) {
+            let r = w[1] as f64 / w[0] as f64;
+            assert!(r > 1.8 && r < 2.2, "ratio {r}");
+        }
+    }
+
+    #[test]
+    fn powers() {
+        assert_eq!(powers_of_two(3, 33), vec![4, 8, 16, 32]);
+        assert_eq!(powers_of_two(4, 32), vec![4, 8, 16, 32]);
+        assert!(powers_of_two(33, 32).is_empty());
+    }
+
+    #[test]
+    fn paper_sweeps_cover_key_sizes() {
+        let s = paper_figure_sweep();
+        assert!(s.contains(&KIB));
+        assert!(s.contains(&(4 * KIB)), "M1 for LAM");
+        assert!(s.contains(&(64 * KIB)), "the scatter leap");
+        assert!(s.contains(&(200 * KIB)));
+        let f6 = fig6_sweep();
+        assert_eq!(*f6.first().unwrap(), 100 * KIB);
+        assert_eq!(*f6.last().unwrap(), 200 * KIB);
+    }
+
+    #[test]
+    #[should_panic(expected = "two points")]
+    fn degenerate_sweep_rejected() {
+        let _ = linear(1, 2, 1);
+    }
+}

@@ -1,0 +1,242 @@
+//! Virtual time.
+//!
+//! All simulation and model arithmetic is done in seconds stored as `f64`.
+//! [`Time`] wraps the raw value to provide a *total* order (needed by event
+//! queues), explicit construction from the units that appear in the paper
+//! (micro- and milliseconds), and a few guard rails: a `Time` is never NaN.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in virtual time, or a duration, in seconds.
+///
+/// The wrapped value is guaranteed finite (construction panics on NaN or
+/// infinity), which is what makes the [`Ord`] implementation sound.
+///
+/// ```
+/// use cpm_core::Time;
+/// let a = Time::from_micros(250.0);
+/// let b = Time::from_millis(1.0);
+/// assert!(a < b);
+/// assert_eq!((a + a).millis(), 0.5);
+/// ```
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct Time(f64);
+
+impl Time {
+    /// Time zero — the start of every simulation.
+    pub const ZERO: Time = Time(0.0);
+
+    /// Creates a time from seconds.
+    ///
+    /// # Panics
+    /// Panics if `secs` is NaN or infinite.
+    #[inline]
+    pub fn from_secs(secs: f64) -> Self {
+        assert!(secs.is_finite(), "Time must be finite, got {secs}");
+        Time(secs)
+    }
+
+    /// Creates a time from milliseconds.
+    #[inline]
+    pub fn from_millis(ms: f64) -> Self {
+        Self::from_secs(ms * 1e-3)
+    }
+
+    /// Creates a time from microseconds.
+    #[inline]
+    pub fn from_micros(us: f64) -> Self {
+        Self::from_secs(us * 1e-6)
+    }
+
+    /// The raw value in seconds.
+    #[inline]
+    pub fn secs(self) -> f64 {
+        self.0
+    }
+
+    /// The value in milliseconds.
+    #[inline]
+    pub fn millis(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// The value in microseconds.
+    #[inline]
+    pub fn micros(self) -> f64 {
+        self.0 * 1e6
+    }
+
+    /// Larger of two times.
+    #[inline]
+    pub fn max(self, other: Time) -> Time {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Smaller of two times.
+    #[inline]
+    pub fn min(self, other: Time) -> Time {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// `true` if this time is not negative.
+    #[inline]
+    pub fn is_non_negative(self) -> bool {
+        self.0 >= 0.0
+    }
+}
+
+impl Eq for Time {}
+
+impl PartialOrd for Time {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Time {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Sound because construction forbids NaN.
+        self.0.partial_cmp(&other.0).expect("Time is never NaN")
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, rhs: Time) -> Time {
+        Time::from_secs(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Time {
+    #[inline]
+    fn add_assign(&mut self, rhs: Time) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Time {
+    type Output = Time;
+    #[inline]
+    fn sub(self, rhs: Time) -> Time {
+        Time::from_secs(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Time {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Time) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<f64> for Time {
+    type Output = Time;
+    #[inline]
+    fn mul(self, rhs: f64) -> Time {
+        Time::from_secs(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Time {
+    type Output = Time;
+    #[inline]
+    fn div(self, rhs: f64) -> Time {
+        Time::from_secs(self.0 / rhs)
+    }
+}
+
+impl Sum for Time {
+    fn sum<I: Iterator<Item = Time>>(iter: I) -> Time {
+        iter.fold(Time::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}s", self.0)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Pick a readable unit.
+        let s = self.0;
+        if s == 0.0 {
+            write!(f, "0s")
+        } else if s.abs() < 1e-3 {
+            write!(f, "{:.3}us", s * 1e6)
+        } else if s.abs() < 1.0 {
+            write!(f, "{:.3}ms", s * 1e3)
+        } else {
+            write!(f, "{:.3}s", s)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_units_agree() {
+        assert_eq!(Time::from_millis(1.0), Time::from_secs(0.001));
+        assert_eq!(Time::from_micros(1000.0), Time::from_millis(1.0));
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let a = Time::from_secs(1.0);
+        let b = Time::from_secs(2.0);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Time::from_secs(1.5);
+        let b = Time::from_secs(0.5);
+        assert_eq!((a + b).secs(), 2.0);
+        assert_eq!((a - b).secs(), 1.0);
+        assert_eq!((a * 2.0).secs(), 3.0);
+        assert_eq!((a / 3.0).secs(), 0.5);
+        let s: Time = [a, b, b].into_iter().sum();
+        assert_eq!(s.secs(), 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_rejected() {
+        let _ = Time::from_secs(f64::NAN);
+    }
+
+    #[test]
+    fn display_chooses_unit() {
+        assert_eq!(Time::from_micros(12.0).to_string(), "12.000us");
+        assert_eq!(Time::from_millis(12.0).to_string(), "12.000ms");
+        assert_eq!(Time::from_secs(1.25).to_string(), "1.250s");
+        assert_eq!(Time::ZERO.to_string(), "0s");
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        let t = Time::from_secs(0.123456);
+        assert!((t.millis() - 123.456).abs() < 1e-9);
+        assert!((t.micros() - 123456.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,85 @@
+//! Model abstractions.
+//!
+//! Every communication performance model in `cpm-models` answers one
+//! question: *how long does a point-to-point transfer of `M` bytes from
+//! processor `i` to processor `j` take?* [`PointToPoint`] captures exactly
+//! that. Collective predictions are built from it generically (e.g. the
+//! recursive binomial formula, paper eq. (1)) or model-specifically when a
+//! model separates contributions that the generic formula cannot express.
+
+use crate::rank::Rank;
+use crate::units::Bytes;
+
+/// A point-to-point communication performance model.
+///
+/// Implementations return the predicted execution time, in seconds, of a
+/// blocking transfer of `m` bytes from `src` to `dst` measured on the sender
+/// from the moment the send is posted to the moment the receiver has fully
+/// processed the message.
+pub trait PointToPoint {
+    /// Predicted transfer time in seconds.
+    fn p2p(&self, src: Rank, dst: Rank, m: Bytes) -> f64;
+
+    /// Number of processors the model describes.
+    fn n(&self) -> usize;
+
+    /// `true` if the model assigns the same parameters to every processor
+    /// pair. Homogeneous models predict identical times for any mapping.
+    fn is_homogeneous(&self) -> bool {
+        false
+    }
+}
+
+impl<M: PointToPoint + ?Sized> PointToPoint for &M {
+    fn p2p(&self, src: Rank, dst: Rank, m: Bytes) -> f64 {
+        (**self).p2p(src, dst, m)
+    }
+    fn n(&self) -> usize {
+        (**self).n()
+    }
+    fn is_homogeneous(&self) -> bool {
+        (**self).is_homogeneous()
+    }
+}
+
+impl<M: PointToPoint + ?Sized> PointToPoint for Box<M> {
+    fn p2p(&self, src: Rank, dst: Rank, m: Bytes) -> f64 {
+        (**self).p2p(src, dst, m)
+    }
+    fn n(&self) -> usize {
+        (**self).n()
+    }
+    fn is_homogeneous(&self) -> bool {
+        (**self).is_homogeneous()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed(f64);
+    impl PointToPoint for Fixed {
+        fn p2p(&self, _: Rank, _: Rank, m: Bytes) -> f64 {
+            self.0 + m as f64 * 1e-8
+        }
+        fn n(&self) -> usize {
+            4
+        }
+        fn is_homogeneous(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn blanket_impls_delegate() {
+        let f = Fixed(1e-4);
+        let by_ref: &dyn PointToPoint = &f;
+        let boxed: Box<dyn PointToPoint> = Box::new(Fixed(1e-4));
+        let m = 1024;
+        assert_eq!(by_ref.p2p(Rank(0), Rank(1), m), f.p2p(Rank(0), Rank(1), m));
+        assert_eq!(boxed.p2p(Rank(0), Rank(1), m), f.p2p(Rank(0), Rank(1), m));
+        assert_eq!(boxed.n(), 4);
+        assert!(f.is_homogeneous());
+    }
+}

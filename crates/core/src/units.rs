@@ -1,0 +1,108 @@
+//! Message sizes.
+//!
+//! Message sizes are plain `u64` byte counts (aliased as [`Bytes`]); model
+//! arithmetic converts to `f64` at the point of use. The constants follow the
+//! paper's binary-kilobyte convention (the LAM thresholds `M1 = 4KB`,
+//! `M2 = 65KB` are binary multiples).
+
+/// A message size in bytes.
+pub type Bytes = u64;
+
+/// One binary kilobyte (1024 bytes).
+pub const KIB: Bytes = 1024;
+
+/// One binary megabyte.
+pub const MIB: Bytes = 1024 * KIB;
+
+/// Converts a byte count to `f64` for model arithmetic.
+#[inline]
+pub fn as_f64(m: Bytes) -> f64 {
+    m as f64
+}
+
+/// Parses a byte count with an optional binary suffix: `"4096"`, `"64K"`,
+/// `"64KB"`, `"2M"`, `"2MB"` (case-insensitive).
+pub fn parse_bytes(raw: &str) -> Result<Bytes, String> {
+    let trimmed = raw.trim();
+    let upper = trimmed.to_ascii_uppercase();
+    let (digits, mult) = if let Some(d) = upper.strip_suffix("KB") {
+        (d.to_string(), KIB)
+    } else if let Some(d) = upper.strip_suffix("MB") {
+        (d.to_string(), MIB)
+    } else if let Some(d) = upper.strip_suffix("K") {
+        (d.to_string(), KIB)
+    } else if let Some(d) = upper.strip_suffix("M") {
+        (d.to_string(), MIB)
+    } else if let Some(d) = upper.strip_suffix("B") {
+        (d.to_string(), 1)
+    } else {
+        (upper, 1)
+    };
+    digits
+        .trim()
+        .parse::<Bytes>()
+        .map(|v| v * mult)
+        .map_err(|e| format!("cannot parse {raw:?} as a byte count: {e}"))
+}
+
+/// Formats a byte count with a readable binary unit, e.g. `64KB`, `1.5MB`.
+pub fn format_bytes(m: Bytes) -> String {
+    if m >= MIB {
+        let v = m as f64 / MIB as f64;
+        if (v - v.round()).abs() < 1e-9 {
+            format!("{}MB", v.round() as u64)
+        } else {
+            format!("{v:.2}MB")
+        }
+    } else if m >= KIB {
+        let v = m as f64 / KIB as f64;
+        if (v - v.round()).abs() < 1e-9 {
+            format!("{}KB", v.round() as u64)
+        } else {
+            format!("{v:.2}KB")
+        }
+    } else {
+        format!("{m}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants() {
+        assert_eq!(KIB, 1024);
+        assert_eq!(MIB, 1024 * 1024);
+    }
+
+    #[test]
+    fn parsing() {
+        assert_eq!(parse_bytes("4096"), Ok(4096));
+        assert_eq!(parse_bytes("64K"), Ok(64 * KIB));
+        assert_eq!(parse_bytes("64KB"), Ok(64 * KIB));
+        assert_eq!(parse_bytes("64kb"), Ok(64 * KIB));
+        assert_eq!(parse_bytes("2M"), Ok(2 * MIB));
+        assert_eq!(parse_bytes(" 512B "), Ok(512));
+        assert!(parse_bytes("banana").is_err());
+        assert!(parse_bytes("12.5K").is_err(), "fractions are rejected");
+    }
+
+    #[test]
+    fn parse_format_roundtrip() {
+        for m in [0u64, 512, KIB, 64 * KIB, MIB] {
+            assert_eq!(parse_bytes(&format_bytes(m)), Ok(m));
+        }
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(format_bytes(0), "0B");
+        assert_eq!(format_bytes(512), "512B");
+        assert_eq!(format_bytes(KIB), "1KB");
+        assert_eq!(format_bytes(64 * KIB), "64KB");
+        assert_eq!(format_bytes(KIB + 512), "1.50KB");
+        assert_eq!(format_bytes(MIB), "1MB");
+        assert_eq!(format_bytes(MIB + MIB / 2), "1.50MB");
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests for the core vocabulary types.
+
+use cpm_core::matrix::SymMatrix;
+use cpm_core::rank::{n_choose_2, n_choose_3, pairs, triplets, Rank};
+use cpm_core::sweep;
+use cpm_core::time::Time;
+use cpm_core::tree::BinomialTree;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Writing any (i, j) cell and reading (j, i) round-trips; unrelated
+    /// cells are untouched.
+    #[test]
+    fn symmatrix_set_get_roundtrip(
+        n in 2usize..20,
+        writes in prop::collection::vec((0usize..20, 0usize..20, -1e6f64..1e6), 0..40),
+    ) {
+        let mut m = SymMatrix::filled(n, 0.0);
+        let mut reference = std::collections::HashMap::new();
+        for (a, b, v) in writes {
+            let (a, b) = (a % n, b % n);
+            if a == b { continue; }
+            let key = (a.min(b), a.max(b));
+            m.set(Rank::from(a), Rank::from(b), v);
+            reference.insert(key, v);
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let want = reference.get(&(i, j)).copied().unwrap_or(0.0);
+                prop_assert_eq!(*m.get(Rank::from(j), Rank::from(i)), want);
+            }
+        }
+    }
+
+    /// `map` commutes with `get`.
+    #[test]
+    fn symmatrix_map_commutes(n in 2usize..12, scale in -10.0f64..10.0) {
+        let m = SymMatrix::from_fn(n, |i, j| (i.0 * 31 + j.0) as f64);
+        let mapped = m.map(|v| v * scale);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let (i, j) = (Rank::from(i), Rank::from(j));
+                prop_assert_eq!(*mapped.get(i, j), *m.get(i, j) * scale);
+            }
+        }
+    }
+
+    /// Time's ordering is consistent with the wrapped seconds and max/min
+    /// agree with Ord.
+    #[test]
+    fn time_order_laws(a in -1e9f64..1e9, b in -1e9f64..1e9) {
+        let (ta, tb) = (Time::from_secs(a), Time::from_secs(b));
+        prop_assert_eq!(ta < tb, a < b);
+        prop_assert_eq!(ta.max(tb).secs(), a.max(b));
+        prop_assert_eq!(ta.min(tb).secs(), a.min(b));
+        prop_assert_eq!(ta.cmp(&ta), std::cmp::Ordering::Equal);
+    }
+
+    /// Pair/triplet enumerations match the binomial coefficients and are
+    /// strictly increasing.
+    #[test]
+    fn enumeration_counts(n in 0usize..30) {
+        let ps = pairs(n);
+        let ts = triplets(n);
+        prop_assert_eq!(ps.len(), n_choose_2(n));
+        prop_assert_eq!(ts.len(), n_choose_3(n));
+        prop_assert!(ps.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(ts.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    /// Binomial trees: block conservation at every node, single parent,
+    /// height = ⌈log₂ n⌉, for any root.
+    #[test]
+    fn tree_structural_invariants(n in 1usize..64, root_seed in 0usize..64) {
+        let root = Rank::from(root_seed % n);
+        let tree = BinomialTree::new(n, root);
+        prop_assert_eq!(tree.arcs().len(), n - 1);
+        // Each node's outgoing blocks = subtree size − 1.
+        for v in 0..n {
+            let r = tree.process_at(v);
+            let out: u64 = tree.children_of(r).iter().map(|&(_, b)| b).sum();
+            prop_assert_eq!(out, tree.subtree_size(r) - 1);
+        }
+        // vrank round trip.
+        for v in 0..n {
+            prop_assert_eq!(tree.vrank_of(tree.process_at(v)), v);
+        }
+        let expected_height = (n as f64).log2().ceil() as u32;
+        prop_assert_eq!(tree.height(), expected_height);
+    }
+
+    /// Children are ordered by non-increasing sub-tree size at every node.
+    #[test]
+    fn tree_children_largest_first(n in 2usize..48) {
+        let tree = BinomialTree::new(n, Rank(0));
+        for v in 0..n {
+            let r = tree.process_at(v);
+            let blocks: Vec<u64> = tree.children_of(r).iter().map(|&(_, b)| b).collect();
+            prop_assert!(blocks.windows(2).all(|w| w[0] >= w[1]), "node {r}: {blocks:?}");
+        }
+    }
+
+    /// Sweeps are sorted, deduplicated and respect their bounds.
+    #[test]
+    fn sweeps_well_formed(from in 1u64..10_000, span in 2u64..1_000_000, count in 2usize..60) {
+        let to = from + span;
+        for s in [sweep::linear(from, to, count), sweep::geometric(from, to, count)] {
+            prop_assert!(s.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(*s.first().unwrap() >= from.saturating_sub(1));
+            prop_assert!(*s.last().unwrap() <= to + 1);
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Estimation of the empirical gather parameters.
+//!
+//! "The extra threshold parameters, `M1` and `M2`, are found from the
+//! observations of the execution time of linear gather": a preliminary
+//! sweep of linear gather over message sizes, repeated per size, fed to the
+//! escalation detector of `cpm-stats`. The escalation statistics
+//! (probability, typical magnitude) come from the same sweep.
+
+use cpm_core::error::{CpmError, Result};
+use cpm_core::rank::Rank;
+use cpm_core::units::{Bytes, KIB};
+use cpm_models::GatherEmpirics;
+use cpm_netsim::SimCluster;
+use cpm_stats::escalation::{detect_thresholds, escalation_profile, DetectionConfig};
+
+use crate::config::{EstimateConfig, Estimated};
+use crate::experiment::gather_observation;
+
+/// The message sizes swept by the preliminary gather test. Denser than the
+/// estimation grids because the thresholds are read off this grid.
+pub fn empirics_sweep() -> Vec<Bytes> {
+    let mut out = vec![KIB, 2 * KIB, 3 * KIB];
+    let mut m = 4 * KIB;
+    while m <= 160 * KIB {
+        out.push(m);
+        m += 4 * KIB;
+    }
+    out
+}
+
+/// Measures linear gather across the sweep and extracts `M1`, `M2` and the
+/// escalation statistics.
+pub fn estimate_gather_empirics(
+    cluster: &SimCluster,
+    cfg: &EstimateConfig,
+) -> Result<Estimated<GatherEmpirics>> {
+    let root = Rank(0);
+    let mut seed = cfg.seed ^ 0xe5c;
+    let mut cost = 0.0;
+    let mut runs = 0;
+
+    let mut samples = Vec::new();
+    for m in empirics_sweep() {
+        seed = seed.wrapping_add(1);
+        let (ts, end) = gather_observation(cluster, root, m, cfg.reps, seed)?;
+        cost += end;
+        runs += 1;
+        samples.push((m, ts));
+    }
+
+    let det_cfg = DetectionConfig::default();
+    let det = detect_thresholds(&samples, &det_cfg).ok_or_else(|| {
+        CpmError::Estimation("gather sweep too small for threshold detection".into())
+    })?;
+    let prof = escalation_profile(&samples, &det, &det_cfg);
+
+    let model = if det.m2 <= det.m1 || prof.probability == 0.0 {
+        // No irregular region observed.
+        GatherEmpirics::none()
+    } else {
+        GatherEmpirics {
+            m1: det.m1,
+            m2: det.m2,
+            escalation_probability: prof.probability,
+            // "The most frequent values of escalations": prefer the modal
+            // magnitude; fall back to the mean when the histogram is too
+            // thin to have a meaningful mode.
+            escalation_magnitude: if prof.modal_magnitude > 0.0 {
+                prof.modal_magnitude
+            } else {
+                prof.mean_magnitude.max(0.0)
+            },
+            escalation_prob_knots: prof
+                .per_size
+                .iter()
+                .map(|&(m, p)| (m as f64, p))
+                .collect(),
+        }
+    };
+    Ok(Estimated { model, virtual_cost: cost, runs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpm_cluster::{ClusterSpec, GroundTruth, MpiProfile};
+
+    fn cfg() -> EstimateConfig {
+        EstimateConfig { reps: 6, ..EstimateConfig::with_seed(21) }
+    }
+
+    #[test]
+    fn detects_lam_thresholds_within_grid_resolution() {
+        let truth = GroundTruth::synthesize(&ClusterSpec::paper_cluster(), 2);
+        let profile = MpiProfile::lam_7_1_3();
+        let cl = SimCluster::new(truth, profile.clone(), 0.005, 9);
+        let est = estimate_gather_empirics(&cl, &cfg()).unwrap();
+        let emp = est.model;
+        // True thresholds: M1 = 4 KB, M2 = 65 KB; the sweep grid is 4 KB,
+        // so allow a few grid steps of slack.
+        assert!(
+            emp.m1 >= 2 * KIB && emp.m1 <= 12 * KIB,
+            "M1 = {} bytes",
+            emp.m1
+        );
+        assert!(
+            emp.m2 >= 56 * KIB && emp.m2 <= 88 * KIB,
+            "M2 = {} bytes",
+            emp.m2
+        );
+        // Escalations were observed with meaningful magnitude (profile says
+        // 0.10–0.25 s).
+        assert!(emp.escalation_probability > 0.05, "p = {}", emp.escalation_probability);
+        assert!(
+            emp.escalation_magnitude > 0.05 && emp.escalation_magnitude <= 0.3,
+            "magnitude = {}",
+            emp.escalation_magnitude
+        );
+    }
+
+    #[test]
+    fn ideal_cluster_has_no_empirics() {
+        let truth = GroundTruth::synthesize(&ClusterSpec::homogeneous(8), 3);
+        let cl = SimCluster::new(truth, MpiProfile::ideal(), 0.0, 3);
+        let est = estimate_gather_empirics(&cl, &cfg()).unwrap();
+        assert_eq!(est.model.escalation_probability, 0.0);
+    }
+
+    #[test]
+    fn sweep_covers_the_thresholds() {
+        let sweep = empirics_sweep();
+        assert!(sweep.contains(&(4 * KIB)));
+        assert!(sweep.contains(&(64 * KIB)));
+        assert!(sweep.contains(&(128 * KIB)));
+        assert!(sweep.windows(2).all(|w| w[0] < w[1]));
+    }
+}

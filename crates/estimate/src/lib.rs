@@ -1,0 +1,43 @@
+//! # cpm-estimate
+//!
+//! Communication experiments and parameter estimation — the paper's
+//! Section IV, for every model it compares.
+//!
+//! The traditional models are estimated from point-to-point experiments:
+//!
+//! * Hockney: series of roundtrips at several message sizes, `α`/`β` from a
+//!   least-squares line ([`hockney`]);
+//! * LogP/LogGP/PLogP: send-overhead roundtrips, delayed-receive probes,
+//!   and saturation experiments; PLogP samples `g(M)` on an adaptively
+//!   refined size grid ([`logp`]).
+//!
+//! The LMO parameters **cannot** be estimated from point-to-point
+//! experiments alone: the six unknowns of a pair are underdetermined by
+//! roundtrips. The paper introduces *one-to-two* experiments between
+//! triplets of processors and solves small linear systems (paper
+//! eqs. (6)–(12)); [`lmo`] implements that procedure, including the
+//! redundant-triplet averaging of eq. (12). The empirical gather
+//! parameters (`M1`, `M2`, escalation statistics) come from a preliminary
+//! sweep of linear gather ([`empirics`]).
+//!
+//! Two optimizations from the paper are implemented in [`schedule`]:
+//! running experiments on *non-overlapping* pairs/triplets in parallel
+//! (a single switch forwards them without contention), and reusing each
+//! processor's redundant appearances across triplets statistically instead
+//! of repeating measurements.
+
+pub mod adaptive;
+pub mod config;
+pub mod empirics;
+pub mod experiment;
+pub mod hockney;
+pub mod lmo;
+pub mod logp;
+pub mod schedule;
+
+pub use adaptive::{adaptive_gather, adaptive_roundtrip, AdaptiveOutcome};
+pub use config::{EstimateConfig, Estimated};
+pub use empirics::estimate_gather_empirics;
+pub use hockney::{estimate_hockney_het, estimate_hockney_hom};
+pub use lmo::estimate_lmo;
+pub use logp::{estimate_loggp, estimate_logp, estimate_plogp};

@@ -1,0 +1,296 @@
+//! LogP, LogGP and PLogP estimation.
+//!
+//! The point-to-point experiments of the paper's Section II:
+//!
+//! * the send overhead `o_s` is the duration of the send call inside a
+//!   roundtrip with an empty reply;
+//! * the receive overhead `o_r` comes from the delayed-receive probe
+//!   (≈ 0 in the simulator — reception is fully overlapped; documented in
+//!   [`crate::experiment::delayed_recv_probe`]);
+//! * the latency is `L = RTT(0)/2 − o_s(0) − o_r(0)`;
+//! * the gap is measured by *saturation*: many messages sent consecutively
+//!   in one direction, `g(M) = T_n/n` — "the number of messages is chosen
+//!   to be large to ensure that the point-to-point communication time is
+//!   dominated by the factor of bandwidth rather than latency";
+//! * PLogP samples `g(M)`, `o_s(M)`, `o_r(M)` at a size grid refined
+//!   adaptively where `g` departs from linear extrapolation.
+//!
+//! These are homogeneous models; the paper applies them to heterogeneous
+//! clusters by averaging over links. For cost the estimators here average
+//! over one full round of disjoint pairs (a perfect matching touches every
+//! node once).
+
+use cpm_core::error::{CpmError, Result};
+use cpm_core::rank::Pair;
+use cpm_core::units::Bytes;
+use cpm_models::{LogGp, LogP, PLogP};
+use cpm_netsim::SimCluster;
+use cpm_stats::{LinearFit, PiecewiseLinear, Summary};
+
+use crate::config::{EstimateConfig, Estimated};
+use crate::experiment::{delayed_recv_probe, roundtrip_round, saturation, send_probe};
+use crate::schedule::pair_rounds;
+
+/// Number of messages per saturation burst.
+const SATURATION_COUNT: usize = 16;
+/// Relative tolerance of the PLogP adaptive refinement test.
+const REFINE_TOL: f64 = 0.10;
+
+/// Cost/run accumulator shared by the estimators below.
+struct Probe<'a> {
+    cluster: &'a SimCluster,
+    cfg: &'a EstimateConfig,
+    pairs: Vec<Pair>,
+    seed: u64,
+    cost: f64,
+    runs: usize,
+}
+
+impl<'a> Probe<'a> {
+    fn new(cluster: &'a SimCluster, cfg: &'a EstimateConfig) -> Result<Self> {
+        if cluster.n() < 2 {
+            return Err(CpmError::Estimation("need at least 2 processors".into()));
+        }
+        // One perfect matching touches every node exactly once.
+        let pairs = pair_rounds(cluster.n())
+            .into_iter()
+            .next()
+            .expect("n ≥ 2 has at least one round");
+        Ok(Probe { cluster, cfg, pairs, seed: cfg.seed, cost: 0.0, runs: 0 })
+    }
+
+    fn next_seed(&mut self) -> u64 {
+        self.seed = self.seed.wrapping_add(1);
+        self.seed
+    }
+
+    /// Mean over pairs and repetitions of a per-pair experiment.
+    fn mean_over_pairs(
+        &mut self,
+        mut f: impl FnMut(&SimCluster, Pair, u64) -> Result<(Vec<f64>, f64)>,
+    ) -> Result<f64> {
+        let mut acc = Summary::new();
+        let pairs = self.pairs.clone();
+        for p in pairs {
+            let seed = self.next_seed();
+            let (ts, end) = f(self.cluster, p, seed)?;
+            self.cost += end;
+            self.runs += 1;
+            for t in ts {
+                acc.push(t);
+            }
+        }
+        if acc.count() == 0 {
+            return Err(CpmError::Estimation("experiment produced no samples".into()));
+        }
+        Ok(acc.mean())
+    }
+
+    fn o_send(&mut self, m: Bytes) -> Result<f64> {
+        let reps = self.cfg.reps;
+        self.mean_over_pairs(|cl, p, s| send_probe(cl, p.a, p.b, m, reps, s))
+    }
+
+    fn o_recv(&mut self, m: Bytes) -> Result<f64> {
+        let reps = self.cfg.reps;
+        self.mean_over_pairs(|cl, p, s| {
+            delayed_recv_probe(cl, p.a, p.b, m, 0.5, reps, s)
+        })
+    }
+
+    fn rtt(&mut self, m: Bytes) -> Result<f64> {
+        let reps = self.cfg.reps;
+        self.mean_over_pairs(|cl, p, s| {
+            let (samples, end) = roundtrip_round(cl, &[p], m, m, reps, s)?;
+            Ok((samples.into_iter().next().expect("one pair").t, end))
+        })
+    }
+
+    fn gap(&mut self, m: Bytes) -> Result<f64> {
+        let reps = self.cfg.reps;
+        self.mean_over_pairs(|cl, p, s| {
+            let (ts, end) =
+                saturation(cl, p.a, p.b, m, SATURATION_COUNT, reps, s)?;
+            let per_msg: Vec<f64> =
+                ts.into_iter().map(|t| t / SATURATION_COUNT as f64).collect();
+            Ok((per_msg, end))
+        })
+    }
+
+    /// `L = RTT(0)/2 − o_s(0) − o_r(0)`.
+    fn latency(&mut self) -> Result<f64> {
+        let os0 = self.o_send(0)?;
+        let or0 = self.o_recv(0)?;
+        let rtt0 = self.rtt(0)?;
+        Ok((rtt0 / 2.0 - os0 - or0).max(0.0))
+    }
+
+    fn done<T>(self, model: T) -> Estimated<T> {
+        Estimated { model, virtual_cost: self.cost, runs: self.runs }
+    }
+}
+
+/// Estimates the LogP model (per-byte gap reading).
+pub fn estimate_logp(
+    cluster: &SimCluster,
+    cfg: &EstimateConfig,
+) -> Result<Estimated<LogP>> {
+    let mut probe = Probe::new(cluster, cfg)?;
+    let l = probe.latency()?;
+    let o = (probe.o_send(0)? + probe.o_recv(0)?) / 2.0;
+    let g_at_probe = probe.gap(cfg.probe_m)?;
+    let g = g_at_probe / cfg.probe_m as f64;
+    let p = cluster.n();
+    Ok(probe.done(LogP { l, o, g, p }))
+}
+
+/// Estimates the LogGP model: `G` and `g` from the per-message saturation
+/// cost regressed over message size (slope = gap per byte, intercept = gap
+/// per message).
+pub fn estimate_loggp(
+    cluster: &SimCluster,
+    cfg: &EstimateConfig,
+) -> Result<Estimated<LogGp>> {
+    let mut probe = Probe::new(cluster, cfg)?;
+    let l = probe.latency()?;
+    let o = (probe.o_send(0)? + probe.o_recv(0)?) / 2.0;
+
+    let mut points = Vec::new();
+    let mut m = 8 * 1024u64;
+    while m <= cfg.sweep_max {
+        points.push((m as f64, probe.gap(m)?));
+        m *= 2;
+    }
+    let fit = LinearFit::fit(&points)
+        .ok_or_else(|| CpmError::Estimation("saturation sweep degenerate".into()))?;
+    let big_g = fit.slope.max(0.0);
+    let g = fit.intercept.max(0.0);
+    let p = cluster.n();
+    Ok(probe.done(LogGp { l, o, g, big_g, p }))
+}
+
+/// The PLogP knot grid before refinement.
+fn plogp_grid(cfg: &EstimateConfig) -> Vec<Bytes> {
+    let mut grid = vec![0u64, 1024];
+    let mut m = 4096u64;
+    while m <= cfg.sweep_max {
+        grid.push(m);
+        m *= 2;
+    }
+    grid
+}
+
+/// Estimates the PLogP model, refining the `g(M)` grid where a measurement
+/// is inconsistent with linear extrapolation of its two predecessors (the
+/// paper's bisection rule).
+pub fn estimate_plogp(
+    cluster: &SimCluster,
+    cfg: &EstimateConfig,
+) -> Result<Estimated<PLogP>> {
+    let mut probe = Probe::new(cluster, cfg)?;
+    let l = probe.latency()?;
+
+    let grid = plogp_grid(cfg);
+    let mut g_knots: Vec<(f64, f64)> = Vec::with_capacity(grid.len());
+    let mut os_knots: Vec<(f64, f64)> = Vec::with_capacity(grid.len());
+    let mut or_knots: Vec<(f64, f64)> = Vec::with_capacity(grid.len());
+    for &m in &grid {
+        g_knots.push((m as f64, probe.gap(m)?));
+        os_knots.push((m as f64, probe.o_send(m)?));
+        or_knots.push((m as f64, probe.o_recv(m)?));
+    }
+
+    // One adaptive pass over g: where g(M_k) disagrees with the linear
+    // extrapolation of the previous two knots, measure the midpoint of
+    // (M_{k-1}, M_k).
+    let mut refined: Vec<(f64, f64)> = Vec::new();
+    let mut k = 2;
+    while k < g_knots.len() {
+        let (p0, p1, p2) = (g_knots[k - 2], g_knots[k - 1], g_knots[k]);
+        if PiecewiseLinear::needs_refinement(p0, p1, p2, REFINE_TOL) {
+            let mid = ((p1.0 + p2.0) / 2.0).round() as Bytes;
+            if mid > p1.0 as Bytes && (mid as f64) < p2.0 {
+                refined.push((mid as f64, probe.gap(mid)?));
+            }
+        }
+        k += 1;
+    }
+    g_knots.extend(refined);
+
+    let p = cluster.n();
+    Ok(probe.done(PLogP {
+        l,
+        os: PiecewiseLinear::new(os_knots),
+        or: PiecewiseLinear::new(or_knots),
+        g: PiecewiseLinear::new(g_knots),
+        p,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpm_cluster::{ClusterSpec, GroundTruth, MpiProfile};
+    use cpm_core::rank::Rank;
+    use cpm_core::units::KIB;
+
+    fn cluster() -> SimCluster {
+        let truth = GroundTruth::synthesize(&ClusterSpec::paper_cluster(), 2);
+        SimCluster::new(truth, MpiProfile::ideal(), 0.0, 2)
+    }
+
+    fn cfg() -> EstimateConfig {
+        EstimateConfig { reps: 2, ..EstimateConfig::with_seed(5) }
+    }
+
+    #[test]
+    fn logp_parameters_have_physical_shape() {
+        let cl = cluster();
+        let est = estimate_logp(&cl, &cfg()).unwrap();
+        let m = est.model;
+        // o ≈ C/2 (half of sender-side overhead since o_r ≈ 0).
+        assert!(m.o > 5e-6 && m.o < 100e-6, "o = {}", m.o);
+        // L is positive and below a roundtrip.
+        assert!(m.l > 0.0 && m.l < 1e-3, "L = {}", m.l);
+        // Per-byte gap is dominated by the wire: ~1/β ≈ 85 ns/B.
+        assert!(m.g > 50e-9 && m.g < 150e-9, "g = {}", m.g);
+        assert_eq!(m.p, 16);
+        assert!(est.runs > 0 && est.virtual_cost > 0.0);
+    }
+
+    #[test]
+    fn loggp_gap_per_byte_matches_wire_rate() {
+        let cl = cluster();
+        let est = estimate_loggp(&cl, &cfg()).unwrap();
+        // Mean 1/β over links ≈ 1/11.7 MB/s ≈ 85 ns/B; saturation sees the
+        // wire as the bottleneck.
+        let inv_beta_mean = cl.truth.beta.map(|b| 1.0 / b).mean().unwrap();
+        let rel = (est.model.big_g - inv_beta_mean).abs() / inv_beta_mean;
+        assert!(rel < 0.15, "G = {} vs 1/β = {}", est.model.big_g, inv_beta_mean);
+    }
+
+    #[test]
+    fn plogp_gap_function_grows_with_size() {
+        let cl = cluster();
+        let est = estimate_plogp(&cl, &cfg()).unwrap();
+        let g1 = est.model.g.eval(1024.0);
+        let g32 = est.model.g.eval(32.0 * 1024.0);
+        assert!(g32 > g1 * 4.0, "g(32K)={g32} vs g(1K)={g1}");
+        // o_s grows with size too (sender CPU per byte).
+        let os1 = est.model.os.eval(1024.0);
+        let os32 = est.model.os.eval(32.0 * 1024.0);
+        assert!(os32 > os1);
+        // p2p prediction at the probe size is within 2× of the true p2p
+        // (PLogP's L+g(M) folds endpoint costs into the gap).
+        let want = cl.truth.p2p_time(Rank(0), Rank(1), 32 * KIB);
+        let got = est.model.time(32 * KIB);
+        assert!(got > 0.3 * want && got < 2.0 * want, "{got} vs {want}");
+    }
+
+    #[test]
+    fn rejects_tiny_cluster() {
+        let truth = GroundTruth::synthesize(&ClusterSpec::homogeneous(1), 1);
+        let cl = SimCluster::new(truth, MpiProfile::ideal(), 0.0, 1);
+        assert!(estimate_logp(&cl, &cfg()).is_err());
+    }
+}

@@ -1,0 +1,82 @@
+//! Estimator round-trip properties: synthesize random ground truth, run the
+//! estimation pipeline on simulated measurements only, and verify the
+//! recovered model reproduces the hidden parameters. This is the strongest
+//! guarantee the simulator substitution enables — the paper, on real
+//! hardware, could only validate predictions.
+
+use cpm_cluster::{ClusterSpec, GroundTruth, MpiProfile, SynthesisBaseline};
+use cpm_core::rank::Rank;
+use cpm_core::units::KIB;
+use cpm_estimate::{estimate_hockney_het, estimate_lmo, EstimateConfig};
+use cpm_netsim::SimCluster;
+use proptest::prelude::*;
+
+fn random_cluster(seed: u64, beta: f64, latency: f64) -> SimCluster {
+    let base = SynthesisBaseline {
+        beta,
+        latency,
+        link_jitter: 0.05,
+        node_jitter: 0.05,
+    };
+    let truth =
+        GroundTruth::synthesize_with(&ClusterSpec::homogeneous(5), seed, &base);
+    SimCluster::new(truth, MpiProfile::ideal(), 0.0, seed)
+}
+
+proptest! {
+    // Each case runs dozens of simulations; keep the count low.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// LMO round-trip: for random physical baselines, every recovered
+    /// point-to-point time is within 3% of ground truth and the variable
+    /// parameters are individually separated.
+    #[test]
+    fn lmo_roundtrip_random_truth(
+        seed in 0u64..10_000,
+        beta in 5e6f64..50e6,
+        latency in 15e-6f64..90e-6,
+    ) {
+        let cl = random_cluster(seed, beta, latency);
+        let cfg = EstimateConfig { reps: 2, ..EstimateConfig::with_seed(seed ^ 0xf00) };
+        let est = estimate_lmo(&cl, &cfg).unwrap().model;
+        for i in 0..5u32 {
+            for j in (i + 1)..5u32 {
+                for m in [0u64, 16 * KIB, 48 * KIB] {
+                    let want = cl.truth.p2p_time(Rank(i), Rank(j), m);
+                    let got = est.time(Rank(i), Rank(j), m);
+                    prop_assert!(
+                        ((got - want) / want).abs() < 0.03,
+                        "({i},{j},{m}): {got} vs {want}"
+                    );
+                }
+            }
+        }
+        for k in 0..5 {
+            let rel = ((est.t[k] - cl.truth.t[k]) / cl.truth.t[k]).abs();
+            prop_assert!(rel < 0.10, "t_{k}: {} vs {}", est.t[k], cl.truth.t[k]);
+        }
+    }
+
+    /// Hockney round-trip: α/β regression recovers the pairwise line for
+    /// random baselines.
+    #[test]
+    fn hockney_roundtrip_random_truth(
+        seed in 0u64..10_000,
+        beta in 5e6f64..50e6,
+    ) {
+        let cl = random_cluster(seed, beta, 42e-6);
+        let cfg = EstimateConfig { reps: 2, ..EstimateConfig::with_seed(seed ^ 0xf01) };
+        let est = estimate_hockney_het(&cl, &cfg).unwrap().model;
+        for i in 0..5u32 {
+            for j in (i + 1)..5u32 {
+                let m = 32 * KIB;
+                let want = cl.truth.p2p_time(Rank(i), Rank(j), m);
+                let got = est.time(Rank(i), Rank(j), m);
+                prop_assert!(
+                    ((got - want) / want).abs() < 0.02,
+                    "({i},{j}): {got} vs {want}"
+                );
+            }
+        }
+    }
+}

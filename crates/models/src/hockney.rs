@@ -1,0 +1,232 @@
+//! The Hockney model, homogeneous and heterogeneous.
+//!
+//! Hockney characterizes a link by a latency `α` (all constant
+//! contributions, processor *and* network, folded together) and a
+//! bandwidth-derived slope `β` (all variable contributions folded together):
+//! `T(M) = α + β·M`. The heterogeneous extension gives each processor pair
+//! its own `(α_ij, β_ij)`.
+//!
+//! Because the model cannot say which part of `α + βM` is the sender's CPU,
+//! the network, or the receiver's CPU, collective predictions must assume
+//! point-to-point transfers are either fully serialized or fully parallel —
+//! the two bounds the paper shows bracketing (badly) the observed linear
+//! scatter in its Fig. 1.
+
+use serde::{Deserialize, Serialize};
+
+use cpm_core::matrix::SymMatrix;
+use cpm_core::rank::Rank;
+use cpm_core::traits::PointToPoint;
+use cpm_core::units::Bytes;
+
+/// Homogeneous Hockney: one `(α, β)` for every pair.
+///
+/// ```
+/// use cpm_models::HockneyHom;
+/// let h = HockneyHom { alpha: 100e-6, beta: 80e-9, n: 16 };
+/// assert_eq!(h.time(0), 100e-6);
+/// // Binomial scatter: log2(16)·α + 15·β·M.
+/// assert!(h.binomial(1024) < h.linear_serial(1024));
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HockneyHom {
+    /// Latency, seconds (constant contributions of processors and network).
+    pub alpha: f64,
+    /// Inverse bandwidth, seconds/byte (variable contributions).
+    pub beta: f64,
+    /// Number of processors the model describes.
+    pub n: usize,
+}
+
+impl HockneyHom {
+    /// `T(M) = α + βM`.
+    pub fn time(&self, m: Bytes) -> f64 {
+        self.alpha + self.beta * m as f64
+    }
+
+    /// Linear scatter/gather assuming the `n-1` transfers serialize:
+    /// `(n-1)(α + βM)`.
+    pub fn linear_serial(&self, m: Bytes) -> f64 {
+        (self.n as f64 - 1.0) * self.time(m)
+    }
+
+    /// Linear scatter/gather assuming the `n-1` transfers run fully in
+    /// parallel: `α + βM`.
+    pub fn linear_parallel(&self, m: Bytes) -> f64 {
+        self.time(m)
+    }
+
+    /// Binomial scatter/gather: `⌈log₂n⌉·α + (n-1)·β·M` (paper Section II).
+    pub fn binomial(&self, m: Bytes) -> f64 {
+        let rounds = (self.n as f64).log2().ceil();
+        rounds * self.alpha + (self.n as f64 - 1.0) * self.beta * m as f64
+    }
+}
+
+impl PointToPoint for HockneyHom {
+    fn p2p(&self, _src: Rank, _dst: Rank, m: Bytes) -> f64 {
+        self.time(m)
+    }
+    fn n(&self) -> usize {
+        self.n
+    }
+    fn is_homogeneous(&self) -> bool {
+        true
+    }
+}
+
+/// Heterogeneous Hockney: per-pair `(α_ij, β_ij)`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HockneyHet {
+    /// Per-pair latency, seconds.
+    pub alpha: SymMatrix<f64>,
+    /// Per-pair inverse bandwidth, seconds/byte.
+    pub beta: SymMatrix<f64>,
+}
+
+impl HockneyHet {
+    /// Builds the model; both matrices must describe the same cluster size.
+    pub fn new(alpha: SymMatrix<f64>, beta: SymMatrix<f64>) -> Self {
+        assert_eq!(alpha.n(), beta.n(), "α and β must cover the same processors");
+        HockneyHet { alpha, beta }
+    }
+
+    /// `T_ij(M) = α_ij + β_ij·M`.
+    pub fn time(&self, i: Rank, j: Rank, m: Bytes) -> f64 {
+        *self.alpha.get(i, j) + *self.beta.get(i, j) * m as f64
+    }
+
+    /// Averages the per-pair parameters into a homogeneous model — how the
+    /// paper says traditional models are applied to heterogeneous clusters
+    /// ("the heterogeneous cluster will be treated as homogeneous").
+    pub fn averaged(&self) -> HockneyHom {
+        HockneyHom {
+            alpha: self.alpha.mean().expect("at least one link"),
+            beta: self.beta.mean().expect("at least one link"),
+            n: self.alpha.n(),
+        }
+    }
+
+    /// Linear scatter/gather, serialized transfers:
+    /// `Σ_{i≠r} (α_ri + β_ri·M)`.
+    pub fn linear_serial(&self, root: Rank, m: Bytes) -> f64 {
+        (0..self.alpha.n())
+            .filter(|&i| i != root.idx())
+            .map(|i| self.time(root, Rank::from(i), m))
+            .sum()
+    }
+
+    /// Linear scatter/gather, parallel transfers:
+    /// `max_{i≠r} (α_ri + β_ri·M)`.
+    pub fn linear_parallel(&self, root: Rank, m: Bytes) -> f64 {
+        (0..self.alpha.n())
+            .filter(|&i| i != root.idx())
+            .map(|i| self.time(root, Rank::from(i), m))
+            .fold(0.0, f64::max)
+    }
+}
+
+impl PointToPoint for HockneyHet {
+    fn p2p(&self, src: Rank, dst: Rank, m: Bytes) -> f64 {
+        self.time(src, dst, m)
+    }
+    fn n(&self) -> usize {
+        self.alpha.n()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hom() -> HockneyHom {
+        HockneyHom { alpha: 100e-6, beta: 80e-9, n: 8 }
+    }
+
+    fn het(n: usize) -> HockneyHet {
+        // α_ij = (i+j)·10µs, β_ij = (1+i+j)·10ns/B — easy to hand-check.
+        HockneyHet::new(
+            SymMatrix::from_fn(n, |i, j| (i.0 + j.0) as f64 * 10e-6),
+            SymMatrix::from_fn(n, |i, j| (1 + i.0 + j.0) as f64 * 10e-9),
+        )
+    }
+
+    #[test]
+    fn homogeneous_p2p() {
+        let h = hom();
+        assert_eq!(h.time(0), 100e-6);
+        assert!((h.time(1000) - (100e-6 + 80e-9 * 1000.0)).abs() < 1e-18);
+        assert_eq!(h.p2p(Rank(0), Rank(5), 1000), h.time(1000));
+        assert!(h.is_homogeneous());
+    }
+
+    #[test]
+    fn homogeneous_linear_bounds() {
+        let h = hom();
+        let m = 10_000;
+        assert!((h.linear_serial(m) - 7.0 * h.time(m)).abs() < 1e-15);
+        assert_eq!(h.linear_parallel(m), h.time(m));
+        assert!(h.linear_serial(m) > h.linear_parallel(m));
+    }
+
+    #[test]
+    fn homogeneous_binomial_formula() {
+        let h = hom();
+        let m = 4096;
+        let expected = 3.0 * h.alpha + 7.0 * h.beta * m as f64;
+        assert!((h.binomial(m) - expected).abs() < 1e-15);
+        // Non-power-of-two rounds up the round count.
+        let h6 = HockneyHom { n: 6, ..hom() };
+        let expected6 = 3.0 * h6.alpha + 5.0 * h6.beta * m as f64;
+        assert!((h6.binomial(m) - expected6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn heterogeneous_p2p_and_symmetry() {
+        let h = het(4);
+        assert!((h.time(Rank(1), Rank(2), 0) - 30e-6).abs() < 1e-15);
+        assert_eq!(h.time(Rank(2), Rank(1), 0), h.time(Rank(1), Rank(2), 0));
+        let t = h.time(Rank(0), Rank(3), 1000);
+        assert!((t - (30e-6 + 40e-9 * 1000.0)).abs() < 1e-18);
+    }
+
+    #[test]
+    fn heterogeneous_linear_bounds() {
+        let h = het(4);
+        let m = 0;
+        // From root 0: pairs (0,1)=10µs, (0,2)=20µs, (0,3)=30µs.
+        assert!((h.linear_serial(Rank(0), m) - 60e-6).abs() < 1e-15);
+        assert!((h.linear_parallel(Rank(0), m) - 30e-6).abs() < 1e-15);
+        // From root 3: (3,0)=30, (3,1)=40, (3,2)=50.
+        assert!((h.linear_serial(Rank(3), m) - 120e-6).abs() < 1e-15);
+        assert!((h.linear_parallel(Rank(3), m) - 50e-6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn averaging_degenerates_to_homogeneous() {
+        let n = 5;
+        let uniform = HockneyHet::new(
+            SymMatrix::filled(n, 100e-6),
+            SymMatrix::filled(n, 80e-9),
+        );
+        let avg = uniform.averaged();
+        assert!((avg.alpha - 100e-6).abs() < 1e-18);
+        assert!((avg.beta - 80e-9).abs() < 1e-21);
+        assert_eq!(avg.n, n);
+        // Heterogeneous predictions equal homogeneous ones when uniform.
+        let m = 2048;
+        assert!(
+            (uniform.linear_serial(Rank(0), m) - avg.linear_serial(m)).abs() < 1e-12
+        );
+        assert!(
+            (uniform.linear_parallel(Rank(0), m) - avg.linear_parallel(m)).abs()
+                < 1e-15
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "same processors")]
+    fn mismatched_matrices_rejected() {
+        let _ = HockneyHet::new(SymMatrix::filled(3, 0.0), SymMatrix::filled(4, 0.0));
+    }
+}

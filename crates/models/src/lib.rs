@@ -1,0 +1,39 @@
+//! # cpm-models
+//!
+//! The communication performance models the paper analyzes, with the
+//! collective predictions of its Table II:
+//!
+//! | model | point-to-point time |
+//! |---|---|
+//! | Hockney (homogeneous) | `α + βM` |
+//! | Hockney (heterogeneous) | `α_ij + β_ij·M` |
+//! | LogP | `L + 2o` (+ gap for message streams) |
+//! | LogGP | `L + 2o + (M−1)G` |
+//! | PLogP | `L + g(M)` |
+//! | LMO (original, 5 parameters) | `C_i + C_j + M(t_i + 1/β_ij + t_j)` |
+//! | **LMO (extended, 6 parameters)** | `C_i + L_ij + C_j + M(t_i + 1/β_ij + t_j)` |
+//!
+//! The extended LMO model — the paper's contribution — fully separates the
+//! four kinds of contribution: constant processor (`C_i`), variable
+//! processor (`t_i`), constant network (`L_ij`) and variable network
+//! (`1/β_ij`). That separation is what lets collective predictions combine
+//! *sums* (serialized parts) and *maxima* (parallel parts) correctly.
+//!
+//! Modules:
+//! * [`hockney`], [`logp`], [`plogp`], [`lmo`] — the models themselves;
+//! * [`collective`] — generic collective predictors (linear serial/parallel
+//!   combinations, the recursive binomial formula, paper eq. (1));
+//! * [`table2`] — the closed-form linear scatter/gather predictions of
+//!   Table II for all models side by side.
+
+pub mod collective;
+pub mod hockney;
+pub mod lmo;
+pub mod logp;
+pub mod plogp;
+pub mod table2;
+
+pub use hockney::{HockneyHet, HockneyHom};
+pub use lmo::{GatherEmpirics, GatherRegime, LmoExtended, LmoOriginal};
+pub use logp::{LogGp, LogP};
+pub use plogp::{PLogP, PLogPHet};

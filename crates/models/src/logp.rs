@@ -1,0 +1,168 @@
+//! The LogP and LogGP models.
+//!
+//! LogP describes small fixed-size messages with four parameters: latency
+//! `L` (constant network contribution), overhead `o` (constant processor
+//! contribution — the time a processor is busy sending or receiving), gap
+//! `g` (minimum interval between consecutive transmissions; the reciprocal
+//! of per-message bandwidth) and the processor count `P`. A point-to-point
+//! message costs `L + 2o`; a large message decomposed into `M` short ones
+//! costs `L + 2o + M·g`.
+//!
+//! LogGP adds a *gap per byte* `G` for long messages: a point-to-point
+//! transfer costs `L + 2o + (M−1)·G`, and `m` consecutive sends cost
+//! `L + 2o + (M−1)G + (m−1)g`. Both gap parameters mix processor and
+//! network variable contributions — the separation failure the paper
+//! targets.
+
+use serde::{Deserialize, Serialize};
+
+use cpm_core::rank::Rank;
+use cpm_core::traits::PointToPoint;
+use cpm_core::units::Bytes;
+
+/// The LogP model (per-byte reading of the gap, as in the paper's
+/// `L + 2o + Mg` formula for fragmented large messages).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LogP {
+    /// Latency: upper bound on network transit time, seconds.
+    pub l: f64,
+    /// Overhead: processor busy time per send or receive, seconds.
+    pub o: f64,
+    /// Gap per byte for fragmented large messages, seconds/byte.
+    pub g: f64,
+    /// Number of processors.
+    pub p: usize,
+}
+
+impl LogP {
+    /// `T(M) = L + 2o + M·g`.
+    pub fn time(&self, m: Bytes) -> f64 {
+        self.l + 2.0 * self.o + m as f64 * self.g
+    }
+}
+
+impl PointToPoint for LogP {
+    fn p2p(&self, _src: Rank, _dst: Rank, m: Bytes) -> f64 {
+        self.time(m)
+    }
+    fn n(&self) -> usize {
+        self.p
+    }
+    fn is_homogeneous(&self) -> bool {
+        true
+    }
+}
+
+/// The LogGP model.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LogGp {
+    /// Latency, seconds.
+    pub l: f64,
+    /// Overhead per send/receive, seconds.
+    pub o: f64,
+    /// Gap between consecutive messages, seconds (constant, mixed
+    /// processor+network).
+    pub g: f64,
+    /// Gap per byte, seconds/byte (variable, mixed processor+network).
+    pub big_g: f64,
+    /// Number of processors.
+    pub p: usize,
+}
+
+impl LogGp {
+    /// `T(M) = L + 2o + (M−1)·G`.
+    pub fn time(&self, m: Bytes) -> f64 {
+        self.l + 2.0 * self.o + (m as f64 - 1.0).max(0.0) * self.big_g
+    }
+
+    /// `m` back-to-back sends of `M` bytes:
+    /// `L + 2o + (M−1)G + (m−1)g`.
+    pub fn time_series(&self, m: Bytes, count: usize) -> f64 {
+        assert!(count >= 1, "a series needs at least one message");
+        self.time(m) + (count as f64 - 1.0) * self.g
+    }
+
+    /// Linear scatter/gather (paper Table II):
+    /// `L + 2o + (n−1)(M−1)G + (n−2)g`.
+    pub fn linear(&self, m: Bytes) -> f64 {
+        let n = self.p as f64;
+        self.l
+            + 2.0 * self.o
+            + (n - 1.0) * (m as f64 - 1.0).max(0.0) * self.big_g
+            + (n - 2.0).max(0.0) * self.g
+    }
+}
+
+impl PointToPoint for LogGp {
+    fn p2p(&self, _src: Rank, _dst: Rank, m: Bytes) -> f64 {
+        self.time(m)
+    }
+    fn n(&self) -> usize {
+        self.p
+    }
+    fn is_homogeneous(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn logp() -> LogP {
+        LogP { l: 50e-6, o: 20e-6, g: 90e-9, p: 8 }
+    }
+
+    fn loggp() -> LogGp {
+        LogGp { l: 50e-6, o: 20e-6, g: 30e-6, big_g: 90e-9, p: 8 }
+    }
+
+    #[test]
+    fn logp_p2p() {
+        let m = logp();
+        assert!((m.time(0) - 90e-6).abs() < 1e-15);
+        assert!((m.time(1000) - (90e-6 + 90e-6)).abs() < 1e-12);
+        assert_eq!(m.p2p(Rank(0), Rank(1), 1000), m.time(1000));
+    }
+
+    #[test]
+    fn loggp_p2p_and_zero_message() {
+        let m = loggp();
+        // (M-1) clamps at zero for empty messages.
+        assert!((m.time(0) - 90e-6).abs() < 1e-15);
+        assert!((m.time(1) - 90e-6).abs() < 1e-15);
+        let t = m.time(10_001);
+        assert!((t - (90e-6 + 10_000.0 * 90e-9)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loggp_series_adds_gaps() {
+        let m = loggp();
+        let single = m.time_series(1024, 1);
+        assert_eq!(single, m.time(1024));
+        let five = m.time_series(1024, 5);
+        assert!((five - (single + 4.0 * m.g)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn loggp_linear_matches_table_2() {
+        let m = loggp();
+        let msg = 4096u64;
+        let expected =
+            m.l + 2.0 * m.o + 7.0 * 4095.0 * m.big_g + 6.0 * m.g;
+        assert!((m.linear(msg) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loggp_linear_degenerates_for_two_procs() {
+        let m = LogGp { p: 2, ..loggp() };
+        // n=2: one transfer, no gap term.
+        assert!((m.linear(100) - m.time(100)).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one message")]
+    fn empty_series_rejected() {
+        let _ = loggp().time_series(10, 0);
+    }
+}

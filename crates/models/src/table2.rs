@@ -1,0 +1,152 @@
+//! Table II of the paper: the linear scatter and gather predictions of all
+//! four model families, side by side, for a given root and message size.
+
+use cpm_core::rank::Rank;
+use cpm_core::units::Bytes;
+
+use crate::hockney::HockneyHet;
+use crate::lmo::LmoExtended;
+use crate::logp::LogGp;
+use crate::plogp::PLogP;
+
+/// One row of Table II evaluated at a concrete `(root, M)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Table2Row {
+    pub model: &'static str,
+    /// Predicted linear scatter time, seconds.
+    pub scatter: f64,
+    /// Predicted linear gather time, seconds.
+    pub gather: f64,
+    /// `true` when the model distinguishes scatter from gather.
+    pub distinguishes: bool,
+}
+
+/// The four estimated models Table II compares.
+pub struct Table2Models {
+    pub hockney: HockneyHet,
+    pub loggp: LogGp,
+    pub plogp: PLogP,
+    pub lmo: LmoExtended,
+}
+
+impl Table2Models {
+    /// Evaluates every model's closed-form prediction at `(root, m)`.
+    ///
+    /// Only the LMO row can differ between scatter and gather: traditional
+    /// models, by design, "the same formulas can be applied to the
+    /// estimation of linear gather".
+    pub fn evaluate(&self, root: Rank, m: Bytes) -> Vec<Table2Row> {
+        let hockney = self.hockney.linear_serial(root, m);
+        let loggp = self.loggp.linear(m);
+        let plogp = self.plogp.linear(m);
+        let scatter = self.lmo.linear_scatter(root, m);
+        let gather = self.lmo.linear_gather(root, m);
+        vec![
+            Table2Row {
+                model: "Hetero-Hockney",
+                scatter: hockney,
+                gather: hockney,
+                distinguishes: false,
+            },
+            Table2Row {
+                model: "LogGP",
+                scatter: loggp,
+                gather: loggp,
+                distinguishes: false,
+            },
+            Table2Row {
+                model: "PLogP",
+                scatter: plogp,
+                gather: plogp,
+                distinguishes: false,
+            },
+            Table2Row {
+                model: "LMO",
+                scatter,
+                gather: gather.expected,
+                distinguishes: true,
+            },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lmo::GatherEmpirics;
+    use cpm_core::matrix::SymMatrix;
+    use cpm_stats::PiecewiseLinear;
+
+    fn models(n: usize) -> Table2Models {
+        Table2Models {
+            hockney: HockneyHet::new(
+                SymMatrix::filled(n, 100e-6),
+                SymMatrix::filled(n, 90e-9),
+            ),
+            loggp: LogGp { l: 50e-6, o: 20e-6, g: 30e-6, big_g: 85e-9, p: n },
+            plogp: PLogP {
+                l: 60e-6,
+                os: PiecewiseLinear::constant(20e-6),
+                or: PiecewiseLinear::constant(25e-6),
+                g: PiecewiseLinear::new(vec![(0.0, 40e-6), (1e6, 85.0e-3)]),
+                p: n,
+            },
+            lmo: LmoExtended::new(
+                vec![25e-6; n],
+                vec![4e-9; n],
+                SymMatrix::filled(n, 50e-6),
+                SymMatrix::filled(n, 12e6),
+                GatherEmpirics {
+                    m1: 4096,
+                    m2: 65536,
+                    escalation_probability: 0.4,
+                    escalation_magnitude: 0.2,
+                    escalation_prob_knots: Vec::new(),
+                },
+            ),
+        }
+    }
+
+    #[test]
+    fn four_rows_in_order() {
+        let rows = models(16).evaluate(Rank(0), 8192);
+        let names: Vec<_> = rows.iter().map(|r| r.model).collect();
+        assert_eq!(names, vec!["Hetero-Hockney", "LogGP", "PLogP", "LMO"]);
+    }
+
+    #[test]
+    fn only_lmo_distinguishes_gather_from_scatter() {
+        let rows = models(16).evaluate(Rank(0), 32 * 1024);
+        for r in &rows {
+            if r.model == "LMO" {
+                assert!(r.distinguishes);
+                // Medium regime: the gather expectation carries the
+                // escalation surcharge.
+                assert!(r.gather > r.scatter);
+            } else {
+                assert!(!r.distinguishes);
+                assert_eq!(r.scatter, r.gather);
+            }
+        }
+    }
+
+    #[test]
+    fn large_message_gather_uses_sum_combination() {
+        let t2 = models(16);
+        let rows = t2.evaluate(Rank(0), 128 * 1024);
+        let lmo = rows.iter().find(|r| r.model == "LMO").unwrap();
+        // Sum of 15 tails dwarfs the max of them.
+        assert!(lmo.gather > 2.0 * lmo.scatter);
+    }
+
+    #[test]
+    fn predictions_positive_and_finite() {
+        let t2 = models(8);
+        for m in [0u64, 1024, 65536, 200 * 1024] {
+            for row in t2.evaluate(Rank(3), m) {
+                assert!(row.scatter.is_finite() && row.scatter >= 0.0);
+                assert!(row.gather.is_finite() && row.gather >= 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Property-based tests for the model crate: algebraic laws each model
+//! must obey regardless of its parameters.
+
+use cpm_core::matrix::SymMatrix;
+use cpm_core::rank::Rank;
+use cpm_core::traits::PointToPoint;
+use cpm_core::tree::BinomialTree;
+use cpm_models::collective::{binomial_recursive, binomial_recursive_full};
+use cpm_models::{GatherEmpirics, HockneyHet, HockneyHom, LmoExtended, LogGp, PLogP};
+use cpm_stats::PiecewiseLinear;
+use proptest::prelude::*;
+
+fn lmo(n: usize, c: f64, t: f64, l: f64, beta: f64, m1: u64, m2: u64) -> LmoExtended {
+    LmoExtended::new(
+        vec![c; n],
+        vec![t; n],
+        SymMatrix::filled(n, l),
+        SymMatrix::filled(n, beta),
+        GatherEmpirics {
+            m1,
+            m2,
+            escalation_probability: 0.3,
+            escalation_magnitude: 0.2,
+            escalation_prob_knots: Vec::new(),
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// LogGP series time is monotone in the message count and size.
+    #[test]
+    fn loggp_series_monotone(
+        l in 1e-6f64..1e-3,
+        o in 1e-6f64..1e-4,
+        g in 1e-6f64..1e-3,
+        big_g in 1e-9f64..1e-6,
+        m in 1u64..100_000,
+        count in 1usize..50,
+    ) {
+        let model = LogGp { l, o, g, big_g, p: 8 };
+        prop_assert!(model.time_series(m, count) <= model.time_series(m, count + 1));
+        prop_assert!(model.time_series(m, count) <= model.time_series(m + 1, count));
+        prop_assert!(model.linear(m) <= model.linear(m + 1));
+    }
+
+    /// For n ≥ 2 the PLogP collective prediction is at least the
+    /// point-to-point time (it repeats the gap n−1 times).
+    #[test]
+    fn plogp_linear_dominates_p2p(
+        l in 1e-6f64..1e-3,
+        g0 in 1e-6f64..1e-4,
+        slope in 1e-9f64..1e-6,
+        m in 0u64..200_000,
+        n in 2usize..64,
+    ) {
+        let model = PLogP {
+            l,
+            os: PiecewiseLinear::constant(g0 / 2.0),
+            or: PiecewiseLinear::constant(g0 / 2.0),
+            g: PiecewiseLinear::new(vec![(0.0, g0), (1e6, g0 + slope * 1e6)]),
+            p: n,
+        };
+        prop_assert!(model.linear(m) >= model.time(m) - 1e-15);
+    }
+
+    /// The LMO ↔ Hockney identity: α_ij = C_i + L_ij + C_j and
+    /// β_ij = t_i + 1/β_ij + t_j reproduce the same point-to-point times
+    /// for arbitrary heterogeneous parameters.
+    #[test]
+    fn lmo_hockney_identity_heterogeneous(
+        cs in prop::collection::vec(1e-6f64..1e-3, 5),
+        ts in prop::collection::vec(1e-10f64..1e-7, 5),
+        m in 0u64..500_000,
+    ) {
+        let model = LmoExtended::new(
+            cs,
+            ts,
+            SymMatrix::from_fn(5, |i, j| (1 + i.0 + j.0) as f64 * 1e-5),
+            SymMatrix::from_fn(5, |i, j| (1 + i.0 * 2 + j.0) as f64 * 1e6),
+            GatherEmpirics::none(),
+        );
+        let h: HockneyHet = model.to_hockney();
+        for i in 0..5u32 {
+            for j in (i + 1)..5u32 {
+                let a = model.time(Rank(i), Rank(j), m);
+                let b = h.time(Rank(i), Rank(j), m);
+                prop_assert!((a - b).abs() <= 1e-12 * a.max(1e-12));
+            }
+        }
+    }
+
+    /// Homogeneous Hockney: the binomial closed form is below the linear
+    /// serial form exactly when fewer latency terms are paid (always, for
+    /// n ≥ 2) — the structural root of the Fig. 6 misprediction.
+    #[test]
+    fn hockney_binomial_always_below_serial(
+        alpha in 1e-6f64..1e-2,
+        beta in 1e-10f64..1e-6,
+        m in 0u64..1_000_000,
+        n in 2usize..128,
+    ) {
+        let h = HockneyHom { alpha, beta, n };
+        prop_assert!(h.binomial(m) <= h.linear_serial(m) + 1e-15);
+    }
+
+    /// Gather regime classification is consistent with the thresholds and
+    /// the expected value never falls below the base.
+    #[test]
+    fn gather_prediction_laws(
+        m in 0u64..300_000,
+        m1 in 1_000u64..10_000,
+        gap in 10_000u64..100_000,
+    ) {
+        let m2 = m1 + gap;
+        let model = lmo(8, 40e-6, 7e-9, 40e-6, 12e6, m1, m2);
+        let g = model.linear_gather(Rank(0), m);
+        prop_assert!(g.expected >= g.base - 1e-15);
+        use cpm_models::GatherRegime::*;
+        match g.regime {
+            Small => prop_assert!(m < m1),
+            Medium => prop_assert!(m >= m1 && m <= m2),
+            Large => prop_assert!(m > m2),
+        }
+    }
+
+    /// Broadcast recursion ≤ scatter recursion at equal per-process block
+    /// size (scatter's top arcs carry multiples of the block).
+    #[test]
+    fn bcast_recursion_below_scatter_recursion(
+        n_exp in 1u32..6,
+        m in 1u64..100_000,
+    ) {
+        let n = 1usize << n_exp;
+        let model = lmo(n, 40e-6, 7e-9, 40e-6, 12e6, u64::MAX, u64::MAX);
+        let tree = BinomialTree::new(n, Rank(0));
+        let b = binomial_recursive_full(&model, &tree, m);
+        let s = binomial_recursive(&model, &tree, m);
+        prop_assert!(b <= s + 1e-15, "bcast {b} vs scatter {s}");
+    }
+
+    /// Every model's p2p is non-negative and finite over its whole domain.
+    #[test]
+    fn p2p_sane(m in 0u64..10_000_000) {
+        let models: Vec<Box<dyn PointToPoint>> = vec![
+            Box::new(HockneyHom { alpha: 1e-4, beta: 8e-8, n: 16 }),
+            Box::new(LogGp { l: 5e-5, o: 2e-5, g: 3e-5, big_g: 9e-8, p: 16 }),
+            Box::new(lmo(16, 45e-6, 7e-9, 42e-6, 11.7e6, 4096, 66560)),
+        ];
+        for model in &models {
+            let v = model.p2p(Rank(0), Rank(1), m);
+            prop_assert!(v.is_finite() && v >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! The simulated cluster: ground truth + irregularity profile + noise.
+
+use cpm_cluster::{ClusterConfig, GroundTruth, MpiProfile, Topology};
+
+/// Everything the kernel needs to simulate one cluster.
+#[derive(Clone, Debug)]
+pub struct SimCluster {
+    /// Hidden physical parameters (the estimators must recover these).
+    pub truth: GroundTruth,
+    /// TCP/MPI irregularity profile.
+    pub profile: MpiProfile,
+    /// Relative standard deviation of multiplicative duration noise
+    /// (0 disables noise).
+    pub noise_rel: f64,
+    /// Seed for escalation draws and noise.
+    pub seed: u64,
+    /// Network topology (the paper's platform is a single switch; the
+    /// two-switch variant exists to demonstrate the model's boundary).
+    pub topology: Topology,
+}
+
+impl SimCluster {
+    /// Creates a simulated cluster.
+    ///
+    /// # Panics
+    /// Panics when `noise_rel` is negative or not finite.
+    pub fn new(truth: GroundTruth, profile: MpiProfile, noise_rel: f64, seed: u64) -> Self {
+        assert!(
+            noise_rel.is_finite() && noise_rel >= 0.0,
+            "noise_rel must be a small non-negative number, got {noise_rel}"
+        );
+        SimCluster { truth, profile, noise_rel, seed, topology: Topology::SingleSwitch }
+    }
+
+    /// The same cluster rewired to a different topology.
+    pub fn with_topology(self, topology: Topology) -> Self {
+        if let Topology::TwoSwitch { split, .. } = &topology {
+            assert!(
+                *split > 0 && *split < self.n(),
+                "two-switch split must leave nodes on both sides"
+            );
+        }
+        SimCluster { topology, ..self }
+    }
+
+    /// Builds the simulated cluster described by a [`ClusterConfig`].
+    pub fn from_config(cfg: &ClusterConfig) -> Self {
+        Self::new(cfg.ground_truth(), cfg.profile.clone(), cfg.noise_rel, cfg.sim_seed)
+            .with_topology(cfg.topology.clone())
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.truth.n()
+    }
+
+    /// The same cluster with a different stochastic seed — used to vary
+    /// escalation/noise draws across repeated experiment runs while keeping
+    /// the physical parameters fixed.
+    pub fn reseeded(&self, seed: u64) -> Self {
+        SimCluster { seed, ..self.clone() }
+    }
+
+    /// The same cluster with irregularities and noise disabled — the
+    /// ablation control.
+    pub fn idealized(&self) -> Self {
+        SimCluster {
+            truth: self.truth.clone(),
+            profile: MpiProfile::ideal(),
+            noise_rel: 0.0,
+            seed: self.seed,
+            topology: self.topology.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpm_cluster::ClusterSpec;
+
+    fn truth() -> GroundTruth {
+        GroundTruth::synthesize(&ClusterSpec::homogeneous(4), 9)
+    }
+
+    #[test]
+    fn from_config_matches_manual_construction() {
+        let cfg = ClusterConfig::paper_lam(9);
+        let sim = SimCluster::from_config(&cfg);
+        assert_eq!(sim.n(), 16);
+        assert_eq!(sim.truth, cfg.ground_truth());
+        assert_eq!(sim.profile, cfg.profile);
+    }
+
+    #[test]
+    fn reseeding_keeps_physics() {
+        let sim = SimCluster::new(truth(), MpiProfile::lam_7_1_3(), 0.01, 1);
+        let re = sim.reseeded(99);
+        assert_eq!(re.truth, sim.truth);
+        assert_eq!(re.seed, 99);
+    }
+
+    #[test]
+    fn idealized_strips_irregularities() {
+        let sim = SimCluster::new(truth(), MpiProfile::lam_7_1_3(), 0.01, 1);
+        let ideal = sim.idealized();
+        assert_eq!(ideal.profile.name, "ideal");
+        assert_eq!(ideal.noise_rel, 0.0);
+        assert_eq!(ideal.truth, sim.truth);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_noise_rejected() {
+        let _ = SimCluster::new(truth(), MpiProfile::ideal(), -0.1, 1);
+    }
+}

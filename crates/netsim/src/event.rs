@@ -1,0 +1,140 @@
+//! The event queue of the discrete-event kernel.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use cpm_core::time::Time;
+
+/// Index of a simulated process.
+pub type ProcId = usize;
+
+/// Index of an in-flight message in the kernel's message table.
+pub type MsgId = usize;
+
+/// What happens when an event fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A blocked process becomes runnable.
+    Wake(ProcId),
+    /// A message reaches the receiver's ingress port after crossing the
+    /// switch fabric (sender NIC exit + link latency).
+    Arrive(MsgId),
+    /// The last byte of a message has crossed the receiver's ingress port.
+    TransferDone(MsgId),
+    /// The receiver's rx engine has finished processing a message; it is
+    /// now visible to `recv`.
+    Deliver(MsgId),
+}
+
+/// An event: fires at `at`; `seq` breaks ties deterministically in insertion
+/// order.
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    pub at: Time,
+    pub seq: u64,
+    pub kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we need earliest-first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic time-ordered event queue.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `kind` at time `at`.
+    pub fn push(&mut self, at: Time, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { at, seq, kind });
+    }
+
+    /// Pops the earliest event (ties broken by insertion order).
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_secs(3.0), EventKind::Wake(3));
+        q.push(Time::from_secs(1.0), EventKind::Wake(1));
+        q.push(Time::from_secs(2.0), EventKind::Wake(2));
+        let order: Vec<_> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.at.secs() as u32)
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_broken_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = Time::from_secs(1.0);
+        for i in 0..10 {
+            q.push(t, EventKind::Wake(i));
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Wake(p) => p,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn interleaved_push_pop() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_secs(5.0), EventKind::Wake(5));
+        q.push(Time::from_secs(1.0), EventKind::Wake(1));
+        assert_eq!(q.pop().unwrap().at, Time::from_secs(1.0));
+        q.push(Time::from_secs(2.0), EventKind::Wake(2));
+        assert_eq!(q.pop().unwrap().at, Time::from_secs(2.0));
+        assert_eq!(q.pop().unwrap().at, Time::from_secs(5.0));
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+    }
+}

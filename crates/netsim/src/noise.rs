@@ -1,0 +1,105 @@
+//! Measurement noise.
+//!
+//! Real clusters never produce the same duration twice; the paper's
+//! methodology (repeat until the 95 % confidence interval is tight) only
+//! makes sense against noisy measurements. The kernel multiplies every
+//! duration by `1 + σ·z` with `z` standard normal, clamped so durations
+//! remain positive.
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+/// A multiplicative Gaussian noise source.
+#[derive(Clone, Debug)]
+pub struct NoiseSource {
+    sigma: f64,
+    /// Spare value from the Box-Muller pair.
+    spare: Option<f64>,
+}
+
+impl NoiseSource {
+    /// Creates a source with relative standard deviation `sigma`
+    /// (0 disables noise).
+    pub fn new(sigma: f64) -> Self {
+        assert!(sigma.is_finite() && sigma >= 0.0, "sigma must be ≥ 0, got {sigma}");
+        NoiseSource { sigma, spare: None }
+    }
+
+    /// Draws one standard normal value (Box-Muller).
+    fn standard_normal(&mut self, rng: &mut ChaCha8Rng) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        // Polar Box-Muller: rejection keeps us inside the unit disc.
+        loop {
+            let u: f64 = rng.gen_range(-1.0..1.0);
+            let v: f64 = rng.gen_range(-1.0..1.0);
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let f = (-2.0 * s.ln() / s).sqrt();
+                self.spare = Some(v * f);
+                return u * f;
+            }
+        }
+    }
+
+    /// Applies noise to a duration: `d · max(1 + σ·z, 0.05)`.
+    pub fn apply(&mut self, d: f64, rng: &mut ChaCha8Rng) -> f64 {
+        if self.sigma == 0.0 || d == 0.0 {
+            return d;
+        }
+        let z = self.standard_normal(rng);
+        d * (1.0 + self.sigma * z).max(0.05)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_sigma_is_identity() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut n = NoiseSource::new(0.0);
+        assert_eq!(n.apply(1.5, &mut rng), 1.5);
+        assert_eq!(n.apply(0.0, &mut rng), 0.0);
+    }
+
+    #[test]
+    fn noise_has_requested_spread() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut n = NoiseSource::new(0.05);
+        let samples: Vec<f64> = (0..20_000).map(|_| n.apply(1.0, &mut rng)).collect();
+        let mean: f64 = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var: f64 =
+            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / samples.len() as f64;
+        assert!((mean - 1.0).abs() < 0.005, "mean {mean}");
+        assert!((var.sqrt() - 0.05).abs() < 0.005, "sd {}", var.sqrt());
+    }
+
+    #[test]
+    fn durations_stay_positive_under_heavy_noise() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut n = NoiseSource::new(1.0);
+        for _ in 0..10_000 {
+            assert!(n.apply(1e-6, &mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let run = || {
+            let mut rng = ChaCha8Rng::seed_from_u64(42);
+            let mut n = NoiseSource::new(0.1);
+            (0..100).map(|_| n.apply(1.0, &mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "≥ 0")]
+    fn negative_sigma_rejected() {
+        let _ = NoiseSource::new(-0.5);
+    }
+}

@@ -1,0 +1,181 @@
+//! The process-side handle: an MPI-flavoured API for rank programs.
+//!
+//! A rank program is an ordinary closure receiving `&mut Proc`. Every
+//! communication call hands control back to the kernel (a syscall over a
+//! channel) and blocks the OS thread until the kernel grants the process
+//! again at its new virtual time. Exactly one process runs at any moment, so
+//! host thread scheduling cannot perturb virtual time.
+
+use crossbeam::channel::{Receiver, Sender};
+
+use cpm_core::rank::Rank;
+use cpm_core::time::Time;
+use cpm_core::units::Bytes;
+
+use crate::event::ProcId;
+use crate::msg::{Grant, MsgView, Syscall, Tag};
+
+/// Handle of a pending nonblocking send.
+#[derive(Clone, Copy, Debug)]
+#[must_use = "wait on the request or the send may outlive the program"]
+pub struct SendRequest {
+    pub(crate) handle: usize,
+}
+
+/// Handle of a pending nonblocking receive (client-side: matching happens
+/// at wait time, which is equivalent here because the simulator processes
+/// inbound messages in the background regardless).
+#[derive(Clone, Copy, Debug)]
+#[must_use = "wait on the request to obtain the message"]
+pub struct RecvRequest {
+    pub(crate) src: Option<Rank>,
+    pub(crate) tag: Option<Tag>,
+}
+
+/// The handle a rank program uses to talk to the simulated cluster.
+pub struct Proc {
+    pub(crate) id: ProcId,
+    pub(crate) n: usize,
+    pub(crate) now: Time,
+    pub(crate) grant_rx: Receiver<Grant>,
+    pub(crate) sys_tx: Sender<(ProcId, Syscall)>,
+}
+
+impl Proc {
+    /// This process's rank.
+    pub fn rank(&self) -> Rank {
+        Rank::from(self.id)
+    }
+
+    /// Number of processes in the simulation.
+    pub fn size(&self) -> usize {
+        self.n
+    }
+
+    /// Current virtual time in seconds — the simulated `MPI_Wtime`.
+    pub fn now(&self) -> f64 {
+        self.now.secs()
+    }
+
+    fn call(&mut self, sc: Syscall) -> Grant {
+        self.sys_tx
+            .send((self.id, sc))
+            .expect("kernel alive while processes run");
+        let grant = self
+            .grant_rx
+            .recv()
+            .expect("kernel grants after every syscall");
+        self.now = grant.now;
+        grant
+    }
+
+    /// Blocking send of `bytes` bytes to `dst` with tag 0.
+    ///
+    /// Returns when the local send engine is free again — or, for messages
+    /// in the profile's large regime, when the transfer has been admitted
+    /// by the receiver's ingress port (TCP backpressure: an uncongested
+    /// receiver costs nothing extra, a congested one stalls the sender).
+    pub fn send(&mut self, dst: Rank, bytes: Bytes) {
+        self.send_tagged(dst, 0, bytes);
+    }
+
+    /// Blocking tagged send.
+    ///
+    /// # Panics
+    /// Panics on self-sends: the model has no loopback path (the paper
+    /// treats the root's own block as a free local copy).
+    pub fn send_tagged(&mut self, dst: Rank, tag: Tag, bytes: Bytes) {
+        assert_ne!(dst, self.rank(), "self-send is not modelled; skip the root's own block");
+        assert!(dst.idx() < self.n, "destination {dst} out of range");
+        self.call(Syscall::Send { dst, tag, bytes });
+    }
+
+    /// Blocking receive of the next message from `src` with tag 0.
+    pub fn recv(&mut self, src: Rank) -> MsgView {
+        self.recv_matching(Some(src), Some(0))
+    }
+
+    /// Blocking receive from `src` with a specific tag.
+    pub fn recv_tagged(&mut self, src: Rank, tag: Tag) -> MsgView {
+        self.recv_matching(Some(src), Some(tag))
+    }
+
+    /// Blocking receive of the earliest-delivered message from any source,
+    /// any tag.
+    pub fn recv_any(&mut self) -> MsgView {
+        self.recv_matching(None, None)
+    }
+
+    fn recv_matching(&mut self, src: Option<Rank>, tag: Option<Tag>) -> MsgView {
+        if let Some(s) = src {
+            assert!(s.idx() < self.n, "source {s} out of range");
+            assert_ne!(s.idx(), self.id, "self-receive is not modelled");
+        }
+        let grant = self.call(Syscall::Recv { src, tag });
+        grant.msg.expect("a Recv grant carries a message")
+    }
+
+    /// Posts a nonblocking (buffered) send and returns immediately at the
+    /// current virtual time. The transfer proceeds in the background;
+    /// [`Proc::wait_send`] blocks until the local tx-engine slot completes
+    /// (buffered semantics — the large-message admission backpressure of
+    /// blocking [`Proc::send`] does not apply).
+    pub fn isend(&mut self, dst: Rank, bytes: Bytes) -> SendRequest {
+        self.isend_tagged(dst, 0, bytes)
+    }
+
+    /// Tagged nonblocking send.
+    pub fn isend_tagged(&mut self, dst: Rank, tag: Tag, bytes: Bytes) -> SendRequest {
+        assert_ne!(dst, self.rank(), "self-send is not modelled");
+        assert!(dst.idx() < self.n, "destination {dst} out of range");
+        let grant = self.call(Syscall::ISend { dst, tag, bytes });
+        SendRequest { handle: grant.handle.expect("isend grant carries a handle") }
+    }
+
+    /// Blocks until a nonblocking send's local completion.
+    pub fn wait_send(&mut self, req: SendRequest) {
+        self.call(Syscall::WaitSend { handle: req.handle });
+    }
+
+    /// Posts a nonblocking receive for `(src, tag 0)`.
+    pub fn irecv(&mut self, src: Rank) -> RecvRequest {
+        assert!(src.idx() < self.n, "source {src} out of range");
+        assert_ne!(src.idx(), self.id, "self-receive is not modelled");
+        RecvRequest { src: Some(src), tag: Some(0) }
+    }
+
+    /// Blocks until the posted receive matches a delivered message.
+    pub fn wait_recv(&mut self, req: RecvRequest) -> MsgView {
+        self.recv_matching(req.src, req.tag)
+    }
+
+    /// Spends `secs` of virtual time computing locally.
+    pub fn compute(&mut self, secs: f64) {
+        assert!(secs >= 0.0 && secs.is_finite(), "compute time must be ≥ 0");
+        self.call(Syscall::Compute { secs });
+    }
+
+    /// Zero-cost global barrier: all living processes resume together at
+    /// the latest arrival time. This is the benchmark synchronization
+    /// MPIBlib uses before timed operations, not a message-based barrier.
+    pub fn barrier(&mut self) {
+        self.call(Syscall::Barrier);
+    }
+
+    /// Waits for the initial grant (used by kernel tests; the runner has
+    /// its own non-panicking variant).
+    #[allow(dead_code)]
+    pub(crate) fn wait_first_grant(&mut self) {
+        let grant = self
+            .grant_rx
+            .recv()
+            .expect("kernel sends the initial grant");
+        self.now = grant.now;
+    }
+
+    /// Tells the kernel the program ended (called by the runner).
+    pub(crate) fn finish(&mut self, panicked: bool) {
+        // The kernel may already be gone if it errored out; ignore failures.
+        let _ = self.sys_tx.send((self.id, Syscall::Finish { panicked }));
+    }
+}

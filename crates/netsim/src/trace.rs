@@ -1,0 +1,217 @@
+//! Execution traces.
+//!
+//! A trace records every phase of every transfer with its virtual-time
+//! interval, turning the kernel's resource model into inspectable data:
+//! which tx-engine slot a send occupied, when the wire carried it, when the
+//! rx engine processed it, when `recv` picked it up. Traces power the
+//! fine-grained semantic tests (serialization orders, overlap claims) and
+//! the [`render_timeline`] ASCII Gantt used by the `timeline` example.
+
+use cpm_core::rank::Rank;
+use cpm_core::units::Bytes;
+
+/// One traced occurrence. Times are virtual seconds.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// A send occupied the sender's tx engine over `[start, end)`.
+    TxSlot { msg: usize, src: Rank, dst: Rank, bytes: Bytes, start: f64, end: f64 },
+    /// The message crossed the receiver's ingress over `[start, end)`
+    /// (includes any escalation delay and uplink/ingress queueing).
+    Wire { msg: usize, src: Rank, dst: Rank, start: f64, end: f64 },
+    /// The receiver's rx engine processed the message over `[start, end)`.
+    RxSlot { msg: usize, dst: Rank, start: f64, end: f64 },
+    /// A matching `recv` consumed the message at `at`.
+    Received { msg: usize, by: Rank, at: f64 },
+    /// The global barrier released all ranks at `at`.
+    BarrierRelease { at: f64 },
+}
+
+impl TraceEvent {
+    /// The instant the event begins (for sorting/rendering).
+    pub fn at(&self) -> f64 {
+        match self {
+            TraceEvent::TxSlot { start, .. }
+            | TraceEvent::Wire { start, .. }
+            | TraceEvent::RxSlot { start, .. } => *start,
+            TraceEvent::Received { at, .. } | TraceEvent::BarrierRelease { at } => *at,
+        }
+    }
+}
+
+/// A complete trace: events in the order the kernel emitted them
+/// (non-decreasing start times within each category).
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// All tx-engine slots of one rank, in time order.
+    pub fn tx_slots(&self, r: Rank) -> Vec<(f64, f64)> {
+        let mut out: Vec<(f64, f64)> = self
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::TxSlot { src, start, end, .. } if *src == r => {
+                    Some((*start, *end))
+                }
+                _ => None,
+            })
+            .collect();
+        out.sort_by(|a, b| a.0.total_cmp(&b.0));
+        out
+    }
+
+    /// All rx-engine slots of one rank, in time order.
+    pub fn rx_slots(&self, r: Rank) -> Vec<(f64, f64)> {
+        let mut out: Vec<(f64, f64)> = self
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::RxSlot { dst, start, end, .. } if *dst == r => {
+                    Some((*start, *end))
+                }
+                _ => None,
+            })
+            .collect();
+        out.sort_by(|a, b| a.0.total_cmp(&b.0));
+        out
+    }
+
+    /// Wire intervals of transfers into one rank.
+    pub fn wire_into(&self, r: Rank) -> Vec<(f64, f64)> {
+        let mut out: Vec<(f64, f64)> = self
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Wire { dst, start, end, .. } if *dst == r => {
+                    Some((*start, *end))
+                }
+                _ => None,
+            })
+            .collect();
+        out.sort_by(|a, b| a.0.total_cmp(&b.0));
+        out
+    }
+
+    /// `true` when no two intervals of `slots` overlap (serial resource).
+    pub fn is_serial(slots: &[(f64, f64)]) -> bool {
+        slots.windows(2).all(|w| w[0].1 <= w[1].0 + 1e-12)
+    }
+
+    /// `true` when at least two intervals overlap (parallel activity).
+    pub fn has_overlap(slots: &[(f64, f64)]) -> bool {
+        slots.windows(2).any(|w| w[1].0 < w[0].1 - 1e-12)
+    }
+}
+
+/// Renders a per-rank ASCII timeline: `columns` buckets from 0 to the last
+/// event; `T` marks tx-engine activity, `R` rx-engine activity, `=` wire
+/// into the rank, `*` several at once.
+pub fn render_timeline(trace: &Trace, n: usize, columns: usize) -> String {
+    assert!(columns >= 1, "need at least one column");
+    let end = trace
+        .events
+        .iter()
+        .map(|e| match e {
+            TraceEvent::TxSlot { end, .. }
+            | TraceEvent::Wire { end, .. }
+            | TraceEvent::RxSlot { end, .. } => *end,
+            TraceEvent::Received { at, .. } | TraceEvent::BarrierRelease { at } => *at,
+        })
+        .fold(0.0f64, f64::max);
+    if end == 0.0 {
+        return String::from("(empty trace)\n");
+    }
+    let bucket = end / columns as f64;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "timeline: {columns} columns × {:.3} ms/column\n",
+        bucket * 1e3
+    ));
+    for r in 0..n {
+        let rank = Rank::from(r);
+        let mut lane = vec![' '; columns];
+        let mark = |intervals: &[(f64, f64)], ch: char, lane: &mut Vec<char>| {
+            for &(s, e) in intervals {
+                let a = ((s / bucket) as usize).min(columns - 1);
+                let b = ((e / bucket).ceil() as usize).clamp(a + 1, columns);
+                for slot in lane.iter_mut().take(b).skip(a) {
+                    *slot = if *slot == ' ' { ch } else { '*' };
+                }
+            }
+        };
+        mark(&trace.tx_slots(rank), 'T', &mut lane);
+        mark(&trace.wire_into(rank), '=', &mut lane);
+        mark(&trace.rx_slots(rank), 'R', &mut lane);
+        out.push_str(&format!("r{r:<3}|{}|\n", lane.iter().collect::<String>()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        Trace {
+            events: vec![
+                TraceEvent::TxSlot {
+                    msg: 0,
+                    src: Rank(0),
+                    dst: Rank(1),
+                    bytes: 100,
+                    start: 0.0,
+                    end: 1.0,
+                },
+                TraceEvent::TxSlot {
+                    msg: 1,
+                    src: Rank(0),
+                    dst: Rank(2),
+                    bytes: 100,
+                    start: 1.0,
+                    end: 2.0,
+                },
+                TraceEvent::Wire { msg: 0, src: Rank(0), dst: Rank(1), start: 1.0, end: 3.0 },
+                TraceEvent::Wire { msg: 1, src: Rank(0), dst: Rank(2), start: 2.0, end: 4.0 },
+                TraceEvent::RxSlot { msg: 0, dst: Rank(1), start: 3.0, end: 3.5 },
+                TraceEvent::Received { msg: 0, by: Rank(1), at: 3.5 },
+            ],
+        }
+    }
+
+    #[test]
+    fn accessors_filter_and_sort() {
+        let t = sample();
+        assert_eq!(t.tx_slots(Rank(0)), vec![(0.0, 1.0), (1.0, 2.0)]);
+        assert!(t.tx_slots(Rank(1)).is_empty());
+        assert_eq!(t.rx_slots(Rank(1)), vec![(3.0, 3.5)]);
+        assert_eq!(t.wire_into(Rank(2)), vec![(2.0, 4.0)]);
+    }
+
+    #[test]
+    fn serial_and_overlap_predicates() {
+        assert!(Trace::is_serial(&[(0.0, 1.0), (1.0, 2.0)]));
+        assert!(!Trace::is_serial(&[(0.0, 1.5), (1.0, 2.0)]));
+        assert!(Trace::has_overlap(&[(0.0, 1.5), (1.0, 2.0)]));
+        assert!(!Trace::has_overlap(&[(0.0, 1.0), (2.0, 3.0)]));
+        assert!(Trace::is_serial(&[]));
+    }
+
+    #[test]
+    fn timeline_renders_lanes() {
+        let t = sample();
+        let s = render_timeline(&t, 3, 8);
+        assert!(s.contains("r0"));
+        assert!(s.contains('T'));
+        assert!(s.contains('='));
+        assert!(s.contains('R'));
+        assert_eq!(s.lines().count(), 4); // header + 3 lanes
+    }
+
+    #[test]
+    fn empty_trace_renders_placeholder() {
+        let s = render_timeline(&Trace::default(), 2, 10);
+        assert!(s.contains("empty"));
+    }
+}

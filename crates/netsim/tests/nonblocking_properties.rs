@@ -1,0 +1,81 @@
+//! Property-based tests for the nonblocking operations.
+
+use cpm_cluster::{ClusterSpec, GroundTruth, MpiProfile};
+use cpm_core::rank::Rank;
+use cpm_netsim::{simulate, SimCluster};
+use proptest::prelude::*;
+
+fn cluster(n: usize, seed: u64) -> SimCluster {
+    let truth = GroundTruth::synthesize(&ClusterSpec::homogeneous(n), seed);
+    SimCluster::new(truth, MpiProfile::ideal(), 0.0, seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// An overlapped neighbour exchange ring completes for any size/shape
+    /// and costs at most one slowest p2p per step (plus float slack).
+    #[test]
+    fn overlapped_ring_is_step_bounded(n in 2usize..9, m in 0u64..60_000, seed in 0u64..200) {
+        let cl = cluster(n, seed);
+        let truth = cl.truth.clone();
+        let out = simulate(&cl, move |p| {
+            let n = p.size();
+            let right = Rank::from((p.rank().idx() + 1) % n);
+            let left = Rank::from((p.rank().idx() + n - 1) % n);
+            let t0 = p.now();
+            for _ in 0..n - 1 {
+                let req = p.isend(right, m);
+                let _ = p.recv(left);
+                p.wait_send(req);
+            }
+
+            p.now() - t0
+        })
+        .unwrap();
+        let mut step_max = 0.0f64;
+        for r in 0..n {
+            step_max = step_max.max(
+                truth.p2p_time(Rank::from(r), Rank::from((r + 1) % n), m),
+            );
+        }
+        let bound = (n - 1) as f64 * step_max * 1.01 + 1e-9;
+        for (r, t) in out.results.iter().enumerate() {
+            prop_assert!(*t <= bound, "rank {r}: {t} > bound {bound}");
+        }
+        prop_assert_eq!(out.stats.msgs_sent, n * (n - 1));
+        prop_assert_eq!(out.stats.msgs_received, n * (n - 1));
+    }
+
+    /// isend never advances local time and wait_send is idempotent with
+    /// respect to ordering: waiting in any order yields the same final
+    /// time (the max of tx-slot ends).
+    #[test]
+    fn wait_order_does_not_matter(seed in 0u64..200, m in 1u64..40_000, reverse in any::<bool>()) {
+        let cl = cluster(4, seed);
+        let out = simulate(&cl, move |p| {
+            if p.rank() == Rank(0) {
+                let t0 = p.now();
+                let reqs: Vec<_> =
+                    (1..4usize).map(|i| p.isend(Rank::from(i), m)).collect();
+                // A panic here surfaces as a simulation error below.
+                assert_eq!(p.now(), t0, "isend must not advance time");
+                let order: Vec<usize> =
+                    if reverse { vec![2, 1, 0] } else { vec![0, 1, 2] };
+                for k in order {
+                    p.wait_send(reqs[k]);
+                }
+                p.now() - t0
+            } else {
+                let _ = p.recv(Rank(0));
+                0.0
+            }
+        })
+        .unwrap();
+        let total = out.results[0];
+        // Three tx slots back-to-back regardless of wait order.
+        let truth = &cl.truth;
+        let expected = 3.0 * (truth.c[0] + m as f64 * truth.t[0]);
+        prop_assert!((total - expected).abs() < 1e-9, "{total} vs {expected}");
+    }
+}

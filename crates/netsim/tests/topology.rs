@@ -1,0 +1,119 @@
+//! Two-switch topology semantics: intra-switch traffic is unaffected,
+//! cross-switch traffic shares the uplink.
+
+use cpm_cluster::{ClusterSpec, GroundTruth, MpiProfile, Topology};
+use cpm_core::rank::Rank;
+use cpm_netsim::{simulate, SimCluster};
+
+fn base_cluster() -> SimCluster {
+    let truth = GroundTruth::synthesize(&ClusterSpec::homogeneous(8), 5);
+    SimCluster::new(truth, MpiProfile::ideal(), 0.0, 5)
+}
+
+fn scatter_time(cl: &SimCluster, root: u32, dsts: &[u32], m: u64) -> f64 {
+    let dsts = dsts.to_vec();
+    let out = simulate(cl, move |p| {
+        if p.rank() == Rank(root) {
+            for &d in &dsts {
+                p.send(Rank(d), m);
+            }
+        } else if dsts.contains(&p.rank().0) {
+            let _ = p.recv(Rank(root));
+        }
+        p.now()
+    })
+    .unwrap();
+    out.results.iter().copied().fold(0.0, f64::max)
+}
+
+#[test]
+fn intra_switch_traffic_is_unaffected() {
+    let single = base_cluster();
+    let two = base_cluster().with_topology(Topology::two_switch(4, 11.7e6));
+    // All traffic within switch A (ranks 0..4).
+    let a = scatter_time(&single, 0, &[1, 2, 3], 16 * 1024);
+    let b = scatter_time(&two, 0, &[1, 2, 3], 16 * 1024);
+    assert_eq!(a, b, "intra-switch transfers must not see the uplink");
+}
+
+#[test]
+fn cross_switch_flows_serialize_on_the_uplink() {
+    let single = base_cluster();
+    let two = base_cluster().with_topology(Topology::two_switch(4, 11.7e6));
+    let m = 32 * 1024;
+    // Root 0 sends to three nodes on the *other* switch: on a single
+    // switch the transfers parallelize; on two switches they share one
+    // uplink and serialize.
+    let a = scatter_time(&single, 0, &[4, 5, 6], m);
+    let b = scatter_time(&two, 0, &[4, 5, 6], m);
+    let wire = m as f64 / 11.7e6;
+    assert!(
+        b > a + 1.5 * wire,
+        "uplink serialization missing: single {a}, two-switch {b}"
+    );
+}
+
+#[test]
+fn uplink_latency_applies_per_crossing() {
+    let truth = GroundTruth::synthesize(&ClusterSpec::homogeneous(4), 5);
+    let single = SimCluster::new(truth.clone(), MpiProfile::ideal(), 0.0, 5);
+    let two = single.clone().with_topology(Topology::TwoSwitch {
+        split: 2,
+        uplink_beta: 1e12, // effectively infinite: isolate the latency term
+        uplink_latency: 500e-6,
+    });
+    let roundtrip = |cl: &SimCluster| {
+        simulate(cl, |p| {
+            if p.rank() == Rank(0) {
+                let t0 = p.now();
+                p.send(Rank(3), 1024);
+                let _ = p.recv(Rank(3));
+                p.now() - t0
+            } else if p.rank() == Rank(3) {
+                let _ = p.recv(Rank(0));
+                p.send(Rank(0), 1024);
+                0.0
+            } else {
+                0.0
+            }
+        })
+        .unwrap()
+        .results[0]
+    };
+    let a = roundtrip(&single);
+    let b = roundtrip(&two);
+    assert!(
+        (b - a - 2.0 * 500e-6).abs() < 1e-9,
+        "two crossings must add 1 ms: {a} vs {b}"
+    );
+}
+
+#[test]
+fn slow_uplink_caps_cross_switch_bandwidth() {
+    let slow = base_cluster().with_topology(Topology::TwoSwitch {
+        split: 4,
+        uplink_beta: 1e6, // 1 MB/s
+        uplink_latency: 0.0,
+    });
+    let m = 64 * 1024u64;
+    let t = scatter_time(&slow, 0, &[4], m);
+    let wire_at_uplink = m as f64 / 1e6;
+    assert!(t > wire_at_uplink, "{t} must include the slow uplink wire");
+}
+
+#[test]
+fn config_round_trips_topology() {
+    use cpm_cluster::ClusterConfig;
+    let mut cfg = ClusterConfig::ideal(ClusterSpec::homogeneous(6), 3);
+    cfg.topology = Topology::two_switch(3, 6e6);
+    let back = ClusterConfig::from_json(&cfg.to_json()).unwrap();
+    assert_eq!(back, cfg);
+    let sim = SimCluster::from_config(&back);
+    assert_eq!(sim.topology, cfg.topology);
+}
+
+#[test]
+#[should_panic(expected = "both sides")]
+fn degenerate_split_rejected() {
+    let _ = base_cluster().with_topology(Topology::two_switch(8, 1e6));
+}

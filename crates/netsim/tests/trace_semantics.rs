@@ -1,0 +1,171 @@
+//! Trace-level verification of the kernel's resource semantics — the claims
+//! the LMO model is built on, checked directly on event intervals instead
+//! of end-to-end times.
+
+use cpm_cluster::{ClusterSpec, GroundTruth, MpiProfile};
+use cpm_core::rank::Rank;
+use cpm_netsim::{render_timeline, simulate_traced, SimCluster, Trace};
+
+fn cluster(n: usize) -> SimCluster {
+    let truth = GroundTruth::synthesize(&ClusterSpec::homogeneous(n), 4);
+    SimCluster::new(truth, MpiProfile::ideal(), 0.0, 4)
+}
+
+fn scatter_trace(n: usize, m: u64) -> Trace {
+    let cl = cluster(n);
+    simulate_traced(&cl, move |p| {
+        if p.rank() == Rank(0) {
+            for i in 1..p.size() {
+                p.send(Rank::from(i), m);
+            }
+        } else {
+            let _ = p.recv(Rank(0));
+        }
+    })
+    .unwrap()
+    .1
+}
+
+/// Eq. (4)'s serial part: the root's tx-engine slots are back-to-back.
+#[test]
+fn scatter_root_tx_slots_serialize() {
+    let trace = scatter_trace(8, 16 * 1024);
+    let slots = trace.tx_slots(Rank(0));
+    assert_eq!(slots.len(), 7);
+    assert!(Trace::is_serial(&slots), "{slots:?}");
+    // Back-to-back: no gaps either (the root has everything queued).
+    for w in slots.windows(2) {
+        assert!((w[0].1 - w[1].0).abs() < 1e-12, "gap between {w:?}");
+    }
+}
+
+/// Eq. (4)'s parallel part: wires to different receivers overlap in time.
+#[test]
+fn scatter_wires_parallelize_across_receivers() {
+    let trace = scatter_trace(8, 64 * 1024);
+    let mut wires = Vec::new();
+    for r in 1..8usize {
+        wires.extend(trace.wire_into(Rank::from(r)));
+    }
+    wires.sort_by(|a, b| a.0.total_cmp(&b.0));
+    assert!(
+        Trace::has_overlap(&wires),
+        "wires must overlap on a single switch: {wires:?}"
+    );
+}
+
+/// Eq. (5)'s serial part: the root's rx-engine slots in a gather
+/// serialize.
+#[test]
+fn gather_root_rx_slots_serialize() {
+    let cl = cluster(8);
+    let (_, trace) = simulate_traced(&cl, |p| {
+        if p.rank() == Rank(0) {
+            for i in 1..p.size() {
+                let _ = p.recv(Rank::from(i));
+            }
+        } else {
+            p.send(Rank(0), 2048);
+        }
+    })
+    .unwrap();
+    let slots = trace.rx_slots(Rank(0));
+    assert_eq!(slots.len(), 7);
+    assert!(Trace::is_serial(&slots), "{slots:?}");
+    // The senders' wires into the root overlap (parallel transfers).
+    assert!(Trace::has_overlap(&trace.wire_into(Rank(0))));
+}
+
+/// The large-message regime: wires into the root serialize on the ingress.
+#[test]
+fn large_gather_wires_serialize() {
+    let truth = GroundTruth::synthesize(&ClusterSpec::homogeneous(5), 4);
+    let cl = SimCluster::new(truth, MpiProfile::lam_7_1_3(), 0.0, 4);
+    let m = 100 * 1024; // > M2
+    let (_, trace) = simulate_traced(&cl, move |p| {
+        if p.rank() == Rank(0) {
+            for i in 1..p.size() {
+                let _ = p.recv(Rank::from(i));
+            }
+        } else {
+            p.send(Rank(0), m);
+        }
+    })
+    .unwrap();
+    let wires = trace.wire_into(Rank(0));
+    assert_eq!(wires.len(), 4);
+    assert!(Trace::is_serial(&wires), "ingress FIFO violated: {wires:?}");
+}
+
+/// Every traced message goes through exactly the phases, in order:
+/// tx slot → wire → rx slot → received.
+#[test]
+fn per_message_phase_ordering() {
+    use cpm_netsim::TraceEvent;
+    let trace = scatter_trace(4, 8192);
+    for msg in 0..3usize {
+        let mut tx = None;
+        let mut wire = None;
+        let mut rx = None;
+        let mut recv = None;
+        for e in &trace.events {
+            match e {
+                TraceEvent::TxSlot { msg: m, start, end, .. } if *m == msg => {
+                    tx = Some((*start, *end))
+                }
+                TraceEvent::Wire { msg: m, start, end, .. } if *m == msg => {
+                    wire = Some((*start, *end))
+                }
+                TraceEvent::RxSlot { msg: m, start, end, .. } if *m == msg => {
+                    rx = Some((*start, *end))
+                }
+                TraceEvent::Received { msg: m, at, .. } if *m == msg => {
+                    recv = Some(*at)
+                }
+                _ => {}
+            }
+        }
+        let (tx, wire, rx, recv) =
+            (tx.unwrap(), wire.unwrap(), rx.unwrap(), recv.unwrap());
+        assert!(tx.1 <= wire.0 + 1e-12, "tx before wire");
+        assert!(wire.1 <= rx.0 + 1e-12, "wire before rx");
+        assert!(rx.1 <= recv + 1e-12, "rx before recv");
+    }
+}
+
+/// The ASCII timeline renders one lane per rank with activity markers.
+#[test]
+fn timeline_renders_activity() {
+    let trace = scatter_trace(4, 32 * 1024);
+    let s = render_timeline(&trace, 4, 60);
+    assert_eq!(s.lines().count(), 5); // header + 4 lanes
+    assert!(s.contains('T'), "{s}");
+    assert!(s.contains('R'), "{s}");
+}
+
+/// Untraced runs carry no trace cost path (smoke: simulate() still works
+/// and results agree with the traced run).
+#[test]
+fn traced_and_untraced_agree() {
+    let cl = cluster(4);
+    let traced = simulate_traced(&cl, |p| {
+        if p.rank() == Rank(0) {
+            p.send(Rank(1), 4096);
+        } else if p.rank() == Rank(1) {
+            let _ = p.recv(Rank(0));
+        }
+        p.now()
+    })
+    .unwrap();
+    let plain = cpm_netsim::simulate(&cl, |p| {
+        if p.rank() == Rank(0) {
+            p.send(Rank(1), 4096);
+        } else if p.rank() == Rank(1) {
+            let _ = p.recv(Rank(0));
+        }
+        p.now()
+    })
+    .unwrap();
+    assert_eq!(traced.0.results, plain.results);
+    assert!(!traced.1.events.is_empty());
+}

@@ -1,0 +1,213 @@
+//! Confidence intervals and the adaptive repetition engine.
+//!
+//! The paper measured every communication execution time "with the MPIBlib
+//! benchmarking library with the confidence level 95 % and the relative
+//! error 2.5 %": repeat the measurement until the half-width of the
+//! Student-t confidence interval of the mean is below 2.5 % of the mean.
+//! [`AdaptiveBenchmark`] reproduces that termination rule.
+
+use crate::summary::Summary;
+use crate::tdist::t_critical;
+
+/// A two-sided confidence interval for a mean.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ConfidenceInterval {
+    pub mean: f64,
+    /// Half-width of the interval (mean ± half_width).
+    pub half_width: f64,
+    pub confidence: f64,
+}
+
+impl ConfidenceInterval {
+    /// The Student-t confidence interval of the sample mean.
+    ///
+    /// Returns `None` when the sample has fewer than 2 observations.
+    pub fn of(summary: &Summary, confidence: f64) -> Option<Self> {
+        if summary.count() < 2 {
+            return None;
+        }
+        let t = t_critical(confidence, summary.count() - 1);
+        Some(ConfidenceInterval {
+            mean: summary.mean(),
+            half_width: t * summary.std_error(),
+            confidence,
+        })
+    }
+
+    /// Half-width relative to the mean; infinite when the mean is zero.
+    pub fn relative_error(&self) -> f64 {
+        if self.mean == 0.0 {
+            if self.half_width == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            (self.half_width / self.mean).abs()
+        }
+    }
+
+    /// Lower bound.
+    pub fn lo(&self) -> f64 {
+        self.mean - self.half_width
+    }
+
+    /// Upper bound.
+    pub fn hi(&self) -> f64 {
+        self.mean + self.half_width
+    }
+}
+
+/// Result of an adaptive benchmark: the accepted mean, the terminating
+/// confidence interval (when one was computed) and every raw observation.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    pub mean: f64,
+    pub ci: Option<ConfidenceInterval>,
+    pub sample: Vec<f64>,
+    /// `true` if the benchmark stopped because the precision target was met
+    /// (as opposed to exhausting `max_reps`).
+    pub converged: bool,
+}
+
+impl BenchResult {
+    /// Number of repetitions performed.
+    pub fn reps(&self) -> usize {
+        self.sample.len()
+    }
+}
+
+/// MPIBlib-style adaptive repetition: repeat a measurement until the
+/// Student-t confidence interval of the mean is narrower than
+/// `rel_err · mean`, within `[min_reps, max_reps]` repetitions.
+///
+/// ```
+/// use cpm_stats::AdaptiveBenchmark;
+/// // The paper's setting: 95 % confidence, 2.5 % relative error.
+/// let result = AdaptiveBenchmark::paper().run(|_rep| 0.125);
+/// assert!(result.converged);
+/// assert_eq!(result.mean, 0.125);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct AdaptiveBenchmark {
+    pub confidence: f64,
+    pub rel_err: f64,
+    pub min_reps: usize,
+    pub max_reps: usize,
+}
+
+impl Default for AdaptiveBenchmark {
+    /// The paper's setting: 95 % confidence, 2.5 % relative error, at least
+    /// 3 and at most 100 repetitions.
+    fn default() -> Self {
+        AdaptiveBenchmark { confidence: 0.95, rel_err: 0.025, min_reps: 3, max_reps: 100 }
+    }
+}
+
+impl AdaptiveBenchmark {
+    /// A benchmark with the paper's confidence/error setting.
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// Runs `measure` (the argument is the repetition index) until the
+    /// precision target is met.
+    ///
+    /// # Panics
+    /// Panics if `min_reps` is zero or `max_reps < min_reps`.
+    pub fn run(&self, mut measure: impl FnMut(usize) -> f64) -> BenchResult {
+        assert!(self.min_reps >= 1, "need at least one repetition");
+        assert!(self.max_reps >= self.min_reps, "max_reps must be ≥ min_reps");
+        let mut summary = Summary::new();
+        let mut sample = Vec::with_capacity(self.min_reps);
+        let mut converged = false;
+        let mut ci = None;
+        for rep in 0..self.max_reps {
+            let v = measure(rep);
+            summary.push(v);
+            sample.push(v);
+            if rep + 1 < self.min_reps || rep + 1 < 2 {
+                continue;
+            }
+            let interval = ConfidenceInterval::of(&summary, self.confidence)
+                .expect("at least two observations");
+            ci = Some(interval);
+            if interval.relative_error() <= self.rel_err {
+                converged = true;
+                break;
+            }
+        }
+        BenchResult { mean: summary.mean(), ci, sample, converged }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_matches_hand_computation() {
+        // Sample 1..=5: mean 3, sd sqrt(2.5), se sqrt(0.5), t(0.95, 4)=2.776.
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let ci = ConfidenceInterval::of(&s, 0.95).unwrap();
+        assert_eq!(ci.mean, 3.0);
+        let expected = 2.776 * (0.5f64).sqrt();
+        assert!((ci.half_width - expected).abs() < 0.02, "{}", ci.half_width);
+        assert!(ci.lo() < 3.0 && ci.hi() > 3.0);
+    }
+
+    #[test]
+    fn interval_needs_two_points() {
+        assert!(ConfidenceInterval::of(&Summary::of(&[1.0]), 0.95).is_none());
+        assert!(ConfidenceInterval::of(&Summary::new(), 0.95).is_none());
+    }
+
+    #[test]
+    fn constant_measurements_converge_at_min_reps() {
+        let b = AdaptiveBenchmark::paper();
+        let r = b.run(|_| 0.125);
+        assert!(r.converged);
+        assert_eq!(r.reps(), b.min_reps);
+        assert_eq!(r.mean, 0.125);
+    }
+
+    #[test]
+    fn noisy_measurements_take_more_reps_than_clean() {
+        // Deterministic "noise": alternate around the mean with decreasing
+        // influence as repetitions accumulate.
+        let b = AdaptiveBenchmark { max_reps: 1000, ..AdaptiveBenchmark::paper() };
+        let noisy = b.run(|i| 1.0 + if i % 2 == 0 { 0.2 } else { -0.2 });
+        let clean = b.run(|_| 1.0);
+        assert!(noisy.reps() > clean.reps());
+        assert!(noisy.converged);
+        assert!((noisy.mean - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn non_convergent_hits_max_reps() {
+        // Growing measurements never satisfy a tight precision target.
+        let b = AdaptiveBenchmark {
+            rel_err: 1e-6,
+            max_reps: 10,
+            ..AdaptiveBenchmark::paper()
+        };
+        let r = b.run(|i| 1.0 + i as f64);
+        assert!(!r.converged);
+        assert_eq!(r.reps(), 10);
+    }
+
+    #[test]
+    fn zero_mean_relative_error() {
+        let ci = ConfidenceInterval { mean: 0.0, half_width: 0.0, confidence: 0.95 };
+        assert_eq!(ci.relative_error(), 0.0);
+        let ci = ConfidenceInterval { mean: 0.0, half_width: 0.1, confidence: 0.95 };
+        assert_eq!(ci.relative_error(), f64::INFINITY);
+    }
+
+    #[test]
+    fn respects_min_reps_even_when_tight() {
+        let b = AdaptiveBenchmark { min_reps: 7, ..AdaptiveBenchmark::paper() };
+        let r = b.run(|_| 3.0);
+        assert_eq!(r.reps(), 7);
+    }
+}

@@ -1,0 +1,271 @@
+//! Detection of the empirical LMO gather parameters.
+//!
+//! On TCP clusters the paper observed that linear gather behaves linearly
+//! for small (`M < M1`) and large (`M > M2`) messages, while for medium
+//! sizes the execution time suffers "non-linear and non-deterministic
+//! escalations" of up to 0.25 s. `M1` and `M2` are *empirical* parameters of
+//! the LMO model, "found from the observations of the execution time of
+//! linear gather". This module finds them: it fits a line to the small-
+//! message region and another to the large-message region, walking the
+//! boundaries as far as the observations stay consistent, and summarizes the
+//! escalations in between (their probability and magnitude — the paper's
+//! "most frequent values of escalations and their probability").
+
+use cpm_core::units::Bytes;
+
+use crate::regression::LinearFit;
+use crate::summary::{median, quantile};
+
+/// Result of threshold detection on a gather observation sweep.
+#[derive(Clone, Debug)]
+pub struct ThresholdDetection {
+    /// Largest message size that still behaves linearly (paper `M1`).
+    pub m1: Bytes,
+    /// Smallest large-message size from which behaviour is linear again
+    /// (paper `M2`).
+    pub m2: Bytes,
+    /// Line fitted to the small-message region (`M ≤ M1`).
+    pub low_fit: LinearFit,
+    /// Line fitted to the large-message region (`M ≥ M2`).
+    pub high_fit: LinearFit,
+}
+
+/// Statistics of the escalations between `M1` and `M2`.
+#[derive(Clone, Debug)]
+pub struct EscalationProfile {
+    /// Fraction of observations in the medium region that escalate.
+    pub probability: f64,
+    /// Mean escalation magnitude above the low-region line, seconds.
+    pub mean_magnitude: f64,
+    /// Modal (most frequent) escalation magnitude, seconds — the paper's
+    /// "most frequent values of escalations".
+    pub modal_magnitude: f64,
+    /// Largest observed escalation, seconds.
+    pub max_magnitude: f64,
+    /// Per-size escalation probability, `(message size, fraction)`.
+    pub per_size: Vec<(Bytes, f64)>,
+}
+
+/// Tuning for the detection walk.
+#[derive(Clone, Copy, Debug)]
+pub struct DetectionConfig {
+    /// Number of extreme sizes used for the seed fits.
+    pub seed_points: usize,
+    /// Relative tolerance for "consistent with the line".
+    pub rel_tol: f64,
+    /// Absolute tolerance, seconds, added to the relative band.
+    pub abs_tol: f64,
+}
+
+impl Default for DetectionConfig {
+    fn default() -> Self {
+        DetectionConfig { seed_points: 3, rel_tol: 0.25, abs_tol: 200e-6 }
+    }
+}
+
+/// An observation from escalation detection: `samples` are repeated
+/// measurements at one message size.
+pub type SizeSamples = (Bytes, Vec<f64>);
+
+/// Detects `M1`/`M2` from repeated gather observations per message size.
+///
+/// Returns `None` when there are fewer than `2·seed_points` sizes or any
+/// size has no samples. When no escalation region exists the returned
+/// `m1`/`m2` are adjacent sweep points (an empty medium region).
+pub fn detect_thresholds(
+    samples: &[SizeSamples],
+    cfg: &DetectionConfig,
+) -> Option<ThresholdDetection> {
+    if samples.len() < 2 * cfg.seed_points || samples.iter().any(|(_, s)| s.is_empty()) {
+        return None;
+    }
+    // The low-region walk is strict: a size only counts as regular when
+    // even its 90th percentile sits on the line (a size where a tail of
+    // repetitions already escalates belongs to the irregular region). The
+    // high-region walk uses the median — the serialized regime is clean.
+    let mut low_stat: Vec<(Bytes, f64)> = samples
+        .iter()
+        .map(|(m, s)| (*m, quantile(s, 0.9).expect("non-empty samples")))
+        .collect();
+    low_stat.sort_by_key(|&(m, _)| m);
+    let mut sorted: Vec<(Bytes, f64)> = samples
+        .iter()
+        .map(|(m, s)| (*m, median(s).expect("non-empty samples")))
+        .collect();
+    sorted.sort_by_key(|&(m, _)| m);
+
+    let consistent = |fit: &LinearFit, m: Bytes, t: f64| -> bool {
+        let pred = fit.eval(m as f64);
+        (t - pred).abs() <= pred.abs() * cfg.rel_tol + cfg.abs_tol
+    };
+
+    // Low region: seed on the smallest sizes, extend upward while even the
+    // upper tail stays within the band, refitting as points are accepted.
+    let mut lo_end = cfg.seed_points; // exclusive
+    let mut low_fit = fit_region(&low_stat[..lo_end])?;
+    while lo_end < low_stat.len() {
+        let (m, t) = low_stat[lo_end];
+        if !consistent(&low_fit, m, t) {
+            break;
+        }
+        lo_end += 1;
+        low_fit = fit_region(&low_stat[..lo_end])?;
+    }
+
+    // High region: seed on the largest sizes, extend downward.
+    let mut hi_start = sorted.len() - cfg.seed_points; // inclusive
+    let mut high_fit = fit_region(&sorted[hi_start..])?;
+    while hi_start > lo_end {
+        let (m, t) = sorted[hi_start - 1];
+        if !consistent(&high_fit, m, t) {
+            break;
+        }
+        hi_start -= 1;
+        high_fit = fit_region(&sorted[hi_start..])?;
+    }
+
+    let m1 = sorted[lo_end - 1].0;
+    let m2 = sorted[hi_start.min(sorted.len() - 1)].0;
+    Some(ThresholdDetection { m1, m2, low_fit, high_fit })
+}
+
+fn fit_region(points: &[(Bytes, f64)]) -> Option<LinearFit> {
+    let pts: Vec<(f64, f64)> = points.iter().map(|&(m, t)| (m as f64, t)).collect();
+    LinearFit::fit(&pts)
+}
+
+/// Summarizes escalations in the medium region `(m1, m2)` against the
+/// low-region line: an observation escalates when it exceeds the tolerance
+/// band around the line.
+pub fn escalation_profile(
+    samples: &[SizeSamples],
+    det: &ThresholdDetection,
+    cfg: &DetectionConfig,
+) -> EscalationProfile {
+    let mut total = 0usize;
+    let mut escalated = 0usize;
+    let mut magnitudes = Vec::new();
+    let mut per_size = Vec::new();
+    for (m, obs) in samples {
+        if *m <= det.m1 || *m >= det.m2 {
+            continue;
+        }
+        let pred = det.low_fit.eval(*m as f64);
+        let band = pred.abs() * cfg.rel_tol + cfg.abs_tol;
+        let mut esc_here = 0usize;
+        for &t in obs {
+            total += 1;
+            if t > pred + band {
+                escalated += 1;
+                esc_here += 1;
+                magnitudes.push(t - pred);
+            }
+        }
+        per_size.push((*m, esc_here as f64 / obs.len().max(1) as f64));
+    }
+    let probability = if total == 0 { 0.0 } else { escalated as f64 / total as f64 };
+    let mean_magnitude = if magnitudes.is_empty() {
+        0.0
+    } else {
+        magnitudes.iter().sum::<f64>() / magnitudes.len() as f64
+    };
+    let max_magnitude = magnitudes.iter().copied().fold(0.0, f64::max);
+    let modal_magnitude = crate::compare::mode_estimate(&magnitudes, 12).unwrap_or(0.0);
+    EscalationProfile {
+        probability,
+        mean_magnitude,
+        modal_magnitude,
+        max_magnitude,
+        per_size,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a synthetic gather sweep: linear below m1 with (a, b), linear
+    /// above m2 with (a2, b2), escalations of `esc` seconds on half the
+    /// samples in between.
+    fn synthetic(
+        m1: Bytes,
+        m2: Bytes,
+        esc: f64,
+    ) -> Vec<SizeSamples> {
+        let (a, b) = (1e-3, 1e-7);
+        let (a2, b2) = (2e-3, 3e-7);
+        let mut out = Vec::new();
+        let mut m = 1024u64;
+        while m <= 200 * 1024 {
+            let base = if m >= m2 { a2 + b2 * m as f64 } else { a + b * m as f64 };
+            let samples: Vec<f64> = (0..8)
+                .map(|i| {
+                    if m > m1 && m < m2 && i % 2 == 0 {
+                        base + esc
+                    } else {
+                        base
+                    }
+                })
+                .collect();
+            out.push((m, samples));
+            m += 4096;
+        }
+        out
+    }
+
+    #[test]
+    fn thresholds_recovered_on_synthetic_data() {
+        let data = synthetic(16 * 1024, 128 * 1024, 0.2);
+        let det = detect_thresholds(&data, &DetectionConfig::default()).unwrap();
+        // m1 should be at or just below the true threshold; m2 at or just
+        // above (detection is quantized to the sweep grid).
+        assert!(det.m1 >= 12 * 1024 && det.m1 <= 20 * 1024, "m1={}", det.m1);
+        assert!(det.m2 >= 124 * 1024 && det.m2 <= 136 * 1024, "m2={}", det.m2);
+        // Slopes recovered.
+        assert!((det.low_fit.slope - 1e-7).abs() < 2e-8);
+        assert!((det.high_fit.slope - 3e-7).abs() < 6e-8);
+    }
+
+    #[test]
+    fn escalation_stats_on_synthetic_data() {
+        let data = synthetic(16 * 1024, 128 * 1024, 0.2);
+        let det = detect_thresholds(&data, &DetectionConfig::default()).unwrap();
+        let prof = escalation_profile(&data, &det, &DetectionConfig::default());
+        // Half the medium samples escalate by 0.2 s.
+        assert!((prof.probability - 0.5).abs() < 0.15, "p={}", prof.probability);
+        assert!((prof.mean_magnitude - 0.2).abs() < 0.05, "mean={}", prof.mean_magnitude);
+        assert!((prof.modal_magnitude - 0.2).abs() < 0.05, "mode={}", prof.modal_magnitude);
+        assert!(prof.max_magnitude <= 0.25);
+        assert!(!prof.per_size.is_empty());
+    }
+
+    #[test]
+    fn clean_linear_data_yields_empty_medium_region() {
+        // One line throughout: m1 and m2 should end up adjacent (or equal),
+        // and the profile empty.
+        let data: Vec<SizeSamples> = (1..=40)
+            .map(|k| {
+                let m = k * 4096u64;
+                (m, vec![1e-3 + 2e-7 * m as f64; 5])
+            })
+            .collect();
+        let det = detect_thresholds(&data, &DetectionConfig::default()).unwrap();
+        assert!(det.m1 >= det.m2 || det.m2 - det.m1 <= 4096 * 2, "m1={} m2={}", det.m1, det.m2);
+        let prof = escalation_profile(&data, &det, &DetectionConfig::default());
+        assert_eq!(prof.probability, 0.0);
+    }
+
+    #[test]
+    fn too_few_sizes_rejected() {
+        let data: Vec<SizeSamples> =
+            vec![(1024, vec![1.0]), (2048, vec![2.0]), (4096, vec![3.0])];
+        assert!(detect_thresholds(&data, &DetectionConfig::default()).is_none());
+    }
+
+    #[test]
+    fn empty_samples_rejected() {
+        let mut data = synthetic(16 * 1024, 128 * 1024, 0.2);
+        data[3].1.clear();
+        assert!(detect_thresholds(&data, &DetectionConfig::default()).is_none());
+    }
+}

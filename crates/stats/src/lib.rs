@@ -1,0 +1,35 @@
+//! # cpm-stats
+//!
+//! Statistics for communication benchmarking, modelled on the MPIBlib
+//! library the paper used for its measurements (reference \[12\]): every
+//! execution time is measured repeatedly until the Student-t confidence
+//! interval at a requested confidence level is narrower than a requested
+//! relative error (the paper used 95 % / 2.5 %).
+//!
+//! * [`summary`] — streaming mean/variance (Welford), medians, quantiles.
+//! * [`tdist`] — Student-t critical values.
+//! * [`ci`] — confidence intervals and the adaptive repetition engine.
+//! * [`regression`] — ordinary least squares for `y = a + b·x` fits
+//!   (how Hockney `α`/`β` are extracted from roundtrip series).
+//! * [`piecewise`] — piecewise-linear functions of the message size
+//!   (the PLogP parameters `o_s(M)`, `o_r(M)`, `g(M)`).
+//! * [`compare`] — Welch's two-sample t-test for "is algorithm A faster
+//!   than B?" decisions, and mode estimation.
+//! * [`escalation`] — detection of the irregularity region `(M1, M2)` of
+//!   linear gather and of the escalation magnitude/probability, the
+//!   *empirical* parameters of the LMO model.
+
+pub mod ci;
+pub mod compare;
+pub mod escalation;
+pub mod piecewise;
+pub mod regression;
+pub mod summary;
+pub mod tdist;
+
+pub use ci::{AdaptiveBenchmark, BenchResult, ConfidenceInterval};
+pub use compare::{mode_estimate, Histogram, WelchTest};
+pub use escalation::{EscalationProfile, ThresholdDetection};
+pub use piecewise::PiecewiseLinear;
+pub use regression::LinearFit;
+pub use summary::Summary;

@@ -1,0 +1,122 @@
+//! Ordinary least squares for `y = a + b·x`.
+//!
+//! Traditional models are fitted statistically from series of point-to-point
+//! measurements: Hockney's `α`/`β` are the intercept/slope of the roundtrip
+//! time over the message size, LogGP's `G` is a slope over large messages,
+//! and the LMO gather model fits *two* lines (below `M1` and above `M2`).
+
+/// Result of a least-squares line fit `y ≈ intercept + slope·x`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinearFit {
+    pub intercept: f64,
+    pub slope: f64,
+    /// Coefficient of determination, in `[0, 1]` for least-squares fits.
+    pub r2: f64,
+    /// Number of points used.
+    pub n: usize,
+}
+
+impl LinearFit {
+    /// Fits a line through `(x, y)` points.
+    ///
+    /// Returns `None` when fewer than 2 points are given or all `x` values
+    /// coincide (the slope would be undefined).
+    pub fn fit(points: &[(f64, f64)]) -> Option<Self> {
+        let n = points.len();
+        if n < 2 {
+            return None;
+        }
+        let nf = n as f64;
+        let sx: f64 = points.iter().map(|p| p.0).sum();
+        let sy: f64 = points.iter().map(|p| p.1).sum();
+        let mx = sx / nf;
+        let my = sy / nf;
+        let sxx: f64 = points.iter().map(|p| (p.0 - mx).powi(2)).sum();
+        if sxx == 0.0 {
+            return None;
+        }
+        let sxy: f64 = points.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum();
+        let slope = sxy / sxx;
+        let intercept = my - slope * mx;
+        let ss_tot: f64 = points.iter().map(|p| (p.1 - my).powi(2)).sum();
+        let ss_res: f64 = points
+            .iter()
+            .map(|p| (p.1 - (intercept + slope * p.0)).powi(2))
+            .sum();
+        let r2 = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+        Some(LinearFit { intercept, slope, r2, n })
+    }
+
+    /// Evaluates the fitted line.
+    pub fn eval(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+
+    /// Largest absolute residual of the fit over `points`.
+    pub fn max_abs_residual(&self, points: &[(f64, f64)]) -> f64 {
+        points
+            .iter()
+            .map(|p| (p.1 - self.eval(p.0)).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let pts: Vec<(f64, f64)> =
+            (0..10).map(|i| (i as f64, 3.0 + 2.0 * i as f64)).collect();
+        let f = LinearFit::fit(&pts).unwrap();
+        assert!((f.intercept - 3.0).abs() < 1e-12);
+        assert!((f.slope - 2.0).abs() < 1e-12);
+        assert!((f.r2 - 1.0).abs() < 1e-12);
+        assert!(f.max_abs_residual(&pts) < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_recovered_approximately() {
+        // Symmetric deterministic noise cancels in OLS.
+        let pts: Vec<(f64, f64)> = (0..100)
+            .map(|i| {
+                let x = i as f64;
+                let noise = if i % 2 == 0 { 0.5 } else { -0.5 };
+                (x, 1.0 + 0.25 * x + noise)
+            })
+            .collect();
+        let f = LinearFit::fit(&pts).unwrap();
+        assert!((f.slope - 0.25).abs() < 1e-3, "slope {}", f.slope);
+        assert!((f.intercept - 1.0).abs() < 0.15, "intercept {}", f.intercept);
+        assert!(f.r2 > 0.99);
+    }
+
+    #[test]
+    fn hockney_parameter_shape() {
+        // Roundtrip/2 times for α=1e-4 s, β=8e-8 s/B.
+        let pts: Vec<(f64, f64)> = [1024u64, 2048, 4096, 8192, 16384]
+            .iter()
+            .map(|&m| (m as f64, 1e-4 + 8e-8 * m as f64))
+            .collect();
+        let f = LinearFit::fit(&pts).unwrap();
+        assert!((f.intercept - 1e-4).abs() < 1e-10);
+        assert!((f.slope - 8e-8).abs() < 1e-14);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(LinearFit::fit(&[]).is_none());
+        assert!(LinearFit::fit(&[(1.0, 2.0)]).is_none());
+        assert!(LinearFit::fit(&[(1.0, 2.0), (1.0, 3.0)]).is_none());
+    }
+
+    #[test]
+    fn constant_y_has_zero_slope_and_unit_r2() {
+        let pts = [(0.0, 5.0), (1.0, 5.0), (2.0, 5.0)];
+        let f = LinearFit::fit(&pts).unwrap();
+        assert_eq!(f.slope, 0.0);
+        assert_eq!(f.intercept, 5.0);
+        assert_eq!(f.r2, 1.0);
+    }
+}

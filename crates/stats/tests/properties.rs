@@ -1,0 +1,133 @@
+//! Property-based tests for the statistics layer.
+
+use cpm_stats::summary::{median, quantile};
+use cpm_stats::tdist::t_critical;
+use cpm_stats::{AdaptiveBenchmark, LinearFit, PiecewiseLinear, Summary};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Welford matches the two-pass formulas on arbitrary samples.
+    #[test]
+    fn welford_matches_naive(xs in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let s = Summary::of(&xs);
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        prop_assert!((s.mean() - mean).abs() <= 1e-6 * mean.abs().max(1.0));
+        if xs.len() > 1 {
+            let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+            prop_assert!((s.variance() - var).abs() <= 1e-4 * var.abs().max(1.0));
+        }
+    }
+
+    /// Merging two summaries equals summarizing the concatenation.
+    #[test]
+    fn merge_is_concatenation(
+        a in prop::collection::vec(-1e3f64..1e3, 0..50),
+        b in prop::collection::vec(-1e3f64..1e3, 0..50),
+    ) {
+        let mut sa = Summary::of(&a);
+        sa.merge(&Summary::of(&b));
+        let all: Vec<f64> = a.iter().chain(&b).copied().collect();
+        let sc = Summary::of(&all);
+        prop_assert_eq!(sa.count(), sc.count());
+        if !all.is_empty() {
+            prop_assert!((sa.mean() - sc.mean()).abs() < 1e-9);
+            prop_assert!((sa.variance() - sc.variance()).abs() < 1e-6);
+        }
+    }
+
+    /// Quantiles are bounded by the sample extremes and monotone in q.
+    #[test]
+    fn quantile_bounds_and_monotonicity(
+        xs in prop::collection::vec(-1e4f64..1e4, 1..100),
+        q1 in 0.0f64..1.0,
+        q2 in 0.0f64..1.0,
+    ) {
+        let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let v1 = quantile(&xs, q1).unwrap();
+        prop_assert!(v1 >= lo - 1e-12 && v1 <= hi + 1e-12);
+        let (qa, qb) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(quantile(&xs, qa).unwrap() <= quantile(&xs, qb).unwrap() + 1e-12);
+        let med = median(&xs).unwrap();
+        prop_assert!(med >= lo && med <= hi);
+    }
+
+    /// OLS recovers an exact line whenever two distinct x values exist.
+    #[test]
+    fn ols_recovers_exact_lines(
+        a in -1e3f64..1e3,
+        b in -10.0f64..10.0,
+        mut xs in prop::collection::vec(-1e4f64..1e4, 2..50),
+    ) {
+        xs.sort_by(f64::total_cmp);
+        xs.dedup_by(|p, q| (*p - *q).abs() < 1e-9);
+        prop_assume!(xs.len() >= 2);
+        let pts: Vec<(f64, f64)> = xs.iter().map(|&x| (x, a + b * x)).collect();
+        let fit = LinearFit::fit(&pts).unwrap();
+        let scale_a = a.abs().max(1.0);
+        let scale_b = b.abs().max(1e-3);
+        prop_assert!((fit.intercept - a).abs() < 1e-6 * scale_a, "{} vs {a}", fit.intercept);
+        prop_assert!((fit.slope - b).abs() < 1e-6 * scale_b, "{} vs {b}", fit.slope);
+    }
+
+    /// Piecewise-linear evaluation at a knot returns the knot value; between
+    /// two adjacent knots the result lies between their values.
+    #[test]
+    fn piecewise_interpolation_bounds(
+        ys in prop::collection::vec(-1e3f64..1e3, 2..20),
+        f in 0.0f64..1.0,
+        seg_seed in 0usize..20,
+    ) {
+        let knots: Vec<(f64, f64)> =
+            ys.iter().enumerate().map(|(i, &y)| (i as f64, y)).collect();
+        let pw = PiecewiseLinear::new(knots.clone());
+        for (x, y) in &knots {
+            prop_assert!((pw.eval(*x) - y).abs() < 1e-12);
+        }
+        let seg = seg_seed % (knots.len() - 1);
+        let x = seg as f64 + f;
+        let (lo, hi) = {
+            let (a, b) = (knots[seg].1, knots[seg + 1].1);
+            (a.min(b), a.max(b))
+        };
+        let v = pw.eval(x);
+        prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9, "{v} outside [{lo}, {hi}]");
+    }
+
+    /// Student-t critical values decrease with df and increase with
+    /// confidence.
+    #[test]
+    fn t_critical_monotonicity(df in 1usize..200, conf in 0.5f64..0.995) {
+        let t1 = t_critical(conf, df);
+        let t2 = t_critical(conf, df + 1);
+        prop_assert!(t2 <= t1 + 1e-9, "df: {t1} -> {t2}");
+        let t3 = t_critical((conf + 1.0) / 2.0, df);
+        prop_assert!(t3 >= t1 - 1e-9, "conf: {t1} -> {t3}");
+    }
+
+    /// The adaptive benchmark never exceeds max_reps and always reports as
+    /// many samples as repetitions performed.
+    #[test]
+    fn adaptive_benchmark_bounds(
+        base in 1e-6f64..1e3,
+        jitter in 0.0f64..0.5,
+        max_reps in 3usize..40,
+    ) {
+        let bench = AdaptiveBenchmark {
+            confidence: 0.95,
+            rel_err: 0.025,
+            min_reps: 3,
+            max_reps,
+        };
+        let r = bench.run(|i| base * (1.0 + if i % 2 == 0 { jitter } else { -jitter }));
+        prop_assert!(r.reps() >= 3 && r.reps() <= max_reps);
+        prop_assert_eq!(r.sample.len(), r.reps());
+        if r.converged {
+            let ci = r.ci.unwrap();
+            prop_assert!(ci.relative_error() <= 0.025 + 1e-12);
+        }
+    }
+}

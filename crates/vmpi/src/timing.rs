@@ -1,0 +1,143 @@
+//! MPIBlib timing methods.
+//!
+//! The paper's measurement library (reference \[12\], "MPIBlib: Benchmarking
+//! MPI Communications…") offers several ways to time a collective, trading
+//! accuracy for cost; the paper's Section IV picks sender-side timing for
+//! the estimation experiments because it is "fast and quite accurate for
+//! collective operations on a small number of processors". This module
+//! implements the three classic methods so their trade-offs can be
+//! reproduced:
+//!
+//! * **root** — time the operation on one designated rank only. Cheapest;
+//!   underestimates operations whose completion the root does not observe
+//!   (a scatter root returns after its last send, long before the last
+//!   receiver finishes).
+//! * **max** — every rank times its own participation after a shared
+//!   barrier; the maximum is the true completion time.
+//! * **global** — bracket the operation between two barriers and measure
+//!   barrier-exit to barrier-exit on any rank. Includes the closing
+//!   barrier's synchronization cost; equals max-time when the barrier is
+//!   free (as the simulator's benchmark barrier is).
+
+use cpm_core::error::Result;
+use cpm_core::rank::Rank;
+use cpm_netsim::SimCluster;
+
+use crate::comm::Comm;
+use crate::runner::run;
+
+/// Which timing method to use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TimingMethod {
+    /// Duration measured on `Rank` only.
+    Root(Rank),
+    /// Maximum of per-rank durations (true completion).
+    Max,
+    /// Barrier-to-barrier duration, measured on rank 0.
+    Global,
+}
+
+/// Measures `op` with the selected method: `reps` barrier-separated
+/// repetitions, one duration per repetition.
+pub fn measure_with_method<F>(
+    cluster: &SimCluster,
+    method: TimingMethod,
+    reps: usize,
+    op: F,
+) -> Result<Vec<f64>>
+where
+    F: Fn(&mut Comm<'_>, usize) + Sync,
+{
+    match method {
+        TimingMethod::Root(r) => crate::runner::run_timed(cluster, r, reps, op),
+        TimingMethod::Max => crate::runner::run_timed_max(cluster, reps, op),
+        TimingMethod::Global => {
+            let out = run(cluster, |c| {
+                let mut times = Vec::with_capacity(reps);
+                for rep in 0..reps {
+                    c.barrier();
+                    let t0 = c.wtime();
+                    op(c, rep);
+                    c.barrier();
+                    times.push(c.wtime() - t0);
+                }
+                times
+            })?;
+            Ok(out.results[0].clone())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpm_cluster::{ClusterSpec, GroundTruth, MpiProfile};
+
+    fn cluster(n: usize) -> SimCluster {
+        let truth = GroundTruth::synthesize(&ClusterSpec::homogeneous(n), 1);
+        SimCluster::new(truth, MpiProfile::ideal(), 0.0, 1)
+    }
+
+    /// A one-to-many operation where the root returns early.
+    fn scatterish(c: &mut Comm<'_>, _rep: usize) {
+        let n = c.size();
+        if c.rank() == Rank(0) {
+            for i in 1..n {
+                c.send(Rank::from(i), 8192);
+            }
+        } else {
+            let _ = c.recv(Rank(0));
+        }
+    }
+
+    #[test]
+    fn root_timing_underestimates_scatter() {
+        let cl = cluster(4);
+        let root =
+            measure_with_method(&cl, TimingMethod::Root(Rank(0)), 2, scatterish)
+                .unwrap();
+        let max = measure_with_method(&cl, TimingMethod::Max, 2, scatterish).unwrap();
+        assert!(
+            root[0] < max[0],
+            "root {0} must miss the receivers' tail {1}",
+            root[0],
+            max[0]
+        );
+    }
+
+    #[test]
+    fn global_equals_max_with_free_barrier() {
+        // The simulator's benchmark barrier costs nothing, so global timing
+        // measures exactly the completion time.
+        let cl = cluster(4);
+        let max = measure_with_method(&cl, TimingMethod::Max, 3, scatterish).unwrap();
+        let global =
+            measure_with_method(&cl, TimingMethod::Global, 3, scatterish).unwrap();
+        for (a, b) in max.iter().zip(&global) {
+            assert!((a - b).abs() < 1e-12, "max {a} vs global {b}");
+        }
+    }
+
+    #[test]
+    fn methods_agree_for_symmetric_exchange() {
+        // A roundtrip measured on its initiator is a complete observation:
+        // all three methods agree.
+        let cl = cluster(2);
+        let exchange = |c: &mut Comm<'_>, _rep: usize| {
+            if c.rank() == Rank(0) {
+                c.send(Rank(1), 1024);
+                let _ = c.recv(Rank(1));
+            } else {
+                let _ = c.recv(Rank(0));
+                c.send(Rank(0), 1024);
+            }
+        };
+        let root =
+            measure_with_method(&cl, TimingMethod::Root(Rank(0)), 1, exchange).unwrap();
+        let max = measure_with_method(&cl, TimingMethod::Max, 1, exchange).unwrap();
+        let global =
+            measure_with_method(&cl, TimingMethod::Global, 1, exchange).unwrap();
+        assert!((root[0] - max[0]).abs() < 1e-12);
+        assert!((root[0] - global[0]).abs() < 1e-12);
+    }
+}

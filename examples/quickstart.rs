@@ -1,0 +1,53 @@
+//! Quickstart: simulate the paper's 16-node cluster, estimate the extended
+//! LMO model from communication experiments, and check its prediction of
+//! linear scatter against the observation.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use cpm::cluster::ClusterConfig;
+use cpm::collectives::measure;
+use cpm::core::units::{format_bytes, KIB};
+use cpm::core::Rank;
+use cpm::estimate::{estimate_lmo, EstimateConfig};
+use cpm::netsim::SimCluster;
+
+fn main() {
+    // The evaluation platform of the paper: Table I under LAM 7.1.3.
+    let config = ClusterConfig::paper_lam(42);
+    let sim = SimCluster::from_config(&config);
+    println!(
+        "cluster: {} ({} nodes, profile {})",
+        config.spec.name,
+        sim.n(),
+        config.profile.name
+    );
+
+    // Estimate the extended LMO model: roundtrips + one-to-two triplet
+    // experiments, solved per paper eqs. (6)–(12).
+    println!("estimating the extended LMO model …");
+    let est = estimate_lmo(&sim, &EstimateConfig::with_seed(7)).expect("estimation");
+    println!(
+        "  {} simulation runs, {:.1} s of virtual cluster time",
+        est.runs, est.virtual_cost
+    );
+    let lmo = est.model;
+
+    // Predict and observe linear scatter at a few sizes.
+    let root = Rank(0);
+    println!("\n{:>10} {:>14} {:>14} {:>8}", "M", "predicted", "observed", "error");
+    for m in [4 * KIB, 16 * KIB, 64 * KIB, 128 * KIB] {
+        let predicted = lmo.linear_scatter(root, m);
+        let observed = measure::linear_scatter_once(&sim, root, m);
+        println!(
+            "{:>10} {:>12.3}ms {:>12.3}ms {:>7.1}%",
+            format_bytes(m),
+            predicted * 1e3,
+            observed * 1e3,
+            (predicted - observed).abs() / observed * 100.0
+        );
+    }
+    println!("\n(the residual above 64KB is the LAM scatter leap, which the");
+    println!(" linear LMO model deliberately ignores — see the paper, Fig. 4)");
+}

@@ -1,0 +1,323 @@
+//! `cpm` — the command-line companion tool, after the paper's reference
+//! [13] ("A Software Tool for Accurate Estimation of Parameters of
+//! Heterogeneous Communication Models"): estimate model parameters from
+//! communication experiments, persist them as JSON, and predict or observe
+//! collectives.
+//!
+//! ```text
+//! cpm spec      [--profile lam|mpich|ideal] [--seed N] [--out config.json]
+//! cpm estimate  --model lmo|hockney|loggp|plogp [--config FILE] [--out model.json]
+//! cpm empirics  [--config FILE]
+//! cpm predict   --model-file model.json --op scatter|gather --m BYTES [--root R]
+//! cpm observe   --op scatter|gather|bcast|alltoall --m BYTES
+//!               [--alg linear|binomial] [--reps N] [--config FILE]
+//! ```
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use cpm::cluster::ClusterConfig;
+use cpm::collectives::measure;
+use cpm::core::units::{format_bytes, Bytes};
+use cpm::core::Rank;
+use cpm::estimate::lmo::estimate_lmo_full;
+use cpm::estimate::{
+    estimate_gather_empirics, estimate_hockney_het, estimate_loggp, estimate_plogp,
+    EstimateConfig,
+};
+use cpm::models::{HockneyHet, LmoExtended, LogGp, PLogP};
+use cpm::netsim::SimCluster;
+use cpm::stats::Summary;
+use serde::{Deserialize, Serialize};
+
+/// A persisted, tagged model file.
+#[derive(Serialize, Deserialize)]
+#[serde(tag = "model", rename_all = "lowercase")]
+enum ModelFile {
+    Lmo(LmoExtended),
+    Hockney(HockneyHet),
+    Loggp(LogGp),
+    Plogp(PLogP),
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = match parse_opts(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "spec" => cmd_spec(&opts),
+        "estimate" => cmd_estimate(&opts),
+        "empirics" => cmd_empirics(&opts),
+        "predict" => cmd_predict(&opts),
+        "observe" => cmd_observe(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+cpm — communication performance models for switched clusters
+
+USAGE:
+  cpm spec      [--profile lam|mpich|ideal] [--seed N] [--out config.json]
+  cpm estimate  --model lmo|hockney|loggp|plogp [--config FILE] [--out model.json]
+  cpm empirics  [--config FILE]
+  cpm predict   --model-file model.json --op scatter|gather --m BYTES
+                [--root R] [--alg linear|binomial]
+  cpm observe   --op scatter|gather|bcast|alltoall --m BYTES
+                [--alg linear|binomial] [--reps N] [--config FILE]
+
+Cluster selection (spec/estimate/empirics/observe): --config FILE loads a
+ClusterConfig JSON; otherwise --profile (default lam) and --seed (default
+2009) build the paper's 16-node cluster.";
+
+type Opts = HashMap<String, String>;
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut out = HashMap::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let Some(name) = flag.strip_prefix("--") else {
+            return Err(format!("expected --flag, got {flag:?}"));
+        };
+        let value = it
+            .next()
+            .ok_or_else(|| format!("--{name} needs a value"))?
+            .clone();
+        out.insert(name.to_string(), value);
+    }
+    Ok(out)
+}
+
+fn cluster_from(opts: &Opts) -> Result<(ClusterConfig, SimCluster), String> {
+    if let Some(path) = opts.get("config") {
+        let json =
+            std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let config = ClusterConfig::from_json(&json).map_err(|e| e.to_string())?;
+        let sim = SimCluster::from_config(&config);
+        return Ok((config, sim));
+    }
+    let seed = opts
+        .get("seed")
+        .map(|s| s.parse::<u64>().map_err(|e| e.to_string()))
+        .transpose()?
+        .unwrap_or(2009);
+    let profile = opts.get("profile").map(String::as_str).unwrap_or("lam");
+    let config = match profile {
+        "lam" => ClusterConfig::paper_lam(seed),
+        "mpich" => ClusterConfig::paper_mpich(seed),
+        "ideal" => {
+            ClusterConfig::ideal(cpm::cluster::ClusterSpec::paper_cluster(), seed)
+        }
+        other => return Err(format!("unknown profile {other:?}")),
+    };
+    let sim = SimCluster::from_config(&config);
+    Ok((config, sim))
+}
+
+fn parse_bytes(opts: &Opts, key: &str) -> Result<Bytes, String> {
+    let raw = opts.get(key).ok_or_else(|| format!("--{key} is required"))?;
+    cpm::core::units::parse_bytes(raw).map_err(|e| format!("--{key}: {e}"))
+}
+
+fn cmd_spec(opts: &Opts) -> Result<(), String> {
+    let (config, sim) = cluster_from(opts)?;
+    println!("cluster: {} ({} nodes)", config.spec.name, sim.n());
+    println!("profile: {}", config.profile.name);
+    for (k, t) in config.spec.types.iter().enumerate() {
+        println!(
+            "  type {}: {} — {} ({}x)",
+            k + 1,
+            t.model,
+            t.processor,
+            t.count
+        );
+    }
+    if let Some(path) = opts.get("out") {
+        std::fs::write(path, config.to_json()).map_err(|e| e.to_string())?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn cmd_estimate(opts: &Opts) -> Result<(), String> {
+    let (_, sim) = cluster_from(opts)?;
+    let which = opts
+        .get("model")
+        .ok_or("--model is required (lmo|hockney|loggp|plogp)")?;
+    let cfg = EstimateConfig::with_seed(0xC11);
+    let (file, cost, runs) = match which.as_str() {
+        "lmo" => {
+            let e = estimate_lmo_full(&sim, &cfg).map_err(|e| e.to_string())?;
+            println!("LMO: n = {}", e.model.c.len());
+            for (i, (c, t)) in e.model.c.iter().zip(&e.model.t).enumerate() {
+                println!("  node {i:>2}: C = {:7.1} µs   t = {:6.2} ns/B", c * 1e6, t * 1e9);
+            }
+            println!(
+                "  gather empirics: M1 = {}, M2 = {}, p = {:.2}",
+                format_bytes(e.model.gather.m1),
+                format_bytes(e.model.gather.m2),
+                e.model.gather.escalation_probability
+            );
+            (ModelFile::Lmo(e.model), e.virtual_cost, e.runs)
+        }
+        "hockney" => {
+            let e = estimate_hockney_het(&sim, &cfg).map_err(|e| e.to_string())?;
+            println!(
+                "heterogeneous Hockney: mean α = {:.1} µs, mean β = {:.1} ns/B",
+                e.model.alpha.mean().unwrap_or(0.0) * 1e6,
+                e.model.beta.mean().unwrap_or(0.0) * 1e9
+            );
+            (ModelFile::Hockney(e.model), e.virtual_cost, e.runs)
+        }
+        "loggp" => {
+            let e = estimate_loggp(&sim, &cfg).map_err(|e| e.to_string())?;
+            println!(
+                "LogGP: L = {:.1} µs, o = {:.1} µs, g = {:.1} µs, G = {:.2} ns/B",
+                e.model.l * 1e6,
+                e.model.o * 1e6,
+                e.model.g * 1e6,
+                e.model.big_g * 1e9
+            );
+            (ModelFile::Loggp(e.model), e.virtual_cost, e.runs)
+        }
+        "plogp" => {
+            let e = estimate_plogp(&sim, &cfg).map_err(|e| e.to_string())?;
+            println!(
+                "PLogP: L = {:.1} µs, g knots = {}",
+                e.model.l * 1e6,
+                e.model.g.knots().len()
+            );
+            (ModelFile::Plogp(e.model), e.virtual_cost, e.runs)
+        }
+        other => return Err(format!("unknown model {other:?}")),
+    };
+    println!("estimation: {runs} runs, {cost:.1} s of virtual cluster time");
+    if let Some(path) = opts.get("out") {
+        let json = serde_json::to_string_pretty(&file).map_err(|e| e.to_string())?;
+        std::fs::write(path, json).map_err(|e| e.to_string())?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn cmd_empirics(opts: &Opts) -> Result<(), String> {
+    let (_, sim) = cluster_from(opts)?;
+    let cfg = EstimateConfig { reps: 8, ..EstimateConfig::with_seed(0xE11) };
+    let e = estimate_gather_empirics(&sim, &cfg).map_err(|e| e.to_string())?;
+    println!(
+        "M1 = {} ({} bytes), M2 = {} ({} bytes)",
+        format_bytes(e.model.m1),
+        e.model.m1,
+        format_bytes(e.model.m2),
+        e.model.m2
+    );
+    println!(
+        "escalations: p = {:.2}, typical magnitude = {:.0} ms",
+        e.model.escalation_probability,
+        e.model.escalation_magnitude * 1e3
+    );
+    Ok(())
+}
+
+fn cmd_predict(opts: &Opts) -> Result<(), String> {
+    let path = opts.get("model-file").ok_or("--model-file is required")?;
+    let json = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let file: ModelFile = serde_json::from_str(&json).map_err(|e| e.to_string())?;
+    let m = parse_bytes(opts, "m")?;
+    let op = opts.get("op").ok_or("--op is required (scatter|gather)")?;
+    let root = Rank(
+        opts.get("root")
+            .map(|s| s.parse::<u32>().map_err(|e| e.to_string()))
+            .transpose()?
+            .unwrap_or(0),
+    );
+    let alg = opts.get("alg").map(String::as_str).unwrap_or("linear");
+    let prediction = match (&file, op.as_str()) {
+        (ModelFile::Lmo(model), "scatter") if alg == "binomial" => {
+            let tree = cpm::core::BinomialTree::new(model.c.len(), root);
+            model.binomial_scatter(&tree, m)
+        }
+        (ModelFile::Lmo(model), "scatter") => model.linear_scatter(root, m),
+        (ModelFile::Lmo(model), "gather") => model.linear_gather(root, m).expected,
+        (ModelFile::Hockney(model), "scatter" | "gather") => {
+            model.linear_serial(root, m)
+        }
+        (ModelFile::Loggp(model), "scatter" | "gather") => model.linear(m),
+        (ModelFile::Plogp(model), "scatter" | "gather") => model.linear(m),
+        (_, other) => return Err(format!("unknown op {other:?}")),
+    };
+    println!(
+        "predicted {alg} {op} of {} from root {root}: {:.3} ms",
+        format_bytes(m),
+        prediction * 1e3
+    );
+    Ok(())
+}
+
+fn cmd_observe(opts: &Opts) -> Result<(), String> {
+    let (_, sim) = cluster_from(opts)?;
+    let m = parse_bytes(opts, "m")?;
+    let op = opts.get("op").ok_or("--op is required")?;
+    let alg = opts.get("alg").map(String::as_str).unwrap_or("linear");
+    let reps = opts
+        .get("reps")
+        .map(|s| s.parse::<usize>().map_err(|e| e.to_string()))
+        .transpose()?
+        .unwrap_or(5);
+    let root = Rank(0);
+    let times = match (op.as_str(), alg) {
+        ("scatter", "linear") => {
+            measure::linear_scatter_times(&sim, root, m, reps, 1)
+        }
+        ("scatter", "binomial") => {
+            measure::binomial_scatter_times(&sim, root, m, reps, 1)
+        }
+        ("gather", "linear") => measure::linear_gather_times(&sim, root, m, reps, 1),
+        ("gather", "binomial") => {
+            measure::binomial_gather_times(&sim, root, m, reps, 1)
+        }
+        ("bcast", "linear") => measure::collective_times(&sim, root, reps, 1, |c| {
+            cpm::collectives::linear_bcast(c, root, m)
+        }),
+        ("bcast", "binomial") => {
+            let tree = cpm::core::BinomialTree::new(sim.n(), root);
+            measure::collective_times(&sim, root, reps, 1, |c| {
+                cpm::collectives::binomial_bcast(c, &tree, m)
+            })
+        }
+        ("alltoall", _) => measure::collective_times(&sim, root, reps, 1, |c| {
+            cpm::collectives::linear_alltoall(c, m)
+        }),
+        (o, a) => return Err(format!("unsupported op/alg {o:?}/{a:?}")),
+    }
+    .map_err(|e| e.to_string())?;
+    let s = Summary::of(&times);
+    println!(
+        "{op} ({alg}) of {} over {reps} reps: mean {:.3} ms, min {:.3} ms, max {:.3} ms",
+        format_bytes(m),
+        s.mean() * 1e3,
+        s.min().unwrap_or(0.0) * 1e3,
+        s.max().unwrap_or(0.0) * 1e3
+    );
+    Ok(())
+}

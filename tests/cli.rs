@@ -1,0 +1,91 @@
+//! End-to-end tests of the `cpm` command-line tool.
+
+use std::process::Command;
+
+fn cpm() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_cpm"))
+}
+
+fn run_ok(args: &[&str]) -> String {
+    let out = cpm().args(args).output().expect("binary runs");
+    assert!(
+        out.status.success(),
+        "cpm {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf8 output")
+}
+
+#[test]
+fn spec_prints_the_cluster_and_writes_config() {
+    let dir = std::env::temp_dir().join(format!("cpm-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let cfg = dir.join("config.json");
+    let out = run_ok(&["spec", "--seed", "7", "--out", cfg.to_str().unwrap()]);
+    assert!(out.contains("16 nodes"), "{out}");
+    assert!(out.contains("LAM 7.1.3"), "{out}");
+    // The written config loads back.
+    let json = std::fs::read_to_string(&cfg).unwrap();
+    assert!(json.contains("hcl-16-node-heterogeneous"));
+    // And can be fed back via --config.
+    let out2 = run_ok(&["spec", "--config", cfg.to_str().unwrap()]);
+    assert!(out2.contains("16 nodes"));
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn observe_reports_statistics() {
+    let out = run_ok(&[
+        "observe", "--op", "scatter", "--m", "8K", "--reps", "3", "--profile",
+        "ideal",
+    ]);
+    assert!(out.contains("scatter (linear) of 8KB"), "{out}");
+    assert!(out.contains("mean"), "{out}");
+}
+
+#[test]
+fn observe_supports_all_collectives() {
+    for op in ["gather", "bcast", "alltoall"] {
+        let out = run_ok(&[
+            "observe", "--op", op, "--m", "2K", "--reps", "2", "--profile", "ideal",
+        ]);
+        assert!(out.contains(op), "{out}");
+    }
+}
+
+#[test]
+fn estimate_hockney_then_predict() {
+    let dir = std::env::temp_dir().join(format!("cpm-cli-est-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let model = dir.join("hockney.json");
+    let out = run_ok(&[
+        "estimate", "--model", "hockney", "--profile", "ideal", "--out",
+        model.to_str().unwrap(),
+    ]);
+    assert!(out.contains("heterogeneous Hockney"), "{out}");
+    let out = run_ok(&[
+        "predict", "--model-file", model.to_str().unwrap(), "--op", "scatter",
+        "--m", "64K",
+    ]);
+    assert!(out.contains("predicted linear scatter of 64KB"), "{out}");
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn bad_invocations_fail_cleanly() {
+    // Unknown command.
+    assert!(!cpm().arg("frobnicate").output().unwrap().status.success());
+    // Missing required flag.
+    assert!(!cpm().args(["predict", "--op", "scatter"]).output().unwrap().status.success());
+    // Bad size literal.
+    assert!(!cpm()
+        .args(["observe", "--op", "scatter", "--m", "banana"])
+        .output()
+        .unwrap()
+        .status
+        .success());
+    // No args at all prints usage and fails.
+    let out = cpm().output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+}

@@ -1,0 +1,71 @@
+//! Determinism guarantees: everything — simulation, estimation, stochastic
+//! irregularities — is a pure function of the configuration and seeds.
+
+use cpm::cluster::{ClusterConfig, ClusterSpec, GroundTruth, MpiProfile};
+use cpm::collectives::measure;
+use cpm::core::units::KIB;
+use cpm::core::Rank;
+use cpm::estimate::{estimate_lmo, EstimateConfig};
+use cpm::netsim::SimCluster;
+
+#[test]
+fn observations_replay_exactly() {
+    let sim = SimCluster::from_config(&ClusterConfig::paper_lam(7));
+    let a = measure::linear_gather_times(&sim, Rank(0), 32 * KIB, 10, 3).unwrap();
+    let b = measure::linear_gather_times(&sim, Rank(0), 32 * KIB, 10, 3).unwrap();
+    assert_eq!(a, b, "identical seeds must replay identical escalations");
+}
+
+#[test]
+fn different_observation_seeds_differ() {
+    let sim = SimCluster::from_config(&ClusterConfig::paper_lam(7));
+    let a = measure::linear_gather_times(&sim, Rank(0), 32 * KIB, 10, 3).unwrap();
+    let b = measure::linear_gather_times(&sim, Rank(0), 32 * KIB, 10, 4).unwrap();
+    assert_ne!(a, b, "different seeds must vary the stochastic elements");
+}
+
+#[test]
+fn estimation_is_deterministic() {
+    let truth = GroundTruth::synthesize(&ClusterSpec::homogeneous(5), 2);
+    let sim = SimCluster::new(truth, MpiProfile::ideal(), 0.01, 2);
+    let cfg = EstimateConfig { reps: 3, ..EstimateConfig::with_seed(55) };
+    let a = estimate_lmo(&sim, &cfg).unwrap().model;
+    let b = estimate_lmo(&sim, &cfg).unwrap().model;
+    assert_eq!(a, b);
+}
+
+#[test]
+fn ground_truth_seed_changes_everything_downstream() {
+    let spec = ClusterSpec::homogeneous(4);
+    let s1 = SimCluster::new(
+        GroundTruth::synthesize(&spec, 1),
+        MpiProfile::ideal(),
+        0.0,
+        1,
+    );
+    let s2 = SimCluster::new(
+        GroundTruth::synthesize(&spec, 2),
+        MpiProfile::ideal(),
+        0.0,
+        1,
+    );
+    let a = measure::linear_scatter_once(&s1, Rank(0), 8 * KIB);
+    let b = measure::linear_scatter_once(&s2, Rank(0), 8 * KIB);
+    assert_ne!(a, b);
+}
+
+#[test]
+fn noise_free_runs_are_rep_invariant() {
+    let truth = GroundTruth::synthesize(&ClusterSpec::homogeneous(4), 9);
+    let sim = SimCluster::new(truth, MpiProfile::ideal(), 0.0, 9);
+    let times = measure::linear_scatter_times(&sim, Rank(0), 4 * KIB, 6, 1).unwrap();
+    for t in &times {
+        // Equal up to float accumulation (repetitions subtract wtime at
+        // different absolute offsets, costing the odd ULP).
+        assert!(
+            (t - times[0]).abs() < 1e-12 * times[0],
+            "stochastic element remains: {t} vs {}",
+            times[0]
+        );
+    }
+}

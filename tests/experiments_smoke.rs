@@ -1,0 +1,98 @@
+//! Validation of persisted experiment artifacts: when `bench_results/`
+//! contains figure JSON (written by the `cpm-bench` binaries), check that
+//! the recorded series still express the paper's claims. Skips quietly when
+//! the artifacts have not been generated.
+
+use cpm::bench_harness::Figure;
+use std::path::Path;
+
+fn load(id: &str) -> Option<Figure> {
+    let path = Path::new("bench_results").join(format!("{id}.json"));
+    if !path.exists() {
+        eprintln!("skipping: {} not generated", path.display());
+        return None;
+    }
+    Some(Figure::load(path).expect("valid figure JSON"))
+}
+
+#[test]
+fn fig4_artifact_shows_lmo_dominance() {
+    let Some(fig) = load("fig4") else { return };
+    let obs = fig
+        .series
+        .iter()
+        .find(|s| s.label == "observation")
+        .expect("observation series");
+    let err_of = |label: &str| {
+        fig.series
+            .iter()
+            .find(|s| s.label == label)
+            .and_then(|s| s.mean_rel_error_vs(obs))
+            .unwrap_or(f64::NAN)
+    };
+    let lmo = err_of("LMO (eq. 4)");
+    for other in ["PLogP", "LogGP", "het Hockney serial"] {
+        let e = err_of(other);
+        assert!(
+            lmo * 5.0 < e,
+            "LMO err {lmo:.3} must be ≥5x better than {other} ({e:.3})"
+        );
+    }
+}
+
+#[test]
+fn fig1_artifact_brackets_the_observation() {
+    let Some(fig) = load("fig1") else { return };
+    let obs = fig.series.iter().find(|s| s.label == "observation").unwrap();
+    let serial = fig
+        .series
+        .iter()
+        .find(|s| s.label == "het Hockney serial")
+        .unwrap();
+    let parallel = fig
+        .series
+        .iter()
+        .find(|s| s.label == "het Hockney parallel")
+        .unwrap();
+    for &(m, o) in &obs.points {
+        let s = serial.at(m).unwrap();
+        let p = parallel.at(m).unwrap();
+        assert!(p < o && o < s, "m={m}: {p} < {o} < {s} violated");
+    }
+}
+
+#[test]
+fn fig7_artifact_shows_the_speedup() {
+    let Some(fig) = load("fig7") else { return };
+    let native = fig
+        .series
+        .iter()
+        .find(|s| s.label.starts_with("native"))
+        .unwrap();
+    let optimized = fig
+        .series
+        .iter()
+        .find(|s| s.label.starts_with("optimized"))
+        .unwrap();
+    let mut best = 0.0f64;
+    for &(m, nat) in &native.points {
+        if let Some(opt) = optimized.at(m) {
+            best = best.max(nat / opt);
+        }
+    }
+    assert!(best > 5.0, "best recorded speedup only {best:.1}x");
+}
+
+#[test]
+fn fig6_artifact_keeps_the_misprediction() {
+    let Some(fig) = load("fig6") else { return };
+    let hl = fig.series.iter().find(|s| s.label == "Hockney linear").unwrap();
+    let hb = fig.series.iter().find(|s| s.label == "Hockney binomial").unwrap();
+    let ol = fig.series.iter().find(|s| s.label == "obs linear").unwrap();
+    let ob = fig.series.iter().find(|s| s.label == "obs binomial").unwrap();
+    for &(m, _) in &ol.points {
+        // Hockney ranks binomial ahead; reality ranks linear ahead.
+        assert!(hb.at(m).unwrap() < hl.at(m).unwrap(), "m={m}");
+        assert!(ol.at(m).unwrap() < ob.at(m).unwrap(), "m={m}");
+    }
+}

@@ -1,0 +1,162 @@
+//! The paper's headline experimental claims, verified end to end on the
+//! simulated 16-node cluster. These are the acceptance tests of the
+//! reproduction: each corresponds to a figure of the evaluation section.
+
+use cpm::cluster::ClusterConfig;
+use cpm::collectives::measure;
+use cpm::collectives::select::predict_scatter_lmo;
+use cpm::core::units::KIB;
+use cpm::core::Rank;
+use cpm::estimate::lmo::estimate_lmo_full;
+use cpm::estimate::{estimate_hockney_het, EstimateConfig};
+use cpm::models::GatherRegime;
+use cpm::netsim::SimCluster;
+use cpm::stats::Summary;
+
+fn paper_sim() -> SimCluster {
+    SimCluster::from_config(&ClusterConfig::paper_lam(2009))
+}
+
+fn est_cfg() -> EstimateConfig {
+    EstimateConfig { reps: 4, ..EstimateConfig::with_seed(101) }
+}
+
+/// Fig. 1: the serial Hockney bound is pessimistic and the parallel bound
+/// optimistic for linear scatter; the observation sits strictly between.
+#[test]
+fn fig1_hockney_bounds_bracket_the_observation() {
+    let sim = paper_sim();
+    let hockney = estimate_hockney_het(&sim, &est_cfg()).unwrap().model;
+    for m in [8 * KIB, 32 * KIB] {
+        let obs = measure::linear_scatter_once(&sim, Rank(0), m);
+        let serial = hockney.linear_serial(Rank(0), m);
+        let parallel = hockney.linear_parallel(Rank(0), m);
+        assert!(
+            parallel < obs && obs < serial,
+            "m={m}: parallel {parallel} < obs {obs} < serial {serial} violated"
+        );
+        // And neither bound is *close* — that is the point of the figure.
+        assert!(serial > 2.0 * obs, "serial bound should be far off");
+        assert!(parallel < 0.8 * obs, "parallel bound should be far off");
+    }
+}
+
+/// Fig. 4: the LMO scatter prediction is at least 5× more accurate than the
+/// heterogeneous Hockney serial prediction across the sweep.
+#[test]
+fn fig4_lmo_dominates_traditional_models_on_scatter() {
+    let sim = paper_sim();
+    let lmo = estimate_lmo_full(&sim, &est_cfg()).unwrap().model;
+    let hockney = estimate_hockney_het(&sim, &est_cfg()).unwrap().model;
+    let mut lmo_err = 0.0;
+    let mut hock_err = 0.0;
+    let sizes = [4 * KIB, 16 * KIB, 48 * KIB, 96 * KIB, 160 * KIB];
+    for &m in &sizes {
+        let obs = measure::linear_scatter_once(&sim, Rank(0), m);
+        lmo_err += (lmo.linear_scatter(Rank(0), m) - obs).abs() / obs;
+        hock_err += (hockney.linear_serial(Rank(0), m) - obs).abs() / obs;
+    }
+    assert!(
+        lmo_err * 5.0 < hock_err,
+        "LMO total rel err {lmo_err:.3} vs Hockney {hock_err:.3}"
+    );
+}
+
+/// Fig. 5: linear gather has three regimes, and only the LMO model knows:
+/// small is parallel-ish, medium escalates stochastically, large
+/// serializes.
+#[test]
+fn fig5_gather_regimes_and_lmo_empirics() {
+    let sim = paper_sim();
+    let lmo = estimate_lmo_full(&sim, &est_cfg()).unwrap().model;
+
+    // Thresholds land near the LAM profile's (4 KB, 65 KB) within grid
+    // resolution.
+    assert!(lmo.gather.m1 >= 2 * KIB && lmo.gather.m1 <= 12 * KIB, "M1={}", lmo.gather.m1);
+    assert!(
+        lmo.gather.m2 >= 56 * KIB && lmo.gather.m2 <= 88 * KIB,
+        "M2={}",
+        lmo.gather.m2
+    );
+
+    // Regime classification follows the estimated thresholds.
+    assert_eq!(lmo.linear_gather(Rank(0), KIB).regime, GatherRegime::Small);
+    assert_eq!(lmo.linear_gather(Rank(0), 32 * KIB).regime, GatherRegime::Medium);
+    assert_eq!(lmo.linear_gather(Rank(0), 150 * KIB).regime, GatherRegime::Large);
+
+    // Small regime: prediction within 10%.
+    let obs = measure::linear_gather_once(&sim, Rank(0), KIB);
+    let pred = lmo.linear_gather(Rank(0), KIB).expected;
+    assert!((pred - obs).abs() / obs < 0.10, "small gather: {pred} vs {obs}");
+
+    // Medium regime: escalations appear across repetitions and reach the
+    // order of the profile's escalation delays.
+    let times = measure::linear_gather_times(&sim, Rank(0), 32 * KIB, 16, 4).unwrap();
+    let min = times.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = times.iter().copied().fold(0.0, f64::max);
+    assert!(max > min + 0.08, "no escalation spread: min {min}, max {max}");
+
+    // Large regime: the sum-combination prediction is within 25% while the
+    // small-regime (max) formula would be several times too small.
+    let m = 150 * KIB;
+    let obs = measure::linear_gather_once(&sim, Rank(0), m);
+    let pred = lmo.linear_gather(Rank(0), m).expected;
+    assert!((pred - obs).abs() / obs < 0.25, "large gather: {pred} vs {obs}");
+    let scatter_like = lmo.linear_scatter(Rank(0), m);
+    assert!(obs > 3.0 * scatter_like, "serialization regime not visible");
+}
+
+/// Fig. 6: in the 100–200 KB window, homogeneous Hockney prefers binomial
+/// scatter (log₂n·α + (n−1)βM < (n−1)(α+βM) always), but linear wins in
+/// reality; the LMO model decides correctly.
+#[test]
+fn fig6_algorithm_selection_flip() {
+    let sim = paper_sim();
+    let lmo = estimate_lmo_full(&sim, &est_cfg()).unwrap().model;
+    let hockney_hom =
+        estimate_hockney_het(&sim, &est_cfg()).unwrap().model.averaged();
+    let m = 150 * KIB;
+
+    let obs_lin = measure::linear_scatter_once(&sim, Rank(0), m);
+    let obs_bin = measure::binomial_scatter_once(&sim, Rank(0), m);
+    assert!(obs_lin < obs_bin, "linear must win at 150KB");
+
+    // Hockney's closed forms invariably rank binomial first…
+    assert!(hockney_hom.binomial(m) < hockney_hom.linear_serial(m));
+    // …while LMO ranks them like the observation.
+    let p = predict_scatter_lmo(&lmo, Rank(0), m);
+    assert!(p.linear < p.binomial, "LMO must pick linear");
+}
+
+/// Fig. 7: splitting medium gathers into sub-M1 pieces gives a large
+/// speedup (the paper reports ~10×).
+#[test]
+fn fig7_optimized_gather_speedup() {
+    let sim = paper_sim();
+    let lmo = estimate_lmo_full(&sim, &est_cfg()).unwrap().model;
+    let m = 32 * KIB;
+    let reps = 16;
+    let native = Summary::of(
+        &measure::linear_gather_times(&sim, Rank(0), m, reps, 8).unwrap(),
+    )
+    .mean();
+    let optimized = Summary::of(
+        &measure::optimized_gather_times(&sim, Rank(0), m, &lmo.gather, reps, 8)
+            .unwrap(),
+    )
+    .mean();
+    let speedup = native / optimized;
+    assert!(speedup > 4.0, "speedup {speedup:.1}x too small");
+}
+
+/// §IV: parallel scheduling of the estimation experiments consumes several
+/// times less virtual cluster time at identical parameter values.
+#[test]
+fn section4_parallel_estimation_cheaper_same_values() {
+    let sim = paper_sim();
+    let par = estimate_hockney_het(&sim, &est_cfg()).unwrap();
+    let ser = estimate_hockney_het(&sim, &est_cfg().serial()).unwrap();
+    assert!(par.virtual_cost * 2.0 < ser.virtual_cost);
+    // Values agree within the noise floor.
+    assert!(par.model.beta.max_rel_error(&ser.model.beta) < 0.05);
+}

@@ -1,0 +1,230 @@
+//! Property-based cross-crate invariants (proptest).
+
+use cpm::cluster::{ClusterSpec, GroundTruth, MpiProfile, SynthesisBaseline};
+use cpm::core::matrix::SymMatrix;
+use cpm::core::tree::BinomialTree;
+use cpm::core::{PointToPoint, Rank};
+use cpm::models::collective::{binomial_recursive, linear_parallel, linear_serial};
+use cpm::models::{GatherEmpirics, HockneyHom, LmoExtended};
+use cpm::netsim::{simulate, SimCluster};
+use proptest::prelude::*;
+
+/// Strategy: a small random LMO model with physical magnitudes.
+fn lmo_strategy(n: usize) -> impl Strategy<Value = LmoExtended> {
+    let c = prop::collection::vec(10e-6..200e-6, n);
+    let t = prop::collection::vec(1e-9..30e-9, n);
+    let l = prop::collection::vec(10e-6..100e-6, n * (n - 1) / 2);
+    let b = prop::collection::vec(5e6..100e6, n * (n - 1) / 2);
+    (c, t, l, b).prop_map(move |(c, t, l, b)| {
+        let mut li = l.into_iter();
+        let mut bi = b.into_iter();
+        LmoExtended::new(
+            c,
+            t,
+            SymMatrix::from_fn(n, |_, _| li.next().unwrap()),
+            SymMatrix::from_fn(n, |_, _| bi.next().unwrap()),
+            GatherEmpirics::none(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Predictions grow monotonically with the message size.
+    #[test]
+    fn predictions_monotone_in_m(model in lmo_strategy(6), m1 in 0u64..500_000, dm in 1u64..500_000) {
+        let m2 = m1 + dm;
+        let root = Rank(0);
+        prop_assert!(model.linear_scatter(root, m1) <= model.linear_scatter(root, m2));
+        prop_assert!(model.time(Rank(1), Rank(4), m1) <= model.time(Rank(1), Rank(4), m2));
+        let tree = BinomialTree::new(6, root);
+        prop_assert!(
+            binomial_recursive(&model, &tree, m1) <= binomial_recursive(&model, &tree, m2)
+        );
+    }
+
+    /// Serial ≥ parallel combination, always; scatter sits between them in
+    /// the LMO formula.
+    #[test]
+    fn serial_parallel_ordering(model in lmo_strategy(5), m in 0u64..300_000) {
+        let root = Rank(2);
+        let serial = linear_serial(&model, root, m);
+        let parallel = linear_parallel(&model, root, m);
+        prop_assert!(serial >= parallel);
+        let scatter = model.linear_scatter(root, m);
+        prop_assert!(scatter <= serial + 1e-12);
+        prop_assert!(scatter >= parallel - 1e-12);
+    }
+
+    /// Paper eq. (3): with uniform parameters, the recursive binomial
+    /// formula collapses to `log₂n·α + (n−1)·β·M` exactly (power-of-two n).
+    #[test]
+    fn homogeneous_degeneration_eq3(
+        alpha in 1e-6f64..1e-3,
+        beta in 1e-9f64..1e-6,
+        m in 1u64..1_000_000,
+    ) {
+        for n in [2usize, 4, 8, 16] {
+            let hom = HockneyHom { alpha, beta, n };
+            let tree = BinomialTree::new(n, Rank(0));
+            let recursive = binomial_recursive(&hom, &tree, m);
+            let closed = hom.binomial(m);
+            prop_assert!(
+                (recursive - closed).abs() <= 1e-9 * closed.max(1e-12),
+                "n={n}: {recursive} vs {closed}"
+            );
+        }
+    }
+
+    /// The Hockney projection of an LMO model preserves every
+    /// point-to-point time.
+    #[test]
+    fn hockney_projection_is_p2p_exact(model in lmo_strategy(5), m in 0u64..200_000) {
+        let h = model.to_hockney();
+        for i in 0..5u32 {
+            for j in 0..5u32 {
+                if i == j { continue; }
+                let a = model.time(Rank(i), Rank(j), m);
+                let b = h.time(Rank(i), Rank(j), m);
+                prop_assert!((a - b).abs() < 1e-12 * a.max(1e-12));
+            }
+        }
+    }
+
+    /// Binomial trees with random valid mappings conserve blocks and
+    /// partition processes.
+    #[test]
+    fn tree_invariants_under_mapping(n in 2usize..32, rot in 0usize..32) {
+        let root = Rank::from(rot % n);
+        let tree = BinomialTree::new(n, root);
+        let out: u64 = tree
+            .arcs()
+            .iter()
+            .filter(|a| a.from == root)
+            .map(|a| a.blocks)
+            .sum();
+        prop_assert_eq!(out, n as u64 - 1);
+        prop_assert_eq!(tree.arcs().len(), n - 1);
+        // Every non-root has exactly one parent.
+        for v in 0..n {
+            let r = tree.process_at(v);
+            if r == root {
+                prop_assert!(tree.parent_of(r).is_none());
+            } else {
+                prop_assert!(tree.parent_of(r).is_some());
+            }
+        }
+    }
+}
+
+proptest! {
+    // Simulation-backed properties are expensive; fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// A simulated roundtrip on an ideal cluster equals twice the ground-
+    /// truth point-to-point time, for random clusters and message sizes.
+    #[test]
+    fn roundtrip_matches_ground_truth(seed in 0u64..1000, m in 0u64..100_000) {
+        let spec = ClusterSpec::homogeneous(3);
+        let truth = GroundTruth::synthesize_with(
+            &spec,
+            seed,
+            &SynthesisBaseline::default(),
+        );
+        let sim = SimCluster::new(truth.clone(), MpiProfile::ideal(), 0.0, seed);
+        let out = simulate(&sim, move |p| {
+            if p.rank() == Rank(0) {
+                let t0 = p.now();
+                p.send(Rank(2), m);
+                let _ = p.recv(Rank(2));
+                p.now() - t0
+            } else if p.rank() == Rank(2) {
+                let _ = p.recv(Rank(0));
+                p.send(Rank(0), m);
+                0.0
+            } else {
+                0.0
+            }
+        })
+        .unwrap();
+        let expected = 2.0 * truth.p2p_time(Rank(0), Rank(2), m);
+        prop_assert!(
+            (out.results[0] - expected).abs() < 1e-9 * expected.max(1e-9),
+            "{} vs {}",
+            out.results[0],
+            expected
+        );
+    }
+
+    /// Virtual time is non-negative and the simulation always terminates
+    /// for random well-formed programs (a send/recv ring).
+    #[test]
+    fn ring_program_terminates(n in 2usize..8, m in 0u64..50_000, seed in 0u64..100) {
+        let truth = GroundTruth::synthesize(&ClusterSpec::homogeneous(n), seed);
+        let sim = SimCluster::new(truth, MpiProfile::lam_7_1_3(), 0.01, seed);
+        let out = simulate(&sim, move |p| {
+            let n = p.size();
+            let next = Rank::from((p.rank().idx() + 1) % n);
+            let prev = Rank::from((p.rank().idx() + n - 1) % n);
+            if p.rank() == Rank(0) {
+                p.send(next, m);
+                let _ = p.recv(prev);
+            } else {
+                let _ = p.recv(prev);
+                p.send(next, m);
+            }
+            p.now()
+        })
+        .unwrap();
+        for t in &out.results {
+            prop_assert!(*t >= 0.0 && t.is_finite());
+        }
+        prop_assert!(out.end_time >= out.results.iter().copied().fold(0.0, f64::max) - 1e-12);
+    }
+}
+
+/// Not a proptest: the LMO gather regimes partition sizes by thresholds.
+#[test]
+fn gather_regime_partition() {
+    let model = LmoExtended::new(
+        vec![40e-6; 4],
+        vec![7e-9; 4],
+        SymMatrix::filled(4, 40e-6),
+        SymMatrix::filled(4, 12e6),
+        GatherEmpirics {
+            m1: 4096,
+            m2: 65536,
+            escalation_probability: 0.3,
+            escalation_magnitude: 0.2,
+            escalation_prob_knots: Vec::new(),
+        },
+    );
+    let mut last_regime = None;
+    for m in (0..200_000u64).step_by(1024) {
+        let g = model.linear_gather(Rank(0), m);
+        // expected ≥ base everywhere.
+        assert!(g.expected >= g.base - 1e-15);
+        last_regime = Some(g.regime);
+    }
+    assert_eq!(last_regime, Some(cpm::models::GatherRegime::Large));
+}
+
+/// Not a proptest: a homogeneous model is invariant to the root choice.
+#[test]
+fn homogeneous_root_invariance() {
+    let n = 8;
+    let model = LmoExtended::new(
+        vec![40e-6; n],
+        vec![7e-9; n],
+        SymMatrix::filled(n, 40e-6),
+        SymMatrix::filled(n, 12e6),
+        GatherEmpirics::none(),
+    );
+    let base = model.linear_scatter(Rank(0), 32 * 1024);
+    for r in 1..n {
+        let other = model.linear_scatter(Rank::from(r), 32 * 1024);
+        assert!((base - other).abs() < 1e-15);
+    }
+    let _ = model.p2p(Rank(0), Rank(1), 0);
+}
