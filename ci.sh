@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, release build, full test suite.
+# Run from anywhere; operates on the repository root.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo clippy --workspace (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release"
+cargo build --release
+
+echo "== cargo test -q"
+cargo test -q
+
+echo "== cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "CI OK"

@@ -23,19 +23,13 @@ fn bench_collectives(c: &mut Criterion) {
     let cl = paper_cluster();
     let m = 32 * 1024;
     g.bench_function("linear_scatter", |b| {
-        b.iter(|| {
-            black_box(measure::linear_scatter_times(&cl, Rank(0), m, 1, 1).unwrap())
-        });
+        b.iter(|| black_box(measure::linear_scatter_times(&cl, Rank(0), m, 1, 1).unwrap()));
     });
     g.bench_function("binomial_scatter", |b| {
-        b.iter(|| {
-            black_box(measure::binomial_scatter_times(&cl, Rank(0), m, 1, 1).unwrap())
-        });
+        b.iter(|| black_box(measure::binomial_scatter_times(&cl, Rank(0), m, 1, 1).unwrap()));
     });
     g.bench_function("linear_gather", |b| {
-        b.iter(|| {
-            black_box(measure::linear_gather_times(&cl, Rank(0), m, 1, 1).unwrap())
-        });
+        b.iter(|| black_box(measure::linear_gather_times(&cl, Rank(0), m, 1, 1).unwrap()));
     });
     g.finish();
 }

@@ -15,7 +15,10 @@ fn cluster(n: usize) -> SimCluster {
 }
 
 fn cfg() -> EstimateConfig {
-    EstimateConfig { reps: 2, ..EstimateConfig::with_seed(1) }
+    EstimateConfig {
+        reps: 2,
+        ..EstimateConfig::with_seed(1)
+    }
 }
 
 fn bench_hockney(c: &mut Criterion) {
@@ -27,9 +30,7 @@ fn bench_hockney(c: &mut Criterion) {
             b.iter(|| black_box(estimate_hockney_het(&cl, &cfg()).unwrap().model));
         });
         g.bench_with_input(BenchmarkId::new("serial", n), &n, |b, _| {
-            b.iter(|| {
-                black_box(estimate_hockney_het(&cl, &cfg().serial()).unwrap().model)
-            });
+            b.iter(|| black_box(estimate_hockney_het(&cl, &cfg().serial()).unwrap().model));
         });
     }
     g.finish();

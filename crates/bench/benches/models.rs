@@ -22,7 +22,9 @@ fn lmo(n: usize) -> LmoExtended {
             m2: 66560,
             escalation_probability: 0.4,
             escalation_magnitude: 0.19,
-            escalation_prob_knots: (1..30).map(|k| (k as f64 * 4096.0, 0.02 * k as f64)).collect(),
+            escalation_prob_knots: (1..30)
+                .map(|k| (k as f64 * 4096.0, 0.02 * k as f64))
+                .collect(),
         },
     )
 }

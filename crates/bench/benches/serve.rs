@@ -1,0 +1,97 @@
+//! Cost of prediction service queries: a cold query (estimation pipeline +
+//! registry write) versus a warm one (sharded LRU cache hit). The service
+//! exists precisely because of this gap — warm queries should be orders of
+//! magnitude (≥100×) faster than cold ones.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::cell::Cell;
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use cpm_cluster::{ClusterConfig, ClusterSpec};
+use cpm_estimate::EstimateConfig;
+use cpm_serve::service::{Algorithm, ClusterRef, Collective, ModelKind, Query};
+use cpm_serve::{Service, ServiceConfig};
+
+static STORE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn fresh_store(tag: &str) -> std::path::PathBuf {
+    let seq = STORE_SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "cpm-bench-serve-{tag}-{}-{seq}",
+        std::process::id()
+    ))
+}
+
+fn service_config() -> ServiceConfig {
+    ServiceConfig {
+        est: EstimateConfig {
+            reps: 1,
+            ..EstimateConfig::with_seed(29)
+        },
+        ..ServiceConfig::default()
+    }
+}
+
+fn query() -> Query {
+    Query {
+        model: ModelKind::Lmo,
+        collective: Collective::Scatter,
+        algorithm: Algorithm::Binomial,
+        m: 65536,
+        root: 0,
+    }
+}
+
+fn bench_cold_vs_warm(c: &mut Criterion) {
+    let cluster = ClusterRef::Config(Box::new(ClusterConfig::ideal(
+        ClusterSpec::homogeneous(4),
+        11,
+    )));
+
+    let mut g = c.benchmark_group("serve/query");
+    g.sample_size(10);
+
+    // Cold: every iteration sees a fresh service over an empty store, so
+    // the query runs the full estimation pipeline and a registry write.
+    let cold_dir: Cell<Option<std::path::PathBuf>> = Cell::new(None);
+    g.bench_function("cold", |b| {
+        b.iter(|| {
+            let dir = fresh_store("cold");
+            let service = Service::open(&dir, service_config()).unwrap();
+            let p = service.predict(&cluster, &query()).unwrap();
+            assert!(!p.cached);
+            if let Some(old) = cold_dir.replace(Some(dir)) {
+                let _ = std::fs::remove_dir_all(old);
+            }
+            black_box(p.seconds)
+        });
+    });
+    if let Some(dir) = cold_dir.take() {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    // Warm: one pre-warmed service; every query is an LRU cache hit.
+    let warm_dir = fresh_store("warm");
+    let warm = Service::open(&warm_dir, service_config()).unwrap();
+    warm.predict(&cluster, &query()).unwrap();
+    g.bench_function("warm", |b| {
+        b.iter(|| black_box(warm.predict(&cluster, &query()).unwrap().seconds));
+    });
+    g.finish();
+
+    // The cache accounting must be consistent: exactly one estimation and
+    // one miss on the warm service, everything else hits.
+    let snap = warm.metrics().snapshot();
+    assert_eq!(snap.estimations, 1, "warm service estimated more than once");
+    assert_eq!(snap.misses, 1, "warm service missed more than once");
+    assert_eq!(snap.hits + snap.misses, snap.predict_count);
+    eprintln!(
+        "serve/query stats: {} hits, {} misses, {} estimations",
+        snap.hits, snap.misses, snap.estimations
+    );
+    let _ = std::fs::remove_dir_all(warm_dir);
+}
+
+criterion_group!(benches, bench_cold_vs_warm);
+criterion_main!(benches);

@@ -22,7 +22,10 @@ fn main() {
     let mut sizes: Vec<u64> = vec![128, 256, 512, 1024, 2048, 4096];
     sizes.extend((1..=25).map(|k| k * 8 * 1024));
 
-    eprintln!("[cpm] observing binomial scatter over {} sizes …", sizes.len());
+    eprintln!(
+        "[cpm] observing binomial scatter over {} sizes …",
+        sizes.len()
+    );
     let observed = Series {
         label: "observation".into(),
         points: sizes
@@ -55,7 +58,12 @@ fn main() {
     println!("mean |rel err| refined:  {:.1}%", refined * 100.0);
     println!(
         "refined better: {}",
-        if refined < eq1 { "yes" } else { "no (check cluster regime)" }
+        if refined < eq1 {
+            "yes"
+        } else {
+            "no (check cluster regime)"
+        }
     );
-    fig.save(cpm_bench::output::results_dir()).expect("write results");
+    fig.save(cpm_bench::output::results_dir())
+        .expect("write results");
 }

@@ -13,8 +13,14 @@ fn main() {
     let (seed, profile) = PaperContext::env_seed_profile();
     let (_, sim) = PaperContext::cluster_only(seed, &profile);
     // Noisy measurements make redundancy meaningful.
-    let sim = cpm_netsim::SimCluster { noise_rel: 0.02, ..sim };
-    let base = EstimateConfig { reps: 2, ..EstimateConfig::with_seed(seed ^ 0xab2) };
+    let sim = cpm_netsim::SimCluster {
+        noise_rel: 0.02,
+        ..sim
+    };
+    let base = EstimateConfig {
+        reps: 2,
+        ..EstimateConfig::with_seed(seed ^ 0xab2)
+    };
 
     println!("== Ablation: parameter error vs number of triplet rounds (2% noise) ==");
     println!(
@@ -41,7 +47,11 @@ fn main() {
                 let b_err = b_sum / links as f64;
                 println!(
                     "{:>8} {:>9.2}% {:>9.2}% {:>12.1} {:>10}",
-                    if limit == 0 { "all".to_string() } else { limit.to_string() },
+                    if limit == 0 {
+                        "all".to_string()
+                    } else {
+                        limit.to_string()
+                    },
                     t_err * 100.0,
                     b_err * 100.0,
                     est.virtual_cost,

@@ -39,10 +39,15 @@ fn main() {
     eprintln!("[cpm] estimating with the overlap-calibrated solver …");
     let overlap = estimate_lmo(&sim, &cfg).expect("estimation").model;
     eprintln!("[cpm] estimating with the paper's verbatim equations …");
-    let paper = estimate_lmo(&sim, &cfg.paper_solver()).expect("estimation").model;
+    let paper = estimate_lmo(&sim, &cfg.paper_solver())
+        .expect("estimation")
+        .model;
 
     println!("== Ablation: triplet-equation variants (max |rel err| vs ground truth) ==");
-    println!("{:<10} {:>8} {:>8} {:>8} {:>8}", "solver", "C", "L", "t", "β");
+    println!(
+        "{:<10} {:>8} {:>8} {:>8} {:>8}",
+        "solver", "C", "L", "t", "β"
+    );
     for (name, model) in [("Overlap", &overlap), ("Paper", &paper)] {
         let (c, l, t, b) = param_errors(&sim.truth, model);
         println!(

@@ -28,7 +28,10 @@ fn main() {
     println!("(same nodes, same estimation procedure; uplink = one access link)");
     println!();
 
-    let base_cfg = EstimateConfig { reps: 3, ..EstimateConfig::with_seed(seed ^ 0xb0) };
+    let base_cfg = EstimateConfig {
+        reps: 3,
+        ..EstimateConfig::with_seed(seed ^ 0xb0)
+    };
     let cases = [
         ("single switch, parallel estimation", &single, base_cfg),
         ("two switches, parallel estimation", &two, base_cfg),

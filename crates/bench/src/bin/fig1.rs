@@ -16,7 +16,10 @@ fn main() {
     let reps = ctx.obs_reps();
     let root = ctx.root;
 
-    eprintln!("[cpm] observing linear scatter over {} sizes …", sizes.len());
+    eprintln!(
+        "[cpm] observing linear scatter over {} sizes …",
+        sizes.len()
+    );
     let observed = Series {
         label: "observation".into(),
         points: sizes
@@ -49,5 +52,6 @@ fn main() {
         let err = s.mean_rel_error_vs(&observed).unwrap_or(f64::NAN);
         println!("mean |rel err| {:<22} {:>7.1}%", s.label, err * 100.0);
     }
-    fig.save(cpm_bench::output::results_dir()).expect("write results");
+    fig.save(cpm_bench::output::results_dir())
+        .expect("write results");
 }

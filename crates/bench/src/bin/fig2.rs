@@ -8,7 +8,11 @@ use cpm_core::tree::BinomialTree;
 fn render(tree: &BinomialTree, r: Rank, prefix: &str, out: &mut String) {
     for (k, (child, blocks)) in tree.children_of(r).iter().enumerate() {
         let last = k + 1 == tree.children_of(r).len();
-        let (tee, cont) = if last { ("└─", "  ") } else { ("├─", "│ ") };
+        let (tee, cont) = if last {
+            ("└─", "  ")
+        } else {
+            ("├─", "│ ")
+        };
         out.push_str(&format!("{prefix}{tee} {child}  [{blocks} block(s)]\n"));
         render(tree, *child, &format!("{prefix}{cont}"), out);
     }
@@ -17,10 +21,14 @@ fn render(tree: &BinomialTree, r: Rank, prefix: &str, out: &mut String) {
 fn main() {
     let (_, profile) = PaperContext::env_seed_profile();
     let _ = profile;
-    let n: usize =
-        std::env::var("CPM_N").ok().and_then(|s| s.parse().ok()).unwrap_or(16);
-    let root: u32 =
-        std::env::var("CPM_ROOT").ok().and_then(|s| s.parse().ok()).unwrap_or(0);
+    let n: usize = std::env::var("CPM_N")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16);
+    let root: u32 = std::env::var("CPM_ROOT")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
     let tree = BinomialTree::new(n, Rank(root));
 
     println!("== Fig. 2 — binomial communication tree, n={n}, root={root} ==");

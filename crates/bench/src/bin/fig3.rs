@@ -19,7 +19,10 @@ fn main() {
     let root = ctx.root;
     let tree = BinomialTree::new(ctx.sim.n(), root);
 
-    eprintln!("[cpm] observing binomial scatter over {} sizes …", sizes.len());
+    eprintln!(
+        "[cpm] observing binomial scatter over {} sizes …",
+        sizes.len()
+    );
     let observed = Series {
         label: "observation".into(),
         points: sizes
@@ -48,10 +51,18 @@ fn main() {
     let hom_err = fig.series[1].mean_rel_error_vs(&observed).unwrap();
     let het_err = fig.series[2].mean_rel_error_vs(&observed).unwrap();
     println!("mean |rel err| hom Hockney: {:.1}%", hom_err * 100.0);
-    println!("mean |rel err| het Hockney (recursive): {:.1}%", het_err * 100.0);
+    println!(
+        "mean |rel err| het Hockney (recursive): {:.1}%",
+        het_err * 100.0
+    );
     println!(
         "heterogeneous recursive better: {}",
-        if het_err < hom_err { "yes (as in the paper)" } else { "NO — check setup" }
+        if het_err < hom_err {
+            "yes (as in the paper)"
+        } else {
+            "NO — check setup"
+        }
     );
-    fig.save(cpm_bench::output::results_dir()).expect("write results");
+    fig.save(cpm_bench::output::results_dir())
+        .expect("write results");
 }

@@ -16,7 +16,10 @@ fn main() {
     let reps = ctx.obs_reps();
     let root = ctx.root;
 
-    eprintln!("[cpm] observing linear scatter over {} sizes …", sizes.len());
+    eprintln!(
+        "[cpm] observing linear scatter over {} sizes …",
+        sizes.len()
+    );
     let observed = Series {
         label: "observation".into(),
         points: sizes
@@ -29,8 +32,10 @@ fn main() {
             .collect(),
     };
 
-    let mut fig =
-        Figure::new("fig4", "linear scatter: LMO vs traditional models (16 nodes)");
+    let mut fig = Figure::new(
+        "fig4",
+        "linear scatter: LMO vs traditional models (16 nodes)",
+    );
     fig.push(observed.clone());
     fig.push(Series::from_fn("LMO (eq. 4)", &sizes, |m| {
         ctx.lmo.linear_scatter(root, m)
@@ -49,9 +54,11 @@ fn main() {
     }
     // The leap: observation at 64KB jumps relative to 60KB beyond the
     // linear trend.
-    if let (Some(a), Some(b), Some(c)) =
-        (observed.at(56 * 1024), observed.at(60 * 1024), observed.at(64 * 1024))
-    {
+    if let (Some(a), Some(b), Some(c)) = (
+        observed.at(56 * 1024),
+        observed.at(60 * 1024),
+        observed.at(64 * 1024),
+    ) {
         let trend = b + (b - a);
         println!(
             "leap check at 64KB: observed {:.2} ms vs linear trend {:.2} ms",
@@ -59,5 +66,6 @@ fn main() {
             trend * 1e3
         );
     }
-    fig.save(cpm_bench::output::results_dir()).expect("write results");
+    fig.save(cpm_bench::output::results_dir())
+        .expect("write results");
 }

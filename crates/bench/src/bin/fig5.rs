@@ -15,13 +15,24 @@ fn main() {
     let root = ctx.root;
 
     eprintln!("[cpm] observing linear gather over {} sizes …", sizes.len());
-    let mut obs_mean = Series { label: "obs mean".into(), points: Vec::new() };
-    let mut obs_median = Series { label: "obs median".into(), points: Vec::new() };
-    let mut obs_min = Series { label: "obs min".into(), points: Vec::new() };
-    let mut obs_p90 = Series { label: "obs p90".into(), points: Vec::new() };
+    let mut obs_mean = Series {
+        label: "obs mean".into(),
+        points: Vec::new(),
+    };
+    let mut obs_median = Series {
+        label: "obs median".into(),
+        points: Vec::new(),
+    };
+    let mut obs_min = Series {
+        label: "obs min".into(),
+        points: Vec::new(),
+    };
+    let mut obs_p90 = Series {
+        label: "obs p90".into(),
+        points: Vec::new(),
+    };
     for &m in &sizes {
-        let ts = measure::linear_gather_times(&ctx.sim, root, m, reps, m)
-            .expect("simulation runs");
+        let ts = measure::linear_gather_times(&ctx.sim, root, m, reps, m).expect("simulation runs");
         obs_mean.points.push((m, Summary::of(&ts).mean()));
         obs_median.points.push((m, median(&ts).unwrap()));
         obs_min
@@ -59,9 +70,7 @@ fn main() {
         ctx.lmo.gather.escalation_probability,
         ctx.lmo.gather.escalation_magnitude * 1e3
     );
-    println!(
-        "paper (LAM 7.1.3): M1 = 4096 B, M2 = 66560 B, escalations reach 250 ms"
-    );
+    println!("paper (LAM 7.1.3): M1 = 4096 B, M2 = 66560 B, escalations reach 250 ms");
     // The LMO `expected` value predicts the *mean* (escalations are
     // stochastic); compare per regime so the bimodal medium band does not
     // swamp the clean regions.
@@ -108,8 +117,7 @@ fn main() {
     // The distribution inside the escalation band, as the paper describes
     // it: a clean mode on the linear trend plus a heavy escalated cluster.
     let mid = 32 * 1024;
-    let ts = measure::linear_gather_times(&ctx.sim, root, mid, 48, 0xf5)
-        .expect("simulation runs");
+    let ts = measure::linear_gather_times(&ctx.sim, root, mid, 48, 0xf5).expect("simulation runs");
     if let Some(h) = Histogram::from_samples(&ts, 10) {
         println!();
         println!(
@@ -118,5 +126,6 @@ fn main() {
         );
         print!("{}", h.render(32, |c| format!("{:.0}ms", c * 1e3)));
     }
-    fig.save(cpm_bench::output::results_dir()).expect("write results");
+    fig.save(cpm_bench::output::results_dir())
+        .expect("write results");
 }

@@ -20,7 +20,12 @@ fn main() {
     eprintln!("[cpm] observing linear and binomial scatter, 100–200 KB …");
     let observe = |binomial: bool| -> Series {
         Series {
-            label: if binomial { "obs binomial" } else { "obs linear" }.into(),
+            label: if binomial {
+                "obs binomial"
+            } else {
+                "obs linear"
+            }
+            .into(),
             points: sizes
                 .iter()
                 .map(|&m| {
@@ -71,8 +76,7 @@ fn main() {
         } else {
             ScatterAlgorithm::Binomial
         };
-        let hockney = if ctx.hockney_hom.linear_serial(m) <= ctx.hockney_hom.binomial(m)
-        {
+        let hockney = if ctx.hockney_hom.linear_serial(m) <= ctx.hockney_hom.binomial(m) {
             ScatterAlgorithm::Linear
         } else {
             ScatterAlgorithm::Binomial
@@ -106,5 +110,6 @@ fn main() {
         ),
         None => println!("LMO finds no binomial→linear switch in [1B, 512KB]"),
     }
-    fig.save(cpm_bench::output::results_dir()).expect("write results");
+    fig.save(cpm_bench::output::results_dir())
+        .expect("write results");
 }

@@ -23,17 +23,24 @@ fn main() {
         m += 8 * KIB;
     }
 
-    eprintln!("[cpm] native vs optimized gather over {} sizes …", sizes.len());
-    let mut native = Series { label: "native gather (mean)".into(), points: Vec::new() };
-    let mut optimized =
-        Series { label: "optimized gather (mean)".into(), points: Vec::new() };
+    eprintln!(
+        "[cpm] native vs optimized gather over {} sizes …",
+        sizes.len()
+    );
+    let mut native = Series {
+        label: "native gather (mean)".into(),
+        points: Vec::new(),
+    };
+    let mut optimized = Series {
+        label: "optimized gather (mean)".into(),
+        points: Vec::new(),
+    };
     let mut speedups = Vec::new();
     for &m in &sizes {
-        let nat = measure::linear_gather_times(&ctx.sim, root, m, reps, m)
+        let nat =
+            measure::linear_gather_times(&ctx.sim, root, m, reps, m).expect("simulation runs");
+        let opt = measure::optimized_gather_times(&ctx.sim, root, m, &empirics, reps, m)
             .expect("simulation runs");
-        let opt =
-            measure::optimized_gather_times(&ctx.sim, root, m, &empirics, reps, m)
-                .expect("simulation runs");
         let nat_mean = Summary::of(&nat).mean();
         let opt_mean = Summary::of(&opt).mean();
         native.points.push((m, nat_mean));
@@ -53,5 +60,6 @@ fn main() {
     }
     let best = speedups.iter().map(|p| p.1).fold(0.0, f64::max);
     println!("best speedup in the escalation region: {best:.1}x (paper: ~10x)");
-    fig.save(cpm_bench::output::results_dir()).expect("write results");
+    fig.save(cpm_bench::output::results_dir())
+        .expect("write results");
 }

@@ -16,7 +16,10 @@ fn main() {
     );
     for profile in ["lam", "mpich"] {
         let (config, sim) = PaperContext::cluster_only(seed, profile);
-        let cfg = EstimateConfig { reps: 8, ..EstimateConfig::with_seed(seed ^ 0x9f) };
+        let cfg = EstimateConfig {
+            reps: 8,
+            ..EstimateConfig::with_seed(seed ^ 0x9f)
+        };
         let est = estimate_gather_empirics(&sim, &cfg).expect("empirics");
         println!(
             "{:<14} {:>10} {:>10} {:>12} {:>12} {:>7.2}",

@@ -21,7 +21,10 @@ fn main() {
     let generations = [
         ("100Mb Ethernet", SynthesisBaseline::fast_ethernet()),
         ("Gigabit Ethernet", SynthesisBaseline::gigabit()),
-        ("low-latency interconnect", SynthesisBaseline::low_latency_interconnect()),
+        (
+            "low-latency interconnect",
+            SynthesisBaseline::low_latency_interconnect(),
+        ),
     ];
 
     println!("== Sensitivity to the network generation (no irregularities) ==");
@@ -32,7 +35,10 @@ fn main() {
     for (name, base) in generations {
         let truth = GroundTruth::synthesize_with(&spec, seed, &base);
         let sim = SimCluster::new(truth, MpiProfile::ideal(), 0.0, seed);
-        let cfg = EstimateConfig { reps: 3, ..EstimateConfig::with_seed(seed ^ 0x5e) };
+        let cfg = EstimateConfig {
+            reps: 3,
+            ..EstimateConfig::with_seed(seed ^ 0x5e)
+        };
         eprintln!("[cpm] estimating on {name} …");
         let lmo = estimate_lmo(&sim, &cfg).expect("estimation").model;
         let hockney = estimate_hockney_het(&sim, &cfg).expect("estimation").model;

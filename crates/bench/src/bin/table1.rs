@@ -29,7 +29,10 @@ fn main() {
     let truth = &sim.truth;
     println!();
     println!("== Synthesized ground truth (hidden from the estimators) ==");
-    println!("{:<5} {:<6} {:>10} {:>12}", "Node", "Type", "C (µs)", "t (ns/B)");
+    println!(
+        "{:<5} {:<6} {:>10} {:>12}",
+        "Node", "Type", "C (µs)", "t (ns/B)"
+    );
     for i in 0..spec.n_nodes() {
         println!(
             "{:<5} {:<6} {:>10.1} {:>12.2}",
@@ -42,7 +45,9 @@ fn main() {
     let mean_l = truth.l.mean().unwrap() * 1e6;
     let mean_b = truth.beta.mean().unwrap() / 1e6;
     println!();
-    println!("links: mean L = {mean_l:.1} µs, mean β = {mean_b:.2} MB/s (single switch, symmetric)");
+    println!(
+        "links: mean L = {mean_l:.1} µs, mean β = {mean_b:.2} MB/s (single switch, symmetric)"
+    );
     println!("profile: {}", config.profile.name);
     println!(
         "p2p example: T(0↔12, 64KB) = {:.3} ms",

@@ -22,14 +22,10 @@ fn main() {
     // One size per gather regime: small, medium (escalating), large.
     let sizes = [2 * KIB, 32 * KIB, 100 * KIB];
     for m in sizes {
-        let obs_scatter = Summary::of(
-            &measure::linear_scatter_times(&ctx.sim, root, m, reps, m).unwrap(),
-        )
-        .mean();
-        let obs_gather = Summary::of(
-            &measure::linear_gather_times(&ctx.sim, root, m, reps, m).unwrap(),
-        )
-        .mean();
+        let obs_scatter =
+            Summary::of(&measure::linear_scatter_times(&ctx.sim, root, m, reps, m).unwrap()).mean();
+        let obs_gather =
+            Summary::of(&measure::linear_gather_times(&ctx.sim, root, m, reps, m).unwrap()).mean();
         println!("== Table II at M = {} ==", format_bytes(m));
         println!(
             "{:<16} {:>14} {:>14} {:>14}",

@@ -36,10 +36,7 @@ impl PaperContext {
         let config = match profile {
             "lam" => ClusterConfig::paper_lam(seed),
             "mpich" => ClusterConfig::paper_mpich(seed),
-            "ideal" => ClusterConfig::ideal(
-                cpm_cluster::ClusterSpec::paper_cluster(),
-                seed,
-            ),
+            "ideal" => ClusterConfig::ideal(cpm_cluster::ClusterSpec::paper_cluster(), seed),
             other => panic!("unknown CPM_PROFILE {other:?}; use lam|mpich|ideal"),
         };
         let sim = SimCluster::from_config(&config);
@@ -71,11 +68,17 @@ impl PaperContext {
             .model;
         let hockney_hom = hockney_het.averaged();
         eprintln!("[cpm] estimating LogGP …");
-        let loggp = estimate_loggp(&sim, &est_cfg).expect("LogGP estimation").model;
+        let loggp = estimate_loggp(&sim, &est_cfg)
+            .expect("LogGP estimation")
+            .model;
         eprintln!("[cpm] estimating PLogP …");
-        let plogp = estimate_plogp(&sim, &est_cfg).expect("PLogP estimation").model;
+        let plogp = estimate_plogp(&sim, &est_cfg)
+            .expect("PLogP estimation")
+            .model;
         eprintln!("[cpm] estimating LMO (triplet procedure + gather empirics) …");
-        let lmo = estimate_lmo_full(&sim, &est_cfg).expect("LMO estimation").model;
+        let lmo = estimate_lmo_full(&sim, &est_cfg)
+            .expect("LMO estimation")
+            .model;
         eprintln!(
             "[cpm] LMO empirics: M1={} M2={} p={:.2} magnitude={:.0}ms",
             lmo.gather.m1,
@@ -99,6 +102,9 @@ impl PaperContext {
     /// Observation repetitions per sweep point (medium sizes escalate
     /// stochastically, so several are needed).
     pub fn obs_reps(&self) -> usize {
-        std::env::var("CPM_REPS").ok().and_then(|s| s.parse().ok()).unwrap_or(8)
+        std::env::var("CPM_REPS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(8)
     }
 }

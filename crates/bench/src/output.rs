@@ -20,7 +20,10 @@ impl Series {
         sizes: &[Bytes],
         mut f: impl FnMut(Bytes) -> f64,
     ) -> Self {
-        Series { label: label.into(), points: sizes.iter().map(|&m| (m, f(m))).collect() }
+        Series {
+            label: label.into(),
+            points: sizes.iter().map(|&m| (m, f(m))).collect(),
+        }
     }
 
     /// The value at a given size, if present.
@@ -56,7 +59,11 @@ pub struct Figure {
 
 impl Figure {
     pub fn new(id: impl Into<String>, title: impl Into<String>) -> Self {
-        Figure { id: id.into(), title: title.into(), series: Vec::new() }
+        Figure {
+            id: id.into(),
+            title: title.into(),
+            series: Vec::new(),
+        }
     }
 
     pub fn push(&mut self, s: Series) {
@@ -96,7 +103,10 @@ impl Figure {
         let dir = dir.as_ref();
         fs::create_dir_all(dir)?;
         let path = dir.join(format!("{}.json", self.id));
-        fs::write(path, serde_json::to_string_pretty(self).expect("figure serializes"))
+        fs::write(
+            path,
+            serde_json::to_string_pretty(self).expect("figure serializes"),
+        )
     }
 
     /// Loads a figure back from JSON.
@@ -129,7 +139,9 @@ mod tests {
     fn fig() -> Figure {
         let mut f = Figure::new("figX", "test figure");
         f.push(Series::from_fn("obs", &[1024, 2048], |m| m as f64 * 1e-6));
-        f.push(Series::from_fn("pred", &[1024, 2048], |m| m as f64 * 1.1e-6));
+        f.push(Series::from_fn("pred", &[1024, 2048], |m| {
+            m as f64 * 1.1e-6
+        }));
         f
     }
 

@@ -28,7 +28,12 @@ fn table1_prints_the_cluster_and_truth() {
     // 16 node rows in the truth table.
     let node_rows = out
         .lines()
-        .filter(|l| l.trim_start().chars().next().is_some_and(|c| c.is_ascii_digit()))
+        .filter(|l| {
+            l.trim_start()
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_digit())
+        })
         .count();
     assert!(node_rows >= 16, "{node_rows} rows\n{out}");
 }
@@ -44,7 +49,10 @@ fn fig2_renders_the_binomial_tree() {
 
 #[test]
 fn fig2_honours_custom_n_and_root() {
-    let out = run(env!("CARGO_BIN_EXE_fig2"), &[("CPM_N", "6"), ("CPM_ROOT", "2")]);
+    let out = run(
+        env!("CARGO_BIN_EXE_fig2"),
+        &[("CPM_N", "6"), ("CPM_ROOT", "2")],
+    );
     assert!(out.contains("n=6, root=2"), "{out}");
     assert!(out.contains("blocks leaving the root: 5"), "{out}");
 }

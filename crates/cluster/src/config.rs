@@ -54,7 +54,10 @@ impl ClusterConfig {
 
     /// The same cluster under MPICH 1.2.7.
     pub fn paper_mpich(seed: u64) -> Self {
-        ClusterConfig { profile: MpiProfile::mpich_1_2_7(), ..Self::paper_lam(seed) }
+        ClusterConfig {
+            profile: MpiProfile::mpich_1_2_7(),
+            ..Self::paper_lam(seed)
+        }
     }
 
     /// An idealized run without irregularities or noise, for ablations.

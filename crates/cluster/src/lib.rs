@@ -21,7 +21,7 @@ pub mod topology;
 pub mod truth;
 
 pub use config::ClusterConfig;
-pub use topology::Topology;
 pub use profile::MpiProfile;
 pub use spec::{ClusterSpec, NodeTypeSpec};
+pub use topology::Topology;
 pub use truth::{GroundTruth, SynthesisBaseline};

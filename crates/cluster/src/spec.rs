@@ -59,13 +59,45 @@ impl ClusterSpec {
         ClusterSpec {
             name: "hcl-16-node-heterogeneous".into(),
             types: vec![
-                t("Dell Poweredge SC1425", "FC4", "3.6 Xeon", 3.6, 800, 2048, 2),
+                t(
+                    "Dell Poweredge SC1425",
+                    "FC4",
+                    "3.6 Xeon",
+                    3.6,
+                    800,
+                    2048,
+                    2,
+                ),
                 t("Dell Poweredge 750", "FC4", "3.4 Xeon", 3.4, 800, 1024, 6),
-                t("IBM E-server 326", "Debian", "1.8 AMD Opteron", 1.8, 1000, 1024, 2),
+                t(
+                    "IBM E-server 326",
+                    "Debian",
+                    "1.8 AMD Opteron",
+                    1.8,
+                    1000,
+                    1024,
+                    2,
+                ),
                 t("IBM X-Series 306", "Debian", "3.2 P4", 3.2, 800, 1024, 1),
                 t("HP Proliant DL 320 G3", "FC4", "3.4 P4", 3.4, 800, 1024, 1),
-                t("HP Proliant DL 320 G3", "FC4", "2.9 Celeron", 2.9, 533, 256, 1),
-                t("HP Proliant DL 140 G2", "Debian", "3.4 Xeon", 3.4, 800, 1024, 3),
+                t(
+                    "HP Proliant DL 320 G3",
+                    "FC4",
+                    "2.9 Celeron",
+                    2.9,
+                    533,
+                    256,
+                    1,
+                ),
+                t(
+                    "HP Proliant DL 140 G2",
+                    "Debian",
+                    "3.4 Xeon",
+                    3.4,
+                    800,
+                    1024,
+                    3,
+                ),
             ],
         }
     }

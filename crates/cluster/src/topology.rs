@@ -32,7 +32,11 @@ impl Topology {
     /// A two-switch topology with an uplink equal in speed to one access
     /// link — the worst sensible case.
     pub fn two_switch(split: usize, uplink_beta: f64) -> Self {
-        Topology::TwoSwitch { split, uplink_beta, uplink_latency: 10e-6 }
+        Topology::TwoSwitch {
+            split,
+            uplink_beta,
+            uplink_latency: 10e-6,
+        }
     }
 
     /// `true` when a transfer from `src` to `dst` crosses switches.
@@ -47,9 +51,11 @@ impl Topology {
     pub fn uplink(&self) -> Option<(f64, f64)> {
         match self {
             Topology::SingleSwitch => None,
-            Topology::TwoSwitch { uplink_beta, uplink_latency, .. } => {
-                Some((*uplink_beta, *uplink_latency))
-            }
+            Topology::TwoSwitch {
+                uplink_beta,
+                uplink_latency,
+                ..
+            } => Some((*uplink_beta, *uplink_latency)),
         }
     }
 }

@@ -102,11 +102,7 @@ impl GroundTruth {
     }
 
     /// Synthesizes ground truth with an explicit baseline.
-    pub fn synthesize_with(
-        spec: &ClusterSpec,
-        seed: u64,
-        base: &SynthesisBaseline,
-    ) -> Self {
+    pub fn synthesize_with(spec: &ClusterSpec, seed: u64, base: &SynthesisBaseline) -> Self {
         let n = spec.n_nodes();
         let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
 
@@ -237,7 +233,11 @@ mod tests {
         let g = GroundTruth::synthesize_with(
             &ClusterSpec::homogeneous(8),
             2,
-            &SynthesisBaseline { node_jitter: 0.0, link_jitter: 0.0, ..Default::default() },
+            &SynthesisBaseline {
+                node_jitter: 0.0,
+                link_jitter: 0.0,
+                ..Default::default()
+            },
         );
         for i in 1..8 {
             assert_eq!(g.c[i], g.c[0]);
@@ -254,11 +254,8 @@ mod tests {
         let spec = ClusterSpec::homogeneous(4);
         let fe = GroundTruth::synthesize_with(&spec, 1, &SynthesisBaseline::fast_ethernet());
         let ge = GroundTruth::synthesize_with(&spec, 1, &SynthesisBaseline::gigabit());
-        let ib = GroundTruth::synthesize_with(
-            &spec,
-            1,
-            &SynthesisBaseline::low_latency_interconnect(),
-        );
+        let ib =
+            GroundTruth::synthesize_with(&spec, 1, &SynthesisBaseline::low_latency_interconnect());
         let m = 64 * 1024;
         let t_fe = fe.p2p_time(Rank(0), Rank(1), m);
         let t_ge = ge.p2p_time(Rank(0), Rank(1), m);

@@ -55,10 +55,7 @@ pub fn ring_allgather_overlap(c: &mut Comm<'_>, m: Bytes) {
 
 /// Prediction for [`ring_allgather_overlap`]: `n−1` steps of one slowest
 /// neighbour transfer each.
-pub fn predict_ring_allgather_overlap<M: PointToPoint + ?Sized>(
-    model: &M,
-    m: Bytes,
-) -> f64 {
+pub fn predict_ring_allgather_overlap<M: PointToPoint + ?Sized>(model: &M, m: Bytes) -> f64 {
     let n = model.n();
     if n <= 1 {
         return 0.0;
@@ -123,8 +120,7 @@ mod tests {
         for n in [4usize, 7, 8] {
             let cl = cluster(n);
             let m = 8 * KIB;
-            let obs = collective_times(&cl, Rank(0), 1, 1, |c| ring_allgather(c, m))
-                .unwrap()[0];
+            let obs = collective_times(&cl, Rank(0), 1, 1, |c| ring_allgather(c, m)).unwrap()[0];
             let pred = predict_ring_allgather(&cl.truth, m);
             assert!(obs <= pred * 1.05, "n={n}: obs {obs} vs bound {pred}");
             assert!(obs >= pred * 0.4, "n={n}: obs {obs} vs {pred}");
@@ -136,14 +132,9 @@ mod tests {
         let n = 8;
         let cl = cluster(n);
         let m = 16 * KIB;
-        let blocking = collective_times(&cl, Rank(0), 1, 1, |c| {
-            ring_allgather(c, m)
-        })
-        .unwrap()[0];
-        let overlapped = collective_times(&cl, Rank(0), 1, 1, |c| {
-            ring_allgather_overlap(c, m)
-        })
-        .unwrap()[0];
+        let blocking = collective_times(&cl, Rank(0), 1, 1, |c| ring_allgather(c, m)).unwrap()[0];
+        let overlapped =
+            collective_times(&cl, Rank(0), 1, 1, |c| ring_allgather_overlap(c, m)).unwrap()[0];
         let ratio = blocking / overlapped;
         assert!(ratio > 1.6 && ratio < 2.2, "ratio {ratio}");
         // And the overlapped observation matches its tighter prediction.
@@ -166,14 +157,8 @@ mod tests {
     #[test]
     fn cost_grows_linearly_with_n() {
         let m = 4 * KIB;
-        let t4 = collective_times(&cluster(4), Rank(0), 1, 1, |c| {
-            ring_allgather(c, m)
-        })
-        .unwrap()[0];
-        let t8 = collective_times(&cluster(8), Rank(0), 1, 1, |c| {
-            ring_allgather(c, m)
-        })
-        .unwrap()[0];
+        let t4 = collective_times(&cluster(4), Rank(0), 1, 1, |c| ring_allgather(c, m)).unwrap()[0];
+        let t8 = collective_times(&cluster(8), Rank(0), 1, 1, |c| ring_allgather(c, m)).unwrap()[0];
         let ratio = t8 / t4;
         assert!(ratio > 1.8 && ratio < 3.0, "ratio {ratio}");
     }

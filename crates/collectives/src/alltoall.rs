@@ -77,8 +77,7 @@ mod tests {
     #[test]
     fn completes_on_the_heterogeneous_cluster() {
         let cl = cluster(16);
-        let t = collective_times(&cl, Rank(0), 1, 1, |c| linear_alltoall(c, 4 * KIB))
-            .unwrap()[0];
+        let t = collective_times(&cl, Rank(0), 1, 1, |c| linear_alltoall(c, 4 * KIB)).unwrap()[0];
         assert!(t > 0.0);
         // All-to-all moves (n-1)× the bytes of a scatter at equal m; it
         // must cost more than a single scatter.
@@ -91,8 +90,7 @@ mod tests {
         let cl = cluster(8);
         let truth = cl.truth.clone();
         let m = 8 * KIB;
-        let obs = collective_times(&cl, Rank(0), 1, 1, |c| linear_alltoall(c, m))
-            .unwrap()[0];
+        let obs = collective_times(&cl, Rank(0), 1, 1, |c| linear_alltoall(c, m)).unwrap()[0];
         let pred = predict_linear_alltoall(&truth, m);
         // The blocking rotation couples rounds loosely (a slow pair delays
         // only its members), so the max-per-round prediction is an upper

@@ -59,14 +59,12 @@ mod tests {
     }
 
     fn observe_linear(cl: &SimCluster, m: u64) -> f64 {
-        collective_times(cl, Rank(0), 1, 1, |c| linear_bcast(c, Rank(0), m)).unwrap()
-            [0]
+        collective_times(cl, Rank(0), 1, 1, |c| linear_bcast(c, Rank(0), m)).unwrap()[0]
     }
 
     fn observe_binomial(cl: &SimCluster, m: u64) -> f64 {
         let tree = BinomialTree::new(cl.n(), Rank(0));
-        collective_times(cl, Rank(0), 1, 1, |c| binomial_bcast(c, &tree, m))
-            .unwrap()[0]
+        collective_times(cl, Rank(0), 1, 1, |c| binomial_bcast(c, &tree, m)).unwrap()[0]
     }
 
     #[test]

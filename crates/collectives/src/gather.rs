@@ -71,8 +71,9 @@ mod tests {
         let m = 2 * KIB;
         let t = measure::linear_gather_once(&cl, Rank(0), m);
         let serial: f64 = 15.0 * (truth.c[0] + m as f64 * truth.t[0]);
-        let sum_p2p: f64 =
-            (1..16usize).map(|i| truth.p2p_time(Rank::from(i), Rank(0), m)).sum();
+        let sum_p2p: f64 = (1..16usize)
+            .map(|i| truth.p2p_time(Rank::from(i), Rank(0), m))
+            .sum();
         assert!(t >= serial, "{t} vs serial {serial}");
         assert!(t < sum_p2p, "{t} should be well below serialized {sum_p2p}");
     }
@@ -86,9 +87,13 @@ mod tests {
         let truth = cl.truth.clone();
         let m = 100 * KIB; // > M2 = 65 KB
         let t = measure::linear_gather_once(&cl, Rank(0), m);
-        let sum_wire: f64 =
-            (1..16usize).map(|i| m as f64 / *truth.beta.get(Rank::from(i), Rank(0))).sum();
-        assert!(t > sum_wire, "{t} must exceed the serialized wire time {sum_wire}");
+        let sum_wire: f64 = (1..16usize)
+            .map(|i| m as f64 / *truth.beta.get(Rank::from(i), Rank(0)))
+            .sum();
+        assert!(
+            t > sum_wire,
+            "{t} must exceed the serialized wire time {sum_wire}"
+        );
         // The ideal cluster (no serialization) is much faster at the same
         // size.
         let ideal = measure::linear_gather_once(&cl.idealized(), Rank(0), m);
@@ -104,8 +109,10 @@ mod tests {
         let m = 32 * KIB;
         let times = measure::linear_gather_times(&cl, Rank(0), m, 20, 3).unwrap();
         let ideal = measure::linear_gather_once(&cl.idealized(), Rank(0), m);
-        let escalated =
-            times.iter().filter(|t| **t > ideal + profile.escalation_min).count();
+        let escalated = times
+            .iter()
+            .filter(|t| **t > ideal + profile.escalation_min)
+            .count();
         assert!(escalated > 0, "no escalation in 20 reps: {times:?}");
         // And not every repetition escalates to the max: the minimum stays
         // near the ideal line.

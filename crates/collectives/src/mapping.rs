@@ -62,8 +62,7 @@ pub fn optimize_mapping<M: PointToPoint + ?Sized>(
 
 fn exhaustive<M: PointToPoint + ?Sized>(model: &M, root: Rank, m: Bytes) -> MappingChoice {
     let n = model.n();
-    let mut rest: Vec<Rank> =
-        (0..n).map(Rank::from).filter(|r| *r != root).collect();
+    let mut rest: Vec<Rank> = (0..n).map(Rank::from).filter(|r| *r != root).collect();
     let mut best: Option<MappingChoice> = None;
     permute(&mut rest, 0, &mut |perm| {
         let mut mapping = Vec::with_capacity(n);
@@ -101,8 +100,7 @@ fn greedy<M: PointToPoint + ?Sized>(model: &M, root: Rank, m: Bytes) -> MappingC
         sb.cmp(&sa).then(a.cmp(&b))
     });
     // Processors sorted by ascending cost from the root at this size.
-    let mut procs: Vec<Rank> =
-        (0..n).map(Rank::from).filter(|r| *r != root).collect();
+    let mut procs: Vec<Rank> = (0..n).map(Rank::from).filter(|r| *r != root).collect();
     procs.sort_by(|&a, &b| {
         model
             .p2p(root, a, m)
@@ -171,7 +169,12 @@ mod tests {
         let gr = optimize_mapping(&m, Rank(0), 16 * 1024, 0);
         // Greedy is within 25% of optimal here (it also makes the slow
         // node a leaf).
-        assert!(gr.predicted <= ex.predicted * 1.25, "{} vs {}", gr.predicted, ex.predicted);
+        assert!(
+            gr.predicted <= ex.predicted * 1.25,
+            "{} vs {}",
+            gr.predicted,
+            ex.predicted
+        );
         assert_eq!(gr.tree.children_of(Rank(3)), vec![]);
     }
 
@@ -185,12 +188,7 @@ mod tests {
             SymMatrix::filled(n, 12e6),
             GatherEmpirics::none(),
         );
-        let a = evaluate_mapping(
-            &uniform,
-            Rank(0),
-            (0..n).map(Rank::from).collect(),
-            8192,
-        );
+        let a = evaluate_mapping(&uniform, Rank(0), (0..n).map(Rank::from).collect(), 8192);
         let mut rev: Vec<Rank> = (0..n).map(Rank::from).collect();
         rev[1..].reverse();
         let b = evaluate_mapping(&uniform, Rank(0), rev, 8192);

@@ -107,17 +107,12 @@ pub fn linear_gather_once(cluster: &SimCluster, root: Rank, m: Bytes) -> f64 {
 
 /// One binomial scatter observation rooted at 0.
 pub fn binomial_scatter_once(cluster: &SimCluster, root: Rank, m: Bytes) -> f64 {
-    binomial_scatter_times(cluster, root, m, 1, cluster.seed).expect("simulation runs")
-        [0]
+    binomial_scatter_times(cluster, root, m, 1, cluster.seed).expect("simulation runs")[0]
 }
 
 /// One binomial scatter observation with an arbitrary root (alias kept for
 /// clarity at call sites exercising non-zero roots).
-pub fn binomial_scatter_once_rooted(
-    cluster: &SimCluster,
-    root: Rank,
-    m: Bytes,
-) -> f64 {
+pub fn binomial_scatter_once_rooted(cluster: &SimCluster, root: Rank, m: Bytes) -> f64 {
     binomial_scatter_once(cluster, root, m)
 }
 

@@ -39,12 +39,7 @@ pub fn split_count(m: Bytes, empirics: &GatherEmpirics) -> usize {
 /// in series. Outside the irregular region it is a plain linear gather.
 ///
 /// All ranks must call this collectively.
-pub fn optimized_gather(
-    c: &mut Comm<'_>,
-    root: Rank,
-    m: Bytes,
-    empirics: &GatherEmpirics,
-) {
+pub fn optimized_gather(c: &mut Comm<'_>, root: Rank, m: Bytes, empirics: &GatherEmpirics) {
     let k = split_count(m, empirics);
     if k == 1 {
         linear_gather(c, root, m);
@@ -103,10 +98,8 @@ mod tests {
         let e = lam_empirics();
         let m = 32 * KIB;
         let reps = 24;
-        let native =
-            measure::linear_gather_times(&cl, Rank(0), m, reps, 5).unwrap();
-        let optimized =
-            measure::optimized_gather_times(&cl, Rank(0), m, &e, reps, 5).unwrap();
+        let native = measure::linear_gather_times(&cl, Rank(0), m, reps, 5).unwrap();
+        let optimized = measure::optimized_gather_times(&cl, Rank(0), m, &e, reps, 5).unwrap();
         let native_mean = Summary::of(&native).mean();
         let opt_mean = Summary::of(&optimized).mean();
         assert!(
@@ -124,8 +117,7 @@ mod tests {
         let e = lam_empirics();
         for m in [2 * KIB, 100 * KIB] {
             let a = measure::linear_gather_times(&cl, Rank(0), m, 1, 3).unwrap()[0];
-            let b =
-                measure::optimized_gather_times(&cl, Rank(0), m, &e, 1, 3).unwrap()[0];
+            let b = measure::optimized_gather_times(&cl, Rank(0), m, &e, 1, 3).unwrap()[0];
             assert!((a - b).abs() < 1e-12, "m={m}: {a} vs {b}");
         }
     }

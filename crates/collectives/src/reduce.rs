@@ -86,16 +86,12 @@ mod tests {
     }
 
     fn observe_linear(cl: &SimCluster, m: u64, gamma: f64) -> f64 {
-        collective_times(cl, Rank(0), 1, 1, |c| linear_reduce(c, Rank(0), m, gamma))
-            .unwrap()[0]
+        collective_times(cl, Rank(0), 1, 1, |c| linear_reduce(c, Rank(0), m, gamma)).unwrap()[0]
     }
 
     fn observe_binomial(cl: &SimCluster, m: u64, gamma: f64) -> f64 {
         let tree = BinomialTree::new(cl.n(), Rank(0));
-        collective_times(cl, Rank(0), 1, 1, |c| {
-            binomial_reduce(c, &tree, m, gamma)
-        })
-        .unwrap()[0]
+        collective_times(cl, Rank(0), 1, 1, |c| binomial_reduce(c, &tree, m, gamma)).unwrap()[0]
     }
 
     #[test]

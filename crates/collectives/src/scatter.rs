@@ -86,7 +86,10 @@ mod tests {
                     + m as f64 * truth.t[i]
             })
             .fold(0.0, f64::max);
-        assert!(t >= serial, "root must pay the serial part: {t} vs {serial}");
+        assert!(
+            t >= serial,
+            "root must pay the serial part: {t} vs {serial}"
+        );
         assert!(
             t <= serial + max_tail + 1e-9,
             "observation {t} exceeds eq. (4) bound {}",

@@ -51,11 +51,7 @@ pub fn linear_gatherv(c: &mut Comm<'_>, root: Rank, sizes: &[Bytes]) {
 /// LMO prediction of `linear_scatterv` (eq. (4) generalized to per-rank
 /// blocks): `Σ_{i≠r}(C_r + m_i·t_r) + max_{i≠r}(L_ri + m_i/β_ri + C_i +
 /// m_i·t_i)`.
-pub fn predict_linear_scatterv(
-    model: &LmoExtended,
-    root: Rank,
-    sizes: &[Bytes],
-) -> f64 {
+pub fn predict_linear_scatterv(model: &LmoExtended, root: Rank, sizes: &[Bytes]) -> f64 {
     let n = model.c.len();
     assert_eq!(sizes.len(), n, "one block size per rank");
     let mut serial = 0.0;
@@ -67,12 +63,8 @@ pub fn predict_linear_scatterv(
         let m = size as f64;
         serial += model.c[root.idx()] + m * model.t[root.idx()];
         let r = Rank::from(i);
-        tail = tail.max(
-            *model.l.get(root, r)
-                + m / model.beta.get(root, r)
-                + model.c[i]
-                + m * model.t[i],
-        );
+        tail = tail
+            .max(*model.l.get(root, r) + m / model.beta.get(root, r) + model.c[i] + m * model.t[i]);
     }
     serial + tail
 }
@@ -148,7 +140,7 @@ mod tests {
     use super::*;
     use crate::measure::collective_times;
     use cpm_cluster::{ClusterSpec, GroundTruth, MpiProfile};
-    
+
     use cpm_core::units::KIB;
     use cpm_models::GatherEmpirics;
     use cpm_netsim::SimCluster;
@@ -180,7 +172,11 @@ mod tests {
         // share lands around 0.6×).
         let fast = sizes[1];
         assert!(sizes[3] < fast * 3 / 4, "slow {} vs fast {fast}", sizes[3]);
-        assert!(sizes[3] > fast / 3, "share should not collapse: {}", sizes[3]);
+        assert!(
+            sizes[3] > fast / 3,
+            "share should not collapse: {}",
+            sizes[3]
+        );
     }
 
     #[test]
@@ -197,13 +193,10 @@ mod tests {
                     + m * model.t[i]
             })
             .collect();
-        let (lo, hi) = tails
-            .iter()
-            .fold((f64::INFINITY, 0.0f64), |(lo, hi), &t| (lo.min(t), hi.max(t)));
-        assert!(
-            (hi - lo) / hi < 0.01,
-            "tails not equalized: {tails:?}"
-        );
+        let (lo, hi) = tails.iter().fold((f64::INFINITY, 0.0f64), |(lo, hi), &t| {
+            (lo.min(t), hi.max(t))
+        });
+        assert!((hi - lo) / hi < 0.01, "tails not equalized: {tails:?}");
     }
 
     #[test]

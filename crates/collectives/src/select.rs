@@ -56,11 +56,7 @@ pub fn predict_scatter_generic<M: PointToPoint + ?Sized>(
 /// Predicts linear and binomial scatter with the LMO model: eq. (4) for
 /// linear, the recursive formula instantiated with LMO point-to-point times
 /// for binomial.
-pub fn predict_scatter_lmo(
-    model: &LmoExtended,
-    root: Rank,
-    m: Bytes,
-) -> ScatterPrediction {
+pub fn predict_scatter_lmo(model: &LmoExtended, root: Rank, m: Bytes) -> ScatterPrediction {
     let tree = BinomialTree::new(model.n(), root);
     ScatterPrediction {
         linear: model.linear_scatter(root, m),
@@ -81,12 +77,7 @@ pub fn select_scatter_algorithm<M: PointToPoint + ?Sized>(
 /// flips from binomial to linear (the "switch point" MPI tuning tables
 /// record), by bisection over `[lo, hi]`. Returns `None` when the
 /// preference does not flip inside the interval.
-pub fn scatter_crossover(
-    model: &LmoExtended,
-    root: Rank,
-    lo: Bytes,
-    hi: Bytes,
-) -> Option<Bytes> {
+pub fn scatter_crossover(model: &LmoExtended, root: Rank, lo: Bytes, hi: Bytes) -> Option<Bytes> {
     let prefers_binomial =
         |m: Bytes| predict_scatter_lmo(model, root, m).choice() == ScatterAlgorithm::Binomial;
     let (a, b) = (prefers_binomial(lo), prefers_binomial(hi));
@@ -141,7 +132,11 @@ mod tests {
         let m = 150 * 1024; // the paper's 100 KB < M < 200 KB window
         let hp = predict_scatter_generic(&h, Rank(0), m);
         let lp = predict_scatter_lmo(&l, Rank(0), m);
-        assert_eq!(hp.choice(), ScatterAlgorithm::Binomial, "Hockney mispredicts");
+        assert_eq!(
+            hp.choice(),
+            ScatterAlgorithm::Binomial,
+            "Hockney mispredicts"
+        );
         assert_eq!(lp.choice(), ScatterAlgorithm::Linear, "LMO is right");
     }
 

@@ -8,11 +8,15 @@
 //! wants faster collectives constructs [`TunedCollectives`] from an
 //! estimated model and calls `scatter`/`gather`/`bcast`.
 
+use cpm_core::error::CpmError;
 use cpm_core::rank::Rank;
 use cpm_core::tree::BinomialTree;
 use cpm_core::units::Bytes;
+use cpm_estimate::lmo::estimate_lmo_full;
+use cpm_estimate::EstimateConfig;
 use cpm_models::collective::binomial_recursive_full;
 use cpm_models::LmoExtended;
+use cpm_netsim::SimCluster;
 use cpm_vmpi::Comm;
 
 use crate::bcast::{binomial_bcast, linear_bcast};
@@ -35,12 +39,23 @@ pub struct TunedCollectives {
 }
 
 impl TunedCollectives {
-    /// Builds the dispatcher. Constructs one binomial tree per possible
-    /// root.
+    /// Builds the dispatcher from pre-fitted parameters — e.g. loaded from
+    /// a parameter registry (`cpm-serve`) or a persisted model file.
+    /// Constructs one binomial tree per possible root.
     pub fn new(model: LmoExtended) -> Self {
         let n = model.c.len();
-        let trees = (0..n).map(|r| BinomialTree::new(n, Rank::from(r))).collect();
+        let trees = (0..n)
+            .map(|r| BinomialTree::new(n, Rank::from(r)))
+            .collect();
         TunedCollectives { model, trees }
+    }
+
+    /// The one-call convenience path: runs the LMO estimation experiments
+    /// on `sim` and builds the dispatcher from the fitted model. Prefer
+    /// [`TunedCollectives::new`] with registry-sourced parameters when the
+    /// cluster has been estimated before — estimation is expensive.
+    pub fn from_estimation(sim: &SimCluster, est: &EstimateConfig) -> Result<Self, CpmError> {
+        Ok(Self::new(estimate_lmo_full(sim, est)?.model))
     }
 
     /// The estimated model backing the decisions.
@@ -162,7 +177,10 @@ mod tests {
         let cl = cluster(MpiProfile::ideal());
         let t = tuned(&cl);
         assert_eq!(t.scatter_choice(Rank(0), 32), ScatterAlgorithm::Binomial);
-        assert_eq!(t.scatter_choice(Rank(0), 128 * KIB), ScatterAlgorithm::Linear);
+        assert_eq!(
+            t.scatter_choice(Rank(0), 128 * KIB),
+            ScatterAlgorithm::Linear
+        );
     }
 
     #[test]
@@ -178,10 +196,8 @@ mod tests {
         let cl = cluster(MpiProfile::ideal());
         let t = tuned(&cl);
         for m in [64u64, 4 * KIB, 64 * KIB, 192 * KIB] {
-            let tuned_t = collective_times(&cl, Rank(0), 1, 1, |c| {
-                t.scatter(c, Rank(0), m)
-            })
-            .unwrap()[0];
+            let tuned_t =
+                collective_times(&cl, Rank(0), 1, 1, |c| t.scatter(c, Rank(0), m)).unwrap()[0];
             let lin = crate::measure::linear_scatter_once(&cl, Rank(0), m);
             let bin = crate::measure::binomial_scatter_once(&cl, Rank(0), m);
             let best = lin.min(bin);
@@ -199,12 +215,9 @@ mod tests {
         let m = 32 * KIB;
         assert!(t.gather_splits(m));
         let reps = 16;
-        let tuned_times = collective_times(&cl, Rank(0), reps, 5, |c| {
-            t.gather(c, Rank(0), m)
-        })
-        .unwrap();
-        let native =
-            crate::measure::linear_gather_times(&cl, Rank(0), m, reps, 5).unwrap();
+        let tuned_times =
+            collective_times(&cl, Rank(0), reps, 5, |c| t.gather(c, Rank(0), m)).unwrap();
+        let native = crate::measure::linear_gather_times(&cl, Rank(0), m, reps, 5).unwrap();
         let tuned_mean = Summary::of(&tuned_times).mean();
         let native_mean = Summary::of(&native).mean();
         assert!(
@@ -219,6 +232,24 @@ mod tests {
         let t = tuned(&cl);
         assert!(!t.gather_splits(2 * KIB));
         assert!(!t.gather_splits(100 * KIB));
+    }
+
+    #[test]
+    fn from_estimation_matches_prefitted_construction() {
+        let cl = cluster(MpiProfile::ideal());
+        let est = EstimateConfig {
+            reps: 1,
+            ..EstimateConfig::with_seed(3)
+        };
+        let t = TunedCollectives::from_estimation(&cl, &est).unwrap();
+        assert_eq!(t.model().c.len(), cl.n());
+        // The estimating path is just `new` over the fitted model.
+        let refit = TunedCollectives::new(t.model().clone());
+        let m = 8 * KIB;
+        assert_eq!(
+            t.scatter_choice(Rank(0), m),
+            refit.scatter_choice(Rank(0), m)
+        );
     }
 
     #[test]

@@ -3,8 +3,7 @@
 use cpm_cluster::{ClusterSpec, GroundTruth, MpiProfile};
 use cpm_collectives::optimized::{optimized_gather, split_count};
 use cpm_collectives::{
-    binomial_bcast, binomial_gather, binomial_scatter, linear_bcast, linear_gather,
-    linear_scatter,
+    binomial_bcast, binomial_gather, binomial_scatter, linear_bcast, linear_gather, linear_scatter,
 };
 use cpm_core::rank::Rank;
 use cpm_core::tree::BinomialTree;

@@ -30,7 +30,10 @@ pub struct SymMatrix<T> {
 impl<T: Clone> SymMatrix<T> {
     /// A matrix for `n` nodes with every link set to `fill`.
     pub fn filled(n: usize, fill: T) -> Self {
-        SymMatrix { n, data: vec![fill; n * n.saturating_sub(1) / 2] }
+        SymMatrix {
+            n,
+            data: vec![fill; n * n.saturating_sub(1) / 2],
+        }
     }
 }
 
@@ -64,7 +67,11 @@ impl<T> SymMatrix<T> {
     fn index(&self, i: Rank, j: Rank) -> usize {
         let (i, j) = (i.idx(), j.idx());
         assert!(i != j, "no self-link ({i},{i}) in a SymMatrix");
-        assert!(i < self.n && j < self.n, "link ({i},{j}) out of range for n={}", self.n);
+        assert!(
+            i < self.n && j < self.n,
+            "link ({i},{j}) out of range for n={}",
+            self.n
+        );
         let (lo, hi) = if i < j { (i, j) } else { (j, i) };
         // Row `lo` starts after sum_{r<lo} (n-1-r) entries.
         lo * (2 * self.n - lo - 1) / 2 + (hi - lo - 1)
@@ -97,7 +104,10 @@ impl<T> SymMatrix<T> {
 
     /// Maps every link value to a new matrix.
     pub fn map<U>(&self, f: impl FnMut(&T) -> U) -> SymMatrix<U> {
-        SymMatrix { n: self.n, data: self.data.iter().map(f).collect() }
+        SymMatrix {
+            n: self.n,
+            data: self.data.iter().map(f).collect(),
+        }
     }
 }
 

@@ -101,8 +101,15 @@ impl Triplet {
     pub fn new(x: Rank, y: Rank, z: Rank) -> Self {
         let mut v = [x, y, z];
         v.sort();
-        assert!(v[0] != v[1] && v[1] != v[2], "a triplet needs three distinct ranks");
-        Triplet { a: v[0], b: v[1], c: v[2] }
+        assert!(
+            v[0] != v[1] && v[1] != v[2],
+            "a triplet needs three distinct ranks"
+        );
+        Triplet {
+            a: v[0],
+            b: v[1],
+            c: v[2],
+        }
     }
 
     /// The three members in canonical order.
@@ -134,7 +141,11 @@ impl Triplet {
 
     /// The three pairs spanned by the triplet.
     pub fn pairs(&self) -> [Pair; 3] {
-        [Pair::new(self.a, self.b), Pair::new(self.a, self.c), Pair::new(self.b, self.c)]
+        [
+            Pair::new(self.a, self.b),
+            Pair::new(self.a, self.c),
+            Pair::new(self.b, self.c),
+        ]
     }
 }
 
@@ -242,8 +253,10 @@ mod tests {
         }
         // Each pair participates in n-2 triplets.
         for p in pairs(n) {
-            let count =
-                ts.iter().filter(|t| t.contains(p.a) && t.contains(p.b)).count();
+            let count = ts
+                .iter()
+                .filter(|t| t.contains(p.a) && t.contains(p.b))
+                .count();
             assert_eq!(count, n - 2);
         }
     }

@@ -77,7 +77,10 @@ impl BinomialTree {
         {
             let mut seen = vec![false; n];
             for r in &mapping {
-                assert!(r.idx() < n && !seen[r.idx()], "mapping must be a permutation");
+                assert!(
+                    r.idx() < n && !seen[r.idx()],
+                    "mapping must be a permutation"
+                );
                 seen[r.idx()] = true;
             }
         }
@@ -140,7 +143,14 @@ impl BinomialTree {
             }
         }
 
-        BinomialTree { n, root, mapping, arcs, children, subtree }
+        BinomialTree {
+            n,
+            root,
+            mapping,
+            arcs,
+            children,
+            subtree,
+        }
     }
 
     /// Number of participating processes.
@@ -256,11 +266,7 @@ mod tests {
         assert_eq!(total, 15);
         // Sub-trees of the root are disjoint: collect all descendants.
         let mut seen = std::collections::HashSet::new();
-        fn collect(
-            t: &BinomialTree,
-            r: Rank,
-            seen: &mut std::collections::HashSet<Rank>,
-        ) {
+        fn collect(t: &BinomialTree, r: Rank, seen: &mut std::collections::HashSet<Rank>) {
             assert!(seen.insert(r), "{r:?} reached twice");
             for (c, _) in t.children_of(r) {
                 collect(t, c, seen);
@@ -279,7 +285,12 @@ mod tests {
             vec![(Rank(4), 2), (Rank(2), 2), (Rank(1), 1)]
         );
         assert_eq!(t.height(), 3);
-        let total: u64 = t.arcs().iter().filter(|a| a.from == Rank(0)).map(|a| a.blocks).sum();
+        let total: u64 = t
+            .arcs()
+            .iter()
+            .filter(|a| a.from == Rank(0))
+            .map(|a| a.blocks)
+            .sum();
         assert_eq!(total, 5);
     }
 
@@ -291,8 +302,7 @@ mod tests {
         assert_eq!(t.process_at(1), Rank(4));
         assert_eq!(t.process_at(7), Rank(2));
         // Root still sends 4, 2, 1 blocks.
-        let blocks: Vec<u64> =
-            t.children_of(Rank(3)).iter().map(|&(_, b)| b).collect();
+        let blocks: Vec<u64> = t.children_of(Rank(3)).iter().map(|&(_, b)| b).collect();
         assert_eq!(blocks, vec![4, 2, 1]);
     }
 

@@ -58,7 +58,12 @@ fn run_adaptive(
         }
     }
     Ok(AdaptiveOutcome {
-        result: BenchResult { mean: summary.mean(), ci, sample, converged },
+        result: BenchResult {
+            mean: summary.mean(),
+            ci,
+            sample,
+            converged,
+        },
         virtual_cost: cost,
         runs,
     })
@@ -117,14 +122,7 @@ mod tests {
     fn clean_roundtrip_converges_immediately() {
         let cl = cluster(0.0, MpiProfile::ideal());
         let bench = AdaptiveBenchmark::paper();
-        let out = adaptive_roundtrip(
-            &cl,
-            Pair::new(Rank(0), Rank(5)),
-            8 * KIB,
-            &bench,
-            1,
-        )
-        .unwrap();
+        let out = adaptive_roundtrip(&cl, Pair::new(Rank(0), Rank(5)), 8 * KIB, &bench, 1).unwrap();
         assert!(out.result.converged);
         assert_eq!(out.result.reps(), bench.min_reps);
         assert_eq!(out.runs, 1);
@@ -136,14 +134,7 @@ mod tests {
     fn noisy_roundtrip_takes_more_runs_but_converges() {
         let cl = cluster(0.05, MpiProfile::ideal());
         let bench = AdaptiveBenchmark::paper();
-        let out = adaptive_roundtrip(
-            &cl,
-            Pair::new(Rank(1), Rank(9)),
-            8 * KIB,
-            &bench,
-            3,
-        )
-        .unwrap();
+        let out = adaptive_roundtrip(&cl, Pair::new(Rank(1), Rank(9)), 8 * KIB, &bench, 3).unwrap();
         assert!(out.result.converged, "sample: {:?}", out.result.sample);
         assert!(out.result.reps() > bench.min_reps);
         let expected = 2.0 * cl.truth.p2p_time(Rank(1), Rank(9), 8 * KIB);
@@ -158,7 +149,10 @@ mod tests {
         // the quantitative face of the paper's "non-deterministic
         // escalations".
         let cl = cluster(0.0, MpiProfile::lam_7_1_3());
-        let bench = AdaptiveBenchmark { max_reps: 24, ..AdaptiveBenchmark::paper() };
+        let bench = AdaptiveBenchmark {
+            max_reps: 24,
+            ..AdaptiveBenchmark::paper()
+        };
         let out = adaptive_gather(&cl, Rank(0), 16 * KIB, &bench, 5).unwrap();
         assert!(!out.result.converged, "mean {}", out.result.mean);
         assert_eq!(out.result.reps(), 24);

@@ -72,17 +72,26 @@ impl Default for EstimateConfig {
 impl EstimateConfig {
     /// The default configuration with a specific seed.
     pub fn with_seed(seed: u64) -> Self {
-        EstimateConfig { seed, ..Default::default() }
+        EstimateConfig {
+            seed,
+            ..Default::default()
+        }
     }
 
     /// Serial-execution variant (for the estimation-cost experiment).
     pub fn serial(self) -> Self {
-        EstimateConfig { parallel: false, ..self }
+        EstimateConfig {
+            parallel: false,
+            ..self
+        }
     }
 
     /// Uses the paper's verbatim triplet equations (fidelity ablation).
     pub fn paper_solver(self) -> Self {
-        EstimateConfig { solver: SolverVariant::Paper, ..self }
+        EstimateConfig {
+            solver: SolverVariant::Paper,
+            ..self
+        }
     }
 }
 
@@ -101,7 +110,11 @@ pub struct Estimated<T> {
 impl<T> Estimated<T> {
     /// Maps the model, keeping the cost accounting.
     pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Estimated<U> {
-        Estimated { model: f(self.model), virtual_cost: self.virtual_cost, runs: self.runs }
+        Estimated {
+            model: f(self.model),
+            virtual_cost: self.virtual_cost,
+            runs: self.runs,
+        }
     }
 }
 
@@ -126,7 +139,11 @@ mod tests {
 
     #[test]
     fn map_preserves_cost() {
-        let e = Estimated { model: 2u32, virtual_cost: 1.5, runs: 3 };
+        let e = Estimated {
+            model: 2u32,
+            virtual_cost: 1.5,
+            runs: 3,
+        };
         let f = e.map(|m| m * 10);
         assert_eq!(f.model, 20);
         assert_eq!(f.virtual_cost, 1.5);

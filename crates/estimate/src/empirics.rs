@@ -70,14 +70,14 @@ pub fn estimate_gather_empirics(
             } else {
                 prof.mean_magnitude.max(0.0)
             },
-            escalation_prob_knots: prof
-                .per_size
-                .iter()
-                .map(|&(m, p)| (m as f64, p))
-                .collect(),
+            escalation_prob_knots: prof.per_size.iter().map(|&(m, p)| (m as f64, p)).collect(),
         }
     };
-    Ok(Estimated { model, virtual_cost: cost, runs })
+    Ok(Estimated {
+        model,
+        virtual_cost: cost,
+        runs,
+    })
 }
 
 #[cfg(test)]
@@ -86,7 +86,10 @@ mod tests {
     use cpm_cluster::{ClusterSpec, GroundTruth, MpiProfile};
 
     fn cfg() -> EstimateConfig {
-        EstimateConfig { reps: 6, ..EstimateConfig::with_seed(21) }
+        EstimateConfig {
+            reps: 6,
+            ..EstimateConfig::with_seed(21)
+        }
     }
 
     #[test]
@@ -110,7 +113,11 @@ mod tests {
         );
         // Escalations were observed with meaningful magnitude (profile says
         // 0.10–0.25 s).
-        assert!(emp.escalation_probability > 0.05, "p = {}", emp.escalation_probability);
+        assert!(
+            emp.escalation_probability > 0.05,
+            "p = {}",
+            emp.escalation_probability
+        );
         assert!(
             emp.escalation_magnitude > 0.05 && emp.escalation_magnitude <= 0.3,
             "magnitude = {}",

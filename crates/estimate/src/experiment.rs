@@ -67,7 +67,10 @@ pub fn roundtrip_round(
     })?;
     let samples = units
         .iter()
-        .map(|p| PairSample { pair: *p, t: out.results[p.a.idx()].clone() })
+        .map(|p| PairSample {
+            pair: *p,
+            t: out.results[p.a.idx()].clone(),
+        })
         .collect();
     Ok((samples, out.end_time))
 }
@@ -109,7 +112,9 @@ pub fn one_to_two_round(
         for phase in 0..3usize {
             for _ in 0..reps {
                 c.barrier();
-                let Some((_, t)) = membership[me.idx()] else { continue };
+                let Some((_, t)) = membership[me.idx()] else {
+                    continue;
+                };
                 let root = t.members()[phase];
                 if me == root {
                     let [x, y] = match order {
@@ -315,8 +320,7 @@ mod tests {
     fn roundtrip_matches_formula() {
         let cl = cluster(16);
         let p = Pair::new(Rank(3), Rank(11));
-        let (samples, cost) =
-            roundtrip_round(&cl, &[p], 4 * KIB, 4 * KIB, 3, 1).unwrap();
+        let (samples, cost) = roundtrip_round(&cl, &[p], 4 * KIB, 4 * KIB, 3, 1).unwrap();
         assert_eq!(samples.len(), 1);
         assert_eq!(samples[0].t.len(), 3);
         let expected = 2.0 * cl.truth.p2p_time(Rank(3), Rank(11), 4 * KIB);
@@ -333,8 +337,7 @@ mod tests {
         let cl = cluster(16);
         let p1 = Pair::new(Rank(0), Rank(1));
         let p2 = Pair::new(Rank(2), Rank(3));
-        let (together, _) =
-            roundtrip_round(&cl, &[p1, p2], 8 * KIB, 0, 2, 3).unwrap();
+        let (together, _) = roundtrip_round(&cl, &[p1, p2], 8 * KIB, 0, 2, 3).unwrap();
         let (alone1, _) = roundtrip_round(&cl, &[p1], 8 * KIB, 0, 2, 3).unwrap();
         let (alone2, _) = roundtrip_round(&cl, &[p2], 8 * KIB, 0, 2, 3).unwrap();
         assert!((together[0].t[0] - alone1[0].t[0]).abs() < 1e-12);
@@ -367,9 +370,7 @@ mod tests {
         let (samples, _) = one_to_two_round(&cl, &[t], 0, 0, 1, 4, None).unwrap();
         let s0 = &samples[0]; // root = 0
         let rt = |i: u32, j: u32| {
-            2.0 * (truth.c[i as usize]
-                + *truth.l.get(Rank(i), Rank(j))
-                + truth.c[j as usize])
+            2.0 * (truth.c[i as usize] + *truth.l.get(Rank(i), Rank(j)) + truth.c[j as usize])
         };
         let max_rt = rt(0, 4).max(rt(0, 12));
         let lower = truth.c[0] + max_rt; // attained when replies overlap
@@ -386,8 +387,7 @@ mod tests {
         let cl = cluster(16);
         let m = 16 * KIB;
         let count = 16;
-        let (times, _) =
-            saturation(&cl, Rank(0), Rank(1), m, count, 2, 5).unwrap();
+        let (times, _) = saturation(&cl, Rank(0), Rank(1), m, count, 2, 5).unwrap();
         let per_msg = times[0] / count as f64;
         let wire = m as f64 / *cl.truth.beta.get(Rank(0), Rank(1));
         // Per-message cost approaches the wire time (within startup
@@ -410,9 +410,7 @@ mod tests {
     #[test]
     fn delayed_recv_probe_is_documented_artifact() {
         let cl = cluster(16);
-        let (times, _) =
-            delayed_recv_probe(&cl, Rank(0), Rank(1), 4 * KIB, 0.1, 2, 7)
-                .unwrap();
+        let (times, _) = delayed_recv_probe(&cl, Rank(0), Rank(1), 4 * KIB, 0.1, 2, 7).unwrap();
         // Reception is fully overlapped in the simulator: ≈ 0.
         for t in &times {
             assert!(*t < 1e-9, "o_r probe measured {t}");
@@ -422,8 +420,7 @@ mod tests {
     #[test]
     fn gather_observation_counts_all_senders() {
         let cl = cluster(16);
-        let (times, _) =
-            gather_observation(&cl, Rank(0), 2 * KIB, 2, 8).unwrap();
+        let (times, _) = gather_observation(&cl, Rank(0), 2 * KIB, 2, 8).unwrap();
         assert_eq!(times.len(), 2);
         // Root processes 15 messages serially: at least 15·(C_0 + M·t_0).
         let floor = 15.0 * (cl.truth.c[0] + 2048.0 * cl.truth.t[0]);

@@ -63,8 +63,7 @@ pub fn estimate_hockney_het(
                 unit.iter().map(|p| (*p, Vec::new())).collect();
             for &m in &sizes {
                 seed = seed.wrapping_add(1);
-                let (samples, end) =
-                    roundtrip_round(cluster, &unit, m, m, cfg.reps, seed)?;
+                let (samples, end) = roundtrip_round(cluster, &unit, m, m, cfg.reps, seed)?;
                 cost += end;
                 runs += 1;
                 for (k, s) in samples.iter().enumerate() {
@@ -84,7 +83,11 @@ pub fn estimate_hockney_het(
         beta.set(pair.a, pair.b, fit.slope);
     }
 
-    Ok(Estimated { model: HockneyHet::new(alpha, beta), virtual_cost: cost, runs })
+    Ok(Estimated {
+        model: HockneyHet::new(alpha, beta),
+        virtual_cost: cost,
+        runs,
+    })
 }
 
 /// Estimates the homogeneous Hockney model by averaging the heterogeneous
@@ -109,7 +112,10 @@ mod tests {
     }
 
     fn small_cfg() -> EstimateConfig {
-        EstimateConfig { reps: 2, ..EstimateConfig::with_seed(1) }
+        EstimateConfig {
+            reps: 2,
+            ..EstimateConfig::with_seed(1)
+        }
     }
 
     #[test]
@@ -133,7 +139,10 @@ mod tests {
     fn recovers_p2p_within_tolerance_with_noise() {
         let truth = GroundTruth::synthesize(&ClusterSpec::paper_cluster(), 2);
         let cl = SimCluster::new(truth, MpiProfile::ideal(), 0.01, 2);
-        let cfg = EstimateConfig { reps: 8, ..EstimateConfig::with_seed(3) };
+        let cfg = EstimateConfig {
+            reps: 8,
+            ..EstimateConfig::with_seed(3)
+        };
         let est = estimate_hockney_het(&cl, &cfg).unwrap();
         for (i, j) in [(0u32, 5u32), (2, 9)] {
             let m = 32 * 1024;

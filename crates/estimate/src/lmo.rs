@@ -39,10 +39,7 @@ use crate::schedule::{pair_rounds, triplet_rounds};
 /// Estimates the extended LMO model's analytical parameters. The gather
 /// empirics are left disabled ([`GatherEmpirics::none`]); use
 /// [`estimate_lmo_full`] to measure those too.
-pub fn estimate_lmo(
-    cluster: &SimCluster,
-    cfg: &EstimateConfig,
-) -> Result<Estimated<LmoExtended>> {
+pub fn estimate_lmo(cluster: &SimCluster, cfg: &EstimateConfig) -> Result<Estimated<LmoExtended>> {
     let n = cluster.n();
     if n < 3 {
         return Err(CpmError::Estimation(
@@ -66,8 +63,7 @@ pub fn estimate_lmo(
         for unit in units {
             for (msg, table) in [(0u64, &mut rt0), (m, &mut rtm)] {
                 seed = seed.wrapping_add(1);
-                let (samples, end) =
-                    roundtrip_round(cluster, &unit, msg, msg, cfg.reps, seed)?;
+                let (samples, end) = roundtrip_round(cluster, &unit, msg, msg, cfg.reps, seed)?;
                 cost += end;
                 runs += 1;
                 for s in samples {
@@ -81,8 +77,7 @@ pub fn estimate_lmo(
     // Send to the *faster* child first, so the slower child both dominates
     // the maximum and absorbs the root's send serialization — the
     // configuration the estimation equations assume.
-    let order0 =
-        |t: Triplet, root: Rank| order_by_tail(t, root, |x| *rt0.get(root, x));
+    let order0 = |t: Triplet, root: Rank| order_by_tail(t, root, |x| *rt0.get(root, x));
     let order_m = |t: Triplet, root: Rank| {
         order_by_tail(t, root, |x| (rt0.get(root, x) + rtm.get(root, x)) / 2.0)
     };
@@ -98,8 +93,7 @@ pub fn estimate_lmo(
         };
         for unit in units {
             seed = seed.wrapping_add(1);
-            let (s0, end0) =
-                one_to_two_round(cluster, &unit, 0, 0, cfg.reps, seed, Some(&order0))?;
+            let (s0, end0) = one_to_two_round(cluster, &unit, 0, 0, cfg.reps, seed, Some(&order0))?;
             seed = seed.wrapping_add(1);
             let (sm, endm) =
                 one_to_two_round(cluster, &unit, m, 0, cfg.reps, seed, Some(&order_m))?;
@@ -118,8 +112,7 @@ pub fn estimate_lmo(
                         .iter()
                         .find(|s| s.triplet == *t && s.root == root)
                         .expect("M sample present");
-                    entry[phase] =
-                        (Summary::of(&z.t).mean(), Summary::of(&v.t).mean());
+                    entry[phase] = (Summary::of(&z.t).mean(), Summary::of(&v.t).mean());
                 }
                 ot.push((*t, entry));
             }
@@ -255,8 +248,7 @@ fn solve_triplets(
     });
 
     // Sanity: every parameter must have been estimated.
-    if c_acc.iter().any(|s| s.count() == 0) || l_acc.iter().any(|(_, s)| s.count() == 0)
-    {
+    if c_acc.iter().any(|s| s.count() == 0) || l_acc.iter().any(|(_, s)| s.count() == 0) {
         return Err(CpmError::Estimation("incomplete triplet coverage".into()));
     }
     Ok(Solved { c, t, l, beta })
@@ -266,7 +258,7 @@ fn solve_triplets(
 mod tests {
     use super::*;
     use cpm_cluster::{ClusterSpec, GroundTruth, MpiProfile};
-    
+
     use cpm_core::units::KIB;
 
     fn cluster(nodes: usize, noise: f64) -> SimCluster {
@@ -280,7 +272,10 @@ mod tests {
     }
 
     fn cfg() -> EstimateConfig {
-        EstimateConfig { reps: 2, ..EstimateConfig::with_seed(11) }
+        EstimateConfig {
+            reps: 2,
+            ..EstimateConfig::with_seed(11)
+        }
     }
 
     /// The key estimator property: the predicted point-to-point times must
@@ -349,8 +344,7 @@ mod tests {
             for j in (i + 1)..6u32 {
                 let (i, j) = (Rank(i), Rank(j));
                 let want = cl.truth.c[i.idx()] + cl.truth.l.get(i, j) + cl.truth.c[j.idx()];
-                let got =
-                    est.model.c[i.idx()] + est.model.l.get(i, j) + est.model.c[j.idx()];
+                let got = est.model.c[i.idx()] + est.model.l.get(i, j) + est.model.c[j.idx()];
                 assert!(
                     ((got - want) / want).abs() < 0.02,
                     "α_{i}{j}: {got} vs {want}"
@@ -367,7 +361,10 @@ mod tests {
     #[test]
     fn noise_robustness() {
         let cl = cluster(5, 0.01);
-        let cfg = EstimateConfig { reps: 6, ..EstimateConfig::with_seed(4) };
+        let cfg = EstimateConfig {
+            reps: 6,
+            ..EstimateConfig::with_seed(4)
+        };
         let est = estimate_lmo(&cl, &cfg).unwrap();
         for i in 0..5u32 {
             for j in (i + 1)..5u32 {
@@ -402,11 +399,22 @@ mod tests {
         // estimator must still return finite, non-negative parameters and a
         // usable (if rough) model.
         let cl = cluster(5, 0.15);
-        let cfg = EstimateConfig { reps: 4, ..EstimateConfig::with_seed(6) };
+        let cfg = EstimateConfig {
+            reps: 4,
+            ..EstimateConfig::with_seed(6)
+        };
         let est = estimate_lmo(&cl, &cfg).unwrap().model;
         for i in 0..5 {
-            assert!(est.c[i].is_finite() && est.c[i] >= 0.0, "C_{i} = {}", est.c[i]);
-            assert!(est.t[i].is_finite() && est.t[i] >= 0.0, "t_{i} = {}", est.t[i]);
+            assert!(
+                est.c[i].is_finite() && est.c[i] >= 0.0,
+                "C_{i} = {}",
+                est.c[i]
+            );
+            assert!(
+                est.t[i].is_finite() && est.t[i] >= 0.0,
+                "t_{i} = {}",
+                est.t[i]
+            );
         }
         for ((i, j), &l) in est.l.iter() {
             assert!(l.is_finite() && l >= 0.0, "L_{i}{j} = {l}");
@@ -419,8 +427,10 @@ mod tests {
             cpm_collectives_free_scatter(&ideal, m)
         };
         assert!(pred > 0.0 && pred.is_finite());
-        assert!(pred > truth_pred * 0.3 && pred < truth_pred * 3.0,
-            "pred {pred} vs observed {truth_pred}");
+        assert!(
+            pred > truth_pred * 0.3 && pred < truth_pred * 3.0,
+            "pred {pred} vs observed {truth_pred}"
+        );
     }
 
     /// Minimal local scatter observation (avoids a dev-dependency cycle on

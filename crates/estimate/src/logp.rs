@@ -56,7 +56,14 @@ impl<'a> Probe<'a> {
             .into_iter()
             .next()
             .expect("n ≥ 2 has at least one round");
-        Ok(Probe { cluster, cfg, pairs, seed: cfg.seed, cost: 0.0, runs: 0 })
+        Ok(Probe {
+            cluster,
+            cfg,
+            pairs,
+            seed: cfg.seed,
+            cost: 0.0,
+            runs: 0,
+        })
     }
 
     fn next_seed(&mut self) -> u64 {
@@ -81,7 +88,9 @@ impl<'a> Probe<'a> {
             }
         }
         if acc.count() == 0 {
-            return Err(CpmError::Estimation("experiment produced no samples".into()));
+            return Err(CpmError::Estimation(
+                "experiment produced no samples".into(),
+            ));
         }
         Ok(acc.mean())
     }
@@ -93,9 +102,7 @@ impl<'a> Probe<'a> {
 
     fn o_recv(&mut self, m: Bytes) -> Result<f64> {
         let reps = self.cfg.reps;
-        self.mean_over_pairs(|cl, p, s| {
-            delayed_recv_probe(cl, p.a, p.b, m, 0.5, reps, s)
-        })
+        self.mean_over_pairs(|cl, p, s| delayed_recv_probe(cl, p.a, p.b, m, 0.5, reps, s))
     }
 
     fn rtt(&mut self, m: Bytes) -> Result<f64> {
@@ -109,10 +116,11 @@ impl<'a> Probe<'a> {
     fn gap(&mut self, m: Bytes) -> Result<f64> {
         let reps = self.cfg.reps;
         self.mean_over_pairs(|cl, p, s| {
-            let (ts, end) =
-                saturation(cl, p.a, p.b, m, SATURATION_COUNT, reps, s)?;
-            let per_msg: Vec<f64> =
-                ts.into_iter().map(|t| t / SATURATION_COUNT as f64).collect();
+            let (ts, end) = saturation(cl, p.a, p.b, m, SATURATION_COUNT, reps, s)?;
+            let per_msg: Vec<f64> = ts
+                .into_iter()
+                .map(|t| t / SATURATION_COUNT as f64)
+                .collect();
             Ok((per_msg, end))
         })
     }
@@ -126,15 +134,16 @@ impl<'a> Probe<'a> {
     }
 
     fn done<T>(self, model: T) -> Estimated<T> {
-        Estimated { model, virtual_cost: self.cost, runs: self.runs }
+        Estimated {
+            model,
+            virtual_cost: self.cost,
+            runs: self.runs,
+        }
     }
 }
 
 /// Estimates the LogP model (per-byte gap reading).
-pub fn estimate_logp(
-    cluster: &SimCluster,
-    cfg: &EstimateConfig,
-) -> Result<Estimated<LogP>> {
+pub fn estimate_logp(cluster: &SimCluster, cfg: &EstimateConfig) -> Result<Estimated<LogP>> {
     let mut probe = Probe::new(cluster, cfg)?;
     let l = probe.latency()?;
     let o = (probe.o_send(0)? + probe.o_recv(0)?) / 2.0;
@@ -147,10 +156,7 @@ pub fn estimate_logp(
 /// Estimates the LogGP model: `G` and `g` from the per-message saturation
 /// cost regressed over message size (slope = gap per byte, intercept = gap
 /// per message).
-pub fn estimate_loggp(
-    cluster: &SimCluster,
-    cfg: &EstimateConfig,
-) -> Result<Estimated<LogGp>> {
+pub fn estimate_loggp(cluster: &SimCluster, cfg: &EstimateConfig) -> Result<Estimated<LogGp>> {
     let mut probe = Probe::new(cluster, cfg)?;
     let l = probe.latency()?;
     let o = (probe.o_send(0)? + probe.o_recv(0)?) / 2.0;
@@ -183,10 +189,7 @@ fn plogp_grid(cfg: &EstimateConfig) -> Vec<Bytes> {
 /// Estimates the PLogP model, refining the `g(M)` grid where a measurement
 /// is inconsistent with linear extrapolation of its two predecessors (the
 /// paper's bisection rule).
-pub fn estimate_plogp(
-    cluster: &SimCluster,
-    cfg: &EstimateConfig,
-) -> Result<Estimated<PLogP>> {
+pub fn estimate_plogp(cluster: &SimCluster, cfg: &EstimateConfig) -> Result<Estimated<PLogP>> {
     let mut probe = Probe::new(cluster, cfg)?;
     let l = probe.latency()?;
 
@@ -240,7 +243,10 @@ mod tests {
     }
 
     fn cfg() -> EstimateConfig {
-        EstimateConfig { reps: 2, ..EstimateConfig::with_seed(5) }
+        EstimateConfig {
+            reps: 2,
+            ..EstimateConfig::with_seed(5)
+        }
     }
 
     #[test]
@@ -266,7 +272,12 @@ mod tests {
         // wire as the bottleneck.
         let inv_beta_mean = cl.truth.beta.map(|b| 1.0 / b).mean().unwrap();
         let rel = (est.model.big_g - inv_beta_mean).abs() / inv_beta_mean;
-        assert!(rel < 0.15, "G = {} vs 1/β = {}", est.model.big_g, inv_beta_mean);
+        assert!(
+            rel < 0.15,
+            "G = {} vs 1/β = {}",
+            est.model.big_g,
+            inv_beta_mean
+        );
     }
 
     #[test]

@@ -52,8 +52,7 @@ pub fn triplet_rounds(n: usize) -> Vec<Vec<Triplet>> {
         let mut used = vec![false; n];
         let mut round = Vec::new();
         remaining.retain(|t| {
-            let free =
-                !used[t.a.idx()] && !used[t.b.idx()] && !used[t.c.idx()];
+            let free = !used[t.a.idx()] && !used[t.b.idx()] && !used[t.c.idx()];
             if free {
                 for r in t.members() {
                     used[r.idx()] = true;

@@ -18,8 +18,7 @@ fn random_cluster(seed: u64, beta: f64, latency: f64) -> SimCluster {
         link_jitter: 0.05,
         node_jitter: 0.05,
     };
-    let truth =
-        GroundTruth::synthesize_with(&ClusterSpec::homogeneous(5), seed, &base);
+    let truth = GroundTruth::synthesize_with(&ClusterSpec::homogeneous(5), seed, &base);
     SimCluster::new(truth, MpiProfile::ideal(), 0.0, seed)
 }
 

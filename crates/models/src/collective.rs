@@ -22,11 +22,7 @@ pub fn linear_serial<M: PointToPoint + ?Sized>(model: &M, root: Rank, m: Bytes) 
 
 /// Linear scatter/gather assuming the `n−1` transfers are fully parallel:
 /// `max_{i≠r} T(r, i, M)`.
-pub fn linear_parallel<M: PointToPoint + ?Sized>(
-    model: &M,
-    root: Rank,
-    m: Bytes,
-) -> f64 {
+pub fn linear_parallel<M: PointToPoint + ?Sized>(model: &M, root: Rank, m: Bytes) -> f64 {
     (0..model.n())
         .filter(|&i| i != root.idx())
         .map(|i| model.p2p(root, Rank::from(i), m))

@@ -87,7 +87,11 @@ pub struct HockneyHet {
 impl HockneyHet {
     /// Builds the model; both matrices must describe the same cluster size.
     pub fn new(alpha: SymMatrix<f64>, beta: SymMatrix<f64>) -> Self {
-        assert_eq!(alpha.n(), beta.n(), "α and β must cover the same processors");
+        assert_eq!(
+            alpha.n(),
+            beta.n(),
+            "α and β must cover the same processors"
+        );
         HockneyHet { alpha, beta }
     }
 
@@ -140,7 +144,11 @@ mod tests {
     use super::*;
 
     fn hom() -> HockneyHom {
-        HockneyHom { alpha: 100e-6, beta: 80e-9, n: 8 }
+        HockneyHom {
+            alpha: 100e-6,
+            beta: 80e-9,
+            n: 8,
+        }
     }
 
     fn het(n: usize) -> HockneyHet {
@@ -205,23 +213,15 @@ mod tests {
     #[test]
     fn averaging_degenerates_to_homogeneous() {
         let n = 5;
-        let uniform = HockneyHet::new(
-            SymMatrix::filled(n, 100e-6),
-            SymMatrix::filled(n, 80e-9),
-        );
+        let uniform = HockneyHet::new(SymMatrix::filled(n, 100e-6), SymMatrix::filled(n, 80e-9));
         let avg = uniform.averaged();
         assert!((avg.alpha - 100e-6).abs() < 1e-18);
         assert!((avg.beta - 80e-9).abs() < 1e-21);
         assert_eq!(avg.n, n);
         // Heterogeneous predictions equal homogeneous ones when uniform.
         let m = 2048;
-        assert!(
-            (uniform.linear_serial(Rank(0), m) - avg.linear_serial(m)).abs() < 1e-12
-        );
-        assert!(
-            (uniform.linear_parallel(Rank(0), m) - avg.linear_parallel(m)).abs()
-                < 1e-15
-        );
+        assert!((uniform.linear_serial(Rank(0), m) - avg.linear_serial(m)).abs() < 1e-12);
+        assert!((uniform.linear_parallel(Rank(0), m) - avg.linear_parallel(m)).abs() < 1e-15);
     }
 
     #[test]

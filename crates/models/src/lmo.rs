@@ -185,7 +185,13 @@ impl LmoExtended {
         assert_eq!(c.len(), t.len(), "C and t must cover the same nodes");
         assert_eq!(c.len(), l.n(), "L must cover the same nodes");
         assert_eq!(c.len(), beta.n(), "β must cover the same nodes");
-        LmoExtended { c, t, l, beta, gather }
+        LmoExtended {
+            c,
+            t,
+            l,
+            beta,
+            gather,
+        }
     }
 
     /// `T_ij(M) = C_i + L_ij + C_j + M(t_i + 1/β_ij + t_j)`.
@@ -209,8 +215,7 @@ impl LmoExtended {
     /// `(n-1)(C_r + M·t_r) + max_{i≠r}(L_ri + M/β_ri + C_i + M·t_i)`.
     pub fn linear_scatter(&self, root: Rank, m: Bytes) -> f64 {
         let n = self.c.len();
-        let serial =
-            (n as f64 - 1.0) * (self.c[root.idx()] + m as f64 * self.t[root.idx()]);
+        let serial = (n as f64 - 1.0) * (self.c[root.idx()] + m as f64 * self.t[root.idx()]);
         let parallel = (0..n)
             .filter(|&i| i != root.idx())
             .map(|i| self.tail(root, Rank::from(i), m))
@@ -224,8 +229,7 @@ impl LmoExtended {
     /// is added on top of the small-message baseline.
     pub fn linear_gather(&self, root: Rank, m: Bytes) -> GatherPrediction {
         let n = self.c.len();
-        let serial =
-            (n as f64 - 1.0) * (self.c[root.idx()] + m as f64 * self.t[root.idx()]);
+        let serial = (n as f64 - 1.0) * (self.c[root.idx()] + m as f64 * self.t[root.idx()]);
         let tails: Vec<f64> = (0..n)
             .filter(|&i| i != root.idx())
             .map(|i| self.tail(root, Rank::from(i), m))
@@ -235,15 +239,26 @@ impl LmoExtended {
 
         if m < self.gather.m1 {
             let base = serial + max_tail;
-            GatherPrediction { base, expected: base, regime: GatherRegime::Small }
+            GatherPrediction {
+                base,
+                expected: base,
+                regime: GatherRegime::Small,
+            }
         } else if m > self.gather.m2 {
             let base = serial + sum_tail;
-            GatherPrediction { base, expected: base, regime: GatherRegime::Large }
+            GatherPrediction {
+                base,
+                expected: base,
+                regime: GatherRegime::Large,
+            }
         } else {
             let base = serial + max_tail;
-            let expected =
-                base + self.gather.probability_at(m) * self.gather.escalation_magnitude;
-            GatherPrediction { base, expected, regime: GatherRegime::Medium }
+            let expected = base + self.gather.probability_at(m) * self.gather.escalation_magnitude;
+            GatherPrediction {
+                base,
+                expected,
+                regime: GatherRegime::Medium,
+            }
         }
     }
 
@@ -345,7 +360,10 @@ mod tests {
         let expected = 35e-6 + 1000.0 * 103e-9;
         assert!((m.time(Rank(0), Rank(1), 1000) - expected).abs() < 1e-15);
         // Symmetric parameters → symmetric time.
-        assert_eq!(m.time(Rank(0), Rank(1), 1000), m.time(Rank(1), Rank(0), 1000));
+        assert_eq!(
+            m.time(Rank(0), Rank(1), 1000),
+            m.time(Rank(1), Rank(0), 1000)
+        );
     }
 
     #[test]

@@ -110,11 +110,22 @@ mod tests {
     use super::*;
 
     fn logp() -> LogP {
-        LogP { l: 50e-6, o: 20e-6, g: 90e-9, p: 8 }
+        LogP {
+            l: 50e-6,
+            o: 20e-6,
+            g: 90e-9,
+            p: 8,
+        }
     }
 
     fn loggp() -> LogGp {
-        LogGp { l: 50e-6, o: 20e-6, g: 30e-6, big_g: 90e-9, p: 8 }
+        LogGp {
+            l: 50e-6,
+            o: 20e-6,
+            g: 30e-6,
+            big_g: 90e-9,
+            p: 8,
+        }
     }
 
     #[test]
@@ -148,8 +159,7 @@ mod tests {
     fn loggp_linear_matches_table_2() {
         let m = loggp();
         let msg = 4096u64;
-        let expected =
-            m.l + 2.0 * m.o + 7.0 * 4095.0 * m.big_g + 6.0 * m.g;
+        let expected = m.l + 2.0 * m.o + 7.0 * 4095.0 * m.big_g + 6.0 * m.g;
         assert!((m.linear(msg) - expected).abs() < 1e-12);
     }
 

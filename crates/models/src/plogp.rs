@@ -135,22 +135,22 @@ impl PLogPHet {
         assert_eq!(per_node_os.len(), n);
         assert_eq!(per_node_or.len(), n);
         let mut g_iter = g.into_iter();
-        let g = cpm_core::matrix::SymMatrix::from_fn(n, |_, _| {
-            g_iter.next().expect("one g per pair")
-        });
+        let g =
+            cpm_core::matrix::SymMatrix::from_fn(n, |_, _| g_iter.next().expect("one g per pair"));
         assert!(g_iter.next().is_none(), "one g per pair");
         let avg = |fns: &[PiecewiseLinear]| -> PiecewiseLinear {
             assert!(!fns.is_empty(), "every node needs at least one measurement");
             // Average on the union grid of all knot positions.
-            let mut xs: Vec<f64> =
-                fns.iter().flat_map(|f| f.knots().iter().map(|k| k.0)).collect();
+            let mut xs: Vec<f64> = fns
+                .iter()
+                .flat_map(|f| f.knots().iter().map(|k| k.0))
+                .collect();
             xs.sort_by(f64::total_cmp);
             xs.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
             PiecewiseLinear::new(
                 xs.into_iter()
                     .map(|x| {
-                        let y =
-                            fns.iter().map(|f| f.eval(x)).sum::<f64>() / fns.len() as f64;
+                        let y = fns.iter().map(|f| f.eval(x)).sum::<f64>() / fns.len() as f64;
                         (x, y)
                     })
                     .collect(),
@@ -189,11 +189,7 @@ mod tests {
             l: 60e-6,
             os: PiecewiseLinear::new(vec![(0.0, 15e-6), (65536.0, 400e-6)]),
             or: PiecewiseLinear::new(vec![(0.0, 18e-6), (65536.0, 450e-6)]),
-            g: PiecewiseLinear::new(vec![
-                (0.0, 40e-6),
-                (8192.0, 700e-6),
-                (65536.0, 5.6e-3),
-            ]),
+            g: PiecewiseLinear::new(vec![(0.0, 40e-6), (8192.0, 700e-6), (65536.0, 5.6e-3)]),
             p: 8,
         }
     }

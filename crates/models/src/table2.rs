@@ -79,11 +79,14 @@ mod tests {
 
     fn models(n: usize) -> Table2Models {
         Table2Models {
-            hockney: HockneyHet::new(
-                SymMatrix::filled(n, 100e-6),
-                SymMatrix::filled(n, 90e-9),
-            ),
-            loggp: LogGp { l: 50e-6, o: 20e-6, g: 30e-6, big_g: 85e-9, p: n },
+            hockney: HockneyHet::new(SymMatrix::filled(n, 100e-6), SymMatrix::filled(n, 90e-9)),
+            loggp: LogGp {
+                l: 50e-6,
+                o: 20e-6,
+                g: 30e-6,
+                big_g: 85e-9,
+                p: n,
+            },
             plogp: PLogP {
                 l: 60e-6,
                 os: PiecewiseLinear::constant(20e-6),

@@ -29,7 +29,13 @@ impl SimCluster {
             noise_rel.is_finite() && noise_rel >= 0.0,
             "noise_rel must be a small non-negative number, got {noise_rel}"
         );
-        SimCluster { truth, profile, noise_rel, seed, topology: Topology::SingleSwitch }
+        SimCluster {
+            truth,
+            profile,
+            noise_rel,
+            seed,
+            topology: Topology::SingleSwitch,
+        }
     }
 
     /// The same cluster rewired to a different topology.
@@ -45,8 +51,13 @@ impl SimCluster {
 
     /// Builds the simulated cluster described by a [`ClusterConfig`].
     pub fn from_config(cfg: &ClusterConfig) -> Self {
-        Self::new(cfg.ground_truth(), cfg.profile.clone(), cfg.noise_rel, cfg.sim_seed)
-            .with_topology(cfg.topology.clone())
+        Self::new(
+            cfg.ground_truth(),
+            cfg.profile.clone(),
+            cfg.noise_rel,
+            cfg.sim_seed,
+        )
+        .with_topology(cfg.topology.clone())
     }
 
     /// Number of nodes.
@@ -58,7 +69,10 @@ impl SimCluster {
     /// escalation/noise draws across repeated experiment runs while keeping
     /// the physical parameters fixed.
     pub fn reseeded(&self, seed: u64) -> Self {
-        SimCluster { seed, ..self.clone() }
+        SimCluster {
+            seed,
+            ..self.clone()
+        }
     }
 
     /// The same cluster with irregularities and noise disabled — the

@@ -135,8 +135,13 @@ fn simulate_mpmd_inner<'a, R: Send>(
             let sys_tx = sys_tx.clone();
             let results = &results;
             scope.spawn(move || {
-                let mut proc =
-                    Proc { id: idx, n, now: Time::ZERO, grant_rx: grx, sys_tx };
+                let mut proc = Proc {
+                    id: idx,
+                    n,
+                    now: Time::ZERO,
+                    grant_rx: grx,
+                    sys_tx,
+                };
                 if !proc_wait_first_grant(&mut proc) {
                     // The kernel died before the simulation started; exit
                     // quietly so the scope can join.
@@ -165,11 +170,7 @@ fn simulate_mpmd_inner<'a, R: Send>(
         .into_inner()
         .into_iter()
         .enumerate()
-        .map(|(i, r)| {
-            r.ok_or_else(|| {
-                CpmError::Simulation(format!("rank {i} produced no result"))
-            })
-        })
+        .map(|(i, r)| r.ok_or_else(|| CpmError::Simulation(format!("rank {i} produced no result"))))
         .collect::<Result<Vec<R>>>()?;
 
     Ok((
@@ -329,7 +330,12 @@ impl<'c> Kernel<'c> {
         self.stats.msgs_sent += 1;
         let mid = self.msgs.len();
         self.msgs.push(MsgState {
-            view: MsgView { src: Rank::from(p), dst, tag, bytes },
+            view: MsgView {
+                src: Rank::from(p),
+                dst,
+                tag,
+                bytes,
+            },
             sender_blocked: block_sender,
             delivered_at: None,
         });
@@ -348,7 +354,8 @@ impl<'c> Kernel<'c> {
                 lat += uplink_lat;
             }
         }
-        self.q.push(s1 + Time::from_secs(lat), EventKind::Arrive(mid));
+        self.q
+            .push(s1 + Time::from_secs(lat), EventKind::Arrive(mid));
         mid
     }
 
@@ -374,8 +381,12 @@ impl<'c> Kernel<'c> {
                 EventKind::Deliver(m) => self.deliver(m),
             }
         }
-        let end_time =
-            self.finish_times.iter().copied().max().unwrap_or(Time::ZERO);
+        let end_time = self
+            .finish_times
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(Time::ZERO);
         let panicked = self
             .procs
             .iter()
@@ -406,7 +417,11 @@ impl<'c> Kernel<'c> {
                 },
             }
         }
-        format!("deadlock with {} live processes: {}", self.alive, parts.join("; "))
+        format!(
+            "deadlock with {} live processes: {}",
+            self.alive,
+            parts.join("; ")
+        )
     }
 
     /// Grants `p` at the current time and handles its next syscall.
@@ -419,13 +434,16 @@ impl<'c> Kernel<'c> {
         let msg = self.procs[p].ready_msg.take();
         self.procs[p]
             .grant_tx
-            .send(Grant { now: self.now, msg, handle: None })
-            .map_err(|_| {
-                CpmError::Simulation(format!("rank {p} died before its grant"))
-            })?;
-        let (from, sc) = self.sys_rx.recv().map_err(|_| {
-            CpmError::Simulation("all rank programs disappeared".to_string())
-        })?;
+            .send(Grant {
+                now: self.now,
+                msg,
+                handle: None,
+            })
+            .map_err(|_| CpmError::Simulation(format!("rank {p} died before its grant")))?;
+        let (from, sc) = self
+            .sys_rx
+            .recv()
+            .map_err(|_| CpmError::Simulation("all rank programs disappeared".to_string()))?;
         debug_assert_eq!(from, p, "only the granted process may issue a syscall");
         self.handle_syscall(from, sc);
         Ok(())
@@ -457,7 +475,8 @@ impl<'c> Kernel<'c> {
             }
             Syscall::WaitSend { handle } => {
                 let done = self.send_local_done[handle];
-                self.q.push(done.max(self.procs[p].local), EventKind::Wake(p));
+                self.q
+                    .push(done.max(self.procs[p].local), EventKind::Wake(p));
             }
             Syscall::Send { dst, tag, bytes } => {
                 let large = self.cl.profile.is_large(bytes);
@@ -526,12 +545,7 @@ impl<'c> Kernel<'c> {
         self.emit(TraceEvent::BarrierRelease { at: release.secs() });
     }
 
-    fn find_in_mailbox(
-        &self,
-        p: ProcId,
-        src: Option<Rank>,
-        tag: Option<Tag>,
-    ) -> Option<usize> {
+    fn find_in_mailbox(&self, p: ProcId, src: Option<Rank>, tag: Option<Tag>) -> Option<usize> {
         self.mailbox[p].iter().position(|&mid| {
             let v = &self.msgs[mid].view;
             src.is_none_or(|s| s == v.src) && tag.is_none_or(|t| t == v.tag)
@@ -560,8 +574,7 @@ impl<'c> Kernel<'c> {
             // ingress): an uncongested receiver costs the sender nothing
             // extra, a congested one stalls it — which is why large-message
             // gather serializes while large-message scatter stays parallel.
-            let mut start =
-                self.ingress_free[j].max(self.conn_free[i][j]).max(self.now);
+            let mut start = self.ingress_free[j].max(self.conn_free[i][j]).max(self.now);
             if crossing {
                 start = start.max(self.uplink_free);
             }
@@ -585,16 +598,18 @@ impl<'c> Kernel<'c> {
             done
         } else {
             let mut extra = 0.0;
-            let other_sources =
-                self.active_src[j].iter().enumerate().any(|(s, &c)| s != i && c > 0);
+            let other_sources = self.active_src[j]
+                .iter()
+                .enumerate()
+                .any(|(s, &c)| s != i && c > 0);
             if self.cl.profile.is_medium(view.bytes) && other_sources {
                 // Incast: concurrent inbound medium flows from distinct
                 // sources can trip a TCP retransmission stall.
                 let pr = self.cl.profile.escalation_probability(view.bytes);
                 if self.rng.gen::<f64>() < pr {
-                    extra = self.rng.gen_range(
-                        self.cl.profile.escalation_min..=self.cl.profile.escalation_max,
-                    );
+                    extra = self
+                        .rng
+                        .gen_range(self.cl.profile.escalation_min..=self.cl.profile.escalation_max);
                 }
             }
             // One connection delivers in order at link bandwidth; a
@@ -733,8 +748,7 @@ mod tests {
             }
         })
         .unwrap();
-        let expected =
-            2.0 * (truth.c[2] + *truth.l.get(Rank(2), Rank(9)) + truth.c[9]);
+        let expected = 2.0 * (truth.c[2] + *truth.l.get(Rank(2), Rank(9)) + truth.c[9]);
         assert!((out.results[2] - expected).abs() < 1e-12);
     }
 
@@ -762,8 +776,7 @@ mod tests {
         // Send returns after the tx slot; two sends = two slots.
         assert!((out.results[0] - 2.0 * cpu).abs() < 1e-12);
         // Receiver 2's delivery = 2 tx slots + wire + rx cpu.
-        let wire2 =
-            *truth.l.get(Rank(0), Rank(2)) + m as f64 / *truth.beta.get(Rank(0), Rank(2));
+        let wire2 = *truth.l.get(Rank(0), Rank(2)) + m as f64 / *truth.beta.get(Rank(0), Rank(2));
         let rx2 = truth.c[2] + m as f64 * truth.t[2];
         let expected2 = 2.0 * cpu + wire2 + rx2;
         assert!(
@@ -797,8 +810,7 @@ mod tests {
         })
         .unwrap();
         let tx = truth.c[1] + m as f64 * truth.t[1];
-        let wire =
-            *truth.l.get(Rank(1), Rank(0)) + m as f64 / *truth.beta.get(Rank(1), Rank(0));
+        let wire = *truth.l.get(Rank(1), Rank(0)) + m as f64 / *truth.beta.get(Rank(1), Rank(0));
         let rx = truth.c[0] + m as f64 * truth.t[0];
         // Both arrive at ~tx+wire (same parameters); the second finishes one
         // extra rx slot later.
@@ -835,15 +847,14 @@ mod tests {
         .unwrap();
         // Per-sender timelines (the synthesized links carry jitter, so the
         // two flows differ slightly).
-        let arr = |k: usize| {
-            truth.c[k]
-                + m as f64 * truth.t[k]
-                + *truth.l.get(Rank::from(k), Rank(0))
+        let arr =
+            |k: usize| truth.c[k] + m as f64 * truth.t[k] + *truth.l.get(Rank::from(k), Rank(0));
+        let wire = |k: usize| m as f64 / *truth.beta.get(Rank::from(k), Rank(0));
+        let (first, second) = if arr(1) <= arr(2) {
+            (1usize, 2usize)
+        } else {
+            (2, 1)
         };
-        let wire =
-            |k: usize| m as f64 / *truth.beta.get(Rank::from(k), Rank(0));
-        let (first, second) =
-            if arr(1) <= arr(2) { (1usize, 2usize) } else { (2, 1) };
         // Ingress FIFO: the first arrival transfers immediately; the second
         // waits for the port.
         let done_first = arr(first) + wire(first);
@@ -1086,8 +1097,7 @@ mod tests {
         })
         .unwrap();
         let cpu = truth.c[0] + m as f64 * truth.t[0];
-        let wire2 = *truth.l.get(Rank(0), Rank(2))
-            + m as f64 / *truth.beta.get(Rank(0), Rank(2));
+        let wire2 = *truth.l.get(Rank(0), Rank(2)) + m as f64 / *truth.beta.get(Rank(0), Rank(2));
         let rx2 = truth.c[2] + m as f64 * truth.t[2];
         let expected2 = 2.0 * cpu + wire2 + rx2;
         assert!(
@@ -1198,7 +1208,10 @@ mod tests {
         let (post, done) = out.results[0];
         assert_eq!(post, 0.0, "isend must not advance time");
         let tx = truth.c[0] + m as f64 * truth.t[0];
-        assert!((done - tx).abs() < 1e-12, "wait ends at the tx slot: {done} vs {tx}");
+        assert!(
+            (done - tx).abs() < 1e-12,
+            "wait ends at the tx slot: {done} vs {tx}"
+        );
     }
 
     #[test]
@@ -1265,7 +1278,11 @@ mod tests {
         })
         .unwrap();
         let tx = truth.c[0] + m as f64 * truth.t[0];
-        assert!((out.results[0] - 2.0 * tx).abs() < 1e-12, "{}", out.results[0]);
+        assert!(
+            (out.results[0] - 2.0 * tx).abs() < 1e-12,
+            "{}",
+            out.results[0]
+        );
     }
 
     #[test]

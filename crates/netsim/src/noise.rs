@@ -21,7 +21,10 @@ impl NoiseSource {
     /// Creates a source with relative standard deviation `sigma`
     /// (0 disables noise).
     pub fn new(sigma: f64) -> Self {
-        assert!(sigma.is_finite() && sigma >= 0.0, "sigma must be ≥ 0, got {sigma}");
+        assert!(
+            sigma.is_finite() && sigma >= 0.0,
+            "sigma must be ≥ 0, got {sigma}"
+        );
         NoiseSource { sigma, spare: None }
     }
 

@@ -85,7 +85,11 @@ impl Proc {
     /// Panics on self-sends: the model has no loopback path (the paper
     /// treats the root's own block as a free local copy).
     pub fn send_tagged(&mut self, dst: Rank, tag: Tag, bytes: Bytes) {
-        assert_ne!(dst, self.rank(), "self-send is not modelled; skip the root's own block");
+        assert_ne!(
+            dst,
+            self.rank(),
+            "self-send is not modelled; skip the root's own block"
+        );
         assert!(dst.idx() < self.n, "destination {dst} out of range");
         self.call(Syscall::Send { dst, tag, bytes });
     }
@@ -129,7 +133,9 @@ impl Proc {
         assert_ne!(dst, self.rank(), "self-send is not modelled");
         assert!(dst.idx() < self.n, "destination {dst} out of range");
         let grant = self.call(Syscall::ISend { dst, tag, bytes });
-        SendRequest { handle: grant.handle.expect("isend grant carries a handle") }
+        SendRequest {
+            handle: grant.handle.expect("isend grant carries a handle"),
+        }
     }
 
     /// Blocks until a nonblocking send's local completion.
@@ -141,7 +147,10 @@ impl Proc {
     pub fn irecv(&mut self, src: Rank) -> RecvRequest {
         assert!(src.idx() < self.n, "source {src} out of range");
         assert_ne!(src.idx(), self.id, "self-receive is not modelled");
-        RecvRequest { src: Some(src), tag: Some(0) }
+        RecvRequest {
+            src: Some(src),
+            tag: Some(0),
+        }
     }
 
     /// Blocks until the posted receive matches a delivered message.

@@ -14,12 +14,30 @@ use cpm_core::units::Bytes;
 #[derive(Clone, Debug, PartialEq)]
 pub enum TraceEvent {
     /// A send occupied the sender's tx engine over `[start, end)`.
-    TxSlot { msg: usize, src: Rank, dst: Rank, bytes: Bytes, start: f64, end: f64 },
+    TxSlot {
+        msg: usize,
+        src: Rank,
+        dst: Rank,
+        bytes: Bytes,
+        start: f64,
+        end: f64,
+    },
     /// The message crossed the receiver's ingress over `[start, end)`
     /// (includes any escalation delay and uplink/ingress queueing).
-    Wire { msg: usize, src: Rank, dst: Rank, start: f64, end: f64 },
+    Wire {
+        msg: usize,
+        src: Rank,
+        dst: Rank,
+        start: f64,
+        end: f64,
+    },
     /// The receiver's rx engine processed the message over `[start, end)`.
-    RxSlot { msg: usize, dst: Rank, start: f64, end: f64 },
+    RxSlot {
+        msg: usize,
+        dst: Rank,
+        start: f64,
+        end: f64,
+    },
     /// A matching `recv` consumed the message at `at`.
     Received { msg: usize, by: Rank, at: f64 },
     /// The global barrier released all ranks at `at`.
@@ -52,9 +70,9 @@ impl Trace {
             .events
             .iter()
             .filter_map(|e| match e {
-                TraceEvent::TxSlot { src, start, end, .. } if *src == r => {
-                    Some((*start, *end))
-                }
+                TraceEvent::TxSlot {
+                    src, start, end, ..
+                } if *src == r => Some((*start, *end)),
                 _ => None,
             })
             .collect();
@@ -68,9 +86,9 @@ impl Trace {
             .events
             .iter()
             .filter_map(|e| match e {
-                TraceEvent::RxSlot { dst, start, end, .. } if *dst == r => {
-                    Some((*start, *end))
-                }
+                TraceEvent::RxSlot {
+                    dst, start, end, ..
+                } if *dst == r => Some((*start, *end)),
                 _ => None,
             })
             .collect();
@@ -84,9 +102,9 @@ impl Trace {
             .events
             .iter()
             .filter_map(|e| match e {
-                TraceEvent::Wire { dst, start, end, .. } if *dst == r => {
-                    Some((*start, *end))
-                }
+                TraceEvent::Wire {
+                    dst, start, end, ..
+                } if *dst == r => Some((*start, *end)),
                 _ => None,
             })
             .collect();
@@ -172,10 +190,31 @@ mod tests {
                     start: 1.0,
                     end: 2.0,
                 },
-                TraceEvent::Wire { msg: 0, src: Rank(0), dst: Rank(1), start: 1.0, end: 3.0 },
-                TraceEvent::Wire { msg: 1, src: Rank(0), dst: Rank(2), start: 2.0, end: 4.0 },
-                TraceEvent::RxSlot { msg: 0, dst: Rank(1), start: 3.0, end: 3.5 },
-                TraceEvent::Received { msg: 0, by: Rank(1), at: 3.5 },
+                TraceEvent::Wire {
+                    msg: 0,
+                    src: Rank(0),
+                    dst: Rank(1),
+                    start: 1.0,
+                    end: 3.0,
+                },
+                TraceEvent::Wire {
+                    msg: 1,
+                    src: Rank(0),
+                    dst: Rank(2),
+                    start: 2.0,
+                    end: 4.0,
+                },
+                TraceEvent::RxSlot {
+                    msg: 0,
+                    dst: Rank(1),
+                    start: 3.0,
+                    end: 3.5,
+                },
+                TraceEvent::Received {
+                    msg: 0,
+                    by: Rank(1),
+                    at: 3.5,
+                },
             ],
         }
     }

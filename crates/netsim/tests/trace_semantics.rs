@@ -110,23 +110,20 @@ fn per_message_phase_ordering() {
         let mut recv = None;
         for e in &trace.events {
             match e {
-                TraceEvent::TxSlot { msg: m, start, end, .. } if *m == msg => {
-                    tx = Some((*start, *end))
-                }
-                TraceEvent::Wire { msg: m, start, end, .. } if *m == msg => {
-                    wire = Some((*start, *end))
-                }
-                TraceEvent::RxSlot { msg: m, start, end, .. } if *m == msg => {
-                    rx = Some((*start, *end))
-                }
-                TraceEvent::Received { msg: m, at, .. } if *m == msg => {
-                    recv = Some(*at)
-                }
+                TraceEvent::TxSlot {
+                    msg: m, start, end, ..
+                } if *m == msg => tx = Some((*start, *end)),
+                TraceEvent::Wire {
+                    msg: m, start, end, ..
+                } if *m == msg => wire = Some((*start, *end)),
+                TraceEvent::RxSlot {
+                    msg: m, start, end, ..
+                } if *m == msg => rx = Some((*start, *end)),
+                TraceEvent::Received { msg: m, at, .. } if *m == msg => recv = Some(*at),
                 _ => {}
             }
         }
-        let (tx, wire, rx, recv) =
-            (tx.unwrap(), wire.unwrap(), rx.unwrap(), recv.unwrap());
+        let (tx, wire, rx, recv) = (tx.unwrap(), wire.unwrap(), rx.unwrap(), recv.unwrap());
         assert!(tx.1 <= wire.0 + 1e-12, "tx before wire");
         assert!(wire.1 <= rx.0 + 1e-12, "wire before rx");
         assert!(rx.1 <= recv + 1e-12, "rx before recv");

@@ -1,0 +1,30 @@
+//! cpm-serve: a concurrent prediction service.
+//!
+//! Content-addresses cluster specifications into a persistent parameter
+//! registry, serves batched predictions from an estimate-once cache, and
+//! exposes the whole pipeline over a JSON-lines TCP protocol.
+//!
+//! Layering:
+//!
+//! - [`registry`] — stable fingerprints for [`cpm_cluster::ClusterConfig`]
+//!   and a versioned on-disk store of estimated [`registry::ParamSet`]s;
+//! - [`service`] — the estimate-once prediction service: sharded LRU cache,
+//!   single-flight estimation dedup, service metrics;
+//! - [`protocol`] — the JSON-lines request/response vocabulary;
+//! - [`server`] — a std-only TCP server with per-connection error isolation
+//!   and graceful shutdown.
+
+pub mod protocol;
+pub mod registry;
+pub mod server;
+pub mod service;
+
+pub use protocol::{handle_line, parse_request, Request};
+pub use registry::{
+    fingerprint, fingerprint_json, ParamSet, Registry, Result, ServeError, FORMAT_VERSION,
+};
+pub use server::{Server, ServerHandle};
+pub use service::{
+    Algorithm, ClusterRef, Collective, Metrics, MetricsSnapshot, ModelKind, Prediction, Query,
+    Service, ServiceConfig,
+};

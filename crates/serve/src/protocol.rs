@@ -1,0 +1,259 @@
+//! The JSON-lines wire protocol.
+//!
+//! One request object per line in, one response object per line out.
+//! Every request carries a `"verb"`; every response carries `"ok"`.
+//! Malformed requests produce `{"ok": false, "error": "..."}` on that
+//! line and do not terminate the connection.
+//!
+//! Verbs:
+//!
+//! - `predict` — one prediction. Identifies the cluster either by
+//!   embedded `"config"` (estimated on first sight) or by
+//!   `"fingerprint"` (must already be known).
+//! - `select` — predict both algorithms of a collective and report the
+//!   faster one.
+//! - `estimate` — force the parameter set for a config to exist,
+//!   returning estimation statistics.
+//! - `stats` — service counters.
+//! - `shutdown` — stop the server after responding.
+
+use cpm_cluster::ClusterConfig;
+use serde_json::Value;
+
+use crate::registry::{Result, ServeError};
+use crate::service::{Algorithm, ClusterRef, Collective, ModelKind, Query, Service};
+
+/// A parsed request.
+#[derive(Clone, Debug)]
+pub enum Request {
+    Predict {
+        cluster: ClusterRef,
+        query: Query,
+    },
+    Select {
+        cluster: ClusterRef,
+        model: ModelKind,
+        collective: Collective,
+        m: u64,
+        root: u32,
+    },
+    Estimate {
+        config: Box<ClusterConfig>,
+    },
+    Stats,
+    Shutdown,
+}
+
+fn bad(msg: impl Into<String>) -> ServeError {
+    ServeError::Protocol(msg.into())
+}
+
+fn str_field<'a>(v: &'a Value, key: &str) -> Result<&'a str> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .ok_or_else(|| bad(format!("missing or non-string field {key:?}")))
+}
+
+fn u64_field(v: &Value, key: &str) -> Result<u64> {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| bad(format!("missing or non-integer field {key:?}")))
+}
+
+fn root_field(v: &Value) -> Result<u32> {
+    match v.get("root") {
+        None => Ok(0),
+        Some(r) => r
+            .as_u64()
+            .and_then(|x| u32::try_from(x).ok())
+            .ok_or_else(|| bad("field \"root\" must be a small non-negative integer")),
+    }
+}
+
+fn cluster_field(v: &Value) -> Result<ClusterRef> {
+    match (v.get("config"), v.get("fingerprint")) {
+        (Some(cfg), None) => {
+            let config: ClusterConfig = serde_json::from_value(cfg.clone())
+                .map_err(|e| bad(format!("bad \"config\": {e}")))?;
+            Ok(ClusterRef::Config(Box::new(config)))
+        }
+        (None, Some(fp)) => {
+            let fp = fp
+                .as_str()
+                .ok_or_else(|| bad("field \"fingerprint\" must be a string"))?;
+            Ok(ClusterRef::Fingerprint(fp.to_string()))
+        }
+        (Some(_), Some(_)) => Err(bad("supply either \"config\" or \"fingerprint\", not both")),
+        (None, None) => Err(bad("missing cluster: supply \"config\" or \"fingerprint\"")),
+    }
+}
+
+/// Parses one request line.
+pub fn parse_request(line: &str) -> Result<Request> {
+    let v: Value = serde_json::from_str(line).map_err(|e| bad(format!("bad json: {e}")))?;
+    if !matches!(v, Value::Map(_)) {
+        return Err(bad("request must be a json object"));
+    }
+    match str_field(&v, "verb")? {
+        "predict" => Ok(Request::Predict {
+            cluster: cluster_field(&v)?,
+            query: Query {
+                model: ModelKind::parse(str_field(&v, "model")?)?,
+                collective: Collective::parse(str_field(&v, "collective")?)?,
+                algorithm: Algorithm::parse(str_field(&v, "algorithm")?)?,
+                m: u64_field(&v, "m")?,
+                root: root_field(&v)?,
+            },
+        }),
+        "select" => Ok(Request::Select {
+            cluster: cluster_field(&v)?,
+            model: ModelKind::parse(str_field(&v, "model")?)?,
+            collective: Collective::parse(str_field(&v, "collective")?)?,
+            m: u64_field(&v, "m")?,
+            root: root_field(&v)?,
+        }),
+        "estimate" => {
+            let ClusterRef::Config(config) = cluster_field(&v)? else {
+                return Err(bad("estimate requires an embedded \"config\""));
+            };
+            Ok(Request::Estimate { config })
+        }
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(bad(format!(
+            "unknown verb {other:?} (expected predict|select|estimate|stats|shutdown)"
+        ))),
+    }
+}
+
+fn obj(entries: Vec<(&str, Value)>) -> Value {
+    Value::Map(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// Executes a request against the service, producing the response body
+/// (without the `"ok"` field — [`handle_line`] adds it).
+pub fn respond(service: &Service, req: &Request) -> Result<Value> {
+    match req {
+        Request::Predict { cluster, query } => {
+            let p = service.predict(cluster, query)?;
+            Ok(obj(vec![
+                ("seconds", Value::F64(p.seconds)),
+                ("fingerprint", Value::Str(p.fingerprint)),
+                ("cached", Value::Bool(p.cached)),
+            ]))
+        }
+        Request::Select {
+            cluster,
+            model,
+            collective,
+            m,
+            root,
+        } => {
+            let (choice, linear, binomial) =
+                service.select(cluster, *model, *collective, *m, *root)?;
+            Ok(obj(vec![
+                ("algorithm", Value::Str(choice.as_str().to_string())),
+                ("linear_seconds", Value::F64(linear)),
+                ("binomial_seconds", Value::F64(binomial)),
+            ]))
+        }
+        Request::Estimate { config } => {
+            let ps = service.param_set(&ClusterRef::Config(config.clone()))?;
+            Ok(obj(vec![
+                ("fingerprint", Value::Str(ps.fingerprint.clone())),
+                ("n", Value::U64(ps.n() as u64)),
+                ("runs", Value::U64(ps.runs as u64)),
+                ("virtual_cost_seconds", Value::F64(ps.virtual_cost)),
+            ]))
+        }
+        Request::Stats => {
+            let s = service.metrics().snapshot();
+            Ok(obj(vec![
+                ("hits", Value::U64(s.hits)),
+                ("misses", Value::U64(s.misses)),
+                ("estimations", Value::U64(s.estimations)),
+                ("registry_loads", Value::U64(s.registry_loads)),
+                ("predict_count", Value::U64(s.predict_count)),
+                ("predict_ns_mean", Value::F64(s.predict_ns_mean)),
+                ("predict_ns_max", Value::U64(s.predict_ns_max)),
+                ("stored", Value::U64(service.registry().len() as u64)),
+            ]))
+        }
+        Request::Shutdown => Ok(obj(vec![("shutting_down", Value::Bool(true))])),
+    }
+}
+
+/// Handles one raw request line end to end. Returns the response line
+/// (no trailing newline) and whether the server should shut down.
+pub fn handle_line(service: &Service, line: &str) -> (String, bool) {
+    let (body, shutdown) = match parse_request(line) {
+        Ok(req) => {
+            let shutdown = matches!(req, Request::Shutdown);
+            match respond(service, &req) {
+                Ok(body) => (Ok(body), shutdown),
+                Err(e) => (Err(e), false),
+            }
+        }
+        Err(e) => (Err(e), false),
+    };
+    let value = match body {
+        Ok(Value::Map(mut entries)) => {
+            entries.insert(0, ("ok".to_string(), Value::Bool(true)));
+            Value::Map(entries)
+        }
+        Ok(other) => other,
+        Err(e) => obj(vec![
+            ("ok", Value::Bool(false)),
+            ("error", Value::Str(e.to_string())),
+        ]),
+    };
+    let text = serde_json::to_string(&value)
+        .unwrap_or_else(|_| "{\"ok\":false,\"error\":\"serialization failure\"}".to_string());
+    (text, shutdown)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_malformed_requests() {
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request("42").is_err());
+        assert!(parse_request("{}").is_err());
+        assert!(parse_request("{\"verb\":\"dance\"}").is_err());
+        assert!(parse_request("{\"verb\":\"predict\"}").is_err());
+    }
+
+    #[test]
+    fn parses_predict_with_fingerprint() {
+        let line = "{\"verb\":\"predict\",\"fingerprint\":\"ab\",\"model\":\"lmo\",\
+                    \"collective\":\"scatter\",\"algorithm\":\"binomial\",\"m\":1024}";
+        let req = parse_request(line).unwrap();
+        let Request::Predict { cluster, query } = req else {
+            panic!("wrong variant");
+        };
+        assert!(matches!(cluster, ClusterRef::Fingerprint(fp) if fp == "ab"));
+        assert_eq!(query.m, 1024);
+        assert_eq!(query.root, 0);
+        assert_eq!(query.model, ModelKind::Lmo);
+        assert_eq!(query.algorithm, Algorithm::Binomial);
+    }
+
+    #[test]
+    fn parses_stats_and_shutdown() {
+        assert!(matches!(
+            parse_request("{\"verb\":\"stats\"}").unwrap(),
+            Request::Stats
+        ));
+        assert!(matches!(
+            parse_request("{\"verb\":\"shutdown\"}").unwrap(),
+            Request::Shutdown
+        ));
+    }
+}

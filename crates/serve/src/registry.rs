@@ -1,0 +1,386 @@
+//! Fingerprinted parameter registry.
+//!
+//! A [`ClusterConfig`] is content-addressed by a *fingerprint*: a stable
+//! hash of its canonical serialized form. Estimating a cluster's model
+//! parameters is expensive (hundreds of simulated experiments), so the
+//! registry persists the full set of estimated parameters — all four
+//! analytical models plus the empirical gather thresholds — to a versioned
+//! JSON store on disk, keyed by fingerprint. Any process that sees the same
+//! cluster configuration later reuses the stored parameters instead of
+//! re-estimating.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use cpm_cluster::ClusterConfig;
+use cpm_estimate::lmo::estimate_lmo_full;
+use cpm_estimate::{estimate_hockney_het, estimate_loggp, estimate_plogp, EstimateConfig};
+use cpm_models::{HockneyHet, LmoExtended, LogGp, PLogP};
+use cpm_netsim::SimCluster;
+use serde::{Deserialize, Serialize};
+use serde_json::Value;
+
+/// On-disk format version; bumping it invalidates (ignores) older entries.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Errors from the serve subsystem.
+#[derive(Debug)]
+pub enum ServeError {
+    Io(String),
+    /// A request was malformed or referenced something unsupported.
+    Protocol(String),
+    /// The estimation pipeline failed.
+    Estimation(String),
+    /// A fingerprint was referenced without a config and is not in the
+    /// registry.
+    UnknownFingerprint(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "io error: {e}"),
+            ServeError::Protocol(e) => write!(f, "protocol error: {e}"),
+            ServeError::Estimation(e) => write!(f, "estimation error: {e}"),
+            ServeError::UnknownFingerprint(fp) => {
+                write!(
+                    f,
+                    "unknown fingerprint {fp:?}: supply a config to estimate it"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<io::Error> for ServeError {
+    fn from(e: io::Error) -> Self {
+        ServeError::Io(e.to_string())
+    }
+}
+
+pub type Result<T> = std::result::Result<T, ServeError>;
+
+/// Canonicalizes a JSON value: map keys sorted recursively, so two
+/// serializations that differ only in field order hash identically.
+fn canonicalize(v: Value) -> Value {
+    match v {
+        Value::Map(mut entries) => {
+            for (_, val) in entries.iter_mut() {
+                let owned = std::mem::replace(val, Value::Null);
+                *val = canonicalize(owned);
+            }
+            entries.sort_by(|a, b| a.0.cmp(&b.0));
+            Value::Map(entries)
+        }
+        Value::Seq(items) => Value::Seq(items.into_iter().map(canonicalize).collect()),
+        other => other,
+    }
+}
+
+/// FNV-1a over `bytes`, from an arbitrary offset basis.
+fn fnv1a(bytes: &[u8], mut hash: u64) -> u64 {
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// The stable fingerprint of a cluster configuration: 128 bits, hex.
+///
+/// Computed over the canonical JSON form (sorted keys, compact separators,
+/// shortest-round-trip floats), so it is invariant under serde round-trips
+/// and field reordering, and changes whenever any parameter that affects
+/// the simulated cluster changes.
+pub fn fingerprint(config: &ClusterConfig) -> String {
+    let value = serde_json::to_value(config).expect("config serializes");
+    fingerprint_value(value)
+}
+
+/// Fingerprints a config given as raw JSON text, without requiring it to
+/// parse into a [`ClusterConfig`] first. Field order in the text is
+/// irrelevant: any reordering of `config.to_json()` fingerprints the same
+/// as `fingerprint(&config)`. (A hand-written text that *omits* defaulted
+/// fields is not canonical — parse it into a [`ClusterConfig`] and use
+/// [`fingerprint`] instead.)
+pub fn fingerprint_json(json: &str) -> Result<String> {
+    let value: Value =
+        serde_json::from_str(json).map_err(|e| ServeError::Protocol(e.to_string()))?;
+    Ok(fingerprint_value(value))
+}
+
+fn fingerprint_value(value: Value) -> String {
+    let canonical = serde_json::to_string(&canonicalize(value)).expect("value serializes");
+    let lo = fnv1a(canonical.as_bytes(), 0xcbf2_9ce4_8422_2325);
+    let hi = fnv1a(
+        canonical.as_bytes(),
+        0xcbf2_9ce4_8422_2325 ^ 0x9e37_79b9_7f4a_7c15,
+    );
+    format!("{hi:016x}{lo:016x}")
+}
+
+/// Every model parameter the service can serve for one cluster, as
+/// estimated from simulated communication experiments.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ParamSet {
+    /// On-disk format version ([`FORMAT_VERSION`]).
+    pub version: u32,
+    /// Fingerprint of `config` at estimation time.
+    pub fingerprint: String,
+    /// The configuration the parameters were estimated for.
+    pub config: ClusterConfig,
+    /// Extended LMO (paper §III) including the empirical gather thresholds
+    /// M1/M2 and escalation statistics.
+    pub lmo: LmoExtended,
+    /// Heterogeneous Hockney (per-pair α/β regression).
+    pub hockney: HockneyHet,
+    /// LogGP.
+    pub loggp: LogGp,
+    /// Parameterized LogP.
+    pub plogp: PLogP,
+    /// Total virtual cluster time spent estimating, seconds.
+    pub virtual_cost: f64,
+    /// Total simulation runs performed.
+    pub runs: usize,
+}
+
+impl ParamSet {
+    /// Runs the full estimation pipeline for `config`: LMO (with gather
+    /// empirics), heterogeneous Hockney, LogGP and PLogP.
+    pub fn estimate(config: &ClusterConfig, est: &EstimateConfig) -> Result<ParamSet> {
+        let sim = SimCluster::from_config(config);
+        let err = |e: cpm_core::error::CpmError| ServeError::Estimation(e.to_string());
+        let lmo = estimate_lmo_full(&sim, est).map_err(err)?;
+        let hockney = estimate_hockney_het(&sim, est).map_err(err)?;
+        let loggp = estimate_loggp(&sim, est).map_err(err)?;
+        let plogp = estimate_plogp(&sim, est).map_err(err)?;
+        Ok(ParamSet {
+            version: FORMAT_VERSION,
+            fingerprint: fingerprint(config),
+            config: config.clone(),
+            virtual_cost: lmo.virtual_cost
+                + hockney.virtual_cost
+                + loggp.virtual_cost
+                + plogp.virtual_cost,
+            runs: lmo.runs + hockney.runs + loggp.runs + plogp.runs,
+            lmo: lmo.model,
+            hockney: hockney.model,
+            loggp: loggp.model,
+            plogp: plogp.model,
+        })
+    }
+
+    /// Number of nodes the parameters describe.
+    pub fn n(&self) -> usize {
+        self.lmo.c.len()
+    }
+}
+
+/// A directory of persisted [`ParamSet`]s, one JSON file per fingerprint,
+/// under a `v<FORMAT_VERSION>/` subdirectory.
+pub struct Registry {
+    dir: PathBuf,
+}
+
+impl Registry {
+    /// Opens (creating if needed) a registry rooted at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Registry> {
+        let dir = dir.into();
+        fs::create_dir_all(Self::store_dir_of(&dir))?;
+        Ok(Registry { dir })
+    }
+
+    fn store_dir_of(dir: &Path) -> PathBuf {
+        dir.join(format!("v{FORMAT_VERSION}"))
+    }
+
+    fn store_dir(&self) -> PathBuf {
+        Self::store_dir_of(&self.dir)
+    }
+
+    /// The file a fingerprint persists to.
+    pub fn path_for(&self, fp: &str) -> PathBuf {
+        self.store_dir().join(format!("{fp}.json"))
+    }
+
+    /// Loads the parameter set for `fp`, if present and of the current
+    /// format version. Entries with a different version are ignored (they
+    /// will be re-estimated and overwritten).
+    pub fn load(&self, fp: &str) -> Result<Option<ParamSet>> {
+        let path = self.path_for(fp);
+        let json = match fs::read_to_string(&path) {
+            Ok(j) => j,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(ServeError::Io(format!("{}: {e}", path.display()))),
+        };
+        let ps: ParamSet = serde_json::from_str(&json)
+            .map_err(|e| ServeError::Io(format!("{}: {e}", path.display())))?;
+        if ps.version != FORMAT_VERSION {
+            return Ok(None);
+        }
+        Ok(Some(ps))
+    }
+
+    /// Persists a parameter set atomically (write-temp-then-rename).
+    pub fn store(&self, ps: &ParamSet) -> Result<()> {
+        let path = self.path_for(&ps.fingerprint);
+        let tmp = path.with_extension("json.tmp");
+        let json = serde_json::to_string_pretty(ps).map_err(|e| ServeError::Io(e.to_string()))?;
+        fs::write(&tmp, json)?;
+        fs::rename(&tmp, &path)?;
+        Ok(())
+    }
+
+    /// All fingerprints currently stored.
+    pub fn list(&self) -> Result<Vec<String>> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(self.store_dir())? {
+            let name = entry?.file_name();
+            let name = name.to_string_lossy();
+            if let Some(fp) = name.strip_suffix(".json") {
+                out.push(fp.to_string());
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// Number of stored parameter sets.
+    pub fn len(&self) -> usize {
+        self.list().map(|v| v.len()).unwrap_or(0)
+    }
+
+    /// `true` when no parameter set is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpm_cluster::ClusterSpec;
+
+    #[test]
+    fn fingerprint_is_stable_across_round_trips() {
+        let cfg = ClusterConfig::paper_lam(2009);
+        let fp = fingerprint(&cfg);
+        let back = ClusterConfig::from_json(&cfg.to_json()).unwrap();
+        assert_eq!(fp, fingerprint(&back));
+        assert_eq!(fp.len(), 32);
+    }
+
+    #[test]
+    fn fingerprint_separates_configs() {
+        let a = ClusterConfig::paper_lam(2009);
+        let b = ClusterConfig::paper_lam(2010);
+        let c = ClusterConfig::paper_mpich(2009);
+        let d = ClusterConfig::ideal(ClusterSpec::homogeneous(16), 2009);
+        let fps = [
+            fingerprint(&a),
+            fingerprint(&b),
+            fingerprint(&c),
+            fingerprint(&d),
+        ];
+        for i in 0..fps.len() {
+            for j in (i + 1)..fps.len() {
+                assert_ne!(fps[i], fps[j], "{i} vs {j}");
+            }
+        }
+    }
+
+    /// Recursively reverses the entry order of every JSON object, producing
+    /// a maximally field-order-permuted but semantically identical value.
+    fn reverse_fields(v: Value) -> Value {
+        match v {
+            Value::Map(entries) => Value::Map(
+                entries
+                    .into_iter()
+                    .rev()
+                    .map(|(k, val)| (k, reverse_fields(val)))
+                    .collect(),
+            ),
+            Value::Seq(items) => {
+                // Sequence order is semantic (node table order) — keep it.
+                Value::Seq(items.into_iter().map(reverse_fields).collect())
+            }
+            other => other,
+        }
+    }
+
+    #[test]
+    fn fingerprint_ignores_field_order() {
+        let cfg = ClusterConfig::paper_lam(2009);
+        let permuted =
+            serde_json::to_string(&reverse_fields(serde_json::to_value(&cfg).unwrap())).unwrap();
+        assert_ne!(
+            permuted,
+            cfg.to_json(),
+            "permutation should actually reorder"
+        );
+        assert_eq!(fingerprint_json(&permuted).unwrap(), fingerprint(&cfg));
+        assert_eq!(fingerprint_json(&cfg.to_json()).unwrap(), fingerprint(&cfg));
+    }
+
+    #[test]
+    fn fingerprint_separates_table_one_perturbations() {
+        let base = ClusterConfig::paper_lam(2009);
+        let mut perturbed: Vec<ClusterConfig> = Vec::new();
+        // Each perturbation touches one Table I column or run parameter.
+        let mut p = base.clone();
+        p.spec.types[0].count += 1;
+        perturbed.push(p);
+        let mut p = base.clone();
+        p.spec.types[2].ghz = 2.0;
+        perturbed.push(p);
+        let mut p = base.clone();
+        p.spec.types[4].fsb_mhz += 1;
+        perturbed.push(p);
+        let mut p = base.clone();
+        p.spec.types[5].l2_kb *= 2;
+        perturbed.push(p);
+        let mut p = base.clone();
+        p.noise_rel += 0.001;
+        perturbed.push(p);
+        let mut p = base.clone();
+        p.sim_seed += 1;
+        perturbed.push(p);
+
+        let base_fp = fingerprint(&base);
+        let mut all = vec![base_fp];
+        for p in &perturbed {
+            all.push(fingerprint(p));
+        }
+        for i in 0..all.len() {
+            for j in (i + 1)..all.len() {
+                assert_ne!(all[i], all[j], "perturbations {i} and {j} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn registry_round_trip() {
+        let dir = std::env::temp_dir().join(format!("cpm-reg-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let reg = Registry::open(&dir).unwrap();
+        assert!(reg.is_empty());
+
+        let config = ClusterConfig::ideal(ClusterSpec::homogeneous(4), 7);
+        let est = EstimateConfig {
+            reps: 1,
+            ..EstimateConfig::with_seed(7)
+        };
+        let ps = ParamSet::estimate(&config, &est).unwrap();
+        assert_eq!(ps.n(), 4);
+        reg.store(&ps).unwrap();
+
+        assert_eq!(reg.list().unwrap(), vec![ps.fingerprint.clone()]);
+        let loaded = reg.load(&ps.fingerprint).unwrap().unwrap();
+        assert_eq!(loaded, ps);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

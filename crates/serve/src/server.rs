@@ -1,0 +1,164 @@
+//! A JSON-lines TCP server over [`Service`], std-only networking.
+//!
+//! One thread per connection; a connection reads request lines and writes
+//! one response line per request. Errors are isolated per connection: a
+//! malformed line gets an `{"ok": false}` response, an I/O error drops
+//! only that connection. Shutdown is graceful — either via the `shutdown`
+//! verb or [`ServerHandle::shutdown`] — and joins all threads.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::protocol::handle_line;
+use crate::registry::Result;
+use crate::service::Service;
+
+/// A running server. Dropping the handle does not stop the server; call
+/// [`ServerHandle::shutdown`] (or send the `shutdown` verb) first.
+pub struct Server {
+    service: Arc<Service>,
+    listener: TcpListener,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+}
+
+/// Controls a server running on a background thread.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    service: Arc<Service>,
+}
+
+impl Server {
+    /// Binds to `addr` (use port 0 for an ephemeral port).
+    pub fn bind(service: Arc<Service>, addr: &str) -> Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Server {
+            service,
+            listener,
+            addr,
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (resolves the actual port when bound to port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Runs the accept loop on a background thread and returns a handle.
+    pub fn spawn(self) -> ServerHandle {
+        let Server {
+            service,
+            listener,
+            addr,
+            stop,
+        } = self;
+        let accept_service = Arc::clone(&service);
+        let accept_stop = Arc::clone(&stop);
+        let accept_thread = std::thread::spawn(move || {
+            accept_loop(listener, accept_service, accept_stop);
+        });
+        ServerHandle {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+            service,
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, service: Arc<Service>, stop: Arc<AtomicBool>) {
+    let mut workers: Vec<JoinHandle<()>> = Vec::new();
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        let service = Arc::clone(&service);
+        let stop = Arc::clone(&stop);
+        workers.push(std::thread::spawn(move || {
+            // Per-connection isolation: any error here kills only this
+            // connection's thread.
+            let _ = serve_connection(stream, &service, &stop);
+        }));
+        workers.retain(|w| !w.is_finished());
+    }
+    for w in workers {
+        let _ = w.join();
+    }
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    service: &Service,
+    stop: &AtomicBool,
+) -> std::io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, shutdown) = handle_line(service, &line);
+        writer.write_all(response.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        if shutdown {
+            stop.store(true, Ordering::SeqCst);
+            // Wake the accept loop so it observes the stop flag.
+            wake_acceptor(&writer);
+            break;
+        }
+    }
+    Ok(())
+}
+
+fn wake_acceptor(stream: &TcpStream) {
+    if let Ok(local) = stream.local_addr() {
+        let _ = TcpStream::connect(local);
+    }
+}
+
+impl ServerHandle {
+    /// The address clients should connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The service behind the server (shared).
+    pub fn service(&self) -> &Arc<Service> {
+        &self.service
+    }
+
+    /// Requests shutdown and joins the accept loop. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock `accept` with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// Waits for the server to stop on its own (e.g. a `shutdown` verb).
+    pub fn join(&mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.shutdown();
+        }
+    }
+}

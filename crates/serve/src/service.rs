@@ -1,0 +1,710 @@
+//! The prediction service: estimate-once caching over the registry.
+//!
+//! Three layers sit between a query and a simulation:
+//!
+//! 1. a sharded LRU cache of computed predictions, keyed by
+//!    `(fingerprint, model, collective, algorithm, n, root, M)`;
+//! 2. an in-memory map of loaded [`ParamSet`]s, backed by the on-disk
+//!    registry;
+//! 3. the estimation pipeline itself, guarded by single-flight dedup so
+//!    concurrent misses for the same fingerprint trigger exactly one
+//!    estimation run.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::time::Instant;
+
+use cpm_cluster::ClusterConfig;
+use cpm_collectives::TunedCollectives;
+use cpm_core::rank::Rank;
+use cpm_core::tree::BinomialTree;
+use cpm_core::units::Bytes;
+use cpm_estimate::EstimateConfig;
+use cpm_models::collective::{binomial_recursive, binomial_recursive_full};
+use parking_lot::{Mutex, RwLock};
+
+use crate::registry::{fingerprint, ParamSet, Registry, Result, ServeError};
+
+/// Which estimated model answers a query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    Lmo,
+    Hockney,
+    Loggp,
+    Plogp,
+}
+
+impl ModelKind {
+    pub fn parse(s: &str) -> Result<Self> {
+        match s {
+            "lmo" => Ok(ModelKind::Lmo),
+            "hockney" => Ok(ModelKind::Hockney),
+            "loggp" => Ok(ModelKind::Loggp),
+            "plogp" => Ok(ModelKind::Plogp),
+            other => Err(ServeError::Protocol(format!(
+                "unknown model {other:?} (expected lmo|hockney|loggp|plogp)"
+            ))),
+        }
+    }
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ModelKind::Lmo => "lmo",
+            ModelKind::Hockney => "hockney",
+            ModelKind::Loggp => "loggp",
+            ModelKind::Plogp => "plogp",
+        }
+    }
+}
+
+/// The collective operation being predicted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Collective {
+    Scatter,
+    Gather,
+    Bcast,
+}
+
+impl Collective {
+    pub fn parse(s: &str) -> Result<Self> {
+        match s {
+            "scatter" => Ok(Collective::Scatter),
+            "gather" => Ok(Collective::Gather),
+            "bcast" => Ok(Collective::Bcast),
+            other => Err(ServeError::Protocol(format!(
+                "unknown collective {other:?} (expected scatter|gather|bcast)"
+            ))),
+        }
+    }
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Collective::Scatter => "scatter",
+            Collective::Gather => "gather",
+            Collective::Bcast => "bcast",
+        }
+    }
+}
+
+/// The algorithm variant being predicted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    Linear,
+    Binomial,
+}
+
+impl Algorithm {
+    pub fn parse(s: &str) -> Result<Self> {
+        match s {
+            "linear" => Ok(Algorithm::Linear),
+            "binomial" => Ok(Algorithm::Binomial),
+            other => Err(ServeError::Protocol(format!(
+                "unknown algorithm {other:?} (expected linear|binomial)"
+            ))),
+        }
+    }
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Algorithm::Linear => "linear",
+            Algorithm::Binomial => "binomial",
+        }
+    }
+}
+
+/// One prediction request against a resolved cluster.
+#[derive(Clone, Copy, Debug)]
+pub struct Query {
+    pub model: ModelKind,
+    pub collective: Collective,
+    pub algorithm: Algorithm,
+    pub m: Bytes,
+    pub root: u32,
+}
+
+/// A served prediction.
+#[derive(Clone, Debug)]
+pub struct Prediction {
+    /// Predicted collective execution time, seconds.
+    pub seconds: f64,
+    /// Fingerprint of the cluster the prediction is for.
+    pub fingerprint: String,
+    /// `true` when served from the prediction cache without touching the
+    /// parameter set.
+    pub cached: bool,
+}
+
+/// Identifies a cluster: by value (estimating on demand) or by fingerprint
+/// (must already be in the registry or loaded).
+#[derive(Clone, Debug)]
+pub enum ClusterRef {
+    Config(Box<ClusterConfig>),
+    Fingerprint(String),
+}
+
+impl ClusterRef {
+    fn resolve_fingerprint(&self) -> String {
+        match self {
+            ClusterRef::Config(c) => fingerprint(c),
+            ClusterRef::Fingerprint(fp) => fp.clone(),
+        }
+    }
+
+    fn config(&self) -> Option<&ClusterConfig> {
+        match self {
+            ClusterRef::Config(c) => Some(c),
+            ClusterRef::Fingerprint(_) => None,
+        }
+    }
+}
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    fp: String,
+    model: ModelKind,
+    collective: Collective,
+    algorithm: Algorithm,
+    n: usize,
+    root: u32,
+    m: Bytes,
+}
+
+struct Shard {
+    map: HashMap<CacheKey, (f64, u64)>,
+    tick: u64,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            map: HashMap::new(),
+            tick: 0,
+        }
+    }
+
+    fn get(&mut self, key: &CacheKey) -> Option<f64> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|slot| {
+            slot.1 = tick;
+            slot.0
+        })
+    }
+
+    fn put(&mut self, key: CacheKey, value: f64, capacity: usize) {
+        self.tick += 1;
+        self.map.insert(key, (value, self.tick));
+        if self.map.len() > capacity {
+            // Evict the least-recently-used entry. A linear scan is fine:
+            // capacity is small and eviction is rare relative to lookups.
+            if let Some(victim) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, t))| *t)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&victim);
+            }
+        }
+    }
+}
+
+/// Marker for one in-progress estimation (single-flight).
+struct Inflight {
+    done: StdMutex<bool>,
+    cv: Condvar,
+}
+
+impl Inflight {
+    fn new() -> Self {
+        Inflight {
+            done: StdMutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn finish(&self) {
+        *self.done.lock().unwrap() = true;
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) {
+        let mut done = self.done.lock().unwrap();
+        while !*done {
+            done = self.cv.wait(done).unwrap();
+        }
+    }
+}
+
+/// Service counters, all monotonic.
+#[derive(Default)]
+pub struct Metrics {
+    /// Predictions answered from the LRU cache.
+    pub hits: AtomicU64,
+    /// Predictions that had to be computed from a parameter set.
+    pub misses: AtomicU64,
+    /// Estimation pipeline runs (cold fingerprints).
+    pub estimations: AtomicU64,
+    /// Parameter sets loaded from disk instead of estimated.
+    pub registry_loads: AtomicU64,
+    predict_count: AtomicU64,
+    predict_ns_total: AtomicU64,
+    predict_ns_max: AtomicU64,
+}
+
+/// A point-in-time snapshot of [`Metrics`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MetricsSnapshot {
+    pub hits: u64,
+    pub misses: u64,
+    pub estimations: u64,
+    pub registry_loads: u64,
+    pub predict_count: u64,
+    /// Mean prediction latency, nanoseconds.
+    pub predict_ns_mean: f64,
+    /// Worst prediction latency, nanoseconds.
+    pub predict_ns_max: u64,
+}
+
+impl Metrics {
+    fn observe_latency(&self, ns: u64) {
+        self.predict_count.fetch_add(1, Ordering::Relaxed);
+        self.predict_ns_total.fetch_add(ns, Ordering::Relaxed);
+        self.predict_ns_max.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let count = self.predict_count.load(Ordering::Relaxed);
+        let total = self.predict_ns_total.load(Ordering::Relaxed);
+        MetricsSnapshot {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            estimations: self.estimations.load(Ordering::Relaxed),
+            registry_loads: self.registry_loads.load(Ordering::Relaxed),
+            predict_count: count,
+            predict_ns_mean: if count == 0 {
+                0.0
+            } else {
+                total as f64 / count as f64
+            },
+            predict_ns_max: self.predict_ns_max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Tunables for [`Service`].
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Estimation pipeline settings used for cold fingerprints.
+    pub est: EstimateConfig,
+    /// Prediction-cache capacity per shard.
+    pub cache_capacity_per_shard: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            est: EstimateConfig::with_seed(0x5e71),
+            cache_capacity_per_shard: 4096,
+        }
+    }
+}
+
+const SHARDS: usize = 16;
+
+/// The concurrent prediction service.
+pub struct Service {
+    registry: Registry,
+    cfg: ServiceConfig,
+    params: RwLock<HashMap<String, Arc<ParamSet>>>,
+    inflight: Mutex<HashMap<String, Arc<Inflight>>>,
+    shards: Vec<Mutex<Shard>>,
+    metrics: Metrics,
+}
+
+impl Service {
+    /// Creates a service over the registry at `store_dir`.
+    pub fn open(store_dir: impl Into<std::path::PathBuf>, cfg: ServiceConfig) -> Result<Self> {
+        Ok(Service {
+            registry: Registry::open(store_dir)?,
+            cfg,
+            params: RwLock::new(HashMap::new()),
+            inflight: Mutex::new(HashMap::new()),
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::new())).collect(),
+            metrics: Metrics::default(),
+        })
+    }
+
+    /// The service counters.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The underlying registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    fn shard_of(&self, key: &CacheKey) -> &Mutex<Shard> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % SHARDS]
+    }
+
+    /// Resolves the parameter set for a cluster, estimating at most once
+    /// per fingerprint across all threads (single-flight).
+    pub fn param_set(&self, cluster: &ClusterRef) -> Result<Arc<ParamSet>> {
+        let fp = cluster.resolve_fingerprint();
+        loop {
+            if let Some(ps) = self.params.read().get(&fp) {
+                return Ok(Arc::clone(ps));
+            }
+            // Not in memory: try disk before estimating.
+            if let Some(ps) = self.registry.load(&fp)? {
+                self.metrics.registry_loads.fetch_add(1, Ordering::Relaxed);
+                let ps = Arc::new(ps);
+                self.params.write().insert(fp.clone(), Arc::clone(&ps));
+                return Ok(ps);
+            }
+            let Some(config) = cluster.config() else {
+                return Err(ServeError::UnknownFingerprint(fp));
+            };
+            // Single-flight: first thread in estimates, the rest wait and
+            // re-check the in-memory map.
+            let (state, leader) = {
+                let mut inflight = self.inflight.lock();
+                match inflight.get(&fp) {
+                    Some(s) => (Arc::clone(s), false),
+                    None => {
+                        let s = Arc::new(Inflight::new());
+                        inflight.insert(fp.clone(), Arc::clone(&s));
+                        (s, true)
+                    }
+                }
+            };
+            if !leader {
+                state.wait();
+                continue;
+            }
+            self.metrics.estimations.fetch_add(1, Ordering::Relaxed);
+            let outcome = ParamSet::estimate(config, &self.cfg.est);
+            if let Ok(ps) = &outcome {
+                // Persist before publishing so a restarted service finds it.
+                self.registry.store(ps)?;
+                self.params.write().insert(fp.clone(), Arc::new(ps.clone()));
+            }
+            self.inflight.lock().remove(&fp);
+            state.finish();
+            return outcome.map(Arc::new);
+        }
+    }
+
+    /// Predicts one collective execution time.
+    pub fn predict(&self, cluster: &ClusterRef, q: &Query) -> Result<Prediction> {
+        let start = Instant::now();
+        let out = self.predict_inner(cluster, q);
+        self.metrics
+            .observe_latency(start.elapsed().as_nanos() as u64);
+        out
+    }
+
+    fn predict_inner(&self, cluster: &ClusterRef, q: &Query) -> Result<Prediction> {
+        let fp = cluster.resolve_fingerprint();
+        let n = match cluster.config() {
+            Some(c) => c.spec.n_nodes(),
+            None => self.params.read().get(&fp).map(|p| p.n()).unwrap_or(0),
+        };
+        let mut key = CacheKey {
+            fp: fp.clone(),
+            model: q.model,
+            collective: q.collective,
+            algorithm: q.algorithm,
+            n,
+            root: q.root,
+            m: q.m,
+        };
+        if let Some(seconds) = self.shard_of(&key).lock().get(&key) {
+            self.metrics.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Prediction {
+                seconds,
+                fingerprint: fp,
+                cached: true,
+            });
+        }
+        self.metrics.misses.fetch_add(1, Ordering::Relaxed);
+        let ps = self.param_set(cluster)?;
+        let seconds = compute(&ps, q)?;
+        key.n = ps.n();
+        self.shard_of(&key)
+            .lock()
+            .put(key, seconds, self.cfg.cache_capacity_per_shard);
+        Ok(Prediction {
+            seconds,
+            fingerprint: fp,
+            cached: false,
+        })
+    }
+
+    /// Answers a batch of queries against one cluster. Each query is
+    /// answered independently; one bad query does not fail the batch.
+    pub fn predict_batch(
+        &self,
+        cluster: &ClusterRef,
+        queries: &[Query],
+    ) -> Vec<Result<Prediction>> {
+        queries.iter().map(|q| self.predict(cluster, q)).collect()
+    }
+
+    /// Builds a model-tuned collective dispatcher from this cluster's
+    /// registered parameters, estimating them first only if the cluster
+    /// has never been seen (by this service or any prior one sharing the
+    /// store).
+    pub fn tuned(&self, cluster: &ClusterRef) -> Result<TunedCollectives> {
+        Ok(TunedCollectives::new(self.param_set(cluster)?.lmo.clone()))
+    }
+
+    /// Model-based algorithm selection: predicts both algorithms for the
+    /// collective and returns (choice, linear seconds, binomial seconds).
+    pub fn select(
+        &self,
+        cluster: &ClusterRef,
+        model: ModelKind,
+        collective: Collective,
+        m: Bytes,
+        root: u32,
+    ) -> Result<(Algorithm, f64, f64)> {
+        let linear = self
+            .predict(
+                cluster,
+                &Query {
+                    model,
+                    collective,
+                    algorithm: Algorithm::Linear,
+                    m,
+                    root,
+                },
+            )?
+            .seconds;
+        let binomial = self
+            .predict(
+                cluster,
+                &Query {
+                    model,
+                    collective,
+                    algorithm: Algorithm::Binomial,
+                    m,
+                    root,
+                },
+            )?
+            .seconds;
+        let choice = if linear <= binomial {
+            Algorithm::Linear
+        } else {
+            Algorithm::Binomial
+        };
+        Ok((choice, linear, binomial))
+    }
+}
+
+/// Computes a prediction from an estimated parameter set. Pure — all
+/// caching and estimation happen above this.
+pub fn compute(ps: &ParamSet, q: &Query) -> Result<f64> {
+    let n = ps.n();
+    if q.root as usize >= n {
+        return Err(ServeError::Protocol(format!(
+            "root {} out of range for {n} nodes",
+            q.root
+        )));
+    }
+    let root = Rank(q.root);
+    let m = q.m;
+    let tree = || BinomialTree::new(n, root);
+    let seconds = match (q.model, q.collective, q.algorithm) {
+        (ModelKind::Lmo, Collective::Scatter, Algorithm::Linear) => ps.lmo.linear_scatter(root, m),
+        (ModelKind::Lmo, Collective::Scatter, Algorithm::Binomial) => {
+            ps.lmo.binomial_scatter(&tree(), m)
+        }
+        (ModelKind::Lmo, Collective::Gather, Algorithm::Linear) => {
+            ps.lmo.linear_gather(root, m).expected
+        }
+        (ModelKind::Lmo, Collective::Gather, Algorithm::Binomial) => {
+            // Mirror image of binomial scatter in the LMO formulation.
+            ps.lmo.binomial_scatter(&tree(), m)
+        }
+        (ModelKind::Lmo, Collective::Bcast, Algorithm::Linear) => ps.lmo.linear_scatter(root, m),
+        (ModelKind::Lmo, Collective::Bcast, Algorithm::Binomial) => {
+            binomial_recursive_full(&ps.lmo, &tree(), m)
+        }
+        (ModelKind::Hockney, _, Algorithm::Linear) => ps.hockney.linear_serial(root, m),
+        (ModelKind::Hockney, _, Algorithm::Binomial) => binomial_recursive(&ps.hockney, &tree(), m),
+        (ModelKind::Loggp, _, Algorithm::Linear) => ps.loggp.linear(m),
+        (ModelKind::Loggp, _, Algorithm::Binomial) => binomial_recursive(&ps.loggp, &tree(), m),
+        (ModelKind::Plogp, _, Algorithm::Linear) => ps.plogp.linear(m),
+        (ModelKind::Plogp, _, Algorithm::Binomial) => binomial_recursive(&ps.plogp, &tree(), m),
+    };
+    Ok(seconds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpm_cluster::ClusterSpec;
+    use std::sync::Barrier;
+
+    fn test_service(tag: &str) -> (std::path::PathBuf, Service) {
+        let dir = std::env::temp_dir().join(format!("cpm-svc-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = ServiceConfig {
+            est: EstimateConfig {
+                reps: 1,
+                ..EstimateConfig::with_seed(11)
+            },
+            ..ServiceConfig::default()
+        };
+        let service = Service::open(&dir, cfg).unwrap();
+        (dir, service)
+    }
+
+    fn small_cluster() -> ClusterRef {
+        ClusterRef::Config(Box::new(ClusterConfig::ideal(
+            ClusterSpec::homogeneous(4),
+            11,
+        )))
+    }
+
+    #[test]
+    fn concurrent_cold_queries_estimate_exactly_once() {
+        let (dir, service) = test_service("flight");
+        let cluster = small_cluster();
+        let q = Query {
+            model: ModelKind::Lmo,
+            collective: Collective::Scatter,
+            algorithm: Algorithm::Binomial,
+            m: 4096,
+            root: 0,
+        };
+        const THREADS: usize = 8;
+        let barrier = Barrier::new(THREADS);
+        let seconds: Vec<f64> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|_| {
+                    s.spawn(|| {
+                        barrier.wait();
+                        service.predict(&cluster, &q).unwrap().seconds
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let snap = service.metrics().snapshot();
+        assert_eq!(snap.estimations, 1, "single-flight must dedup estimation");
+        assert_eq!(snap.predict_count, THREADS as u64);
+        assert!(seconds[0] > 0.0);
+        for s in &seconds {
+            assert_eq!(*s, seconds[0], "all threads must see identical predictions");
+        }
+        // The one estimation was persisted.
+        assert_eq!(service.registry().len(), 1);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn repeat_queries_hit_the_cache() {
+        let (dir, service) = test_service("cache");
+        let cluster = small_cluster();
+        let q = Query {
+            model: ModelKind::Hockney,
+            collective: Collective::Gather,
+            algorithm: Algorithm::Linear,
+            m: 1024,
+            root: 0,
+        };
+        let cold = service.predict(&cluster, &q).unwrap();
+        assert!(!cold.cached);
+        let warm = service.predict(&cluster, &q).unwrap();
+        assert!(warm.cached);
+        assert_eq!(warm.seconds, cold.seconds);
+        let snap = service.metrics().snapshot();
+        assert_eq!((snap.hits, snap.misses, snap.estimations), (1, 1, 1));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn batch_answers_every_query_and_select_agrees_with_predict() {
+        let (dir, service) = test_service("batch");
+        let cluster = small_cluster();
+        let queries: Vec<Query> = [Algorithm::Linear, Algorithm::Binomial]
+            .into_iter()
+            .map(|algorithm| Query {
+                model: ModelKind::Lmo,
+                collective: Collective::Scatter,
+                algorithm,
+                m: 64 * 1024,
+                root: 0,
+            })
+            .collect();
+        let batch: Vec<f64> = service
+            .predict_batch(&cluster, &queries)
+            .into_iter()
+            .map(|r| r.unwrap().seconds)
+            .collect();
+        let (choice, linear, binomial) = service
+            .select(&cluster, ModelKind::Lmo, Collective::Scatter, 64 * 1024, 0)
+            .unwrap();
+        assert_eq!(batch, vec![linear, binomial]);
+        let expected = if linear <= binomial {
+            Algorithm::Linear
+        } else {
+            Algorithm::Binomial
+        };
+        assert_eq!(choice, expected);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn unknown_fingerprint_without_config_is_an_error() {
+        let (dir, service) = test_service("nofp");
+        let cluster = ClusterRef::Fingerprint("deadbeef".into());
+        let q = Query {
+            model: ModelKind::Lmo,
+            collective: Collective::Scatter,
+            algorithm: Algorithm::Linear,
+            m: 1024,
+            root: 0,
+        };
+        let err = service.predict(&cluster, &q).unwrap_err();
+        assert!(matches!(err, ServeError::UnknownFingerprint(_)), "{err}");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn out_of_range_root_is_rejected() {
+        let (dir, service) = test_service("root");
+        let cluster = small_cluster();
+        let q = Query {
+            model: ModelKind::Lmo,
+            collective: Collective::Scatter,
+            algorithm: Algorithm::Linear,
+            m: 1024,
+            root: 99,
+        };
+        let err = service.predict(&cluster, &q).unwrap_err();
+        assert!(matches!(err, ServeError::Protocol(_)), "{err}");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn tuned_dispatcher_sources_registry_parameters() {
+        let (dir, service) = test_service("tuned");
+        let cluster = small_cluster();
+        let t = service.tuned(&cluster).unwrap();
+        assert_eq!(t.model().c.len(), 4);
+        // Built from the registered parameters, not a fresh estimation run.
+        let ps = service.param_set(&cluster).unwrap();
+        assert_eq!(t.model(), &ps.lmo);
+        assert_eq!(service.metrics().snapshot().estimations, 1);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,165 @@
+//! End-to-end tests of the JSON-lines TCP server: cold estimation on first
+//! contact, registry persistence across a server restart, warm service
+//! without re-estimation, and per-connection error isolation.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+
+use cpm_cluster::{ClusterConfig, ClusterSpec};
+use cpm_estimate::EstimateConfig;
+use cpm_serve::{Server, ServerHandle, Service, ServiceConfig};
+use serde_json::Value;
+
+fn start_server(store: &std::path::Path) -> ServerHandle {
+    let cfg = ServiceConfig {
+        est: EstimateConfig {
+            reps: 1,
+            ..EstimateConfig::with_seed(23)
+        },
+        ..ServiceConfig::default()
+    };
+    let service = Arc::new(Service::open(store, cfg).unwrap());
+    Server::bind(service, "127.0.0.1:0").unwrap().spawn()
+}
+
+/// Sends one request line and returns the parsed response.
+fn request(addr: SocketAddr, line: &str) -> Value {
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    writer.write_all(line.as_bytes()).unwrap();
+    writer.write_all(b"\n").unwrap();
+    writer.flush().unwrap();
+    let mut response = String::new();
+    BufReader::new(stream).read_line(&mut response).unwrap();
+    serde_json::from_str(response.trim_end()).unwrap()
+}
+
+fn ok(v: &Value) -> bool {
+    matches!(v.get("ok"), Some(Value::Bool(true)))
+}
+
+fn predict_line(config_json: &str) -> String {
+    format!(
+        "{{\"verb\":\"predict\",\"model\":\"lmo\",\"collective\":\"scatter\",\
+         \"algorithm\":\"binomial\",\"m\":65536,\"config\":{config_json}}}"
+    )
+}
+
+#[test]
+fn cold_estimation_persists_and_survives_restart() {
+    let store = std::env::temp_dir().join(format!("cpm-serve-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store);
+
+    let config = ClusterConfig::ideal(ClusterSpec::homogeneous(4), 11);
+    // Compact form: the protocol is line-framed, so no embedded newlines.
+    let config_json = serde_json::to_string(&config).unwrap();
+
+    // --- Session 1: cold predict estimates and writes the registry. ---
+    let mut server = start_server(&store);
+    let addr = server.addr();
+
+    let cold = request(addr, &predict_line(&config_json));
+    assert!(ok(&cold), "{cold:?}");
+    assert_eq!(cold.get("cached"), Some(&Value::Bool(false)));
+    let cold_seconds = cold.get("seconds").and_then(Value::as_f64).unwrap();
+    assert!(cold_seconds > 0.0);
+    let fp = cold
+        .get("fingerprint")
+        .and_then(Value::as_str)
+        .unwrap()
+        .to_string();
+
+    let stats = request(addr, "{\"verb\":\"stats\"}");
+    assert!(ok(&stats), "{stats:?}");
+    assert_eq!(stats.get("estimations").and_then(Value::as_u64), Some(1));
+    assert_eq!(stats.get("stored").and_then(Value::as_u64), Some(1));
+
+    // A malformed line only poisons its own response, not the server.
+    let err = request(addr, "this is not json");
+    assert_eq!(err.get("ok"), Some(&Value::Bool(false)));
+    assert!(err.get("error").and_then(Value::as_str).is_some());
+    assert!(ok(&request(addr, "{\"verb\":\"stats\"}")));
+
+    server.shutdown();
+
+    // --- Session 2: a fresh server over the same store serves warm. ---
+    let mut server = start_server(&store);
+    let addr = server.addr();
+
+    // The fingerprint alone is enough now — no embedded config needed.
+    let by_fp = request(
+        addr,
+        &format!(
+            "{{\"verb\":\"predict\",\"model\":\"lmo\",\"collective\":\"scatter\",\
+             \"algorithm\":\"binomial\",\"m\":65536,\"fingerprint\":\"{fp}\"}}"
+        ),
+    );
+    assert!(ok(&by_fp), "{by_fp:?}");
+    assert_eq!(
+        by_fp.get("seconds").and_then(Value::as_f64),
+        Some(cold_seconds)
+    );
+
+    let warm = request(addr, &predict_line(&config_json));
+    assert!(ok(&warm), "{warm:?}");
+    assert_eq!(
+        warm.get("seconds").and_then(Value::as_f64),
+        Some(cold_seconds)
+    );
+    assert_eq!(warm.get("cached"), Some(&Value::Bool(true)));
+
+    let stats = request(addr, "{\"verb\":\"stats\"}");
+    assert_eq!(
+        stats.get("estimations").and_then(Value::as_u64),
+        Some(0),
+        "restart must not re-estimate: {stats:?}"
+    );
+    assert_eq!(stats.get("registry_loads").and_then(Value::as_u64), Some(1));
+
+    // The shutdown verb stops the server; join() returns.
+    let bye = request(addr, "{\"verb\":\"shutdown\"}");
+    assert!(ok(&bye), "{bye:?}");
+    server.join();
+
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+#[test]
+fn select_and_estimate_verbs_work_over_the_wire() {
+    let store = std::env::temp_dir().join(format!("cpm-serve-verbs-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store);
+    let config_json =
+        serde_json::to_string(&ClusterConfig::ideal(ClusterSpec::homogeneous(4), 5)).unwrap();
+
+    let mut server = start_server(&store);
+    let addr = server.addr();
+
+    let est = request(
+        addr,
+        &format!("{{\"verb\":\"estimate\",\"config\":{config_json}}}"),
+    );
+    assert!(ok(&est), "{est:?}");
+    assert_eq!(est.get("n").and_then(Value::as_u64), Some(4));
+    assert!(est.get("runs").and_then(Value::as_u64).unwrap() > 0);
+
+    let sel = request(
+        addr,
+        &format!(
+            "{{\"verb\":\"select\",\"model\":\"lmo\",\"collective\":\"scatter\",\
+             \"m\":256,\"config\":{config_json}}}"
+        ),
+    );
+    assert!(ok(&sel), "{sel:?}");
+    let lin = sel.get("linear_seconds").and_then(Value::as_f64).unwrap();
+    let bin = sel.get("binomial_seconds").and_then(Value::as_f64).unwrap();
+    let choice = sel.get("algorithm").and_then(Value::as_str).unwrap();
+    assert_eq!(choice, if lin <= bin { "linear" } else { "binomial" });
+
+    // The estimate verb did the only estimation; select reused it.
+    let stats = request(addr, "{\"verb\":\"stats\"}");
+    assert_eq!(stats.get("estimations").and_then(Value::as_u64), Some(1));
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&store);
+}

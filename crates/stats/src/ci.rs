@@ -100,7 +100,12 @@ impl Default for AdaptiveBenchmark {
     /// The paper's setting: 95 % confidence, 2.5 % relative error, at least
     /// 3 and at most 100 repetitions.
     fn default() -> Self {
-        AdaptiveBenchmark { confidence: 0.95, rel_err: 0.025, min_reps: 3, max_reps: 100 }
+        AdaptiveBenchmark {
+            confidence: 0.95,
+            rel_err: 0.025,
+            min_reps: 3,
+            max_reps: 100,
+        }
     }
 }
 
@@ -117,7 +122,10 @@ impl AdaptiveBenchmark {
     /// Panics if `min_reps` is zero or `max_reps < min_reps`.
     pub fn run(&self, mut measure: impl FnMut(usize) -> f64) -> BenchResult {
         assert!(self.min_reps >= 1, "need at least one repetition");
-        assert!(self.max_reps >= self.min_reps, "max_reps must be ≥ min_reps");
+        assert!(
+            self.max_reps >= self.min_reps,
+            "max_reps must be ≥ min_reps"
+        );
         let mut summary = Summary::new();
         let mut sample = Vec::with_capacity(self.min_reps);
         let mut converged = false;
@@ -137,7 +145,12 @@ impl AdaptiveBenchmark {
                 break;
             }
         }
-        BenchResult { mean: summary.mean(), ci, sample, converged }
+        BenchResult {
+            mean: summary.mean(),
+            ci,
+            sample,
+            converged,
+        }
     }
 }
 
@@ -175,7 +188,10 @@ mod tests {
     fn noisy_measurements_take_more_reps_than_clean() {
         // Deterministic "noise": alternate around the mean with decreasing
         // influence as repetitions accumulate.
-        let b = AdaptiveBenchmark { max_reps: 1000, ..AdaptiveBenchmark::paper() };
+        let b = AdaptiveBenchmark {
+            max_reps: 1000,
+            ..AdaptiveBenchmark::paper()
+        };
         let noisy = b.run(|i| 1.0 + if i % 2 == 0 { 0.2 } else { -0.2 });
         let clean = b.run(|_| 1.0);
         assert!(noisy.reps() > clean.reps());
@@ -198,15 +214,26 @@ mod tests {
 
     #[test]
     fn zero_mean_relative_error() {
-        let ci = ConfidenceInterval { mean: 0.0, half_width: 0.0, confidence: 0.95 };
+        let ci = ConfidenceInterval {
+            mean: 0.0,
+            half_width: 0.0,
+            confidence: 0.95,
+        };
         assert_eq!(ci.relative_error(), 0.0);
-        let ci = ConfidenceInterval { mean: 0.0, half_width: 0.1, confidence: 0.95 };
+        let ci = ConfidenceInterval {
+            mean: 0.0,
+            half_width: 0.1,
+            confidence: 0.95,
+        };
         assert_eq!(ci.relative_error(), f64::INFINITY);
     }
 
     #[test]
     fn respects_min_reps_even_when_tight() {
-        let b = AdaptiveBenchmark { min_reps: 7, ..AdaptiveBenchmark::paper() };
+        let b = AdaptiveBenchmark {
+            min_reps: 7,
+            ..AdaptiveBenchmark::paper()
+        };
         let r = b.run(|_| 3.0);
         assert_eq!(r.reps(), 7);
     }

@@ -50,11 +50,15 @@ impl WelchTest {
             } else {
                 f64::NEG_INFINITY
             };
-            return Some(WelchTest { t, df: na + nb - 2.0, mean_diff });
+            return Some(WelchTest {
+                t,
+                df: na + nb - 2.0,
+                mean_diff,
+            });
         }
         let t = mean_diff / pooled.sqrt();
-        let df = pooled * pooled
-            / (va * va / (na - 1.0) + vb * vb / (nb - 1.0)).max(f64::MIN_POSITIVE);
+        let df =
+            pooled * pooled / (va * va / (na - 1.0) + vb * vb / (nb - 1.0)).max(f64::MIN_POSITIVE);
         Some(WelchTest { t, df, mean_diff })
     }
 
@@ -143,8 +147,14 @@ impl Histogram {
         for (k, &c) in self.counts.iter().enumerate() {
             let center = self.lo + (k as f64 + 0.5) * bin_width;
             let bar = "#".repeat(c * width / max);
-            out.push_str(&format!("{:>12} |{:<w$}| {}
-", fmt(center), bar, c, w = width));
+            out.push_str(&format!(
+                "{:>12} |{:<w$}| {}
+",
+                fmt(center),
+                bar,
+                c,
+                w = width
+            ));
         }
         out
     }

@@ -59,7 +59,11 @@ pub struct DetectionConfig {
 
 impl Default for DetectionConfig {
     fn default() -> Self {
-        DetectionConfig { seed_points: 3, rel_tol: 0.25, abs_tol: 200e-6 }
+        DetectionConfig {
+            seed_points: 3,
+            rel_tol: 0.25,
+            abs_tol: 200e-6,
+        }
     }
 }
 
@@ -126,7 +130,12 @@ pub fn detect_thresholds(
 
     let m1 = sorted[lo_end - 1].0;
     let m2 = sorted[hi_start.min(sorted.len() - 1)].0;
-    Some(ThresholdDetection { m1, m2, low_fit, high_fit })
+    Some(ThresholdDetection {
+        m1,
+        m2,
+        low_fit,
+        high_fit,
+    })
 }
 
 fn fit_region(points: &[(Bytes, f64)]) -> Option<LinearFit> {
@@ -163,7 +172,11 @@ pub fn escalation_profile(
         }
         per_size.push((*m, esc_here as f64 / obs.len().max(1) as f64));
     }
-    let probability = if total == 0 { 0.0 } else { escalated as f64 / total as f64 };
+    let probability = if total == 0 {
+        0.0
+    } else {
+        escalated as f64 / total as f64
+    };
     let mean_magnitude = if magnitudes.is_empty() {
         0.0
     } else {
@@ -187,17 +200,17 @@ mod tests {
     /// Builds a synthetic gather sweep: linear below m1 with (a, b), linear
     /// above m2 with (a2, b2), escalations of `esc` seconds on half the
     /// samples in between.
-    fn synthetic(
-        m1: Bytes,
-        m2: Bytes,
-        esc: f64,
-    ) -> Vec<SizeSamples> {
+    fn synthetic(m1: Bytes, m2: Bytes, esc: f64) -> Vec<SizeSamples> {
         let (a, b) = (1e-3, 1e-7);
         let (a2, b2) = (2e-3, 3e-7);
         let mut out = Vec::new();
         let mut m = 1024u64;
         while m <= 200 * 1024 {
-            let base = if m >= m2 { a2 + b2 * m as f64 } else { a + b * m as f64 };
+            let base = if m >= m2 {
+                a2 + b2 * m as f64
+            } else {
+                a + b * m as f64
+            };
             let samples: Vec<f64> = (0..8)
                 .map(|i| {
                     if m > m1 && m < m2 && i % 2 == 0 {
@@ -220,7 +233,11 @@ mod tests {
         // m1 should be at or just below the true threshold; m2 at or just
         // above (detection is quantized to the sweep grid).
         assert!(det.m1 >= 12 * 1024 && det.m1 <= 20 * 1024, "m1={}", det.m1);
-        assert!(det.m2 >= 124 * 1024 && det.m2 <= 136 * 1024, "m2={}", det.m2);
+        assert!(
+            det.m2 >= 124 * 1024 && det.m2 <= 136 * 1024,
+            "m2={}",
+            det.m2
+        );
         // Slopes recovered.
         assert!((det.low_fit.slope - 1e-7).abs() < 2e-8);
         assert!((det.high_fit.slope - 3e-7).abs() < 6e-8);
@@ -232,9 +249,21 @@ mod tests {
         let det = detect_thresholds(&data, &DetectionConfig::default()).unwrap();
         let prof = escalation_profile(&data, &det, &DetectionConfig::default());
         // Half the medium samples escalate by 0.2 s.
-        assert!((prof.probability - 0.5).abs() < 0.15, "p={}", prof.probability);
-        assert!((prof.mean_magnitude - 0.2).abs() < 0.05, "mean={}", prof.mean_magnitude);
-        assert!((prof.modal_magnitude - 0.2).abs() < 0.05, "mode={}", prof.modal_magnitude);
+        assert!(
+            (prof.probability - 0.5).abs() < 0.15,
+            "p={}",
+            prof.probability
+        );
+        assert!(
+            (prof.mean_magnitude - 0.2).abs() < 0.05,
+            "mean={}",
+            prof.mean_magnitude
+        );
+        assert!(
+            (prof.modal_magnitude - 0.2).abs() < 0.05,
+            "mode={}",
+            prof.modal_magnitude
+        );
         assert!(prof.max_magnitude <= 0.25);
         assert!(!prof.per_size.is_empty());
     }
@@ -250,15 +279,19 @@ mod tests {
             })
             .collect();
         let det = detect_thresholds(&data, &DetectionConfig::default()).unwrap();
-        assert!(det.m1 >= det.m2 || det.m2 - det.m1 <= 4096 * 2, "m1={} m2={}", det.m1, det.m2);
+        assert!(
+            det.m1 >= det.m2 || det.m2 - det.m1 <= 4096 * 2,
+            "m1={} m2={}",
+            det.m1,
+            det.m2
+        );
         let prof = escalation_profile(&data, &det, &DetectionConfig::default());
         assert_eq!(prof.probability, 0.0);
     }
 
     #[test]
     fn too_few_sizes_rejected() {
-        let data: Vec<SizeSamples> =
-            vec![(1024, vec![1.0]), (2048, vec![2.0]), (4096, vec![3.0])];
+        let data: Vec<SizeSamples> = vec![(1024, vec![1.0]), (2048, vec![2.0]), (4096, vec![3.0])];
         assert!(detect_thresholds(&data, &DetectionConfig::default()).is_none());
     }
 

@@ -24,7 +24,10 @@ impl PiecewiseLinear {
     /// # Panics
     /// Panics when `knots` is empty or contains duplicate `x` values.
     pub fn new(mut knots: Vec<(f64, f64)>) -> Self {
-        assert!(!knots.is_empty(), "a piecewise function needs at least one knot");
+        assert!(
+            !knots.is_empty(),
+            "a piecewise function needs at least one knot"
+        );
         knots.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite knots"));
         for w in knots.windows(2) {
             assert!(w[0].0 != w[1].0, "duplicate knot at x={}", w[0].0);
@@ -34,7 +37,9 @@ impl PiecewiseLinear {
 
     /// A constant function.
     pub fn constant(y: f64) -> Self {
-        PiecewiseLinear { knots: vec![(0.0, y)] }
+        PiecewiseLinear {
+            knots: vec![(0.0, y)],
+        }
     }
 
     /// Samples `f` at the given `x` values.
@@ -49,7 +54,10 @@ impl PiecewiseLinear {
 
     /// Inserts (or replaces) a knot.
     pub fn insert(&mut self, x: f64, y: f64) {
-        match self.knots.binary_search_by(|k| k.0.partial_cmp(&x).expect("finite")) {
+        match self
+            .knots
+            .binary_search_by(|k| k.0.partial_cmp(&x).expect("finite"))
+        {
             Ok(i) => self.knots[i] = (x, y),
             Err(i) => self.knots.insert(i, (x, y)),
         }

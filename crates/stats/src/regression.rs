@@ -43,8 +43,17 @@ impl LinearFit {
             .iter()
             .map(|p| (p.1 - (intercept + slope * p.0)).powi(2))
             .sum();
-        let r2 = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
-        Some(LinearFit { intercept, slope, r2, n })
+        let r2 = if ss_tot == 0.0 {
+            1.0
+        } else {
+            1.0 - ss_res / ss_tot
+        };
+        Some(LinearFit {
+            intercept,
+            slope,
+            r2,
+            n,
+        })
     }
 
     /// Evaluates the fitted line.
@@ -67,8 +76,7 @@ mod tests {
 
     #[test]
     fn exact_line_recovered() {
-        let pts: Vec<(f64, f64)> =
-            (0..10).map(|i| (i as f64, 3.0 + 2.0 * i as f64)).collect();
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 + 2.0 * i as f64)).collect();
         let f = LinearFit::fit(&pts).unwrap();
         assert!((f.intercept - 3.0).abs() < 1e-12);
         assert!((f.slope - 2.0).abs() < 1e-12);
@@ -88,7 +96,11 @@ mod tests {
             .collect();
         let f = LinearFit::fit(&pts).unwrap();
         assert!((f.slope - 0.25).abs() < 1e-3, "slope {}", f.slope);
-        assert!((f.intercept - 1.0).abs() < 0.15, "intercept {}", f.intercept);
+        assert!(
+            (f.intercept - 1.0).abs() < 0.15,
+            "intercept {}",
+            f.intercept
+        );
         assert!(f.r2 > 0.99);
     }
 

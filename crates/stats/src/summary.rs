@@ -22,7 +22,13 @@ pub struct Summary {
 impl Summary {
     /// An empty summary.
     pub fn new() -> Self {
-        Summary { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Summary {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Builds a summary from a slice.
@@ -100,9 +106,7 @@ impl Summary {
         let n = (self.n + other.n) as f64;
         let delta = other.mean - self.mean;
         let mean = self.mean + delta * other.n as f64 / n;
-        let m2 = self.m2
-            + other.m2
-            + delta * delta * self.n as f64 * other.n as f64 / n;
+        let m2 = self.m2 + other.m2 + delta * delta * self.n as f64 * other.n as f64 / n;
         self.n += other.n;
         self.mean = mean;
         self.m2 = m2;
@@ -121,7 +125,10 @@ pub fn quantile(values: &[f64], q: f64) -> Option<f64> {
     if values.is_empty() {
         return None;
     }
-    assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1], got {q}");
+    assert!(
+        (0.0..=1.0).contains(&q),
+        "quantile must be in [0,1], got {q}"
+    );
     let mut v: Vec<f64> = values.to_vec();
     v.sort_by(|a, b| a.partial_cmp(b).expect("finite observations"));
     let pos = q * (v.len() - 1) as f64;
@@ -144,8 +151,7 @@ mod tests {
         let xs = [1.0, 2.0, 3.0, 4.0, 5.0, 100.0];
         let s = Summary::of(&xs);
         let mean: f64 = xs.iter().sum::<f64>() / xs.len() as f64;
-        let var: f64 =
-            xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        let var: f64 = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
         assert!((s.mean() - mean).abs() < 1e-12);
         assert!((s.variance() - var).abs() < 1e-9);
         assert_eq!(s.min(), Some(1.0));

@@ -70,12 +70,7 @@ impl<'p> Comm<'p> {
     /// `MPI_Sendrecv`: posts a nonblocking send to `dst` and receives from
     /// `src` concurrently — both directions overlap, unlike a blocking
     /// send-then-recv sequence.
-    pub fn sendrecv_exchange(
-        &mut self,
-        dst: Rank,
-        send_bytes: Bytes,
-        src: Rank,
-    ) -> MsgView {
+    pub fn sendrecv_exchange(&mut self, dst: Rank, send_bytes: Bytes, src: Rank) -> MsgView {
         let req = self.proc_.isend(dst, send_bytes);
         let msg = self.proc_.recv(src);
         self.proc_.wait_send(req);

@@ -26,7 +26,11 @@ where
         let mut comm = Comm::new(p);
         f(&mut comm)
     })?;
-    Ok(RunOutput { results: out.results, end_time: out.end_time, stats: out.stats })
+    Ok(RunOutput {
+        results: out.results,
+        end_time: out.end_time,
+        stats: out.stats,
+    })
 }
 
 /// Runs a *timed experiment*: every rank executes `op` `reps` times with
@@ -36,12 +40,7 @@ where
 ///
 /// This is the paper's measurement scheme: collectives and communication
 /// experiments are timed on the sender/root side.
-pub fn run_timed<F>(
-    cluster: &SimCluster,
-    timed_rank: Rank,
-    reps: usize,
-    op: F,
-) -> Result<Vec<f64>>
+pub fn run_timed<F>(cluster: &SimCluster, timed_rank: Rank, reps: usize, op: F) -> Result<Vec<f64>>
 where
     F: Fn(&mut Comm<'_>, usize) + Sync,
 {

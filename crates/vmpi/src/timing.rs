@@ -93,9 +93,7 @@ mod tests {
     #[test]
     fn root_timing_underestimates_scatter() {
         let cl = cluster(4);
-        let root =
-            measure_with_method(&cl, TimingMethod::Root(Rank(0)), 2, scatterish)
-                .unwrap();
+        let root = measure_with_method(&cl, TimingMethod::Root(Rank(0)), 2, scatterish).unwrap();
         let max = measure_with_method(&cl, TimingMethod::Max, 2, scatterish).unwrap();
         assert!(
             root[0] < max[0],
@@ -111,8 +109,7 @@ mod tests {
         // measures exactly the completion time.
         let cl = cluster(4);
         let max = measure_with_method(&cl, TimingMethod::Max, 3, scatterish).unwrap();
-        let global =
-            measure_with_method(&cl, TimingMethod::Global, 3, scatterish).unwrap();
+        let global = measure_with_method(&cl, TimingMethod::Global, 3, scatterish).unwrap();
         for (a, b) in max.iter().zip(&global) {
             assert!((a - b).abs() < 1e-12, "max {a} vs global {b}");
         }
@@ -132,11 +129,9 @@ mod tests {
                 c.send(Rank(0), 1024);
             }
         };
-        let root =
-            measure_with_method(&cl, TimingMethod::Root(Rank(0)), 1, exchange).unwrap();
+        let root = measure_with_method(&cl, TimingMethod::Root(Rank(0)), 1, exchange).unwrap();
         let max = measure_with_method(&cl, TimingMethod::Max, 1, exchange).unwrap();
-        let global =
-            measure_with_method(&cl, TimingMethod::Global, 1, exchange).unwrap();
+        let global = measure_with_method(&cl, TimingMethod::Global, 1, exchange).unwrap();
         assert!((root[0] - max[0]).abs() < 1e-12);
         assert!((root[0] - global[0]).abs() < 1e-12);
     }

@@ -67,7 +67,9 @@ fn main() {
 
     // Estimate the LMO model, then optimize the binomial-tree mapping.
     println!("estimating the LMO model …");
-    let lmo = estimate_lmo(&sim, &EstimateConfig::with_seed(4)).expect("est").model;
+    let lmo = estimate_lmo(&sim, &EstimateConfig::with_seed(4))
+        .expect("est")
+        .model;
     let m = 16 * KIB;
     let root = Rank(0);
 
@@ -97,5 +99,8 @@ fn main() {
         obs_default * 1e3,
         obs_best * 1e3
     );
-    assert!(obs_best <= obs_default * 1.02, "optimization must not regress");
+    assert!(
+        obs_best <= obs_default * 1.02,
+        "optimization must not regress"
+    );
 }

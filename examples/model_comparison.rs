@@ -32,7 +32,10 @@ fn main() {
 
     // Point-to-point accuracy across heterogeneous pairs. The fast pair is
     // two 3.6 GHz Xeons; the slow pair involves the Celeron and an Opteron.
-    let pairs = [(Rank(0), Rank(1), "Xeon↔Xeon"), (Rank(8), Rank(12), "Opteron↔Celeron")];
+    let pairs = [
+        (Rank(0), Rank(1), "Xeon↔Xeon"),
+        (Rank(8), Rank(12), "Opteron↔Celeron"),
+    ];
     for (i, j, label) in pairs {
         println!("\npair {i}↔{j} ({label}):");
         println!(

@@ -37,13 +37,10 @@ fn main() {
         "M", "native mean", "optimized mean", "speedup"
     );
     for m in [16 * KIB, 32 * KIB, 48 * KIB] {
-        let native = Summary::of(
-            &measure::linear_gather_times(&sim, root, m, reps, m).expect("sim"),
-        )
-        .mean();
+        let native =
+            Summary::of(&measure::linear_gather_times(&sim, root, m, reps, m).expect("sim")).mean();
         let optimized = Summary::of(
-            &measure::optimized_gather_times(&sim, root, m, &emp, reps, m)
-                .expect("sim"),
+            &measure::optimized_gather_times(&sim, root, m, &emp, reps, m).expect("sim"),
         )
         .mean();
         println!(

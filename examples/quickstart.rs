@@ -36,7 +36,10 @@ fn main() {
 
     // Predict and observe linear scatter at a few sizes.
     let root = Rank(0);
-    println!("\n{:>10} {:>14} {:>14} {:>8}", "M", "predicted", "observed", "error");
+    println!(
+        "\n{:>10} {:>14} {:>14} {:>8}",
+        "M", "predicted", "observed", "error"
+    );
     for m in [4 * KIB, 16 * KIB, 64 * KIB, 128 * KIB] {
         let predicted = lmo.linear_scatter(root, m);
         let observed = measure::linear_scatter_once(&sim, root, m);

@@ -41,8 +41,7 @@ fn main() {
     let m = 32 * KIB;
     let reps = 16;
     let tuned_times =
-        collective_times(&sim, root, reps, 9, |c| tuned.gather(c, root, m))
-            .expect("sim");
+        collective_times(&sim, root, reps, 9, |c| tuned.gather(c, root, m)).expect("sim");
     let native = measure::linear_gather_times(&sim, root, m, reps, 9).expect("sim");
     println!(
         "\ngather at {}: native {:.1} ms → tuned {:.1} ms ({:.1}x)",

@@ -23,6 +23,8 @@
 //! * [`collectives`] — linear/binomial scatter and gather, the
 //!   LMO-optimized gather, and model-based algorithm selection.
 //! * [`stats`] — MPIBlib-style adaptive benchmarking statistics.
+//! * [`serve`] — a concurrent prediction service: fingerprinted parameter
+//!   registry, estimate-once caching, JSON-lines TCP server.
 //! * [`bench_harness`] — the experiment harness regenerating each figure/table.
 //!
 //! ## Quickstart
@@ -48,6 +50,7 @@ pub use cpm_core as core;
 pub use cpm_estimate as estimate;
 pub use cpm_models as models;
 pub use cpm_netsim as netsim;
+pub use cpm_serve as serve;
 pub use cpm_stats as stats;
 pub use cpm_vmpi as vmpi;
 

@@ -2,7 +2,8 @@
 //! [13] ("A Software Tool for Accurate Estimation of Parameters of
 //! Heterogeneous Communication Models"): estimate model parameters from
 //! communication experiments, persist them as JSON, and predict or observe
-//! collectives.
+//! collectives. `serve` and `query` expose the same pipeline as a
+//! long-running prediction service (see the `cpm-serve` crate).
 //!
 //! ```text
 //! cpm spec      [--profile lam|mpich|ideal] [--seed N] [--out config.json]
@@ -11,10 +12,15 @@
 //! cpm predict   --model-file model.json --op scatter|gather --m BYTES [--root R]
 //! cpm observe   --op scatter|gather|bcast|alltoall --m BYTES
 //!               [--alg linear|binomial] [--reps N] [--config FILE]
+//! cpm serve     [--store DIR] [--addr HOST:PORT] [--seed N] [--reps N]
+//! cpm query     [--addr HOST:PORT] [--verb predict|select|estimate|stats|shutdown] ...
 //! ```
 
 use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use cpm::cluster::ClusterConfig;
 use cpm::collectives::measure;
@@ -22,13 +28,14 @@ use cpm::core::units::{format_bytes, Bytes};
 use cpm::core::Rank;
 use cpm::estimate::lmo::estimate_lmo_full;
 use cpm::estimate::{
-    estimate_gather_empirics, estimate_hockney_het, estimate_loggp, estimate_plogp,
-    EstimateConfig,
+    estimate_gather_empirics, estimate_hockney_het, estimate_loggp, estimate_plogp, EstimateConfig,
 };
 use cpm::models::{HockneyHet, LmoExtended, LogGp, PLogP};
 use cpm::netsim::SimCluster;
+use cpm::serve::{Server, Service, ServiceConfig};
 use cpm::stats::Summary;
 use serde::{Deserialize, Serialize};
+use serde_json::Value;
 
 /// A persisted, tagged model file.
 #[derive(Serialize, Deserialize)]
@@ -40,32 +47,138 @@ enum ModelFile {
     Plogp(PLogP),
 }
 
+/// One subcommand: its allowed flags, its help text, its implementation.
+struct CommandSpec {
+    name: &'static str,
+    flags: &'static [&'static str],
+    help: &'static str,
+    run: fn(&Opts) -> Result<(), String>,
+}
+
+const COMMANDS: &[CommandSpec] = &[
+    CommandSpec {
+        name: "spec",
+        flags: &["profile", "seed", "out", "config"],
+        help: "\
+USAGE: cpm spec [--profile lam|mpich|ideal] [--seed N] [--config FILE] [--out config.json]
+
+Prints the cluster specification (the paper's 16-node heterogeneous cluster,
+Table I) and optionally writes the full ClusterConfig JSON to --out.",
+        run: cmd_spec,
+    },
+    CommandSpec {
+        name: "estimate",
+        flags: &["model", "profile", "seed", "config", "out"],
+        help: "\
+USAGE: cpm estimate --model lmo|hockney|loggp|plogp [--profile lam|mpich|ideal]
+                    [--seed N] [--config FILE] [--out model.json]
+
+Runs the model's communication experiments on the simulated cluster and
+prints the estimated parameters; --out persists them as a tagged JSON file
+for `cpm predict`.",
+        run: cmd_estimate,
+    },
+    CommandSpec {
+        name: "empirics",
+        flags: &["profile", "seed", "config"],
+        help: "\
+USAGE: cpm empirics [--profile lam|mpich|ideal] [--seed N] [--config FILE]
+
+Locates the empirical gather thresholds M1/M2 and escalation statistics
+(paper Section III-B).",
+        run: cmd_empirics,
+    },
+    CommandSpec {
+        name: "predict",
+        flags: &["model-file", "op", "m", "root", "alg"],
+        help: "\
+USAGE: cpm predict --model-file model.json --op scatter|gather --m BYTES
+                   [--root R] [--alg linear|binomial]
+
+Predicts a collective's execution time from a previously estimated model
+file (see `cpm estimate --out`).",
+        run: cmd_predict,
+    },
+    CommandSpec {
+        name: "observe",
+        flags: &["op", "m", "alg", "reps", "profile", "seed", "config"],
+        help: "\
+USAGE: cpm observe --op scatter|gather|bcast|alltoall --m BYTES
+                   [--alg linear|binomial] [--reps N]
+                   [--profile lam|mpich|ideal] [--seed N] [--config FILE]
+
+Executes the collective on the simulated cluster and reports timing
+statistics over --reps repetitions.",
+        run: cmd_observe,
+    },
+    CommandSpec {
+        name: "serve",
+        flags: &["store", "addr", "seed", "reps"],
+        help: "\
+USAGE: cpm serve [--store DIR] [--addr HOST:PORT] [--seed N] [--reps N]
+
+Runs the prediction service: a JSON-lines TCP server backed by a
+fingerprinted parameter registry at --store (default cpm-store). The first
+query for a cluster estimates all model parameters once and persists them;
+later queries — across restarts — are served from the store and an
+in-memory prediction cache. --addr defaults to 127.0.0.1:7971 (use port 0
+for an ephemeral port); --seed and --reps configure the estimation runs.
+Send the `shutdown` verb (`cpm query --verb shutdown`) to stop it.",
+        run: cmd_serve,
+    },
+    CommandSpec {
+        name: "query",
+        flags: &[
+            "addr",
+            "verb",
+            "model",
+            "collective",
+            "alg",
+            "m",
+            "root",
+            "config",
+            "fingerprint",
+        ],
+        help: "\
+USAGE: cpm query [--addr HOST:PORT] [--verb predict|select|estimate|stats|shutdown]
+                 [--model lmo|hockney|loggp|plogp] [--collective scatter|gather|bcast]
+                 [--alg linear|binomial] [--m BYTES] [--root R]
+                 [--config FILE | --fingerprint FP]
+
+Sends one request to a running `cpm serve` (default 127.0.0.1:7971) and
+prints the JSON response. predict/select/estimate identify the cluster by
+an embedded --config file or by --fingerprint; stats and shutdown need
+neither.",
+        run: cmd_query,
+    },
+];
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
         eprintln!("{USAGE}");
-        return ExitCode::FAILURE;
+        return ExitCode::from(2);
     };
-    let opts = match parse_opts(rest) {
+    if matches!(cmd.as_str(), "help" | "--help" | "-h") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let Some(spec) = COMMANDS.iter().find(|s| s.name == cmd.as_str()) else {
+        eprintln!("error: unknown command {cmd:?}\n{USAGE}");
+        return ExitCode::from(2);
+    };
+    if rest.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{}", spec.help);
+        return ExitCode::SUCCESS;
+    }
+    let opts = match parse_opts(rest, spec.flags) {
         Ok(o) => o,
         Err(e) => {
-            eprintln!("error: {e}\n{USAGE}");
-            return ExitCode::FAILURE;
+            eprintln!("error: {e}\n{}", spec.help);
+            return ExitCode::from(2);
         }
     };
-    let result = match cmd.as_str() {
-        "spec" => cmd_spec(&opts),
-        "estimate" => cmd_estimate(&opts),
-        "empirics" => cmd_empirics(&opts),
-        "predict" => cmd_predict(&opts),
-        "observe" => cmd_observe(&opts),
-        "help" | "--help" | "-h" => {
-            println!("{USAGE}");
-            Ok(())
-        }
-        other => Err(format!("unknown command {other:?}")),
-    };
-    match result {
+    match (spec.run)(&opts) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
@@ -85,6 +198,12 @@ USAGE:
                 [--root R] [--alg linear|binomial]
   cpm observe   --op scatter|gather|bcast|alltoall --m BYTES
                 [--alg linear|binomial] [--reps N] [--config FILE]
+  cpm serve     [--store DIR] [--addr HOST:PORT] [--seed N] [--reps N]
+  cpm query     [--addr HOST:PORT] [--verb predict|select|estimate|stats|shutdown]
+                [--model M] [--collective C] [--alg A] [--m BYTES] [--root R]
+                [--config FILE | --fingerprint FP]
+
+Run `cpm <command> --help` for per-command details.
 
 Cluster selection (spec/estimate/empirics/observe): --config FILE loads a
 ClusterConfig JSON; otherwise --profile (default lam) and --seed (default
@@ -92,26 +211,31 @@ ClusterConfig JSON; otherwise --profile (default lam) and --seed (default
 
 type Opts = HashMap<String, String>;
 
-fn parse_opts(args: &[String]) -> Result<Opts, String> {
+/// Parses `--flag value` pairs, rejecting flags outside `known`.
+fn parse_opts(args: &[String], known: &[&str]) -> Result<Opts, String> {
     let mut out = HashMap::new();
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let Some(name) = flag.strip_prefix("--") else {
             return Err(format!("expected --flag, got {flag:?}"));
         };
+        if !known.contains(&name) {
+            return Err(format!("unknown flag --{name}"));
+        }
         let value = it
             .next()
             .ok_or_else(|| format!("--{name} needs a value"))?
             .clone();
-        out.insert(name.to_string(), value);
+        if out.insert(name.to_string(), value).is_some() {
+            return Err(format!("--{name} given twice"));
+        }
     }
     Ok(out)
 }
 
 fn cluster_from(opts: &Opts) -> Result<(ClusterConfig, SimCluster), String> {
     if let Some(path) = opts.get("config") {
-        let json =
-            std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let json = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
         let config = ClusterConfig::from_json(&json).map_err(|e| e.to_string())?;
         let sim = SimCluster::from_config(&config);
         return Ok((config, sim));
@@ -125,9 +249,7 @@ fn cluster_from(opts: &Opts) -> Result<(ClusterConfig, SimCluster), String> {
     let config = match profile {
         "lam" => ClusterConfig::paper_lam(seed),
         "mpich" => ClusterConfig::paper_mpich(seed),
-        "ideal" => {
-            ClusterConfig::ideal(cpm::cluster::ClusterSpec::paper_cluster(), seed)
-        }
+        "ideal" => ClusterConfig::ideal(cpm::cluster::ClusterSpec::paper_cluster(), seed),
         other => return Err(format!("unknown profile {other:?}")),
     };
     let sim = SimCluster::from_config(&config);
@@ -135,7 +257,9 @@ fn cluster_from(opts: &Opts) -> Result<(ClusterConfig, SimCluster), String> {
 }
 
 fn parse_bytes(opts: &Opts, key: &str) -> Result<Bytes, String> {
-    let raw = opts.get(key).ok_or_else(|| format!("--{key} is required"))?;
+    let raw = opts
+        .get(key)
+        .ok_or_else(|| format!("--{key} is required"))?;
     cpm::core::units::parse_bytes(raw).map_err(|e| format!("--{key}: {e}"))
 }
 
@@ -170,7 +294,11 @@ fn cmd_estimate(opts: &Opts) -> Result<(), String> {
             let e = estimate_lmo_full(&sim, &cfg).map_err(|e| e.to_string())?;
             println!("LMO: n = {}", e.model.c.len());
             for (i, (c, t)) in e.model.c.iter().zip(&e.model.t).enumerate() {
-                println!("  node {i:>2}: C = {:7.1} µs   t = {:6.2} ns/B", c * 1e6, t * 1e9);
+                println!(
+                    "  node {i:>2}: C = {:7.1} µs   t = {:6.2} ns/B",
+                    c * 1e6,
+                    t * 1e9
+                );
             }
             println!(
                 "  gather empirics: M1 = {}, M2 = {}, p = {:.2}",
@@ -222,7 +350,10 @@ fn cmd_estimate(opts: &Opts) -> Result<(), String> {
 
 fn cmd_empirics(opts: &Opts) -> Result<(), String> {
     let (_, sim) = cluster_from(opts)?;
-    let cfg = EstimateConfig { reps: 8, ..EstimateConfig::with_seed(0xE11) };
+    let cfg = EstimateConfig {
+        reps: 8,
+        ..EstimateConfig::with_seed(0xE11)
+    };
     let e = estimate_gather_empirics(&sim, &cfg).map_err(|e| e.to_string())?;
     println!(
         "M1 = {} ({} bytes), M2 = {} ({} bytes)",
@@ -259,9 +390,7 @@ fn cmd_predict(opts: &Opts) -> Result<(), String> {
         }
         (ModelFile::Lmo(model), "scatter") => model.linear_scatter(root, m),
         (ModelFile::Lmo(model), "gather") => model.linear_gather(root, m).expected,
-        (ModelFile::Hockney(model), "scatter" | "gather") => {
-            model.linear_serial(root, m)
-        }
+        (ModelFile::Hockney(model), "scatter" | "gather") => model.linear_serial(root, m),
         (ModelFile::Loggp(model), "scatter" | "gather") => model.linear(m),
         (ModelFile::Plogp(model), "scatter" | "gather") => model.linear(m),
         (_, other) => return Err(format!("unknown op {other:?}")),
@@ -286,16 +415,10 @@ fn cmd_observe(opts: &Opts) -> Result<(), String> {
         .unwrap_or(5);
     let root = Rank(0);
     let times = match (op.as_str(), alg) {
-        ("scatter", "linear") => {
-            measure::linear_scatter_times(&sim, root, m, reps, 1)
-        }
-        ("scatter", "binomial") => {
-            measure::binomial_scatter_times(&sim, root, m, reps, 1)
-        }
+        ("scatter", "linear") => measure::linear_scatter_times(&sim, root, m, reps, 1),
+        ("scatter", "binomial") => measure::binomial_scatter_times(&sim, root, m, reps, 1),
         ("gather", "linear") => measure::linear_gather_times(&sim, root, m, reps, 1),
-        ("gather", "binomial") => {
-            measure::binomial_gather_times(&sim, root, m, reps, 1)
-        }
+        ("gather", "binomial") => measure::binomial_gather_times(&sim, root, m, reps, 1),
         ("bcast", "linear") => measure::collective_times(&sim, root, reps, 1, |c| {
             cpm::collectives::linear_bcast(c, root, m)
         }),
@@ -320,4 +443,120 @@ fn cmd_observe(opts: &Opts) -> Result<(), String> {
         s.max().unwrap_or(0.0) * 1e3
     );
     Ok(())
+}
+
+const DEFAULT_ADDR: &str = "127.0.0.1:7971";
+
+fn cmd_serve(opts: &Opts) -> Result<(), String> {
+    let store = opts.get("store").map(String::as_str).unwrap_or("cpm-store");
+    let addr = opts.get("addr").map(String::as_str).unwrap_or(DEFAULT_ADDR);
+    let seed = opts
+        .get("seed")
+        .map(|s| s.parse::<u64>().map_err(|e| e.to_string()))
+        .transpose()?
+        .unwrap_or(0x5e71);
+    let mut est = EstimateConfig::with_seed(seed);
+    if let Some(reps) = opts.get("reps") {
+        est.reps = reps.parse::<usize>().map_err(|e| e.to_string())?;
+    }
+    let cfg = ServiceConfig {
+        est,
+        ..ServiceConfig::default()
+    };
+    let service = Arc::new(Service::open(store, cfg).map_err(|e| e.to_string())?);
+    println!(
+        "store: {store} ({} parameter set(s) on disk)",
+        service.registry().len()
+    );
+    let server = Server::bind(service, addr).map_err(|e| e.to_string())?;
+    println!("cpm-serve listening on {}", server.addr());
+    server.spawn().join();
+    println!("cpm-serve stopped");
+    Ok(())
+}
+
+/// Builds the request object for `cpm query` from command-line flags.
+fn build_query_request(opts: &Opts) -> Result<Value, String> {
+    let verb = opts.get("verb").map(String::as_str).unwrap_or("predict");
+    let mut entries: Vec<(String, Value)> =
+        vec![("verb".to_string(), Value::Str(verb.to_string()))];
+    let mut push = |k: &str, v: Value| entries.push((k.to_string(), v));
+    let needs_cluster = matches!(verb, "predict" | "select" | "estimate");
+    if needs_cluster {
+        match (opts.get("config"), opts.get("fingerprint")) {
+            (Some(path), None) => {
+                let json = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+                let config: Value =
+                    serde_json::from_str(&json).map_err(|e| format!("{path}: {e}"))?;
+                push("config", config);
+            }
+            (None, Some(fp)) => push("fingerprint", Value::Str(fp.clone())),
+            (Some(_), Some(_)) => {
+                return Err("give either --config or --fingerprint, not both".into())
+            }
+            (None, None) => return Err(format!("{verb} needs --config FILE or --fingerprint FP")),
+        }
+    }
+    match verb {
+        "predict" | "select" => {
+            push(
+                "model",
+                Value::Str(opts.get("model").cloned().unwrap_or_else(|| "lmo".into())),
+            );
+            push(
+                "collective",
+                Value::Str(
+                    opts.get("collective")
+                        .cloned()
+                        .unwrap_or_else(|| "scatter".into()),
+                ),
+            );
+            if verb == "predict" {
+                push(
+                    "algorithm",
+                    Value::Str(opts.get("alg").cloned().unwrap_or_else(|| "linear".into())),
+                );
+            }
+            push("m", Value::U64(parse_bytes(opts, "m")?));
+            if let Some(root) = opts.get("root") {
+                push(
+                    "root",
+                    Value::U64(root.parse::<u64>().map_err(|e| e.to_string())?),
+                );
+            }
+        }
+        "estimate" | "stats" | "shutdown" => {}
+        other => {
+            return Err(format!(
+                "unknown verb {other:?} (expected predict|select|estimate|stats|shutdown)"
+            ))
+        }
+    }
+    Ok(Value::Map(entries))
+}
+
+fn cmd_query(opts: &Opts) -> Result<(), String> {
+    let addr = opts.get("addr").map(String::as_str).unwrap_or(DEFAULT_ADDR);
+    let request = build_query_request(opts)?;
+    let line = serde_json::to_string(&request).map_err(|e| e.to_string())?;
+    let stream = TcpStream::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
+    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+    writer
+        .write_all(format!("{line}\n").as_bytes())
+        .and_then(|()| writer.flush())
+        .map_err(|e| e.to_string())?;
+    let mut response = String::new();
+    BufReader::new(stream)
+        .read_line(&mut response)
+        .map_err(|e| e.to_string())?;
+    let response = response.trim_end();
+    if response.is_empty() {
+        return Err("server closed the connection without responding".into());
+    }
+    println!("{response}");
+    let parsed: Value = serde_json::from_str(response).map_err(|e| e.to_string())?;
+    match parsed.get("ok") {
+        Some(Value::Bool(true)) => Ok(()),
+        _ => Err("request failed".into()),
+    }
 }

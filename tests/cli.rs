@@ -36,7 +36,14 @@ fn spec_prints_the_cluster_and_writes_config() {
 #[test]
 fn observe_reports_statistics() {
     let out = run_ok(&[
-        "observe", "--op", "scatter", "--m", "8K", "--reps", "3", "--profile",
+        "observe",
+        "--op",
+        "scatter",
+        "--m",
+        "8K",
+        "--reps",
+        "3",
+        "--profile",
         "ideal",
     ]);
     assert!(out.contains("scatter (linear) of 8KB"), "{out}");
@@ -47,7 +54,15 @@ fn observe_reports_statistics() {
 fn observe_supports_all_collectives() {
     for op in ["gather", "bcast", "alltoall"] {
         let out = run_ok(&[
-            "observe", "--op", op, "--m", "2K", "--reps", "2", "--profile", "ideal",
+            "observe",
+            "--op",
+            op,
+            "--m",
+            "2K",
+            "--reps",
+            "2",
+            "--profile",
+            "ideal",
         ]);
         assert!(out.contains(op), "{out}");
     }
@@ -59,13 +74,23 @@ fn estimate_hockney_then_predict() {
     std::fs::create_dir_all(&dir).unwrap();
     let model = dir.join("hockney.json");
     let out = run_ok(&[
-        "estimate", "--model", "hockney", "--profile", "ideal", "--out",
+        "estimate",
+        "--model",
+        "hockney",
+        "--profile",
+        "ideal",
+        "--out",
         model.to_str().unwrap(),
     ]);
     assert!(out.contains("heterogeneous Hockney"), "{out}");
     let out = run_ok(&[
-        "predict", "--model-file", model.to_str().unwrap(), "--op", "scatter",
-        "--m", "64K",
+        "predict",
+        "--model-file",
+        model.to_str().unwrap(),
+        "--op",
+        "scatter",
+        "--m",
+        "64K",
     ]);
     assert!(out.contains("predicted linear scatter of 64KB"), "{out}");
     let _ = std::fs::remove_dir_all(dir);
@@ -76,7 +101,12 @@ fn bad_invocations_fail_cleanly() {
     // Unknown command.
     assert!(!cpm().arg("frobnicate").output().unwrap().status.success());
     // Missing required flag.
-    assert!(!cpm().args(["predict", "--op", "scatter"]).output().unwrap().status.success());
+    assert!(!cpm()
+        .args(["predict", "--op", "scatter"])
+        .output()
+        .unwrap()
+        .status
+        .success());
     // Bad size literal.
     assert!(!cpm()
         .args(["observe", "--op", "scatter", "--m", "banana"])

@@ -28,7 +28,10 @@ fn different_observation_seeds_differ() {
 fn estimation_is_deterministic() {
     let truth = GroundTruth::synthesize(&ClusterSpec::homogeneous(5), 2);
     let sim = SimCluster::new(truth, MpiProfile::ideal(), 0.01, 2);
-    let cfg = EstimateConfig { reps: 3, ..EstimateConfig::with_seed(55) };
+    let cfg = EstimateConfig {
+        reps: 3,
+        ..EstimateConfig::with_seed(55)
+    };
     let a = estimate_lmo(&sim, &cfg).unwrap().model;
     let b = estimate_lmo(&sim, &cfg).unwrap().model;
     assert_eq!(a, b);

@@ -43,7 +43,11 @@ fn fig4_artifact_shows_lmo_dominance() {
 #[test]
 fn fig1_artifact_brackets_the_observation() {
     let Some(fig) = load("fig1") else { return };
-    let obs = fig.series.iter().find(|s| s.label == "observation").unwrap();
+    let obs = fig
+        .series
+        .iter()
+        .find(|s| s.label == "observation")
+        .unwrap();
     let serial = fig
         .series
         .iter()
@@ -86,10 +90,22 @@ fn fig7_artifact_shows_the_speedup() {
 #[test]
 fn fig6_artifact_keeps_the_misprediction() {
     let Some(fig) = load("fig6") else { return };
-    let hl = fig.series.iter().find(|s| s.label == "Hockney linear").unwrap();
-    let hb = fig.series.iter().find(|s| s.label == "Hockney binomial").unwrap();
+    let hl = fig
+        .series
+        .iter()
+        .find(|s| s.label == "Hockney linear")
+        .unwrap();
+    let hb = fig
+        .series
+        .iter()
+        .find(|s| s.label == "Hockney binomial")
+        .unwrap();
     let ol = fig.series.iter().find(|s| s.label == "obs linear").unwrap();
-    let ob = fig.series.iter().find(|s| s.label == "obs binomial").unwrap();
+    let ob = fig
+        .series
+        .iter()
+        .find(|s| s.label == "obs binomial")
+        .unwrap();
     for &(m, _) in &ol.points {
         // Hockney ranks binomial ahead; reality ranks linear ahead.
         assert!(hb.at(m).unwrap() < hl.at(m).unwrap(), "m={m}");

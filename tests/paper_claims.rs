@@ -18,7 +18,10 @@ fn paper_sim() -> SimCluster {
 }
 
 fn est_cfg() -> EstimateConfig {
-    EstimateConfig { reps: 4, ..EstimateConfig::with_seed(101) }
+    EstimateConfig {
+        reps: 4,
+        ..EstimateConfig::with_seed(101)
+    }
 }
 
 /// Fig. 1: the serial Hockney bound is pessimistic and the parallel bound
@@ -72,7 +75,11 @@ fn fig5_gather_regimes_and_lmo_empirics() {
 
     // Thresholds land near the LAM profile's (4 KB, 65 KB) within grid
     // resolution.
-    assert!(lmo.gather.m1 >= 2 * KIB && lmo.gather.m1 <= 12 * KIB, "M1={}", lmo.gather.m1);
+    assert!(
+        lmo.gather.m1 >= 2 * KIB && lmo.gather.m1 <= 12 * KIB,
+        "M1={}",
+        lmo.gather.m1
+    );
     assert!(
         lmo.gather.m2 >= 56 * KIB && lmo.gather.m2 <= 88 * KIB,
         "M2={}",
@@ -81,27 +88,42 @@ fn fig5_gather_regimes_and_lmo_empirics() {
 
     // Regime classification follows the estimated thresholds.
     assert_eq!(lmo.linear_gather(Rank(0), KIB).regime, GatherRegime::Small);
-    assert_eq!(lmo.linear_gather(Rank(0), 32 * KIB).regime, GatherRegime::Medium);
-    assert_eq!(lmo.linear_gather(Rank(0), 150 * KIB).regime, GatherRegime::Large);
+    assert_eq!(
+        lmo.linear_gather(Rank(0), 32 * KIB).regime,
+        GatherRegime::Medium
+    );
+    assert_eq!(
+        lmo.linear_gather(Rank(0), 150 * KIB).regime,
+        GatherRegime::Large
+    );
 
     // Small regime: prediction within 10%.
     let obs = measure::linear_gather_once(&sim, Rank(0), KIB);
     let pred = lmo.linear_gather(Rank(0), KIB).expected;
-    assert!((pred - obs).abs() / obs < 0.10, "small gather: {pred} vs {obs}");
+    assert!(
+        (pred - obs).abs() / obs < 0.10,
+        "small gather: {pred} vs {obs}"
+    );
 
     // Medium regime: escalations appear across repetitions and reach the
     // order of the profile's escalation delays.
     let times = measure::linear_gather_times(&sim, Rank(0), 32 * KIB, 16, 4).unwrap();
     let min = times.iter().copied().fold(f64::INFINITY, f64::min);
     let max = times.iter().copied().fold(0.0, f64::max);
-    assert!(max > min + 0.08, "no escalation spread: min {min}, max {max}");
+    assert!(
+        max > min + 0.08,
+        "no escalation spread: min {min}, max {max}"
+    );
 
     // Large regime: the sum-combination prediction is within 25% while the
     // small-regime (max) formula would be several times too small.
     let m = 150 * KIB;
     let obs = measure::linear_gather_once(&sim, Rank(0), m);
     let pred = lmo.linear_gather(Rank(0), m).expected;
-    assert!((pred - obs).abs() / obs < 0.25, "large gather: {pred} vs {obs}");
+    assert!(
+        (pred - obs).abs() / obs < 0.25,
+        "large gather: {pred} vs {obs}"
+    );
     let scatter_like = lmo.linear_scatter(Rank(0), m);
     assert!(obs > 3.0 * scatter_like, "serialization regime not visible");
 }
@@ -113,8 +135,10 @@ fn fig5_gather_regimes_and_lmo_empirics() {
 fn fig6_algorithm_selection_flip() {
     let sim = paper_sim();
     let lmo = estimate_lmo_full(&sim, &est_cfg()).unwrap().model;
-    let hockney_hom =
-        estimate_hockney_het(&sim, &est_cfg()).unwrap().model.averaged();
+    let hockney_hom = estimate_hockney_het(&sim, &est_cfg())
+        .unwrap()
+        .model
+        .averaged();
     let m = 150 * KIB;
 
     let obs_lin = measure::linear_scatter_once(&sim, Rank(0), m);
@@ -136,13 +160,10 @@ fn fig7_optimized_gather_speedup() {
     let lmo = estimate_lmo_full(&sim, &est_cfg()).unwrap().model;
     let m = 32 * KIB;
     let reps = 16;
-    let native = Summary::of(
-        &measure::linear_gather_times(&sim, Rank(0), m, reps, 8).unwrap(),
-    )
-    .mean();
+    let native =
+        Summary::of(&measure::linear_gather_times(&sim, Rank(0), m, reps, 8).unwrap()).mean();
     let optimized = Summary::of(
-        &measure::optimized_gather_times(&sim, Rank(0), m, &lmo.gather, reps, 8)
-            .unwrap(),
+        &measure::optimized_gather_times(&sim, Rank(0), m, &lmo.gather, reps, 8).unwrap(),
     )
     .mean();
     let speedup = native / optimized;

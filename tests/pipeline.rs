@@ -16,7 +16,10 @@ fn small_cluster(noise: f64) -> SimCluster {
 }
 
 fn cfg() -> EstimateConfig {
-    EstimateConfig { reps: 3, ..EstimateConfig::with_seed(77) }
+    EstimateConfig {
+        reps: 3,
+        ..EstimateConfig::with_seed(77)
+    }
 }
 
 #[test]
@@ -37,7 +40,10 @@ fn lmo_scatter_prediction_tracks_observation() {
         let predicted = lmo.linear_scatter(Rank(0), m);
         let observed = measure::linear_scatter_once(&sim, Rank(0), m);
         let rel = (predicted - observed).abs() / observed;
-        assert!(rel < 0.10, "m={m}: predicted {predicted}, observed {observed}");
+        assert!(
+            rel < 0.10,
+            "m={m}: predicted {predicted}, observed {observed}"
+        );
     }
 }
 
@@ -53,8 +59,7 @@ fn lmo_beats_hockney_on_linear_scatter() {
     for m in [4 * KIB, 16 * KIB, 64 * KIB] {
         let observed = measure::linear_scatter_once(&sim, Rank(0), m);
         lmo_err += (lmo.linear_scatter(Rank(0), m) - observed).abs() / observed;
-        hockney_err +=
-            (hockney.linear_serial(Rank(0), m) - observed).abs() / observed;
+        hockney_err += (hockney.linear_serial(Rank(0), m) - observed).abs() / observed;
     }
     assert!(
         lmo_err * 3.0 < hockney_err,
@@ -73,7 +78,10 @@ fn estimation_survives_measurement_noise() {
         let predicted = lmo.linear_scatter(Rank(0), m);
         let observed = measure::linear_scatter_once(&clean, Rank(0), m);
         let rel = (predicted - observed).abs() / observed;
-        assert!(rel < 0.15, "m={m}: predicted {predicted}, observed {observed}");
+        assert!(
+            rel < 0.15,
+            "m={m}: predicted {predicted}, observed {observed}"
+        );
     }
 }
 
@@ -85,8 +93,12 @@ fn config_file_reproduces_estimates() {
     let json = config.to_json();
     let reloaded = ClusterConfig::from_json(&json).unwrap();
 
-    let a = estimate_lmo(&SimCluster::from_config(&config), &cfg()).unwrap().model;
-    let b = estimate_lmo(&SimCluster::from_config(&reloaded), &cfg()).unwrap().model;
+    let a = estimate_lmo(&SimCluster::from_config(&config), &cfg())
+        .unwrap()
+        .model;
+    let b = estimate_lmo(&SimCluster::from_config(&reloaded), &cfg())
+        .unwrap()
+        .model;
     assert_eq!(a, b);
 }
 
@@ -97,12 +109,17 @@ fn full_paper_cluster_pipeline_smoke() {
     // escalations bound the achievable accuracy).
     let config = ClusterConfig::paper_lam(3);
     let sim = SimCluster::from_config(&config);
-    let lmo = estimate_lmo(&sim, &EstimateConfig::with_seed(31)).unwrap().model;
+    let lmo = estimate_lmo(&sim, &EstimateConfig::with_seed(31))
+        .unwrap()
+        .model;
     for m in [4 * KIB, 32 * KIB, 128 * KIB] {
         let predicted = lmo.linear_scatter(Rank(0), m);
         let observed = measure::linear_scatter_once(&sim, Rank(0), m);
         let rel = (predicted - observed).abs() / observed;
-        assert!(rel < 0.35, "m={m}: predicted {predicted}, observed {observed}");
+        assert!(
+            rel < 0.35,
+            "m={m}: predicted {predicted}, observed {observed}"
+        );
     }
 }
 
@@ -117,8 +134,7 @@ fn tuned_collectives_from_estimated_model_never_lose_badly() {
     let tuned = TunedCollectives::new(lmo);
     let root = Rank(0);
     for m in [64u64, 8 * KIB, 64 * KIB] {
-        let t = collective_times(&sim, root, 1, 1, |c| tuned.scatter(c, root, m))
-            .unwrap()[0];
+        let t = collective_times(&sim, root, 1, 1, |c| tuned.scatter(c, root, m)).unwrap()[0];
         let lin = measure::linear_scatter_once(&sim, root, m);
         let bin = measure::binomial_scatter_once(&sim, root, m);
         assert!(

@@ -5,16 +5,17 @@ use cpm::cluster::{ClusterConfig, Topology};
 use cpm::collectives::measure;
 use cpm::core::units::KIB;
 use cpm::core::Rank;
-use cpm::estimate::{
-    estimate_gather_empirics, estimate_hockney_het, estimate_lmo, EstimateConfig,
-};
+use cpm::estimate::{estimate_gather_empirics, estimate_hockney_het, estimate_lmo, EstimateConfig};
 use cpm::netsim::SimCluster;
 
 #[test]
 fn mpich_profile_shifts_the_thresholds() {
     // Same cluster, different MPI implementation: the irregular region
     // moves exactly as the paper reports (LAM 4/65 KB vs MPICH 3/125 KB).
-    let cfg = EstimateConfig { reps: 6, ..EstimateConfig::with_seed(40) };
+    let cfg = EstimateConfig {
+        reps: 6,
+        ..EstimateConfig::with_seed(40)
+    };
     let lam = SimCluster::from_config(&ClusterConfig::paper_lam(40));
     let mpich = SimCluster::from_config(&ClusterConfig::paper_mpich(40));
     let e_lam = estimate_gather_empirics(&lam, &cfg).unwrap().model;
@@ -45,7 +46,10 @@ fn mpich_large_regime_starts_later() {
         .unwrap()
         .into_iter()
         .fold(f64::INFINITY, f64::min);
-    assert!(t_lam > 2.0 * ideal, "LAM serialized: {t_lam} vs ideal {ideal}");
+    assert!(
+        t_lam > 2.0 * ideal,
+        "LAM serialized: {t_lam} vs ideal {ideal}"
+    );
     // MPICH's best case stays near the ideal line (escalations are
     // stochastic; the minimum dodges them).
     assert!(
@@ -61,7 +65,10 @@ fn two_switch_config_runs_the_full_pipeline() {
     let mut cfg = ClusterConfig::ideal(cpm::cluster::ClusterSpec::homogeneous(6), 44);
     cfg.topology = Topology::two_switch(3, 11.7e6);
     let sim = SimCluster::from_config(&cfg);
-    let est = EstimateConfig { reps: 2, ..EstimateConfig::with_seed(44) };
+    let est = EstimateConfig {
+        reps: 2,
+        ..EstimateConfig::with_seed(44)
+    };
 
     // Pair-local estimation (Hockney) sees each link in isolation: intra-
     // switch pairs come out exact, cross-switch pairs honestly absorb the

@@ -1,0 +1,272 @@
+//! Offline stand-in for `criterion`: a minimal wall-clock benchmark
+//! harness with the same registration API.
+//!
+//! Each benchmark runs a short warmup, then `sample_size` timed samples,
+//! and reports the median time per iteration on stdout. When the binary is
+//! run by `cargo test` (criterion benches use `harness = false`), the
+//! `--test` flag causes benchmarks to execute exactly one iteration so the
+//! suite stays fast.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export so callers can use `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Units for reporting rates alongside timings.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Identifier for a parameterised benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Passed to the closure under test; `iter` times the supplied routine.
+pub struct Bencher<'a> {
+    samples: usize,
+    test_mode: bool,
+    result_ns: &'a mut f64,
+}
+
+impl Bencher<'_> {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            std_black_box(routine());
+            *self.result_ns = 0.0;
+            return;
+        }
+        // Warmup and calibration: find an iteration count that takes a
+        // measurable amount of time.
+        let mut iters: u64 = 1;
+        let per_iter_guess = loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std_black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed > Duration::from_millis(1) || iters >= 1 << 20 {
+                break elapsed.as_secs_f64() / iters as f64;
+            }
+            iters *= 4;
+        };
+        // Aim each sample at ~2 ms of work.
+        let per_sample = ((0.002 / per_iter_guess.max(1e-9)) as u64).clamp(1, 1 << 24);
+        let mut times: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                std_black_box(routine());
+            }
+            times.push(start.elapsed().as_secs_f64() / per_sample as f64);
+        }
+        times.sort_by(f64::total_cmp);
+        *self.result_ns = times[times.len() / 2] * 1e9;
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut ns = f64::NAN;
+        let mut b = Bencher {
+            samples: self.sample_size,
+            test_mode: self.criterion.test_mode,
+            result_ns: &mut ns,
+        };
+        f(&mut b);
+        self.report(&id, ns);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut ns = f64::NAN;
+        let mut b = Bencher {
+            samples: self.sample_size,
+            test_mode: self.criterion.test_mode,
+            result_ns: &mut ns,
+        };
+        f(&mut b, input);
+        self.report(&id, ns);
+        self
+    }
+
+    pub fn finish(self) {}
+
+    fn report(&self, id: &BenchmarkId, ns: f64) {
+        if self.criterion.test_mode {
+            println!("{}/{}: ok (test mode)", self.name, id.id);
+            return;
+        }
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  {:.3} Melem/s", n as f64 / ns * 1e3)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  {:.3} MiB/s", n as f64 / ns * 1e9 / (1024.0 * 1024.0))
+            }
+            None => String::new(),
+        };
+        println!("{}/{}: {}{}", self.name, id.id, format_ns(ns), rate);
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns/iter")
+    } else if ns < 1e6 {
+        format!("{:.2} µs/iter", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.3} ms/iter", ns / 1e6)
+    } else {
+        format!("{:.3} s/iter", ns / 1e9)
+    }
+}
+
+/// Top-level harness state; created by `criterion_main!`.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` runs bench binaries with `--test`; `cargo bench`
+        // passes `--bench`. In test mode run each routine once, untimed.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+            criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.benchmark_group(id.id.clone())
+            .bench_function(BenchmarkId::from("run"), f);
+        self
+    }
+
+    pub fn final_summary(&self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        let mut g = c.benchmark_group("vendored/criterion");
+        g.sample_size(5);
+        g.throughput(Throughput::Elements(1));
+        g.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
+        g.bench_with_input(BenchmarkId::new("mul", 3), &3u64, |b, &k| {
+            b.iter(|| black_box(k) * 7)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn harness_runs() {
+        let mut c = Criterion { test_mode: true };
+        trivial(&mut c);
+    }
+}

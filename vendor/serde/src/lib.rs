@@ -1,0 +1,515 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no network access, so this crate provides a
+//! source-compatible subset of serde's API that the workspace compiles
+//! against. Instead of serde's zero-copy visitor architecture, everything
+//! funnels through a JSON-like [`Value`] tree: a [`Serializer`] consumes a
+//! `Value`, a [`Deserializer`] produces one. That is a much smaller
+//! contract, but it preserves the trait *signatures* the workspace uses —
+//! `#[derive(Serialize, Deserialize)]`, manual `impl Serialize` with
+//! generic `S: Serializer`, `serde_json::to_string`/`from_str` — and the
+//! JSON wire shapes match serde's defaults (externally tagged enums,
+//! transparent newtypes, maps for named structs).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// The data model everything serializes into and deserializes from.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    I64(i64),
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Value>),
+    /// Insertion-ordered map (JSON object). Keys are strings, as in JSON.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in a `Map` value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` if it is any numeric variant.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(x) => Some(*x),
+            Value::I64(x) => Some(*x as f64),
+            Value::U64(x) => Some(*x as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(x) => Some(*x),
+            Value::I64(x) if *x >= 0 => Some(*x as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "boolean",
+            Value::I64(_) | Value::U64(_) => "integer",
+            Value::F64(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// Error type for conversions through the [`Value`] model.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ValueError(pub String);
+
+impl fmt::Display for ValueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ValueError {}
+
+pub mod ser {
+    /// Error trait every [`crate::Serializer`] error must implement.
+    pub trait Error: Sized + std::fmt::Debug + std::fmt::Display {
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+
+    impl Error for crate::ValueError {
+        fn custom<T: std::fmt::Display>(msg: T) -> Self {
+            crate::ValueError(msg.to_string())
+        }
+    }
+}
+
+pub mod de {
+    /// Error trait every [`crate::Deserializer`] error must implement.
+    pub trait Error: Sized + std::fmt::Debug + std::fmt::Display {
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+
+    impl Error for crate::ValueError {
+        fn custom<T: std::fmt::Display>(msg: T) -> Self {
+            crate::ValueError(msg.to_string())
+        }
+    }
+}
+
+/// A sink that consumes one [`Value`].
+pub trait Serializer: Sized {
+    type Ok;
+    type Error: ser::Error;
+    fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A source that yields one [`Value`].
+pub trait Deserializer<'de>: Sized {
+    type Error: de::Error;
+    fn take_value(self) -> Result<Value, Self::Error>;
+}
+
+/// A type that can write itself into any [`Serializer`].
+pub trait Serialize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A type that can reconstruct itself from any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// The identity serializer: captures the [`Value`].
+pub struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = ValueError;
+    fn serialize_value(self, value: Value) -> Result<Value, ValueError> {
+        Ok(value)
+    }
+}
+
+/// The identity deserializer: releases a stored [`Value`].
+pub struct ValueDeserializer(pub Value);
+
+impl<'de> Deserializer<'de> for ValueDeserializer {
+    type Error = ValueError;
+    fn take_value(self) -> Result<Value, ValueError> {
+        Ok(self.0)
+    }
+}
+
+/// Serializes anything into the [`Value`] model.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, ValueError> {
+    value.serialize(ValueSerializer)
+}
+
+/// Deserializes anything out of the [`Value`] model.
+pub fn from_value<T: for<'de> Deserialize<'de>>(value: Value) -> Result<T, ValueError> {
+    T::deserialize(ValueDeserializer(value))
+}
+
+#[doc(hidden)]
+pub mod __private {
+    use super::{Deserialize, Value, ValueError};
+
+    /// Removes `key` from a struct map and deserializes it. Missing keys
+    /// are an error (matching serde's missing-field behavior); unknown
+    /// extra keys are simply left behind and ignored.
+    pub fn take_field<T: for<'de> Deserialize<'de>>(
+        map: &mut Vec<(String, Value)>,
+        key: &str,
+    ) -> Result<T, ValueError> {
+        match map.iter().position(|(k, _)| k == key) {
+            Some(at) => {
+                let (_, v) = map.remove(at);
+                super::from_value(v).map_err(|e| ValueError(format!("field `{key}`: {e}")))
+            }
+            None => Err(ValueError(format!("missing field `{key}`"))),
+        }
+    }
+
+    /// Like [`take_field`], but a missing key falls back to
+    /// `T::default()` — the `#[serde(default)]` behavior.
+    pub fn take_field_or_default<T: for<'de> Deserialize<'de> + Default>(
+        map: &mut Vec<(String, Value)>,
+        key: &str,
+    ) -> Result<T, ValueError> {
+        match map.iter().position(|(k, _)| k == key) {
+            Some(at) => {
+                let (_, v) = map.remove(at);
+                super::from_value(v).map_err(|e| ValueError(format!("field `{key}`: {e}")))
+            }
+            None => Ok(T::default()),
+        }
+    }
+}
+
+fn unexpected(expected: &str, got: &Value) -> ValueError {
+    ValueError(format!(
+        "invalid type: expected {expected}, found {}",
+        got.type_name()
+    ))
+}
+
+macro_rules! impl_value_error_only {
+    ($err:expr) => {
+        Err(<D::Error as de::Error>::custom($err))
+    };
+}
+
+macro_rules! serde_int {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                #[allow(unused_comparisons)]
+                if *self >= 0 {
+                    s.serialize_value(Value::U64(*self as u64))
+                } else {
+                    s.serialize_value(Value::I64(*self as i64))
+                }
+            }
+        }
+        impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = d.take_value()?;
+                let out = match &v {
+                    Value::U64(x) => <$ty>::try_from(*x).ok(),
+                    Value::I64(x) => <$ty>::try_from(*x).ok(),
+                    _ => None,
+                };
+                match out {
+                    Some(x) => Ok(x),
+                    None => impl_value_error_only!(unexpected(
+                        concat!("integer fitting ", stringify!($ty)),
+                        &v
+                    )),
+                }
+            }
+        }
+    )*};
+}
+
+serde_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! serde_float {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_value(Value::F64(*self as f64))
+            }
+        }
+        impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = d.take_value()?;
+                match v.as_f64() {
+                    Some(x) => Ok(x as $ty),
+                    None => impl_value_error_only!(unexpected("number", &v)),
+                }
+            }
+        }
+    )*};
+}
+
+serde_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Bool(*self))
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = d.take_value()?;
+        match v {
+            Value::Bool(b) => Ok(b),
+            other => impl_value_error_only!(unexpected("boolean", &other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Str(self.clone()))
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Str(self.to_string()))
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = d.take_value()?;
+        match v {
+            Value::Str(s) => Ok(s),
+            other => impl_value_error_only!(unexpected("string", &other)),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let mut seq = Vec::with_capacity(self.len());
+        for item in self {
+            seq.push(to_value(item).map_err(<S::Error as ser::Error>::custom)?);
+        }
+        s.serialize_value(Value::Seq(seq))
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(s)
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = d.take_value()?;
+        match v {
+            Value::Seq(items) => items
+                .into_iter()
+                .map(|item| from_value(item).map_err(<D::Error as de::Error>::custom))
+                .collect(),
+            other => impl_value_error_only!(unexpected("sequence", &other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => s.serialize_value(Value::Null),
+            Some(x) => x.serialize(s),
+        }
+    }
+}
+
+impl<'de, T: for<'a> Deserialize<'a>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = d.take_value()?;
+        match v {
+            Value::Null => Ok(None),
+            other => from_value(other)
+                .map(Some)
+                .map_err(<D::Error as de::Error>::custom),
+        }
+    }
+}
+
+macro_rules! serde_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize<__S: Serializer>(&self, s: __S) -> Result<__S::Ok, __S::Error> {
+                let seq = vec![
+                    $(to_value(&self.$idx).map_err(<__S::Error as ser::Error>::custom)?,)+
+                ];
+                s.serialize_value(Value::Seq(seq))
+            }
+        }
+        impl<'de, $($name: for<'a> Deserialize<'a>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<__D: Deserializer<'de>>(d: __D) -> Result<Self, __D::Error> {
+                let v = d.take_value()?;
+                let items = match v {
+                    Value::Seq(items) => items,
+                    other => {
+                        return Err(<__D::Error as de::Error>::custom(unexpected(
+                            "sequence", &other,
+                        )))
+                    }
+                };
+                const LEN: usize = 0 $(+ { let _ = $idx; 1 })+;
+                if items.len() != LEN {
+                    return Err(<__D::Error as de::Error>::custom(ValueError(format!(
+                        "invalid length {} for tuple of {}", items.len(), LEN))));
+                }
+                let mut it = items.into_iter();
+                Ok(($({
+                    let _ = $idx;
+                    from_value::<$name>(it.next().unwrap())
+                        .map_err(<__D::Error as de::Error>::custom)?
+                },)+))
+            }
+        }
+    )*};
+}
+
+serde_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let mut map = Vec::with_capacity(self.len());
+        for (k, v) in self {
+            map.push((
+                k.clone(),
+                to_value(v).map_err(<S::Error as ser::Error>::custom)?,
+            ));
+        }
+        s.serialize_value(Value::Map(map))
+    }
+}
+
+impl<'de, V: for<'a> Deserialize<'a>> Deserialize<'de> for BTreeMap<String, V> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = d.take_value()?;
+        match v {
+            Value::Map(entries) => entries
+                .into_iter()
+                .map(|(k, v)| Ok((k, from_value(v).map_err(<D::Error as de::Error>::custom)?)))
+                .collect(),
+            other => impl_value_error_only!(unexpected("map", &other)),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        // Deterministic output: sort keys like a BTreeMap.
+        let mut keys: Vec<&String> = self.keys().collect();
+        keys.sort();
+        let mut map = Vec::with_capacity(self.len());
+        for k in keys {
+            map.push((
+                k.clone(),
+                to_value(&self[k]).map_err(<S::Error as ser::Error>::custom)?,
+            ));
+        }
+        s.serialize_value(Value::Map(map))
+    }
+}
+
+impl<'de, V: for<'a> Deserialize<'a>> Deserialize<'de> for HashMap<String, V> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = d.take_value()?;
+        match v {
+            Value::Map(entries) => entries
+                .into_iter()
+                .map(|(k, v)| Ok((k, from_value(v).map_err(<D::Error as de::Error>::custom)?)))
+                .collect(),
+            other => impl_value_error_only!(unexpected("map", &other)),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        d.take_value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(from_value::<u64>(to_value(&7u64).unwrap()).unwrap(), 7);
+        assert_eq!(from_value::<f64>(to_value(&1.5f64).unwrap()).unwrap(), 1.5);
+        assert_eq!(
+            from_value::<String>(to_value("hi").unwrap()).unwrap(),
+            "hi".to_string()
+        );
+        let v: Vec<(f64, f64)> = vec![(0.0, 1.0), (2.0, 3.0)];
+        assert_eq!(
+            from_value::<Vec<(f64, f64)>>(to_value(&v).unwrap()).unwrap(),
+            v
+        );
+    }
+
+    #[test]
+    fn integer_value_coerces_to_float() {
+        assert_eq!(from_value::<f64>(Value::U64(42)).unwrap(), 42.0);
+        assert_eq!(from_value::<f64>(Value::I64(-3)).unwrap(), -3.0);
+    }
+
+    #[test]
+    fn missing_field_reports_key() {
+        let mut map = vec![("a".to_string(), Value::U64(1))];
+        let err = __private::take_field::<u64>(&mut map, "b").unwrap_err();
+        assert!(err.0.contains("missing field `b`"), "{err}");
+    }
+}

@@ -1,0 +1,559 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! reimplements the `#[derive(Serialize)]` / `#[derive(Deserialize)]`
+//! macros against the vendored `serde` facade (which models data as a
+//! JSON-like [`Value`] tree instead of serde's full visitor machinery).
+//! It is written against the raw `proc_macro` API — `syn`/`quote` are not
+//! available — and supports the shapes this workspace actually uses:
+//!
+//! * named-field structs, with optional `#[serde(default)]` per field;
+//! * tuple structs (newtypes serialize transparently, like serde);
+//! * generic structs with simple type parameters (e.g. `SymMatrix<T>`);
+//! * enums with unit, newtype/tuple and struct variants, externally
+//!   tagged exactly like serde's default representation.
+//!
+//! Unsupported serde attributes are ignored rather than rejected.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+enum Body {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    body: Body,
+}
+
+enum Kind {
+    Struct(Body),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    params: Vec<String>,
+    kind: Kind,
+}
+
+fn is_punct(t: Option<&TokenTree>, c: char) -> bool {
+    matches!(t, Some(TokenTree::Punct(p)) if p.as_char() == c)
+}
+
+fn is_ident(t: Option<&TokenTree>, s: &str) -> bool {
+    matches!(t, Some(TokenTree::Ident(id)) if id.to_string() == s)
+}
+
+/// Skips attributes (`#[...]`), recording whether any was
+/// `#[serde(default)]`; returns (next index, saw_default).
+fn skip_attrs(toks: &[TokenTree], mut i: usize) -> (usize, bool) {
+    let mut default = false;
+    while is_punct(toks.get(i), '#') {
+        if let Some(TokenTree::Group(g)) = toks.get(i + 1) {
+            let s = g.stream().to_string();
+            // `#[serde(default)]` renders as `serde (default)` (spacing may
+            // vary across toolchains, so match loosely).
+            if s.starts_with("serde") && s.contains("default") {
+                default = true;
+            }
+        }
+        i += 2;
+    }
+    (i, default)
+}
+
+/// Skips `pub`, `pub(crate)` and friends.
+fn skip_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    if is_ident(toks.get(i), "pub") {
+        i += 1;
+        if let Some(TokenTree::Group(g)) = toks.get(i) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+/// Counts top-level comma-separated segments of a token stream (angle
+/// brackets tracked so `Vec<(f64, f64)>` counts as one).
+fn count_top_level(ts: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut segments = 0usize;
+    let mut in_segment = false;
+    for t in ts {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                in_segment = false;
+                continue;
+            }
+            _ => {}
+        }
+        if !in_segment {
+            segments += 1;
+            in_segment = true;
+        }
+    }
+    segments
+}
+
+fn parse_named_fields(ts: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let (j, default) = skip_attrs(&toks, i);
+        i = skip_vis(&toks, j);
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => break,
+        };
+        i += 1; // field name
+        i += 1; // ':'
+        let mut depth = 0i32;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+fn parse_variants(ts: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let (j, _) = skip_attrs(&toks, i);
+        i = j;
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => break,
+        };
+        i += 1;
+        let body = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_top_level(g.stream());
+                i += 1;
+                Body::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                i += 1;
+                Body::Named(fields)
+            }
+            _ => Body::Unit,
+        };
+        if is_punct(toks.get(i), ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, body });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    loop {
+        let (j, _) = skip_attrs(&toks, i);
+        let k = skip_vis(&toks, j);
+        if k == i {
+            break;
+        }
+        i = k;
+    }
+    let is_enum = if is_ident(toks.get(i), "struct") {
+        false
+    } else if is_ident(toks.get(i), "enum") {
+        true
+    } else {
+        panic!("derive target must be a struct or enum");
+    };
+    i += 1;
+    let name = toks[i].to_string();
+    i += 1;
+
+    let mut params = Vec::new();
+    if is_punct(toks.get(i), '<') {
+        i += 1;
+        let mut depth = 1i32;
+        let mut expect_param = true;
+        let mut after_lifetime_tick = false;
+        while depth > 0 && i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                    expect_param = true;
+                }
+                TokenTree::Punct(p) if p.as_char() == ':' && depth == 1 => {
+                    expect_param = false;
+                }
+                TokenTree::Punct(p) if p.as_char() == '\'' => {
+                    after_lifetime_tick = true;
+                    i += 1;
+                    continue;
+                }
+                TokenTree::Ident(id) if depth == 1 && expect_param && !after_lifetime_tick => {
+                    params.push(id.to_string());
+                    expect_param = false;
+                }
+                _ => {}
+            }
+            after_lifetime_tick = false;
+            i += 1;
+        }
+    }
+
+    let kind = if is_enum {
+        let body = loop {
+            match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    break parse_variants(g.stream());
+                }
+                Some(_) => i += 1,
+                None => panic!("enum without a body"),
+            }
+        };
+        Kind::Enum(body)
+    } else {
+        let body = loop {
+            match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    break Body::Named(parse_named_fields(g.stream()));
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    break Body::Tuple(count_top_level(g.stream()));
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                    break Body::Unit;
+                }
+                Some(_) => i += 1,
+                None => break Body::Unit,
+            }
+        };
+        Kind::Struct(body)
+    };
+
+    Item { name, params, kind }
+}
+
+/// `<T: BOUND, U: BOUND>` impl generics plus `<T, U>` type generics.
+fn generics(item: &Item, bound: &str) -> (String, String) {
+    if item.params.is_empty() {
+        return (String::new(), String::new());
+    }
+    let bounded: Vec<String> = item
+        .params
+        .iter()
+        .map(|p| format!("{p}: {bound}"))
+        .collect();
+    (
+        format!("<{}>", bounded.join(", ")),
+        format!("<{}>", item.params.join(", ")),
+    )
+}
+
+const SER_BOUND: &str = "::serde::Serialize";
+const DE_BOUND: &str = "for<'__a> ::serde::Deserialize<'__a>";
+
+fn ser_value_expr(expr: &str) -> String {
+    format!(
+        "match ::serde::to_value({expr}) {{ \
+           ::core::result::Result::Ok(v) => v, \
+           ::core::result::Result::Err(e) => return ::core::result::Result::Err(\
+             <__S::Error as ::serde::ser::Error>::custom(e)) }}"
+    )
+}
+
+fn ser_named_map(fields: &[Field], access: impl Fn(&str) -> String) -> String {
+    let mut out = String::from(
+        "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> \
+         = ::std::vec::Vec::new();\n",
+    );
+    for f in fields {
+        let value = ser_value_expr(&access(&f.name));
+        out.push_str(&format!(
+            "__fields.push((::std::string::String::from(\"{}\"), {value}));\n",
+            f.name
+        ));
+    }
+    out
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (impl_g, ty_g) = generics(item, SER_BOUND);
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(Body::Named(fields)) => {
+            let build = ser_named_map(fields, |f| format!("&self.{f}"));
+            format!("{build}__s.serialize_value(::serde::Value::Map(__fields))")
+        }
+        Kind::Struct(Body::Tuple(1)) => {
+            let v = ser_value_expr("&self.0");
+            format!("let __v = {v}; __s.serialize_value(__v)")
+        }
+        Kind::Struct(Body::Tuple(n)) => {
+            let mut out = String::from(
+                "let mut __seq: ::std::vec::Vec<::serde::Value> = ::std::vec::Vec::new();\n",
+            );
+            for k in 0..*n {
+                let v = ser_value_expr(&format!("&self.{k}"));
+                out.push_str(&format!("__seq.push({v});\n"));
+            }
+            format!("{out}__s.serialize_value(::serde::Value::Seq(__seq))")
+        }
+        Kind::Struct(Body::Unit) => "__s.serialize_value(::serde::Value::Null)".to_string(),
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.body {
+                    Body::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => __s.serialize_value(\
+                           ::serde::Value::Str(::std::string::String::from(\"{vname}\"))),\n"
+                    )),
+                    Body::Tuple(1) => {
+                        let inner = ser_value_expr("__f0");
+                        arms.push_str(&format!(
+                            "{name}::{vname}(__f0) => {{ let __inner = {inner}; \
+                             __s.serialize_value(::serde::Value::Map(vec![(\
+                               ::std::string::String::from(\"{vname}\"), __inner)])) }}\n"
+                        ));
+                    }
+                    Body::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let mut inner = String::from(
+                            "let mut __seq: ::std::vec::Vec<::serde::Value> = \
+                             ::std::vec::Vec::new();\n",
+                        );
+                        for b in &binds {
+                            let v = ser_value_expr(b);
+                            inner.push_str(&format!("__seq.push({v});\n"));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => {{ {inner} \
+                             __s.serialize_value(::serde::Value::Map(vec![(\
+                               ::std::string::String::from(\"{vname}\"), \
+                               ::serde::Value::Seq(__seq))])) }}\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    Body::Named(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let build = ser_named_map(fields, |f| f.to_string());
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => {{ {build} \
+                             __s.serialize_value(::serde::Value::Map(vec![(\
+                               ::std::string::String::from(\"{vname}\"), \
+                               ::serde::Value::Map(__fields))])) }}\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl{impl_g} ::serde::Serialize for {name}{ty_g} {{\n\
+           fn serialize<__S: ::serde::Serializer>(&self, __s: __S) \
+             -> ::core::result::Result<__S::Ok, __S::Error> {{\n{body}\n}}\n}}"
+    )
+}
+
+fn de_err(msg: &str) -> String {
+    format!(
+        "return ::core::result::Result::Err(\
+           <__D::Error as ::serde::de::Error>::custom(\"{msg}\"))"
+    )
+}
+
+fn de_map_err(expr: &str) -> String {
+    format!(
+        "match {expr} {{ \
+           ::core::result::Result::Ok(v) => v, \
+           ::core::result::Result::Err(e) => return ::core::result::Result::Err(\
+             <__D::Error as ::serde::de::Error>::custom(e)) }}"
+    )
+}
+
+/// Builds `Name { f: take_field(...)?, ... }` from a map binding `__map`.
+fn de_named_build(path: &str, fields: &[Field]) -> String {
+    let mut out = format!("{path} {{\n");
+    for f in fields {
+        let take = if f.default {
+            format!(
+                "::serde::__private::take_field_or_default(&mut __map, \"{}\")",
+                f.name
+            )
+        } else {
+            format!("::serde::__private::take_field(&mut __map, \"{}\")", f.name)
+        };
+        out.push_str(&format!("{}: {},\n", f.name, de_map_err(&take)));
+    }
+    out.push('}');
+    out
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let mut impl_params = vec!["'de".to_string()];
+    for p in &item.params {
+        impl_params.push(format!("{p}: {DE_BOUND}"));
+    }
+    let impl_g = format!("<{}>", impl_params.join(", "));
+    let ty_g = if item.params.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", item.params.join(", "))
+    };
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(Body::Named(fields)) => {
+            let build = de_named_build(name, fields);
+            let err = de_err(&format!("invalid type: expected map for struct {name}"));
+            format!(
+                "let mut __map = match __v {{ \
+                   ::serde::Value::Map(m) => m, _ => {err} }};\n\
+                 ::core::result::Result::Ok({build})"
+            )
+        }
+        Kind::Struct(Body::Tuple(1)) => {
+            let inner = de_map_err("::serde::from_value(__v)");
+            format!("::core::result::Result::Ok({name}({inner}))")
+        }
+        Kind::Struct(Body::Tuple(n)) => {
+            let err = de_err(&format!("invalid type: expected sequence for {name}"));
+            let len_err = de_err(&format!("invalid length for tuple struct {name}"));
+            let mut fields = String::new();
+            for _ in 0..*n {
+                let inner = de_map_err("::serde::from_value(__it.next().unwrap())");
+                fields.push_str(&format!("{inner},\n"));
+            }
+            format!(
+                "let __seq = match __v {{ ::serde::Value::Seq(s) => s, _ => {err} }};\n\
+                 if __seq.len() != {n} {{ {len_err} }}\n\
+                 let mut __it = __seq.into_iter();\n\
+                 ::core::result::Result::Ok({name}({fields}))"
+            )
+        }
+        Kind::Struct(Body::Unit) => {
+            format!("::core::result::Result::Ok({name})")
+        }
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.body {
+                    Body::Unit => {
+                        unit_arms.push_str(&format!(
+                            "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}),\n"
+                        ));
+                        // Also accept `{"Variant": null}`.
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}),\n"
+                        ));
+                    }
+                    Body::Tuple(1) => {
+                        let inner = de_map_err("::serde::from_value(__content)");
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => ::core::result::Result::Ok(\
+                               {name}::{vname}({inner})),\n"
+                        ));
+                    }
+                    Body::Tuple(n) => {
+                        let err = de_err(&format!(
+                            "invalid type: expected sequence for variant {name}::{vname}"
+                        ));
+                        let mut fields = String::new();
+                        for _ in 0..*n {
+                            let inner = de_map_err("::serde::from_value(__it.next().unwrap())");
+                            fields.push_str(&format!("{inner},\n"));
+                        }
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                               let __seq = match __content {{ \
+                                 ::serde::Value::Seq(s) => s, _ => {err} }};\n\
+                               if __seq.len() != {n} {{ {err} }}\n\
+                               let mut __it = __seq.into_iter();\n\
+                               ::core::result::Result::Ok({name}::{vname}({fields}))\n\
+                             }}\n"
+                        ));
+                    }
+                    Body::Named(fields) => {
+                        let err = de_err(&format!(
+                            "invalid type: expected map for variant {name}::{vname}"
+                        ));
+                        let build = de_named_build(&format!("{name}::{vname}"), fields);
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                               let mut __map = match __content {{ \
+                                 ::serde::Value::Map(m) => m, _ => {err} }};\n\
+                               ::core::result::Result::Ok({build})\n\
+                             }}\n"
+                        ));
+                    }
+                }
+            }
+            let unknown = de_err(&format!("unknown variant of enum {name}"));
+            let bad_shape = de_err(&format!(
+                "invalid type: expected string or single-key map for enum {name}"
+            ));
+            format!(
+                "match __v {{\n\
+                   ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                     {unit_arms} _ => {unknown}, }},\n\
+                   ::serde::Value::Map(mut __m) if __m.len() == 1 => {{\n\
+                     let (__tag, __content) = __m.remove(0);\n\
+                     match __tag.as_str() {{\n{data_arms} _ => {unknown}, }}\n\
+                   }},\n\
+                   _ => {bad_shape},\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl{impl_g} ::serde::Deserialize<'de> for {name}{ty_g} {{\n\
+           fn deserialize<__D: ::serde::Deserializer<'de>>(__d: __D) \
+             -> ::core::result::Result<Self, __D::Error> {{\n\
+             let __v = __d.take_value()?;\n\
+             {body}\n}}\n}}"
+    )
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
