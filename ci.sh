@@ -19,4 +19,10 @@ cargo test -q
 echo "== cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "== drift loop tests"
+cargo test -p cpm-drift -q
+
+echo "== drift ingest bench (smoke)"
+cargo bench -p cpm-bench --bench drift -- --test
+
 echo "CI OK"

@@ -1,0 +1,70 @@
+//! Cost of one drift-monitor ingest. The monitor sits on the serve hot
+//! path (every `observe` verb goes through it), so a single
+//! [`DriftMonitor::observe`] must stay allocation-free and well under a
+//! microsecond — prediction residual, Welford/EWMA/CUSUM updates and the
+//! alarm check included.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use cpm_core::matrix::SymMatrix;
+use cpm_core::rank::Rank;
+use cpm_drift::{DriftConfig, DriftMonitor, Observation};
+use cpm_models::{GatherEmpirics, LmoExtended};
+
+/// A 16-node model matching the paper's cluster size, with on-model
+/// observations for every ordered pair: the stream is stationary, so the
+/// bench measures steady-state ingest with no alarm resets.
+fn fixture() -> (DriftMonitor, Vec<Observation>) {
+    let n = 16;
+    let model = LmoExtended::new(
+        vec![40e-6; n],
+        vec![7e-9; n],
+        SymMatrix::filled(n, 42e-6),
+        SymMatrix::filled(n, 90e6),
+        GatherEmpirics::none(),
+    );
+    let mut obs = Vec::new();
+    for i in 0..n as u32 {
+        for j in 0..n as u32 {
+            if i == j {
+                continue;
+            }
+            let (src, dst) = (Rank(i), Rank(j));
+            obs.push(Observation::p2p(
+                src,
+                dst,
+                32768,
+                model.time(src, dst, 32768),
+            ));
+        }
+    }
+    (DriftMonitor::new(&model, DriftConfig::default()), obs)
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let (mut monitor, obs) = fixture();
+
+    let mut g = c.benchmark_group("drift/ingest");
+    g.throughput(Throughput::Elements(1));
+    let mut i = 0usize;
+    g.bench_function("observe_p2p", |b| {
+        b.iter(|| {
+            let o = &obs[i];
+            i = (i + 1) % obs.len();
+            black_box(monitor.observe(black_box(o)))
+        });
+    });
+    g.finish();
+
+    // A stationary stream must never alarm; staleness stays at the floor.
+    let report = monitor.staleness();
+    assert!(report.overall < 1.0, "false alarm: {}", report.overall);
+    eprintln!(
+        "drift/ingest: {} observations ingested, staleness {:.3}",
+        report.observations, report.overall
+    );
+}
+
+criterion_group!(benches, bench_ingest);
+criterion_main!(benches);

@@ -33,6 +33,12 @@ pub struct ClusterConfig {
     pub noise_rel: f64,
     /// Seed for the simulator's stochastic elements (escalations, noise).
     pub sim_seed: u64,
+    /// Dedicated seed for the measurement-noise stream. `None` (the
+    /// default) derives it from `sim_seed`; setting it pins the noise
+    /// ensemble independently of the escalation draws, which keeps drift
+    /// experiments reproducible.
+    #[serde(default)]
+    pub noise_seed: Option<u64>,
     /// Network topology (defaults to the paper's single switch).
     #[serde(default)]
     pub topology: Topology,
@@ -48,6 +54,7 @@ impl ClusterConfig {
             profile: MpiProfile::lam_7_1_3(),
             noise_rel: 0.01,
             sim_seed: seed,
+            noise_seed: None,
             topology: Topology::SingleSwitch,
         }
     }
@@ -68,6 +75,7 @@ impl ClusterConfig {
             profile: MpiProfile::ideal(),
             noise_rel: 0.0,
             sim_seed: seed,
+            noise_seed: None,
             topology: Topology::SingleSwitch,
         }
     }

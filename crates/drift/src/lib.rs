@@ -1,0 +1,83 @@
+//! # cpm-drift
+//!
+//! Online drift detection, staleness scoring and automatic re-estimation
+//! for served model parameters — the subsystem that closes the paper's
+//! measure → estimate → predict pipeline into a loop:
+//!
+//! ```text
+//!   observe ──► detect ──► plan ──► re-estimate ──► republish
+//!      ▲                                                │
+//!      └───────────── serve (fresh parameters) ◄────────┘
+//! ```
+//!
+//! A cluster's communication parameters are not static: links renegotiate
+//! rates, middleware updates shift processing overheads, and the empirical
+//! gather thresholds `M1`/`M2` move with them. Parameters estimated once
+//! (cpm-estimate) and served forever (cpm-serve) silently go stale. This
+//! crate watches *observed* transfer times, maintains per-parameter online
+//! statistics (EWMA + two-sided CUSUM over relative residuals), raises
+//! typed drift events scoped to the responsible parameter, re-runs only
+//! the minimal paper experiments for that scope, and atomically
+//! republishes a new parameter version with full lineage.
+//!
+//! * [`observe`] — the observation vocabulary and collection helpers.
+//! * [`monitor`] — per-parameter residual tracking, CUSUM alarms,
+//!   staleness scoring.
+//! * [`planner`] — maps drift events to the minimal re-estimation
+//!   experiments and executes them.
+//! * [`replay`] — the deterministic end-to-end loop against a scheduled
+//!   drift injection ([`cpm_netsim::DriftSchedule`]).
+//! * [`serve_ext`] — `observe` / `drift-status` verbs for the serve
+//!   protocol ([`cpm_serve::LineHandler`] extension).
+
+pub mod monitor;
+pub mod observe;
+pub mod planner;
+pub mod replay;
+pub mod serve_ext;
+
+pub use monitor::{DriftConfig, DriftEvent, DriftMonitor, DriftScope, ScoreEntry, StalenessReport};
+pub use observe::{ObsKind, Observation};
+pub use planner::{ReestimationPlan, ReestimationPlanner, Refit};
+pub use replay::{replay, EpochReport, RefitReport, ReplayConfig, ReplayOutcome};
+pub use serve_ext::DriftService;
+
+use std::fmt;
+
+/// Errors of the drift loop.
+#[derive(Debug)]
+pub enum DriftError {
+    /// Simulation or estimation failed.
+    Sim(cpm_core::error::CpmError),
+    /// Registry / service operation failed.
+    Serve(cpm_serve::ServeError),
+    /// Bad drift configuration.
+    Config(String),
+}
+
+impl fmt::Display for DriftError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DriftError::Sim(e) => write!(f, "simulation: {e}"),
+            DriftError::Serve(e) => write!(f, "serve: {e}"),
+            DriftError::Config(m) => write!(f, "drift config: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DriftError {}
+
+impl From<cpm_core::error::CpmError> for DriftError {
+    fn from(e: cpm_core::error::CpmError) -> Self {
+        DriftError::Sim(e)
+    }
+}
+
+impl From<cpm_serve::ServeError> for DriftError {
+    fn from(e: cpm_serve::ServeError) -> Self {
+        DriftError::Serve(e)
+    }
+}
+
+/// Drift-crate result.
+pub type Result<T> = std::result::Result<T, DriftError>;

@@ -1,0 +1,124 @@
+//! The observation vocabulary of the drift loop.
+//!
+//! An [`Observation`] is one measured communication time tagged with what
+//! was measured — exactly the information a production MPI layer could
+//! piggyback on its own traffic. The collection helpers below produce them
+//! from simulated clusters (drifted or not) via the receiver-side one-way
+//! probes of `cpm_vmpi::probe`.
+
+use cpm_core::error::Result;
+use cpm_core::rank::{pairs, Rank};
+use cpm_core::units::Bytes;
+use cpm_estimate::experiment::gather_observation;
+use cpm_estimate::schedule::pair_rounds;
+use cpm_netsim::SimCluster;
+use cpm_vmpi::one_way_times;
+
+/// What one observation measured.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ObsKind {
+    /// A one-way point-to-point transfer `src → dst` of `bytes`.
+    P2p { src: Rank, dst: Rank, bytes: Bytes },
+    /// A linear gather of `bytes` per sender into `root`.
+    Gather { root: Rank, bytes: Bytes },
+}
+
+/// One measured communication time.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Observation {
+    pub kind: ObsKind,
+    pub seconds: f64,
+}
+
+impl Observation {
+    pub fn p2p(src: Rank, dst: Rank, bytes: Bytes, seconds: f64) -> Self {
+        Observation {
+            kind: ObsKind::P2p { src, dst, bytes },
+            seconds,
+        }
+    }
+
+    pub fn gather(root: Rank, bytes: Bytes, seconds: f64) -> Self {
+        Observation {
+            kind: ObsKind::Gather { root, bytes },
+            seconds,
+        }
+    }
+}
+
+/// Collects one-way observations of `m` bytes over *every* pair of the
+/// cluster, `reps` per pair, scheduling disjoint pairs in shared runs.
+/// Returns the observations and the virtual time consumed.
+pub fn collect_p2p(
+    cluster: &SimCluster,
+    m: Bytes,
+    reps: usize,
+    seed: u64,
+) -> Result<(Vec<Observation>, f64)> {
+    let n = cluster.n();
+    let mut out = Vec::with_capacity(reps * pairs(n).len());
+    let mut cost = 0.0;
+    for (ri, round) in pair_rounds(n).into_iter().enumerate() {
+        let (samples, end) = one_way_times(cluster, &round, m, reps, seed ^ (ri as u64) << 8)?;
+        cost += end;
+        for (pair, ts) in samples {
+            for t in ts {
+                out.push(Observation::p2p(pair.a, pair.b, m, t));
+            }
+        }
+    }
+    Ok((out, cost))
+}
+
+/// Collects `reps` linear-gather observations of `m` bytes into `root`.
+pub fn collect_gather(
+    cluster: &SimCluster,
+    root: Rank,
+    m: Bytes,
+    reps: usize,
+    seed: u64,
+) -> Result<(Vec<Observation>, f64)> {
+    let (ts, cost) = gather_observation(cluster, root, m, reps, seed)?;
+    Ok((
+        ts.into_iter()
+            .map(|t| Observation::gather(root, m, t))
+            .collect(),
+        cost,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpm_cluster::{ClusterSpec, GroundTruth, MpiProfile};
+
+    fn quiet(n: usize) -> SimCluster {
+        let truth = GroundTruth::synthesize(&ClusterSpec::homogeneous(n), 3);
+        SimCluster::new(truth, MpiProfile::ideal(), 0.0, 3)
+    }
+
+    #[test]
+    fn collect_p2p_covers_every_pair() {
+        let cl = quiet(5);
+        let (obs, cost) = collect_p2p(&cl, 4096, 2, 9).unwrap();
+        assert_eq!(obs.len(), 2 * pairs(5).len());
+        assert!(cost > 0.0);
+        for o in &obs {
+            let ObsKind::P2p { src, dst, bytes } = o.kind else {
+                panic!("wrong kind");
+            };
+            assert!(src < dst);
+            assert_eq!(bytes, 4096);
+            let want = cl.truth.p2p_time(src, dst, 4096);
+            assert!((o.seconds - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn collect_gather_measures_root_side() {
+        let cl = quiet(4);
+        let (obs, _) = collect_gather(&cl, Rank(0), 2048, 3, 1).unwrap();
+        assert_eq!(obs.len(), 3);
+        assert!(obs.iter().all(|o| o.seconds > 0.0));
+    }
+}

@@ -1,0 +1,316 @@
+//! Mapping drift events to the *minimal* re-estimation experiments.
+//!
+//! The LMO estimation procedure (paper §IV) is decomposable: each
+//! parameter group is identified by a small, known set of experiments.
+//! Re-running the full pipeline on every drift would waste the very
+//! property the paper argues for, so the planner re-runs only:
+//!
+//! - **link** `(i, j)` — two roundtrips (`T_ij(0)`, `T_ij(M)`); with the
+//!   served `C`/`t` values held fixed, paper eqs. (8)/(11) give fresh
+//!   `L_ij` and `β_ij` directly;
+//! - **processor** `i` — one one-to-two triplet `i → (j, k)` at sizes 0
+//!   and `M` plus its three supporting roundtrips, solved for `C_i`/`t_i`
+//!   exactly as in the full procedure (then the three measured links are
+//!   refreshed too, since their equations consume the new `C_i`/`t_i`);
+//! - **threshold region** — the gather sweep of the empirics estimator,
+//!   refreshing `M1`/`M2` and the escalation statistics.
+//!
+//! Only the LMO and Hockney parameter families are touched by link and
+//! processor refits (LogGP/PLogP remain from the base estimation), which
+//! is what lets the serve cache invalidate selectively.
+
+use cpm_core::error::{CpmError, Result};
+use cpm_core::rank::{Pair, Rank, Triplet};
+use cpm_core::units::Bytes;
+use cpm_estimate::config::SolverVariant;
+use cpm_estimate::experiment::{one_to_two_round, roundtrip_round};
+use cpm_estimate::{estimate_gather_empirics, EstimateConfig};
+use cpm_netsim::SimCluster;
+use cpm_serve::service::ModelKind;
+use cpm_serve::ParamSet;
+use cpm_stats::Summary;
+
+use crate::monitor::{DriftEvent, DriftScope};
+
+/// The minimal set of experiments a batch of events calls for.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ReestimationPlan {
+    /// Links to re-measure with point-to-point roundtrips.
+    pub links: Vec<Pair>,
+    /// Processors to re-measure with one one-to-two triplet each.
+    pub processors: Vec<Rank>,
+    /// Re-run the gather sweep for `M1`/`M2`/escalation statistics.
+    pub thresholds: bool,
+}
+
+impl ReestimationPlan {
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty() && self.processors.is_empty() && !self.thresholds
+    }
+}
+
+/// The outcome of executing a plan.
+#[derive(Clone, Debug)]
+pub struct Refit {
+    /// The updated parameter set (lineage not yet attached).
+    pub params: ParamSet,
+    /// Point-to-point roundtrip runs performed.
+    pub p2p_runs: usize,
+    /// One-to-two runs performed.
+    pub triplet_runs: usize,
+    /// Gather-sweep runs performed.
+    pub sweep_runs: usize,
+    /// Virtual cluster time consumed, seconds.
+    pub virtual_cost: f64,
+    /// Model families whose parameters changed (for cache invalidation).
+    pub touched: Vec<ModelKind>,
+}
+
+/// Plans and executes minimal re-estimations.
+pub struct ReestimationPlanner;
+
+impl ReestimationPlanner {
+    /// Reduces a batch of events to a deduplicated plan. Links incident to
+    /// a planned processor are dropped — the processor refit re-measures
+    /// them anyway.
+    pub fn plan(events: &[DriftEvent]) -> ReestimationPlan {
+        let mut plan = ReestimationPlan::default();
+        for e in events {
+            match e.scope {
+                DriftScope::Processor(r) => {
+                    if !plan.processors.contains(&r) {
+                        plan.processors.push(r);
+                    }
+                }
+                DriftScope::Link(p) => {
+                    if !plan.links.contains(&p) {
+                        plan.links.push(p);
+                    }
+                }
+                DriftScope::ThresholdRegion => plan.thresholds = true,
+            }
+        }
+        let procs = plan.processors.clone();
+        plan.links
+            .retain(|p| !procs.contains(&p.a) && !procs.contains(&p.b));
+        plan
+    }
+
+    /// Runs the planned experiments against `sim` and returns the refitted
+    /// parameter set. Seeds are derived from `cfg.seed` and the base
+    /// parameter version, so successive refits measure fresh series.
+    pub fn execute(
+        sim: &SimCluster,
+        base: &ParamSet,
+        plan: &ReestimationPlan,
+        cfg: &EstimateConfig,
+    ) -> Result<Refit> {
+        let mut ps = base.clone();
+        let mut refit = Refit {
+            params: ParamSet {
+                // Placeholder; replaced at the end.
+                ..base.clone()
+            },
+            p2p_runs: 0,
+            triplet_runs: 0,
+            sweep_runs: 0,
+            virtual_cost: 0.0,
+            touched: Vec::new(),
+        };
+        let mut seed = cfg.seed ^ 0xd21f7 ^ base.param_version.wrapping_mul(0x9e37_79b9);
+        let m = cfg.probe_m;
+
+        for &r in &plan.processors {
+            seed = seed.wrapping_add(0x1000);
+            refit_processor(sim, &mut ps, r, m, cfg, seed, &mut refit)?;
+        }
+        for &p in &plan.links {
+            seed = seed.wrapping_add(0x1000);
+            let (rt0, rtm, cost) = measure_pair(sim, p, m, cfg.reps, seed)?;
+            refit.virtual_cost += cost;
+            refit.p2p_runs += 2;
+            refit_link(&mut ps, p, rt0, rtm, m);
+        }
+        if !plan.processors.is_empty() || !plan.links.is_empty() {
+            refit.touched.push(ModelKind::Lmo);
+            refit.touched.push(ModelKind::Hockney);
+        }
+        if plan.thresholds {
+            seed = seed.wrapping_add(0x1000);
+            let ecfg = EstimateConfig { seed, ..*cfg };
+            let emp = estimate_gather_empirics(sim, &ecfg)?;
+            ps.lmo.gather = emp.model;
+            refit.sweep_runs += emp.runs;
+            refit.virtual_cost += emp.virtual_cost;
+            if !refit.touched.contains(&ModelKind::Lmo) {
+                refit.touched.push(ModelKind::Lmo);
+            }
+        }
+
+        ps.runs += refit.p2p_runs + refit.triplet_runs + refit.sweep_runs;
+        ps.virtual_cost += refit.virtual_cost;
+        refit.params = ps;
+        Ok(refit)
+    }
+}
+
+/// Mean roundtrip times `(T(0), T(M))` of one pair, plus virtual cost.
+fn measure_pair(
+    sim: &SimCluster,
+    pair: Pair,
+    m: Bytes,
+    reps: usize,
+    seed: u64,
+) -> Result<(f64, f64, f64)> {
+    let unit = [pair];
+    let (s0, end0) = roundtrip_round(sim, &unit, 0, 0, reps, seed)?;
+    let (sm, endm) = roundtrip_round(sim, &unit, m, m, reps, seed.wrapping_add(1))?;
+    let rt0 = Summary::of(&s0[0].t).mean();
+    let rtm = Summary::of(&sm[0].t).mean();
+    Ok((rt0, rtm, end0 + endm))
+}
+
+/// Solves eqs. (8)/(11) for one link with the served `C`/`t` held fixed,
+/// updating the LMO link parameters and the per-pair Hockney fit.
+fn refit_link(ps: &mut ParamSet, pair: Pair, rt0: f64, rtm: f64, m: Bytes) {
+    let (ia, ib) = (pair.a.idx(), pair.b.idx());
+    let mf = m as f64;
+    let lmo = &mut ps.lmo;
+    let l = (rt0 / 2.0 - lmo.c[ia] - lmo.c[ib]).max(0.0);
+    lmo.l.set(pair.a, pair.b, l);
+    let inv = (rtm / 2.0 - lmo.c[ia] - l - lmo.c[ib]) / mf - lmo.t[ia] - lmo.t[ib];
+    let beta = if inv <= 0.0 { f64::INFINITY } else { 1.0 / inv };
+    lmo.beta.set(pair.a, pair.b, beta);
+    // Hockney's one-way `α + βM` fit from the same two measurements.
+    ps.hockney.alpha.set(pair.a, pair.b, rt0 / 2.0);
+    ps.hockney
+        .beta
+        .set(pair.a, pair.b, (rtm - rt0) / (2.0 * mf));
+}
+
+/// Re-measures `C_r`/`t_r` with one triplet `r → (j, k)` (paper
+/// eqs. (8)/(11)), then refreshes the three measured links.
+fn refit_processor(
+    sim: &SimCluster,
+    ps: &mut ParamSet,
+    r: Rank,
+    m: Bytes,
+    cfg: &EstimateConfig,
+    seed: u64,
+    refit: &mut Refit,
+) -> Result<()> {
+    let n = sim.n();
+    if n < 3 {
+        return Err(CpmError::Estimation(
+            "processor refit needs at least 3 nodes".into(),
+        ));
+    }
+    let mut others = (0..n).map(Rank::from).filter(|x| *x != r);
+    let (j, k) = (others.next().unwrap(), others.next().unwrap());
+    let trip = Triplet::new(r, j, k);
+
+    let prj = Pair::new(r, j);
+    let prk = Pair::new(r, k);
+    let pjk = Pair::new(j, k);
+    let mut rt = std::collections::HashMap::new();
+    for (idx, p) in [prj, prk, pjk].into_iter().enumerate() {
+        let (rt0, rtm, cost) = measure_pair(sim, p, m, cfg.reps, seed ^ ((idx as u64 + 1) << 4))?;
+        refit.virtual_cost += cost;
+        refit.p2p_runs += 2;
+        rt.insert(p, (rt0, rtm));
+    }
+
+    // Send to the faster child first — the estimation equations assume the
+    // slower child dominates (see cpm-estimate's LMO module).
+    let tail0 = |x: Rank| rt[&Pair::new(r, x)].0;
+    let tail_m = |x: Rank| {
+        let (a, b) = rt[&Pair::new(r, x)];
+        (a + b) / 2.0
+    };
+    let order0 = move |t: Triplet, root: Rank| order_children(t, root, tail0);
+    let order_m = move |t: Triplet, root: Rank| order_children(t, root, tail_m);
+
+    let unit = [trip];
+    let (s0, end0) = one_to_two_round(sim, &unit, 0, 0, cfg.reps, seed ^ 0x51, Some(&order0))?;
+    let (sm, endm) = one_to_two_round(sim, &unit, m, 0, cfg.reps, seed ^ 0x52, Some(&order_m))?;
+    refit.virtual_cost += end0 + endm;
+    refit.triplet_runs += 2;
+    let t0 = mean_for_root(&s0, r)?;
+    let tm = mean_for_root(&sm, r)?;
+
+    let mf = m as f64;
+    let max_rt = rt[&prj].0.max(rt[&prk].0);
+    let c = match cfg.solver {
+        SolverVariant::Paper => (t0 - max_rt) / 2.0,
+        SolverVariant::Overlap => t0 - max_rt,
+    };
+    let max_half = tail_m(j).max(tail_m(k));
+    let c_terms = match cfg.solver {
+        SolverVariant::Paper => 2.0 * c,
+        SolverVariant::Overlap => c,
+    };
+    let t = (tm - max_half - c_terms) / mf;
+    ps.lmo.c[r.idx()] = c.max(0.0);
+    ps.lmo.t[r.idx()] = t.max(0.0);
+
+    // The link equations consume C_r/t_r, so refresh the measured links
+    // with the new values.
+    for p in [prj, prk, pjk] {
+        let (rt0, rtm) = rt[&p];
+        refit_link(ps, p, rt0, rtm, m);
+    }
+    Ok(())
+}
+
+fn order_children(t: Triplet, root: Rank, tail: impl Fn(Rank) -> f64) -> [Rank; 2] {
+    let [a, b] = t.others(root);
+    if tail(a) <= tail(b) {
+        [a, b]
+    } else {
+        [b, a]
+    }
+}
+
+fn mean_for_root(samples: &[cpm_estimate::experiment::TripletSample], root: Rank) -> Result<f64> {
+    samples
+        .iter()
+        .find(|s| s.root == root)
+        .map(|s| Summary::of(&s.t).mean())
+        .ok_or_else(|| CpmError::Estimation("one-to-two sample missing for root".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpm_stats::CusumAlarm;
+
+    fn ev(scope: DriftScope) -> DriftEvent {
+        DriftEvent {
+            scope,
+            direction: CusumAlarm::Up,
+            residual_mean: 0.1,
+            samples: 20,
+        }
+    }
+
+    #[test]
+    fn plan_dedups_and_absorbs_links_into_processors() {
+        let events = [
+            ev(DriftScope::Link(Pair::new(Rank(0), Rank(1)))),
+            ev(DriftScope::Link(Pair::new(Rank(0), Rank(1)))),
+            ev(DriftScope::Link(Pair::new(Rank(2), Rank(3)))),
+            ev(DriftScope::Processor(Rank(2))),
+            ev(DriftScope::ThresholdRegion),
+        ];
+        let plan = ReestimationPlanner::plan(&events);
+        assert_eq!(plan.links, vec![Pair::new(Rank(0), Rank(1))]);
+        assert_eq!(plan.processors, vec![Rank(2)]);
+        assert!(plan.thresholds);
+    }
+
+    #[test]
+    fn empty_events_make_an_empty_plan() {
+        let plan = ReestimationPlanner::plan(&[]);
+        assert!(plan.is_empty());
+    }
+}

@@ -1,0 +1,287 @@
+//! The deterministic end-to-end drift loop.
+//!
+//! [`replay`] drives the whole measure → detect → re-estimate → republish
+//! cycle against a *scheduled* drift injection: a base cluster, a
+//! [`DriftSchedule`] that perturbs it at configured virtual times, and a
+//! serve registry. Per epoch it materializes the drifted cluster, collects
+//! one-way point-to-point (and, when the served model has gather empirics,
+//! linear-gather) observations, feeds the [`DriftMonitor`], and — when
+//! events fire — executes the minimal re-estimation plan, validates the
+//! refit on a fresh observation window, and republishes the new parameter
+//! version with full lineage. Everything is seeded from the replay
+//! configuration, so a run is reproducible bit for bit.
+
+use cpm_cluster::ClusterConfig;
+use cpm_core::rank::Rank;
+use cpm_core::units::{Bytes, KIB};
+use cpm_estimate::EstimateConfig;
+use cpm_models::LmoExtended;
+use cpm_netsim::{DriftSchedule, SimCluster};
+use cpm_serve::service::{ClusterRef, ModelKind, Service};
+use cpm_serve::{Lineage, ResidualSummary};
+
+use crate::monitor::{DriftConfig, DriftEvent, DriftMonitor};
+use crate::observe::{collect_gather, collect_p2p, ObsKind, Observation};
+use crate::planner::ReestimationPlanner;
+use crate::Result;
+
+/// Replay parameters. All randomness derives from `seed`.
+#[derive(Clone, Debug)]
+pub struct ReplayConfig {
+    /// Observation epochs to simulate.
+    pub epochs: usize,
+    /// Virtual seconds between epochs (the drift schedule's clock).
+    pub epoch_duration: f64,
+    /// Observations per pair per epoch.
+    pub obs_per_pair: usize,
+    /// Message size of the point-to-point observations.
+    pub probe_m: Bytes,
+    /// Base seed for observation and validation collection.
+    pub seed: u64,
+    /// Detector tuning.
+    pub monitor: DriftConfig,
+    /// Estimation tuning for refits.
+    pub est: EstimateConfig,
+}
+
+impl Default for ReplayConfig {
+    fn default() -> Self {
+        ReplayConfig {
+            epochs: 6,
+            epoch_duration: 60.0,
+            obs_per_pair: 4,
+            probe_m: 32 * KIB,
+            seed: 0x0dd5,
+            monitor: DriftConfig::default(),
+            est: EstimateConfig::default(),
+        }
+    }
+}
+
+/// What one republish did.
+#[derive(Clone, Debug)]
+pub struct RefitReport {
+    /// The new registry version.
+    pub version: u64,
+    /// Human-readable trigger (the events, joined).
+    pub trigger: String,
+    pub residual_before: ResidualSummary,
+    pub residual_after: ResidualSummary,
+    pub p2p_runs: usize,
+    pub triplet_runs: usize,
+    pub sweep_runs: usize,
+    /// Cache entries invalidated by the republish.
+    pub invalidated: usize,
+    pub touched: Vec<ModelKind>,
+}
+
+/// One epoch of the replay.
+#[derive(Clone, Debug)]
+pub struct EpochReport {
+    pub epoch: usize,
+    /// Virtual time of the epoch on the drift schedule's clock.
+    pub virtual_time: f64,
+    pub events: Vec<DriftEvent>,
+    /// Overall staleness after the epoch's observations (pre-refit).
+    pub staleness: f64,
+    pub refit: Option<RefitReport>,
+}
+
+/// The full replay outcome.
+#[derive(Clone, Debug)]
+pub struct ReplayOutcome {
+    pub fingerprint: String,
+    /// Parameter version served before the replay started.
+    pub baseline_version: u64,
+    /// Parameter version served after the replay.
+    pub final_version: u64,
+    pub epochs: Vec<EpochReport>,
+}
+
+/// Deterministic seed mixing (replays must not depend on call order).
+fn mix(seed: u64, a: u64, b: u64) -> u64 {
+    let mut h = seed ^ a.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ b.rotate_left(31);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^ (h >> 29)
+}
+
+/// Absolute relative residuals of `obs` under `model`.
+pub(crate) fn residual_summary(model: &LmoExtended, obs: &[Observation]) -> ResidualSummary {
+    let mut sum = 0.0;
+    let mut max = 0.0f64;
+    let mut count = 0usize;
+    for o in obs {
+        let pred = match o.kind {
+            ObsKind::P2p { src, dst, bytes } => model.time(src, dst, bytes),
+            ObsKind::Gather { root, bytes } => model.linear_gather(root, bytes).expected,
+        };
+        if !(pred.is_finite() && pred > 0.0) {
+            continue;
+        }
+        let r = (o.seconds / pred - 1.0).abs();
+        sum += r;
+        max = max.max(r);
+        count += 1;
+    }
+    ResidualSummary {
+        mean_abs_rel: if count == 0 { 0.0 } else { sum / count as f64 },
+        max_abs_rel: max,
+        count,
+    }
+}
+
+/// Runs the full loop. The parameter set for `config` is estimated (and
+/// published as version 1) if the registry does not hold it yet.
+pub fn replay(
+    service: &Service,
+    config: &ClusterConfig,
+    schedule: &DriftSchedule,
+    rcfg: &ReplayConfig,
+) -> Result<ReplayOutcome> {
+    let mut ps = service.param_set(&ClusterRef::Config(Box::new(config.clone())))?;
+    let fingerprint = ps.fingerprint.clone();
+    let baseline_version = ps.param_version;
+    let base_sim = SimCluster::from_config(config);
+    let mut monitor = DriftMonitor::new(&ps.lmo, rcfg.monitor);
+
+    let mut epochs = Vec::with_capacity(rcfg.epochs);
+    for epoch in 0..rcfg.epochs {
+        let now = epoch as f64 * rcfg.epoch_duration;
+        let drifted = schedule.apply(&base_sim, now);
+
+        // ── Observe ────────────────────────────────────────────────────
+        let obs_seed = mix(rcfg.seed, epoch as u64, 0x0b5);
+        let (obs, _) = collect_p2p(&drifted, rcfg.probe_m, rcfg.obs_per_pair, obs_seed)?;
+        let mut events: Vec<DriftEvent> = Vec::new();
+        for o in &obs {
+            if let Some(e) = monitor.observe(o) {
+                events.push(e);
+            }
+        }
+        let gather = monitor.model().gather.clone();
+        if gather.m1 < Bytes::MAX {
+            let mid = gather.m1 + (gather.m2.saturating_sub(gather.m1)) / 2;
+            let (gobs, _) = collect_gather(
+                &drifted,
+                Rank(0),
+                mid,
+                rcfg.obs_per_pair,
+                mix(rcfg.seed, epoch as u64, 0x6a7),
+            )?;
+            for o in &gobs {
+                if let Some(e) = monitor.observe(o) {
+                    events.push(e);
+                }
+            }
+        }
+        let staleness = monitor.staleness().overall;
+
+        // ── Detect → plan → re-estimate → republish ───────────────────
+        let mut refit_report = None;
+        let plan = ReestimationPlanner::plan(&events);
+        if !plan.is_empty() {
+            // Validation window: fresh observations of the drifted
+            // cluster, scored against the old and the new model.
+            let val_seed = mix(rcfg.seed, epoch as u64, 0x7a1);
+            let (mut val, _) = collect_p2p(&drifted, rcfg.probe_m, 2, val_seed)?;
+            if plan.thresholds && gather.m1 < Bytes::MAX {
+                let mid = gather.m1 + (gather.m2.saturating_sub(gather.m1)) / 2;
+                let (gv, _) = collect_gather(
+                    &drifted,
+                    Rank(0),
+                    mid,
+                    2,
+                    mix(rcfg.seed, epoch as u64, 0x7a2),
+                )?;
+                val.extend(gv);
+            }
+
+            let est = EstimateConfig {
+                seed: mix(rcfg.seed, epoch as u64, 0xe57),
+                ..rcfg.est
+            };
+            let refit = ReestimationPlanner::execute(&drifted, &ps, &plan, &est)?;
+            let before = residual_summary(&ps.lmo, &val);
+            let after = residual_summary(&refit.params.lmo, &val);
+            let trigger = events
+                .iter()
+                .map(DriftEvent::describe)
+                .collect::<Vec<_>>()
+                .join("; ");
+
+            let mut params = refit.params;
+            params.lineage = Some(Lineage {
+                parent_version: ps.param_version,
+                parent_fingerprint: ps.fingerprint.clone(),
+                trigger: trigger.clone(),
+                residual_before: before,
+                residual_after: after,
+            });
+            let (new_ps, invalidated) = service.republish(params, &refit.touched)?;
+            refit_report = Some(RefitReport {
+                version: new_ps.param_version,
+                trigger,
+                residual_before: before,
+                residual_after: after,
+                p2p_runs: refit.p2p_runs,
+                triplet_runs: refit.triplet_runs,
+                sweep_runs: refit.sweep_runs,
+                invalidated,
+                touched: refit.touched,
+            });
+            ps = new_ps;
+            // Fresh parameters need a fresh monitor.
+            monitor = DriftMonitor::new(&ps.lmo, rcfg.monitor);
+        }
+
+        epochs.push(EpochReport {
+            epoch,
+            virtual_time: now,
+            events,
+            staleness,
+            refit: refit_report,
+        });
+    }
+
+    Ok(ReplayOutcome {
+        fingerprint,
+        baseline_version,
+        final_version: ps.param_version,
+        epochs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpm_core::matrix::SymMatrix;
+    use cpm_models::GatherEmpirics;
+
+    #[test]
+    fn residual_summary_scores_relative_error() {
+        let model = LmoExtended::new(
+            vec![40e-6; 3],
+            vec![7e-9; 3],
+            SymMatrix::filled(3, 42e-6),
+            SymMatrix::filled(3, 90e6),
+            GatherEmpirics::none(),
+        );
+        let exact = model.time(Rank(0), Rank(1), 1024);
+        let obs = [
+            Observation::p2p(Rank(0), Rank(1), 1024, exact),
+            Observation::p2p(Rank(0), Rank(1), 1024, exact * 1.10),
+        ];
+        let s = residual_summary(&model, &obs);
+        assert_eq!(s.count, 2);
+        assert!((s.mean_abs_rel - 0.05).abs() < 1e-9);
+        assert!((s.max_abs_rel - 0.10).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mix_is_deterministic_and_spread() {
+        assert_eq!(mix(1, 2, 3), mix(1, 2, 3));
+        assert_ne!(mix(1, 2, 3), mix(1, 3, 2));
+        assert_ne!(mix(1, 2, 3), mix(2, 2, 3));
+    }
+}

@@ -1,0 +1,321 @@
+//! Drift-aware extension of the serve protocol.
+//!
+//! [`DriftService`] wraps a [`Service`] behind the serve protocol's
+//! [`LineHandler`] seam and adds two verbs:
+//!
+//! - `observe` — ingest one measured transfer time for a served
+//!   fingerprint; responds with any drift events it raised and the current
+//!   staleness score:
+//!   `{"verb":"observe","fingerprint":F,"kind":"p2p","src":0,"dst":1,
+//!     "m":32768,"seconds":1.2e-3}` (or `"kind":"gather"` with `"root"`);
+//! - `drift-status` — the full staleness report for a fingerprint:
+//!   `{"verb":"drift-status","fingerprint":F}`.
+//!
+//! Every other verb is delegated verbatim to the core protocol, so a
+//! drift-enabled server is a strict superset of a plain one.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use cpm_core::rank::Rank;
+use cpm_serve::service::{ClusterRef, Service};
+use cpm_serve::{LineHandler, ServeError};
+use parking_lot::Mutex;
+use serde_json::Value;
+
+use crate::monitor::{DriftConfig, DriftMonitor, ScoreEntry};
+use crate::observe::Observation;
+
+type SResult<T> = std::result::Result<T, ServeError>;
+
+/// A [`LineHandler`] adding drift verbs on top of the core protocol.
+pub struct DriftService {
+    service: Arc<Service>,
+    cfg: DriftConfig,
+    monitors: Mutex<HashMap<String, DriftMonitor>>,
+}
+
+fn bad(msg: impl Into<String>) -> ServeError {
+    ServeError::Protocol(msg.into())
+}
+
+fn str_field<'a>(v: &'a Value, key: &str) -> SResult<&'a str> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .ok_or_else(|| bad(format!("missing or non-string field {key:?}")))
+}
+
+fn u64_field(v: &Value, key: &str) -> SResult<u64> {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| bad(format!("missing or non-integer field {key:?}")))
+}
+
+fn rank_field(v: &Value, key: &str) -> SResult<Rank> {
+    let raw = u64_field(v, key)?;
+    u32::try_from(raw)
+        .map(Rank)
+        .map_err(|_| bad(format!("field {key:?} is not a valid rank")))
+}
+
+fn f64_field(v: &Value, key: &str) -> SResult<f64> {
+    v.get(key)
+        .and_then(|x| x.as_f64().or_else(|| x.as_u64().map(|u| u as f64)))
+        .ok_or_else(|| bad(format!("missing or non-numeric field {key:?}")))
+}
+
+fn obj(entries: Vec<(&str, Value)>) -> Value {
+    Value::Map(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn score_json(e: &ScoreEntry) -> Value {
+    obj(vec![
+        ("score", Value::F64(e.score)),
+        ("mean_residual", Value::F64(e.mean_residual)),
+        ("samples", Value::U64(e.samples as u64)),
+    ])
+}
+
+impl DriftService {
+    pub fn new(service: Arc<Service>, cfg: DriftConfig) -> Arc<Self> {
+        Arc::new(DriftService {
+            service,
+            cfg,
+            monitors: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// The wrapped core service.
+    pub fn service(&self) -> &Arc<Service> {
+        &self.service
+    }
+
+    /// Runs `f` against the (lazily created) monitor for `fp`.
+    fn with_monitor<T>(&self, fp: &str, f: impl FnOnce(&mut DriftMonitor) -> T) -> SResult<T> {
+        let mut monitors = self.monitors.lock();
+        if !monitors.contains_key(fp) {
+            let ps = self
+                .service
+                .param_set(&ClusterRef::Fingerprint(fp.to_string()))?;
+            monitors.insert(fp.to_string(), DriftMonitor::new(&ps.lmo, self.cfg));
+        }
+        Ok(f(monitors.get_mut(fp).expect("just inserted")))
+    }
+
+    fn handle_observe(&self, v: &Value) -> SResult<Value> {
+        let fp = str_field(v, "fingerprint")?;
+        let m = u64_field(v, "m")?;
+        let seconds = f64_field(v, "seconds")?;
+        let obs = match str_field(v, "kind")? {
+            "p2p" => Observation::p2p(rank_field(v, "src")?, rank_field(v, "dst")?, m, seconds),
+            "gather" => Observation::gather(rank_field(v, "root")?, m, seconds),
+            other => return Err(bad(format!("unknown kind {other:?} (p2p|gather)"))),
+        };
+        let (event, staleness) =
+            self.with_monitor(fp, |mon| (mon.observe(&obs), mon.staleness().overall))?;
+        let events: Vec<Value> = event
+            .iter()
+            .map(|e| {
+                obj(vec![
+                    ("scope", Value::Str(e.describe())),
+                    ("residual_mean", Value::F64(e.residual_mean)),
+                    ("samples", Value::U64(e.samples as u64)),
+                ])
+            })
+            .collect();
+        Ok(obj(vec![
+            ("fingerprint", Value::Str(fp.to_string())),
+            ("events", Value::Seq(events)),
+            ("staleness", Value::F64(staleness)),
+        ]))
+    }
+
+    fn handle_status(&self, v: &Value) -> SResult<Value> {
+        let fp = str_field(v, "fingerprint")?;
+        let report = self.with_monitor(fp, |mon| mon.staleness())?;
+        let links: Vec<Value> = report
+            .links
+            .iter()
+            .map(|(pair, e)| {
+                obj(vec![
+                    ("i", Value::U64(pair.a.idx() as u64)),
+                    ("j", Value::U64(pair.b.idx() as u64)),
+                    ("score", Value::F64(e.score)),
+                    ("mean_residual", Value::F64(e.mean_residual)),
+                    ("samples", Value::U64(e.samples as u64)),
+                ])
+            })
+            .collect();
+        Ok(obj(vec![
+            ("fingerprint", Value::Str(fp.to_string())),
+            ("observations", Value::U64(report.observations)),
+            ("staleness", Value::F64(report.overall)),
+            ("links", Value::Seq(links)),
+            ("threshold", score_json(&report.threshold)),
+        ]))
+    }
+
+    fn dispatch(&self, line: &str) -> Option<SResult<Value>> {
+        let v: Value = serde_json::from_str(line).ok()?;
+        match v.get("verb").and_then(Value::as_str) {
+            Some("observe") => Some(self.handle_observe(&v)),
+            Some("drift-status") => Some(self.handle_status(&v)),
+            _ => None,
+        }
+    }
+}
+
+impl LineHandler for DriftService {
+    fn handle_line(&self, line: &str) -> (String, bool) {
+        let Some(outcome) = self.dispatch(line) else {
+            // Not a drift verb (or not even JSON): the core protocol owns
+            // the response, including its error reporting.
+            return self.service.handle_line(line);
+        };
+        let value = match outcome {
+            Ok(Value::Map(mut entries)) => {
+                entries.insert(0, ("ok".to_string(), Value::Bool(true)));
+                Value::Map(entries)
+            }
+            Ok(other) => other,
+            Err(e) => obj(vec![
+                ("ok", Value::Bool(false)),
+                ("error", Value::Str(e.to_string())),
+            ]),
+        };
+        let text = serde_json::to_string(&value)
+            .unwrap_or_else(|_| "{\"ok\":false,\"error\":\"serialization failure\"}".to_string());
+        (text, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpm_cluster::{ClusterConfig, ClusterSpec};
+    use cpm_estimate::EstimateConfig;
+    use cpm_serve::service::ServiceConfig;
+
+    fn drift_service(tag: &str) -> (std::path::PathBuf, Arc<DriftService>, String) {
+        let dir = std::env::temp_dir().join(format!("cpm-dsvc-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = ServiceConfig {
+            est: EstimateConfig {
+                reps: 1,
+                ..EstimateConfig::with_seed(11)
+            },
+            ..ServiceConfig::default()
+        };
+        let service = Arc::new(Service::open(&dir, cfg).unwrap());
+        let config = ClusterConfig::ideal(ClusterSpec::homogeneous(4), 11);
+        let ps = service
+            .param_set(&ClusterRef::Config(Box::new(config)))
+            .unwrap();
+        let fp = ps.fingerprint.clone();
+        (dir, DriftService::new(service, DriftConfig::default()), fp)
+    }
+
+    fn ok_flag(v: &Value) -> Option<bool> {
+        match v.get("ok") {
+            Some(Value::Bool(b)) => Some(*b),
+            _ => None,
+        }
+    }
+
+    fn parsed(ds: &DriftService, line: &str) -> Value {
+        let (text, shutdown) = ds.handle_line(line);
+        assert!(!shutdown);
+        serde_json::from_str(&text).unwrap()
+    }
+
+    #[test]
+    fn observe_and_status_round_trip() {
+        let (dir, ds, fp) = drift_service("obs");
+        let model = ds
+            .service()
+            .param_set(&ClusterRef::Fingerprint(fp.clone()))
+            .unwrap()
+            .lmo
+            .clone();
+        let on_model = model.time(Rank(0), Rank(1), 16384);
+
+        let line = format!(
+            "{{\"verb\":\"observe\",\"fingerprint\":\"{fp}\",\"kind\":\"p2p\",\
+             \"src\":0,\"dst\":1,\"m\":16384,\"seconds\":{on_model}}}"
+        );
+        let v = parsed(&ds, &line);
+        assert_eq!(ok_flag(&v), Some(true));
+        assert!(matches!(v.get("events"), Some(Value::Seq(e)) if e.is_empty()));
+        assert!(v.get("staleness").and_then(Value::as_f64).unwrap() < 1.0);
+
+        let status = parsed(
+            &ds,
+            &format!("{{\"verb\":\"drift-status\",\"fingerprint\":\"{fp}\"}}"),
+        );
+        assert_eq!(ok_flag(&status), Some(true));
+        assert_eq!(status.get("observations").and_then(Value::as_u64), Some(1));
+        let Some(Value::Seq(links)) = status.get("links") else {
+            panic!("links missing");
+        };
+        assert_eq!(links.len(), 6, "C(4,2) link tracks");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn sustained_deviation_reports_an_event_over_the_wire() {
+        let (dir, ds, fp) = drift_service("event");
+        let model = ds
+            .service()
+            .param_set(&ClusterRef::Fingerprint(fp.clone()))
+            .unwrap()
+            .lmo
+            .clone();
+        let slow = model.time(Rank(0), Rank(2), 16384) * 1.25;
+        let line = format!(
+            "{{\"verb\":\"observe\",\"fingerprint\":\"{fp}\",\"kind\":\"p2p\",\
+             \"src\":0,\"dst\":2,\"m\":16384,\"seconds\":{slow}}}"
+        );
+        let mut alarmed = false;
+        for _ in 0..20 {
+            let v = parsed(&ds, &line);
+            if matches!(v.get("events"), Some(Value::Seq(e)) if !e.is_empty()) {
+                let Some(Value::Seq(events)) = v.get("events") else {
+                    unreachable!()
+                };
+                let scope = events[0].get("scope").and_then(Value::as_str).unwrap();
+                assert_eq!(scope, "link(0,2) up");
+                alarmed = true;
+                break;
+            }
+        }
+        assert!(alarmed, "25% sustained deviation must alarm within 20 obs");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn malformed_and_foreign_verbs_are_handled() {
+        let (dir, ds, fp) = drift_service("err");
+        // Unknown fingerprint.
+        let v = parsed(&ds, "{\"verb\":\"drift-status\",\"fingerprint\":\"nope\"}");
+        assert_eq!(ok_flag(&v), Some(false));
+        // Bad kind.
+        let v = parsed(
+            &ds,
+            &format!(
+                "{{\"verb\":\"observe\",\"fingerprint\":\"{fp}\",\"kind\":\"x\",\
+                 \"m\":1,\"seconds\":1.0}}"
+            ),
+        );
+        assert_eq!(ok_flag(&v), Some(false));
+        // Core verbs still work through the wrapper.
+        let v = parsed(&ds, "{\"verb\":\"stats\"}");
+        assert_eq!(ok_flag(&v), Some(true));
+        assert!(v.get("republishes").and_then(Value::as_u64).is_some());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

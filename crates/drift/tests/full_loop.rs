@@ -1,0 +1,206 @@
+//! End-to-end drift loop: a scheduled β_ij step change must be detected on
+//! the right link, re-estimated with only point-to-point experiments, and
+//! republished with post-refit residuals back at the noise floor — all
+//! reproducible from a fixed seed.
+
+use cpm_cluster::{ClusterConfig, ClusterSpec};
+use cpm_core::rank::{Pair, Rank};
+use cpm_core::units::KIB;
+use cpm_drift::monitor::{DriftConfig, DriftScope};
+use cpm_drift::replay::{replay, ReplayConfig, ReplayOutcome};
+use cpm_estimate::EstimateConfig;
+use cpm_netsim::{DriftChange, DriftSchedule, DriftShape, DriftTarget};
+use cpm_serve::service::{
+    Algorithm, ClusterRef, Collective, ModelKind, Query, Service, ServiceConfig,
+};
+use cpm_stats::CusumAlarm;
+
+fn test_config() -> ClusterConfig {
+    let mut config = ClusterConfig::ideal(ClusterSpec::homogeneous(5), 7);
+    config.noise_rel = 0.005;
+    config.noise_seed = Some(42);
+    config
+}
+
+fn beta_step_schedule() -> DriftSchedule {
+    DriftSchedule {
+        changes: vec![DriftChange {
+            target: DriftTarget::LinkBeta { i: 0, j: 1 },
+            at: 100.0,
+            shape: DriftShape::Step,
+            // Bandwidth halves: transfers over (0,1) slow down.
+            factor: 0.5,
+        }],
+    }
+}
+
+fn replay_config() -> ReplayConfig {
+    ReplayConfig {
+        epochs: 4,
+        epoch_duration: 60.0,
+        obs_per_pair: 6,
+        probe_m: 32 * KIB,
+        seed: 0x5ee1,
+        monitor: DriftConfig {
+            // Wide enough that the served model's own estimation bias
+            // (sub-percent at reps = 6) cannot accumulate into an alarm.
+            sigma_rel: 0.02,
+            ..DriftConfig::default()
+        },
+        est: EstimateConfig {
+            reps: 2,
+            ..EstimateConfig::with_seed(3)
+        },
+    }
+}
+
+fn open_service(tag: &str) -> (std::path::PathBuf, Service) {
+    let dir = std::env::temp_dir().join(format!("cpm-drift-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = ServiceConfig {
+        est: EstimateConfig {
+            reps: 6,
+            ..EstimateConfig::with_seed(11)
+        },
+        ..ServiceConfig::default()
+    };
+    (dir.clone(), Service::open(&dir, cfg).unwrap())
+}
+
+fn run_replay(tag: &str) -> (std::path::PathBuf, Service, ReplayOutcome) {
+    let (dir, service) = open_service(tag);
+    let config = test_config();
+
+    // Pre-warm the cache with one LMO and one LogGP prediction so the
+    // republish's selective invalidation is observable.
+    for model in [ModelKind::Lmo, ModelKind::Loggp] {
+        let q = Query {
+            model,
+            collective: Collective::Scatter,
+            algorithm: Algorithm::Linear,
+            m: 4096,
+            root: 0,
+        };
+        service
+            .predict(&ClusterRef::Config(Box::new(config.clone())), &q)
+            .unwrap();
+    }
+
+    let outcome = replay(&service, &config, &beta_step_schedule(), &replay_config()).unwrap();
+    (dir, service, outcome)
+}
+
+#[test]
+fn beta_step_is_detected_refit_and_republished() {
+    let (dir, service, outcome) = run_replay("loop");
+
+    assert_eq!(outcome.baseline_version, 1);
+    assert_eq!(outcome.final_version, 2, "exactly one republish");
+    assert_eq!(outcome.epochs.len(), 4);
+
+    // Epochs before the change (virtual times 0 and 60 < 100) are quiet.
+    for e in &outcome.epochs[..2] {
+        assert!(e.events.is_empty(), "false alarm in epoch {}", e.epoch);
+        assert!(e.refit.is_none());
+        assert!(e.staleness < 1.0, "stale before drift: {}", e.staleness);
+    }
+
+    // The first drifted epoch (t = 120) alarms on exactly the right link.
+    let hit = &outcome.epochs[2];
+    assert_eq!(hit.events.len(), 1, "events: {:?}", hit.events);
+    let event = hit.events[0];
+    assert_eq!(event.scope, DriftScope::Link(Pair::new(Rank(0), Rank(1))));
+    assert_eq!(event.direction, CusumAlarm::Up);
+    assert!(event.residual_mean > 0.0);
+    assert!(hit.staleness >= 1.0);
+
+    // The refit ran only the minimal experiments: two roundtrips on the
+    // drifted link, no triplets, no gather sweep.
+    let refit = hit.refit.as_ref().expect("refit must have run");
+    assert_eq!(refit.version, 2);
+    assert_eq!(refit.p2p_runs, 2, "only the p2p experiments re-run");
+    assert_eq!(refit.triplet_runs, 0);
+    assert_eq!(refit.sweep_runs, 0);
+    assert!(refit.trigger.contains("link(0,1) up"), "{}", refit.trigger);
+    assert_eq!(refit.touched, vec![ModelKind::Lmo, ModelKind::Hockney]);
+    // Of the two pre-warmed cache entries only the LMO one was dropped.
+    assert_eq!(refit.invalidated, 1);
+
+    // Post-refit residuals are back at the noise floor, below pre-refit.
+    assert!(
+        refit.residual_before.mean_abs_rel > 0.02,
+        "before: {:?}",
+        refit.residual_before
+    );
+    assert!(
+        refit.residual_after.mean_abs_rel < 0.02,
+        "after: {:?}",
+        refit.residual_after
+    );
+    assert!(refit.residual_after.mean_abs_rel < refit.residual_before.mean_abs_rel);
+
+    // With fresh parameters the (still drifted) cluster is on-model again.
+    let tail = &outcome.epochs[3];
+    assert!(
+        tail.events.is_empty(),
+        "post-refit alarm: {:?}",
+        tail.events
+    );
+    assert!(tail.refit.is_none());
+
+    // The registry retains both versions, with lineage on the refit.
+    let versions = service.registry().versions(&outcome.fingerprint).unwrap();
+    assert_eq!(versions, vec![1, 2]);
+    let history = service.registry().history(&outcome.fingerprint).unwrap();
+    let latest = history.last().unwrap();
+    assert_eq!(latest.param_version, 2);
+    let lineage = latest.lineage.as_ref().expect("lineage recorded");
+    assert_eq!(lineage.parent_version, 1);
+    assert_eq!(lineage.parent_fingerprint, outcome.fingerprint);
+    assert!(lineage.trigger.contains("link(0,1)"));
+    assert!(history[0].lineage.is_none(), "v1 is an original estimation");
+
+    // The refitted β is the drifted one: the served LMO now predicts the
+    // slowed link within noise.
+    let drifted =
+        beta_step_schedule().apply(&cpm_netsim::SimCluster::from_config(&test_config()), 180.0);
+    let want = drifted.truth.p2p_time(Rank(0), Rank(1), 32 * KIB);
+    let got = latest.lmo.time(Rank(0), Rank(1), 32 * KIB);
+    assert!(
+        ((got - want) / want).abs() < 0.02,
+        "served {got} vs drifted truth {want}"
+    );
+
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn replay_is_deterministic() {
+    let (dir_a, _svc_a, a) = run_replay("det-a");
+    let (dir_b, _svc_b, b) = run_replay("det-b");
+
+    assert_eq!(a.fingerprint, b.fingerprint);
+    assert_eq!(a.final_version, b.final_version);
+    for (ea, eb) in a.epochs.iter().zip(&b.epochs) {
+        assert_eq!(ea.events, eb.events);
+        assert_eq!(ea.staleness.to_bits(), eb.staleness.to_bits());
+        match (&ea.refit, &eb.refit) {
+            (None, None) => {}
+            (Some(ra), Some(rb)) => {
+                assert_eq!(
+                    ra.residual_before.mean_abs_rel.to_bits(),
+                    rb.residual_before.mean_abs_rel.to_bits()
+                );
+                assert_eq!(
+                    ra.residual_after.mean_abs_rel.to_bits(),
+                    rb.residual_after.mean_abs_rel.to_bits()
+                );
+                assert_eq!(ra.trigger, rb.trigger);
+            }
+            other => panic!("refit mismatch: {other:?}"),
+        }
+    }
+
+    let _ = std::fs::remove_dir_all(dir_a);
+    let _ = std::fs::remove_dir_all(dir_b);
+}

@@ -12,8 +12,13 @@ pub struct SimCluster {
     /// Relative standard deviation of multiplicative duration noise
     /// (0 disables noise).
     pub noise_rel: f64,
-    /// Seed for escalation draws and noise.
+    /// Seed for escalation draws.
     pub seed: u64,
+    /// Seed for the measurement-noise stream, independent of the
+    /// escalation seed so experiments can pin one while varying the other.
+    /// Defaults to `seed`; the kernel mixes both, so [`SimCluster::reseeded`]
+    /// still varies noise across repetitions.
+    pub noise_seed: u64,
     /// Network topology (the paper's platform is a single switch; the
     /// two-switch variant exists to demonstrate the model's boundary).
     pub topology: Topology,
@@ -34,8 +39,15 @@ impl SimCluster {
             profile,
             noise_rel,
             seed,
+            noise_seed: seed,
             topology: Topology::SingleSwitch,
         }
+    }
+
+    /// The same cluster with a dedicated noise seed (reproducible noise
+    /// streams independent of the escalation seed).
+    pub fn with_noise_seed(self, noise_seed: u64) -> Self {
+        SimCluster { noise_seed, ..self }
     }
 
     /// The same cluster rewired to a different topology.
@@ -57,6 +69,7 @@ impl SimCluster {
             cfg.noise_rel,
             cfg.sim_seed,
         )
+        .with_noise_seed(cfg.noise_seed.unwrap_or(cfg.sim_seed))
         .with_topology(cfg.topology.clone())
     }
 
@@ -83,6 +96,7 @@ impl SimCluster {
             profile: MpiProfile::ideal(),
             noise_rel: 0.0,
             seed: self.seed,
+            noise_seed: self.noise_seed,
             topology: self.topology.clone(),
         }
     }
@@ -112,6 +126,18 @@ mod tests {
         let re = sim.reseeded(99);
         assert_eq!(re.truth, sim.truth);
         assert_eq!(re.seed, 99);
+    }
+
+    #[test]
+    fn noise_seed_defaults_to_seed_and_survives_reseeding() {
+        let sim = SimCluster::new(truth(), MpiProfile::lam_7_1_3(), 0.01, 7);
+        assert_eq!(sim.noise_seed, 7);
+        let pinned = sim.with_noise_seed(1234);
+        assert_eq!(pinned.noise_seed, 1234);
+        // Reseeding varies escalation draws, not the configured noise seed.
+        let re = pinned.reseeded(99);
+        assert_eq!((re.seed, re.noise_seed), (99, 1234));
+        assert_eq!(re.idealized().noise_seed, 1234);
     }
 
     #[test]

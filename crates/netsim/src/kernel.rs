@@ -249,6 +249,11 @@ struct Kernel<'c> {
     alive: usize,
     now: Time,
     rng: ChaCha8Rng,
+    /// Dedicated stream for measurement noise, seeded from the cluster's
+    /// `noise_seed` mixed with the run seed: pinning `noise_seed` makes the
+    /// noise ensemble reproducible while escalation draws (on `rng`) stay
+    /// independent, and reseeded runs still vary their noise.
+    noise_rng: ChaCha8Rng,
     noise: NoiseSource,
     sys_rx: Receiver<(ProcId, Syscall)>,
     finish_times: Vec<Time>,
@@ -293,6 +298,9 @@ impl<'c> Kernel<'c> {
             alive: n,
             now: Time::ZERO,
             rng: ChaCha8Rng::seed_from_u64(cl.seed ^ 0xc0ff_ee00_dead_beef),
+            noise_rng: ChaCha8Rng::seed_from_u64(
+                cl.noise_seed ^ cl.seed.rotate_left(17) ^ 0x0b5e_55ed_0000_5eed,
+            ),
             noise: NoiseSource::new(cl.noise_rel),
             sys_rx,
             finish_times: vec![Time::ZERO; n],
@@ -360,7 +368,7 @@ impl<'c> Kernel<'c> {
     }
 
     fn noisy(&mut self, d: f64) -> f64 {
-        self.noise.apply(d, &mut self.rng)
+        self.noise.apply(d, &mut self.noise_rng)
     }
 
     fn run(mut self) -> Result<KernelOut> {

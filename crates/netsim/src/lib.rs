@@ -76,5 +76,6 @@ pub mod trace;
 pub use cluster::SimCluster;
 pub use kernel::{simulate, simulate_mpmd, simulate_traced, SimOutcome, SimStats};
 pub use msg::{MsgView, Tag};
+pub use noise::{DriftChange, DriftSchedule, DriftShape, DriftTarget};
 pub use proc::{Proc, RecvRequest, SendRequest};
 pub use trace::{render_timeline, Trace, TraceEvent};

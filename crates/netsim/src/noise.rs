@@ -1,13 +1,23 @@
-//! Measurement noise.
+//! Measurement noise and scheduled parameter drift.
 //!
 //! Real clusters never produce the same duration twice; the paper's
 //! methodology (repeat until the 95 % confidence interval is tight) only
 //! makes sense against noisy measurements. The kernel multiplies every
 //! duration by `1 + σ·z` with `z` standard normal, clamped so durations
 //! remain positive.
+//!
+//! Beyond per-measurement noise, real platforms *drift*: link bandwidths
+//! degrade, nodes slow under load, TCP buffer tuning moves the escalation
+//! thresholds. [`DriftSchedule`] injects such changes deterministically at
+//! configured virtual times (step or ramp), so the drift-detection loop can
+//! be exercised end to end with a fixed seed.
 
+use cpm_core::rank::Rank;
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::cluster::SimCluster;
 
 /// A multiplicative Gaussian noise source.
 #[derive(Clone, Debug)]
@@ -53,6 +63,132 @@ impl NoiseSource {
         }
         let z = self.standard_normal(rng);
         d * (1.0 + self.sigma * z).max(0.05)
+    }
+}
+
+/// Which ground-truth parameter a scheduled drift change scales.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum DriftTarget {
+    /// Bandwidth `β_ij` of one link.
+    LinkBeta { i: u32, j: u32 },
+    /// Latency `L_ij` of one link.
+    LinkLatency { i: u32, j: u32 },
+    /// Fixed processing delay `C_i` of one node.
+    NodeFixed(u32),
+    /// Per-byte processing delay `t_i` of one node.
+    NodePerByte(u32),
+    /// The lower escalation threshold `M1`.
+    ThresholdM1,
+    /// The upper escalation threshold `M2`.
+    ThresholdM2,
+}
+
+/// How a drift change unfolds over virtual time.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum DriftShape {
+    /// The full factor applies from the change time onward.
+    Step,
+    /// The factor interpolates linearly from 1 to its full value over
+    /// `duration` seconds starting at the change time.
+    Ramp { duration: f64 },
+}
+
+/// One scheduled multiplicative change to a ground-truth parameter.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DriftChange {
+    pub target: DriftTarget,
+    /// Virtual time (seconds) at which the change begins.
+    pub at: f64,
+    pub shape: DriftShape,
+    /// The multiplicative factor once fully applied (e.g. 0.5 halves a
+    /// bandwidth, 2.0 doubles a latency).
+    pub factor: f64,
+}
+
+impl DriftChange {
+    /// The factor in force at virtual time `now` (1 before `at`; partially
+    /// applied during a ramp).
+    pub fn factor_at(&self, now: f64) -> f64 {
+        if now < self.at {
+            return 1.0;
+        }
+        match self.shape {
+            DriftShape::Step => self.factor,
+            DriftShape::Ramp { duration } => {
+                if duration <= 0.0 || now >= self.at + duration {
+                    self.factor
+                } else {
+                    1.0 + (self.factor - 1.0) * (now - self.at) / duration
+                }
+            }
+        }
+    }
+}
+
+/// A deterministic schedule of ground-truth drift, applied by materializing
+/// a drifted copy of the cluster at a given virtual time (the kernel itself
+/// stays drift-free, so all existing simulations are unaffected).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct DriftSchedule {
+    pub changes: Vec<DriftChange>,
+}
+
+impl DriftSchedule {
+    /// A schedule with no changes (identity).
+    pub fn none() -> Self {
+        DriftSchedule::default()
+    }
+
+    /// The combined factor applying to `target` at time `now` (changes on
+    /// the same target compose multiplicatively).
+    pub fn factor_at(&self, target: DriftTarget, now: f64) -> f64 {
+        self.changes
+            .iter()
+            .filter(|c| c.target == target)
+            .map(|c| c.factor_at(now))
+            .product()
+    }
+
+    /// Materializes the cluster as it stands at virtual time `now`:
+    /// ground truth and thresholds scaled by every change in force.
+    ///
+    /// # Panics
+    /// Panics when a change references a rank outside the cluster or a
+    /// self-link.
+    pub fn apply(&self, base: &SimCluster, now: f64) -> SimCluster {
+        let mut cl = base.clone();
+        for ch in &self.changes {
+            let f = ch.factor_at(now);
+            if f == 1.0 {
+                continue;
+            }
+            match ch.target {
+                DriftTarget::LinkBeta { i, j } => {
+                    *cl.truth.beta.get_mut(Rank(i), Rank(j)) *= f;
+                }
+                DriftTarget::LinkLatency { i, j } => {
+                    *cl.truth.l.get_mut(Rank(i), Rank(j)) *= f;
+                }
+                DriftTarget::NodeFixed(i) => cl.truth.c[i as usize] *= f,
+                DriftTarget::NodePerByte(i) => cl.truth.t[i as usize] *= f,
+                DriftTarget::ThresholdM1 => scale_threshold(&mut cl.profile.m1, f),
+                DriftTarget::ThresholdM2 => scale_threshold(&mut cl.profile.m2, f),
+            }
+        }
+        cl
+    }
+
+    /// `true` when no change is in force at `now` (all factors are 1).
+    pub fn quiescent_at(&self, now: f64) -> bool {
+        self.changes.iter().all(|c| c.factor_at(now) == 1.0)
+    }
+}
+
+/// Scales a byte threshold, leaving the "disabled" sentinel `u64::MAX`
+/// (ideal profiles) untouched.
+fn scale_threshold(m: &mut u64, f: f64) {
+    if *m != u64::MAX {
+        *m = ((*m as f64) * f).round().max(1.0) as u64;
     }
 }
 
@@ -104,5 +240,100 @@ mod tests {
     #[should_panic(expected = "≥ 0")]
     fn negative_sigma_rejected() {
         let _ = NoiseSource::new(-0.5);
+    }
+
+    fn base_cluster() -> SimCluster {
+        use cpm_cluster::{ClusterSpec, GroundTruth, MpiProfile};
+        let truth = GroundTruth::synthesize(&ClusterSpec::homogeneous(4), 3);
+        SimCluster::new(truth, MpiProfile::lam_7_1_3(), 0.0, 3)
+    }
+
+    #[test]
+    fn step_change_applies_only_after_its_time() {
+        let ch = DriftChange {
+            target: DriftTarget::LinkBeta { i: 0, j: 1 },
+            at: 10.0,
+            shape: DriftShape::Step,
+            factor: 0.5,
+        };
+        assert_eq!(ch.factor_at(9.999), 1.0);
+        assert_eq!(ch.factor_at(10.0), 0.5);
+        assert_eq!(ch.factor_at(1e9), 0.5);
+    }
+
+    #[test]
+    fn ramp_interpolates_linearly() {
+        let ch = DriftChange {
+            target: DriftTarget::NodeFixed(2),
+            at: 5.0,
+            shape: DriftShape::Ramp { duration: 10.0 },
+            factor: 3.0,
+        };
+        assert_eq!(ch.factor_at(0.0), 1.0);
+        assert!((ch.factor_at(10.0) - 2.0).abs() < 1e-12);
+        assert_eq!(ch.factor_at(15.0), 3.0);
+    }
+
+    #[test]
+    fn apply_scales_only_the_targeted_parameters() {
+        let base = base_cluster();
+        let schedule = DriftSchedule {
+            changes: vec![
+                DriftChange {
+                    target: DriftTarget::LinkBeta { i: 0, j: 1 },
+                    at: 100.0,
+                    shape: DriftShape::Step,
+                    factor: 0.5,
+                },
+                DriftChange {
+                    target: DriftTarget::ThresholdM2,
+                    at: 100.0,
+                    shape: DriftShape::Step,
+                    factor: 2.0,
+                },
+            ],
+        };
+        // Before the change time nothing moves.
+        assert!(schedule.quiescent_at(50.0));
+        assert_eq!(schedule.apply(&base, 50.0).truth, base.truth);
+
+        let after = schedule.apply(&base, 200.0);
+        assert!(!schedule.quiescent_at(200.0));
+        let b01 = *base.truth.beta.get(Rank(0), Rank(1));
+        assert_eq!(*after.truth.beta.get(Rank(0), Rank(1)), b01 * 0.5);
+        // Every other link, and all node parameters, are untouched.
+        assert_eq!(
+            *after.truth.beta.get(Rank(2), Rank(3)),
+            *base.truth.beta.get(Rank(2), Rank(3))
+        );
+        assert_eq!(after.truth.c, base.truth.c);
+        assert_eq!(after.truth.t, base.truth.t);
+        assert_eq!(after.profile.m1, base.profile.m1);
+        assert_eq!(after.profile.m2, base.profile.m2 * 2);
+    }
+
+    #[test]
+    fn threshold_sentinel_is_preserved() {
+        let mut m = u64::MAX;
+        scale_threshold(&mut m, 0.5);
+        assert_eq!(m, u64::MAX);
+        let mut m = 4096u64;
+        scale_threshold(&mut m, 0.5);
+        assert_eq!(m, 2048);
+    }
+
+    #[test]
+    fn schedule_serde_round_trips() {
+        let schedule = DriftSchedule {
+            changes: vec![DriftChange {
+                target: DriftTarget::LinkBeta { i: 1, j: 3 },
+                at: 42.0,
+                shape: DriftShape::Ramp { duration: 7.5 },
+                factor: 0.25,
+            }],
+        };
+        let json = serde_json::to_string(&schedule).unwrap();
+        let back: DriftSchedule = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, schedule);
     }
 }

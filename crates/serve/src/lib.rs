@@ -21,9 +21,10 @@ pub mod service;
 
 pub use protocol::{handle_line, parse_request, Request};
 pub use registry::{
-    fingerprint, fingerprint_json, ParamSet, Registry, Result, ServeError, FORMAT_VERSION,
+    fingerprint, fingerprint_json, Lineage, ParamSet, Registry, ResidualSummary, Result,
+    ServeError, FORMAT_VERSION, HISTORY_RING,
 };
-pub use server::{Server, ServerHandle};
+pub use server::{LineHandler, Server, ServerHandle};
 pub use service::{
     Algorithm, ClusterRef, Collective, Metrics, MetricsSnapshot, ModelKind, Prediction, Query,
     Service, ServiceConfig,

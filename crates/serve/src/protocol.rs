@@ -14,6 +14,9 @@
 //!   faster one.
 //! - `estimate` — force the parameter set for a config to exist,
 //!   returning estimation statistics.
+//! - `history` — list the retained registry versions for a fingerprint,
+//!   with lineage (what triggered each republish and the residuals
+//!   before/after re-estimation).
 //! - `stats` — service counters.
 //! - `shutdown` — stop the server after responding.
 
@@ -39,6 +42,9 @@ pub enum Request {
     },
     Estimate {
         config: Box<ClusterConfig>,
+    },
+    History {
+        fingerprint: String,
     },
     Stats,
     Shutdown,
@@ -118,10 +124,13 @@ pub fn parse_request(line: &str) -> Result<Request> {
             };
             Ok(Request::Estimate { config })
         }
+        "history" => Ok(Request::History {
+            fingerprint: str_field(&v, "fingerprint")?.to_string(),
+        }),
         "stats" => Ok(Request::Stats),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(bad(format!(
-            "unknown verb {other:?} (expected predict|select|estimate|stats|shutdown)"
+            "unknown verb {other:?} (expected predict|select|estimate|history|stats|shutdown)"
         ))),
     }
 }
@@ -171,6 +180,36 @@ pub fn respond(service: &Service, req: &Request) -> Result<Value> {
                 ("virtual_cost_seconds", Value::F64(ps.virtual_cost)),
             ]))
         }
+        Request::History { fingerprint } => {
+            let history = service.registry().history(fingerprint)?;
+            let versions: Vec<Value> = history
+                .iter()
+                .map(|ps| {
+                    let mut entry = vec![
+                        ("version", Value::U64(ps.param_version)),
+                        ("runs", Value::U64(ps.runs as u64)),
+                        ("virtual_cost_seconds", Value::F64(ps.virtual_cost)),
+                    ];
+                    if let Some(lin) = &ps.lineage {
+                        entry.push(("parent_version", Value::U64(lin.parent_version)));
+                        entry.push(("trigger", Value::Str(lin.trigger.clone())));
+                        entry.push((
+                            "residual_before",
+                            Value::F64(lin.residual_before.mean_abs_rel),
+                        ));
+                        entry.push((
+                            "residual_after",
+                            Value::F64(lin.residual_after.mean_abs_rel),
+                        ));
+                    }
+                    obj(entry)
+                })
+                .collect();
+            Ok(obj(vec![
+                ("fingerprint", Value::Str(fingerprint.clone())),
+                ("versions", Value::Seq(versions)),
+            ]))
+        }
         Request::Stats => {
             let s = service.metrics().snapshot();
             Ok(obj(vec![
@@ -178,6 +217,7 @@ pub fn respond(service: &Service, req: &Request) -> Result<Value> {
                 ("misses", Value::U64(s.misses)),
                 ("estimations", Value::U64(s.estimations)),
                 ("registry_loads", Value::U64(s.registry_loads)),
+                ("republishes", Value::U64(s.republishes)),
                 ("predict_count", Value::U64(s.predict_count)),
                 ("predict_ns_mean", Value::F64(s.predict_ns_mean)),
                 ("predict_ns_max", Value::U64(s.predict_ns_max)),
@@ -243,6 +283,13 @@ mod tests {
         assert_eq!(query.root, 0);
         assert_eq!(query.model, ModelKind::Lmo);
         assert_eq!(query.algorithm, Algorithm::Binomial);
+    }
+
+    #[test]
+    fn parses_history() {
+        let req = parse_request("{\"verb\":\"history\",\"fingerprint\":\"ab\"}").unwrap();
+        assert!(matches!(req, Request::History { fingerprint } if fingerprint == "ab"));
+        assert!(parse_request("{\"verb\":\"history\"}").is_err());
     }
 
     #[test]

@@ -123,12 +123,52 @@ fn fingerprint_value(value: Value) -> String {
     format!("{hi:016x}{lo:016x}")
 }
 
+/// Residual statistics of observations against a parameter set, recorded
+/// in drift lineage (before/after a re-estimation).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ResidualSummary {
+    /// Mean absolute relative residual `|obs − pred| / pred`.
+    pub mean_abs_rel: f64,
+    /// Worst absolute relative residual.
+    pub max_abs_rel: f64,
+    /// Number of observations summarized.
+    pub count: usize,
+}
+
+/// Provenance of a republished parameter set: which version it replaced,
+/// what triggered the re-estimation, and how much it helped.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Lineage {
+    /// `param_version` of the parameter set this one was refit from.
+    pub parent_version: u64,
+    /// Fingerprint of the parent (normally identical to this set's — the
+    /// cluster *configuration* did not change, its physics did).
+    pub parent_fingerprint: String,
+    /// Human-readable description of the drift event that triggered the
+    /// re-estimation, e.g. `link-drift(3,7)`.
+    pub trigger: String,
+    /// Residuals of the triggering observation window against the parent.
+    pub residual_before: ResidualSummary,
+    /// Residuals of a fresh validation window against this set.
+    pub residual_after: ResidualSummary,
+}
+
 /// Every model parameter the service can serve for one cluster, as
 /// estimated from simulated communication experiments.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ParamSet {
     /// On-disk format version ([`FORMAT_VERSION`]).
     pub version: u32,
+    /// Monotonic per-fingerprint parameter version, assigned by
+    /// [`Registry::publish`]. Freshly estimated sets start at 1; each
+    /// republication (drift refit) increments it. 0 marks an entry written
+    /// before versioning existed (or never published).
+    #[serde(default)]
+    pub param_version: u64,
+    /// Provenance when this set was republished by the drift loop; `None`
+    /// for an original estimation.
+    #[serde(default)]
+    pub lineage: Option<Lineage>,
     /// Fingerprint of `config` at estimation time.
     pub fingerprint: String,
     /// The configuration the parameters were estimated for.
@@ -160,6 +200,8 @@ impl ParamSet {
         let plogp = estimate_plogp(&sim, est).map_err(err)?;
         Ok(ParamSet {
             version: FORMAT_VERSION,
+            param_version: 1,
+            lineage: None,
             fingerprint: fingerprint(config),
             config: config.clone(),
             virtual_cost: lmo.virtual_cost
@@ -180,8 +222,15 @@ impl ParamSet {
     }
 }
 
+/// How many parameter versions [`Registry::publish`] retains per
+/// fingerprint (a ring: older archives are pruned).
+pub const HISTORY_RING: usize = 8;
+
 /// A directory of persisted [`ParamSet`]s, one JSON file per fingerprint,
-/// under a `v<FORMAT_VERSION>/` subdirectory.
+/// under a `v<FORMAT_VERSION>/` subdirectory. The latest parameter set for
+/// fingerprint `fp` lives at `fp.json`; [`Registry::publish`] additionally
+/// archives each version at `fp.v<K>.json`, retaining the last
+/// [`HISTORY_RING`] so drift lineage always points at a real parent.
 pub struct Registry {
     dir: PathBuf,
 }
@@ -225,24 +274,107 @@ impl Registry {
         Ok(Some(ps))
     }
 
-    /// Persists a parameter set atomically (write-temp-then-rename).
+    /// The archive file of one published version of a fingerprint.
+    pub fn path_for_version(&self, fp: &str, version: u64) -> PathBuf {
+        self.store_dir().join(format!("{fp}.v{version}.json"))
+    }
+
+    /// Persists a parameter set atomically (write-temp-then-rename) as the
+    /// *latest* for its fingerprint, without touching the version archive.
+    /// Most callers want [`Registry::publish`].
     pub fn store(&self, ps: &ParamSet) -> Result<()> {
-        let path = self.path_for(&ps.fingerprint);
+        self.write_atomic(&self.path_for(&ps.fingerprint), ps)
+    }
+
+    fn write_atomic(&self, path: &Path, ps: &ParamSet) -> Result<()> {
         let tmp = path.with_extension("json.tmp");
         let json = serde_json::to_string_pretty(ps).map_err(|e| ServeError::Io(e.to_string()))?;
         fs::write(&tmp, json)?;
-        fs::rename(&tmp, &path)?;
+        fs::rename(&tmp, path)?;
         Ok(())
     }
 
-    /// All fingerprints currently stored.
+    /// Publishes a parameter set: assigns the next `param_version` for its
+    /// fingerprint, stores it as the latest, archives it in the version
+    /// ring, and prunes archives beyond [`HISTORY_RING`]. Returns the set
+    /// with its assigned version.
+    pub fn publish(&self, mut ps: ParamSet) -> Result<ParamSet> {
+        let latest = self
+            .load(&ps.fingerprint)?
+            .map(|prev| prev.param_version)
+            .unwrap_or(0)
+            .max(self.versions(&ps.fingerprint)?.last().copied().unwrap_or(0));
+        ps.param_version = latest + 1;
+        self.write_atomic(
+            &self.path_for_version(&ps.fingerprint, ps.param_version),
+            &ps,
+        )?;
+        self.store(&ps)?;
+        // Prune the ring.
+        let versions = self.versions(&ps.fingerprint)?;
+        if versions.len() > HISTORY_RING {
+            for &v in &versions[..versions.len() - HISTORY_RING] {
+                let _ = fs::remove_file(self.path_for_version(&ps.fingerprint, v));
+            }
+        }
+        Ok(ps)
+    }
+
+    /// The archived version numbers of a fingerprint, ascending.
+    pub fn versions(&self, fp: &str) -> Result<Vec<u64>> {
+        let prefix = format!("{fp}.v");
+        let mut out = Vec::new();
+        for entry in fs::read_dir(self.store_dir())? {
+            let name = entry?.file_name();
+            let name = name.to_string_lossy();
+            if let Some(v) = name
+                .strip_prefix(&prefix)
+                .and_then(|rest| rest.strip_suffix(".json"))
+                .and_then(|v| v.parse::<u64>().ok())
+            {
+                out.push(v);
+            }
+        }
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    /// Loads one archived version of a fingerprint, if still in the ring.
+    pub fn load_version(&self, fp: &str, version: u64) -> Result<Option<ParamSet>> {
+        let path = self.path_for_version(fp, version);
+        let json = match fs::read_to_string(&path) {
+            Ok(j) => j,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(ServeError::Io(format!("{}: {e}", path.display()))),
+        };
+        let ps: ParamSet = serde_json::from_str(&json)
+            .map_err(|e| ServeError::Io(format!("{}: {e}", path.display())))?;
+        Ok(Some(ps))
+    }
+
+    /// All retained versions of a fingerprint, ascending by version.
+    pub fn history(&self, fp: &str) -> Result<Vec<ParamSet>> {
+        let mut out = Vec::new();
+        for v in self.versions(fp)? {
+            if let Some(ps) = self.load_version(fp, v)? {
+                out.push(ps);
+            }
+        }
+        Ok(out)
+    }
+
+    /// All fingerprints currently stored (version archives excluded).
     pub fn list(&self) -> Result<Vec<String>> {
         let mut out = Vec::new();
         for entry in fs::read_dir(self.store_dir())? {
             let name = entry?.file_name();
             let name = name.to_string_lossy();
             if let Some(fp) = name.strip_suffix(".json") {
-                out.push(fp.to_string());
+                // `fp.v3.json` archives and stray `.tmp` files are not
+                // fingerprints (which are bare hex).
+                if !fp.contains('.') {
+                    out.push(fp.to_string());
+                }
             }
         }
         out.sort();
@@ -381,6 +513,85 @@ mod tests {
         assert_eq!(reg.list().unwrap(), vec![ps.fingerprint.clone()]);
         let loaded = reg.load(&ps.fingerprint).unwrap().unwrap();
         assert_eq!(loaded, ps);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn publish_assigns_versions_and_retains_a_ring() {
+        let dir = std::env::temp_dir().join(format!("cpm-ring-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let reg = Registry::open(&dir).unwrap();
+
+        let config = ClusterConfig::ideal(ClusterSpec::homogeneous(4), 8);
+        let est = EstimateConfig {
+            reps: 1,
+            ..EstimateConfig::with_seed(8)
+        };
+        let base = ParamSet::estimate(&config, &est).unwrap();
+        let fp = base.fingerprint.clone();
+
+        // Publish HISTORY_RING + 3 versions; each bumps param_version.
+        let mut published = Vec::new();
+        for k in 0..(HISTORY_RING + 3) {
+            let mut ps = base.clone();
+            ps.virtual_cost = k as f64; // distinguish the versions
+            let ps = reg.publish(ps).unwrap();
+            assert_eq!(ps.param_version, k as u64 + 1);
+            published.push(ps);
+        }
+
+        // The latest is served by plain load(); list() shows one entry.
+        let latest = reg.load(&fp).unwrap().unwrap();
+        assert_eq!(latest.param_version, (HISTORY_RING + 3) as u64);
+        assert_eq!(reg.list().unwrap(), vec![fp.clone()]);
+
+        // Only the last HISTORY_RING versions survive, in order.
+        let versions = reg.versions(&fp).unwrap();
+        let expect: Vec<u64> = (4..=(HISTORY_RING as u64 + 3)).collect();
+        assert_eq!(versions, expect);
+        assert!(reg.load_version(&fp, 1).unwrap().is_none(), "pruned");
+        let history = reg.history(&fp).unwrap();
+        assert_eq!(history.len(), HISTORY_RING);
+        assert_eq!(history.last().unwrap(), &latest);
+        // Lineage can reference the real parent version.
+        let parent = reg
+            .load_version(&fp, latest.param_version - 1)
+            .unwrap()
+            .unwrap();
+        assert_eq!(parent.param_version, latest.param_version - 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lineage_survives_the_store_round_trip() {
+        let dir = std::env::temp_dir().join(format!("cpm-lin-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let reg = Registry::open(&dir).unwrap();
+        let config = ClusterConfig::ideal(ClusterSpec::homogeneous(4), 9);
+        let est = EstimateConfig {
+            reps: 1,
+            ..EstimateConfig::with_seed(9)
+        };
+        let mut ps = ParamSet::estimate(&config, &est).unwrap();
+        ps.lineage = Some(Lineage {
+            parent_version: 1,
+            parent_fingerprint: ps.fingerprint.clone(),
+            trigger: "link-drift(0,1)".into(),
+            residual_before: ResidualSummary {
+                mean_abs_rel: 0.4,
+                max_abs_rel: 0.9,
+                count: 128,
+            },
+            residual_after: ResidualSummary {
+                mean_abs_rel: 0.01,
+                max_abs_rel: 0.05,
+                count: 128,
+            },
+        });
+        let ps = reg.publish(ps).unwrap();
+        let loaded = reg.load(&ps.fingerprint).unwrap().unwrap();
+        assert_eq!(loaded, ps);
+        assert_eq!(loaded.lineage.as_ref().unwrap().trigger, "link-drift(0,1)");
         let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -16,10 +16,27 @@ use crate::protocol::handle_line;
 use crate::registry::Result;
 use crate::service::Service;
 
+/// Processes one request line into one response line.
+///
+/// The server is generic over this so extensions (e.g. cpm-drift's
+/// `observe`/`drift-status` verbs) can wrap the core [`Service`] protocol
+/// with extra verbs while reusing the same connection handling. The
+/// returned bool requests server shutdown.
+pub trait LineHandler: Send + Sync + 'static {
+    fn handle_line(&self, line: &str) -> (String, bool);
+}
+
+impl LineHandler for Service {
+    fn handle_line(&self, line: &str) -> (String, bool) {
+        handle_line(self, line)
+    }
+}
+
 /// A running server. Dropping the handle does not stop the server; call
 /// [`ServerHandle::shutdown`] (or send the `shutdown` verb) first.
 pub struct Server {
     service: Arc<Service>,
+    handler: Arc<dyn LineHandler>,
     listener: TcpListener,
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
@@ -34,12 +51,25 @@ pub struct ServerHandle {
 }
 
 impl Server {
-    /// Binds to `addr` (use port 0 for an ephemeral port).
+    /// Binds to `addr` (use port 0 for an ephemeral port), speaking the
+    /// core protocol.
     pub fn bind(service: Arc<Service>, addr: &str) -> Result<Server> {
+        let handler: Arc<dyn LineHandler> = Arc::clone(&service) as Arc<dyn LineHandler>;
+        Self::bind_with(service, handler, addr)
+    }
+
+    /// Binds with a custom line handler (extended verb vocabulary).
+    /// `service` is still carried for [`ServerHandle::service`].
+    pub fn bind_with(
+        service: Arc<Service>,
+        handler: Arc<dyn LineHandler>,
+        addr: &str,
+    ) -> Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         Ok(Server {
             service,
+            handler,
             listener,
             addr,
             stop: Arc::new(AtomicBool::new(false)),
@@ -55,14 +85,14 @@ impl Server {
     pub fn spawn(self) -> ServerHandle {
         let Server {
             service,
+            handler,
             listener,
             addr,
             stop,
         } = self;
-        let accept_service = Arc::clone(&service);
         let accept_stop = Arc::clone(&stop);
         let accept_thread = std::thread::spawn(move || {
-            accept_loop(listener, accept_service, accept_stop);
+            accept_loop(listener, handler, accept_stop);
         });
         ServerHandle {
             addr,
@@ -73,19 +103,19 @@ impl Server {
     }
 }
 
-fn accept_loop(listener: TcpListener, service: Arc<Service>, stop: Arc<AtomicBool>) {
+fn accept_loop(listener: TcpListener, handler: Arc<dyn LineHandler>, stop: Arc<AtomicBool>) {
     let mut workers: Vec<JoinHandle<()>> = Vec::new();
     for conn in listener.incoming() {
         if stop.load(Ordering::SeqCst) {
             break;
         }
         let Ok(stream) = conn else { continue };
-        let service = Arc::clone(&service);
+        let handler = Arc::clone(&handler);
         let stop = Arc::clone(&stop);
         workers.push(std::thread::spawn(move || {
             // Per-connection isolation: any error here kills only this
             // connection's thread.
-            let _ = serve_connection(stream, &service, &stop);
+            let _ = serve_connection(stream, handler.as_ref(), &stop);
         }));
         workers.retain(|w| !w.is_finished());
     }
@@ -96,7 +126,7 @@ fn accept_loop(listener: TcpListener, service: Arc<Service>, stop: Arc<AtomicBoo
 
 fn serve_connection(
     stream: TcpStream,
-    service: &Service,
+    handler: &dyn LineHandler,
     stop: &AtomicBool,
 ) -> std::io::Result<()> {
     let mut writer = stream.try_clone()?;
@@ -106,7 +136,7 @@ fn serve_connection(
         if line.trim().is_empty() {
             continue;
         }
-        let (response, shutdown) = handle_line(service, &line);
+        let (response, shutdown) = handler.handle_line(&line);
         writer.write_all(response.as_bytes())?;
         writer.write_all(b"\n")?;
         writer.flush()?;

@@ -249,6 +249,8 @@ pub struct Metrics {
     pub estimations: AtomicU64,
     /// Parameter sets loaded from disk instead of estimated.
     pub registry_loads: AtomicU64,
+    /// Parameter sets republished (drift refits).
+    pub republishes: AtomicU64,
     predict_count: AtomicU64,
     predict_ns_total: AtomicU64,
     predict_ns_max: AtomicU64,
@@ -261,6 +263,7 @@ pub struct MetricsSnapshot {
     pub misses: u64,
     pub estimations: u64,
     pub registry_loads: u64,
+    pub republishes: u64,
     pub predict_count: u64,
     /// Mean prediction latency, nanoseconds.
     pub predict_ns_mean: f64,
@@ -283,6 +286,7 @@ impl Metrics {
             misses: self.misses.load(Ordering::Relaxed),
             estimations: self.estimations.load(Ordering::Relaxed),
             registry_loads: self.registry_loads.load(Ordering::Relaxed),
+            republishes: self.republishes.load(Ordering::Relaxed),
             predict_count: count,
             predict_ns_mean: if count == 0 {
                 0.0
@@ -389,16 +393,48 @@ impl Service {
                 continue;
             }
             self.metrics.estimations.fetch_add(1, Ordering::Relaxed);
-            let outcome = ParamSet::estimate(config, &self.cfg.est);
+            // Publish (persist + version) before exposing in memory so a
+            // restarted service finds it and lineage has a real parent.
+            let outcome =
+                ParamSet::estimate(config, &self.cfg.est).and_then(|ps| self.registry.publish(ps));
             if let Ok(ps) = &outcome {
-                // Persist before publishing so a restarted service finds it.
-                self.registry.store(ps)?;
                 self.params.write().insert(fp.clone(), Arc::new(ps.clone()));
             }
             self.inflight.lock().remove(&fp);
             state.finish();
             return outcome.map(Arc::new);
         }
+    }
+
+    /// Atomically republishes a refit parameter set under the next
+    /// `param_version` (see [`Registry::publish`]), swaps it into the
+    /// in-memory map, and invalidates only the affected `(fingerprint,
+    /// model)` cache shards. Returns the published set (with its assigned
+    /// version) and the number of cache entries dropped.
+    pub fn republish(&self, ps: ParamSet, touched: &[ModelKind]) -> Result<(Arc<ParamSet>, usize)> {
+        let ps = self.registry.publish(ps)?;
+        let fp = ps.fingerprint.clone();
+        let ps = Arc::new(ps);
+        self.params.write().insert(fp.clone(), Arc::clone(&ps));
+        let dropped = self.invalidate(&fp, touched);
+        self.metrics.republishes.fetch_add(1, Ordering::Relaxed);
+        Ok((ps, dropped))
+    }
+
+    /// Drops every cached prediction for `fp` whose model is in `models`,
+    /// leaving other fingerprints and models untouched. Returns the number
+    /// of entries removed.
+    pub fn invalidate(&self, fp: &str, models: &[ModelKind]) -> usize {
+        let mut dropped = 0;
+        for shard in &self.shards {
+            let mut shard = shard.lock();
+            let before = shard.map.len();
+            shard
+                .map
+                .retain(|k, _| !(k.fp == fp && models.contains(&k.model)));
+            dropped += before - shard.map.len();
+        }
+        dropped
     }
 
     /// Predicts one collective execution time.
@@ -607,6 +643,45 @@ mod tests {
         }
         // The one estimation was persisted.
         assert_eq!(service.registry().len(), 1);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn republish_invalidates_only_affected_model_shards() {
+        let (dir, service) = test_service("republish");
+        let cluster = small_cluster();
+        let q_lmo = Query {
+            model: ModelKind::Lmo,
+            collective: Collective::Scatter,
+            algorithm: Algorithm::Linear,
+            m: 2048,
+            root: 0,
+        };
+        let q_hockney = Query {
+            model: ModelKind::Hockney,
+            ..q_lmo
+        };
+        service.predict(&cluster, &q_lmo).unwrap();
+        service.predict(&cluster, &q_hockney).unwrap();
+
+        let ps = service.param_set(&cluster).unwrap();
+        let (new_ps, dropped) = service.republish((*ps).clone(), &[ModelKind::Lmo]).unwrap();
+        assert_eq!(new_ps.param_version, ps.param_version + 1);
+        assert_eq!(dropped, 1, "only the lmo cache entry should drop");
+
+        // The hockney entry survived the invalidation: next predict hits.
+        let hits_before = service.metrics().snapshot().hits;
+        service.predict(&cluster, &q_hockney).unwrap();
+        assert_eq!(service.metrics().snapshot().hits, hits_before + 1);
+        // The lmo entry did not: it must be recomputed, not served stale.
+        service.predict(&cluster, &q_lmo).unwrap();
+        assert_eq!(service.metrics().snapshot().hits, hits_before + 1);
+        assert_eq!(service.metrics().snapshot().republishes, 1);
+        // Both versions are retained on disk.
+        assert_eq!(
+            service.registry().versions(&new_ps.fingerprint).unwrap(),
+            vec![1, 2]
+        );
         let _ = std::fs::remove_dir_all(dir);
     }
 

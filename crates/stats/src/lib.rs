@@ -18,10 +18,13 @@
 //! * [`escalation`] — detection of the irregularity region `(M1, M2)` of
 //!   linear gather and of the escalation magnitude/probability, the
 //!   *empirical* parameters of the LMO model.
+//! * [`online`] — streaming change detection (EWMA, two-sided CUSUM) for
+//!   drift monitoring of fitted parameters.
 
 pub mod ci;
 pub mod compare;
 pub mod escalation;
+pub mod online;
 pub mod piecewise;
 pub mod regression;
 pub mod summary;
@@ -30,6 +33,7 @@ pub mod tdist;
 pub use ci::{AdaptiveBenchmark, BenchResult, ConfidenceInterval};
 pub use compare::{mode_estimate, Histogram, WelchTest};
 pub use escalation::{EscalationProfile, ThresholdDetection};
+pub use online::{Cusum, CusumAlarm, CusumConfig, Ewma};
 pub use piecewise::PiecewiseLinear;
 pub use regression::LinearFit;
 pub use summary::Summary;

@@ -10,13 +10,17 @@
 //!   the method the paper's Section IV recommends for small groups).
 //! * [`runner`] — convenience entry points for SPMD programs and for
 //!   experiments that involve only a subset of ranks while the rest idle.
+//! * [`probe`] — receiver-side one-way transfer probes, the observation
+//!   channel the drift monitor consumes.
 //! * [`timing`] — the MPIBlib timing methods (root / max / global) and
 //!   their trade-offs.
 
 pub mod comm;
+pub mod probe;
 pub mod runner;
 pub mod timing;
 
 pub use comm::Comm;
+pub use probe::one_way_times;
 pub use runner::{run, run_timed, run_timed_max, RunOutput};
 pub use timing::{measure_with_method, TimingMethod};

@@ -1,0 +1,88 @@
+//! One-way transfer probes — the observation channel of the drift loop.
+//!
+//! A drift monitor compares *observed* transfer times against model
+//! predictions, so it needs the one-way time `T_ij(M)` directly rather
+//! than a roundtrip. The simulator's barrier releases all ranks at the
+//! same virtual instant, so the receiver-side interval "barrier release →
+//! receive complete" is exactly the LMO point-to-point time
+//! `C_i + M·t_i + L_ij + M/β_ij + C_j + M·t_j` — no halving, no
+//! asymmetry assumption.
+
+use cpm_core::error::Result;
+use cpm_core::rank::{Pair, Rank};
+use cpm_core::units::Bytes;
+use cpm_netsim::SimCluster;
+
+use crate::runner::run;
+
+/// Per-pair repetition series of one-way times, in `units` order.
+pub type OneWaySamples = Vec<(Pair, Vec<f64>)>;
+
+/// Measures `reps` one-way transfers of `m` bytes (`a → b`) on every pair
+/// of `units` simultaneously. Pairs must be disjoint. Times are measured
+/// on the *receiver* side, from barrier release to receive completion.
+/// Returns per-pair repetition series and the virtual time consumed.
+pub fn one_way_times(
+    cluster: &SimCluster,
+    units: &[Pair],
+    m: Bytes,
+    reps: usize,
+    seed: u64,
+) -> Result<(OneWaySamples, f64)> {
+    let cl = cluster.reseeded(seed);
+    let n = cluster.n();
+    // role[rank] = (peer, is_sender).
+    let mut role: Vec<Option<(Rank, bool)>> = vec![None; n];
+    for p in units {
+        debug_assert!(
+            role[p.a.idx()].is_none() && role[p.b.idx()].is_none(),
+            "pairs must be disjoint"
+        );
+        role[p.a.idx()] = Some((p.b, true));
+        role[p.b.idx()] = Some((p.a, false));
+    }
+    let out = run(&cl, |c| {
+        let me = c.rank();
+        let mut times = Vec::new();
+        for _ in 0..reps {
+            c.barrier();
+            match role[me.idx()] {
+                Some((peer, true)) => c.send(peer, m),
+                Some((peer, false)) => {
+                    let t0 = c.wtime();
+                    let _ = c.recv(peer);
+                    times.push(c.wtime() - t0);
+                }
+                None => {}
+            }
+        }
+        times
+    })?;
+    let samples = units
+        .iter()
+        .map(|p| (*p, out.results[p.b.idx()].clone()))
+        .collect();
+    Ok((samples, out.end_time))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpm_cluster::{ClusterSpec, GroundTruth, MpiProfile};
+
+    #[test]
+    fn one_way_time_is_the_lmo_p2p_time() {
+        let truth = GroundTruth::synthesize(&ClusterSpec::homogeneous(4), 7);
+        let cl = SimCluster::new(truth.clone(), MpiProfile::ideal(), 0.0, 7);
+        let pairs = [Pair::new(Rank(0), Rank(1)), Pair::new(Rank(2), Rank(3))];
+        let (samples, _) = one_way_times(&cl, &pairs, 8192, 3, 5).unwrap();
+        assert_eq!(samples.len(), 2);
+        for (pair, ts) in &samples {
+            assert_eq!(ts.len(), 3);
+            let want = truth.p2p_time(pair.a, pair.b, 8192);
+            for t in ts {
+                assert!((t - want).abs() < 1e-12, "{pair:?}: {t} vs {want}");
+            }
+        }
+    }
+}

@@ -48,6 +48,7 @@ fn main() {
         profile: MpiProfile::ideal(),
         noise_rel: 0.0,
         sim_seed: 23,
+        noise_seed: None,
         topology: cpm::cluster::Topology::SingleSwitch,
     };
     let json = config.to_json();

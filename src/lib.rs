@@ -25,6 +25,8 @@
 //! * [`stats`] — MPIBlib-style adaptive benchmarking statistics.
 //! * [`serve`] — a concurrent prediction service: fingerprinted parameter
 //!   registry, estimate-once caching, JSON-lines TCP server.
+//! * [`drift`] — online drift detection over served parameters: residual
+//!   monitoring, staleness scoring, minimal re-estimation, republication.
 //! * [`bench_harness`] — the experiment harness regenerating each figure/table.
 //!
 //! ## Quickstart
@@ -47,6 +49,7 @@
 pub use cpm_cluster as cluster;
 pub use cpm_collectives as collectives;
 pub use cpm_core as core;
+pub use cpm_drift as drift;
 pub use cpm_estimate as estimate;
 pub use cpm_models as models;
 pub use cpm_netsim as netsim;

@@ -5,6 +5,11 @@
 //! collectives. `serve` and `query` expose the same pipeline as a
 //! long-running prediction service (see the `cpm-serve` crate).
 //!
+//! The `drift` command family drives the cpm-drift loop (measure → detect
+//! → re-estimate → republish) against the same parameter store `serve`
+//! uses; `serve` itself speaks the drift-extended protocol (`observe`,
+//! `drift-status`, `history` verbs).
+//!
 //! ```text
 //! cpm spec      [--profile lam|mpich|ideal] [--seed N] [--out config.json]
 //! cpm estimate  --model lmo|hockney|loggp|plogp [--config FILE] [--out model.json]
@@ -13,7 +18,9 @@
 //! cpm observe   --op scatter|gather|bcast|alltoall --m BYTES
 //!               [--alg linear|binomial] [--reps N] [--config FILE]
 //! cpm serve     [--store DIR] [--addr HOST:PORT] [--seed N] [--reps N]
-//! cpm query     [--addr HOST:PORT] [--verb predict|select|estimate|stats|shutdown] ...
+//! cpm query     [--addr HOST:PORT] [--verb predict|...|observe|drift-status|history] ...
+//! cpm drift replay|watch  [--store DIR] [--schedule FILE] [--epochs N] [--obs N]
+//! cpm drift report        [--store DIR] [--fingerprint FP | --config FILE]
 //! ```
 
 use std::collections::HashMap;
@@ -26,13 +33,14 @@ use cpm::cluster::ClusterConfig;
 use cpm::collectives::measure;
 use cpm::core::units::{format_bytes, Bytes};
 use cpm::core::Rank;
+use cpm::drift::{replay, DriftConfig, DriftService, RefitReport, ReplayConfig, ReplayOutcome};
 use cpm::estimate::lmo::estimate_lmo_full;
 use cpm::estimate::{
     estimate_gather_empirics, estimate_hockney_het, estimate_loggp, estimate_plogp, EstimateConfig,
 };
 use cpm::models::{HockneyHet, LmoExtended, LogGp, PLogP};
-use cpm::netsim::SimCluster;
-use cpm::serve::{Server, Service, ServiceConfig};
+use cpm::netsim::{DriftChange, DriftSchedule, DriftShape, DriftTarget, SimCluster};
+use cpm::serve::{fingerprint, ResidualSummary, Server, Service, ServiceConfig};
 use cpm::stats::Summary;
 use serde::{Deserialize, Serialize};
 use serde_json::Value;
@@ -58,9 +66,10 @@ struct CommandSpec {
 const COMMANDS: &[CommandSpec] = &[
     CommandSpec {
         name: "spec",
-        flags: &["profile", "seed", "out", "config"],
+        flags: &["profile", "seed", "noise-seed", "out", "config"],
         help: "\
-USAGE: cpm spec [--profile lam|mpich|ideal] [--seed N] [--config FILE] [--out config.json]
+USAGE: cpm spec [--profile lam|mpich|ideal] [--seed N] [--noise-seed N]
+                [--config FILE] [--out config.json]
 
 Prints the cluster specification (the paper's 16-node heterogeneous cluster,
 Table I) and optionally writes the full ClusterConfig JSON to --out.",
@@ -68,21 +77,23 @@ Table I) and optionally writes the full ClusterConfig JSON to --out.",
     },
     CommandSpec {
         name: "estimate",
-        flags: &["model", "profile", "seed", "config", "out"],
+        flags: &["model", "profile", "seed", "noise-seed", "config", "out"],
         help: "\
 USAGE: cpm estimate --model lmo|hockney|loggp|plogp [--profile lam|mpich|ideal]
-                    [--seed N] [--config FILE] [--out model.json]
+                    [--seed N] [--noise-seed N] [--config FILE] [--out model.json]
 
 Runs the model's communication experiments on the simulated cluster and
 prints the estimated parameters; --out persists them as a tagged JSON file
-for `cpm predict`.",
+for `cpm predict`. --noise-seed re-draws the measurement noise without
+changing the cluster's ground-truth parameters (the topology seed).",
         run: cmd_estimate,
     },
     CommandSpec {
         name: "empirics",
-        flags: &["profile", "seed", "config"],
+        flags: &["profile", "seed", "noise-seed", "config"],
         help: "\
-USAGE: cpm empirics [--profile lam|mpich|ideal] [--seed N] [--config FILE]
+USAGE: cpm empirics [--profile lam|mpich|ideal] [--seed N] [--noise-seed N]
+                    [--config FILE]
 
 Locates the empirical gather thresholds M1/M2 and escalation statistics
 (paper Section III-B).",
@@ -101,11 +112,20 @@ file (see `cpm estimate --out`).",
     },
     CommandSpec {
         name: "observe",
-        flags: &["op", "m", "alg", "reps", "profile", "seed", "config"],
+        flags: &[
+            "op",
+            "m",
+            "alg",
+            "reps",
+            "profile",
+            "seed",
+            "noise-seed",
+            "config",
+        ],
         help: "\
 USAGE: cpm observe --op scatter|gather|bcast|alltoall --m BYTES
-                   [--alg linear|binomial] [--reps N]
-                   [--profile lam|mpich|ideal] [--seed N] [--config FILE]
+                   [--alg linear|binomial] [--reps N] [--profile lam|mpich|ideal]
+                   [--seed N] [--noise-seed N] [--config FILE]
 
 Executes the collective on the simulated cluster and reports timing
 statistics over --reps repetitions.",
@@ -123,6 +143,9 @@ query for a cluster estimates all model parameters once and persists them;
 later queries — across restarts — are served from the store and an
 in-memory prediction cache. --addr defaults to 127.0.0.1:7971 (use port 0
 for an ephemeral port); --seed and --reps configure the estimation runs.
+The server speaks the drift-extended protocol: beyond the core verbs it
+accepts `observe` (ingest a measured transfer time into the drift monitor),
+`drift-status` (staleness report) and `history` (version lineage).
 Send the `shutdown` verb (`cpm query --verb shutdown`) to stop it.",
         run: cmd_serve,
     },
@@ -138,23 +161,127 @@ Send the `shutdown` verb (`cpm query --verb shutdown`) to stop it.",
             "root",
             "config",
             "fingerprint",
+            "kind",
+            "src",
+            "dst",
+            "seconds",
         ],
         help: "\
-USAGE: cpm query [--addr HOST:PORT] [--verb predict|select|estimate|stats|shutdown]
+USAGE: cpm query [--addr HOST:PORT]
+                 [--verb predict|select|estimate|observe|drift-status|history|stats|shutdown]
                  [--model lmo|hockney|loggp|plogp] [--collective scatter|gather|bcast]
                  [--alg linear|binomial] [--m BYTES] [--root R]
                  [--config FILE | --fingerprint FP]
+                 [--kind p2p|gather] [--src R] [--dst R] [--seconds T]
 
 Sends one request to a running `cpm serve` (default 127.0.0.1:7971) and
 prints the JSON response. predict/select/estimate identify the cluster by
 an embedded --config file or by --fingerprint; stats and shutdown need
-neither.",
+neither. The drift verbs take --fingerprint: observe ingests one measured
+transfer time (--kind p2p with --src/--dst, or --kind gather with --root,
+plus --m and --seconds) and reports any drift events it raises;
+drift-status prints the staleness report; history lists parameter versions
+with their re-estimation lineage.",
         run: cmd_query,
+    },
+    CommandSpec {
+        name: "drift replay",
+        flags: &[
+            "store",
+            "schedule",
+            "epochs",
+            "epoch-duration",
+            "obs",
+            "m",
+            "reps",
+            "profile",
+            "seed",
+            "noise-seed",
+            "config",
+        ],
+        help: "\
+USAGE: cpm drift replay [--store DIR] [--schedule FILE] [--epochs N]
+                        [--epoch-duration SECONDS] [--obs N] [--m BYTES] [--reps N]
+                        [--profile lam|mpich|ideal] [--seed N] [--noise-seed N]
+                        [--config FILE]
+
+Runs the full drift loop against a scheduled parameter drift and prints a
+JSON report: per epoch the drifted cluster is observed (one-way
+point-to-point probes, --obs per pair of --m bytes), residuals against the
+served model feed the drift detector, and raised events trigger a minimal
+re-estimation (--reps repetitions) that is republished into --store
+(default cpm-store) as a new parameter version with lineage. --schedule
+loads a DriftSchedule JSON; without it a demo schedule halves the (0,1)
+link bandwidth midway through the replay. Fully deterministic for a fixed
+cluster and schedule.",
+        run: cmd_drift_replay,
+    },
+    CommandSpec {
+        name: "drift watch",
+        flags: &[
+            "store",
+            "schedule",
+            "epochs",
+            "epoch-duration",
+            "obs",
+            "m",
+            "reps",
+            "profile",
+            "seed",
+            "noise-seed",
+            "config",
+        ],
+        help: "\
+USAGE: cpm drift watch [--store DIR] [--schedule FILE] [--epochs N]
+                       [--epoch-duration SECONDS] [--obs N] [--m BYTES] [--reps N]
+                       [--profile lam|mpich|ideal] [--seed N] [--noise-seed N]
+                       [--config FILE]
+
+Same loop as `cpm drift replay`, narrated: one human-readable line per
+epoch (staleness score, raised events) and a summary of every refit
+(version, experiments re-run, residuals before/after the republish).",
+        run: cmd_drift_watch,
+    },
+    CommandSpec {
+        name: "drift report",
+        flags: &[
+            "store",
+            "fingerprint",
+            "profile",
+            "seed",
+            "noise-seed",
+            "config",
+        ],
+        help: "\
+USAGE: cpm drift report [--store DIR] [--fingerprint FP | --config FILE |
+                        --profile lam|mpich|ideal --seed N]
+
+Prints the version history of one cluster's parameters in --store (default
+cpm-store): for each retained version its estimation cost and — for
+re-estimated versions — the lineage (parent version, triggering drift
+events, validation residuals before and after the refit). The cluster is
+picked by --fingerprint, or by fingerprinting --config / the profile
+flags.",
+        run: cmd_drift_report,
     },
 ];
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `drift` is a command family: fold the subcommand into the name so it
+    // resolves against the COMMANDS table like any other command.
+    if args.first().map(String::as_str) == Some("drift") {
+        match args.get(1) {
+            Some(sub) if !sub.starts_with('-') => {
+                let sub = args.remove(1);
+                args[0] = format!("drift {sub}");
+            }
+            _ => {
+                eprintln!("error: drift needs a subcommand (replay|watch|report)\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
     let Some((cmd, rest)) = args.split_first() else {
         eprintln!("{USAGE}");
         return ExitCode::from(2);
@@ -199,15 +326,20 @@ USAGE:
   cpm observe   --op scatter|gather|bcast|alltoall --m BYTES
                 [--alg linear|binomial] [--reps N] [--config FILE]
   cpm serve     [--store DIR] [--addr HOST:PORT] [--seed N] [--reps N]
-  cpm query     [--addr HOST:PORT] [--verb predict|select|estimate|stats|shutdown]
-                [--model M] [--collective C] [--alg A] [--m BYTES] [--root R]
-                [--config FILE | --fingerprint FP]
+  cpm query     [--addr HOST:PORT] [--verb predict|select|estimate|observe|
+                drift-status|history|stats|shutdown] [--model M] [--collective C]
+                [--alg A] [--m BYTES] [--root R] [--config FILE | --fingerprint FP]
+                [--kind p2p|gather] [--src R] [--dst R] [--seconds T]
+  cpm drift replay  [--store DIR] [--schedule FILE] [--epochs N] [--obs N]
+  cpm drift watch   (replay, narrated per epoch)
+  cpm drift report  [--store DIR] [--fingerprint FP | --config FILE]
 
 Run `cpm <command> --help` for per-command details.
 
-Cluster selection (spec/estimate/empirics/observe): --config FILE loads a
-ClusterConfig JSON; otherwise --profile (default lam) and --seed (default
-2009) build the paper's 16-node cluster.";
+Cluster selection (spec/estimate/empirics/observe/drift): --config FILE
+loads a ClusterConfig JSON; otherwise --profile (default lam) and --seed
+(default 2009) build the paper's 16-node cluster. --noise-seed re-draws
+only the measurement noise, keeping the ground truth fixed.";
 
 type Opts = HashMap<String, String>;
 
@@ -234,24 +366,29 @@ fn parse_opts(args: &[String], known: &[&str]) -> Result<Opts, String> {
 }
 
 fn cluster_from(opts: &Opts) -> Result<(ClusterConfig, SimCluster), String> {
-    if let Some(path) = opts.get("config") {
+    let mut config = if let Some(path) = opts.get("config") {
         let json = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-        let config = ClusterConfig::from_json(&json).map_err(|e| e.to_string())?;
-        let sim = SimCluster::from_config(&config);
-        return Ok((config, sim));
-    }
-    let seed = opts
-        .get("seed")
-        .map(|s| s.parse::<u64>().map_err(|e| e.to_string()))
-        .transpose()?
-        .unwrap_or(2009);
-    let profile = opts.get("profile").map(String::as_str).unwrap_or("lam");
-    let config = match profile {
-        "lam" => ClusterConfig::paper_lam(seed),
-        "mpich" => ClusterConfig::paper_mpich(seed),
-        "ideal" => ClusterConfig::ideal(cpm::cluster::ClusterSpec::paper_cluster(), seed),
-        other => return Err(format!("unknown profile {other:?}")),
+        ClusterConfig::from_json(&json).map_err(|e| e.to_string())?
+    } else {
+        let seed = opts
+            .get("seed")
+            .map(|s| s.parse::<u64>().map_err(|e| e.to_string()))
+            .transpose()?
+            .unwrap_or(2009);
+        let profile = opts.get("profile").map(String::as_str).unwrap_or("lam");
+        match profile {
+            "lam" => ClusterConfig::paper_lam(seed),
+            "mpich" => ClusterConfig::paper_mpich(seed),
+            "ideal" => ClusterConfig::ideal(cpm::cluster::ClusterSpec::paper_cluster(), seed),
+            other => return Err(format!("unknown profile {other:?}")),
+        }
     };
+    if let Some(raw) = opts.get("noise-seed") {
+        config.noise_seed = Some(
+            raw.parse::<u64>()
+                .map_err(|e| format!("--noise-seed: {e}"))?,
+        );
+    }
     let sim = SimCluster::from_config(&config);
     Ok((config, sim))
 }
@@ -468,10 +605,239 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
         "store: {store} ({} parameter set(s) on disk)",
         service.registry().len()
     );
-    let server = Server::bind(service, addr).map_err(|e| e.to_string())?;
-    println!("cpm-serve listening on {}", server.addr());
+    // Wrap the core service in the drift-aware handler: the server then
+    // also accepts the observe and drift-status verbs.
+    let handler = DriftService::new(Arc::clone(&service), DriftConfig::default());
+    let server = Server::bind_with(service, handler, addr).map_err(|e| e.to_string())?;
+    println!(
+        "cpm-serve listening on {} (drift verbs enabled)",
+        server.addr()
+    );
     server.spawn().join();
     println!("cpm-serve stopped");
+    Ok(())
+}
+
+/// Opens the parameter store the drift commands share with `cpm serve`.
+fn open_store(opts: &Opts) -> Result<(String, Service), String> {
+    let store = opts
+        .get("store")
+        .cloned()
+        .unwrap_or_else(|| "cpm-store".into());
+    let service = Service::open(&store, ServiceConfig::default()).map_err(|e| e.to_string())?;
+    Ok((store, service))
+}
+
+/// Shared setup for `cpm drift replay|watch`: cluster, replay tuning and
+/// the drift schedule (from --schedule, or the built-in demo).
+fn drift_inputs(opts: &Opts) -> Result<(ClusterConfig, ReplayConfig, DriftSchedule), String> {
+    let (config, _) = cluster_from(opts)?;
+    let mut rcfg = ReplayConfig {
+        epochs: 4,
+        monitor: DriftConfig {
+            // Headroom over the served model's own estimation bias, which
+            // is systematic and would otherwise accumulate in the CUSUM.
+            sigma_rel: 0.02,
+            ..DriftConfig::default()
+        },
+        ..ReplayConfig::default()
+    };
+    if let Some(raw) = opts.get("epochs") {
+        rcfg.epochs = raw.parse::<usize>().map_err(|e| format!("--epochs: {e}"))?;
+    }
+    if let Some(raw) = opts.get("epoch-duration") {
+        rcfg.epoch_duration = raw
+            .parse::<f64>()
+            .map_err(|e| format!("--epoch-duration: {e}"))?;
+    }
+    if let Some(raw) = opts.get("obs") {
+        rcfg.obs_per_pair = raw.parse::<usize>().map_err(|e| format!("--obs: {e}"))?;
+    }
+    if opts.contains_key("m") {
+        rcfg.probe_m = parse_bytes(opts, "m")?;
+    }
+    if let Some(raw) = opts.get("reps") {
+        rcfg.est.reps = raw.parse::<usize>().map_err(|e| format!("--reps: {e}"))?;
+    }
+    let schedule = match opts.get("schedule") {
+        Some(path) => {
+            let json = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            serde_json::from_str(&json).map_err(|e| format!("{path}: {e}"))?
+        }
+        // Demo schedule: the (0,1) link loses half its bandwidth midway
+        // through the replay, so the first epochs are quiet and the later
+        // ones must detect, refit and republish.
+        None => DriftSchedule {
+            changes: vec![DriftChange {
+                target: DriftTarget::LinkBeta { i: 0, j: 1 },
+                at: rcfg.epoch_duration * (rcfg.epochs as f64 - 1.0) / 2.0,
+                shape: DriftShape::Step,
+                factor: 0.5,
+            }],
+        },
+    };
+    Ok((config, rcfg, schedule))
+}
+
+fn obj(entries: Vec<(&str, Value)>) -> Value {
+    Value::Map(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn residual_json(r: &ResidualSummary) -> Value {
+    obj(vec![
+        ("mean_abs_rel", Value::F64(r.mean_abs_rel)),
+        ("max_abs_rel", Value::F64(r.max_abs_rel)),
+        ("count", Value::U64(r.count as u64)),
+    ])
+}
+
+fn refit_json(r: &RefitReport) -> Value {
+    obj(vec![
+        ("version", Value::U64(r.version)),
+        ("trigger", Value::Str(r.trigger.clone())),
+        (
+            "touched",
+            Value::Seq(
+                r.touched
+                    .iter()
+                    .map(|k| Value::Str(k.as_str().to_string()))
+                    .collect(),
+            ),
+        ),
+        ("p2p_runs", Value::U64(r.p2p_runs as u64)),
+        ("triplet_runs", Value::U64(r.triplet_runs as u64)),
+        ("sweep_runs", Value::U64(r.sweep_runs as u64)),
+        ("invalidated", Value::U64(r.invalidated as u64)),
+        ("residual_before", residual_json(&r.residual_before)),
+        ("residual_after", residual_json(&r.residual_after)),
+    ])
+}
+
+fn outcome_json(o: &ReplayOutcome) -> Value {
+    let epochs = o
+        .epochs
+        .iter()
+        .map(|e| {
+            let mut entries = vec![
+                ("epoch", Value::U64(e.epoch as u64)),
+                ("virtual_time", Value::F64(e.virtual_time)),
+                ("staleness", Value::F64(e.staleness)),
+                (
+                    "events",
+                    Value::Seq(
+                        e.events
+                            .iter()
+                            .map(|ev| Value::Str(ev.describe()))
+                            .collect(),
+                    ),
+                ),
+            ];
+            if let Some(r) = &e.refit {
+                entries.push(("refit", refit_json(r)));
+            }
+            obj(entries)
+        })
+        .collect();
+    obj(vec![
+        ("fingerprint", Value::Str(o.fingerprint.clone())),
+        ("baseline_version", Value::U64(o.baseline_version)),
+        ("final_version", Value::U64(o.final_version)),
+        ("epochs", Value::Seq(epochs)),
+    ])
+}
+
+fn cmd_drift_replay(opts: &Opts) -> Result<(), String> {
+    let (config, rcfg, schedule) = drift_inputs(opts)?;
+    let (_, service) = open_store(opts)?;
+    let outcome = replay(&service, &config, &schedule, &rcfg).map_err(|e| e.to_string())?;
+    let json = serde_json::to_string_pretty(&outcome_json(&outcome)).map_err(|e| e.to_string())?;
+    println!("{json}");
+    Ok(())
+}
+
+fn cmd_drift_watch(opts: &Opts) -> Result<(), String> {
+    let (config, rcfg, schedule) = drift_inputs(opts)?;
+    let (store, service) = open_store(opts)?;
+    println!(
+        "replaying {} epochs of {:.0} s against store {store} ({} drift change(s) scheduled)",
+        rcfg.epochs,
+        rcfg.epoch_duration,
+        schedule.changes.len()
+    );
+    let outcome = replay(&service, &config, &schedule, &rcfg).map_err(|e| e.to_string())?;
+    for e in &outcome.epochs {
+        let events = if e.events.is_empty() {
+            "quiet".to_string()
+        } else {
+            e.events
+                .iter()
+                .map(|ev| ev.describe())
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        println!(
+            "epoch {} (t = {:>4.0} s): staleness {:.2}  {events}",
+            e.epoch, e.virtual_time, e.staleness
+        );
+        if let Some(r) = &e.refit {
+            println!(
+                "  refit -> v{} ({} p2p / {} triplet / {} sweep runs), \
+                 residual {:.1}% -> {:.1}%, {} cache entr{} invalidated",
+                r.version,
+                r.p2p_runs,
+                r.triplet_runs,
+                r.sweep_runs,
+                r.residual_before.mean_abs_rel * 100.0,
+                r.residual_after.mean_abs_rel * 100.0,
+                r.invalidated,
+                if r.invalidated == 1 { "y" } else { "ies" }
+            );
+        }
+    }
+    println!(
+        "fingerprint {}: v{} -> v{}",
+        outcome.fingerprint, outcome.baseline_version, outcome.final_version
+    );
+    Ok(())
+}
+
+fn cmd_drift_report(opts: &Opts) -> Result<(), String> {
+    let (store, service) = open_store(opts)?;
+    let fp = match opts.get("fingerprint") {
+        Some(fp) => fp.clone(),
+        None => fingerprint(&cluster_from(opts)?.0),
+    };
+    let history = service.registry().history(&fp).map_err(|e| e.to_string())?;
+    if history.is_empty() {
+        return Err(format!("no parameter sets for fingerprint {fp} in {store}"));
+    }
+    println!("fingerprint {fp}: {} retained version(s)", history.len());
+    for ps in &history {
+        println!(
+            "  v{}: {} experiment runs, {:.1} s virtual cluster time",
+            ps.param_version, ps.runs, ps.virtual_cost
+        );
+        match &ps.lineage {
+            Some(l) => {
+                println!(
+                    "     refit of v{} — trigger: {}",
+                    l.parent_version, l.trigger
+                );
+                println!(
+                    "     validation residual {:.1}% -> {:.1}% (over {} observations)",
+                    l.residual_before.mean_abs_rel * 100.0,
+                    l.residual_after.mean_abs_rel * 100.0,
+                    l.residual_after.count
+                );
+            }
+            None => println!("     original estimation"),
+        }
+    }
     Ok(())
 }
 
@@ -497,7 +863,40 @@ fn build_query_request(opts: &Opts) -> Result<Value, String> {
             (None, None) => return Err(format!("{verb} needs --config FILE or --fingerprint FP")),
         }
     }
+    if matches!(verb, "observe" | "drift-status" | "history") {
+        let fp = opts
+            .get("fingerprint")
+            .ok_or_else(|| format!("{verb} needs --fingerprint FP"))?;
+        push("fingerprint", Value::Str(fp.clone()));
+    }
     match verb {
+        "observe" => {
+            let kind = opts.get("kind").cloned().unwrap_or_else(|| "p2p".into());
+            push("kind", Value::Str(kind.clone()));
+            push("m", Value::U64(parse_bytes(opts, "m")?));
+            let seconds = opts
+                .get("seconds")
+                .ok_or("observe needs --seconds T (the measured transfer time)")?
+                .parse::<f64>()
+                .map_err(|e| format!("--seconds: {e}"))?;
+            push("seconds", Value::F64(seconds));
+            let rank = |key: &str| -> Result<Value, String> {
+                let raw = opts
+                    .get(key)
+                    .ok_or_else(|| format!("observe --kind {kind} needs --{key} R"))?;
+                Ok(Value::U64(
+                    raw.parse::<u64>().map_err(|e| format!("--{key}: {e}"))?,
+                ))
+            };
+            match kind.as_str() {
+                "p2p" => {
+                    push("src", rank("src")?);
+                    push("dst", rank("dst")?);
+                }
+                "gather" => push("root", rank("root")?),
+                other => return Err(format!("unknown --kind {other:?} (p2p|gather)")),
+            }
+        }
         "predict" | "select" => {
             push(
                 "model",
@@ -525,10 +924,11 @@ fn build_query_request(opts: &Opts) -> Result<Value, String> {
                 );
             }
         }
-        "estimate" | "stats" | "shutdown" => {}
+        "estimate" | "drift-status" | "history" | "stats" | "shutdown" => {}
         other => {
             return Err(format!(
-                "unknown verb {other:?} (expected predict|select|estimate|stats|shutdown)"
+                "unknown verb {other:?} (expected predict|select|estimate|observe|\
+                 drift-status|history|stats|shutdown)"
             ))
         }
     }
