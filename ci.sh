@@ -25,4 +25,18 @@ cargo test -p cpm-drift -q
 echo "== drift ingest bench (smoke)"
 cargo bench -p cpm-bench --bench drift -- --test
 
+echo "== workload plan bench (smoke)"
+cargo bench -p cpm-bench --bench workload -- --test
+
+echo "== workload CLI smoke + golden trace schema"
+CPM="./target/release/cpm"
+WL_TMP="$(mktemp -d)"
+trap 'rm -rf "$WL_TMP"' EXIT
+"$CPM" workload gen --kind train --nodes 4 --m 8K --iters 2 --out "$WL_TMP/train.jsonl" >/dev/null
+diff -u crates/workload/tests/golden/train_n4.jsonl "$WL_TMP/train.jsonl" \
+  || { echo "golden trace schema drifted (crates/workload/tests/golden/train_n4.jsonl)"; exit 1; }
+"$CPM" workload gen --kind train --nodes 4 --m 8K --iters 2 \
+  | "$CPM" workload predict --nodes 4 --reps 1 | grep -q '"makespan_seconds"'
+"$CPM" workload run --trace "$WL_TMP/train.jsonl" --nodes 4 | grep -q '"msgs_sent"'
+
 echo "CI OK"

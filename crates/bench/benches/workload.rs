@@ -1,0 +1,48 @@
+//! Cost of one analytic workload plan. The planner sits behind the serve
+//! `plan` verb: a cache miss lowers the trace and runs the critical-path
+//! machine, so a whole-trace evaluation must stay comfortably in the
+//! sub-millisecond range (the cached path is a hash lookup).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use cpm_cluster::{ClusterSpec, GroundTruth};
+use cpm_models::{GatherEmpirics, LmoExtended};
+use cpm_workload::{gen, plan, PlanModel, Trace};
+
+/// The paper's 16-node cluster (ground-truth LMO parameters — no
+/// estimation in the bench) and a 3-layer training-step trace.
+fn fixture() -> (PlanModel, Trace) {
+    let truth = GroundTruth::synthesize(&ClusterSpec::paper_cluster(), 2009);
+    let model = PlanModel::Lmo(LmoExtended::new(
+        truth.c.clone(),
+        truth.t.clone(),
+        truth.l.clone(),
+        truth.beta.clone(),
+        GatherEmpirics::none(),
+    ));
+    let trace = gen::training_step(16, 32 * 1024, 3, 4e-9, 1e-3);
+    (model, trace)
+}
+
+fn bench_plan(c: &mut Criterion) {
+    let (model, trace) = fixture();
+    let ops = trace.ops.len() as u64;
+
+    let mut g = c.benchmark_group("workload/plan");
+    g.throughput(Throughput::Elements(ops));
+    g.bench_function("train_16n_3layer", |b| {
+        b.iter(|| black_box(plan(black_box(&trace), black_box(&model)).unwrap().makespan));
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("workload/hash");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("trace_hash", |b| {
+        b.iter(|| black_box(black_box(&trace).hash()));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_plan);
+criterion_main!(benches);

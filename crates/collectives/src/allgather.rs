@@ -56,14 +56,7 @@ pub fn ring_allgather_overlap(c: &mut Comm<'_>, m: Bytes) {
 /// Prediction for [`ring_allgather_overlap`]: `n−1` steps of one slowest
 /// neighbour transfer each.
 pub fn predict_ring_allgather_overlap<M: PointToPoint + ?Sized>(model: &M, m: Bytes) -> f64 {
-    let n = model.n();
-    if n <= 1 {
-        return 0.0;
-    }
-    let step_max = (0..n)
-        .map(|r| model.p2p(Rank::from(r), Rank::from((r + 1) % n), m))
-        .fold(0.0, f64::max);
-    (n - 1) as f64 * step_max
+    cpm_models::collective::ring_allgather_overlap(model, m)
 }
 
 /// The LMO-style prediction of the (blocking) ring all-gather: `n−1`
@@ -73,14 +66,7 @@ pub fn predict_ring_allgather_overlap<M: PointToPoint + ?Sized>(model: &M, m: By
 /// `MPI_Sendrecv` ring would). Each phase costs the slowest neighbour
 /// transfer active in it.
 pub fn predict_ring_allgather<M: PointToPoint + ?Sized>(model: &M, m: Bytes) -> f64 {
-    let n = model.n();
-    if n <= 1 {
-        return 0.0;
-    }
-    let step_max = (0..n)
-        .map(|r| model.p2p(Rank::from(r), Rank::from((r + 1) % n), m))
-        .fold(0.0, f64::max);
-    (n - 1) as f64 * 2.0 * step_max
+    cpm_models::collective::ring_allgather(model, m)
 }
 
 #[cfg(test)]

@@ -35,15 +35,7 @@ pub fn linear_alltoall(c: &mut Comm<'_>, m: Bytes) {
 /// rounds serialize because every rank must finish its receive before the
 /// next send).
 pub fn predict_linear_alltoall<M: PointToPoint + ?Sized>(model: &M, m: Bytes) -> f64 {
-    let n = model.n();
-    let mut total = 0.0;
-    for k in 1..n {
-        let round_max = (0..n)
-            .map(|r| model.p2p(Rank::from(r), Rank::from((r + k) % n), m))
-            .fold(0.0, f64::max);
-        total += round_max;
-    }
-    total
+    cpm_models::collective::rotation_alltoall(model, m)
 }
 
 #[cfg(test)]

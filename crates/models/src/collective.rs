@@ -92,6 +92,58 @@ pub fn binomial_recursive_full<M: PointToPoint + ?Sized>(
     subtree(model, tree, tree.root(), &children, m)
 }
 
+/// The slowest neighbour transfer of the allgather/alltoall rings: the
+/// `max_r T(r, r+k, M)` term shared by the ring predictions below.
+fn ring_step_max<M: PointToPoint + ?Sized>(model: &M, shift: usize, m: Bytes) -> f64 {
+    let n = model.n();
+    (0..n)
+        .map(|r| model.p2p(Rank::from(r), Rank::from((r + shift) % n), m))
+        .fold(0.0, f64::max)
+}
+
+/// Blocking ring allgather: `n−1` serialized steps, each of which runs in
+/// **two phases** — the even ranks send right while the odd ranks
+/// receive, then the roles flip (a blocking send/recv pair cannot overlap
+/// the two directions the way a nonblocking `MPI_Sendrecv` ring would).
+/// Each phase costs the slowest neighbour transfer active in it:
+///
+/// ```text
+/// T = (n−1) · 2 · max_r T(r, r+1, M)
+/// ```
+pub fn ring_allgather<M: PointToPoint + ?Sized>(model: &M, m: Bytes) -> f64 {
+    let n = model.n();
+    if n <= 1 {
+        return 0.0;
+    }
+    (n - 1) as f64 * 2.0 * ring_step_max(model, 1, m)
+}
+
+/// Overlapped (`MPI_Sendrecv`) ring allgather: `n−1` steps of one slowest
+/// neighbour transfer each:
+///
+/// ```text
+/// T = (n−1) · max_r T(r, r+1, M)
+/// ```
+pub fn ring_allgather_overlap<M: PointToPoint + ?Sized>(model: &M, m: Bytes) -> f64 {
+    let n = model.n();
+    if n <= 1 {
+        return 0.0;
+    }
+    (n - 1) as f64 * ring_step_max(model, 1, m)
+}
+
+/// Rotation (pairwise-shift) alltoall: round `k = 1..n` pairs rank `r`
+/// with `r+k (mod n)` — a perfect matching through the switch — and the
+/// rounds serialize because every rank must finish its receive before the
+/// next send:
+///
+/// ```text
+/// T = Σ_{k=1}^{n−1} max_r T(r, r+k, M)
+/// ```
+pub fn rotation_alltoall<M: PointToPoint + ?Sized>(model: &M, m: Bytes) -> f64 {
+    (1..model.n()).map(|k| ring_step_max(model, k, m)).sum()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -223,5 +275,69 @@ mod tests {
         // Critical path: send to 2 (2 blocks), then send to 1 dominates.
         let expect = h.time(Rank(0), Rank(2), 256) + h.time(Rank(0), Rank(1), 128);
         assert!((got - expect).abs() < 1e-15, "{got} vs {expect}");
+    }
+
+    #[test]
+    fn ring_allgather_collapses_for_homogeneous() {
+        let (alpha, beta) = (100e-6, 80e-9);
+        let h = uniform_het(6, alpha, beta);
+        let m = 2048u64;
+        let step = alpha + beta * m as f64;
+        let blocking = ring_allgather(&h, m);
+        let overlap = ring_allgather_overlap(&h, m);
+        assert!((blocking - 5.0 * 2.0 * step).abs() < 1e-12, "{blocking}");
+        assert!((overlap - 5.0 * step).abs() < 1e-12, "{overlap}");
+        assert!((blocking - 2.0 * overlap).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ring_predictions_vanish_for_a_single_process() {
+        let h = uniform_het(1, 100e-6, 80e-9);
+        assert_eq!(ring_allgather(&h, 1024), 0.0);
+        assert_eq!(ring_allgather_overlap(&h, 1024), 0.0);
+        assert_eq!(rotation_alltoall(&h, 1024), 0.0);
+    }
+
+    #[test]
+    fn rotation_alltoall_collapses_for_homogeneous() {
+        let (alpha, beta) = (100e-6, 80e-9);
+        let h = uniform_het(7, alpha, beta);
+        let m = 4096u64;
+        let got = rotation_alltoall(&h, m);
+        let expected = 6.0 * (alpha + beta * m as f64);
+        assert!((got - expected).abs() < 1e-12, "{got} vs {expected}");
+    }
+
+    #[test]
+    fn slow_ring_link_dominates_every_allgather_step() {
+        // One bad neighbour link: each of the n−1 steps waits for it.
+        let n = 5;
+        let mut alpha = SymMatrix::filled(n, 10e-6);
+        alpha.set(Rank(2), Rank(3), 5e-3);
+        let h = HockneyHet::new(alpha, SymMatrix::filled(n, 1e-9));
+        let m = 64u64;
+        let worst = h.time(Rank(2), Rank(3), m);
+        let got = ring_allgather_overlap(&h, m);
+        assert!(
+            (got - 4.0 * worst).abs() < 1e-12,
+            "{got} vs {}",
+            4.0 * worst
+        );
+    }
+
+    #[test]
+    fn rotation_alltoall_pays_a_slow_pair_once_per_incident_round() {
+        // A slow pair (i, j) is active in round k = j−i and round n−(j−i);
+        // every other round's maximum stays at the uniform time.
+        let n = 6;
+        let mut alpha = SymMatrix::filled(n, 10e-6);
+        alpha.set(Rank(1), Rank(3), 2e-3);
+        let h = HockneyHet::new(alpha, SymMatrix::filled(n, 1e-9));
+        let m = 64u64;
+        let uniform = 10e-6 + 1e-9 * m as f64;
+        let worst = h.time(Rank(1), Rank(3), m);
+        let got = rotation_alltoall(&h, m);
+        let expected = 3.0 * uniform + 2.0 * worst;
+        assert!((got - expected).abs() < 1e-12, "{got} vs {expected}");
     }
 }

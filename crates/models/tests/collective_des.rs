@@ -1,0 +1,126 @@
+//! DES-backed property tests for the generic collective predictions in
+//! `cpm_models::collective`.
+//!
+//! The ring all-gather and rotation all-to-all patterns are implemented
+//! inline against the virtual-MPI `Comm` (rather than importing
+//! `cpm-collectives`, which depends on this crate) and replayed on an
+//! ideal simulated cluster; the analytic formulas must bound and track
+//! the observed completion times across process counts and message sizes.
+
+use cpm_cluster::{ClusterSpec, GroundTruth, MpiProfile};
+use cpm_core::rank::Rank;
+use cpm_core::units::Bytes;
+use cpm_models::collective::{ring_allgather, ring_allgather_overlap, rotation_alltoall};
+use cpm_netsim::SimCluster;
+use cpm_vmpi::{run, Comm};
+use proptest::prelude::*;
+
+fn cluster(n: usize, seed: u64) -> SimCluster {
+    let truth = GroundTruth::synthesize(&ClusterSpec::homogeneous(n), seed);
+    SimCluster::new(truth, MpiProfile::ideal(), 0.0, seed)
+}
+
+/// Blocking ring all-gather: `n−1` steps; even ranks send right then
+/// receive left, odd ranks do the reverse, so each step drains in two
+/// phases.
+fn des_ring_allgather(c: &mut Comm<'_>, m: Bytes) -> f64 {
+    let n = c.size();
+    let me = c.rank().idx();
+    let t0 = c.wtime();
+    if n > 1 {
+        let right = Rank::from((me + 1) % n);
+        let left = Rank::from((me + n - 1) % n);
+        for _ in 0..n - 1 {
+            if me.is_multiple_of(2) {
+                c.send(right, m);
+                let _ = c.recv(left);
+            } else {
+                let _ = c.recv(left);
+                c.send(right, m);
+            }
+        }
+    }
+    c.wtime() - t0
+}
+
+/// Overlapped ring all-gather: each step is one concurrent
+/// send-right/receive-left exchange.
+fn des_ring_allgather_overlap(c: &mut Comm<'_>, m: Bytes) -> f64 {
+    let n = c.size();
+    let me = c.rank().idx();
+    let t0 = c.wtime();
+    if n > 1 {
+        let right = Rank::from((me + 1) % n);
+        let left = Rank::from((me + n - 1) % n);
+        for _ in 0..n - 1 {
+            let _ = c.sendrecv_exchange(right, m, left);
+        }
+    }
+    c.wtime() - t0
+}
+
+/// Rotation all-to-all: round `k` sends to `me+k` and receives from
+/// `me−k` (mod n), a perfect matching per round.
+fn des_rotation_alltoall(c: &mut Comm<'_>, m: Bytes) -> f64 {
+    let n = c.size();
+    let me = c.rank().idx();
+    let t0 = c.wtime();
+    for k in 1..n {
+        let dst = Rank::from((me + k) % n);
+        let src = Rank::from((me + n - k) % n);
+        c.send(dst, m);
+        let _ = c.recv(src);
+    }
+    c.wtime() - t0
+}
+
+fn observe(cl: &SimCluster, f: impl Fn(&mut Comm<'_>, Bytes) -> f64 + Sync, m: Bytes) -> f64 {
+    let out = run(cl, |c| f(c, m)).unwrap();
+    out.results.iter().cloned().fold(0.0f64, f64::max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn ring_allgather_prediction_bounds_the_des(n in 2usize..10, m in 1024u64..32_768) {
+        let cl = cluster(n, 6);
+        let obs = observe(&cl, des_ring_allgather, m);
+        let pred = ring_allgather(&cl.truth, m);
+        prop_assert!(obs <= pred * 1.05, "n={n} m={m}: obs {obs} vs bound {pred}");
+        prop_assert!(obs >= pred * 0.4, "n={n} m={m}: obs {obs} vs {pred}");
+    }
+
+    #[test]
+    fn overlapped_ring_prediction_tracks_the_des(n in 2usize..10, m in 1024u64..32_768) {
+        let cl = cluster(n, 6);
+        let obs = observe(&cl, des_ring_allgather_overlap, m);
+        let pred = ring_allgather_overlap(&cl.truth, m);
+        prop_assert!(
+            (obs - pred).abs() / pred < 0.15,
+            "n={n} m={m}: obs {obs} vs pred {pred}"
+        );
+    }
+
+    #[test]
+    fn rotation_alltoall_prediction_bounds_the_des(n in 2usize..10, m in 1024u64..32_768) {
+        let cl = cluster(n, 4);
+        let obs = observe(&cl, des_rotation_alltoall, m);
+        let pred = rotation_alltoall(&cl.truth, m);
+        prop_assert!(obs <= pred * 1.05, "n={n} m={m}: obs {obs} vs bound {pred}");
+        prop_assert!(obs >= pred * 0.5, "n={n} m={m}: obs {obs} vs {pred}");
+    }
+}
+
+#[test]
+fn blocking_ring_costs_about_twice_the_overlapped_ring() {
+    let cl = cluster(8, 6);
+    let m = 16 * 1024;
+    let blocking = observe(&cl, des_ring_allgather, m);
+    let overlapped = observe(&cl, des_ring_allgather_overlap, m);
+    let ratio = blocking / overlapped;
+    assert!((1.6..2.2).contains(&ratio), "ratio {ratio}");
+    // The analytic pair has the same structure by construction.
+    let pr = ring_allgather(&cl.truth, m) / ring_allgather_overlap(&cl.truth, m);
+    assert!((pr - 2.0).abs() < 1e-12, "analytic ratio {pr}");
+}

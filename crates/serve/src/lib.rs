@@ -26,6 +26,6 @@ pub use registry::{
 };
 pub use server::{LineHandler, Server, ServerHandle};
 pub use service::{
-    Algorithm, ClusterRef, Collective, Metrics, MetricsSnapshot, ModelKind, Prediction, Query,
-    Service, ServiceConfig,
+    Algorithm, ClusterRef, Collective, Metrics, MetricsSnapshot, ModelKind, PlannedWorkload,
+    Prediction, Query, Service, ServiceConfig,
 };

@@ -14,6 +14,9 @@
 //!   faster one.
 //! - `estimate` — force the parameter set for a config to exist,
 //!   returning estimation statistics.
+//! - `plan` — critical-path prediction of a whole workload trace: per-op
+//!   algorithm choices, per-phase breakdown, and end-to-end makespan,
+//!   cached by `(fingerprint, param_version, model, trace hash)`.
 //! - `history` — list the retained registry versions for a fingerprint,
 //!   with lineage (what triggered each republish and the residuals
 //!   before/after re-estimation).
@@ -42,6 +45,11 @@ pub enum Request {
     },
     Estimate {
         config: Box<ClusterConfig>,
+    },
+    Plan {
+        cluster: ClusterRef,
+        model: ModelKind,
+        trace: Box<cpm_workload::Trace>,
     },
     History {
         fingerprint: String,
@@ -124,13 +132,32 @@ pub fn parse_request(line: &str) -> Result<Request> {
             };
             Ok(Request::Estimate { config })
         }
+        "plan" => {
+            let model = match v.get("model") {
+                None => ModelKind::Lmo,
+                Some(m) => ModelKind::parse(
+                    m.as_str()
+                        .ok_or_else(|| bad("field \"model\" must be a string"))?,
+                )?,
+            };
+            let trace = v
+                .get("trace")
+                .ok_or_else(|| bad("missing field \"trace\""))?;
+            let trace = cpm_workload::Trace::from_value(trace)
+                .map_err(|e| bad(format!("bad \"trace\": {e}")))?;
+            Ok(Request::Plan {
+                cluster: cluster_field(&v)?,
+                model,
+                trace: Box::new(trace),
+            })
+        }
         "history" => Ok(Request::History {
             fingerprint: str_field(&v, "fingerprint")?.to_string(),
         }),
         "stats" => Ok(Request::Stats),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(bad(format!(
-            "unknown verb {other:?} (expected predict|select|estimate|history|stats|shutdown)"
+            "unknown verb {other:?} (expected predict|select|estimate|plan|history|stats|shutdown)"
         ))),
     }
 }
@@ -180,6 +207,27 @@ pub fn respond(service: &Service, req: &Request) -> Result<Value> {
                 ("virtual_cost_seconds", Value::F64(ps.virtual_cost)),
             ]))
         }
+        Request::Plan {
+            cluster,
+            model,
+            trace,
+        } => {
+            let planned = service.plan(cluster, trace, *model)?;
+            let mut entries = vec![
+                ("fingerprint".to_string(), Value::Str(planned.fingerprint)),
+                (
+                    "param_version".to_string(),
+                    Value::U64(planned.param_version),
+                ),
+                ("cached".to_string(), Value::Bool(planned.cached)),
+            ];
+            // Splice in the plan body (model, trace_hash, makespan, per-op
+            // schedule, per-phase breakdown).
+            if let Value::Map(body) = planned.plan.to_value() {
+                entries.extend(body);
+            }
+            Ok(Value::Map(entries))
+        }
         Request::History { fingerprint } => {
             let history = service.registry().history(fingerprint)?;
             let versions: Vec<Value> = history
@@ -215,6 +263,8 @@ pub fn respond(service: &Service, req: &Request) -> Result<Value> {
             Ok(obj(vec![
                 ("hits", Value::U64(s.hits)),
                 ("misses", Value::U64(s.misses)),
+                ("plan_hits", Value::U64(s.plan_hits)),
+                ("plan_misses", Value::U64(s.plan_misses)),
                 ("estimations", Value::U64(s.estimations)),
                 ("registry_loads", Value::U64(s.registry_loads)),
                 ("republishes", Value::U64(s.republishes)),

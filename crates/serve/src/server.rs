@@ -6,7 +6,7 @@
 //! only that connection. Shutdown is graceful — either via the `shutdown`
 //! verb or [`ServerHandle::shutdown`] — and joins all threads.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -124,19 +124,98 @@ fn accept_loop(listener: TcpListener, handler: Arc<dyn LineHandler>, stop: Arc<A
     }
 }
 
+/// Upper bound on one request line, bytes (newline excluded). A line
+/// longer than this gets a structured protocol error instead of growing
+/// the connection's buffer without bound, and the connection stays open.
+pub const MAX_LINE: usize = 1 << 20;
+
+/// Reads one `\n`-terminated line of at most [`MAX_LINE`] bytes.
+///
+/// Returns `Ok(None)` at clean EOF. An oversized or non-UTF-8 line yields
+/// `Err(BadLine)` after consuming the offending line entirely, so the
+/// protocol stream stays aligned and the connection can keep serving.
+enum BadLine {
+    TooLong(usize),
+    NotUtf8,
+}
+
+fn read_bounded_line(
+    reader: &mut BufReader<TcpStream>,
+) -> std::io::Result<Option<std::result::Result<String, BadLine>>> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut dropped = 0usize; // bytes discarded once the line overflows
+    loop {
+        let chunk = match reader.fill_buf() {
+            Ok(c) => c,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        if chunk.is_empty() {
+            // EOF. A clean close mid-line drops the partial line.
+            return Ok(if buf.is_empty() || dropped > 0 {
+                None
+            } else {
+                Some(finish_line(buf))
+            });
+        }
+        let (take, terminated) = match chunk.iter().position(|b| *b == b'\n') {
+            Some(i) => (i + 1, true),
+            None => (chunk.len(), false),
+        };
+        if dropped > 0 || buf.len() + take - usize::from(terminated) > MAX_LINE {
+            // Overflow: stop accumulating, but keep draining to the
+            // newline so the next request parses from a clean boundary.
+            dropped += take + buf.len();
+            buf.clear();
+            reader.consume(take);
+            if terminated {
+                return Ok(Some(Err(BadLine::TooLong(dropped))));
+            }
+            continue;
+        }
+        buf.extend_from_slice(&chunk[..take]);
+        reader.consume(take);
+        if terminated {
+            buf.pop(); // the newline
+            return Ok(Some(finish_line(buf)));
+        }
+    }
+}
+
+fn finish_line(mut buf: Vec<u8>) -> std::result::Result<String, BadLine> {
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    String::from_utf8(buf).map_err(|_| BadLine::NotUtf8)
+}
+
 fn serve_connection(
     stream: TcpStream,
     handler: &dyn LineHandler,
     stop: &AtomicBool,
 ) -> std::io::Result<()> {
     let mut writer = stream.try_clone()?;
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        let (response, shutdown) = handler.handle_line(&line);
+    let mut reader = BufReader::new(stream);
+    while let Some(line) = read_bounded_line(&mut reader)? {
+        let (response, shutdown) = match line {
+            Ok(line) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                handler.handle_line(&line)
+            }
+            Err(BadLine::TooLong(len)) => (
+                format!(
+                    "{{\"ok\":false,\"error\":\"request line too long \
+                     ({len} bytes, limit {MAX_LINE})\"}}"
+                ),
+                false,
+            ),
+            Err(BadLine::NotUtf8) => (
+                "{\"ok\":false,\"error\":\"request line is not valid utf-8\"}".to_string(),
+                false,
+            ),
+        };
         writer.write_all(response.as_bytes())?;
         writer.write_all(b"\n")?;
         writer.flush()?;

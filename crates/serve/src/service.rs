@@ -23,6 +23,7 @@ use cpm_core::tree::BinomialTree;
 use cpm_core::units::Bytes;
 use cpm_estimate::EstimateConfig;
 use cpm_models::collective::{binomial_recursive, binomial_recursive_full};
+use cpm_workload::{ModelSet, Plan, Trace};
 use parking_lot::{Mutex, RwLock};
 
 use crate::registry::{fingerprint, ParamSet, Registry, Result, ServeError};
@@ -37,6 +38,16 @@ pub enum ModelKind {
 }
 
 impl ModelKind {
+    /// The equivalent model selector in `cpm-workload`'s planner.
+    pub fn workload(self) -> cpm_workload::ModelKind {
+        match self {
+            ModelKind::Lmo => cpm_workload::ModelKind::Lmo,
+            ModelKind::Hockney => cpm_workload::ModelKind::Hockney,
+            ModelKind::Loggp => cpm_workload::ModelKind::Loggp,
+            ModelKind::Plogp => cpm_workload::ModelKind::Plogp,
+        }
+    }
+
     pub fn parse(s: &str) -> Result<Self> {
         match s {
             "lmo" => Ok(ModelKind::Lmo),
@@ -245,6 +256,10 @@ pub struct Metrics {
     pub hits: AtomicU64,
     /// Predictions that had to be computed from a parameter set.
     pub misses: AtomicU64,
+    /// Workload plans answered from the plan cache.
+    pub plan_hits: AtomicU64,
+    /// Workload plans evaluated from scratch.
+    pub plan_misses: AtomicU64,
     /// Estimation pipeline runs (cold fingerprints).
     pub estimations: AtomicU64,
     /// Parameter sets loaded from disk instead of estimated.
@@ -261,6 +276,8 @@ pub struct Metrics {
 pub struct MetricsSnapshot {
     pub hits: u64,
     pub misses: u64,
+    pub plan_hits: u64,
+    pub plan_misses: u64,
     pub estimations: u64,
     pub registry_loads: u64,
     pub republishes: u64,
@@ -284,6 +301,8 @@ impl Metrics {
         MetricsSnapshot {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            plan_hits: self.plan_hits.load(Ordering::Relaxed),
+            plan_misses: self.plan_misses.load(Ordering::Relaxed),
             estimations: self.estimations.load(Ordering::Relaxed),
             registry_loads: self.registry_loads.load(Ordering::Relaxed),
             republishes: self.republishes.load(Ordering::Relaxed),
@@ -318,6 +337,36 @@ impl Default for ServiceConfig {
 
 const SHARDS: usize = 16;
 
+/// Capacity of the workload-plan cache. Plans are far heavier than scalar
+/// predictions (per-op reports for a whole trace), so the cap is small.
+const PLAN_CAPACITY: usize = 64;
+
+/// Key for one cached workload plan. `param_version` makes republished
+/// parameters miss naturally even before [`Service::invalidate`] purges
+/// the stale entries.
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct PlanKey {
+    fp: String,
+    param_version: u64,
+    model: ModelKind,
+    trace_hash: String,
+}
+
+/// A served workload plan (the serve-layer wrapper around
+/// [`cpm_workload::Plan`]).
+#[derive(Clone, Debug)]
+pub struct PlannedWorkload {
+    pub plan: Arc<Plan>,
+    /// Fingerprint of the cluster the plan is for.
+    pub fingerprint: String,
+    /// Parameter-set version the plan was evaluated against.
+    pub param_version: u64,
+    /// Canonical hash of the submitted trace.
+    pub trace_hash: String,
+    /// `true` when served from the plan cache.
+    pub cached: bool,
+}
+
 /// The concurrent prediction service.
 pub struct Service {
     registry: Registry,
@@ -325,6 +374,8 @@ pub struct Service {
     params: RwLock<HashMap<String, Arc<ParamSet>>>,
     inflight: Mutex<HashMap<String, Arc<Inflight>>>,
     shards: Vec<Mutex<Shard>>,
+    plans: Mutex<HashMap<PlanKey, (Arc<Plan>, u64)>>,
+    plan_tick: AtomicU64,
     metrics: Metrics,
 }
 
@@ -337,6 +388,8 @@ impl Service {
             params: RwLock::new(HashMap::new()),
             inflight: Mutex::new(HashMap::new()),
             shards: (0..SHARDS).map(|_| Mutex::new(Shard::new())).collect(),
+            plans: Mutex::new(HashMap::new()),
+            plan_tick: AtomicU64::new(0),
             metrics: Metrics::default(),
         })
     }
@@ -434,7 +487,80 @@ impl Service {
                 .retain(|k, _| !(k.fp == fp && models.contains(&k.model)));
             dropped += before - shard.map.len();
         }
+        // Cached workload plans for the affected models are stale too.
+        {
+            let mut plans = self.plans.lock();
+            let before = plans.len();
+            plans.retain(|k, _| !(k.fp == fp && models.contains(&k.model)));
+            dropped += before - plans.len();
+        }
         dropped
+    }
+
+    /// Predicts the end-to-end makespan and per-op schedule of a workload
+    /// trace by critical-path evaluation under `model`, caching the plan
+    /// by `(fingerprint, param_version, model, trace hash)` so an
+    /// identical submission against unchanged parameters is served
+    /// without re-evaluating the trace. Republishing the cluster's
+    /// parameters (drift refit) invalidates the cached plans.
+    pub fn plan(
+        &self,
+        cluster: &ClusterRef,
+        trace: &Trace,
+        model: ModelKind,
+    ) -> Result<PlannedWorkload> {
+        trace
+            .validate()
+            .map_err(|e| ServeError::Protocol(format!("bad trace: {e}")))?;
+        let ps = self.param_set(cluster)?;
+        let key = PlanKey {
+            fp: ps.fingerprint.clone(),
+            param_version: ps.param_version,
+            model,
+            trace_hash: trace.hash(),
+        };
+        let tick = self.plan_tick.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(slot) = self.plans.lock().get_mut(&key) {
+            slot.1 = tick;
+            self.metrics.plan_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(PlannedWorkload {
+                plan: Arc::clone(&slot.0),
+                fingerprint: key.fp,
+                param_version: key.param_version,
+                trace_hash: key.trace_hash,
+                cached: true,
+            });
+        }
+        self.metrics.plan_misses.fetch_add(1, Ordering::Relaxed);
+        let models = ModelSet {
+            lmo: ps.lmo.clone(),
+            hockney: ps.hockney.clone(),
+            loggp: ps.loggp.clone(),
+            plogp: ps.plogp.clone(),
+        };
+        let plan = cpm_workload::plan(trace, &models.get(model.workload()))
+            .map_err(|e| ServeError::Protocol(format!("plan failed: {e}")))?;
+        let plan = Arc::new(plan);
+        {
+            let mut plans = self.plans.lock();
+            plans.insert(key.clone(), (Arc::clone(&plan), tick));
+            if plans.len() > PLAN_CAPACITY {
+                if let Some(victim) = plans
+                    .iter()
+                    .min_by_key(|(_, (_, t))| *t)
+                    .map(|(k, _)| k.clone())
+                {
+                    plans.remove(&victim);
+                }
+            }
+        }
+        Ok(PlannedWorkload {
+            plan,
+            fingerprint: key.fp,
+            param_version: key.param_version,
+            trace_hash: key.trace_hash,
+            cached: false,
+        })
     }
 
     /// Predicts one collective execution time.

@@ -163,3 +163,137 @@ fn select_and_estimate_verbs_work_over_the_wire() {
     server.shutdown();
     let _ = std::fs::remove_dir_all(&store);
 }
+
+#[test]
+fn plan_verb_round_trips_caches_and_invalidates_on_republish() {
+    let store = std::env::temp_dir().join(format!("cpm-serve-plan-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store);
+    let config_json =
+        serde_json::to_string(&ClusterConfig::ideal(ClusterSpec::homogeneous(4), 7)).unwrap();
+    let trace = cpm_workload::gen::canonical("train", 4, 8192, 2).unwrap();
+    let trace_json = serde_json::to_string(&trace.to_value()).unwrap();
+    let line = format!(
+        "{{\"verb\":\"plan\",\"model\":\"lmo\",\"trace\":{trace_json},\"config\":{config_json}}}"
+    );
+
+    let mut server = start_server(&store);
+    let addr = server.addr();
+
+    // First submission: evaluated from scratch, full plan in the response.
+    let first = request(addr, &line);
+    assert!(ok(&first), "{first:?}");
+    assert_eq!(first.get("cached"), Some(&Value::Bool(false)));
+    assert_eq!(
+        first.get("trace_hash").and_then(Value::as_str),
+        Some(trace.hash().as_str())
+    );
+    let makespan = first
+        .get("makespan_seconds")
+        .and_then(Value::as_f64)
+        .unwrap();
+    assert!(makespan > 0.0);
+    let Some(Value::Seq(ops)) = first.get("ops") else {
+        panic!("no ops in {first:?}");
+    };
+    assert_eq!(ops.len() as u64, trace.ops.len() as u64);
+    // Collective ops carry their chosen algorithm.
+    assert!(ops
+        .iter()
+        .any(|o| o.get("algorithm").and_then(Value::as_str).is_some()));
+    let Some(Value::Seq(phases)) = first.get("phases") else {
+        panic!("no phases in {first:?}");
+    };
+    assert_eq!(phases.len(), 2);
+
+    // Identical second submission is served from the plan cache.
+    let second = request(addr, &line);
+    assert!(ok(&second), "{second:?}");
+    assert_eq!(second.get("cached"), Some(&Value::Bool(true)));
+    assert_eq!(
+        second.get("makespan_seconds").and_then(Value::as_f64),
+        Some(makespan)
+    );
+    let stats = request(addr, "{\"verb\":\"stats\"}");
+    assert_eq!(stats.get("plan_hits").and_then(Value::as_u64), Some(1));
+    assert_eq!(stats.get("plan_misses").and_then(Value::as_u64), Some(1));
+
+    // A drift-style republish of the lmo parameters invalidates the plan.
+    let service = Arc::clone(server.service());
+    let fp = first
+        .get("fingerprint")
+        .and_then(Value::as_str)
+        .unwrap()
+        .to_string();
+    let ps = service
+        .param_set(&cpm_serve::ClusterRef::Fingerprint(fp))
+        .unwrap();
+    service
+        .republish((*ps).clone(), &[cpm_serve::ModelKind::Lmo])
+        .unwrap();
+    let third = request(addr, &line);
+    assert!(ok(&third), "{third:?}");
+    assert_eq!(
+        third.get("cached"),
+        Some(&Value::Bool(false)),
+        "republish must invalidate the cached plan"
+    );
+    assert_eq!(
+        third.get("param_version").and_then(Value::as_u64),
+        Some(2),
+        "the replan must bind the republished parameters"
+    );
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+#[test]
+fn oversized_and_non_utf8_lines_get_structured_errors_not_dropped_connections() {
+    let store = std::env::temp_dir().join(format!("cpm-serve-maxline-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store);
+    let mut server = start_server(&store);
+    let addr = server.addr();
+
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut response = String::new();
+
+    // An oversized line (far beyond MAX_LINE) must produce a structured
+    // protocol error without buffering the whole line or dropping the
+    // connection.
+    let huge = vec![b'x'; cpm_serve::server::MAX_LINE + 4096];
+    writer.write_all(&huge).unwrap();
+    writer.write_all(b"\n").unwrap();
+    writer.flush().unwrap();
+    reader.read_line(&mut response).unwrap();
+    let v: Value = serde_json::from_str(response.trim_end()).unwrap();
+    assert_eq!(v.get("ok"), Some(&Value::Bool(false)));
+    let msg = v.get("error").and_then(Value::as_str).unwrap();
+    assert!(msg.contains("too long"), "{msg}");
+
+    // A non-UTF-8 line likewise errors without killing the connection.
+    writer.write_all(&[0xff, 0xfe, b'{', b'}', b'\n']).unwrap();
+    writer.flush().unwrap();
+    response.clear();
+    reader.read_line(&mut response).unwrap();
+    let v: Value = serde_json::from_str(response.trim_end()).unwrap();
+    assert_eq!(v.get("ok"), Some(&Value::Bool(false)));
+    let msg = v.get("error").and_then(Value::as_str).unwrap();
+    assert!(msg.contains("utf-8"), "{msg}");
+
+    // The same connection still serves real requests afterwards.
+    writer.write_all(b"{\"verb\":\"stats\"}\n").unwrap();
+    writer.flush().unwrap();
+    response.clear();
+    reader.read_line(&mut response).unwrap();
+    let v: Value = serde_json::from_str(response.trim_end()).unwrap();
+    assert!(ok(&v), "{v:?}");
+
+    // Close our side before shutdown: the server joins per-connection
+    // workers, which only unblock at client EOF.
+    drop(writer);
+    drop(reader);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&store);
+}

@@ -1,0 +1,52 @@
+//! # cpm-workload — trace-driven application workloads
+//!
+//! The paper's payoff is that accurate per-collective LMO predictions
+//! enable correct algorithm selection; real users care about the makespan
+//! of whole communication *schedules* — a data-parallel training step, a
+//! pipeline of micro-batches, a halo exchange — not a single collective.
+//! This crate treats a communication schedule as the unit of prediction,
+//! with three halves that must agree:
+//!
+//! * [`trace`] — the workload IR: a JSON-lines trace of communication ops
+//!   (p2p, scatter/gather/bcast/reduce, ring allgather, rotation alltoall,
+//!   compute, barrier) with per-rank dependencies implied by per-rank
+//!   program order, plus a stable 128-bit trace hash.
+//! * [`gen`] — generators for the canonical workloads: training step
+//!   (reduce+bcast allreduce per layer), pipeline-parallel p2p chain,
+//!   MoE-style alltoall, 2-D halo exchange.
+//! * [`plan`] — the analytic engine: lowers a trace into per-rank
+//!   primitive programs (the per-rank dependency DAG) and predicts the
+//!   end-to-end makespan by critical-path evaluation under each model
+//!   (extended LMO vs Hockney/LogGP/PLogP), emitting per-op algorithm
+//!   choices and a per-phase breakdown.
+//! * [`replay`] — the execution engine: replays the *same* lowered
+//!   programs as a real [`cpm_vmpi`] program against the [`cpm_netsim`]
+//!   DES, so the observed makespan emerges from the simulator, then
+//!   reports predicted-vs-observed residuals per op (feedable into
+//!   `cpm-drift` observations).
+//!
+//! The analytic engine and the replay execute the same lowering
+//! ([`lower`]), so under the extended LMO model — whose parameters name
+//! every resource the simulator charges (tx engine, link, rx engine) —
+//! prediction and observation agree closely outside the simulator's
+//! injected-irregularity regions. The homogeneous models, which "cannot
+//! separate the contributions of the processors and the network", are
+//! evaluated with whole-transfer sender occupancy and no receive-side
+//! resource: exactly the modelling gap the paper describes, surfaced at
+//! application level.
+
+pub mod gen;
+pub mod lower;
+pub mod plan;
+pub mod replay;
+pub mod trace;
+
+pub use lower::{lower, Algorithm, Lowered, Prim, RankPrim};
+pub use plan::{choose, plan, ModelKind, ModelSet, OpReport, PhaseReport, Plan, PlanModel};
+pub use replay::{
+    compare, replay, CompareReport, OpResidual, P2pObservation, ReplayOp, ReplayReport,
+};
+pub use trace::{OpKind, Trace, TraceOp, WorkloadError};
+
+/// Crate-wide result type.
+pub type Result<T> = std::result::Result<T, WorkloadError>;

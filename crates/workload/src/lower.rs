@@ -1,0 +1,394 @@
+//! Lowering: from trace ops to per-rank primitive programs.
+//!
+//! Every trace op expands into [`Prim`]s appended to each participating
+//! rank's program, mirroring the concrete algorithms in
+//! `cpm-collectives` (linear scatter sends in increasing rank order,
+//! binomial trees forward largest sub-tree first, reduce combines after
+//! every receive, the ring allgather alternates even/odd send order, the
+//! rotation alltoall walks rounds `k = 1..n`). The same [`Lowered`]
+//! program is consumed by both the analytic engine ([`crate::plan`]) and
+//! the DES replay ([`crate::replay`]) — the two halves cannot drift apart
+//! because there is only one lowering.
+
+use cpm_core::rank::Rank;
+use cpm_core::tree::BinomialTree;
+use cpm_core::units::Bytes;
+
+use crate::trace::{OpKind, Trace};
+
+/// A per-rank primitive. `Send` is the simulator's blocking send
+/// (buffered: returns when the local tx engine finishes).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Prim {
+    Send { dst: Rank, m: Bytes },
+    Recv { src: Rank },
+    Compute { secs: f64 },
+    Barrier,
+}
+
+/// A primitive tagged with the trace op (index into `trace.ops`) it
+/// belongs to.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RankPrim {
+    pub op: usize,
+    pub prim: Prim,
+}
+
+/// The algorithm a collective op was lowered with.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Algorithm {
+    Linear,
+    Binomial,
+    Ring,
+    Rotation,
+}
+
+impl Algorithm {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Algorithm::Linear => "linear",
+            Algorithm::Binomial => "binomial",
+            Algorithm::Ring => "ring",
+            Algorithm::Rotation => "rotation",
+        }
+    }
+}
+
+/// A lowered trace: one primitive program per rank, plus the effective
+/// algorithm per op.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Lowered {
+    pub n: usize,
+    pub per_rank: Vec<Vec<RankPrim>>,
+    /// Effective algorithm per trace op (`None` for p2p/compute/barrier).
+    pub algorithms: Vec<Option<Algorithm>>,
+}
+
+struct Emitter {
+    per_rank: Vec<Vec<RankPrim>>,
+    op: usize,
+}
+
+impl Emitter {
+    fn emit(&mut self, rank: Rank, prim: Prim) {
+        self.per_rank[rank.idx()].push(RankPrim { op: self.op, prim });
+    }
+
+    fn send(&mut self, src: Rank, dst: Rank, m: Bytes) {
+        self.emit(src, Prim::Send { dst, m });
+    }
+
+    fn recv(&mut self, dst: Rank, src: Rank) {
+        self.emit(dst, Prim::Recv { src });
+    }
+}
+
+/// Lowers `trace` with the per-op algorithm `choices` (as produced by
+/// [`crate::plan::choose`]; `None` entries fall back to the linear
+/// algorithm). The trace must validate.
+pub fn lower(trace: &Trace, choices: &[Option<Algorithm>]) -> Lowered {
+    let n = trace.n;
+    let mut e = Emitter {
+        per_rank: vec![Vec::new(); n],
+        op: 0,
+    };
+    let mut algorithms = vec![None; trace.ops.len()];
+    for (idx, op) in trace.ops.iter().enumerate() {
+        e.op = idx;
+        let choice = choices.get(idx).copied().flatten();
+        algorithms[idx] = match &op.kind {
+            OpKind::P2p { src, dst, m } => {
+                e.send(*src, *dst, *m);
+                e.recv(*dst, *src);
+                None
+            }
+            OpKind::Scatter { root, m } => match choice.unwrap_or(Algorithm::Linear) {
+                Algorithm::Binomial => {
+                    lower_binomial(&mut e, n, *root, |blocks| blocks * m);
+                    Some(Algorithm::Binomial)
+                }
+                _ => {
+                    lower_linear_root_send(&mut e, n, *root, *m);
+                    Some(Algorithm::Linear)
+                }
+            },
+            OpKind::Bcast { root, m } => match choice.unwrap_or(Algorithm::Linear) {
+                Algorithm::Binomial => {
+                    lower_binomial(&mut e, n, *root, |_| *m);
+                    Some(Algorithm::Binomial)
+                }
+                _ => {
+                    lower_linear_root_send(&mut e, n, *root, *m);
+                    Some(Algorithm::Linear)
+                }
+            },
+            OpKind::Gather { root, m } => match choice.unwrap_or(Algorithm::Linear) {
+                Algorithm::Binomial => {
+                    lower_binomial_up(&mut e, n, *root, *m, 0.0);
+                    Some(Algorithm::Binomial)
+                }
+                _ => {
+                    lower_linear_root_recv(&mut e, n, *root, *m, 0.0);
+                    Some(Algorithm::Linear)
+                }
+            },
+            OpKind::Reduce { root, m, gamma } => match choice.unwrap_or(Algorithm::Linear) {
+                Algorithm::Binomial => {
+                    lower_binomial_up(&mut e, n, *root, *m, gamma * *m as f64);
+                    Some(Algorithm::Binomial)
+                }
+                _ => {
+                    lower_linear_root_recv(&mut e, n, *root, *m, gamma * *m as f64);
+                    Some(Algorithm::Linear)
+                }
+            },
+            OpKind::Allgather { m } => {
+                lower_ring_allgather(&mut e, n, *m);
+                Some(Algorithm::Ring)
+            }
+            OpKind::Alltoall { m } => {
+                lower_rotation_alltoall(&mut e, n, *m);
+                Some(Algorithm::Rotation)
+            }
+            OpKind::Compute { ranks, seconds } => {
+                for r in ranks {
+                    e.emit(*r, Prim::Compute { secs: *seconds });
+                }
+                None
+            }
+            OpKind::Barrier => {
+                for r in 0..n as u32 {
+                    e.emit(Rank(r), Prim::Barrier);
+                }
+                None
+            }
+        };
+    }
+    Lowered {
+        n,
+        per_rank: e.per_rank,
+        algorithms,
+    }
+}
+
+/// Linear scatter/bcast: root sends to every other rank in increasing
+/// rank order; everyone else receives (`cpm_collectives::scatter::
+/// linear_scatter` / `bcast::linear_bcast`).
+fn lower_linear_root_send(e: &mut Emitter, n: usize, root: Rank, m: Bytes) {
+    for i in 0..n as u32 {
+        if Rank(i) != root {
+            e.send(root, Rank(i), m);
+        }
+    }
+    for i in 0..n as u32 {
+        if Rank(i) != root {
+            e.recv(Rank(i), root);
+        }
+    }
+}
+
+/// Linear gather/reduce: every non-root sends to the root; the root
+/// receives in increasing rank order, combining for `combine_secs` after
+/// each receive when reducing (`gather::linear_gather` /
+/// `reduce::linear_reduce`).
+fn lower_linear_root_recv(e: &mut Emitter, n: usize, root: Rank, m: Bytes, combine_secs: f64) {
+    for i in 0..n as u32 {
+        if Rank(i) != root {
+            e.send(Rank(i), root, m);
+        }
+    }
+    for i in 0..n as u32 {
+        if Rank(i) != root {
+            e.recv(root, Rank(i));
+            if combine_secs > 0.0 {
+                e.emit(root, Prim::Compute { secs: combine_secs });
+            }
+        }
+    }
+}
+
+/// Binomial downward flow (scatter/bcast): receive from the parent, then
+/// send to each child largest-sub-tree first; `payload(blocks)` is the
+/// bytes on an arc whose sub-tree holds `blocks` processes.
+fn lower_binomial(e: &mut Emitter, n: usize, root: Rank, payload: impl Fn(u64) -> Bytes) {
+    let tree = BinomialTree::new(n, root);
+    for i in 0..n as u32 {
+        let me = Rank(i);
+        if let Some(parent) = tree.parent_of(me) {
+            e.recv(me, parent);
+        }
+        for (child, blocks) in tree.children_of(me) {
+            e.send(me, child, payload(blocks));
+        }
+    }
+}
+
+/// Binomial upward flow (gather/reduce): receive each child's sub-tree
+/// smallest first (combining when reducing), then forward to the parent —
+/// the whole sub-tree for gather (`combine_secs == 0`), one vector for
+/// reduce.
+fn lower_binomial_up(e: &mut Emitter, n: usize, root: Rank, m: Bytes, combine_secs: f64) {
+    let tree = BinomialTree::new(n, root);
+    for i in 0..n as u32 {
+        let me = Rank(i);
+        let mut children = tree.children_of(me);
+        children.reverse(); // smallest sub-tree first
+        for (child, _) in children {
+            e.recv(me, child);
+            if combine_secs > 0.0 {
+                e.emit(me, Prim::Compute { secs: combine_secs });
+            }
+        }
+        if let Some(parent) = tree.parent_of(me) {
+            let bytes = if combine_secs > 0.0 {
+                m
+            } else {
+                tree.subtree_size(me) * m
+            };
+            e.send(me, parent, bytes);
+        }
+    }
+}
+
+/// Blocking ring allgather: `n−1` steps; even ranks send right then
+/// receive left, odd ranks the reverse (`allgather::ring_allgather`).
+fn lower_ring_allgather(e: &mut Emitter, n: usize, m: Bytes) {
+    for i in 0..n {
+        let me = Rank(i as u32);
+        let right = Rank(((i + 1) % n) as u32);
+        let left = Rank(((i + n - 1) % n) as u32);
+        for _step in 0..n - 1 {
+            if i % 2 == 0 {
+                e.send(me, right, m);
+                e.recv(me, left);
+            } else {
+                e.recv(me, left);
+                e.send(me, right, m);
+            }
+        }
+    }
+}
+
+/// Rotation alltoall: round `k = 1..n`, send to `me+k`, receive from
+/// `me−k` (`alltoall::linear_alltoall`).
+fn lower_rotation_alltoall(e: &mut Emitter, n: usize, m: Bytes) {
+    for i in 0..n {
+        let me = Rank(i as u32);
+        for k in 1..n {
+            let dst = Rank(((i + k) % n) as u32);
+            let src = Rank(((i + n - k) % n) as u32);
+            e.send(me, dst, m);
+            e.recv(me, src);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    fn count_sends(l: &Lowered) -> usize {
+        l.per_rank
+            .iter()
+            .flatten()
+            .filter(|p| matches!(p.prim, Prim::Send { .. }))
+            .count()
+    }
+
+    fn count_recvs(l: &Lowered) -> usize {
+        l.per_rank
+            .iter()
+            .flatten()
+            .filter(|p| matches!(p.prim, Prim::Recv { .. }))
+            .count()
+    }
+
+    #[test]
+    fn sends_and_receives_balance_per_pair() {
+        for kind in gen::CANONICAL_KINDS {
+            let t = gen::canonical(kind, 8, 1024, 2).unwrap();
+            let choices = vec![None; t.ops.len()];
+            let l = lower(&t, &choices);
+            assert_eq!(count_sends(&l), count_recvs(&l), "{kind}");
+            // Per (src, dst) pair the counts must match exactly.
+            let mut balance = std::collections::HashMap::new();
+            for (rank, prog) in l.per_rank.iter().enumerate() {
+                for p in prog {
+                    match p.prim {
+                        Prim::Send { dst, .. } => {
+                            *balance.entry((rank, dst.idx())).or_insert(0i64) += 1
+                        }
+                        Prim::Recv { src } => {
+                            *balance.entry((src.idx(), rank)).or_insert(0i64) -= 1
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            assert!(balance.values().all(|v| *v == 0), "{kind}: {balance:?}");
+        }
+    }
+
+    #[test]
+    fn op_primitives_are_contiguous_per_rank() {
+        // The per-op observation windows in plan/replay rely on each
+        // rank's primitives for one op forming a contiguous run.
+        for kind in gen::CANONICAL_KINDS {
+            let t = gen::canonical(kind, 6, 1024, 2).unwrap();
+            let l = lower(&t, &vec![None; t.ops.len()]);
+            for prog in &l.per_rank {
+                let mut last = None;
+                let mut seen = std::collections::HashSet::new();
+                for p in prog {
+                    if last != Some(p.op) {
+                        assert!(seen.insert(p.op), "op {} revisited", p.op);
+                        last = Some(p.op);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_scatter_carries_subtree_payloads() {
+        let t = crate::trace::Trace {
+            name: "s".into(),
+            n: 8,
+            ops: vec![crate::trace::TraceOp {
+                id: 0,
+                phase: "p".into(),
+                kind: crate::trace::OpKind::Scatter {
+                    root: Rank(0),
+                    m: 100,
+                },
+            }],
+        };
+        let l = lower(&t, &[Some(Algorithm::Binomial)]);
+        let root_sends: Vec<Bytes> = l.per_rank[0]
+            .iter()
+            .filter_map(|p| match p.prim {
+                Prim::Send { m, .. } => Some(m),
+                _ => None,
+            })
+            .collect();
+        // Root of an 8-node binomial tree sends sub-trees of 4, 2, 1 blocks.
+        assert_eq!(root_sends, vec![400, 200, 100]);
+        assert_eq!(l.algorithms[0], Some(Algorithm::Binomial));
+    }
+
+    #[test]
+    fn alltoall_lowering_is_a_full_exchange() {
+        let n = 5;
+        let t = gen::moe_alltoall(n, 256, 1, 0.0);
+        let l = lower(&t, &vec![None; t.ops.len()]);
+        // Two alltoalls: every rank sends 2(n−1) messages.
+        for prog in &l.per_rank {
+            let sends = prog
+                .iter()
+                .filter(|p| matches!(p.prim, Prim::Send { .. }))
+                .count();
+            assert_eq!(sends, 2 * (n - 1));
+        }
+    }
+}

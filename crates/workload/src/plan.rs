@@ -1,0 +1,833 @@
+//! The analytic engine: critical-path evaluation of a lowered trace.
+//!
+//! [`plan`] compiles a trace into the per-rank dependency DAG (via
+//! [`crate::lower`]) and predicts the end-to-end makespan by evaluating
+//! the DAG with a deterministic event-driven machine under the chosen
+//! model:
+//!
+//! * **Extended LMO** charges each resource its parameters name, exactly
+//!   as the simulator does in its regular regime: a blocking send
+//!   occupies the sender's tx engine for `C_i + M·t_i`, the message then
+//!   takes `L_ij` to reach the wire, waits for earlier transfers on the
+//!   same connection, streams for `M/β_ij`, and finally occupies the
+//!   receiver's rx engine for `C_j + M·t_j` in arrival order — whether or
+//!   not the receive is posted yet.
+//! * **Hockney / LogGP / PLogP** cannot separate the contributions of the
+//!   processors and the network (the paper's central criticism), so the
+//!   machine charges the whole point-to-point time `T(M)` as sender
+//!   occupancy and delivers at `send_start + T(M)`: no receive-side
+//!   resource, no wire serialization. At application level this is what
+//!   makes them misrank schedules that pipeline or fan in.
+//!
+//! Algorithm choices per collective op are made first (the
+//! `TunedCollectives`/`select` comparisons of `cpm-collectives`), then a
+//! single lowering feeds both this evaluator and the DES replay.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use cpm_core::rank::Rank;
+use cpm_core::traits::PointToPoint;
+use cpm_core::tree::BinomialTree;
+use cpm_core::units::Bytes;
+use cpm_models::collective::{binomial_recursive_full, linear_serial};
+use cpm_models::{HockneyHet, LmoExtended, LogGp, PLogP};
+
+use crate::lower::{lower, Algorithm, Lowered, Prim};
+use crate::trace::{OpKind, Trace, WorkloadError};
+
+/// The model a plan is evaluated under.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    Lmo,
+    Hockney,
+    Loggp,
+    Plogp,
+}
+
+impl ModelKind {
+    pub const ALL: [ModelKind; 4] = [
+        ModelKind::Lmo,
+        ModelKind::Hockney,
+        ModelKind::Loggp,
+        ModelKind::Plogp,
+    ];
+
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ModelKind::Lmo => "lmo",
+            ModelKind::Hockney => "hockney",
+            ModelKind::Loggp => "loggp",
+            ModelKind::Plogp => "plogp",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<ModelKind> {
+        match s {
+            "lmo" => Some(ModelKind::Lmo),
+            "hockney" => Some(ModelKind::Hockney),
+            "loggp" => Some(ModelKind::Loggp),
+            "plogp" => Some(ModelKind::Plogp),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A concrete parameterized model to plan under.
+#[derive(Clone, Debug)]
+pub enum PlanModel {
+    Lmo(LmoExtended),
+    Hockney(HockneyHet),
+    Loggp(LogGp),
+    Plogp(PLogP),
+}
+
+impl PlanModel {
+    pub fn kind(&self) -> ModelKind {
+        match self {
+            PlanModel::Lmo(_) => ModelKind::Lmo,
+            PlanModel::Hockney(_) => ModelKind::Hockney,
+            PlanModel::Loggp(_) => ModelKind::Loggp,
+            PlanModel::Plogp(_) => ModelKind::Plogp,
+        }
+    }
+
+    fn as_p2p(&self) -> &dyn PointToPoint {
+        match self {
+            PlanModel::Lmo(m) => m,
+            PlanModel::Hockney(m) => m,
+            PlanModel::Loggp(m) => m,
+            PlanModel::Plogp(m) => m,
+        }
+    }
+}
+
+/// All four parameterized models for one cluster, as `cpm-serve` stores
+/// them.
+#[derive(Clone, Debug)]
+pub struct ModelSet {
+    pub lmo: LmoExtended,
+    pub hockney: HockneyHet,
+    pub loggp: LogGp,
+    pub plogp: PLogP,
+}
+
+impl ModelSet {
+    pub fn get(&self, kind: ModelKind) -> PlanModel {
+        match kind {
+            ModelKind::Lmo => PlanModel::Lmo(self.lmo.clone()),
+            ModelKind::Hockney => PlanModel::Hockney(self.hockney.clone()),
+            ModelKind::Loggp => PlanModel::Loggp(self.loggp.clone()),
+            ModelKind::Plogp => PlanModel::Plogp(self.plogp.clone()),
+        }
+    }
+}
+
+/// Per-op slice of a plan.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OpReport {
+    pub id: u64,
+    pub phase: String,
+    pub kind: String,
+    /// Chosen algorithm for collective ops.
+    pub algorithm: Option<String>,
+    /// Earliest predicted activity of the op (seconds from t=0).
+    pub start: f64,
+    /// Latest predicted activity of the op.
+    pub end: f64,
+}
+
+/// Per-phase breakdown: the span of all ops sharing a phase label.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PhaseReport {
+    pub phase: String,
+    pub start: f64,
+    pub end: f64,
+}
+
+/// The analytic prediction for one trace under one model.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Plan {
+    pub model: ModelKind,
+    pub trace_hash: String,
+    pub makespan: f64,
+    pub ops: Vec<OpReport>,
+    pub phases: Vec<PhaseReport>,
+}
+
+impl Plan {
+    /// JSON form used by the serve `plan` verb and the CLI.
+    pub fn to_value(&self) -> serde_json::Value {
+        use serde_json::Value;
+        let ops: Vec<Value> = self
+            .ops
+            .iter()
+            .map(|o| {
+                let mut entries = vec![
+                    ("id".to_string(), Value::U64(o.id)),
+                    ("phase".to_string(), Value::Str(o.phase.clone())),
+                    ("kind".to_string(), Value::Str(o.kind.clone())),
+                ];
+                if let Some(a) = &o.algorithm {
+                    entries.push(("algorithm".to_string(), Value::Str(a.clone())));
+                }
+                entries.push(("start".to_string(), Value::F64(o.start)));
+                entries.push(("end".to_string(), Value::F64(o.end)));
+                Value::Map(entries)
+            })
+            .collect();
+        let phases: Vec<Value> = self
+            .phases
+            .iter()
+            .map(|p| {
+                Value::Map(vec![
+                    ("phase".to_string(), Value::Str(p.phase.clone())),
+                    ("start".to_string(), Value::F64(p.start)),
+                    ("end".to_string(), Value::F64(p.end)),
+                    ("seconds".to_string(), Value::F64(p.end - p.start)),
+                ])
+            })
+            .collect();
+        Value::Map(vec![
+            ("model".to_string(), Value::Str(self.model.to_string())),
+            (
+                "trace_hash".to_string(),
+                Value::Str(self.trace_hash.clone()),
+            ),
+            ("makespan_seconds".to_string(), Value::F64(self.makespan)),
+            ("ops".to_string(), Value::Seq(ops)),
+            ("phases".to_string(), Value::Seq(phases)),
+        ])
+    }
+}
+
+fn ceil_log2(n: usize) -> f64 {
+    debug_assert!(n >= 1);
+    if n <= 1 {
+        0.0
+    } else {
+        (usize::BITS - (n - 1).leading_zeros()) as f64
+    }
+}
+
+/// Chooses the algorithm per collective op under `model` — the same
+/// linear-vs-binomial comparisons `TunedCollectives` and
+/// `cpm_collectives::select` make per collective, applied op by op.
+pub fn choose(trace: &Trace, model: &PlanModel) -> Vec<Option<Algorithm>> {
+    let n = trace.n;
+    let pick = |linear: f64, binomial: f64| {
+        if linear <= binomial {
+            Some(Algorithm::Linear)
+        } else {
+            Some(Algorithm::Binomial)
+        }
+    };
+    trace
+        .ops
+        .iter()
+        .map(|op| match (&op.kind, model) {
+            (OpKind::Scatter { root, m }, PlanModel::Lmo(l)) => {
+                let tree = BinomialTree::new(n, *root);
+                pick(l.linear_scatter(*root, *m), l.binomial_scatter(&tree, *m))
+            }
+            (OpKind::Scatter { root, m }, _) => {
+                let p = cpm_collectives::select::predict_scatter_generic(model.as_p2p(), *root, *m);
+                pick(p.linear, p.binomial)
+            }
+            (OpKind::Bcast { root, m }, PlanModel::Lmo(l)) => {
+                let tree = BinomialTree::new(n, *root);
+                pick(
+                    l.linear_scatter(*root, *m),
+                    binomial_recursive_full(l, &tree, *m),
+                )
+            }
+            (OpKind::Bcast { root, m }, _) => {
+                let tree = BinomialTree::new(n, *root);
+                pick(
+                    linear_serial(model.as_p2p(), *root, *m),
+                    binomial_recursive_full(model.as_p2p(), &tree, *m),
+                )
+            }
+            (OpKind::Gather { root, m }, PlanModel::Lmo(l)) => {
+                let tree = BinomialTree::new(n, *root);
+                pick(
+                    l.linear_gather(*root, *m).expected,
+                    l.binomial_scatter(&tree, *m),
+                )
+            }
+            (OpKind::Gather { root, m }, _) => {
+                let tree = BinomialTree::new(n, *root);
+                pick(
+                    linear_serial(model.as_p2p(), *root, *m),
+                    cpm_models::collective::binomial_recursive(model.as_p2p(), &tree, *m),
+                )
+            }
+            (OpKind::Reduce { root, m, gamma }, PlanModel::Lmo(l)) => {
+                let tree = BinomialTree::new(n, *root);
+                let combine = gamma * *m as f64;
+                pick(
+                    cpm_collectives::reduce::predict_linear_reduce(l, *root, *m, *gamma),
+                    binomial_recursive_full(l, &tree, *m) + ceil_log2(n) * combine,
+                )
+            }
+            (OpKind::Reduce { root, m, gamma }, _) => {
+                let tree = BinomialTree::new(n, *root);
+                let combine = gamma * *m as f64;
+                pick(
+                    linear_serial(model.as_p2p(), *root, *m) + (n as f64 - 1.0) * combine,
+                    binomial_recursive_full(model.as_p2p(), &tree, *m) + ceil_log2(n) * combine,
+                )
+            }
+            (OpKind::Allgather { .. }, _) => Some(Algorithm::Ring),
+            (OpKind::Alltoall { .. }, _) => Some(Algorithm::Rotation),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Heap entry ordered by (time, insertion sequence).
+#[derive(Clone, Copy, Debug)]
+struct Ev {
+    t: f64,
+    seq: u64,
+    kind: EvKind,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum EvKind {
+    /// Resume a rank's program.
+    Wake(usize),
+    /// A message finished streaming on the wire (LMO only).
+    TransferDone(usize),
+    /// A message left the receiver's rx engine and entered the mailbox.
+    Deliver(usize),
+}
+
+impl PartialEq for Ev {
+    fn eq(&self, other: &Self) -> bool {
+        self.t == other.t && self.seq == other.seq
+    }
+}
+impl Eq for Ev {}
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Ev {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.t
+            .total_cmp(&other.t)
+            .then_with(|| self.seq.cmp(&other.seq))
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum RankState {
+    Runnable,
+    Blocked(Rank),
+    AtBarrier,
+    Done,
+}
+
+struct Msg {
+    src: usize,
+    dst: usize,
+    m: Bytes,
+}
+
+struct Machine<'a> {
+    lowered: &'a Lowered,
+    /// `Some` for the separable LMO machine, `None` for whole-transfer
+    /// homogeneous occupancy.
+    lmo: Option<&'a LmoExtended>,
+    p2p: &'a dyn PointToPoint,
+    clock: Vec<f64>,
+    pc: Vec<usize>,
+    state: Vec<RankState>,
+    /// Per-connection wire availability, flattened `src·n + dst` (LMO).
+    conn_free: Vec<f64>,
+    /// Per-rank rx engine availability (LMO).
+    rx_free: Vec<f64>,
+    /// Delivered-but-unconsumed messages per rank, delivery order.
+    mailbox: Vec<Vec<usize>>,
+    msgs: Vec<Msg>,
+    events: BinaryHeap<Reverse<Ev>>,
+    seq: u64,
+    barrier: Vec<(usize, usize)>,
+    /// Per-op (earliest, latest) activity.
+    windows: Vec<(f64, f64)>,
+}
+
+impl<'a> Machine<'a> {
+    fn new(lowered: &'a Lowered, model: &'a PlanModel) -> Self {
+        let n = lowered.n;
+        let ops = lowered.algorithms.len();
+        Machine {
+            lowered,
+            lmo: match model {
+                PlanModel::Lmo(l) => Some(l),
+                _ => None,
+            },
+            p2p: model.as_p2p(),
+            clock: vec![0.0; n],
+            pc: vec![0; n],
+            state: vec![RankState::Runnable; n],
+            conn_free: vec![0.0; n * n],
+            rx_free: vec![0.0; n],
+            mailbox: vec![Vec::new(); n],
+            msgs: Vec::new(),
+            events: BinaryHeap::new(),
+            seq: 0,
+            barrier: Vec::new(),
+            windows: vec![(f64::INFINITY, f64::NEG_INFINITY); ops],
+        }
+    }
+
+    fn push(&mut self, t: f64, kind: EvKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.events.push(Reverse(Ev { t, seq, kind }));
+    }
+
+    fn touch(&mut self, op: usize, start: f64, end: f64) {
+        let w = &mut self.windows[op];
+        w.0 = w.0.min(start);
+        w.1 = w.1.max(end);
+    }
+
+    /// Executes `rank`'s program until it blocks, yields after advancing
+    /// its clock, or finishes.
+    fn run_rank(&mut self, rank: usize) {
+        self.state[rank] = RankState::Runnable;
+        loop {
+            let Some(rp) = self.lowered.per_rank[rank].get(self.pc[rank]).copied() else {
+                self.state[rank] = RankState::Done;
+                return;
+            };
+            let now = self.clock[rank];
+            match rp.prim {
+                Prim::Send { dst, m } => {
+                    let (s1, deliver_path) = if let Some(l) = self.lmo {
+                        // tx engine slot; the sender returns when it ends.
+                        let s1 = now + l.c[rank] + m as f64 * l.t[rank];
+                        // Wire: latency, then serialization behind earlier
+                        // transfers on the same connection. Same-pair
+                        // arrivals are posting-ordered (same sender tx
+                        // serialization, same latency), so the connection
+                        // slot can be claimed at post time.
+                        let arrival = s1 + *l.l.get(Rank(rank as u32), dst);
+                        let conn = &mut self.conn_free[rank * self.lowered.n + dst.idx()];
+                        let wire_start = conn.max(arrival);
+                        let done = wire_start + m as f64 / *l.beta.get(Rank(rank as u32), dst);
+                        *conn = done;
+                        (s1, Some(done))
+                    } else {
+                        // Non-separable model: the whole transfer occupies
+                        // the sender; delivery coincides with completion.
+                        let t = self.p2p.p2p(Rank(rank as u32), dst, m);
+                        (now + t, None)
+                    };
+                    let msg_id = self.msgs.len();
+                    self.msgs.push(Msg {
+                        src: rank,
+                        dst: dst.idx(),
+                        m,
+                    });
+                    match deliver_path {
+                        Some(done) => self.push(done, EvKind::TransferDone(msg_id)),
+                        None => self.push(s1, EvKind::Deliver(msg_id)),
+                    }
+                    self.touch(rp.op, now, s1);
+                    self.clock[rank] = s1;
+                    self.pc[rank] += 1;
+                    // Yield so rx slots are allocated in global time order.
+                    self.push(s1, EvKind::Wake(rank));
+                    return;
+                }
+                Prim::Recv { src } => {
+                    if let Some(pos) = self.mailbox[rank]
+                        .iter()
+                        .position(|&id| self.msgs[id].src == src.idx())
+                    {
+                        self.mailbox[rank].remove(pos);
+                        self.touch(rp.op, now, now);
+                        self.pc[rank] += 1;
+                        continue;
+                    }
+                    self.touch(rp.op, now, now);
+                    self.state[rank] = RankState::Blocked(src);
+                    return;
+                }
+                Prim::Compute { secs } => {
+                    let end = now + secs;
+                    self.touch(rp.op, now, end);
+                    self.clock[rank] = end;
+                    self.pc[rank] += 1;
+                    self.push(end, EvKind::Wake(rank));
+                    return;
+                }
+                Prim::Barrier => {
+                    self.touch(rp.op, now, now);
+                    self.pc[rank] += 1;
+                    self.state[rank] = RankState::AtBarrier;
+                    self.barrier.push((rank, rp.op));
+                    if self.barrier.len() == self.lowered.n {
+                        let release = self
+                            .barrier
+                            .iter()
+                            .map(|&(r, _)| self.clock[r])
+                            .fold(0.0, f64::max);
+                        let waiters = std::mem::take(&mut self.barrier);
+                        for (r, op) in waiters {
+                            self.touch(op, release, release);
+                            self.clock[r] = release;
+                            self.push(release, EvKind::Wake(r));
+                        }
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    fn run(&mut self) -> Result<(), WorkloadError> {
+        for r in 0..self.lowered.n {
+            self.push(0.0, EvKind::Wake(r));
+        }
+        while let Some(Reverse(ev)) = self.events.pop() {
+            match ev.kind {
+                EvKind::Wake(rank) => {
+                    if self.state[rank] == RankState::Done {
+                        continue;
+                    }
+                    self.clock[rank] = self.clock[rank].max(ev.t);
+                    self.run_rank(rank);
+                }
+                EvKind::TransferDone(id) => {
+                    // rx engine slot, in arrival order, posted or not.
+                    let (dst, m) = (self.msgs[id].dst, self.msgs[id].m);
+                    let l = self.lmo.expect("TransferDone only under LMO");
+                    let r0 = self.rx_free[dst].max(ev.t);
+                    let r1 = r0 + l.c[dst] + m as f64 * l.t[dst];
+                    self.rx_free[dst] = r1;
+                    self.push(r1, EvKind::Deliver(id));
+                }
+                EvKind::Deliver(id) => {
+                    let dst = self.msgs[id].dst;
+                    self.mailbox[dst].push(id);
+                    if let RankState::Blocked(want) = self.state[dst] {
+                        if want.idx() == self.msgs[id].src {
+                            // Re-run the pending receive at delivery time.
+                            self.state[dst] = RankState::Runnable;
+                            self.push(ev.t, EvKind::Wake(dst));
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(stuck) = (0..self.lowered.n).find(|&r| self.state[r] != RankState::Done) {
+            return Err(WorkloadError::Sim(format!(
+                "trace deadlocks: rank {stuck} stuck in {:?} at pc {}",
+                self.state[stuck], self.pc[stuck]
+            )));
+        }
+        Ok(())
+    }
+
+    fn makespan(&self) -> f64 {
+        self.clock.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+/// Predicts the end-to-end makespan of `trace` under `model`, with per-op
+/// algorithm choices and a per-phase breakdown.
+pub fn plan(trace: &Trace, model: &PlanModel) -> Result<Plan, WorkloadError> {
+    trace.validate()?;
+    let model_n = model.as_p2p().n();
+    if model_n != trace.n {
+        return Err(WorkloadError::Invalid(format!(
+            "trace is for n={} but the model was estimated for n={model_n}",
+            trace.n
+        )));
+    }
+    let choices = choose(trace, model);
+    let lowered = lower(trace, &choices);
+    let mut machine = Machine::new(&lowered, model);
+    machine.run()?;
+
+    let ops: Vec<OpReport> = trace
+        .ops
+        .iter()
+        .enumerate()
+        .map(|(idx, op)| {
+            let (mut start, mut end) = machine.windows[idx];
+            if start > end {
+                (start, end) = (0.0, 0.0);
+            }
+            OpReport {
+                id: op.id,
+                phase: op.phase.clone(),
+                kind: op.kind.name().to_string(),
+                algorithm: lowered.algorithms[idx].map(|a| a.as_str().to_string()),
+                start,
+                end,
+            }
+        })
+        .collect();
+
+    let phases = trace
+        .phases()
+        .into_iter()
+        .map(|phase| {
+            let (mut start, mut end) = (f64::INFINITY, f64::NEG_INFINITY);
+            for o in ops.iter().filter(|o| o.phase == phase) {
+                start = start.min(o.start);
+                end = end.max(o.end);
+            }
+            if start > end {
+                (start, end) = (0.0, 0.0);
+            }
+            PhaseReport { phase, start, end }
+        })
+        .collect();
+
+    Ok(Plan {
+        model: model.kind(),
+        trace_hash: trace.hash(),
+        makespan: machine.makespan(),
+        ops,
+        phases,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use crate::trace::TraceOp;
+    use cpm_core::matrix::SymMatrix;
+    use cpm_models::GatherEmpirics;
+
+    fn lmo(n: usize) -> LmoExtended {
+        LmoExtended::new(
+            vec![40e-6; n],
+            vec![7e-9; n],
+            SymMatrix::filled(n, 42e-6),
+            SymMatrix::filled(n, 11.7e6),
+            GatherEmpirics::none(),
+        )
+    }
+
+    fn p2p_trace(n: usize, m: Bytes) -> Trace {
+        Trace {
+            name: "p2p".into(),
+            n,
+            ops: vec![TraceOp {
+                id: 0,
+                phase: "x".into(),
+                kind: OpKind::P2p {
+                    src: Rank(0),
+                    dst: Rank(1),
+                    m,
+                },
+            }],
+        }
+    }
+
+    #[test]
+    fn lone_p2p_sums_the_extended_lmo_terms() {
+        let model = lmo(4);
+        let m = 8192u64;
+        let t = p2p_trace(4, m);
+        let p = plan(&t, &PlanModel::Lmo(model.clone())).unwrap();
+        let expected = model.time(Rank(0), Rank(1), m);
+        assert!(
+            (p.makespan - expected).abs() < 1e-12,
+            "{} vs {expected}",
+            p.makespan
+        );
+        assert_eq!(p.ops.len(), 1);
+        assert!((p.ops[0].end - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lone_p2p_under_homogeneous_models_is_the_model_time() {
+        let m = 4096u64;
+        let t = p2p_trace(4, m);
+        let g = LogGp {
+            l: 50e-6,
+            o: 5e-6,
+            g: 1e-6,
+            big_g: 9e-8,
+            p: 4,
+        };
+        let p = plan(&t, &PlanModel::Loggp(g.clone())).unwrap();
+        assert!((p.makespan - g.time(m)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_scatter_plan_matches_the_closed_form_shape() {
+        // The machine's linear scatter under LMO: root tx slots serialize,
+        // tails overlap. The closed-form eq. (4) is exactly that, so the
+        // machine must land between the serial part and the full formula.
+        let n = 8;
+        let model = lmo(n);
+        let m = 16 * 1024u64;
+        let t = Trace {
+            name: "sc".into(),
+            n,
+            ops: vec![TraceOp {
+                id: 0,
+                phase: "s".into(),
+                kind: OpKind::Scatter { root: Rank(0), m },
+            }],
+        };
+        let choices = vec![Some(Algorithm::Linear)];
+        let lowered = lower(&t, &choices);
+        let pm = PlanModel::Lmo(model.clone());
+        let mut machine = Machine::new(&lowered, &pm);
+        machine.run().unwrap();
+        let got = machine.makespan();
+        let formula = model.linear_scatter(Rank(0), m);
+        let serial = (n as f64 - 1.0) * (model.c[0] + m as f64 * model.t[0]);
+        assert!(got >= serial, "{got} vs serial {serial}");
+        assert!(got <= formula * 1.0 + 1e-12, "{got} vs eq4 {formula}");
+    }
+
+    #[test]
+    fn reduce_charges_combine_time() {
+        let n = 4;
+        let model = lmo(n);
+        let m = 4096u64;
+        let mk = |gamma: f64| Trace {
+            name: "r".into(),
+            n,
+            ops: vec![TraceOp {
+                id: 0,
+                phase: "r".into(),
+                kind: OpKind::Reduce {
+                    root: Rank(0),
+                    m,
+                    gamma,
+                },
+            }],
+        };
+        let without = plan(&mk(0.0), &PlanModel::Lmo(model.clone())).unwrap();
+        let with = plan(&mk(1e-7), &PlanModel::Lmo(model.clone())).unwrap();
+        assert!(
+            with.makespan > without.makespan,
+            "{} vs {}",
+            with.makespan,
+            without.makespan
+        );
+    }
+
+    #[test]
+    fn pipeline_overlaps_under_lmo_but_not_under_hockney() {
+        // LMO's separable send lets stage s start batch b+1 while batch b
+        // is still in flight; whole-transfer occupancy cannot. With equal
+        // per-hop times, the homogeneous prediction must be at least as
+        // large.
+        let n = 4;
+        let t = gen::pipeline(n, 32 * 1024, 4, 0.0);
+        let l = lmo(n);
+        let lmo_pred = plan(&t, &PlanModel::Lmo(l.clone())).unwrap().makespan;
+        let hom = cpm_models::HockneyHet::new(
+            SymMatrix::filled(n, 2.0 * 40e-6 + 42e-6),
+            SymMatrix::filled(n, 1.0 / (1.0 / 11.7e6 + 2.0 * 7e-9)),
+        );
+        let hock_pred = plan(&t, &PlanModel::Hockney(hom)).unwrap().makespan;
+        assert!(
+            hock_pred > lmo_pred,
+            "hockney {hock_pred} should exceed lmo {lmo_pred}"
+        );
+    }
+
+    #[test]
+    fn canonical_workloads_plan_without_deadlock() {
+        for kind in gen::CANONICAL_KINDS {
+            let t = gen::canonical(kind, 8, 4096, 2).unwrap();
+            let p = plan(&t, &PlanModel::Lmo(lmo(8))).unwrap();
+            assert!(p.makespan > 0.0, "{kind}");
+            assert_eq!(p.ops.len(), t.ops.len());
+            assert!(!p.phases.is_empty());
+            // Op windows are sane and inside the makespan.
+            for o in &p.ops {
+                assert!(o.start <= o.end, "{kind} op {}", o.id);
+                assert!(o.end <= p.makespan + 1e-12, "{kind} op {}", o.id);
+            }
+        }
+    }
+
+    #[test]
+    fn mismatched_model_size_is_rejected() {
+        let t = p2p_trace(4, 1024);
+        let err = plan(&t, &PlanModel::Lmo(lmo(8))).unwrap_err();
+        assert!(matches!(err, WorkloadError::Invalid(_)));
+    }
+
+    #[test]
+    fn barrier_synchronizes_the_plan() {
+        let n = 4;
+        let t = Trace {
+            name: "b".into(),
+            n,
+            ops: vec![
+                TraceOp {
+                    id: 0,
+                    phase: "a".into(),
+                    kind: OpKind::Compute {
+                        ranks: vec![Rank(2)],
+                        seconds: 1.0,
+                    },
+                },
+                TraceOp {
+                    id: 1,
+                    phase: "a".into(),
+                    kind: OpKind::Barrier,
+                },
+            ],
+        };
+        let p = plan(&t, &PlanModel::Lmo(lmo(n))).unwrap();
+        assert!((p.makespan - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn choices_respond_to_message_size_under_lmo() {
+        let n = 16;
+        let model = PlanModel::Lmo(lmo(n));
+        let tiny = Trace {
+            name: "t".into(),
+            n,
+            ops: vec![TraceOp {
+                id: 0,
+                phase: "p".into(),
+                kind: OpKind::Scatter {
+                    root: Rank(0),
+                    m: 128,
+                },
+            }],
+        };
+        let huge = Trace {
+            name: "h".into(),
+            n,
+            ops: vec![TraceOp {
+                id: 0,
+                phase: "p".into(),
+                kind: OpKind::Scatter {
+                    root: Rank(0),
+                    m: 256 * 1024,
+                },
+            }],
+        };
+        assert_eq!(choose(&tiny, &model)[0], Some(Algorithm::Binomial));
+        assert_eq!(choose(&huge, &model)[0], Some(Algorithm::Linear));
+    }
+}

@@ -1,0 +1,332 @@
+//! The execution engine: DES replay of a lowered trace.
+//!
+//! [`replay`] runs the *same* per-rank primitive programs the analytic
+//! engine evaluated as a real [`cpm_vmpi`] program against the
+//! [`cpm_netsim`] simulator, so the observed makespan emerges from the
+//! discrete-event kernel — tx engines, wire serialization, rx engines,
+//! and whatever irregularities the cluster's MPI profile injects.
+//! [`compare`] then reports predicted-vs-observed residuals per op; the
+//! point-to-point residuals are shaped for `cpm-drift`'s `observe` verb.
+
+use cpm_core::units::Bytes;
+use cpm_netsim::SimCluster;
+use serde_json::Value;
+
+use crate::lower::{lower, Algorithm, Prim};
+use crate::plan::Plan;
+use crate::trace::{OpKind, Trace, WorkloadError};
+
+/// Observed window of one op.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReplayOp {
+    pub id: u64,
+    pub phase: String,
+    pub kind: String,
+    pub start: f64,
+    pub end: f64,
+}
+
+/// The observed execution of one trace.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReplayReport {
+    /// Virtual time when the last rank finished, seconds.
+    pub makespan: f64,
+    pub ops: Vec<ReplayOp>,
+    /// Kernel message counter (sent == received for a clean replay).
+    pub msgs_sent: usize,
+    pub msgs_received: usize,
+    pub events: usize,
+}
+
+impl ReplayReport {
+    /// JSON form used by the CLI.
+    pub fn to_value(&self) -> Value {
+        let ops: Vec<Value> = self
+            .ops
+            .iter()
+            .map(|o| {
+                Value::Map(vec![
+                    ("id".to_string(), Value::U64(o.id)),
+                    ("phase".to_string(), Value::Str(o.phase.clone())),
+                    ("kind".to_string(), Value::Str(o.kind.clone())),
+                    ("start".to_string(), Value::F64(o.start)),
+                    ("end".to_string(), Value::F64(o.end)),
+                ])
+            })
+            .collect();
+        Value::Map(vec![
+            ("makespan_seconds".to_string(), Value::F64(self.makespan)),
+            ("msgs_sent".to_string(), Value::U64(self.msgs_sent as u64)),
+            (
+                "msgs_received".to_string(),
+                Value::U64(self.msgs_received as u64),
+            ),
+            ("events".to_string(), Value::U64(self.events as u64)),
+            ("ops".to_string(), Value::Seq(ops)),
+        ])
+    }
+}
+
+/// Replays `trace` on `cluster` with the given per-op algorithm choices
+/// (use [`crate::plan::choose`] so the replay matches the plan).
+pub fn replay(
+    cluster: &SimCluster,
+    trace: &Trace,
+    choices: &[Option<Algorithm>],
+) -> Result<ReplayReport, WorkloadError> {
+    trace.validate()?;
+    if cluster.truth.c.len() != trace.n {
+        return Err(WorkloadError::Invalid(format!(
+            "trace is for n={} but the cluster has n={}",
+            trace.n,
+            cluster.truth.c.len()
+        )));
+    }
+    let lowered = lower(trace, choices);
+    let n_ops = trace.ops.len();
+    let out = cpm_vmpi::run(cluster, |c| {
+        let me = c.rank().idx();
+        let mut windows: Vec<Option<(f64, f64)>> = vec![None; n_ops];
+        for rp in &lowered.per_rank[me] {
+            let t0 = c.wtime();
+            match rp.prim {
+                Prim::Send { dst, m } => c.send(dst, m),
+                Prim::Recv { src } => {
+                    let _ = c.recv(src);
+                }
+                Prim::Compute { secs } => c.compute(secs),
+                Prim::Barrier => c.barrier(),
+            }
+            let t1 = c.wtime();
+            let w = windows[rp.op].get_or_insert((t0, t1));
+            w.0 = w.0.min(t0);
+            w.1 = w.1.max(t1);
+        }
+        windows
+    })
+    .map_err(|e| WorkloadError::Sim(e.to_string()))?;
+
+    let ops: Vec<ReplayOp> = trace
+        .ops
+        .iter()
+        .enumerate()
+        .map(|(idx, op)| {
+            let (mut start, mut end) = (f64::INFINITY, f64::NEG_INFINITY);
+            for rank_windows in &out.results {
+                if let Some((s, e)) = rank_windows[idx] {
+                    start = start.min(s);
+                    end = end.max(e);
+                }
+            }
+            if start > end {
+                (start, end) = (0.0, 0.0);
+            }
+            ReplayOp {
+                id: op.id,
+                phase: op.phase.clone(),
+                kind: op.kind.name().to_string(),
+                start,
+                end,
+            }
+        })
+        .collect();
+
+    Ok(ReplayReport {
+        makespan: out.end_time,
+        ops,
+        msgs_sent: out.stats.msgs_sent,
+        msgs_received: out.stats.msgs_received,
+        events: out.stats.events,
+    })
+}
+
+/// Predicted-vs-observed residual of one op.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OpResidual {
+    pub id: u64,
+    pub phase: String,
+    pub kind: String,
+    pub predicted: f64,
+    pub observed: f64,
+    /// Signed relative error `(predicted − observed) / observed`.
+    pub rel: f64,
+}
+
+/// A point-to-point observation shaped for the `cpm-drift` `observe`
+/// verb: the op's observed end-to-end time for `m` bytes from `src` to
+/// `dst`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct P2pObservation {
+    pub src: u32,
+    pub dst: u32,
+    pub m: Bytes,
+    pub seconds: f64,
+}
+
+/// The full predicted-vs-observed comparison for one (plan, replay) pair.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CompareReport {
+    pub model: crate::plan::ModelKind,
+    pub predicted_makespan: f64,
+    pub observed_makespan: f64,
+    /// Signed relative makespan error.
+    pub rel_error: f64,
+    pub ops: Vec<OpResidual>,
+    /// Observations for the trace's plain p2p ops, ready to feed drift.
+    pub observations: Vec<P2pObservation>,
+}
+
+impl CompareReport {
+    pub fn to_value(&self) -> Value {
+        let ops: Vec<Value> = self
+            .ops
+            .iter()
+            .map(|o| {
+                Value::Map(vec![
+                    ("id".to_string(), Value::U64(o.id)),
+                    ("phase".to_string(), Value::Str(o.phase.clone())),
+                    ("kind".to_string(), Value::Str(o.kind.clone())),
+                    ("predicted".to_string(), Value::F64(o.predicted)),
+                    ("observed".to_string(), Value::F64(o.observed)),
+                    ("rel".to_string(), Value::F64(o.rel)),
+                ])
+            })
+            .collect();
+        let obs: Vec<Value> = self
+            .observations
+            .iter()
+            .map(|o| {
+                Value::Map(vec![
+                    ("kind".to_string(), Value::Str("p2p".to_string())),
+                    ("src".to_string(), Value::U64(o.src as u64)),
+                    ("dst".to_string(), Value::U64(o.dst as u64)),
+                    ("m".to_string(), Value::U64(o.m)),
+                    ("seconds".to_string(), Value::F64(o.seconds)),
+                ])
+            })
+            .collect();
+        Value::Map(vec![
+            ("model".to_string(), Value::Str(self.model.to_string())),
+            (
+                "predicted_makespan".to_string(),
+                Value::F64(self.predicted_makespan),
+            ),
+            (
+                "observed_makespan".to_string(),
+                Value::F64(self.observed_makespan),
+            ),
+            ("rel_error".to_string(), Value::F64(self.rel_error)),
+            ("ops".to_string(), Value::Seq(ops)),
+            ("observations".to_string(), Value::Seq(obs)),
+        ])
+    }
+}
+
+/// Joins a plan and a replay of the same trace into per-op residuals.
+pub fn compare(trace: &Trace, plan: &Plan, replay: &ReplayReport) -> CompareReport {
+    let rel = |pred: f64, obs: f64| {
+        if obs > 0.0 {
+            (pred - obs) / obs
+        } else {
+            0.0
+        }
+    };
+    let ops: Vec<OpResidual> = plan
+        .ops
+        .iter()
+        .zip(replay.ops.iter())
+        .map(|(p, o)| {
+            debug_assert_eq!(p.id, o.id);
+            let predicted = p.end - p.start;
+            let observed = o.end - o.start;
+            OpResidual {
+                id: p.id,
+                phase: p.phase.clone(),
+                kind: p.kind.clone(),
+                predicted,
+                observed,
+                rel: rel(predicted, observed),
+            }
+        })
+        .collect();
+    let observations = trace
+        .ops
+        .iter()
+        .zip(replay.ops.iter())
+        .filter_map(|(t, o)| match t.kind {
+            OpKind::P2p { src, dst, m } => Some(P2pObservation {
+                src: src.0,
+                dst: dst.0,
+                m,
+                seconds: o.end - o.start,
+            }),
+            _ => None,
+        })
+        .collect();
+    CompareReport {
+        model: plan.model,
+        predicted_makespan: plan.makespan,
+        observed_makespan: replay.makespan,
+        rel_error: rel(plan.makespan, replay.makespan),
+        ops,
+        observations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use crate::plan::{choose, plan, PlanModel};
+    use cpm_cluster::{ClusterSpec, GroundTruth, MpiProfile};
+    use cpm_models::{GatherEmpirics, LmoExtended};
+
+    fn ideal_cluster(n: usize, seed: u64) -> SimCluster {
+        let truth = GroundTruth::synthesize(&ClusterSpec::homogeneous(n), seed);
+        SimCluster::new(truth, MpiProfile::ideal(), 0.0, seed)
+    }
+
+    fn truth_lmo(cl: &SimCluster) -> LmoExtended {
+        LmoExtended::new(
+            cl.truth.c.clone(),
+            cl.truth.t.clone(),
+            cl.truth.l.clone(),
+            cl.truth.beta.clone(),
+            GatherEmpirics::none(),
+        )
+    }
+
+    #[test]
+    fn replay_conserves_messages_for_every_canonical_workload() {
+        let cl = ideal_cluster(8, 5);
+        for kind in gen::CANONICAL_KINDS {
+            let t = gen::canonical(kind, 8, 2048, 2).unwrap();
+            let r = replay(&cl, &t, &vec![None; t.ops.len()]).unwrap();
+            assert_eq!(r.msgs_sent, r.msgs_received, "{kind}");
+            assert!(r.makespan > 0.0, "{kind}");
+            for o in &r.ops {
+                assert!(o.start <= o.end, "{kind} op {}", o.id);
+            }
+        }
+    }
+
+    #[test]
+    fn compare_joins_plan_and_replay() {
+        let cl = ideal_cluster(4, 9);
+        let model = PlanModel::Lmo(truth_lmo(&cl));
+        let t = gen::pipeline(4, 8192, 2, 0.0);
+        let p = plan(&t, &model).unwrap();
+        let r = replay(&cl, &t, &choose(&t, &model)).unwrap();
+        let c = compare(&t, &p, &r);
+        assert_eq!(c.ops.len(), t.ops.len());
+        assert!(!c.observations.is_empty(), "pipeline has p2p ops");
+        assert!(c.rel_error.abs() < 0.10, "rel error {}", c.rel_error);
+    }
+
+    #[test]
+    fn cluster_size_mismatch_is_rejected() {
+        let cl = ideal_cluster(4, 9);
+        let t = gen::pipeline(8, 8192, 2, 0.0);
+        assert!(replay(&cl, &t, &vec![None; t.ops.len()]).is_err());
+    }
+}

@@ -1,0 +1,80 @@
+//! Acceptance: on the paper's 16-node Table I cluster (regular regime —
+//! ideal profile, no noise), the analytic critical-path makespan of every
+//! canonical workload under the extended LMO model is within 10% of the
+//! makespan that emerges from the DES replay of the same trace.
+
+use cpm_cluster::{ClusterSpec, GroundTruth, MpiProfile};
+use cpm_core::units::KIB;
+use cpm_models::{GatherEmpirics, LmoExtended};
+use cpm_netsim::SimCluster;
+use cpm_workload::{choose, compare, gen, plan, replay, PlanModel};
+
+fn paper_cluster(seed: u64) -> SimCluster {
+    let truth = GroundTruth::synthesize(&ClusterSpec::paper_cluster(), seed);
+    SimCluster::new(truth, MpiProfile::ideal(), 0.0, seed)
+}
+
+fn truth_lmo(cl: &SimCluster) -> PlanModel {
+    PlanModel::Lmo(LmoExtended::new(
+        cl.truth.c.clone(),
+        cl.truth.t.clone(),
+        cl.truth.l.clone(),
+        cl.truth.beta.clone(),
+        GatherEmpirics::none(),
+    ))
+}
+
+#[test]
+fn lmo_critical_path_within_ten_percent_of_des_on_every_canonical_workload() {
+    let cl = paper_cluster(2009);
+    let model = truth_lmo(&cl);
+    for kind in gen::CANONICAL_KINDS {
+        for m in [4 * KIB, 32 * KIB] {
+            let trace = gen::canonical(kind, 16, m, 3).unwrap();
+            let p = plan(&trace, &model).unwrap();
+            let r = replay(&cl, &trace, &choose(&trace, &model)).unwrap();
+            let c = compare(&trace, &p, &r);
+            assert!(
+                c.rel_error.abs() <= 0.10,
+                "{kind}@{m}: predicted {} vs observed {} (rel {:+.3})",
+                c.predicted_makespan,
+                c.observed_makespan,
+                c.rel_error
+            );
+        }
+    }
+}
+
+#[test]
+fn per_op_residuals_are_small_in_the_regular_regime() {
+    // Not just the makespan: each op's predicted window should track the
+    // DES closely when the model parameters are the simulator's truth.
+    let cl = paper_cluster(7);
+    let model = truth_lmo(&cl);
+    let trace = gen::training_step(16, 16 * KIB, 3, 4e-9, 1e-3);
+    let p = plan(&trace, &model).unwrap();
+    let r = replay(&cl, &trace, &choose(&trace, &model)).unwrap();
+    let c = compare(&trace, &p, &r);
+    for op in &c.ops {
+        assert!(
+            op.rel.abs() <= 0.10 || op.observed < 1e-6,
+            "op {} ({}): predicted {} vs observed {} (rel {:+.3})",
+            op.id,
+            op.kind,
+            op.predicted,
+            op.observed,
+            op.rel
+        );
+    }
+}
+
+#[test]
+fn makespan_scales_with_message_size() {
+    let cl = paper_cluster(3);
+    let model = truth_lmo(&cl);
+    let small = gen::moe_alltoall(16, 4 * KIB, 2, 0.0);
+    let large = gen::moe_alltoall(16, 64 * KIB, 2, 0.0);
+    let ps = plan(&small, &model).unwrap().makespan;
+    let pl = plan(&large, &model).unwrap().makespan;
+    assert!(pl > ps * 4.0, "{pl} vs {ps}");
+}

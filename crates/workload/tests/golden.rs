@@ -1,0 +1,32 @@
+//! Trace schema stability: the JSON-lines wire form of a canonical trace
+//! is pinned by a golden file. A diff here means the schema changed — bump
+//! the `version` header field and regenerate deliberately, never silently
+//! (registered traces are content-addressed by hash, and `cpm-serve` keys
+//! its plan cache on it).
+
+use cpm_workload::{gen, Trace};
+
+const GOLDEN: &str = include_str!("golden/train_n4.jsonl");
+
+fn golden_trace() -> Trace {
+    gen::canonical("train", 4, 8192, 2).unwrap()
+}
+
+#[test]
+fn generated_trace_matches_the_golden_file_byte_for_byte() {
+    assert_eq!(
+        golden_trace().to_jsonl(),
+        GOLDEN,
+        "trace wire schema drifted; if intentional, bump the version \
+         header and regenerate crates/workload/tests/golden/train_n4.jsonl"
+    );
+}
+
+#[test]
+fn golden_file_round_trips_and_hashes_stably() {
+    let t = Trace::from_jsonl(GOLDEN).unwrap();
+    assert_eq!(t, golden_trace());
+    // The content hash is part of the serve plan-cache key — pin it.
+    assert_eq!(t.hash(), "e0ca10988be1bb618e7a6f14f75e5eea");
+    assert_eq!(t.hash(), golden_trace().hash());
+}

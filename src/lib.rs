@@ -27,6 +27,9 @@
 //!   registry, estimate-once caching, JSON-lines TCP server.
 //! * [`drift`] — online drift detection over served parameters: residual
 //!   monitoring, staleness scoring, minimal re-estimation, republication.
+//! * [`workload`] — trace-driven application workloads: canonical trace
+//!   generators, critical-path makespan prediction under each model, and
+//!   DES replay with per-op residuals.
 //! * [`bench_harness`] — the experiment harness regenerating each figure/table.
 //!
 //! ## Quickstart
@@ -56,5 +59,6 @@ pub use cpm_netsim as netsim;
 pub use cpm_serve as serve;
 pub use cpm_stats as stats;
 pub use cpm_vmpi as vmpi;
+pub use cpm_workload as workload;
 
 pub use cpm_bench as bench_harness;

@@ -21,10 +21,16 @@
 //! cpm query     [--addr HOST:PORT] [--verb predict|...|observe|drift-status|history] ...
 //! cpm drift replay|watch  [--store DIR] [--schedule FILE] [--epochs N] [--obs N]
 //! cpm drift report        [--store DIR] [--fingerprint FP | --config FILE]
+//! cpm workload gen|predict|run|compare  [--trace FILE|-] [--model M] [--nodes N]
 //! ```
+//!
+//! The `workload` family drives the cpm-workload trace engine: generate a
+//! canonical application trace, predict its makespan by critical-path
+//! evaluation under an estimated model, replay it through the simulator,
+//! or do both and report prediction residuals.
 
 use std::collections::HashMap;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -38,10 +44,11 @@ use cpm::estimate::lmo::estimate_lmo_full;
 use cpm::estimate::{
     estimate_gather_empirics, estimate_hockney_het, estimate_loggp, estimate_plogp, EstimateConfig,
 };
-use cpm::models::{HockneyHet, LmoExtended, LogGp, PLogP};
+use cpm::models::{GatherEmpirics, HockneyHet, LmoExtended, LogGp, PLogP};
 use cpm::netsim::{DriftChange, DriftSchedule, DriftShape, DriftTarget, SimCluster};
 use cpm::serve::{fingerprint, ResidualSummary, Server, Service, ServiceConfig};
 use cpm::stats::Summary;
+use cpm::workload::{self, PlanModel, Trace};
 use serde::{Deserialize, Serialize};
 use serde_json::Value;
 
@@ -264,6 +271,84 @@ picked by --fingerprint, or by fingerprinting --config / the profile
 flags.",
         run: cmd_drift_report,
     },
+    CommandSpec {
+        name: "workload gen",
+        flags: &["kind", "nodes", "m", "iters", "out"],
+        help: "\
+USAGE: cpm workload gen [--kind train|pipeline|moe|halo] [--nodes N]
+                        [--m BYTES] [--iters N] [--out trace.jsonl]
+
+Generates a canonical workload trace as JSON lines (one header line, one
+communication op per line): a data-parallel training step (reduce+bcast
+allreduce per layer), a pipeline-parallel p2p chain, an MoE-style
+alltoall, or a 2-D halo exchange. Defaults: train, 16 nodes, 16K per op,
+2 iterations. Writes to stdout unless --out is given, so it pipes
+straight into `cpm workload predict --trace -`.",
+        run: cmd_workload_gen,
+    },
+    CommandSpec {
+        name: "workload predict",
+        flags: &[
+            "trace",
+            "model",
+            "nodes",
+            "reps",
+            "profile",
+            "seed",
+            "noise-seed",
+            "config",
+        ],
+        help: "\
+USAGE: cpm workload predict [--trace FILE|-] [--model lmo|hockney|loggp|plogp]
+                            [--nodes N | --config FILE | --profile P] [--seed N]
+                            [--noise-seed N] [--reps N]
+
+Estimates the chosen model's parameters on the cluster (--nodes N builds
+an ideal homogeneous N-node cluster; otherwise --config/--profile as for
+`cpm estimate`), then predicts the trace's end-to-end makespan by
+critical-path evaluation and prints the plan as JSON: per-op algorithm
+choices and windows, per-phase breakdown, makespan. --trace reads the
+JSON-lines trace from a file or stdin (`-`, the default).",
+        run: cmd_workload_predict,
+    },
+    CommandSpec {
+        name: "workload run",
+        flags: &["trace", "nodes", "profile", "seed", "noise-seed", "config"],
+        help: "\
+USAGE: cpm workload run [--trace FILE|-] [--nodes N | --config FILE |
+                        --profile P] [--seed N] [--noise-seed N]
+
+Replays the trace as a virtual-MPI program on the simulated cluster (the
+same lowering the predictor evaluates analytically) and prints the
+observed schedule as JSON: per-op windows, makespan, message counts.
+Deterministic for a fixed trace and cluster seed.",
+        run: cmd_workload_run,
+    },
+    CommandSpec {
+        name: "workload compare",
+        flags: &[
+            "trace",
+            "model",
+            "nodes",
+            "reps",
+            "profile",
+            "seed",
+            "noise-seed",
+            "config",
+        ],
+        help: "\
+USAGE: cpm workload compare [--trace FILE|-] [--model lmo|hockney|loggp|plogp]
+                            [--nodes N | --config FILE | --profile P] [--seed N]
+                            [--noise-seed N] [--reps N]
+
+Predicts the trace under the chosen model (estimated from communication
+experiments, as `workload predict`) AND replays it through the simulator,
+then prints the comparison as JSON: predicted vs observed makespan,
+relative error, per-op residuals, and the point-to-point observations in
+the shape the serve `observe` verb ingests (so application runs can feed
+the drift monitor).",
+        run: cmd_workload_compare,
+    },
 ];
 
 fn main() -> ExitCode {
@@ -278,6 +363,18 @@ fn main() -> ExitCode {
             }
             _ => {
                 eprintln!("error: drift needs a subcommand (replay|watch|report)\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if args.first().map(String::as_str) == Some("workload") {
+        match args.get(1) {
+            Some(sub) if !sub.starts_with('-') => {
+                let sub = args.remove(1);
+                args[0] = format!("workload {sub}");
+            }
+            _ => {
+                eprintln!("error: workload needs a subcommand (gen|predict|run|compare)\n{USAGE}");
                 return ExitCode::from(2);
             }
         }
@@ -333,6 +430,11 @@ USAGE:
   cpm drift replay  [--store DIR] [--schedule FILE] [--epochs N] [--obs N]
   cpm drift watch   (replay, narrated per epoch)
   cpm drift report  [--store DIR] [--fingerprint FP | --config FILE]
+  cpm workload gen      [--kind train|pipeline|moe|halo] [--nodes N] [--m BYTES]
+                        [--iters N] [--out trace.jsonl]
+  cpm workload predict  [--trace FILE|-] [--model M] [--nodes N] [--reps N]
+  cpm workload run      [--trace FILE|-] [--nodes N]
+  cpm workload compare  [--trace FILE|-] [--model M] [--nodes N] [--reps N]
 
 Run `cpm <command> --help` for per-command details.
 
@@ -933,6 +1035,175 @@ fn build_query_request(opts: &Opts) -> Result<Value, String> {
         }
     }
     Ok(Value::Map(entries))
+}
+
+/// Cluster selection for the workload commands: `--nodes N` builds an
+/// ideal homogeneous N-node cluster (seeded by --seed); otherwise the
+/// shared --config/--profile selection applies.
+fn workload_cluster(opts: &Opts) -> Result<SimCluster, String> {
+    if let Some(raw) = opts.get("nodes") {
+        let n = raw.parse::<usize>().map_err(|e| format!("--nodes: {e}"))?;
+        if n < 2 {
+            return Err("--nodes must be at least 2".into());
+        }
+        let seed = opts
+            .get("seed")
+            .map(|s| s.parse::<u64>().map_err(|e| e.to_string()))
+            .transpose()?
+            .unwrap_or(2009);
+        let mut config = ClusterConfig::ideal(cpm::cluster::ClusterSpec::homogeneous(n), seed);
+        if let Some(raw) = opts.get("noise-seed") {
+            config.noise_seed = Some(
+                raw.parse::<u64>()
+                    .map_err(|e| format!("--noise-seed: {e}"))?,
+            );
+        }
+        Ok(SimCluster::from_config(&config))
+    } else {
+        cluster_from(opts).map(|(_, sim)| sim)
+    }
+}
+
+/// Reads a JSON-lines trace from `--trace FILE`, or stdin for `-` (the
+/// default).
+fn read_trace(opts: &Opts) -> Result<Trace, String> {
+    let path = opts.get("trace").map(String::as_str).unwrap_or("-");
+    let text = if path == "-" {
+        let mut s = String::new();
+        std::io::stdin()
+            .read_to_string(&mut s)
+            .map_err(|e| format!("stdin: {e}"))?;
+        s
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?
+    };
+    Trace::from_jsonl(&text).map_err(|e| e.to_string())
+}
+
+/// Estimates the requested model's parameters on the cluster, exactly as
+/// `cpm estimate` would, and wraps them for the workload planner.
+fn workload_model(opts: &Opts, sim: &SimCluster) -> Result<PlanModel, String> {
+    let kind = match opts.get("model") {
+        None => workload::ModelKind::Lmo,
+        Some(raw) => workload::ModelKind::parse(raw)
+            .ok_or_else(|| format!("unknown model {raw:?} (lmo|hockney|loggp|plogp)"))?,
+    };
+    let mut cfg = EstimateConfig::with_seed(0xC11);
+    if let Some(raw) = opts.get("reps") {
+        cfg.reps = raw.parse::<usize>().map_err(|e| format!("--reps: {e}"))?;
+    }
+    let model = match kind {
+        workload::ModelKind::Lmo => PlanModel::Lmo(
+            estimate_lmo_full(sim, &cfg)
+                .map_err(|e| e.to_string())?
+                .model,
+        ),
+        workload::ModelKind::Hockney => PlanModel::Hockney(
+            estimate_hockney_het(sim, &cfg)
+                .map_err(|e| e.to_string())?
+                .model,
+        ),
+        workload::ModelKind::Loggp => {
+            PlanModel::Loggp(estimate_loggp(sim, &cfg).map_err(|e| e.to_string())?.model)
+        }
+        workload::ModelKind::Plogp => {
+            PlanModel::Plogp(estimate_plogp(sim, &cfg).map_err(|e| e.to_string())?.model)
+        }
+    };
+    Ok(model)
+}
+
+/// Algorithm choices for a bare replay (`workload run`): made under the
+/// simulator's own ground-truth LMO parameters, so the replayed program
+/// matches what a tuned dispatcher would execute on that cluster.
+fn truth_choices(sim: &SimCluster, trace: &Trace) -> Vec<Option<workload::Algorithm>> {
+    let truth = PlanModel::Lmo(LmoExtended::new(
+        sim.truth.c.clone(),
+        sim.truth.t.clone(),
+        sim.truth.l.clone(),
+        sim.truth.beta.clone(),
+        GatherEmpirics::none(),
+    ));
+    workload::choose(trace, &truth)
+}
+
+fn print_pretty(v: &Value) -> Result<(), String> {
+    let json = serde_json::to_string_pretty(v).map_err(|e| e.to_string())?;
+    write_stdout(&json)?;
+    write_stdout("\n")
+}
+
+/// Writes to stdout, treating a closed pipe as a clean exit so
+/// `cpm workload … | head` and friends don't panic mid-stream.
+fn write_stdout(text: &str) -> Result<(), String> {
+    use std::io::Write;
+    match std::io::stdout().write_all(text.as_bytes()) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => std::process::exit(0),
+        Err(e) => Err(format!("stdout: {e}")),
+    }
+}
+
+fn cmd_workload_gen(opts: &Opts) -> Result<(), String> {
+    let kind = opts.get("kind").map(String::as_str).unwrap_or("train");
+    let n = opts
+        .get("nodes")
+        .map(|s| s.parse::<usize>().map_err(|e| format!("--nodes: {e}")))
+        .transpose()?
+        .unwrap_or(16);
+    let m = if opts.contains_key("m") {
+        parse_bytes(opts, "m")?
+    } else {
+        16 * 1024
+    };
+    let iters = opts
+        .get("iters")
+        .map(|s| s.parse::<usize>().map_err(|e| format!("--iters: {e}")))
+        .transpose()?
+        .unwrap_or(2);
+    let trace = workload::gen::canonical(kind, n, m, iters)
+        .ok_or_else(|| format!("unknown kind {kind:?} (train|pipeline|moe|halo)"))?;
+    let text = trace.to_jsonl();
+    match opts.get("out") {
+        Some(path) => {
+            std::fs::write(path, &text).map_err(|e| format!("{path}: {e}"))?;
+            println!(
+                "wrote {path} ({} ops on {} ranks, trace hash {})",
+                trace.ops.len(),
+                trace.n,
+                trace.hash()
+            );
+        }
+        None => write_stdout(&text)?,
+    }
+    Ok(())
+}
+
+fn cmd_workload_predict(opts: &Opts) -> Result<(), String> {
+    let trace = read_trace(opts)?;
+    let sim = workload_cluster(opts)?;
+    let model = workload_model(opts, &sim)?;
+    let plan = workload::plan(&trace, &model).map_err(|e| e.to_string())?;
+    print_pretty(&plan.to_value())
+}
+
+fn cmd_workload_run(opts: &Opts) -> Result<(), String> {
+    let trace = read_trace(opts)?;
+    let sim = workload_cluster(opts)?;
+    let choices = truth_choices(&sim, &trace);
+    let report = workload::replay(&sim, &trace, &choices).map_err(|e| e.to_string())?;
+    print_pretty(&report.to_value())
+}
+
+fn cmd_workload_compare(opts: &Opts) -> Result<(), String> {
+    let trace = read_trace(opts)?;
+    let sim = workload_cluster(opts)?;
+    let model = workload_model(opts, &sim)?;
+    let plan = workload::plan(&trace, &model).map_err(|e| e.to_string())?;
+    let choices = workload::choose(&trace, &model);
+    let replayed = workload::replay(&sim, &trace, &choices).map_err(|e| e.to_string())?;
+    let cmp = workload::compare(&trace, &plan, &replayed);
+    print_pretty(&cmp.to_value())
 }
 
 fn cmd_query(opts: &Opts) -> Result<(), String> {

@@ -97,6 +97,67 @@ fn estimate_hockney_then_predict() {
 }
 
 #[test]
+fn workload_gen_predict_run_compare_pipeline() {
+    let dir = std::env::temp_dir().join(format!("cpm-cli-wl-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("train.jsonl");
+
+    let out = run_ok(&[
+        "workload",
+        "gen",
+        "--kind",
+        "train",
+        "--nodes",
+        "4",
+        "--m",
+        "8K",
+        "--iters",
+        "2",
+        "--out",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(out.contains("6 ops on 4 ranks"), "{out}");
+    let jsonl = std::fs::read_to_string(&trace).unwrap();
+    assert!(jsonl.starts_with("{\"trace\":\"cpm-workload\",\"version\":1"));
+
+    let common = ["--trace", trace.to_str().unwrap(), "--nodes", "4"];
+    let out = run_ok(&[&["workload", "predict"][..], &common, &["--reps", "1"]].concat());
+    assert!(out.contains("\"makespan_seconds\""), "{out}");
+    assert!(out.contains("\"model\": \"lmo\""), "{out}");
+
+    let out = run_ok(&[&["workload", "run"][..], &common].concat());
+    assert!(out.contains("\"makespan_seconds\""), "{out}");
+    assert!(out.contains("\"msgs_sent\""), "{out}");
+
+    let out = run_ok(&[&["workload", "compare"][..], &common, &["--reps", "1"]].concat());
+    assert!(out.contains("\"rel_error\""), "{out}");
+    assert!(out.contains("\"observed_makespan\""), "{out}");
+
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn workload_family_help_and_flag_allowlist() {
+    // Per-command --help exits 0 and documents the verb.
+    for sub in ["gen", "predict", "run", "compare"] {
+        let out = cpm().args(["workload", sub, "--help"]).output().unwrap();
+        assert!(out.status.success(), "workload {sub} --help failed");
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(text.contains(&format!("workload {sub}")), "{text}");
+    }
+    // Unknown flags exit 2, matching the strict allowlist convention.
+    let out = cpm()
+        .args(["workload", "gen", "--bogus", "1"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    // A bare `workload` with no subcommand also exits 2.
+    let out = cpm().arg("workload").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("subcommand"));
+}
+
+#[test]
 fn bad_invocations_fail_cleanly() {
     // Unknown command.
     assert!(!cpm().arg("frobnicate").output().unwrap().status.success());

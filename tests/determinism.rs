@@ -58,6 +58,24 @@ fn ground_truth_seed_changes_everything_downstream() {
 }
 
 #[test]
+fn workload_replay_is_bit_identical_for_identical_seeds() {
+    // Same trace + same cluster seed ⇒ the full replay report (makespan,
+    // per-op windows, kernel counters) replays bit-identically. The lam
+    // profile keeps stochastic escalations in play, so this covers the
+    // irregularity paths too.
+    let trace = cpm::workload::gen::canonical("train", 16, 32 * KIB, 2).unwrap();
+    let choices = vec![None; trace.ops.len()];
+    let sim = SimCluster::from_config(&ClusterConfig::paper_lam(7));
+    let a = cpm::workload::replay(&sim, &trace, &choices).unwrap();
+    let b = cpm::workload::replay(&sim, &trace, &choices).unwrap();
+    assert_eq!(a, b, "identical seeds must replay identical workloads");
+
+    let other = SimCluster::from_config(&ClusterConfig::paper_lam(8));
+    let c = cpm::workload::replay(&other, &trace, &choices).unwrap();
+    assert_ne!(a, c, "a different cluster seed must perturb the replay");
+}
+
+#[test]
 fn noise_free_runs_are_rep_invariant() {
     let truth = GroundTruth::synthesize(&ClusterSpec::homogeneous(4), 9);
     let sim = SimCluster::new(truth, MpiProfile::ideal(), 0.0, 9);

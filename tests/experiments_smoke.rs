@@ -112,3 +112,28 @@ fn fig6_artifact_keeps_the_misprediction() {
         assert!(ol.at(m).unwrap() < ob.at(m).unwrap(), "m={m}");
     }
 }
+
+#[test]
+fn workloads_artifact_keeps_lmo_ahead_at_app_level() {
+    let Some(fig) = load("workloads") else { return };
+    let obs = fig
+        .series
+        .iter()
+        .find(|s| s.label == "DES observed")
+        .expect("observed series");
+    let err_of = |label: &str| {
+        fig.series
+            .iter()
+            .find(|s| s.label == label)
+            .and_then(|s| s.mean_rel_error_vs(obs))
+            .unwrap_or(f64::NAN)
+    };
+    let lmo = err_of("LMO");
+    for other in ["het Hockney", "LogGP", "PLogP"] {
+        let e = err_of(other);
+        assert!(
+            lmo < e,
+            "app-level LMO err {lmo:.3} must beat {other} ({e:.3})"
+        );
+    }
+}
