@@ -10,6 +10,9 @@ cargo fmt --check
 echo "== cargo clippy --workspace (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== cargo doc --no-deps (deny warnings)"
+RUSTDOCFLAGS="-D warnings -D rustdoc::broken_intra_doc_links" cargo doc --no-deps --workspace -q
+
 echo "== cargo build --release"
 cargo build --release
 
@@ -38,5 +41,9 @@ diff -u crates/workload/tests/golden/train_n4.jsonl "$WL_TMP/train.jsonl" \
 "$CPM" workload gen --kind train --nodes 4 --m 8K --iters 2 \
   | "$CPM" workload predict --nodes 4 --reps 1 | grep -q '"makespan_seconds"'
 "$CPM" workload run --trace "$WL_TMP/train.jsonl" --nodes 4 | grep -q '"msgs_sent"'
+
+echo "== serve loadgen smoke (worker pool must beat the serial server)"
+./target/release/loadgen --clients 4 --requests 60 --workers 2 \
+  --out "$WL_TMP/serve_load.json" --require-speedup 1.0
 
 echo "CI OK"

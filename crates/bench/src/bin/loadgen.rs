@@ -1,0 +1,342 @@
+//! Load generator for the cpm-serve worker-pool server.
+//!
+//! Spins up an in-process server, primes the prediction cache, then
+//! drives K concurrent clients doing synchronous request/response round
+//! trips against it — once with `--baseline-workers` (default 1, the old
+//! serial server) and once with `--workers` — and reports throughput,
+//! client-side latency quantiles (from merged per-client
+//! [`LogHistogram`]s), the server's own per-verb latency stats, and the
+//! concurrent-over-baseline speedup. Results are persisted as JSON
+//! (default `bench_results/serve_load.json`).
+//!
+//! ```text
+//! loadgen [--clients K] [--requests N] [--workers W]
+//!         [--baseline-workers B] [--out PATH] [--require-speedup X]
+//! ```
+//!
+//! With `--require-speedup X` the exit code is 1 unless the measured
+//! speedup is strictly greater than `X` — the CI smoke gate.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+use cpm_cluster::{ClusterConfig, ClusterSpec};
+use cpm_estimate::EstimateConfig;
+use cpm_serve::{Server, ServerHandle, Service, ServiceConfig};
+use cpm_stats::LogHistogram;
+use serde::Serialize;
+use serde_json::Value;
+
+/// Message sizes cycled through by every client; all primed before the
+/// timed phase so the run measures warm-cache serving, not estimation.
+const SIZES: [u64; 4] = [1024, 4096, 16384, 65536];
+
+struct Args {
+    clients: usize,
+    requests: usize,
+    workers: usize,
+    baseline_workers: usize,
+    think_us: u64,
+    out: std::path::PathBuf,
+    require_speedup: Option<f64>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen [--clients K] [--requests N] [--workers W]\n\
+         \x20              [--baseline-workers B] [--think-us T]\n\
+         \x20              [--out PATH] [--require-speedup X]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        clients: 8,
+        requests: 200,
+        workers: 8,
+        baseline_workers: 1,
+        think_us: 200,
+        out: cpm_bench::results_dir().join("serve_load.json"),
+        require_speedup: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let Some(value) = it.next() else { usage() };
+        match flag.as_str() {
+            "--clients" => args.clients = value.parse().unwrap_or_else(|_| usage()),
+            "--requests" => args.requests = value.parse().unwrap_or_else(|_| usage()),
+            "--workers" => args.workers = value.parse().unwrap_or_else(|_| usage()),
+            "--baseline-workers" => {
+                args.baseline_workers = value.parse().unwrap_or_else(|_| usage())
+            }
+            "--think-us" => args.think_us = value.parse().unwrap_or_else(|_| usage()),
+            "--out" => args.out = value.into(),
+            "--require-speedup" => {
+                args.require_speedup = Some(value.parse().unwrap_or_else(|_| usage()))
+            }
+            _ => usage(),
+        }
+    }
+    if args.clients == 0 || args.requests == 0 || args.workers == 0 {
+        usage();
+    }
+    args
+}
+
+/// Client- and server-side view of one timed run.
+#[derive(Serialize)]
+struct RunResult {
+    workers: usize,
+    wall_seconds: f64,
+    throughput_rps: f64,
+    client_p50_ns: u64,
+    client_p95_ns: u64,
+    client_p99_ns: u64,
+    client_mean_ns: f64,
+    server_predict_p50_ns: u64,
+    server_predict_p95_ns: u64,
+    server_predict_p99_ns: u64,
+}
+
+#[derive(Serialize)]
+struct LoadReport {
+    clients: usize,
+    requests_per_client: usize,
+    think_us: u64,
+    sizes: Vec<u64>,
+    baseline: RunResult,
+    concurrent: RunResult,
+    speedup: f64,
+}
+
+fn start_server(store: &std::path::Path, workers: usize) -> ServerHandle {
+    let cfg = ServiceConfig {
+        est: EstimateConfig {
+            reps: 1,
+            ..EstimateConfig::with_seed(29)
+        },
+        ..ServiceConfig::default()
+    };
+    let service = Arc::new(Service::open(store, cfg).expect("open service"));
+    Server::bind(service, "127.0.0.1:0")
+        .expect("bind")
+        .workers(workers)
+        .spawn()
+}
+
+fn request(addr: SocketAddr, line: &str) -> Value {
+    let stream = TcpStream::connect(addr).expect("connect");
+    let _ = stream.set_nodelay(true);
+    let mut writer = stream.try_clone().expect("clone");
+    writer
+        .write_all(format!("{line}\n").as_bytes())
+        .expect("write");
+    writer.flush().expect("flush");
+    let mut response = String::new();
+    BufReader::new(stream)
+        .read_line(&mut response)
+        .expect("read");
+    serde_json::from_str(response.trim_end()).expect("response json")
+}
+
+fn predict_line(fp: &str, m: u64) -> String {
+    format!(
+        "{{\"verb\":\"predict\",\"fingerprint\":\"{fp}\",\"model\":\"lmo\",\
+         \"collective\":\"scatter\",\"algorithm\":\"binomial\",\"m\":{m}}}"
+    )
+}
+
+fn quantile_ns(stats: &Value, verb: &str, q: &str) -> u64 {
+    stats
+        .get("latency")
+        .and_then(|l| l.get(verb))
+        .and_then(|v| v.get(q))
+        .and_then(Value::as_u64)
+        .unwrap_or(0)
+}
+
+/// One timed run: start a server with `workers` pool threads over
+/// `store`, prime the cache, drive the clients, read the server's own
+/// stats, shut down.
+///
+/// Clients are closed-loop with `think_us` of think time between round
+/// trips — the standard load-generator model of a client that does some
+/// work (or crosses a network) between requests. It is what makes the
+/// worker pool measurable at all on a small machine: a serial server is
+/// held hostage by an idle connection, a pool thinks in parallel.
+fn run_load(
+    store: &std::path::Path,
+    workers: usize,
+    clients: usize,
+    requests: usize,
+    think_us: u64,
+) -> RunResult {
+    let mut server = start_server(store, workers);
+    let addr = server.addr();
+
+    // Estimate once (idempotent across runs — the registry persists in
+    // `store`), then prime every message size so the timed phase is warm.
+    let config = ClusterConfig::ideal(ClusterSpec::homogeneous(4), 31);
+    let est = request(
+        addr,
+        &format!(
+            "{{\"verb\":\"estimate\",\"config\":{}}}",
+            serde_json::to_string(&config).expect("config json")
+        ),
+    );
+    assert_eq!(est.get("ok"), Some(&Value::Bool(true)), "{est:?}");
+    let fp = est
+        .get("fingerprint")
+        .and_then(Value::as_str)
+        .expect("fingerprint")
+        .to_string();
+    for m in SIZES {
+        let primed = request(addr, &predict_line(&fp, m));
+        assert_eq!(primed.get("ok"), Some(&Value::Bool(true)), "{primed:?}");
+    }
+
+    // Timed phase: every client is a synchronous request/response loop
+    // over one connection, recording round-trip latency locally. Lines
+    // are pre-rendered with their newline so each request is one write
+    // (one TCP segment — no Nagle/delayed-ACK stalls).
+    let lines: Arc<Vec<String>> = Arc::new(
+        SIZES
+            .iter()
+            .map(|&m| format!("{}\n", predict_line(&fp, m)))
+            .collect(),
+    );
+    let barrier = Arc::new(Barrier::new(clients + 1));
+    let threads: Vec<_> = (0..clients)
+        .map(|_| {
+            let lines = Arc::clone(&lines);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let stream = TcpStream::connect(addr).expect("connect");
+                let _ = stream.set_nodelay(true);
+                let mut writer = stream.try_clone().expect("clone");
+                let mut reader = BufReader::new(stream);
+                let hist = LogHistogram::new();
+                let mut response = String::new();
+                barrier.wait();
+                for i in 0..requests {
+                    let line = &lines[i % lines.len()];
+                    let t = Instant::now();
+                    writer.write_all(line.as_bytes()).expect("write");
+                    response.clear();
+                    assert!(
+                        reader.read_line(&mut response).expect("read") > 0,
+                        "lost response"
+                    );
+                    hist.record(u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                    assert!(response.starts_with("{\"ok\":true"), "{response}");
+                    if think_us > 0 {
+                        std::thread::sleep(std::time::Duration::from_micros(think_us));
+                    }
+                }
+                hist
+            })
+        })
+        .collect();
+    barrier.wait();
+    let t0 = Instant::now();
+    let merged = LogHistogram::new();
+    for t in threads {
+        merged.merge_from(&t.join().expect("client panicked"));
+    }
+    let wall = t0.elapsed().as_secs_f64();
+
+    let stats = request(addr, "{\"verb\":\"stats\"}");
+    server.shutdown();
+
+    let h = merged.snapshot();
+    RunResult {
+        workers,
+        wall_seconds: wall,
+        throughput_rps: (clients * requests) as f64 / wall,
+        client_p50_ns: h.quantile(0.50),
+        client_p95_ns: h.quantile(0.95),
+        client_p99_ns: h.quantile(0.99),
+        client_mean_ns: h.mean(),
+        server_predict_p50_ns: quantile_ns(&stats, "predict", "p50_ns"),
+        server_predict_p95_ns: quantile_ns(&stats, "predict", "p95_ns"),
+        server_predict_p99_ns: quantile_ns(&stats, "predict", "p99_ns"),
+    }
+}
+
+fn print_run(tag: &str, r: &RunResult) {
+    println!(
+        "{tag:<10} workers={:<2} wall={:.3}s throughput={:.0} req/s \
+         client p50/p95/p99={:.1}/{:.1}/{:.1}µs server predict p50={:.1}µs",
+        r.workers,
+        r.wall_seconds,
+        r.throughput_rps,
+        r.client_p50_ns as f64 / 1e3,
+        r.client_p95_ns as f64 / 1e3,
+        r.client_p99_ns as f64 / 1e3,
+        r.server_predict_p50_ns as f64 / 1e3,
+    );
+}
+
+fn main() {
+    let args = parse_args();
+    let store = std::env::temp_dir().join(format!("cpm-loadgen-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store);
+
+    println!(
+        "loadgen: {} clients x {} requests, {}µs think time, warm cache, sizes {:?}",
+        args.clients, args.requests, args.think_us, SIZES
+    );
+    let baseline = run_load(
+        &store,
+        args.baseline_workers,
+        args.clients,
+        args.requests,
+        args.think_us,
+    );
+    print_run("baseline", &baseline);
+    let concurrent = run_load(
+        &store,
+        args.workers,
+        args.clients,
+        args.requests,
+        args.think_us,
+    );
+    print_run("concurrent", &concurrent);
+
+    let speedup = concurrent.throughput_rps / baseline.throughput_rps;
+    println!(
+        "speedup: {speedup:.2}x ({} workers over {})",
+        concurrent.workers, baseline.workers
+    );
+
+    let report = LoadReport {
+        clients: args.clients,
+        requests_per_client: args.requests,
+        think_us: args.think_us,
+        sizes: SIZES.to_vec(),
+        baseline,
+        concurrent,
+        speedup,
+    };
+    if let Some(dir) = args.out.parent() {
+        std::fs::create_dir_all(dir).expect("create output dir");
+    }
+    std::fs::write(
+        &args.out,
+        serde_json::to_string_pretty(&report).expect("report json"),
+    )
+    .expect("write report");
+    println!("wrote {}", args.out.display());
+    let _ = std::fs::remove_dir_all(&store);
+
+    if let Some(required) = args.require_speedup {
+        if speedup <= required {
+            eprintln!("FAIL: speedup {speedup:.2}x is not > {required:.2}x");
+            std::process::exit(1);
+        }
+        println!("ok: speedup {speedup:.2}x > {required:.2}x");
+    }
+}

@@ -25,4 +25,4 @@ pub mod ctx;
 pub mod output;
 
 pub use ctx::PaperContext;
-pub use output::{Figure, Series};
+pub use output::{results_dir, Figure, Series};

@@ -25,7 +25,7 @@
 //!   staleness scoring.
 //! * [`planner`] — maps drift events to the minimal re-estimation
 //!   experiments and executes them.
-//! * [`replay`] — the deterministic end-to-end loop against a scheduled
+//! * [`mod@replay`] — the deterministic end-to-end loop against a scheduled
 //!   drift injection ([`cpm_netsim::DriftSchedule`]).
 //! * [`serve_ext`] — `observe` / `drift-status` verbs for the serve
 //!   protocol ([`cpm_serve::LineHandler`] extension).

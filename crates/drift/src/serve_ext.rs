@@ -18,7 +18,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use cpm_core::rank::Rank;
-use cpm_serve::service::{ClusterRef, Service};
+use cpm_serve::service::{ClusterRef, Service, Verb};
 use cpm_serve::{LineHandler, ServeError};
 use parking_lot::Mutex;
 use serde_json::Value;
@@ -160,11 +160,11 @@ impl DriftService {
         ]))
     }
 
-    fn dispatch(&self, line: &str) -> Option<SResult<Value>> {
+    fn dispatch(&self, line: &str) -> Option<(Verb, SResult<Value>)> {
         let v: Value = serde_json::from_str(line).ok()?;
         match v.get("verb").and_then(Value::as_str) {
-            Some("observe") => Some(self.handle_observe(&v)),
-            Some("drift-status") => Some(self.handle_status(&v)),
+            Some("observe") => Some((Verb::Observe, self.handle_observe(&v))),
+            Some("drift-status") => Some((Verb::DriftStatus, self.handle_status(&v))),
             _ => None,
         }
     }
@@ -172,9 +172,11 @@ impl DriftService {
 
 impl LineHandler for DriftService {
     fn handle_line(&self, line: &str) -> (String, bool) {
-        let Some(outcome) = self.dispatch(line) else {
+        let start = std::time::Instant::now();
+        let Some((verb, outcome)) = self.dispatch(line) else {
             // Not a drift verb (or not even JSON): the core protocol owns
-            // the response, including its error reporting.
+            // the response, including its error reporting (and its own
+            // latency attribution).
             return self.service.handle_line(line);
         };
         let value = match outcome {
@@ -190,6 +192,8 @@ impl LineHandler for DriftService {
         };
         let text = serde_json::to_string(&value)
             .unwrap_or_else(|_| "{\"ok\":false,\"error\":\"serialization failure\"}".to_string());
+        let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.service.metrics().record_verb_latency(verb, ns);
         (text, false)
     }
 }

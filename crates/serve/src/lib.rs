@@ -1,31 +1,40 @@
-//! cpm-serve: a concurrent prediction service.
+//! # cpm-serve
+//!
+//! A concurrent prediction service.
 //!
 //! Content-addresses cluster specifications into a persistent parameter
 //! registry, serves batched predictions from an estimate-once cache, and
-//! exposes the whole pipeline over a JSON-lines TCP protocol.
+//! exposes the whole pipeline over a JSON-lines TCP protocol handled by
+//! a bounded worker pool.
 //!
 //! Layering:
 //!
 //! - [`registry`] — stable fingerprints for [`cpm_cluster::ClusterConfig`]
 //!   and a versioned on-disk store of estimated [`registry::ParamSet`]s;
 //! - [`service`] — the estimate-once prediction service: sharded LRU cache,
-//!   single-flight estimation dedup, service metrics;
-//! - [`protocol`] — the JSON-lines request/response vocabulary;
-//! - [`server`] — a std-only TCP server with per-connection error isolation
-//!   and graceful shutdown.
+//!   single-flight estimation dedup, service metrics with per-verb latency
+//!   histograms;
+//! - [`protocol`] — the JSON-lines request/response vocabulary, including
+//!   the `batch` verb (many requests per round trip) and the extended
+//!   `stats` verb (latency quantiles, text exposition);
+//! - [`server`] — a std-only TCP server: a worker pool serves up to
+//!   `workers` connections concurrently, with per-connection error
+//!   isolation and graceful shutdown that drains in-flight requests.
+
+#![warn(missing_docs)]
 
 pub mod protocol;
 pub mod registry;
 pub mod server;
 pub mod service;
 
-pub use protocol::{handle_line, parse_request, Request};
+pub use protocol::{handle_line, parse_request, parse_request_value, Request, MAX_BATCH};
 pub use registry::{
     fingerprint, fingerprint_json, Lineage, ParamSet, Registry, ResidualSummary, Result,
     ServeError, FORMAT_VERSION, HISTORY_RING,
 };
-pub use server::{LineHandler, Server, ServerHandle};
+pub use server::{LineHandler, Server, ServerHandle, DEFAULT_WORKERS, MAX_LINE, POLL_INTERVAL};
 pub use service::{
     Algorithm, ClusterRef, Collective, Metrics, MetricsSnapshot, ModelKind, PlannedWorkload,
-    Prediction, Query, Service, ServiceConfig,
+    Prediction, Query, Service, ServiceConfig, Verb, VERBS,
 };

@@ -17,45 +17,94 @@
 //! - `plan` — critical-path prediction of a whole workload trace: per-op
 //!   algorithm choices, per-phase breakdown, and end-to-end makespan,
 //!   cached by `(fingerprint, param_version, model, trace hash)`.
+//! - `batch` — an array of predict/select/plan requests answered in one
+//!   round trip (each element independently; one bad element does not
+//!   fail the batch).
 //! - `history` — list the retained registry versions for a fingerprint,
 //!   with lineage (what triggered each republish and the residuals
 //!   before/after re-estimation).
-//! - `stats` — service counters.
-//! - `shutdown` — stop the server after responding.
+//! - `stats` — service counters plus per-verb latency quantiles
+//!   (p50/p95/p99); `"format":"text"` returns a Prometheus-style text
+//!   exposition instead.
+//! - `shutdown` — stop the server after responding (the worker pool
+//!   drains in-flight requests first).
 
 use cpm_cluster::ClusterConfig;
 use serde_json::Value;
 
 use crate::registry::{Result, ServeError};
-use crate::service::{Algorithm, ClusterRef, Collective, ModelKind, Query, Service};
+use crate::service::{Algorithm, ClusterRef, Collective, ModelKind, Query, Service, Verb};
 
 /// A parsed request.
 #[derive(Clone, Debug)]
 pub enum Request {
+    /// One collective prediction against a resolved cluster.
     Predict {
+        /// The cluster to predict for (config or fingerprint).
         cluster: ClusterRef,
+        /// What to predict.
         query: Query,
     },
+    /// Predict both algorithms of a collective and report the faster one.
     Select {
+        /// The cluster to predict for.
         cluster: ClusterRef,
+        /// Model family answering the query.
         model: ModelKind,
+        /// The collective whose algorithms are compared.
         collective: Collective,
+        /// Message size, bytes.
         m: u64,
+        /// Root rank of the collective.
         root: u32,
     },
+    /// Force the parameter set for a config to exist.
     Estimate {
+        /// The cluster config to estimate (always embedded).
         config: Box<ClusterConfig>,
     },
+    /// Critical-path prediction of a whole workload trace.
     Plan {
+        /// The cluster to plan against.
         cluster: ClusterRef,
+        /// Model family the critical-path machine charges costs under.
         model: ModelKind,
+        /// The submitted trace.
         trace: Box<cpm_workload::Trace>,
     },
+    /// Several predict/select/plan requests answered in one round trip.
+    Batch {
+        /// The sub-requests, answered independently and in order.
+        requests: Vec<Request>,
+    },
+    /// Version history (with lineage) for a fingerprint.
     History {
+        /// The cluster fingerprint to report on.
         fingerprint: String,
     },
-    Stats,
+    /// Service counters and per-verb latency quantiles.
+    Stats {
+        /// `true` for the Prometheus-style text exposition format.
+        text: bool,
+    },
+    /// Stop the server after responding.
     Shutdown,
+}
+
+impl Request {
+    /// The verb this request is recorded under in the latency histograms.
+    pub fn verb(&self) -> Verb {
+        match self {
+            Request::Predict { .. } => Verb::Predict,
+            Request::Select { .. } => Verb::Select,
+            Request::Estimate { .. } => Verb::Estimate,
+            Request::Plan { .. } => Verb::Plan,
+            Request::Batch { .. } => Verb::Batch,
+            Request::History { .. } => Verb::History,
+            Request::Stats { .. } => Verb::Stats,
+            Request::Shutdown => Verb::Shutdown,
+        }
+    }
 }
 
 fn bad(msg: impl Into<String>) -> ServeError {
@@ -105,29 +154,35 @@ fn cluster_field(v: &Value) -> Result<ClusterRef> {
 /// Parses one request line.
 pub fn parse_request(line: &str) -> Result<Request> {
     let v: Value = serde_json::from_str(line).map_err(|e| bad(format!("bad json: {e}")))?;
+    parse_request_value(&v)
+}
+
+/// Parses one request object (already decoded JSON) — the entry point
+/// batch elements share with top-level lines.
+pub fn parse_request_value(v: &Value) -> Result<Request> {
     if !matches!(v, Value::Map(_)) {
         return Err(bad("request must be a json object"));
     }
-    match str_field(&v, "verb")? {
+    match str_field(v, "verb")? {
         "predict" => Ok(Request::Predict {
-            cluster: cluster_field(&v)?,
+            cluster: cluster_field(v)?,
             query: Query {
-                model: ModelKind::parse(str_field(&v, "model")?)?,
-                collective: Collective::parse(str_field(&v, "collective")?)?,
-                algorithm: Algorithm::parse(str_field(&v, "algorithm")?)?,
-                m: u64_field(&v, "m")?,
-                root: root_field(&v)?,
+                model: ModelKind::parse(str_field(v, "model")?)?,
+                collective: Collective::parse(str_field(v, "collective")?)?,
+                algorithm: Algorithm::parse(str_field(v, "algorithm")?)?,
+                m: u64_field(v, "m")?,
+                root: root_field(v)?,
             },
         }),
         "select" => Ok(Request::Select {
-            cluster: cluster_field(&v)?,
-            model: ModelKind::parse(str_field(&v, "model")?)?,
-            collective: Collective::parse(str_field(&v, "collective")?)?,
-            m: u64_field(&v, "m")?,
-            root: root_field(&v)?,
+            cluster: cluster_field(v)?,
+            model: ModelKind::parse(str_field(v, "model")?)?,
+            collective: Collective::parse(str_field(v, "collective")?)?,
+            m: u64_field(v, "m")?,
+            root: root_field(v)?,
         }),
         "estimate" => {
-            let ClusterRef::Config(config) = cluster_field(&v)? else {
+            let ClusterRef::Config(config) = cluster_field(v)? else {
                 return Err(bad("estimate requires an embedded \"config\""));
             };
             Ok(Request::Estimate { config })
@@ -146,21 +201,66 @@ pub fn parse_request(line: &str) -> Result<Request> {
             let trace = cpm_workload::Trace::from_value(trace)
                 .map_err(|e| bad(format!("bad \"trace\": {e}")))?;
             Ok(Request::Plan {
-                cluster: cluster_field(&v)?,
+                cluster: cluster_field(v)?,
                 model,
                 trace: Box::new(trace),
             })
         }
+        "batch" => {
+            let Some(Value::Seq(items)) = v.get("requests") else {
+                return Err(bad("batch needs a \"requests\" array"));
+            };
+            if items.is_empty() {
+                return Err(bad("batch \"requests\" must not be empty"));
+            }
+            if items.len() > MAX_BATCH {
+                return Err(bad(format!(
+                    "batch of {} requests exceeds the limit of {MAX_BATCH}",
+                    items.len()
+                )));
+            }
+            let requests = items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| {
+                    let req = parse_request_value(item)
+                        .map_err(|e| bad(format!("batch request {i}: {e}")))?;
+                    match req {
+                        Request::Predict { .. } | Request::Select { .. } | Request::Plan { .. } => {
+                            Ok(req)
+                        }
+                        _ => Err(bad(format!(
+                            "batch request {i}: only predict|select|plan may be batched"
+                        ))),
+                    }
+                })
+                .collect::<Result<Vec<Request>>>()?;
+            Ok(Request::Batch { requests })
+        }
         "history" => Ok(Request::History {
-            fingerprint: str_field(&v, "fingerprint")?.to_string(),
+            fingerprint: str_field(v, "fingerprint")?.to_string(),
         }),
-        "stats" => Ok(Request::Stats),
+        "stats" => {
+            let text = match v.get("format") {
+                None => false,
+                Some(Value::Str(s)) if s == "json" => false,
+                Some(Value::Str(s)) if s == "text" => true,
+                Some(_) => return Err(bad("field \"format\" must be \"json\" or \"text\"")),
+            };
+            Ok(Request::Stats { text })
+        }
         "shutdown" => Ok(Request::Shutdown),
         other => Err(bad(format!(
-            "unknown verb {other:?} (expected predict|select|estimate|plan|history|stats|shutdown)"
+            "unknown verb {other:?} (expected predict|select|estimate|plan|batch|\
+             history|stats|shutdown)"
         ))),
     }
 }
+
+/// Upper bound on the number of requests in one `batch`. Keeps a single
+/// line from monopolizing a pool worker for unbounded time (the line
+/// length cap [`crate::server::MAX_LINE`] already bounds the payload).
+pub const MAX_BATCH: usize = 1024;
 
 fn obj(entries: Vec<(&str, Value)>) -> Value {
     Value::Map(
@@ -258,8 +358,55 @@ pub fn respond(service: &Service, req: &Request) -> Result<Value> {
                 ("versions", Value::Seq(versions)),
             ]))
         }
-        Request::Stats => {
+        Request::Batch { requests } => {
+            let responses: Vec<Value> = requests
+                .iter()
+                .map(|sub| {
+                    let start = std::time::Instant::now();
+                    let body = respond(service, sub);
+                    service
+                        .metrics()
+                        .record_verb_latency(sub.verb(), elapsed_ns(start));
+                    match body {
+                        Ok(Value::Map(mut entries)) => {
+                            entries.insert(0, ("ok".to_string(), Value::Bool(true)));
+                            Value::Map(entries)
+                        }
+                        Ok(other) => other,
+                        Err(e) => obj(vec![
+                            ("ok", Value::Bool(false)),
+                            ("error", Value::Str(e.to_string())),
+                        ]),
+                    }
+                })
+                .collect();
+            Ok(obj(vec![
+                ("count", Value::U64(responses.len() as u64)),
+                ("responses", Value::Seq(responses)),
+            ]))
+        }
+        Request::Stats { text } => {
+            if *text {
+                return Ok(obj(vec![("text", Value::Str(stats_text(service)))]));
+            }
             let s = service.metrics().snapshot();
+            let latency: Vec<(String, Value)> = service
+                .metrics()
+                .latency_snapshot()
+                .into_iter()
+                .map(|(verb, h)| {
+                    (
+                        verb.as_str().to_string(),
+                        obj(vec![
+                            ("count", Value::U64(h.count)),
+                            ("p50_ns", Value::U64(h.quantile(0.50))),
+                            ("p95_ns", Value::U64(h.quantile(0.95))),
+                            ("p99_ns", Value::U64(h.quantile(0.99))),
+                            ("mean_ns", Value::F64(h.mean())),
+                        ]),
+                    )
+                })
+                .collect();
             Ok(obj(vec![
                 ("hits", Value::U64(s.hits)),
                 ("misses", Value::U64(s.misses)),
@@ -272,17 +419,76 @@ pub fn respond(service: &Service, req: &Request) -> Result<Value> {
                 ("predict_ns_mean", Value::F64(s.predict_ns_mean)),
                 ("predict_ns_max", Value::U64(s.predict_ns_max)),
                 ("stored", Value::U64(service.registry().len() as u64)),
+                ("latency", Value::Map(latency)),
             ]))
         }
         Request::Shutdown => Ok(obj(vec![("shutting_down", Value::Bool(true))])),
     }
 }
 
+/// Renders the counters and per-verb latency histograms in a
+/// Prometheus-style text exposition (the `stats` verb's `"format":"text"`
+/// answer, suitable for piping into monitoring tooling).
+fn stats_text(service: &Service) -> String {
+    use std::fmt::Write as _;
+    let s = service.metrics().snapshot();
+    let mut out = String::new();
+    for (name, v) in [
+        ("cpm_serve_cache_hits", s.hits),
+        ("cpm_serve_cache_misses", s.misses),
+        ("cpm_serve_plan_cache_hits", s.plan_hits),
+        ("cpm_serve_plan_cache_misses", s.plan_misses),
+        ("cpm_serve_estimations", s.estimations),
+        ("cpm_serve_registry_loads", s.registry_loads),
+        ("cpm_serve_republishes", s.republishes),
+        ("cpm_serve_predictions", s.predict_count),
+        (
+            "cpm_serve_stored_param_sets",
+            service.registry().len() as u64,
+        ),
+    ] {
+        let _ = writeln!(out, "# TYPE {name} counter\n{name} {v}");
+    }
+    for (verb, h) in service.metrics().latency_snapshot() {
+        let verb = verb.as_str();
+        let _ = writeln!(out, "# TYPE cpm_serve_latency_ns histogram");
+        for (upper, cum) in h.cumulative() {
+            let _ = writeln!(
+                out,
+                "cpm_serve_latency_ns_bucket{{verb=\"{verb}\",le=\"{upper}\"}} {cum}"
+            );
+        }
+        let _ = writeln!(
+            out,
+            "cpm_serve_latency_ns_bucket{{verb=\"{verb}\",le=\"+Inf\"}} {}",
+            h.count
+        );
+        let _ = writeln!(out, "cpm_serve_latency_ns_sum{{verb=\"{verb}\"}} {}", h.sum);
+        let _ = writeln!(
+            out,
+            "cpm_serve_latency_ns_count{{verb=\"{verb}\"}} {}",
+            h.count
+        );
+    }
+    out
+}
+
+fn elapsed_ns(start: std::time::Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
 /// Handles one raw request line end to end. Returns the response line
 /// (no trailing newline) and whether the server should shut down.
+///
+/// Successfully parsed requests are timed (parse + respond + serialize)
+/// into the per-verb latency histograms of [`Service::metrics`]; lines
+/// that fail to parse are not attributed to any verb.
 pub fn handle_line(service: &Service, line: &str) -> (String, bool) {
+    let start = std::time::Instant::now();
+    let mut verb = None;
     let (body, shutdown) = match parse_request(line) {
         Ok(req) => {
+            verb = Some(req.verb());
             let shutdown = matches!(req, Request::Shutdown);
             match respond(service, &req) {
                 Ok(body) => (Ok(body), shutdown),
@@ -304,6 +510,11 @@ pub fn handle_line(service: &Service, line: &str) -> (String, bool) {
     };
     let text = serde_json::to_string(&value)
         .unwrap_or_else(|_| "{\"ok\":false,\"error\":\"serialization failure\"}".to_string());
+    if let Some(verb) = verb {
+        service
+            .metrics()
+            .record_verb_latency(verb, elapsed_ns(start));
+    }
     (text, shutdown)
 }
 
@@ -346,11 +557,50 @@ mod tests {
     fn parses_stats_and_shutdown() {
         assert!(matches!(
             parse_request("{\"verb\":\"stats\"}").unwrap(),
-            Request::Stats
+            Request::Stats { text: false }
         ));
+        assert!(matches!(
+            parse_request("{\"verb\":\"stats\",\"format\":\"json\"}").unwrap(),
+            Request::Stats { text: false }
+        ));
+        assert!(matches!(
+            parse_request("{\"verb\":\"stats\",\"format\":\"text\"}").unwrap(),
+            Request::Stats { text: true }
+        ));
+        assert!(parse_request("{\"verb\":\"stats\",\"format\":\"xml\"}").is_err());
         assert!(matches!(
             parse_request("{\"verb\":\"shutdown\"}").unwrap(),
             Request::Shutdown
         ));
+    }
+
+    #[test]
+    fn parses_batch_of_predicts() {
+        let sub = "{\"verb\":\"predict\",\"fingerprint\":\"ab\",\"model\":\"lmo\",\
+                   \"collective\":\"scatter\",\"algorithm\":\"binomial\",\"m\":64}";
+        let line = format!("{{\"verb\":\"batch\",\"requests\":[{sub},{sub}]}}");
+        let Request::Batch { requests } = parse_request(&line).unwrap() else {
+            panic!("wrong variant");
+        };
+        assert_eq!(requests.len(), 2);
+        assert!(matches!(requests[0], Request::Predict { .. }));
+    }
+
+    #[test]
+    fn batch_rejects_bad_shapes() {
+        // Missing / wrong-type / empty requests array.
+        assert!(parse_request("{\"verb\":\"batch\"}").is_err());
+        assert!(parse_request("{\"verb\":\"batch\",\"requests\":7}").is_err());
+        assert!(parse_request("{\"verb\":\"batch\",\"requests\":[]}").is_err());
+        // Non-batchable verbs: batch-in-batch, shutdown, stats.
+        for inner in [
+            "{\"verb\":\"batch\",\"requests\":[]}",
+            "{\"verb\":\"shutdown\"}",
+            "{\"verb\":\"stats\"}",
+        ] {
+            let line = format!("{{\"verb\":\"batch\",\"requests\":[{inner}]}}");
+            let err = parse_request(&line).unwrap_err().to_string();
+            assert!(err.contains("batch request 0"), "err: {err}");
+        }
     }
 }

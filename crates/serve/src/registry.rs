@@ -28,6 +28,7 @@ pub const FORMAT_VERSION: u32 = 1;
 /// Errors from the serve subsystem.
 #[derive(Debug)]
 pub enum ServeError {
+    /// An I/O failure talking to the store or a socket.
     Io(String),
     /// A request was malformed or referenced something unsupported.
     Protocol(String),
@@ -62,6 +63,7 @@ impl From<io::Error> for ServeError {
     }
 }
 
+/// Shorthand for results carrying a [`ServeError`].
 pub type Result<T> = std::result::Result<T, ServeError>;
 
 /// Canonicalizes a JSON value: map keys sorted recursively, so two

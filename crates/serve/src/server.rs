@@ -1,16 +1,28 @@
 //! A JSON-lines TCP server over [`Service`], std-only networking.
 //!
-//! One thread per connection; a connection reads request lines and writes
-//! one response line per request. Errors are isolated per connection: a
-//! malformed line gets an `{"ok": false}` response, an I/O error drops
-//! only that connection. Shutdown is graceful — either via the `shutdown`
-//! verb or [`ServerHandle::shutdown`] — and joins all threads.
+//! Connections are handled by a **bounded worker pool**: one acceptor
+//! thread pushes accepted sockets into an MPMC channel, and `workers`
+//! pool threads pull connections and serve them to completion — up to
+//! `workers` connections are in flight at once, later ones queue. A
+//! connection reads request lines and writes one response line per
+//! request. Errors are isolated per connection: a malformed line gets an
+//! `{"ok": false}` response, an I/O error drops only that connection.
+//!
+//! Shutdown — via the `shutdown` verb or [`ServerHandle::shutdown`] — is
+//! graceful and deterministic: the acceptor stops admitting connections,
+//! workers **drain** every request already received (any line whose bytes
+//! reached the server before the worker's post-stop poll is fully
+//! processed and its response written) and only then close their
+//! connections; the acceptor joins all workers before the listener is
+//! dropped. Idle connections are closed at the next poll tick
+//! ([`POLL_INTERVAL`]).
 
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use crate::protocol::handle_line;
 use crate::registry::Result;
@@ -23,6 +35,8 @@ use crate::service::Service;
 /// with extra verbs while reusing the same connection handling. The
 /// returned bool requests server shutdown.
 pub trait LineHandler: Send + Sync + 'static {
+    /// Produces the response line (no trailing newline) for `line`, and
+    /// whether the server should begin a graceful shutdown afterwards.
     fn handle_line(&self, line: &str) -> (String, bool);
 }
 
@@ -32,17 +46,25 @@ impl LineHandler for Service {
     }
 }
 
-/// A running server. Dropping the handle does not stop the server; call
-/// [`ServerHandle::shutdown`] (or send the `shutdown` verb) first.
+/// Default size of the connection worker pool.
+pub const DEFAULT_WORKERS: usize = 8;
+
+/// How often a blocked worker polls the stop flag while waiting for the
+/// next request line on an idle connection. Bounds shutdown latency.
+pub const POLL_INTERVAL: Duration = Duration::from_millis(20);
+
+/// A bound server, not yet running. Call [`Server::spawn`] to start the
+/// acceptor and worker pool. Dropping a [`ServerHandle`] stops the server.
 pub struct Server {
     service: Arc<Service>,
     handler: Arc<dyn LineHandler>,
     listener: TcpListener,
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    workers: usize,
 }
 
-/// Controls a server running on a background thread.
+/// Controls a server running on background threads.
 pub struct ServerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
@@ -52,7 +74,7 @@ pub struct ServerHandle {
 
 impl Server {
     /// Binds to `addr` (use port 0 for an ephemeral port), speaking the
-    /// core protocol.
+    /// core protocol with [`DEFAULT_WORKERS`] pool threads.
     pub fn bind(service: Arc<Service>, addr: &str) -> Result<Server> {
         let handler: Arc<dyn LineHandler> = Arc::clone(&service) as Arc<dyn LineHandler>;
         Self::bind_with(service, handler, addr)
@@ -73,7 +95,16 @@ impl Server {
             listener,
             addr,
             stop: Arc::new(AtomicBool::new(false)),
+            workers: DEFAULT_WORKERS,
         })
+    }
+
+    /// Sets the worker-pool size: how many connections are served
+    /// concurrently. `workers = 1` reproduces the old serial server
+    /// (useful as a benchmarking baseline). Clamped to at least 1.
+    pub fn workers(mut self, workers: usize) -> Server {
+        self.workers = workers.max(1);
+        self
     }
 
     /// The bound address (resolves the actual port when bound to port 0).
@@ -81,7 +112,8 @@ impl Server {
         self.addr
     }
 
-    /// Runs the accept loop on a background thread and returns a handle.
+    /// Starts the acceptor and worker pool on background threads and
+    /// returns a handle.
     pub fn spawn(self) -> ServerHandle {
         let Server {
             service,
@@ -89,10 +121,11 @@ impl Server {
             listener,
             addr,
             stop,
+            workers,
         } = self;
         let accept_stop = Arc::clone(&stop);
         let accept_thread = std::thread::spawn(move || {
-            accept_loop(listener, handler, accept_stop);
+            accept_loop(listener, handler, accept_stop, workers);
         });
         ServerHandle {
             addr,
@@ -103,23 +136,49 @@ impl Server {
     }
 }
 
-fn accept_loop(listener: TcpListener, handler: Arc<dyn LineHandler>, stop: Arc<AtomicBool>) {
-    let mut workers: Vec<JoinHandle<()>> = Vec::new();
+/// The accept loop: admits connections into the worker-pool queue, and on
+/// stop drains the pool (joining every worker) **before** returning —
+/// i.e. before the listener it owns is closed.
+fn accept_loop(
+    listener: TcpListener,
+    handler: Arc<dyn LineHandler>,
+    stop: Arc<AtomicBool>,
+    workers: usize,
+) {
+    let (tx, rx) = crossbeam::channel::unbounded::<TcpStream>();
+    let addr = listener.local_addr().ok();
+    let pool: Vec<JoinHandle<()>> = (0..workers)
+        .map(|_| {
+            let rx = rx.clone();
+            let handler = Arc::clone(&handler);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while let Ok(stream) = rx.recv() {
+                    // Per-connection isolation: an I/O error here kills
+                    // only this connection, not the worker.
+                    let _ = serve_connection(stream, handler.as_ref(), &stop, addr);
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                }
+            })
+        })
+        .collect();
+    drop(rx);
     for conn in listener.incoming() {
         if stop.load(Ordering::SeqCst) {
             break;
         }
         let Ok(stream) = conn else { continue };
-        let handler = Arc::clone(&handler);
-        let stop = Arc::clone(&stop);
-        workers.push(std::thread::spawn(move || {
-            // Per-connection isolation: any error here kills only this
-            // connection's thread.
-            let _ = serve_connection(stream, handler.as_ref(), &stop);
-        }));
-        workers.retain(|w| !w.is_finished());
+        if tx.send(stream).is_err() {
+            break; // every worker exited (shutdown already in progress)
+        }
     }
-    for w in workers {
+    // Drain: dropping the sender disconnects idle workers; busy workers
+    // finish any request already received, observe the stop flag at their
+    // next poll tick, and exit. Join them all before the listener drops.
+    drop(tx);
+    for w in pool {
         let _ = w.join();
     }
 }
@@ -129,18 +188,23 @@ fn accept_loop(listener: TcpListener, handler: Arc<dyn LineHandler>, stop: Arc<A
 /// the connection's buffer without bound, and the connection stays open.
 pub const MAX_LINE: usize = 1 << 20;
 
-/// Reads one `\n`-terminated line of at most [`MAX_LINE`] bytes.
-///
-/// Returns `Ok(None)` at clean EOF. An oversized or non-UTF-8 line yields
-/// `Err(BadLine)` after consuming the offending line entirely, so the
-/// protocol stream stays aligned and the connection can keep serving.
+/// A request line the protocol cannot accept: too long, or not UTF-8.
 enum BadLine {
     TooLong(usize),
     NotUtf8,
 }
 
+/// Reads one `\n`-terminated line of at most [`MAX_LINE`] bytes.
+///
+/// Returns `Ok(None)` at clean EOF, **or** when `stop` is raised while
+/// the connection is idle (no partial line buffered) — the shutdown
+/// drain path. A request whose bytes are already in flight is always
+/// read to completion. An oversized or non-UTF-8 line yields
+/// `Err(BadLine)` after consuming the offending line entirely, so the
+/// protocol stream stays aligned and the connection can keep serving.
 fn read_bounded_line(
     reader: &mut BufReader<TcpStream>,
+    stop: &AtomicBool,
 ) -> std::io::Result<Option<std::result::Result<String, BadLine>>> {
     let mut buf: Vec<u8> = Vec::new();
     let mut dropped = 0usize; // bytes discarded once the line overflows
@@ -148,6 +212,15 @@ fn read_bounded_line(
         let chunk = match reader.fill_buf() {
             Ok(c) => c,
             Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            // The read timeout tick: close idle connections on stop,
+            // otherwise keep waiting (for the rest of a partial line too —
+            // its sender is mid-write and owed a response).
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if stop.load(Ordering::SeqCst) && buf.is_empty() && dropped == 0 {
+                    return Ok(None);
+                }
+                continue;
+            }
             Err(e) => return Err(e),
         };
         if chunk.is_empty() {
@@ -189,15 +262,24 @@ fn finish_line(mut buf: Vec<u8>) -> std::result::Result<String, BadLine> {
     String::from_utf8(buf).map_err(|_| BadLine::NotUtf8)
 }
 
+/// Serves one connection until client EOF or shutdown drain. Every fully
+/// received request line is answered before the connection closes.
 fn serve_connection(
     stream: TcpStream,
     handler: &dyn LineHandler,
     stop: &AtomicBool,
+    listen_addr: Option<SocketAddr>,
 ) -> std::io::Result<()> {
+    // The timeout turns blocked reads into stop-flag polls; see
+    // read_bounded_line. Nagle would hold our small response segments
+    // hostage to the peer's delayed ACKs — this is a request/response
+    // protocol, so turn it off.
+    stream.set_read_timeout(Some(POLL_INTERVAL))?;
+    let _ = stream.set_nodelay(true);
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
-    while let Some(line) = read_bounded_line(&mut reader)? {
-        let (response, shutdown) = match line {
+    while let Some(line) = read_bounded_line(&mut reader, stop)? {
+        let (mut response, shutdown) = match line {
             Ok(line) => {
                 if line.trim().is_empty() {
                     continue;
@@ -216,22 +298,29 @@ fn serve_connection(
                 false,
             ),
         };
+        // One write per response: a split write of payload then newline is
+        // two small segments, and Nagle + delayed ACK can park the second
+        // one for tens of milliseconds.
+        response.push('\n');
         writer.write_all(response.as_bytes())?;
-        writer.write_all(b"\n")?;
         writer.flush()?;
         if shutdown {
             stop.store(true, Ordering::SeqCst);
-            // Wake the accept loop so it observes the stop flag.
-            wake_acceptor(&writer);
+            // Wake the acceptor so it observes the stop flag; the other
+            // workers observe it at their next poll tick.
+            wake_acceptor(listen_addr);
             break;
+        }
+        if stop.load(Ordering::SeqCst) {
+            break; // drain: another connection requested shutdown
         }
     }
     Ok(())
 }
 
-fn wake_acceptor(stream: &TcpStream) {
-    if let Ok(local) = stream.local_addr() {
-        let _ = TcpStream::connect(local);
+fn wake_acceptor(listen_addr: Option<SocketAddr>) {
+    if let Some(addr) = listen_addr {
+        let _ = TcpStream::connect(addr);
     }
 }
 
@@ -246,7 +335,8 @@ impl ServerHandle {
         &self.service
     }
 
-    /// Requests shutdown and joins the accept loop. Idempotent.
+    /// Requests a graceful shutdown and blocks until the acceptor has
+    /// drained and joined every worker. Idempotent.
     pub fn shutdown(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
         // Unblock `accept` with a throwaway connection.

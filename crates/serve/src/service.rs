@@ -23,6 +23,7 @@ use cpm_core::tree::BinomialTree;
 use cpm_core::units::Bytes;
 use cpm_estimate::EstimateConfig;
 use cpm_models::collective::{binomial_recursive, binomial_recursive_full};
+use cpm_stats::hist::{HistSnapshot, LogHistogram};
 use cpm_workload::{ModelSet, Plan, Trace};
 use parking_lot::{Mutex, RwLock};
 
@@ -31,9 +32,13 @@ use crate::registry::{fingerprint, ParamSet, Registry, Result, ServeError};
 /// Which estimated model answers a query.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ModelKind {
+    /// The paper's heterogeneous LMO model.
     Lmo,
+    /// Hockney's latency/bandwidth model.
     Hockney,
+    /// LogGP with a distinct gap per byte for large messages.
     Loggp,
+    /// Parameterized LogP: piecewise per-size overheads and gaps.
     Plogp,
 }
 
@@ -48,6 +53,7 @@ impl ModelKind {
         }
     }
 
+    /// Parses the wire name (`lmo|hockney|loggp|plogp`).
     pub fn parse(s: &str) -> Result<Self> {
         match s {
             "lmo" => Ok(ModelKind::Lmo),
@@ -60,6 +66,7 @@ impl ModelKind {
         }
     }
 
+    /// The wire name (the inverse of [`ModelKind::parse`]).
     pub fn as_str(self) -> &'static str {
         match self {
             ModelKind::Lmo => "lmo",
@@ -73,12 +80,16 @@ impl ModelKind {
 /// The collective operation being predicted.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Collective {
+    /// Root distributes a distinct block to every rank.
     Scatter,
+    /// Every rank sends its block to the root.
     Gather,
+    /// Root broadcasts one block to every rank.
     Bcast,
 }
 
 impl Collective {
+    /// Parses the wire name (`scatter|gather|bcast`).
     pub fn parse(s: &str) -> Result<Self> {
         match s {
             "scatter" => Ok(Collective::Scatter),
@@ -90,6 +101,7 @@ impl Collective {
         }
     }
 
+    /// The wire name (the inverse of [`Collective::parse`]).
     pub fn as_str(self) -> &'static str {
         match self {
             Collective::Scatter => "scatter",
@@ -102,11 +114,14 @@ impl Collective {
 /// The algorithm variant being predicted.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Algorithm {
+    /// Flat: the root exchanges with every rank directly.
     Linear,
+    /// Binomial tree: log2(n) rounds of doubling subtrees.
     Binomial,
 }
 
 impl Algorithm {
+    /// Parses the wire name (`linear|binomial`).
     pub fn parse(s: &str) -> Result<Self> {
         match s {
             "linear" => Ok(Algorithm::Linear),
@@ -117,6 +132,7 @@ impl Algorithm {
         }
     }
 
+    /// The wire name (the inverse of [`Algorithm::parse`]).
     pub fn as_str(self) -> &'static str {
         match self {
             Algorithm::Linear => "linear",
@@ -128,10 +144,15 @@ impl Algorithm {
 /// One prediction request against a resolved cluster.
 #[derive(Clone, Copy, Debug)]
 pub struct Query {
+    /// Model family answering the query.
     pub model: ModelKind,
+    /// The collective operation being predicted.
     pub collective: Collective,
+    /// The algorithm variant being predicted.
     pub algorithm: Algorithm,
+    /// Message size, bytes.
     pub m: Bytes,
+    /// Root rank of the collective.
     pub root: u32,
 }
 
@@ -151,7 +172,9 @@ pub struct Prediction {
 /// (must already be in the registry or loaded).
 #[derive(Clone, Debug)]
 pub enum ClusterRef {
+    /// An embedded cluster configuration, estimated on first sight.
     Config(Box<ClusterConfig>),
+    /// A fingerprint of an already-estimated (or persisted) cluster.
     Fingerprint(String),
 }
 
@@ -249,6 +272,71 @@ impl Inflight {
     }
 }
 
+/// A protocol verb, as tracked by the per-verb latency histograms.
+///
+/// Covers the core vocabulary plus the drift-extension verbs so one
+/// histogram array describes the whole wire surface of a drift-enabled
+/// server.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Verb {
+    /// `predict` — one collective prediction.
+    Predict,
+    /// `select` — model-based algorithm selection.
+    Select,
+    /// `estimate` — force estimation of an embedded config.
+    Estimate,
+    /// `plan` — critical-path prediction of a workload trace.
+    Plan,
+    /// `batch` — an array of predict/select/plan requests in one round trip.
+    Batch,
+    /// `history` — registry version lineage.
+    History,
+    /// `stats` — service counters and latency histograms.
+    Stats,
+    /// `observe` — drift-extension: ingest one measured transfer time.
+    Observe,
+    /// `drift-status` — drift-extension: staleness report.
+    DriftStatus,
+    /// `shutdown` — stop the server.
+    Shutdown,
+}
+
+/// Every tracked verb, in wire-stable reporting order.
+pub const VERBS: [Verb; 10] = [
+    Verb::Predict,
+    Verb::Select,
+    Verb::Estimate,
+    Verb::Plan,
+    Verb::Batch,
+    Verb::History,
+    Verb::Stats,
+    Verb::Observe,
+    Verb::DriftStatus,
+    Verb::Shutdown,
+];
+
+impl Verb {
+    /// The verb's wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Verb::Predict => "predict",
+            Verb::Select => "select",
+            Verb::Estimate => "estimate",
+            Verb::Plan => "plan",
+            Verb::Batch => "batch",
+            Verb::History => "history",
+            Verb::Stats => "stats",
+            Verb::Observe => "observe",
+            Verb::DriftStatus => "drift-status",
+            Verb::Shutdown => "shutdown",
+        }
+    }
+
+    fn index(self) -> usize {
+        VERBS.iter().position(|v| *v == self).unwrap()
+    }
+}
+
 /// Service counters, all monotonic.
 #[derive(Default)]
 pub struct Metrics {
@@ -269,18 +357,29 @@ pub struct Metrics {
     predict_count: AtomicU64,
     predict_ns_total: AtomicU64,
     predict_ns_max: AtomicU64,
+    /// Per-verb request latency histograms, indexed by [`VERBS`] order.
+    /// Shared across all pool workers; recording is wait-free.
+    latency: [LogHistogram; 10],
 }
 
 /// A point-in-time snapshot of [`Metrics`].
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct MetricsSnapshot {
+    /// Prediction-cache hits.
     pub hits: u64,
+    /// Prediction-cache misses.
     pub misses: u64,
+    /// Plan-cache hits.
     pub plan_hits: u64,
+    /// Plan-cache misses.
     pub plan_misses: u64,
+    /// Full estimation runs performed.
     pub estimations: u64,
+    /// Parameter sets loaded from disk instead of estimated.
     pub registry_loads: u64,
+    /// Parameter sets republished (drift refits).
     pub republishes: u64,
+    /// Predictions served (hit or miss).
     pub predict_count: u64,
     /// Mean prediction latency, nanoseconds.
     pub predict_ns_mean: f64,
@@ -295,6 +394,29 @@ impl Metrics {
         self.predict_ns_max.fetch_max(ns, Ordering::Relaxed);
     }
 
+    /// Records one request's end-to-end handling latency under its verb.
+    pub fn record_verb_latency(&self, verb: Verb, ns: u64) {
+        self.latency[verb.index()].record(ns);
+    }
+
+    /// The latency histogram of one verb (e.g. to merge into an
+    /// aggregator, or to snapshot for quantiles).
+    pub fn verb_latency(&self, verb: Verb) -> &LogHistogram {
+        &self.latency[verb.index()]
+    }
+
+    /// Snapshots every verb histogram that has recorded at least one
+    /// request, in [`VERBS`] order.
+    pub fn latency_snapshot(&self) -> Vec<(Verb, HistSnapshot)> {
+        VERBS
+            .iter()
+            .filter(|v| self.latency[v.index()].count() > 0)
+            .map(|v| (*v, self.latency[v.index()].snapshot()))
+            .collect()
+    }
+
+    /// A point-in-time copy of the counters (latency histograms are
+    /// snapshotted separately via [`Metrics::latency_snapshot`]).
     pub fn snapshot(&self) -> MetricsSnapshot {
         let count = self.predict_count.load(Ordering::Relaxed);
         let total = self.predict_ns_total.load(Ordering::Relaxed);
@@ -356,6 +478,7 @@ struct PlanKey {
 /// [`cpm_workload::Plan`]).
 #[derive(Clone, Debug)]
 pub struct PlannedWorkload {
+    /// The critical-path plan (shared with the plan cache).
     pub plan: Arc<Plan>,
     /// Fingerprint of the cluster the plan is for.
     pub fingerprint: String,

@@ -1,0 +1,292 @@
+//! Log-spaced fixed-bucket latency histograms.
+//!
+//! [`LogHistogram`] is built for the serving hot path: `record` is a pair
+//! of relaxed atomic increments (no locks, no allocation), so many worker
+//! threads can stream latencies into one shared histogram — or into
+//! per-worker histograms that are later combined with the lock-free,
+//! order-independent [`LogHistogram::merge_from`].
+//!
+//! The bucket layout is fixed at compile time (an HdrHistogram-style
+//! log-linear grid: [`SUB_BUCKETS`] linear sub-buckets per power of two),
+//! so every histogram is mergeable with every other and a snapshot is a
+//! plain counts vector. With 16 sub-buckets per octave the relative
+//! quantile error is bounded by 1/16 ≈ 6 %, which is plenty for p50/p95/
+//! p99 tail reporting.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// log2 of the number of linear sub-buckets per power of two.
+const SUB_BITS: u32 = 4;
+
+/// Linear sub-buckets per power of two (resolution of the grid).
+pub const SUB_BUCKETS: u64 = 1 << SUB_BITS;
+
+/// Highest power of two the grid resolves exactly; anything at or above
+/// 2^[`MAX_OCTAVE`] lands in the final overflow bucket. 2^40 ns ≈ 18 min,
+/// far beyond any request latency this histogram is meant for.
+const MAX_OCTAVE: u32 = 40;
+
+/// Total bucket count: the exact small-value buckets, the log-linear
+/// octave grid, and one overflow bucket.
+pub const BUCKETS: usize = SUB_BUCKETS as usize // values in [0, SUB_BUCKETS)
+    + ((MAX_OCTAVE - SUB_BITS) as usize) * SUB_BUCKETS as usize
+    + 1; // overflow
+
+/// Maps a value to its bucket index. Total and monotone: every `u64` maps
+/// to exactly one of [`BUCKETS`] buckets, and larger values never map to
+/// smaller indices.
+fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS {
+        return v as usize; // exact buckets for tiny values
+    }
+    let octave = 63 - v.leading_zeros(); // floor(log2 v) >= SUB_BITS
+    if octave >= MAX_OCTAVE {
+        return BUCKETS - 1;
+    }
+    // Top SUB_BITS bits below the leading one select the linear sub-bucket.
+    let sub = (v >> (octave - SUB_BITS)) - SUB_BUCKETS;
+    (octave - SUB_BITS + 1) as usize * SUB_BUCKETS as usize + sub as usize
+}
+
+/// The exclusive upper bound of bucket `i` — the value reported for any
+/// quantile that lands in the bucket (a conservative, ≤6 %-high estimate).
+fn bucket_upper(i: usize) -> u64 {
+    if i < SUB_BUCKETS as usize {
+        return i as u64 + 1;
+    }
+    if i >= BUCKETS - 1 {
+        return u64::MAX;
+    }
+    let rest = i - SUB_BUCKETS as usize;
+    let octave = SUB_BITS + (rest / SUB_BUCKETS as usize) as u32;
+    let sub = (rest % SUB_BUCKETS as usize) as u64;
+    (SUB_BUCKETS + sub + 1) << (octave - SUB_BITS)
+}
+
+/// A streaming-safe latency histogram with log-spaced fixed buckets.
+///
+/// All operations take `&self`; the counters are relaxed atomics. Counts
+/// are exact; values are quantized to the bucket grid (≤6 % relative
+/// error), so quantiles read from a snapshot are grid-accurate.
+pub struct LogHistogram {
+    counts: Box<[AtomicU64; BUCKETS]>,
+    total: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            counts: Box::new([0u64; BUCKETS].map(AtomicU64::new)),
+            total: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value (two relaxed atomic adds — wait-free).
+    pub fn record(&self, v: u64) {
+        self.counts[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Adds every bucket of `other` into `self` without locking either
+    /// side. Merging is commutative and associative: merging per-worker
+    /// histograms in any order yields identical counts.
+    pub fn merge_from(&self, other: &LogHistogram) {
+        for (mine, theirs) in self.counts.iter().zip(other.counts.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.total
+            .fetch_add(other.total.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the bucket counts for quantile queries.
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            counts: self
+                .counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            count: self.total.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An immutable copy of a [`LogHistogram`]'s counts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Per-bucket counts, [`BUCKETS`] entries.
+    pub counts: Vec<u64>,
+    /// Total recorded values.
+    pub count: u64,
+    /// Sum of recorded values (for the mean).
+    pub sum: u64,
+}
+
+impl HistSnapshot {
+    /// The value at quantile `q` in `[0, 1]`: the upper bound of the first
+    /// bucket whose cumulative count reaches `q·count`. Returns 0 for an
+    /// empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return bucket_upper(i);
+            }
+        }
+        bucket_upper(BUCKETS - 1)
+    }
+
+    /// Mean of the recorded values (exact, from the running sum).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Cumulative `(upper_bound, cumulative_count)` pairs for the
+    /// non-empty prefix of the grid — the exposition-format shape
+    /// (Prometheus `le` buckets).
+    pub fn cumulative(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c > 0 {
+                cum += c;
+                out.push((bucket_upper(i), cum));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bucket_index_is_total_and_monotone() {
+        let mut prev = 0usize;
+        let mut v = 0u64;
+        while v < 1 << 42 {
+            let i = bucket_index(v);
+            assert!(i < BUCKETS, "v={v} i={i}");
+            assert!(i >= prev, "v={v}: index went backwards");
+            prev = i;
+            v = v * 2 + 1;
+        }
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_upper_bounds_its_members() {
+        for v in [0u64, 1, 7, 8, 100, 1_000, 123_456, 1 << 30, (1 << 40) - 1] {
+            let i = bucket_index(v);
+            assert!(v < bucket_upper(i), "v={v} not below upper({i})");
+            if i > 0 {
+                assert!(v >= bucket_upper(i - 1), "v={v} below previous bound");
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_of_a_known_distribution() {
+        let h = LogHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v * 1000); // 1µs .. 1ms in ns
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        let p50 = s.quantile(0.5) as f64;
+        let p99 = s.quantile(0.99) as f64;
+        // Grid error is ≤ 1/16; allow a full bucket of slack.
+        assert!((p50 / 500_000.0 - 1.0).abs() < 0.15, "p50={p50}");
+        assert!((p99 / 990_000.0 - 1.0).abs() < 0.15, "p99={p99}");
+        assert!(s.quantile(1.0) >= s.quantile(0.99));
+        assert!((s.mean() - 500_500.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let s = LogHistogram::new().snapshot();
+        assert_eq!(s.quantile(0.5), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert!(s.cumulative().is_empty());
+    }
+
+    #[test]
+    fn concurrent_records_are_all_counted() {
+        let h = std::sync::Arc::new(LogHistogram::new());
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let h = std::sync::Arc::clone(&h);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000 {
+                    h.record(t * 1000 + i);
+                }
+            }));
+        }
+        for t in handles {
+            t.join().unwrap();
+        }
+        assert_eq!(h.count(), 8000);
+        assert_eq!(h.snapshot().counts.iter().sum::<u64>(), 8000);
+    }
+
+    proptest! {
+        /// Merging per-worker histograms in any order equals recording
+        /// everything into one histogram: merge is order-independent.
+        #[test]
+        fn merge_is_order_independent(
+            values in proptest::collection::vec(0u64..1 << 41, 1..200),
+            assignment in proptest::collection::vec(0usize..4, 1..200),
+        ) {
+            let reference = LogHistogram::new();
+            let workers: Vec<LogHistogram> =
+                (0..4).map(|_| LogHistogram::new()).collect();
+            for (i, &v) in values.iter().enumerate() {
+                reference.record(v);
+                workers[assignment[i % assignment.len()]].record(v);
+            }
+            // Merge forward and in reverse into two fresh histograms.
+            let fwd = LogHistogram::new();
+            for w in &workers {
+                fwd.merge_from(w);
+            }
+            let rev = LogHistogram::new();
+            for w in workers.iter().rev() {
+                rev.merge_from(w);
+            }
+            prop_assert_eq!(fwd.snapshot(), rev.snapshot());
+            prop_assert_eq!(fwd.snapshot(), reference.snapshot());
+        }
+    }
+}

@@ -20,10 +20,14 @@
 //!   *empirical* parameters of the LMO model.
 //! * [`online`] — streaming change detection (EWMA, two-sided CUSUM) for
 //!   drift monitoring of fitted parameters.
+//! * [`hist`] — log-spaced fixed-bucket latency histograms with wait-free
+//!   recording and lock-free, order-independent merging (the serving
+//!   layer's per-verb p50/p95/p99 source).
 
 pub mod ci;
 pub mod compare;
 pub mod escalation;
+pub mod hist;
 pub mod online;
 pub mod piecewise;
 pub mod regression;
@@ -33,6 +37,7 @@ pub mod tdist;
 pub use ci::{AdaptiveBenchmark, BenchResult, ConfidenceInterval};
 pub use compare::{mode_estimate, Histogram, WelchTest};
 pub use escalation::{EscalationProfile, ThresholdDetection};
+pub use hist::{HistSnapshot, LogHistogram};
 pub use online::{Cusum, CusumAlarm, CusumConfig, Ewma};
 pub use piecewise::PiecewiseLinear;
 pub use regression::LinearFit;

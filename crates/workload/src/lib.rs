@@ -14,19 +14,19 @@
 //! * [`gen`] — generators for the canonical workloads: training step
 //!   (reduce+bcast allreduce per layer), pipeline-parallel p2p chain,
 //!   MoE-style alltoall, 2-D halo exchange.
-//! * [`plan`] — the analytic engine: lowers a trace into per-rank
+//! * [`mod@plan`] — the analytic engine: lowers a trace into per-rank
 //!   primitive programs (the per-rank dependency DAG) and predicts the
 //!   end-to-end makespan by critical-path evaluation under each model
 //!   (extended LMO vs Hockney/LogGP/PLogP), emitting per-op algorithm
 //!   choices and a per-phase breakdown.
-//! * [`replay`] — the execution engine: replays the *same* lowered
+//! * [`mod@replay`] — the execution engine: replays the *same* lowered
 //!   programs as a real [`cpm_vmpi`] program against the [`cpm_netsim`]
 //!   DES, so the observed makespan emerges from the simulator, then
 //!   reports predicted-vs-observed residuals per op (feedable into
 //!   `cpm-drift` observations).
 //!
 //! The analytic engine and the replay execute the same lowering
-//! ([`lower`]), so under the extended LMO model — whose parameters name
+//! ([`mod@lower`]), so under the extended LMO model — whose parameters name
 //! every resource the simulator charges (tx engine, link, rx engine) —
 //! prediction and observation agree closely outside the simulator's
 //! injected-irregularity regions. The homogeneous models, which "cannot
@@ -34,6 +34,8 @@
 //! evaluated with whole-transfer sender occupancy and no receive-side
 //! resource: exactly the modelling gap the paper describes, surfaced at
 //! application level.
+
+#![warn(missing_docs)]
 
 pub mod gen;
 pub mod lower;

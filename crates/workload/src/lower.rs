@@ -6,8 +6,8 @@
 //! binomial trees forward largest sub-tree first, reduce combines after
 //! every receive, the ring allgather alternates even/odd send order, the
 //! rotation alltoall walks rounds `k = 1..n`). The same [`Lowered`]
-//! program is consumed by both the analytic engine ([`crate::plan`]) and
-//! the DES replay ([`crate::replay`]) — the two halves cannot drift apart
+//! program is consumed by both the analytic engine ([`mod@crate::plan`]) and
+//! the DES replay ([`mod@crate::replay`]) — the two halves cannot drift apart
 //! because there is only one lowering.
 
 use cpm_core::rank::Rank;
@@ -20,9 +20,24 @@ use crate::trace::{OpKind, Trace};
 /// (buffered: returns when the local tx engine finishes).
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum Prim {
-    Send { dst: Rank, m: Bytes },
-    Recv { src: Rank },
-    Compute { secs: f64 },
+    /// Blocking-buffered send of `m` bytes to `dst`.
+    Send {
+        /// Destination rank.
+        dst: Rank,
+        /// Message size, bytes.
+        m: Bytes,
+    },
+    /// Blocking receive of the next message from `src`.
+    Recv {
+        /// Source rank.
+        src: Rank,
+    },
+    /// Local computation for `secs` seconds.
+    Compute {
+        /// Duration, seconds.
+        secs: f64,
+    },
+    /// Global synchronization with every other rank.
     Barrier,
 }
 
@@ -30,20 +45,27 @@ pub enum Prim {
 /// belongs to.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct RankPrim {
+    /// Index into `trace.ops` of the op this primitive implements.
     pub op: usize,
+    /// The primitive itself.
     pub prim: Prim,
 }
 
 /// The algorithm a collective op was lowered with.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Algorithm {
+    /// Flat: the root exchanges with every rank directly.
     Linear,
+    /// Binomial tree over the participating ranks.
     Binomial,
+    /// Ring schedule (allgather).
     Ring,
+    /// Rank-rotation schedule (alltoall).
     Rotation,
 }
 
 impl Algorithm {
+    /// The name used in plan output and golden files.
     pub fn as_str(&self) -> &'static str {
         match self {
             Algorithm::Linear => "linear",
@@ -58,7 +80,9 @@ impl Algorithm {
 /// algorithm per op.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Lowered {
+    /// Number of ranks.
     pub n: usize,
+    /// The primitive program of each rank, in program order.
     pub per_rank: Vec<Vec<RankPrim>>,
     /// Effective algorithm per trace op (`None` for p2p/compute/barrier).
     pub algorithms: Vec<Option<Algorithm>>,

@@ -1,7 +1,7 @@
 //! The analytic engine: critical-path evaluation of a lowered trace.
 //!
 //! [`plan`] compiles a trace into the per-rank dependency DAG (via
-//! [`crate::lower`]) and predicts the end-to-end makespan by evaluating
+//! [`mod@crate::lower`]) and predicts the end-to-end makespan by evaluating
 //! the DAG with a deterministic event-driven machine under the chosen
 //! model:
 //!
@@ -39,13 +39,18 @@ use crate::trace::{OpKind, Trace, WorkloadError};
 /// The model a plan is evaluated under.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ModelKind {
+    /// The paper's heterogeneous LMO model.
     Lmo,
+    /// Hockney's latency/bandwidth model.
     Hockney,
+    /// LogGP with a distinct gap per byte for large messages.
     Loggp,
+    /// Parameterized LogP: piecewise per-size overheads and gaps.
     Plogp,
 }
 
 impl ModelKind {
+    /// Every model, in reporting order.
     pub const ALL: [ModelKind; 4] = [
         ModelKind::Lmo,
         ModelKind::Hockney,
@@ -53,6 +58,7 @@ impl ModelKind {
         ModelKind::Plogp,
     ];
 
+    /// The name used on the wire and in reports.
     pub fn as_str(&self) -> &'static str {
         match self {
             ModelKind::Lmo => "lmo",
@@ -62,6 +68,7 @@ impl ModelKind {
         }
     }
 
+    /// Parses the wire name (the inverse of [`ModelKind::as_str`]).
     pub fn parse(s: &str) -> Option<ModelKind> {
         match s {
             "lmo" => Some(ModelKind::Lmo),
@@ -82,13 +89,18 @@ impl std::fmt::Display for ModelKind {
 /// A concrete parameterized model to plan under.
 #[derive(Clone, Debug)]
 pub enum PlanModel {
+    /// An estimated extended-LMO parameter set.
     Lmo(LmoExtended),
+    /// An estimated per-pair Hockney fit.
     Hockney(HockneyHet),
+    /// An estimated LogGP fit.
     Loggp(LogGp),
+    /// An estimated PLogP fit (piecewise-linear in the size).
     Plogp(PLogP),
 }
 
 impl PlanModel {
+    /// Which family this concrete model belongs to.
     pub fn kind(&self) -> ModelKind {
         match self {
             PlanModel::Lmo(_) => ModelKind::Lmo,
@@ -112,13 +124,18 @@ impl PlanModel {
 /// them.
 #[derive(Clone, Debug)]
 pub struct ModelSet {
+    /// The extended-LMO parameter set.
     pub lmo: LmoExtended,
+    /// The per-pair Hockney fit.
     pub hockney: HockneyHet,
+    /// The LogGP fit.
     pub loggp: LogGp,
+    /// The PLogP fit.
     pub plogp: PLogP,
 }
 
 impl ModelSet {
+    /// The concrete model of the requested family (cloned out).
     pub fn get(&self, kind: ModelKind) -> PlanModel {
         match kind {
             ModelKind::Lmo => PlanModel::Lmo(self.lmo.clone()),
@@ -132,8 +149,11 @@ impl ModelSet {
 /// Per-op slice of a plan.
 #[derive(Clone, Debug, PartialEq)]
 pub struct OpReport {
+    /// The trace op id.
     pub id: u64,
+    /// The op's phase label.
     pub phase: String,
+    /// The op kind name (`"p2p"`, `"scatter"`, ...).
     pub kind: String,
     /// Chosen algorithm for collective ops.
     pub algorithm: Option<String>,
@@ -146,18 +166,26 @@ pub struct OpReport {
 /// Per-phase breakdown: the span of all ops sharing a phase label.
 #[derive(Clone, Debug, PartialEq)]
 pub struct PhaseReport {
+    /// The phase label.
     pub phase: String,
+    /// Earliest predicted activity in the phase, seconds from t=0.
     pub start: f64,
+    /// Latest predicted activity in the phase.
     pub end: f64,
 }
 
 /// The analytic prediction for one trace under one model.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Plan {
+    /// The model the plan was evaluated under.
     pub model: ModelKind,
+    /// Canonical hash of the planned trace.
     pub trace_hash: String,
+    /// Predicted end-to-end makespan, seconds.
     pub makespan: f64,
+    /// Per-op schedule windows and algorithm choices.
     pub ops: Vec<OpReport>,
+    /// Per-phase spans.
     pub phases: Vec<PhaseReport>,
 }
 

@@ -19,10 +19,15 @@ use crate::trace::{OpKind, Trace, WorkloadError};
 /// Observed window of one op.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ReplayOp {
+    /// The trace op id.
     pub id: u64,
+    /// The op's phase label.
     pub phase: String,
+    /// The op kind name (`"p2p"`, `"scatter"`, ...).
     pub kind: String,
+    /// Observed start of the op's first primitive, seconds from t=0.
     pub start: f64,
+    /// Observed end of the op's last primitive.
     pub end: f64,
 }
 
@@ -31,10 +36,13 @@ pub struct ReplayOp {
 pub struct ReplayReport {
     /// Virtual time when the last rank finished, seconds.
     pub makespan: f64,
+    /// Observed per-op windows.
     pub ops: Vec<ReplayOp>,
     /// Kernel message counter (sent == received for a clean replay).
     pub msgs_sent: usize,
+    /// Messages delivered by the simulator kernel.
     pub msgs_received: usize,
+    /// Discrete events the simulator processed.
     pub events: usize,
 }
 
@@ -143,10 +151,15 @@ pub fn replay(
 /// Predicted-vs-observed residual of one op.
 #[derive(Clone, Debug, PartialEq)]
 pub struct OpResidual {
+    /// The trace op id.
     pub id: u64,
+    /// The op's phase label.
     pub phase: String,
+    /// The op kind name.
     pub kind: String,
+    /// Predicted op duration, seconds.
     pub predicted: f64,
+    /// Observed (replayed) op duration, seconds.
     pub observed: f64,
     /// Signed relative error `(predicted − observed) / observed`.
     pub rel: f64,
@@ -157,26 +170,35 @@ pub struct OpResidual {
 /// `dst`.
 #[derive(Clone, Debug, PartialEq)]
 pub struct P2pObservation {
+    /// Sender rank.
     pub src: u32,
+    /// Receiver rank.
     pub dst: u32,
+    /// Message size, bytes.
     pub m: Bytes,
+    /// Observed transfer time, seconds.
     pub seconds: f64,
 }
 
 /// The full predicted-vs-observed comparison for one (plan, replay) pair.
 #[derive(Clone, Debug, PartialEq)]
 pub struct CompareReport {
+    /// The model whose plan is being compared.
     pub model: crate::plan::ModelKind,
+    /// The plan's predicted makespan, seconds.
     pub predicted_makespan: f64,
+    /// The replay's observed makespan, seconds.
     pub observed_makespan: f64,
     /// Signed relative makespan error.
     pub rel_error: f64,
+    /// Per-op residuals.
     pub ops: Vec<OpResidual>,
     /// Observations for the trace's plain p2p ops, ready to feed drift.
     pub observations: Vec<P2pObservation>,
 }
 
 impl CompareReport {
+    /// JSON form used by the CLI and golden tests.
     pub fn to_value(&self) -> Value {
         let ops: Vec<Value> = self
             .ops

@@ -13,7 +13,7 @@
 //! participating rank, on that rank's previous op in trace order. That is
 //! exactly the ordering an MPI program written as a sequence of calls
 //! would impose, and it is the order both the analytic engine and the DES
-//! replay execute (see [`crate::lower`]).
+//! replay execute (see [`mod@crate::lower`]).
 //!
 //! The trace hash mirrors the registry fingerprint of `cpm-serve`:
 //! canonical JSON (recursively sorted map keys) hashed twice with FNV-1a
@@ -59,22 +59,62 @@ impl std::error::Error for WorkloadError {}
 #[derive(Clone, Debug, PartialEq)]
 pub enum OpKind {
     /// A single point-to-point message.
-    P2p { src: Rank, dst: Rank, m: Bytes },
+    P2p {
+        /// Sender.
+        src: Rank,
+        /// Receiver.
+        dst: Rank,
+        /// Message size, bytes.
+        m: Bytes,
+    },
     /// Scatter of one `m`-byte block per non-root process.
-    Scatter { root: Rank, m: Bytes },
+    Scatter {
+        /// Root rank.
+        root: Rank,
+        /// Per-process block size, bytes.
+        m: Bytes,
+    },
     /// Gather of one `m`-byte block per non-root process.
-    Gather { root: Rank, m: Bytes },
+    Gather {
+        /// Root rank.
+        root: Rank,
+        /// Per-process block size, bytes.
+        m: Bytes,
+    },
     /// Broadcast of an `m`-byte payload.
-    Bcast { root: Rank, m: Bytes },
+    Bcast {
+        /// Root rank.
+        root: Rank,
+        /// Payload size, bytes.
+        m: Bytes,
+    },
     /// Reduction of `m`-byte vectors; `gamma` is the combine cost per
     /// byte (seconds/byte) charged wherever two vectors meet.
-    Reduce { root: Rank, m: Bytes, gamma: f64 },
+    Reduce {
+        /// Root rank receiving the combined vector.
+        root: Rank,
+        /// Vector size, bytes.
+        m: Bytes,
+        /// Combine cost per byte, seconds.
+        gamma: f64,
+    },
     /// Ring allgather of one `m`-byte block per process.
-    Allgather { m: Bytes },
+    Allgather {
+        /// Per-process block size, bytes.
+        m: Bytes,
+    },
     /// Rotation alltoall of one `m`-byte block per pair.
-    Alltoall { m: Bytes },
+    Alltoall {
+        /// Per-pair block size, bytes.
+        m: Bytes,
+    },
     /// Local computation on the listed ranks.
-    Compute { ranks: Vec<Rank>, seconds: f64 },
+    Compute {
+        /// The ranks that compute.
+        ranks: Vec<Rank>,
+        /// Duration, seconds.
+        seconds: f64,
+    },
     /// Full barrier.
     Barrier,
 }
@@ -108,8 +148,11 @@ impl OpKind {
 /// One trace line: a stable id, a phase label, and the operation.
 #[derive(Clone, Debug, PartialEq)]
 pub struct TraceOp {
+    /// Stable op id, unique within the trace.
     pub id: u64,
+    /// Phase label (ops aggregate into per-phase plan breakdowns).
     pub phase: String,
+    /// The operation.
     pub kind: OpKind,
 }
 

@@ -140,9 +140,10 @@ statistics over --reps repetitions.",
     },
     CommandSpec {
         name: "serve",
-        flags: &["store", "addr", "seed", "reps"],
+        flags: &["store", "addr", "seed", "reps", "workers"],
         help: "\
 USAGE: cpm serve [--store DIR] [--addr HOST:PORT] [--seed N] [--reps N]
+                 [--workers N]
 
 Runs the prediction service: a JSON-lines TCP server backed by a
 fingerprinted parameter registry at --store (default cpm-store). The first
@@ -150,10 +151,13 @@ query for a cluster estimates all model parameters once and persists them;
 later queries — across restarts — are served from the store and an
 in-memory prediction cache. --addr defaults to 127.0.0.1:7971 (use port 0
 for an ephemeral port); --seed and --reps configure the estimation runs.
-The server speaks the drift-extended protocol: beyond the core verbs it
-accepts `observe` (ingest a measured transfer time into the drift monitor),
-`drift-status` (staleness report) and `history` (version lineage).
-Send the `shutdown` verb (`cpm query --verb shutdown`) to stop it.",
+Connections are served by a pool of --workers threads (default 8), so up
+to N clients are handled concurrently; --workers 1 restores serial
+serving. The server speaks the drift-extended protocol: beyond the core
+verbs it accepts `observe` (ingest a measured transfer time into the
+drift monitor), `drift-status` (staleness report) and `history` (version
+lineage). Send the `shutdown` verb (`cpm query --verb shutdown`) to stop
+it; in-flight requests are drained before the server exits.",
         run: cmd_serve,
     },
     CommandSpec {
@@ -172,6 +176,8 @@ Send the `shutdown` verb (`cpm query --verb shutdown`) to stop it.",
             "src",
             "dst",
             "seconds",
+            "format",
+            "batch",
         ],
         help: "\
 USAGE: cpm query [--addr HOST:PORT]
@@ -180,15 +186,23 @@ USAGE: cpm query [--addr HOST:PORT]
                  [--alg linear|binomial] [--m BYTES] [--root R]
                  [--config FILE | --fingerprint FP]
                  [--kind p2p|gather] [--src R] [--dst R] [--seconds T]
+                 [--format json|text] [--batch FILE|-]
 
 Sends one request to a running `cpm serve` (default 127.0.0.1:7971) and
 prints the JSON response. predict/select/estimate identify the cluster by
 an embedded --config file or by --fingerprint; stats and shutdown need
-neither. The drift verbs take --fingerprint: observe ingests one measured
-transfer time (--kind p2p with --src/--dst, or --kind gather with --root,
-plus --m and --seconds) and reports any drift events it raises;
-drift-status prints the staleness report; history lists parameter versions
-with their re-estimation lineage.",
+neither. --verb stats reports cache counters plus per-verb latency
+quantiles; --format text renders it as a Prometheus-style exposition
+instead of JSON. The drift verbs take --fingerprint: observe ingests one
+measured transfer time (--kind p2p with --src/--dst, or --kind gather
+with --root, plus --m and --seconds) and reports any drift events it
+raises; drift-status prints the staleness report; history lists parameter
+versions with their re-estimation lineage.
+
+--batch FILE sends every JSON request line in FILE (`-` for stdin) as one
+`batch` round trip — the elements must be predict, select or plan
+requests — and prints one response line per element; the exit status is
+non-zero if any element failed.",
         run: cmd_query,
     },
     CommandSpec {
@@ -702,6 +716,14 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
         est,
         ..ServiceConfig::default()
     };
+    let workers = opts
+        .get("workers")
+        .map(|s| s.parse::<usize>().map_err(|e| format!("--workers: {e}")))
+        .transpose()?
+        .unwrap_or(cpm::serve::DEFAULT_WORKERS);
+    if workers == 0 {
+        return Err("--workers must be at least 1".into());
+    }
     let service = Arc::new(Service::open(store, cfg).map_err(|e| e.to_string())?);
     println!(
         "store: {store} ({} parameter set(s) on disk)",
@@ -710,9 +732,11 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
     // Wrap the core service in the drift-aware handler: the server then
     // also accepts the observe and drift-status verbs.
     let handler = DriftService::new(Arc::clone(&service), DriftConfig::default());
-    let server = Server::bind_with(service, handler, addr).map_err(|e| e.to_string())?;
+    let server = Server::bind_with(service, handler, addr)
+        .map_err(|e| e.to_string())?
+        .workers(workers);
     println!(
-        "cpm-serve listening on {} (drift verbs enabled)",
+        "cpm-serve listening on {} ({workers} worker(s), drift verbs enabled)",
         server.addr()
     );
     server.spawn().join();
@@ -1026,7 +1050,15 @@ fn build_query_request(opts: &Opts) -> Result<Value, String> {
                 );
             }
         }
-        "estimate" | "drift-status" | "history" | "stats" | "shutdown" => {}
+        "stats" => {
+            if let Some(format) = opts.get("format") {
+                if !matches!(format.as_str(), "json" | "text") {
+                    return Err(format!("unknown --format {format:?} (json|text)"));
+                }
+                push("format", Value::Str(format.clone()));
+            }
+        }
+        "estimate" | "drift-status" | "history" | "shutdown" => {}
         other => {
             return Err(format!(
                 "unknown verb {other:?} (expected predict|select|estimate|observe|\
@@ -1206,10 +1238,10 @@ fn cmd_workload_compare(opts: &Opts) -> Result<(), String> {
     print_pretty(&cmp.to_value())
 }
 
-fn cmd_query(opts: &Opts) -> Result<(), String> {
-    let addr = opts.get("addr").map(String::as_str).unwrap_or(DEFAULT_ADDR);
-    let request = build_query_request(opts)?;
-    let line = serde_json::to_string(&request).map_err(|e| e.to_string())?;
+/// One round trip against a running server: returns the raw response
+/// line and its parsed form.
+fn send_query(addr: &str, request: &Value) -> Result<(String, Value), String> {
+    let line = serde_json::to_string(request).map_err(|e| e.to_string())?;
     let stream = TcpStream::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
     let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
     writer
@@ -1220,14 +1252,86 @@ fn cmd_query(opts: &Opts) -> Result<(), String> {
     BufReader::new(stream)
         .read_line(&mut response)
         .map_err(|e| e.to_string())?;
-    let response = response.trim_end();
+    let response = response.trim_end().to_string();
     if response.is_empty() {
         return Err("server closed the connection without responding".into());
     }
-    println!("{response}");
-    let parsed: Value = serde_json::from_str(response).map_err(|e| e.to_string())?;
-    match parsed.get("ok") {
-        Some(Value::Bool(true)) => Ok(()),
-        _ => Err("request failed".into()),
+    let parsed: Value = serde_json::from_str(&response).map_err(|e| e.to_string())?;
+    Ok((response, parsed))
+}
+
+fn is_ok(v: &Value) -> bool {
+    matches!(v.get("ok"), Some(Value::Bool(true)))
+}
+
+/// `cpm query --batch FILE|-`: every JSON request line of FILE becomes
+/// one element of a single `batch` round trip; the per-element responses
+/// are printed one per line, in request order.
+fn query_batch(addr: &str, path: &str) -> Result<(), String> {
+    let raw = if path == "-" {
+        let mut buf = String::new();
+        std::io::Read::read_to_string(&mut std::io::stdin(), &mut buf)
+            .map_err(|e| format!("stdin: {e}"))?;
+        buf
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?
+    };
+    let requests: Vec<Value> = raw
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .enumerate()
+        .map(|(i, l)| {
+            serde_json::from_str(l).map_err(|e| format!("batch request {i} is not json: {e}"))
+        })
+        .collect::<Result<_, _>>()?;
+    if requests.is_empty() {
+        return Err("the batch file contains no request lines".into());
+    }
+    let batch = Value::Map(vec![
+        ("verb".to_string(), Value::Str("batch".to_string())),
+        ("requests".to_string(), Value::Seq(requests)),
+    ]);
+    let (raw, parsed) = send_query(addr, &batch)?;
+    if !is_ok(&parsed) {
+        println!("{raw}");
+        return Err("batch request failed".into());
+    }
+    let Some(Value::Seq(responses)) = parsed.get("responses") else {
+        return Err(format!("malformed batch response: {raw}"));
+    };
+    let mut failed = 0usize;
+    for r in responses {
+        println!("{}", serde_json::to_string(r).map_err(|e| e.to_string())?);
+        if !is_ok(r) {
+            failed += 1;
+        }
+    }
+    if failed > 0 {
+        return Err(format!(
+            "{failed} of {} batch requests failed",
+            responses.len()
+        ));
+    }
+    Ok(())
+}
+
+fn cmd_query(opts: &Opts) -> Result<(), String> {
+    let addr = opts.get("addr").map(String::as_str).unwrap_or(DEFAULT_ADDR);
+    if let Some(path) = opts.get("batch") {
+        return query_batch(addr, path);
+    }
+    let request = build_query_request(opts)?;
+    let (raw, parsed) = send_query(addr, &request)?;
+    // A text-format stats response is an exposition document wrapped in
+    // JSON; unwrap it for the terminal (and for piping to scrapers).
+    match parsed.get("text").and_then(Value::as_str) {
+        Some(text) if is_ok(&parsed) => print!("{text}"),
+        _ => println!("{raw}"),
+    }
+    if is_ok(&parsed) {
+        Ok(())
+    } else {
+        Err("request failed".into())
     }
 }

@@ -1,42 +1,141 @@
-//! Offline stand-in for `crossbeam`, backed by `std::sync::mpsc`.
+//! Offline stand-in for `crossbeam`, providing the subset the workspace
+//! uses: MPMC channels with `crossbeam`'s `send`/`recv`/`try_recv` result
+//! types and disconnect semantics.
 //!
-//! The workspace uses crossbeam channels in an mpsc pattern only
-//! (cloned senders, one receiver per endpoint), so the std channel is a
-//! drop-in: same `send`/`recv` result types, same disconnect semantics
-//! when every sender is dropped.
+//! The original std-`mpsc`-backed stub supported only a single consumer;
+//! the serve worker pool hands accepted connections to N workers through
+//! one shared queue, so the channel is now a small MPMC built from a
+//! `Mutex<VecDeque>` + `Condvar` — the same blocking semantics as
+//! `crossbeam::channel::unbounded` for the patterns used here (cloned
+//! senders *and* cloned receivers, disconnect when the other side is
+//! fully dropped).
 
 pub mod channel {
-    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
 
-    pub struct Sender<T>(std::sync::mpsc::Sender<T>);
+    /// Error returned by [`Sender::send`] when every receiver is gone.
+    /// Carries the unsent value, like `std::sync::mpsc::SendError`.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// every sender is gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`]: nothing queued right now
+    /// ([`TryRecvError::Empty`]) or nothing queued ever again
+    /// ([`TryRecvError::Disconnected`]).
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty but senders still exist.
+        Empty,
+        /// The channel is empty and every sender has been dropped.
+        Disconnected,
+    }
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        ready: Condvar,
+    }
+
+    /// The sending half of an unbounded MPMC channel. Cloneable.
+    pub struct Sender<T>(Arc<Shared<T>>);
+
+    /// The receiving half of an unbounded MPMC channel. Cloneable — every
+    /// clone competes for messages from the same queue (work-stealing
+    /// worker-pool pattern).
+    pub struct Receiver<T>(Arc<Shared<T>>);
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
-            Sender(self.0.clone())
+            self.0.state.lock().unwrap().senders += 1;
+            Sender(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.0.state.lock().unwrap().receivers += 1;
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.0.state.lock().unwrap();
+            state.senders -= 1;
+            if state.senders == 0 {
+                // Receivers blocked in recv() must observe the disconnect.
+                self.0.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.0.state.lock().unwrap().receivers -= 1;
         }
     }
 
     impl<T> Sender<T> {
+        /// Queues `value`, failing only when every receiver is gone.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            self.0.send(value)
+            let mut state = self.0.state.lock().unwrap();
+            if state.receivers == 0 {
+                return Err(SendError(value));
+            }
+            state.queue.push_back(value);
+            drop(state);
+            self.0.ready.notify_one();
+            Ok(())
         }
     }
-
-    pub struct Receiver<T>(std::sync::mpsc::Receiver<T>);
 
     impl<T> Receiver<T> {
+        /// Blocks until a message arrives or every sender is dropped.
         pub fn recv(&self) -> Result<T, RecvError> {
-            self.0.recv()
+            let mut state = self.0.state.lock().unwrap();
+            loop {
+                if let Some(value) = state.queue.pop_front() {
+                    return Ok(value);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self.0.ready.wait(state).unwrap();
+            }
         }
 
+        /// Non-blocking receive.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
-            self.0.try_recv()
+            let mut state = self.0.state.lock().unwrap();
+            match state.queue.pop_front() {
+                Some(value) => Ok(value),
+                None if state.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
         }
     }
 
+    /// Creates an unbounded MPMC channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
-        let (tx, rx) = std::sync::mpsc::channel();
-        (Sender(tx), Receiver(rx))
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            ready: Condvar::new(),
+        });
+        (Sender(Arc::clone(&shared)), Receiver(shared))
     }
 
     #[cfg(test)]
@@ -54,6 +153,52 @@ pub mod channel {
             assert_eq!(rx.recv(), Ok(1));
             assert_eq!(rx.recv(), Ok(2));
             assert!(rx.recv().is_err());
+        }
+
+        #[test]
+        fn send_fails_after_all_receivers_drop() {
+            let (tx, rx) = unbounded::<u32>();
+            let rx2 = rx.clone();
+            drop(rx);
+            drop(rx2);
+            assert_eq!(tx.send(7), Err(SendError(7)));
+        }
+
+        #[test]
+        fn cloned_receivers_compete_for_messages() {
+            let (tx, rx) = unbounded::<u32>();
+            let rx2 = rx.clone();
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            let a = std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Ok(v) = rx.recv() {
+                    got.push(v);
+                }
+                got
+            });
+            let b = std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Ok(v) = rx2.recv() {
+                    got.push(v);
+                }
+                got
+            });
+            let mut all: Vec<u32> = a.join().unwrap();
+            all.extend(b.join().unwrap());
+            all.sort_unstable();
+            assert_eq!(all, (0..100).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn blocked_receivers_wake_on_send() {
+            let (tx, rx) = unbounded::<u32>();
+            let t = std::thread::spawn(move || rx.recv());
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            tx.send(42).unwrap();
+            assert_eq!(t.join().unwrap(), Ok(42));
         }
     }
 }

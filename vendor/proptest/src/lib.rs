@@ -145,7 +145,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use rand::Rng;
 
-    /// Element count for [`vec`]: a fixed size or a half-open/inclusive
+    /// Element count for [`vec()`]: a fixed size or a half-open/inclusive
     /// range of sizes.
     #[derive(Clone, Copy, Debug)]
     pub struct SizeRange {

@@ -3,7 +3,7 @@
 //! The build environment has no access to crates.io, so this crate
 //! reimplements the `#[derive(Serialize)]` / `#[derive(Deserialize)]`
 //! macros against the vendored `serde` facade (which models data as a
-//! JSON-like [`Value`] tree instead of serde's full visitor machinery).
+//! JSON-like `Value` tree instead of serde's full visitor machinery).
 //! It is written against the raw `proc_macro` API — `syn`/`quote` are not
 //! available — and supports the shapes this workspace actually uses:
 //!
