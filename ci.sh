@@ -31,6 +31,9 @@ cargo bench -p cpm-bench --bench drift -- --test
 echo "== workload plan bench (smoke)"
 cargo bench -p cpm-bench --bench workload -- --test
 
+echo "== flight-recorder bench (smoke + <100ns/record gate)"
+cargo bench -p cpm-bench --bench obs -- --test
+
 echo "== workload CLI smoke + golden trace schema"
 CPM="./target/release/cpm"
 WL_TMP="$(mktemp -d)"
@@ -42,8 +45,23 @@ diff -u crates/workload/tests/golden/train_n4.jsonl "$WL_TMP/train.jsonl" \
   | "$CPM" workload predict --nodes 4 --reps 1 | grep -q '"makespan_seconds"'
 "$CPM" workload run --trace "$WL_TMP/train.jsonl" --nodes 4 | grep -q '"msgs_sent"'
 
-echo "== serve loadgen smoke (worker pool must beat the serial server)"
+echo "== serve loadgen smoke (pool speedup, tracing overhead, exposition grammar)"
 ./target/release/loadgen --clients 4 --requests 60 --workers 2 \
-  --out "$WL_TMP/serve_load.json" --require-speedup 1.0
+  --out "$WL_TMP/serve_load.json" --require-speedup 1.0 --obs-overhead-max 5.0
+
+echo "== trace CLI smoke (server dump loads as Chrome trace JSON)"
+"$CPM" serve --store "$WL_TMP/trace-store" --addr 127.0.0.1:0 >"$WL_TMP/serve.log" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 50); do
+  ADDR="$(sed -n 's/.*listening on \([0-9.:]*\).*/\1/p' "$WL_TMP/serve.log")"
+  [ -n "$ADDR" ] && break
+  sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "serve did not report an address"; kill "$SERVE_PID"; exit 1; }
+"$CPM" query --addr "$ADDR" --verb stats --format text | grep -q '^cpm_serve_'
+"$CPM" trace --addr "$ADDR" --out "$WL_TMP/trace.json" --last 1000
+grep -q '"traceEvents"' "$WL_TMP/trace.json"
+"$CPM" query --addr "$ADDR" --verb shutdown >/dev/null
+wait "$SERVE_PID"
 
 echo "CI OK"

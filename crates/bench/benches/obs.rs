@@ -1,0 +1,58 @@
+//! Cost of one flight-recorder record. The recorder sits inside every
+//! served request (a `serve.request` span plus a handful of service /
+//! registry / model spans), so writing one record — claim a sequence
+//! number, stamp the slot, store the payload, release — must stay well
+//! under the 100 ns budget documented in DESIGN.md; otherwise tracing
+//! would not be affordable always-on.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Instant;
+
+use cpm_obs::Recorder;
+
+/// Per-record budget, nanoseconds. Generous against the measured cost
+/// (tens of ns) so the gate catches regressions — an accidental lock,
+/// an allocation — without flaking on machine noise.
+const BUDGET_NS: f64 = 100.0;
+
+fn bench_record(c: &mut Criterion) {
+    let rec = Recorder::new(1 << 16);
+
+    let mut g = c.benchmark_group("obs/recorder");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("instant", |b| {
+        b.iter(|| rec.instant(black_box("bench.instant"), "i", black_box(7)));
+    });
+    // One span = two records (Begin on creation, End on drop).
+    g.throughput(Throughput::Elements(2));
+    g.bench_function("span", |b| {
+        b.iter(|| {
+            let mut sp = rec.span(black_box("bench.span"));
+            sp.field_u64("i", black_box(7));
+        });
+    });
+    g.finish();
+
+    // The hard gate: a long timed loop (amortizing the clock reads) must
+    // average under the budget per record.
+    let n = 1_000_000u64;
+    let t0 = Instant::now();
+    for i in 0..n {
+        rec.instant(black_box("gate.instant"), "i", black_box(i));
+    }
+    let per_record_ns = t0.elapsed().as_nanos() as f64 / n as f64;
+    assert!(
+        per_record_ns < BUDGET_NS,
+        "recording one instant costs {per_record_ns:.1} ns, budget {BUDGET_NS} ns"
+    );
+    eprintln!(
+        "obs/recorder: {per_record_ns:.1} ns/record (budget {BUDGET_NS} ns), \
+         {} recorded, {} dropped by the ring",
+        rec.recorded(),
+        rec.dropped()
+    );
+}
+
+criterion_group!(benches, bench_record);
+criterion_main!(benches);

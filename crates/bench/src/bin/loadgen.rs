@@ -12,10 +12,20 @@
 //! ```text
 //! loadgen [--clients K] [--requests N] [--workers W]
 //!         [--baseline-workers B] [--out PATH] [--require-speedup X]
+//!         [--obs-overhead-max PCT]
 //! ```
 //!
 //! With `--require-speedup X` the exit code is 1 unless the measured
 //! speedup is strictly greater than `X` — the CI smoke gate.
+//!
+//! With `--obs-overhead-max PCT` the concurrent configuration is re-run
+//! with the flight recorder disabled and enabled (several interleaved
+//! trials per mode, best-of-N throughput each) and the exit code is 1 if
+//! tracing costs more than PCT percent of throughput.
+//!
+//! Every run also fetches `stats format:text` and validates it against
+//! the Prometheus exposition grammar ([`cpm_obs::validate_exposition`]),
+//! so a malformed metrics rendering fails the smoke gate too.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -41,13 +51,15 @@ struct Args {
     think_us: u64,
     out: std::path::PathBuf,
     require_speedup: Option<f64>,
+    obs_overhead_max: Option<f64>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--clients K] [--requests N] [--workers W]\n\
          \x20              [--baseline-workers B] [--think-us T]\n\
-         \x20              [--out PATH] [--require-speedup X]"
+         \x20              [--out PATH] [--require-speedup X]\n\
+         \x20              [--obs-overhead-max PCT]"
     );
     std::process::exit(2);
 }
@@ -61,6 +73,7 @@ fn parse_args() -> Args {
         think_us: 200,
         out: cpm_bench::results_dir().join("serve_load.json"),
         require_speedup: None,
+        obs_overhead_max: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -76,6 +89,9 @@ fn parse_args() -> Args {
             "--out" => args.out = value.into(),
             "--require-speedup" => {
                 args.require_speedup = Some(value.parse().unwrap_or_else(|_| usage()))
+            }
+            "--obs-overhead-max" => {
+                args.obs_overhead_max = Some(value.parse().unwrap_or_else(|_| usage()))
             }
             _ => usage(),
         }
@@ -101,6 +117,14 @@ struct RunResult {
     server_predict_p99_ns: u64,
 }
 
+/// Tracing-on vs tracing-off throughput of the concurrent configuration.
+#[derive(Serialize)]
+struct ObsOverhead {
+    off_rps: f64,
+    on_rps: f64,
+    overhead_pct: f64,
+}
+
 #[derive(Serialize)]
 struct LoadReport {
     clients: usize,
@@ -110,6 +134,7 @@ struct LoadReport {
     baseline: RunResult,
     concurrent: RunResult,
     speedup: f64,
+    obs_overhead: Option<ObsOverhead>,
 }
 
 fn start_server(store: &std::path::Path, workers: usize) -> ServerHandle {
@@ -249,6 +274,17 @@ fn run_load(
     let wall = t0.elapsed().as_secs_f64();
 
     let stats = request(addr, "{\"verb\":\"stats\"}");
+    // Smoke-check the unified metrics exposition: it must parse as
+    // Prometheus text and actually contain samples.
+    let text = request(addr, "{\"verb\":\"stats\",\"format\":\"text\"}");
+    let text = text
+        .get("text")
+        .and_then(Value::as_str)
+        .expect("text stats");
+    match cpm_obs::validate_exposition(text) {
+        Ok(samples) => assert!(samples > 0, "empty exposition"),
+        Err(e) => panic!("invalid metrics exposition: {e}"),
+    }
     server.shutdown();
 
     let h = merged.snapshot();
@@ -312,6 +348,49 @@ fn main() {
         concurrent.workers, baseline.workers
     );
 
+    // Tracing overhead: the same concurrent configuration with the
+    // flight recorder off, then on (the server is in-process, so the
+    // global recorder toggle reaches it directly).
+    let obs_overhead = args.obs_overhead_max.map(|_| {
+        // A single off/on pair at this run length shows scheduler jitter
+        // well above the gate threshold. Interleave trials and keep the
+        // best throughput per mode: noise only ever slows a run down, so
+        // the per-mode maximum is the stable estimator of its true rate.
+        const TRIALS: usize = 3;
+        let rec = cpm_obs::Recorder::global();
+        let (mut off_rps, mut on_rps) = (0.0f64, 0.0f64);
+        for _ in 0..TRIALS {
+            rec.set_enabled(false);
+            let off = run_load(
+                &store,
+                args.workers,
+                args.clients,
+                args.requests,
+                args.think_us,
+            );
+            rec.set_enabled(true);
+            let on = run_load(
+                &store,
+                args.workers,
+                args.clients,
+                args.requests,
+                args.think_us,
+            );
+            off_rps = off_rps.max(off.throughput_rps);
+            on_rps = on_rps.max(on.throughput_rps);
+        }
+        let overhead_pct = (off_rps - on_rps) / off_rps * 100.0;
+        println!(
+            "tracing overhead: {overhead_pct:.2}% \
+             (best-of-{TRIALS}: on {on_rps:.0} req/s vs off {off_rps:.0} req/s)"
+        );
+        ObsOverhead {
+            off_rps,
+            on_rps,
+            overhead_pct,
+        }
+    });
+
     let report = LoadReport {
         clients: args.clients,
         requests_per_client: args.requests,
@@ -320,6 +399,7 @@ fn main() {
         baseline,
         concurrent,
         speedup,
+        obs_overhead,
     };
     if let Some(dir) = args.out.parent() {
         std::fs::create_dir_all(dir).expect("create output dir");
@@ -338,5 +418,15 @@ fn main() {
             std::process::exit(1);
         }
         println!("ok: speedup {speedup:.2}x > {required:.2}x");
+    }
+    if let (Some(max), Some(obs)) = (args.obs_overhead_max, &report.obs_overhead) {
+        if obs.overhead_pct > max {
+            eprintln!(
+                "FAIL: tracing overhead {:.2}% exceeds {max:.2}%",
+                obs.overhead_pct
+            );
+            std::process::exit(1);
+        }
+        println!("ok: tracing overhead {:.2}% <= {max:.2}%", obs.overhead_pct);
     }
 }

@@ -18,6 +18,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use cpm_core::rank::Rank;
+use cpm_obs::{Counter, Gauge};
 use cpm_serve::service::{ClusterRef, Service, Verb};
 use cpm_serve::{LineHandler, ServeError};
 use parking_lot::Mutex;
@@ -29,10 +30,20 @@ use crate::observe::Observation;
 type SResult<T> = std::result::Result<T, ServeError>;
 
 /// A [`LineHandler`] adding drift verbs on top of the core protocol.
+///
+/// Its counters live in the wrapped service's unified
+/// [`cpm_obs::MetricsRegistry`], so one `stats format:text` exposition
+/// covers serve and drift alike.
 pub struct DriftService {
     service: Arc<Service>,
     cfg: DriftConfig,
     monitors: Mutex<HashMap<String, DriftMonitor>>,
+    /// Observations ingested via the `observe` verb.
+    observations: Counter,
+    /// Drift events raised by those observations.
+    events: Counter,
+    /// Fingerprints with a live drift monitor.
+    monitors_gauge: Gauge,
 }
 
 fn bad(msg: impl Into<String>) -> ServeError {
@@ -83,10 +94,26 @@ fn score_json(e: &ScoreEntry) -> Value {
 
 impl DriftService {
     pub fn new(service: Arc<Service>, cfg: DriftConfig) -> Arc<Self> {
+        let registry = Arc::clone(service.metrics().registry());
         Arc::new(DriftService {
             service,
             cfg,
             monitors: Mutex::new(HashMap::new()),
+            observations: registry.counter(
+                "cpm_drift_observations",
+                "Measured transfers ingested via the observe verb",
+                &[],
+            ),
+            events: registry.counter(
+                "cpm_drift_events",
+                "Drift events raised by ingested observations",
+                &[],
+            ),
+            monitors_gauge: registry.gauge(
+                "cpm_drift_monitors",
+                "Fingerprints with a live drift monitor",
+                &[],
+            ),
         })
     }
 
@@ -103,6 +130,7 @@ impl DriftService {
                 .service
                 .param_set(&ClusterRef::Fingerprint(fp.to_string()))?;
             monitors.insert(fp.to_string(), DriftMonitor::new(&ps.lmo, self.cfg));
+            self.monitors_gauge.set(monitors.len() as u64);
         }
         Ok(f(monitors.get_mut(fp).expect("just inserted")))
     }
@@ -118,6 +146,10 @@ impl DriftService {
         };
         let (event, staleness) =
             self.with_monitor(fp, |mon| (mon.observe(&obs), mon.staleness().overall))?;
+        // Counted after the fallible monitor lookup: a rejected
+        // observation (unknown fingerprint, bad kind) is not an ingest.
+        self.observations.inc();
+        self.events.add(u64::from(event.is_some()));
         let events: Vec<Value> = event
             .iter()
             .map(|e| {
@@ -160,11 +192,10 @@ impl DriftService {
         ]))
     }
 
-    fn dispatch(&self, line: &str) -> Option<(Verb, SResult<Value>)> {
-        let v: Value = serde_json::from_str(line).ok()?;
+    fn drift_verb(v: &Value) -> Option<Verb> {
         match v.get("verb").and_then(Value::as_str) {
-            Some("observe") => Some((Verb::Observe, self.handle_observe(&v))),
-            Some("drift-status") => Some((Verb::DriftStatus, self.handle_status(&v))),
+            Some("observe") => Some(Verb::Observe),
+            Some("drift-status") => Some(Verb::DriftStatus),
             _ => None,
         }
     }
@@ -173,13 +204,31 @@ impl DriftService {
 impl LineHandler for DriftService {
     fn handle_line(&self, line: &str) -> (String, bool) {
         let start = std::time::Instant::now();
-        let Some((verb, outcome)) = self.dispatch(line) else {
-            // Not a drift verb (or not even JSON): the core protocol owns
-            // the response, including its error reporting (and its own
-            // latency attribution).
+        let Some(v) = serde_json::from_str::<Value>(line).ok() else {
+            // Not even JSON: the core protocol owns the error reporting.
             return self.service.handle_line(line);
         };
-        let value = match outcome {
+        let Some(verb) = Self::drift_verb(&v) else {
+            // Not a drift verb: the core protocol owns the response
+            // (including id echo and its own latency attribution).
+            return self.service.handle_line(line);
+        };
+        // Mirror the core protocol's request-id handling so drift-verb
+        // spans and responses are attributable the same way.
+        let id = cpm_serve::client_id(&v);
+        let _ctx = cpm_obs::ctx::with_request(
+            cpm_obs::next_request_id(),
+            id.as_ref().map(cpm_serve::id_tag).unwrap_or_default(),
+        );
+        let outcome = {
+            let mut sp = cpm_obs::span("serve.request");
+            sp.field_str("verb", verb.as_str());
+            match verb {
+                Verb::Observe => self.handle_observe(&v),
+                _ => self.handle_status(&v),
+            }
+        };
+        let mut value = match outcome {
             Ok(Value::Map(mut entries)) => {
                 entries.insert(0, ("ok".to_string(), Value::Bool(true)));
                 Value::Map(entries)
@@ -190,6 +239,7 @@ impl LineHandler for DriftService {
                 ("error", Value::Str(e.to_string())),
             ]),
         };
+        cpm_serve::echo_id(&mut value, &id);
         let text = serde_json::to_string(&value)
             .unwrap_or_else(|_| "{\"ok\":false,\"error\":\"serialization failure\"}".to_string());
         let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
@@ -267,6 +317,35 @@ mod tests {
             panic!("links missing");
         };
         assert_eq!(links.len(), 6, "C(4,2) link tracks");
+
+        // The drift counters land in the wrapped service's unified
+        // registry: one text exposition covers serve and drift.
+        let text = parsed(&ds, "{\"verb\":\"stats\",\"format\":\"text\"}");
+        let text = text.get("text").and_then(Value::as_str).unwrap();
+        cpm_obs::validate_exposition(text).expect("valid exposition");
+        assert!(text.contains("cpm_drift_observations 1"), "{text}");
+        assert!(text.contains("cpm_drift_events 0"), "{text}");
+        assert!(text.contains("cpm_drift_monitors 1"), "{text}");
+        assert!(text.contains("cpm_serve_estimations"), "{text}");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn drift_verbs_echo_the_client_id() {
+        let (dir, ds, fp) = drift_service("id");
+        let v = parsed(
+            &ds,
+            &format!("{{\"verb\":\"drift-status\",\"id\":\"d-9\",\"fingerprint\":\"{fp}\"}}"),
+        );
+        assert_eq!(ok_flag(&v), Some(true));
+        assert!(matches!(v.get("id"), Some(Value::Str(s)) if s == "d-9"));
+        // Error path keeps the echo too.
+        let v = parsed(
+            &ds,
+            "{\"verb\":\"drift-status\",\"id\":\"d-10\",\"fingerprint\":\"nope\"}",
+        );
+        assert_eq!(ok_flag(&v), Some(false));
+        assert!(matches!(v.get("id"), Some(Value::Str(s)) if s == "d-10"));
         let _ = std::fs::remove_dir_all(dir);
     }
 

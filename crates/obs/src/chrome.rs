@@ -1,0 +1,164 @@
+//! Chrome trace-event JSON rendering of a flight-recorder snapshot.
+//!
+//! The output is the `{"traceEvents": [...]}` object format understood
+//! by `about:tracing` and [Perfetto](https://ui.perfetto.dev): save the
+//! dump to a file and open it in either viewer. Begin/end records are
+//! paired here, at dump time, per `(thread, name)` — every emitted
+//! `"B"` has a matching, properly nested `"E"`. A record whose partner
+//! fell off the ring (or whose span was still open when the snapshot was
+//! taken) degrades to an instant event instead of producing an
+//! unbalanced pair that trace viewers render as a span of infinite
+//! length.
+
+use serde_json::Value;
+
+use crate::recorder::{Record, RecordKind};
+
+fn obj(entries: Vec<(&str, Value)>) -> Value {
+    Value::Map(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// Event phase assigned to each record once pairing is resolved.
+#[derive(Clone, Copy, PartialEq)]
+enum Phase {
+    Begin,
+    End,
+    Instant,
+}
+
+/// Renders records (sequence-ordered, as [`Recorder::snapshot`] returns
+/// them) as a Chrome trace-event JSON object.
+///
+/// [`Recorder::snapshot`]: crate::Recorder::snapshot
+pub fn chrome_trace(records: &[Record]) -> Value {
+    // Pass 1: decide each record's phase. A per-thread stack of pending
+    // begins pairs B/E by name; entries that cannot pair demote to
+    // instants, which keeps the surviving pairs properly nested.
+    let mut phase: Vec<Phase> = vec![Phase::Instant; records.len()];
+    let mut stacks: std::collections::HashMap<u32, Vec<usize>> = std::collections::HashMap::new();
+    for (i, r) in records.iter().enumerate() {
+        match r.kind {
+            RecordKind::Begin => stacks.entry(r.tid).or_default().push(i),
+            RecordKind::End => {
+                let stack = stacks.entry(r.tid).or_default();
+                if let Some(pos) = stack.iter().rposition(|&b| records[b].name == r.name) {
+                    // Anything pushed above the match never got an end
+                    // record: leave those as instants and pair the match.
+                    let begin = stack[pos];
+                    stack.truncate(pos);
+                    phase[begin] = Phase::Begin;
+                    phase[i] = Phase::End;
+                }
+            }
+            RecordKind::Instant => {}
+        }
+    }
+
+    let events: Vec<Value> = records
+        .iter()
+        .zip(&phase)
+        .map(|(r, ph)| {
+            let ph_str = match ph {
+                Phase::Begin => "B",
+                Phase::End => "E",
+                Phase::Instant => "i",
+            };
+            let mut args = Vec::new();
+            if r.req != 0 {
+                args.push(("req", Value::U64(r.req)));
+            }
+            let tag = r.tag_str();
+            if !tag.is_empty() {
+                args.push(("id", Value::Str(tag)));
+            }
+            if !r.key.is_empty() {
+                if r.sval.is_empty() {
+                    args.push((r.key, Value::U64(r.num)));
+                } else {
+                    args.push((r.key, Value::Str(r.sval.to_string())));
+                }
+            }
+            let mut event = vec![
+                ("name", Value::Str(r.name.to_string())),
+                ("cat", Value::Str("cpm".to_string())),
+                ("ph", Value::Str(ph_str.to_string())),
+                ("pid", Value::U64(1)),
+                ("tid", Value::U64(u64::from(r.tid))),
+                // Chrome trace timestamps are microseconds (fractions OK).
+                ("ts", Value::F64(r.t_ns as f64 / 1e3)),
+            ];
+            if *ph == Phase::Instant {
+                // Thread-scoped instant marker.
+                event.push(("s", Value::Str("t".to_string())));
+            }
+            if !args.is_empty() {
+                event.push(("args", obj(args)));
+            }
+            obj(event)
+        })
+        .collect();
+    obj(vec![
+        ("traceEvents", Value::Seq(events)),
+        ("displayTimeUnit", Value::Str("ns".to_string())),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Recorder;
+
+    fn phases(trace: &Value) -> Vec<(String, String)> {
+        let Some(Value::Seq(events)) = trace.get("traceEvents") else {
+            panic!("no traceEvents");
+        };
+        events
+            .iter()
+            .map(|e| {
+                (
+                    e.get("name").and_then(Value::as_str).unwrap().to_string(),
+                    e.get("ph").and_then(Value::as_str).unwrap().to_string(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn nested_spans_pair_up() {
+        let rec = Recorder::new(64);
+        {
+            let _outer = rec.span("outer");
+            let _inner = rec.span("inner");
+        }
+        let trace = chrome_trace(&rec.snapshot());
+        assert_eq!(
+            phases(&trace),
+            vec![
+                ("outer".to_string(), "B".to_string()),
+                ("inner".to_string(), "B".to_string()),
+                ("inner".to_string(), "E".to_string()),
+                ("outer".to_string(), "E".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn unpaired_edges_demote_to_instants() {
+        let rec = Recorder::new(64);
+        rec.record(crate::RecordKind::End, "orphan_end", "", 0, "");
+        rec.record(crate::RecordKind::Begin, "orphan_begin", "", 0, "");
+        let trace = chrome_trace(&rec.snapshot());
+        assert_eq!(
+            phases(&trace),
+            vec![
+                ("orphan_end".to_string(), "i".to_string()),
+                ("orphan_begin".to_string(), "i".to_string()),
+            ]
+        );
+    }
+}

@@ -1,0 +1,84 @@
+//! Thread-local request context: links every record a thread writes to
+//! the request it is currently handling.
+//!
+//! The serve worker pool handles each request on exactly one thread, so
+//! a thread-local `(request id, client tag)` pair is enough to attribute
+//! spans recorded anywhere down the call stack — service, registry,
+//! cache, model evaluation, workload planner — to the request that
+//! triggered them, without threading an id through every signature.
+//! Batch sub-requests push a nested context (the guard restores the
+//! previous one on drop), so their spans carry the sub-request's own
+//! client id.
+
+use std::cell::Cell;
+
+thread_local! {
+    static CURRENT: Cell<(u64, [u8; 16])> = const { Cell::new((0, [0; 16])) };
+}
+
+/// The calling thread's current request context: `(internal request id,
+/// client tag)`. `(0, zeroed)` when no request is being handled.
+pub fn current() -> (u64, [u8; 16]) {
+    CURRENT.with(Cell::get)
+}
+
+/// Truncates a client-supplied id into the 16-byte NUL-padded tag stored
+/// inline in flight-recorder slots (cut at a UTF-8 boundary so the tag
+/// decodes cleanly).
+pub fn tag16(s: &str) -> [u8; 16] {
+    let mut tag = [0u8; 16];
+    let mut end = s.len().min(16);
+    while end > 0 && !s.is_char_boundary(end) {
+        end -= 1;
+    }
+    tag[..end].copy_from_slice(&s.as_bytes()[..end]);
+    tag
+}
+
+/// Installs `(req, tag)` as the thread's request context until the
+/// returned guard drops (restoring whatever was current before — batch
+/// sub-requests nest).
+pub fn with_request(req: u64, tag: [u8; 16]) -> CtxGuard {
+    let prev = CURRENT.with(|c| c.replace((req, tag)));
+    CtxGuard { prev }
+}
+
+/// Restores the previous request context on drop (see [`with_request`]).
+pub struct CtxGuard {
+    prev: (u64, [u8; 16]),
+}
+
+impl Drop for CtxGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| c.set(self.prev));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contexts_nest_and_restore() {
+        assert_eq!(current().0, 0);
+        let outer = with_request(7, tag16("outer"));
+        assert_eq!(current(), (7, tag16("outer")));
+        {
+            let _inner = with_request(8, tag16("inner"));
+            assert_eq!(current().0, 8);
+        }
+        assert_eq!(current(), (7, tag16("outer")));
+        drop(outer);
+        assert_eq!(current().0, 0);
+    }
+
+    #[test]
+    fn tags_truncate_at_utf8_boundaries() {
+        assert_eq!(&tag16("abc")[..3], b"abc");
+        assert_eq!(tag16("abc")[3], 0);
+        // 15 ascii bytes + one 2-byte char: the char must be dropped whole.
+        let t = tag16("123456789012345é");
+        assert_eq!(&t[..15], b"123456789012345");
+        assert_eq!(t[15], 0);
+    }
+}

@@ -1,0 +1,77 @@
+//! `cpm-obs` — observability for the cpm runtime: a flight recorder, a
+//! request context, Chrome trace-event dumps, and a unified metrics
+//! registry.
+//!
+//! The paper's claim is that prediction error must be *attributable*;
+//! this crate makes the runtime's own behaviour attributable in the same
+//! spirit. Three pieces:
+//!
+//! - [`Recorder`] — a wait-free fixed-capacity ring buffer of structured
+//!   span/event records (begin/end/instant, thread id, monotonic ns,
+//!   request id, one key=value field). Writers never block each other or
+//!   readers; [`Recorder::snapshot`] reads without stopping the world.
+//!   See the [`recorder`] module docs for the seqlock-per-slot memory
+//!   model.
+//! - [`ctx`] — a thread-local request context linking every record to
+//!   the request being handled, so a `trace` dump attributes planner and
+//!   model-evaluation spans to the client-supplied request id.
+//! - [`MetricsRegistry`] — named counters/gauges/histograms with one
+//!   Prometheus-style text exposition (the `stats` verb's
+//!   `"format":"text"` answer) and a grammar [validator] used by tests
+//!   and CI.
+//!
+//! [`chrome::chrome_trace`] renders a snapshot as Chrome trace-event
+//! JSON, loadable in `about:tracing` or Perfetto — the payload of the
+//! `trace` protocol verb and the `cpm trace` CLI subcommand.
+//!
+//! [validator]: validate_exposition
+
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod ctx;
+pub mod metrics;
+pub mod recorder;
+
+pub use metrics::{validate_exposition, Counter, Gauge, Histogram, MetricsRegistry};
+pub use recorder::{current_tid, Record, RecordKind, Recorder, Span, DEFAULT_CAPACITY};
+
+/// Opens a span on the [global recorder](Recorder::global): begin now,
+/// end when the guard drops.
+pub fn span(name: &'static str) -> Span<'static> {
+    Recorder::global().span(name)
+}
+
+/// Records a point event with a numeric field on the global recorder.
+pub fn instant(name: &'static str, key: &'static str, num: u64) {
+    Recorder::global().instant(name, key, num);
+}
+
+/// Allocates the next internal request id from the global recorder.
+pub fn next_request_id() -> u64 {
+    Recorder::global().next_request_id()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_pick_up_the_request_context() {
+        // The global recorder is shared across the test binary, so tag
+        // the records and filter.
+        let tag = ctx::tag16("lib-test");
+        {
+            let _ctx = ctx::with_request(next_request_id(), tag);
+            let _sp = span("lib.test.span");
+        }
+        let records: Vec<Record> = Recorder::global()
+            .snapshot()
+            .into_iter()
+            .filter(|r| r.tag == tag)
+            .collect();
+        assert_eq!(records.len(), 2);
+        assert!(records.iter().all(|r| r.req > 0));
+        assert!(records.iter().all(|r| r.name == "lib.test.span"));
+    }
+}

@@ -1,0 +1,456 @@
+//! The unified metrics registry: named counters, gauges, and latency
+//! histograms with one Prometheus-style text exposition.
+//!
+//! Subsystems register their metrics once (cheap `Arc` handles come
+//! back; recording is wait-free on the handle) and a single
+//! [`MetricsRegistry::exposition`] call renders everything — serve cache
+//! counters, drift ingest counters, workload-plan phase timings,
+//! per-verb latency histograms — as Prometheus text format. The
+//! `stats` verb's `"format":"text"` answer is exactly this exposition,
+//! so there is one inventory of metric names (documented in the README)
+//! instead of per-subsystem ad-hoc counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use cpm_stats::hist::{HistSnapshot, LogHistogram};
+use parking_lot::RwLock;
+
+/// A monotonic counter handle (clone freely; all clones share the cell).
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value (relaxed load).
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge handle: a value that can move both ways.
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Overwrites the value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Raises the value to `v` if larger (running maximum).
+    pub fn fetch_max(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// The current value (relaxed load).
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A latency-histogram handle backed by [`LogHistogram`] (wait-free
+/// recording, log-linear buckets).
+#[derive(Clone)]
+pub struct Histogram(Arc<LogHistogram>);
+
+impl Histogram {
+    /// Records one value.
+    pub fn record(&self, v: u64) {
+        self.0.record(v);
+    }
+
+    /// A consistent snapshot (see [`LogHistogram::snapshot`]).
+    pub fn snapshot(&self) -> HistSnapshot {
+        self.0.snapshot()
+    }
+
+    /// The underlying histogram (e.g. to merge into an aggregator).
+    pub fn inner(&self) -> &LogHistogram {
+        &self.0
+    }
+}
+
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+struct Series {
+    labels: Vec<(String, String)>,
+    metric: Metric,
+}
+
+struct Family {
+    name: String,
+    help: String,
+    series: Vec<Series>,
+}
+
+impl Family {
+    fn kind_str(&self) -> &'static str {
+        match self.series.first().map(|s| &s.metric) {
+            Some(Metric::Counter(_)) | None => "counter",
+            Some(Metric::Gauge(_)) => "gauge",
+            Some(Metric::Histogram(_)) => "histogram",
+        }
+    }
+}
+
+/// The registry. Registration takes a write lock (rare, startup-time);
+/// recording happens on the returned handles without touching the
+/// registry at all.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    families: RwLock<Vec<Family>>,
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.chars().enumerate().all(|(i, c)| {
+            c == '_' || c == ':' || c.is_ascii_alphabetic() || (i > 0 && c.is_ascii_digit())
+        })
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Registers (or finds) a counter `name{labels}`. Re-registering the
+    /// same name and label set returns a handle to the same cell.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.get_or_insert(name, help, labels, || {
+            Metric::Counter(Counter(Arc::new(AtomicU64::new(0))))
+        }) {
+            Metric::Counter(c) => c.clone(),
+            _ => panic!("metric {name} already registered with a different kind"),
+        }
+    }
+
+    /// Registers (or finds) a gauge `name{labels}`.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.get_or_insert(name, help, labels, || {
+            Metric::Gauge(Gauge(Arc::new(AtomicU64::new(0))))
+        }) {
+            Metric::Gauge(g) => g.clone(),
+            _ => panic!("metric {name} already registered with a different kind"),
+        }
+    }
+
+    /// Registers (or finds) a histogram `name{labels}`.
+    pub fn histogram(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Histogram {
+        match self.get_or_insert(name, help, labels, || {
+            Metric::Histogram(Histogram(Arc::new(LogHistogram::new())))
+        }) {
+            Metric::Histogram(h) => h.clone(),
+            _ => panic!("metric {name} already registered with a different kind"),
+        }
+    }
+
+    fn get_or_insert<F: FnOnce() -> Metric>(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        make: F,
+    ) -> Metric {
+        assert!(valid_name(name), "invalid metric name {name:?}");
+        for (k, _) in labels {
+            assert!(valid_name(k), "invalid label name {k:?}");
+        }
+        let labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        let mut families = self.families.write();
+        let family = match families.iter_mut().find(|f| f.name == name) {
+            Some(f) => f,
+            None => {
+                families.push(Family {
+                    name: name.to_string(),
+                    help: help.to_string(),
+                    series: Vec::new(),
+                });
+                families.last_mut().unwrap()
+            }
+        };
+        if let Some(existing) = family.series.iter().find(|s| s.labels == labels) {
+            return clone_metric(&existing.metric);
+        }
+        let metric = make();
+        let out = clone_metric(&metric);
+        family.series.push(Series { labels, metric });
+        out
+    }
+
+    /// Renders every family in registration order as Prometheus text
+    /// format: `# HELP` / `# TYPE` headers, then one sample per series
+    /// (histograms expand to `_bucket`/`_sum`/`_count`). Histogram
+    /// series with zero recorded values are skipped, matching the
+    /// pre-registry behaviour of only exposing verbs that have been
+    /// served. Values are relaxed atomic loads: each sample is
+    /// internally consistent, but the exposition as a whole is not a
+    /// point-in-time cut (standard Prometheus semantics).
+    pub fn exposition(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for family in self.families.read().iter() {
+            let live: Vec<&Series> = family
+                .series
+                .iter()
+                .filter(|s| match &s.metric {
+                    Metric::Histogram(h) => h.snapshot().count > 0,
+                    _ => true,
+                })
+                .collect();
+            if live.is_empty() {
+                continue;
+            }
+            if !family.help.is_empty() {
+                let _ = writeln!(out, "# HELP {} {}", family.name, family.help);
+            }
+            let _ = writeln!(out, "# TYPE {} {}", family.name, family.kind_str());
+            for series in live {
+                match &series.metric {
+                    Metric::Counter(c) => {
+                        let _ = writeln!(
+                            out,
+                            "{}{} {}",
+                            family.name,
+                            render_labels(&series.labels, None),
+                            c.get()
+                        );
+                    }
+                    Metric::Gauge(g) => {
+                        let _ = writeln!(
+                            out,
+                            "{}{} {}",
+                            family.name,
+                            render_labels(&series.labels, None),
+                            g.get()
+                        );
+                    }
+                    Metric::Histogram(h) => {
+                        let snap = h.snapshot();
+                        for (upper, cum) in snap.cumulative() {
+                            let _ = writeln!(
+                                out,
+                                "{}_bucket{} {}",
+                                family.name,
+                                render_labels(&series.labels, Some(&upper.to_string())),
+                                cum
+                            );
+                        }
+                        let _ = writeln!(
+                            out,
+                            "{}_bucket{} {}",
+                            family.name,
+                            render_labels(&series.labels, Some("+Inf")),
+                            snap.count
+                        );
+                        let _ = writeln!(
+                            out,
+                            "{}_sum{} {}",
+                            family.name,
+                            render_labels(&series.labels, None),
+                            snap.sum
+                        );
+                        let _ = writeln!(
+                            out,
+                            "{}_count{} {}",
+                            family.name,
+                            render_labels(&series.labels, None),
+                            snap.count
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn clone_metric(m: &Metric) -> Metric {
+    match m {
+        Metric::Counter(c) => Metric::Counter(c.clone()),
+        Metric::Gauge(g) => Metric::Gauge(g.clone()),
+        Metric::Histogram(h) => Metric::Histogram(h.clone()),
+    }
+}
+
+fn render_labels(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+    if let Some(le) = le {
+        parts.push(format!("le=\"{le}\""));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+/// Line-by-line grammar check of a Prometheus text exposition: every
+/// line must be a `# HELP`/`# TYPE` header or a `name{labels} value`
+/// sample whose base name was declared by a preceding `# TYPE` (with
+/// `_bucket`/`_sum`/`_count` suffixes — and an `le` label on buckets —
+/// allowed only for histograms). Returns the number of samples.
+///
+/// This is the checker behind the serve integration test and the CI
+/// smoke; it rejects the easy ways an exposition rots (undeclared
+/// families, malformed labels, non-numeric values).
+pub fn validate_exposition(text: &str) -> Result<usize, String> {
+    use std::collections::HashMap;
+    let mut kinds: HashMap<String, String> = HashMap::new();
+    let mut samples = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        let err = |msg: &str| Err(format!("line {}: {msg}: {line:?}", lineno + 1));
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            let mut words = rest.splitn(3, ' ');
+            match (words.next(), words.next(), words.next()) {
+                (Some("HELP"), Some(name), Some(_)) if valid_name(name) => {}
+                (Some("TYPE"), Some(name), Some(kind)) if valid_name(name) => {
+                    if !matches!(kind, "counter" | "gauge" | "histogram") {
+                        return err("unknown metric kind");
+                    }
+                    kinds.insert(name.to_string(), kind.to_string());
+                }
+                _ => return err("malformed comment header"),
+            }
+            continue;
+        }
+        // Sample: name[{k="v",...}] value
+        let name_end = line
+            .find(|c: char| !(c == '_' || c == ':' || c.is_ascii_alphanumeric()))
+            .unwrap_or(line.len());
+        let name = &line[..name_end];
+        if !valid_name(name) {
+            return err("invalid sample name");
+        }
+        let rest = &line[name_end..];
+        let (labels, value_str) = if let Some(inner) = rest.strip_prefix('{') {
+            let Some(close) = inner.find('}') else {
+                return err("unterminated label set");
+            };
+            (&inner[..close], inner[close + 1..].trim())
+        } else {
+            ("", rest.trim())
+        };
+        let mut has_le = false;
+        if !labels.is_empty() {
+            for pair in labels.split(',') {
+                let Some((k, v)) = pair.split_once('=') else {
+                    return err("label without '='");
+                };
+                if !valid_name(k) {
+                    return err("invalid label name");
+                }
+                if !(v.len() >= 2 && v.starts_with('"') && v.ends_with('"')) {
+                    return err("unquoted label value");
+                }
+                has_le |= k == "le";
+            }
+        }
+        if value_str != "+Inf" && value_str != "NaN" && value_str.parse::<f64>().is_err() {
+            return err("non-numeric sample value");
+        }
+        // Resolve the declaring family: exact name for counters/gauges,
+        // suffix-stripped for histogram samples.
+        let family_kind = kinds.get(name).map(String::as_str);
+        let resolved = match family_kind {
+            Some(kind) => Some((name, kind)),
+            None => ["_bucket", "_sum", "_count"].iter().find_map(|suffix| {
+                let base = name.strip_suffix(suffix)?;
+                let kind = kinds.get(base).map(String::as_str)?;
+                Some((base, kind))
+            }),
+        };
+        match resolved {
+            None => return err("sample for undeclared metric family"),
+            Some((base, kind)) => {
+                if name != base && kind != "histogram" {
+                    return err("suffixed sample on a non-histogram family");
+                }
+                if name.ends_with("_bucket") && kind == "histogram" && !has_le {
+                    return err("histogram bucket without le label");
+                }
+            }
+        }
+        samples += 1;
+    }
+    if samples == 0 {
+        return Err("exposition has no samples".to_string());
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_share_cells_and_exposition_validates() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("cpm_test_total", "A test counter.", &[]);
+        let b = reg.counter("cpm_test_total", "A test counter.", &[]);
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        let g = reg.gauge("cpm_test_stored", "A gauge.", &[]);
+        g.set(5);
+        g.fetch_max(3);
+        assert_eq!(g.get(), 5);
+        let h = reg.histogram(
+            "cpm_test_latency_ns",
+            "A histogram.",
+            &[("verb", "predict")],
+        );
+        h.record(1200);
+        let text = reg.exposition();
+        assert!(text.contains("cpm_test_total 3"));
+        assert!(text.contains("cpm_test_stored 5"));
+        assert!(text.contains("cpm_test_latency_ns_bucket{verb=\"predict\",le=\"+Inf\"} 1"));
+        let samples = validate_exposition(&text).expect("valid exposition");
+        assert!(samples > 3, "got {samples} samples:\n{text}");
+    }
+
+    #[test]
+    fn empty_histograms_are_skipped() {
+        let reg = MetricsRegistry::new();
+        let _ = reg.histogram("cpm_quiet_ns", "Never recorded.", &[]);
+        let c = reg.counter("cpm_live_total", "", &[]);
+        c.inc();
+        let text = reg.exposition();
+        assert!(!text.contains("cpm_quiet_ns"));
+        assert!(validate_exposition(&text).is_ok());
+    }
+
+    #[test]
+    fn validator_rejects_rot() {
+        for bad in [
+            "cpm_undeclared 1\n",
+            "# TYPE cpm_x counter\ncpm_x one\n",
+            "# TYPE cpm_x counter\ncpm_x_bucket{le=\"1\"} 1\n",
+            "# TYPE cpm_x histogram\ncpm_x_bucket 1\n",
+            "# TYPE cpm_x counter\ncpm_x{verb=predict} 1\n",
+            "# TYPE cpm_x widget\ncpm_x 1\n",
+            "",
+        ] {
+            assert!(validate_exposition(bad).is_err(), "accepted: {bad:?}");
+        }
+    }
+}

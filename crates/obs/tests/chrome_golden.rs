@@ -1,0 +1,109 @@
+//! Golden properties of the Chrome trace-event dump: the JSON
+//! round-trips through `serde_json` unchanged, and every emitted `"B"`
+//! has a matching, properly nested `"E"` on the same thread — even when
+//! the underlying ring lost one side of a pair to wrap-around.
+
+use serde_json::Value;
+
+use cpm_obs::{chrome::chrome_trace, ctx, Recorder};
+
+/// Builds a deterministic record set: nested request/phase spans with
+/// fields plus instants, then an orphan begin (span open at snapshot
+/// time) that must degrade to an instant.
+fn fixture() -> Recorder {
+    let rec = Recorder::new(64);
+    let _ctx = ctx::with_request(42, ctx::tag16("client-7"));
+    {
+        let mut request = rec.span("serve.request");
+        request.field_str("verb", "plan");
+        {
+            let mut lower = rec.span("plan.lower");
+            lower.field_u64("ops", 12);
+        }
+        rec.instant("cache.miss", "shard", 3);
+        let _analyze = rec.span("plan.analyze");
+    }
+    // Left open deliberately: no end record before the snapshot.
+    let open = rec.span("still.open");
+    std::mem::forget(open);
+    rec
+}
+
+fn events(trace: &Value) -> &[Value] {
+    match trace.get("traceEvents") {
+        Some(Value::Seq(events)) => events,
+        other => panic!("traceEvents missing: {other:?}"),
+    }
+}
+
+#[test]
+fn dump_round_trips_through_serde_json() {
+    let rec = fixture();
+    let trace = chrome_trace(&rec.snapshot());
+    let text = serde_json::to_string(&trace).expect("serialize");
+    let reparsed: Value = serde_json::from_str(&text).expect("reparse");
+    assert_eq!(
+        serde_json::to_string(&reparsed).expect("reserialize"),
+        text,
+        "dump must round-trip byte-identically"
+    );
+    // Pretty form parses back to the same value too.
+    let pretty = serde_json::to_string_pretty(&trace).expect("pretty");
+    let from_pretty: Value = serde_json::from_str(&pretty).expect("parse pretty");
+    assert_eq!(serde_json::to_string(&from_pretty).expect("json"), text);
+}
+
+#[test]
+fn every_begin_has_a_matching_nested_end() {
+    let rec = fixture();
+    let trace = chrome_trace(&rec.snapshot());
+    let mut stacks: std::collections::HashMap<u64, Vec<String>> = Default::default();
+    let mut pairs = 0;
+    for e in events(&trace) {
+        let name = e.get("name").and_then(Value::as_str).expect("name");
+        let tid = e.get("tid").and_then(Value::as_u64).expect("tid");
+        let ts = e.get("ts").and_then(Value::as_f64).expect("ts");
+        assert!(ts >= 0.0);
+        match e.get("ph").and_then(Value::as_str).expect("ph") {
+            "B" => stacks.entry(tid).or_default().push(name.to_string()),
+            "E" => {
+                let top = stacks.entry(tid).or_default().pop();
+                assert_eq!(top.as_deref(), Some(name), "E does not close innermost B");
+                pairs += 1;
+            }
+            "i" => {}
+            other => panic!("unexpected phase {other:?}"),
+        }
+    }
+    assert!(
+        stacks.values().all(Vec::is_empty),
+        "unclosed begins leaked into the dump: {stacks:?}"
+    );
+    assert_eq!(pairs, 3, "request, lower, analyze must all pair");
+}
+
+#[test]
+fn request_ids_and_fields_reach_the_args() {
+    let rec = fixture();
+    let trace = chrome_trace(&rec.snapshot());
+    let request_end = events(&trace)
+        .iter()
+        .find(|e| {
+            e.get("name").and_then(Value::as_str) == Some("serve.request")
+                && e.get("ph").and_then(Value::as_str) == Some("E")
+        })
+        .expect("serve.request end event");
+    let args = request_end.get("args").expect("args");
+    assert_eq!(args.get("req").and_then(Value::as_u64), Some(42));
+    assert_eq!(args.get("id").and_then(Value::as_str), Some("client-7"));
+    assert_eq!(args.get("verb").and_then(Value::as_str), Some("plan"));
+    let open = events(&trace)
+        .iter()
+        .find(|e| e.get("name").and_then(Value::as_str) == Some("still.open"))
+        .expect("open span present");
+    assert_eq!(
+        open.get("ph").and_then(Value::as_str),
+        Some("i"),
+        "unpaired begin must demote to an instant"
+    );
+}

@@ -28,7 +28,10 @@ pub mod registry;
 pub mod server;
 pub mod service;
 
-pub use protocol::{handle_line, parse_request, parse_request_value, Request, MAX_BATCH};
+pub use protocol::{
+    client_id, echo_id, handle_line, id_tag, parse_request, parse_request_value, BatchItem,
+    Request, MAX_BATCH,
+};
 pub use registry::{
     fingerprint, fingerprint_json, Lineage, ParamSet, Registry, ResidualSummary, Result,
     ServeError, FORMAT_VERSION, HISTORY_RING,

@@ -24,10 +24,23 @@
 //!   with lineage (what triggered each republish and the residuals
 //!   before/after re-estimation).
 //! - `stats` — service counters plus per-verb latency quantiles
-//!   (p50/p95/p99); `"format":"text"` returns a Prometheus-style text
-//!   exposition instead.
+//!   (p50/p95/p99); `"format":"text"` returns the unified metrics
+//!   registry's Prometheus-style text exposition instead.
+//! - `trace` — dump the flight recorder as Chrome trace-event JSON
+//!   (loadable in `about:tracing`/Perfetto); `"last": N` bounds the dump
+//!   to the newest N records.
 //! - `shutdown` — stop the server after responding (the worker pool
 //!   drains in-flight requests first).
+//!
+//! # Request ids
+//!
+//! Any request may carry an `"id"` (string or integer). It is echoed
+//! verbatim in the response — including error responses, as long as the
+//! line parsed as a JSON object — and, for `batch`, each sub-request's
+//! own `"id"` is echoed in its sub-response. The id also tags every
+//! flight-recorder span the request produces, so a `trace` dump
+//! attributes service/registry/cache/model/planner spans to the client's
+//! request id.
 
 use cpm_cluster::ClusterConfig;
 use serde_json::Value;
@@ -75,7 +88,7 @@ pub enum Request {
     /// Several predict/select/plan requests answered in one round trip.
     Batch {
         /// The sub-requests, answered independently and in order.
-        requests: Vec<Request>,
+        requests: Vec<BatchItem>,
     },
     /// Version history (with lineage) for a fingerprint.
     History {
@@ -87,8 +100,24 @@ pub enum Request {
         /// `true` for the Prometheus-style text exposition format.
         text: bool,
     },
+    /// Flight-recorder dump as Chrome trace-event JSON.
+    Trace {
+        /// Bound the dump to the newest N records.
+        last: Option<usize>,
+    },
     /// Stop the server after responding.
     Shutdown,
+}
+
+/// One element of a `batch` request: the sub-request plus its own
+/// client-supplied `"id"` (echoed in the sub-response and attached to
+/// the sub-request's spans).
+#[derive(Clone, Debug)]
+pub struct BatchItem {
+    /// The sub-request's client id, if it carried one.
+    pub id: Option<Value>,
+    /// The sub-request itself.
+    pub request: Request,
 }
 
 impl Request {
@@ -102,6 +131,7 @@ impl Request {
             Request::Batch { .. } => Verb::Batch,
             Request::History { .. } => Verb::History,
             Request::Stats { .. } => Verb::Stats,
+            Request::Trace { .. } => Verb::Trace,
             Request::Shutdown => Verb::Shutdown,
         }
     }
@@ -227,14 +257,17 @@ pub fn parse_request_value(v: &Value) -> Result<Request> {
                         .map_err(|e| bad(format!("batch request {i}: {e}")))?;
                     match req {
                         Request::Predict { .. } | Request::Select { .. } | Request::Plan { .. } => {
-                            Ok(req)
+                            Ok(BatchItem {
+                                id: client_id(item),
+                                request: req,
+                            })
                         }
                         _ => Err(bad(format!(
                             "batch request {i}: only predict|select|plan may be batched"
                         ))),
                     }
                 })
-                .collect::<Result<Vec<Request>>>()?;
+                .collect::<Result<Vec<BatchItem>>>()?;
             Ok(Request::Batch { requests })
         }
         "history" => Ok(Request::History {
@@ -249,10 +282,22 @@ pub fn parse_request_value(v: &Value) -> Result<Request> {
             };
             Ok(Request::Stats { text })
         }
+        "trace" => {
+            let last = match v.get("last") {
+                None => None,
+                Some(n) => Some(
+                    n.as_u64()
+                        .and_then(|x| usize::try_from(x).ok())
+                        .filter(|&x| x > 0)
+                        .ok_or_else(|| bad("field \"last\" must be a positive integer"))?,
+                ),
+            };
+            Ok(Request::Trace { last })
+        }
         "shutdown" => Ok(Request::Shutdown),
         other => Err(bad(format!(
             "unknown verb {other:?} (expected predict|select|estimate|plan|batch|\
-             history|stats|shutdown)"
+             history|stats|trace|shutdown)"
         ))),
     }
 }
@@ -269,6 +314,32 @@ fn obj(entries: Vec<(&str, Value)>) -> Value {
             .map(|(k, v)| (k.to_string(), v))
             .collect(),
     )
+}
+
+/// Extracts a scalar client `"id"` (string or integer) from a request
+/// object, if present.
+pub fn client_id(v: &Value) -> Option<Value> {
+    match v.get("id") {
+        Some(id @ (Value::Str(_) | Value::U64(_) | Value::I64(_))) => Some(id.clone()),
+        _ => None,
+    }
+}
+
+/// The flight-recorder tag of a client id (its textual form, truncated
+/// to the 16 bytes stored inline in recorder slots).
+pub fn id_tag(id: &Value) -> [u8; 16] {
+    match id {
+        Value::Str(s) => cpm_obs::ctx::tag16(s),
+        other => cpm_obs::ctx::tag16(&serde_json::to_string(other).unwrap_or_default()),
+    }
+}
+
+/// Echoes the client id into a response object, right after `"ok"`.
+pub fn echo_id(value: &mut Value, id: &Option<Value>) {
+    if let (Value::Map(entries), Some(id)) = (value, id) {
+        let at = usize::from(entries.first().is_some_and(|(k, _)| k == "ok"));
+        entries.insert(at, ("id".to_string(), id.clone()));
+    }
 }
 
 /// Executes a request against the service, producing the response body
@@ -361,13 +432,22 @@ pub fn respond(service: &Service, req: &Request) -> Result<Value> {
         Request::Batch { requests } => {
             let responses: Vec<Value> = requests
                 .iter()
-                .map(|sub| {
+                .map(|item| {
+                    // A sub-request with its own id gets its own request
+                    // context, so its spans (and the echoed sub-response
+                    // id) are attributable to that id; without one it
+                    // inherits the enclosing batch's context.
+                    let _ctx = item.id.as_ref().map(|id| {
+                        cpm_obs::ctx::with_request(cpm_obs::next_request_id(), id_tag(id))
+                    });
+                    let mut sp = cpm_obs::span("serve.subrequest");
+                    sp.field_str("verb", item.request.verb().as_str());
                     let start = std::time::Instant::now();
-                    let body = respond(service, sub);
+                    let body = respond(service, &item.request);
                     service
                         .metrics()
-                        .record_verb_latency(sub.verb(), elapsed_ns(start));
-                    match body {
+                        .record_verb_latency(item.request.verb(), elapsed_ns(start));
+                    let mut value = match body {
                         Ok(Value::Map(mut entries)) => {
                             entries.insert(0, ("ok".to_string(), Value::Bool(true)));
                             Value::Map(entries)
@@ -377,7 +457,9 @@ pub fn respond(service: &Service, req: &Request) -> Result<Value> {
                             ("ok", Value::Bool(false)),
                             ("error", Value::Str(e.to_string())),
                         ]),
-                    }
+                    };
+                    echo_id(&mut value, &item.id);
+                    value
                 })
                 .collect();
             Ok(obj(vec![
@@ -385,9 +467,27 @@ pub fn respond(service: &Service, req: &Request) -> Result<Value> {
                 ("responses", Value::Seq(responses)),
             ]))
         }
+        Request::Trace { last } => {
+            let recorder = cpm_obs::Recorder::global();
+            let mut records = recorder.snapshot();
+            if let Some(last) = *last {
+                if records.len() > last {
+                    records.drain(..records.len() - last);
+                }
+            }
+            Ok(obj(vec![
+                ("recorded", Value::U64(recorder.recorded())),
+                ("dropped", Value::U64(recorder.dropped())),
+                ("records", Value::U64(records.len() as u64)),
+                ("trace", cpm_obs::chrome::chrome_trace(&records)),
+            ]))
+        }
         Request::Stats { text } => {
             if *text {
-                return Ok(obj(vec![("text", Value::Str(stats_text(service)))]));
+                return Ok(obj(vec![(
+                    "text",
+                    Value::Str(service.metrics().exposition()),
+                )]));
             }
             let s = service.metrics().snapshot();
             let latency: Vec<(String, Value)> = service
@@ -426,53 +526,6 @@ pub fn respond(service: &Service, req: &Request) -> Result<Value> {
     }
 }
 
-/// Renders the counters and per-verb latency histograms in a
-/// Prometheus-style text exposition (the `stats` verb's `"format":"text"`
-/// answer, suitable for piping into monitoring tooling).
-fn stats_text(service: &Service) -> String {
-    use std::fmt::Write as _;
-    let s = service.metrics().snapshot();
-    let mut out = String::new();
-    for (name, v) in [
-        ("cpm_serve_cache_hits", s.hits),
-        ("cpm_serve_cache_misses", s.misses),
-        ("cpm_serve_plan_cache_hits", s.plan_hits),
-        ("cpm_serve_plan_cache_misses", s.plan_misses),
-        ("cpm_serve_estimations", s.estimations),
-        ("cpm_serve_registry_loads", s.registry_loads),
-        ("cpm_serve_republishes", s.republishes),
-        ("cpm_serve_predictions", s.predict_count),
-        (
-            "cpm_serve_stored_param_sets",
-            service.registry().len() as u64,
-        ),
-    ] {
-        let _ = writeln!(out, "# TYPE {name} counter\n{name} {v}");
-    }
-    for (verb, h) in service.metrics().latency_snapshot() {
-        let verb = verb.as_str();
-        let _ = writeln!(out, "# TYPE cpm_serve_latency_ns histogram");
-        for (upper, cum) in h.cumulative() {
-            let _ = writeln!(
-                out,
-                "cpm_serve_latency_ns_bucket{{verb=\"{verb}\",le=\"{upper}\"}} {cum}"
-            );
-        }
-        let _ = writeln!(
-            out,
-            "cpm_serve_latency_ns_bucket{{verb=\"{verb}\",le=\"+Inf\"}} {}",
-            h.count
-        );
-        let _ = writeln!(out, "cpm_serve_latency_ns_sum{{verb=\"{verb}\"}} {}", h.sum);
-        let _ = writeln!(
-            out,
-            "cpm_serve_latency_ns_count{{verb=\"{verb}\"}} {}",
-            h.count
-        );
-    }
-    out
-}
-
 fn elapsed_ns(start: std::time::Instant) -> u64 {
     u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
@@ -482,13 +535,33 @@ fn elapsed_ns(start: std::time::Instant) -> u64 {
 ///
 /// Successfully parsed requests are timed (parse + respond + serialize)
 /// into the per-verb latency histograms of [`Service::metrics`]; lines
-/// that fail to parse are not attributed to any verb.
+/// that fail to parse are not attributed to any verb. The client id is
+/// echoed into the response — error responses included — whenever the
+/// line decoded as a JSON object, even if the request inside it was
+/// invalid.
 pub fn handle_line(service: &Service, line: &str) -> (String, bool) {
     let start = std::time::Instant::now();
+    let decoded: std::result::Result<Value, _> = serde_json::from_str(line);
+    let id = decoded.as_ref().ok().and_then(client_id);
+    // One server-side request id per line, tagged with the client id so
+    // trace dumps attribute every span below to it.
+    let _ctx = cpm_obs::ctx::with_request(
+        cpm_obs::next_request_id(),
+        id.as_ref().map(id_tag).unwrap_or_default(),
+    );
+    // The request span covers shape validation, execution and response
+    // serialization — everything attributed to this verb's latency
+    // histogram except the raw JSON decode above.
+    let mut sp = cpm_obs::span("serve.request");
+    let req = match &decoded {
+        Ok(v) => parse_request_value(v),
+        Err(e) => Err(bad(format!("bad json: {e}"))),
+    };
     let mut verb = None;
-    let (body, shutdown) = match parse_request(line) {
+    let (body, shutdown) = match req {
         Ok(req) => {
             verb = Some(req.verb());
+            sp.field_str("verb", req.verb().as_str());
             let shutdown = matches!(req, Request::Shutdown);
             match respond(service, &req) {
                 Ok(body) => (Ok(body), shutdown),
@@ -497,7 +570,7 @@ pub fn handle_line(service: &Service, line: &str) -> (String, bool) {
         }
         Err(e) => (Err(e), false),
     };
-    let value = match body {
+    let mut value = match body {
         Ok(Value::Map(mut entries)) => {
             entries.insert(0, ("ok".to_string(), Value::Bool(true)));
             Value::Map(entries)
@@ -508,8 +581,10 @@ pub fn handle_line(service: &Service, line: &str) -> (String, bool) {
             ("error", Value::Str(e.to_string())),
         ]),
     };
+    echo_id(&mut value, &id);
     let text = serde_json::to_string(&value)
         .unwrap_or_else(|_| "{\"ok\":false,\"error\":\"serialization failure\"}".to_string());
+    drop(sp);
     if let Some(verb) = verb {
         service
             .metrics()
@@ -583,7 +658,34 @@ mod tests {
             panic!("wrong variant");
         };
         assert_eq!(requests.len(), 2);
-        assert!(matches!(requests[0], Request::Predict { .. }));
+        assert!(matches!(requests[0].request, Request::Predict { .. }));
+        assert!(requests[0].id.is_none());
+    }
+
+    #[test]
+    fn batch_items_carry_client_ids() {
+        let sub = "{\"verb\":\"predict\",\"id\":\"sub-1\",\"fingerprint\":\"ab\",\
+                   \"model\":\"lmo\",\"collective\":\"scatter\",\
+                   \"algorithm\":\"binomial\",\"m\":64}";
+        let line = format!("{{\"verb\":\"batch\",\"requests\":[{sub}]}}");
+        let Request::Batch { requests } = parse_request(&line).unwrap() else {
+            panic!("wrong variant");
+        };
+        assert_eq!(requests[0].id, Some(Value::Str("sub-1".to_string())));
+    }
+
+    #[test]
+    fn parses_trace() {
+        assert!(matches!(
+            parse_request("{\"verb\":\"trace\"}").unwrap(),
+            Request::Trace { last: None }
+        ));
+        assert!(matches!(
+            parse_request("{\"verb\":\"trace\",\"last\":100}").unwrap(),
+            Request::Trace { last: Some(100) }
+        ));
+        assert!(parse_request("{\"verb\":\"trace\",\"last\":0}").is_err());
+        assert!(parse_request("{\"verb\":\"trace\",\"last\":\"x\"}").is_err());
     }
 
     #[test]

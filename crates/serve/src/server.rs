@@ -286,17 +286,26 @@ fn serve_connection(
                 }
                 handler.handle_line(&line)
             }
-            Err(BadLine::TooLong(len)) => (
-                format!(
-                    "{{\"ok\":false,\"error\":\"request line too long \
-                     ({len} bytes, limit {MAX_LINE})\"}}"
-                ),
-                false,
-            ),
-            Err(BadLine::NotUtf8) => (
-                "{\"ok\":false,\"error\":\"request line is not valid utf-8\"}".to_string(),
-                false,
-            ),
+            // Bad lines never reach the protocol layer, so leave a
+            // flight-recorder marker here (no client id is recoverable
+            // from an unparseable line).
+            Err(BadLine::TooLong(len)) => {
+                cpm_obs::instant("serve.bad_line.too_long", "bytes", len as u64);
+                (
+                    format!(
+                        "{{\"ok\":false,\"error\":\"request line too long \
+                         ({len} bytes, limit {MAX_LINE})\"}}"
+                    ),
+                    false,
+                )
+            }
+            Err(BadLine::NotUtf8) => {
+                cpm_obs::instant("serve.bad_line.not_utf8", "", 0);
+                (
+                    "{\"ok\":false,\"error\":\"request line is not valid utf-8\"}".to_string(),
+                    false,
+                )
+            }
         };
         // One write per response: a split write of payload then newline is
         // two small segments, and Nagle + delayed ACK can park the second

@@ -23,8 +23,9 @@ use cpm_core::tree::BinomialTree;
 use cpm_core::units::Bytes;
 use cpm_estimate::EstimateConfig;
 use cpm_models::collective::{binomial_recursive, binomial_recursive_full};
+use cpm_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 use cpm_stats::hist::{HistSnapshot, LogHistogram};
-use cpm_workload::{ModelSet, Plan, Trace};
+use cpm_workload::{ModelSet, Plan, PlanProfile, Trace};
 use parking_lot::{Mutex, RwLock};
 
 use crate::registry::{fingerprint, ParamSet, Registry, Result, ServeError};
@@ -297,12 +298,14 @@ pub enum Verb {
     Observe,
     /// `drift-status` — drift-extension: staleness report.
     DriftStatus,
+    /// `trace` — flight-recorder dump as Chrome trace-event JSON.
+    Trace,
     /// `shutdown` — stop the server.
     Shutdown,
 }
 
 /// Every tracked verb, in wire-stable reporting order.
-pub const VERBS: [Verb; 10] = [
+pub const VERBS: [Verb; 11] = [
     Verb::Predict,
     Verb::Select,
     Verb::Estimate,
@@ -312,6 +315,7 @@ pub const VERBS: [Verb; 10] = [
     Verb::Stats,
     Verb::Observe,
     Verb::DriftStatus,
+    Verb::Trace,
     Verb::Shutdown,
 ];
 
@@ -328,6 +332,7 @@ impl Verb {
             Verb::Stats => "stats",
             Verb::Observe => "observe",
             Verb::DriftStatus => "drift-status",
+            Verb::Trace => "trace",
             Verb::Shutdown => "shutdown",
         }
     }
@@ -337,29 +342,45 @@ impl Verb {
     }
 }
 
-/// Service counters, all monotonic.
-#[derive(Default)]
+/// Service counters, all registered in one [`MetricsRegistry`] (the
+/// unified registry behind the `stats` text exposition). The struct
+/// keeps named handles for the hot paths; everything it counts is also
+/// reachable — with the drift extension's counters and the workload
+/// planner's phase timings — through [`Metrics::registry`].
 pub struct Metrics {
+    registry: Arc<MetricsRegistry>,
     /// Predictions answered from the LRU cache.
-    pub hits: AtomicU64,
+    pub(crate) hits: Counter,
     /// Predictions that had to be computed from a parameter set.
-    pub misses: AtomicU64,
+    pub(crate) misses: Counter,
     /// Workload plans answered from the plan cache.
-    pub plan_hits: AtomicU64,
+    pub(crate) plan_hits: Counter,
     /// Workload plans evaluated from scratch.
-    pub plan_misses: AtomicU64,
+    pub(crate) plan_misses: Counter,
     /// Estimation pipeline runs (cold fingerprints).
-    pub estimations: AtomicU64,
+    pub(crate) estimations: Counter,
     /// Parameter sets loaded from disk instead of estimated.
-    pub registry_loads: AtomicU64,
+    pub(crate) registry_loads: Counter,
     /// Parameter sets republished (drift refits).
-    pub republishes: AtomicU64,
-    predict_count: AtomicU64,
-    predict_ns_total: AtomicU64,
-    predict_ns_max: AtomicU64,
+    pub(crate) republishes: Counter,
+    /// Parameter sets currently stored in the registry (kept in sync by
+    /// the service after every publish/load).
+    pub(crate) stored: Gauge,
+    predict_count: Counter,
+    predict_ns_total: Counter,
+    predict_ns_max: Gauge,
     /// Per-verb request latency histograms, indexed by [`VERBS`] order.
     /// Shared across all pool workers; recording is wait-free.
-    latency: [LogHistogram; 10],
+    latency: Vec<Histogram>,
+    /// Workload-planner phase timings (`phase="lower"` / `"analyze"`),
+    /// fed from [`cpm_workload::PlanProfile`] on every plan-cache miss.
+    plan_phase: [Histogram; 2],
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics::new()
+    }
 }
 
 /// A point-in-time snapshot of [`Metrics`].
@@ -388,10 +409,99 @@ pub struct MetricsSnapshot {
 }
 
 impl Metrics {
+    /// Creates the metric set inside a fresh unified registry.
+    pub fn new() -> Metrics {
+        let registry = Arc::new(MetricsRegistry::new());
+        let c = |name, help| registry.counter(name, help, &[]);
+        let latency = VERBS
+            .iter()
+            .map(|v| {
+                registry.histogram(
+                    "cpm_serve_latency_ns",
+                    "End-to-end request handling latency per verb, nanoseconds.",
+                    &[("verb", v.as_str())],
+                )
+            })
+            .collect();
+        let plan_phase = ["lower", "analyze"].map(|phase| {
+            registry.histogram(
+                "cpm_plan_phase_ns",
+                "Workload-planner self-profile per phase, nanoseconds.",
+                &[("phase", phase)],
+            )
+        });
+        Metrics {
+            hits: c(
+                "cpm_serve_cache_hits",
+                "Predictions answered from the LRU cache.",
+            ),
+            misses: c(
+                "cpm_serve_cache_misses",
+                "Predictions computed from a parameter set.",
+            ),
+            plan_hits: c(
+                "cpm_serve_plan_cache_hits",
+                "Workload plans answered from the plan cache.",
+            ),
+            plan_misses: c(
+                "cpm_serve_plan_cache_misses",
+                "Workload plans evaluated from scratch.",
+            ),
+            estimations: c(
+                "cpm_serve_estimations",
+                "Estimation pipeline runs (cold fingerprints).",
+            ),
+            registry_loads: c(
+                "cpm_serve_registry_loads",
+                "Parameter sets loaded from disk instead of estimated.",
+            ),
+            republishes: c(
+                "cpm_serve_republishes",
+                "Parameter sets republished (drift refits).",
+            ),
+            predict_count: c("cpm_serve_predictions", "Predictions served (hit or miss)."),
+            predict_ns_total: c(
+                "cpm_serve_predict_ns_total",
+                "Cumulative prediction latency, nanoseconds.",
+            ),
+            predict_ns_max: registry.gauge(
+                "cpm_serve_predict_ns_max",
+                "Worst prediction latency seen, nanoseconds.",
+                &[],
+            ),
+            stored: registry.gauge(
+                "cpm_serve_stored_param_sets",
+                "Parameter sets currently stored in the registry.",
+                &[],
+            ),
+            latency,
+            plan_phase,
+            registry,
+        }
+    }
+
+    /// The unified registry every counter above lives in. Extensions
+    /// (e.g. the drift service) register their own metrics here so one
+    /// text exposition covers the whole process.
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// The Prometheus-style text exposition of the whole registry (the
+    /// `stats` verb's `"format":"text"` answer).
+    pub fn exposition(&self) -> String {
+        self.registry.exposition()
+    }
+
     fn observe_latency(&self, ns: u64) {
-        self.predict_count.fetch_add(1, Ordering::Relaxed);
-        self.predict_ns_total.fetch_add(ns, Ordering::Relaxed);
-        self.predict_ns_max.fetch_max(ns, Ordering::Relaxed);
+        self.predict_count.inc();
+        self.predict_ns_total.add(ns);
+        self.predict_ns_max.fetch_max(ns);
+    }
+
+    fn observe_plan_profile(&self, profile: &PlanProfile) {
+        self.plan_phase[0].record(profile.lower_ns);
+        self.plan_phase[1].record(profile.analyze_ns);
     }
 
     /// Records one request's end-to-end handling latency under its verb.
@@ -402,7 +512,7 @@ impl Metrics {
     /// The latency histogram of one verb (e.g. to merge into an
     /// aggregator, or to snapshot for quantiles).
     pub fn verb_latency(&self, verb: Verb) -> &LogHistogram {
-        &self.latency[verb.index()]
+        self.latency[verb.index()].inner()
     }
 
     /// Snapshots every verb histogram that has recorded at least one
@@ -410,31 +520,52 @@ impl Metrics {
     pub fn latency_snapshot(&self) -> Vec<(Verb, HistSnapshot)> {
         VERBS
             .iter()
-            .filter(|v| self.latency[v.index()].count() > 0)
+            .filter(|v| self.latency[v.index()].inner().count() > 0)
             .map(|v| (*v, self.latency[v.index()].snapshot()))
             .collect()
     }
 
     /// A point-in-time copy of the counters (latency histograms are
     /// snapshotted separately via [`Metrics::latency_snapshot`]).
+    ///
+    /// # Consistency model
+    ///
+    /// All counters are loaded `Relaxed` in one consecutive pass, so
+    /// each individual value is a real value the counter held (never
+    /// torn) and every counter is monotone across snapshots. The
+    /// snapshot is *not* a single point-in-time cut across counters:
+    /// a concurrent request can land between two loads, so transient
+    /// cross-counter skew (e.g. `hits + misses` one ahead of
+    /// `predict_count`) is possible and must not be treated as an
+    /// error. Derived values (`predict_ns_mean`) are computed from the
+    /// same pass, never from a second read.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let count = self.predict_count.load(Ordering::Relaxed);
-        let total = self.predict_ns_total.load(Ordering::Relaxed);
+        // One pass over the cells, in declaration order.
+        let hits = self.hits.get();
+        let misses = self.misses.get();
+        let plan_hits = self.plan_hits.get();
+        let plan_misses = self.plan_misses.get();
+        let estimations = self.estimations.get();
+        let registry_loads = self.registry_loads.get();
+        let republishes = self.republishes.get();
+        let predict_count = self.predict_count.get();
+        let predict_ns_total = self.predict_ns_total.get();
+        let predict_ns_max = self.predict_ns_max.get();
         MetricsSnapshot {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            plan_hits: self.plan_hits.load(Ordering::Relaxed),
-            plan_misses: self.plan_misses.load(Ordering::Relaxed),
-            estimations: self.estimations.load(Ordering::Relaxed),
-            registry_loads: self.registry_loads.load(Ordering::Relaxed),
-            republishes: self.republishes.load(Ordering::Relaxed),
-            predict_count: count,
-            predict_ns_mean: if count == 0 {
+            hits,
+            misses,
+            plan_hits,
+            plan_misses,
+            estimations,
+            registry_loads,
+            republishes,
+            predict_count,
+            predict_ns_mean: if predict_count == 0 {
                 0.0
             } else {
-                total as f64 / count as f64
+                predict_ns_total as f64 / predict_count as f64
             },
-            predict_ns_max: self.predict_ns_max.load(Ordering::Relaxed),
+            predict_ns_max,
         }
     }
 }
@@ -505,7 +636,7 @@ pub struct Service {
 impl Service {
     /// Creates a service over the registry at `store_dir`.
     pub fn open(store_dir: impl Into<std::path::PathBuf>, cfg: ServiceConfig) -> Result<Self> {
-        Ok(Service {
+        let service = Service {
             registry: Registry::open(store_dir)?,
             cfg,
             params: RwLock::new(HashMap::new()),
@@ -514,7 +645,9 @@ impl Service {
             plans: Mutex::new(HashMap::new()),
             plan_tick: AtomicU64::new(0),
             metrics: Metrics::default(),
-        })
+        };
+        service.metrics.stored.set(service.registry.len() as u64);
+        Ok(service)
     }
 
     /// The service counters.
@@ -537,13 +670,19 @@ impl Service {
     /// per fingerprint across all threads (single-flight).
     pub fn param_set(&self, cluster: &ClusterRef) -> Result<Arc<ParamSet>> {
         let fp = cluster.resolve_fingerprint();
+        let _sp = cpm_obs::span("service.param_set");
         loop {
             if let Some(ps) = self.params.read().get(&fp) {
                 return Ok(Arc::clone(ps));
             }
             // Not in memory: try disk before estimating.
-            if let Some(ps) = self.registry.load(&fp)? {
-                self.metrics.registry_loads.fetch_add(1, Ordering::Relaxed);
+            let loaded = {
+                let _sp = cpm_obs::span("registry.load");
+                self.registry.load(&fp)?
+            };
+            if let Some(ps) = loaded {
+                self.metrics.registry_loads.inc();
+                self.metrics.stored.set(self.registry.len() as u64);
                 let ps = Arc::new(ps);
                 self.params.write().insert(fp.clone(), Arc::clone(&ps));
                 return Ok(ps);
@@ -568,12 +707,15 @@ impl Service {
                 state.wait();
                 continue;
             }
-            self.metrics.estimations.fetch_add(1, Ordering::Relaxed);
+            self.metrics.estimations.inc();
             // Publish (persist + version) before exposing in memory so a
             // restarted service finds it and lineage has a real parent.
-            let outcome =
-                ParamSet::estimate(config, &self.cfg.est).and_then(|ps| self.registry.publish(ps));
+            let outcome = {
+                let _sp = cpm_obs::span("service.estimate");
+                ParamSet::estimate(config, &self.cfg.est).and_then(|ps| self.registry.publish(ps))
+            };
             if let Ok(ps) = &outcome {
+                self.metrics.stored.set(self.registry.len() as u64);
                 self.params.write().insert(fp.clone(), Arc::new(ps.clone()));
             }
             self.inflight.lock().remove(&fp);
@@ -589,11 +731,12 @@ impl Service {
     /// version) and the number of cache entries dropped.
     pub fn republish(&self, ps: ParamSet, touched: &[ModelKind]) -> Result<(Arc<ParamSet>, usize)> {
         let ps = self.registry.publish(ps)?;
+        self.metrics.stored.set(self.registry.len() as u64);
         let fp = ps.fingerprint.clone();
         let ps = Arc::new(ps);
         self.params.write().insert(fp.clone(), Arc::clone(&ps));
         let dropped = self.invalidate(&fp, touched);
-        self.metrics.republishes.fetch_add(1, Ordering::Relaxed);
+        self.metrics.republishes.inc();
         Ok((ps, dropped))
     }
 
@@ -632,6 +775,8 @@ impl Service {
         trace: &Trace,
         model: ModelKind,
     ) -> Result<PlannedWorkload> {
+        let mut sp = cpm_obs::span("service.plan");
+        sp.field_str("model", model.as_str());
         trace
             .validate()
             .map_err(|e| ServeError::Protocol(format!("bad trace: {e}")))?;
@@ -645,7 +790,7 @@ impl Service {
         let tick = self.plan_tick.fetch_add(1, Ordering::Relaxed) + 1;
         if let Some(slot) = self.plans.lock().get_mut(&key) {
             slot.1 = tick;
-            self.metrics.plan_hits.fetch_add(1, Ordering::Relaxed);
+            self.metrics.plan_hits.inc();
             return Ok(PlannedWorkload {
                 plan: Arc::clone(&slot.0),
                 fingerprint: key.fp,
@@ -654,15 +799,18 @@ impl Service {
                 cached: true,
             });
         }
-        self.metrics.plan_misses.fetch_add(1, Ordering::Relaxed);
         let models = ModelSet {
             lmo: ps.lmo.clone(),
             hockney: ps.hockney.clone(),
             loggp: ps.loggp.clone(),
             plogp: ps.plogp.clone(),
         };
-        let plan = cpm_workload::plan(trace, &models.get(model.workload()))
+        let (plan, profile) = cpm_workload::plan_profiled(trace, &models.get(model.workload()))
             .map_err(|e| ServeError::Protocol(format!("plan failed: {e}")))?;
+        // Counted only once the evaluation succeeded, so error paths are
+        // not misreported as plan-cache misses.
+        self.metrics.plan_misses.inc();
+        self.metrics.observe_plan_profile(&profile);
         let plan = Arc::new(plan);
         {
             let mut plans = self.plans.lock();
@@ -688,6 +836,8 @@ impl Service {
 
     /// Predicts one collective execution time.
     pub fn predict(&self, cluster: &ClusterRef, q: &Query) -> Result<Prediction> {
+        let mut sp = cpm_obs::span("service.predict");
+        sp.field_str("model", q.model.as_str());
         let start = Instant::now();
         let out = self.predict_inner(cluster, q);
         self.metrics
@@ -711,16 +861,19 @@ impl Service {
             m: q.m,
         };
         if let Some(seconds) = self.shard_of(&key).lock().get(&key) {
-            self.metrics.hits.fetch_add(1, Ordering::Relaxed);
+            self.metrics.hits.inc();
             return Ok(Prediction {
                 seconds,
                 fingerprint: fp,
                 cached: true,
             });
         }
-        self.metrics.misses.fetch_add(1, Ordering::Relaxed);
         let ps = self.param_set(cluster)?;
         let seconds = compute(&ps, q)?;
+        // A miss is a prediction *computed from a parameter set*: counted
+        // only after both fallible steps succeed, so failed lookups and
+        // bad queries do not inflate the miss rate.
+        self.metrics.misses.inc();
         key.n = ps.n();
         self.shard_of(&key)
             .lock()
@@ -796,6 +949,8 @@ impl Service {
 /// Computes a prediction from an estimated parameter set. Pure — all
 /// caching and estimation happen above this.
 pub fn compute(ps: &ParamSet, q: &Query) -> Result<f64> {
+    let mut sp = cpm_obs::span("model.compute");
+    sp.field_str("collective", q.collective.as_str());
     let n = ps.n();
     if q.root as usize >= n {
         return Err(ServeError::Protocol(format!(

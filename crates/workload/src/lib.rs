@@ -44,7 +44,10 @@ pub mod replay;
 pub mod trace;
 
 pub use lower::{lower, Algorithm, Lowered, Prim, RankPrim};
-pub use plan::{choose, plan, ModelKind, ModelSet, OpReport, PhaseReport, Plan, PlanModel};
+pub use plan::{
+    choose, plan, plan_profiled, ModelKind, ModelSet, OpReport, PhaseReport, Plan, PlanModel,
+    PlanProfile,
+};
 pub use replay::{
     compare, replay, CompareReport, OpResidual, P2pObservation, ReplayOp, ReplayReport,
 };

@@ -574,9 +574,41 @@ impl<'a> Machine<'a> {
     }
 }
 
+/// Wall-clock self-profile of one [`plan_profiled`] evaluation, split
+/// into the planner's two phases: *lower* (per-op algorithm choice plus
+/// lowering into per-rank primitive programs) and *analyze* (the
+/// critical-path machine run plus report assembly).
+///
+/// Kept out of [`Plan`] deliberately: plans are deterministic and
+/// golden-tested, wall-clock timings are not. The serve layer records
+/// the profile into the `cpm_plan_phase_ns` histograms of its metrics
+/// registry.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PlanProfile {
+    /// Nanoseconds spent choosing algorithms and lowering the trace.
+    pub lower_ns: u64,
+    /// Nanoseconds spent in the critical-path machine and report build.
+    pub analyze_ns: u64,
+}
+
 /// Predicts the end-to-end makespan of `trace` under `model`, with per-op
 /// algorithm choices and a per-phase breakdown.
 pub fn plan(trace: &Trace, model: &PlanModel) -> Result<Plan, WorkloadError> {
+    plan_profiled(trace, model).map(|(p, _)| p)
+}
+
+fn elapsed_ns(start: std::time::Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// [`plan`], additionally reporting how long the planner's own phases
+/// took ([`PlanProfile`]). Each phase is also recorded as a span
+/// (`plan.lower`, `plan.analyze`) on the global flight recorder, so a
+/// `trace` dump breaks a served `plan` request down by phase.
+pub fn plan_profiled(
+    trace: &Trace,
+    model: &PlanModel,
+) -> Result<(Plan, PlanProfile), WorkloadError> {
     trace.validate()?;
     let model_n = model.as_p2p().n();
     if model_n != trace.n {
@@ -585,8 +617,17 @@ pub fn plan(trace: &Trace, model: &PlanModel) -> Result<Plan, WorkloadError> {
             trace.n
         )));
     }
-    let choices = choose(trace, model);
-    let lowered = lower(trace, &choices);
+    let mut profile = PlanProfile::default();
+    let t_lower = std::time::Instant::now();
+    let lowered = {
+        let mut sp = cpm_obs::span("plan.lower");
+        sp.field_u64("ops", trace.ops.len() as u64);
+        let choices = choose(trace, model);
+        lower(trace, &choices)
+    };
+    profile.lower_ns = elapsed_ns(t_lower);
+    let t_analyze = std::time::Instant::now();
+    let sp_analyze = cpm_obs::span("plan.analyze");
     let mut machine = Machine::new(&lowered, model);
     machine.run()?;
 
@@ -626,13 +667,16 @@ pub fn plan(trace: &Trace, model: &PlanModel) -> Result<Plan, WorkloadError> {
         })
         .collect();
 
-    Ok(Plan {
+    let plan = Plan {
         model: model.kind(),
         trace_hash: trace.hash(),
         makespan: machine.makespan(),
         ops,
         phases,
-    })
+    };
+    drop(sp_analyze);
+    profile.analyze_ns = elapsed_ns(t_analyze);
+    Ok((plan, profile))
 }
 
 #[cfg(test)]

@@ -90,8 +90,14 @@ pub fn replay(
             cluster.truth.c.len()
         )));
     }
-    let lowered = lower(trace, choices);
+    let lowered = {
+        let mut sp = cpm_obs::span("replay.lower");
+        sp.field_u64("ops", trace.ops.len() as u64);
+        lower(trace, choices)
+    };
     let n_ops = trace.ops.len();
+    let mut sp_des = cpm_obs::span("replay.des");
+    sp_des.field_u64("ranks", trace.n as u64);
     let out = cpm_vmpi::run(cluster, |c| {
         let me = c.rank().idx();
         let mut windows: Vec<Option<(f64, f64)>> = vec![None; n_ops];
@@ -113,6 +119,7 @@ pub fn replay(
         windows
     })
     .map_err(|e| WorkloadError::Sim(e.to_string()))?;
+    drop(sp_des);
 
     let ops: Vec<ReplayOp> = trace
         .ops

@@ -178,10 +178,11 @@ it; in-flight requests are drained before the server exits.",
             "seconds",
             "format",
             "batch",
+            "last",
         ],
         help: "\
 USAGE: cpm query [--addr HOST:PORT]
-                 [--verb predict|select|estimate|observe|drift-status|history|stats|shutdown]
+                 [--verb predict|select|estimate|observe|drift-status|history|stats|trace|shutdown]
                  [--model lmo|hockney|loggp|plogp] [--collective scatter|gather|bcast]
                  [--alg linear|binomial] [--m BYTES] [--root R]
                  [--config FILE | --fingerprint FP]
@@ -204,6 +205,24 @@ versions with their re-estimation lineage.
 requests — and prints one response line per element; the exit status is
 non-zero if any element failed.",
         run: cmd_query,
+    },
+    CommandSpec {
+        name: "trace",
+        flags: &["addr", "out", "last"],
+        help: "\
+USAGE: cpm trace [--addr HOST:PORT] [--out trace.json] [--last N]
+
+Dumps the flight recorder of a running `cpm serve` (default
+127.0.0.1:7971) as Chrome trace-event JSON, loadable in about:tracing or
+https://ui.perfetto.dev. Every request the server handled leaves
+begin/end spans (serve.request, service.predict, registry.load,
+model.compute, plan.lower, ...) tagged with the server-side request id
+and the client-supplied \"id\", so the dump attributes time to
+individual requests. --last N bounds the dump to the newest N records;
+the recorder itself is a fixed-size ring (oldest records are overwritten
+under sustained load — the `dropped` count on stderr says how many).
+Writes to stdout unless --out is given.",
+        run: cmd_trace,
     },
     CommandSpec {
         name: "drift replay",
@@ -438,9 +457,10 @@ USAGE:
                 [--alg linear|binomial] [--reps N] [--config FILE]
   cpm serve     [--store DIR] [--addr HOST:PORT] [--seed N] [--reps N]
   cpm query     [--addr HOST:PORT] [--verb predict|select|estimate|observe|
-                drift-status|history|stats|shutdown] [--model M] [--collective C]
+                drift-status|history|stats|trace|shutdown] [--model M] [--collective C]
                 [--alg A] [--m BYTES] [--root R] [--config FILE | --fingerprint FP]
                 [--kind p2p|gather] [--src R] [--dst R] [--seconds T]
+  cpm trace     [--addr HOST:PORT] [--out trace.json] [--last N]
   cpm drift replay  [--store DIR] [--schedule FILE] [--epochs N] [--obs N]
   cpm drift watch   (replay, narrated per epoch)
   cpm drift report  [--store DIR] [--fingerprint FP | --config FILE]
@@ -1058,11 +1078,19 @@ fn build_query_request(opts: &Opts) -> Result<Value, String> {
                 push("format", Value::Str(format.clone()));
             }
         }
+        "trace" => {
+            if let Some(last) = opts.get("last") {
+                push(
+                    "last",
+                    Value::U64(last.parse::<u64>().map_err(|e| format!("--last: {e}"))?),
+                );
+            }
+        }
         "estimate" | "drift-status" | "history" | "shutdown" => {}
         other => {
             return Err(format!(
                 "unknown verb {other:?} (expected predict|select|estimate|observe|\
-                 drift-status|history|stats|shutdown)"
+                 drift-status|history|stats|trace|shutdown)"
             ))
         }
     }
@@ -1334,4 +1362,40 @@ fn cmd_query(opts: &Opts) -> Result<(), String> {
     } else {
         Err("request failed".into())
     }
+}
+
+/// `cpm trace`: fetch the server's flight-recorder dump and write the
+/// Chrome trace-event JSON (pretty-printed — the file is meant to be
+/// loaded into a trace viewer, and occasionally eyeballed).
+fn cmd_trace(opts: &Opts) -> Result<(), String> {
+    let addr = opts.get("addr").map(String::as_str).unwrap_or(DEFAULT_ADDR);
+    let mut entries = vec![("verb".to_string(), Value::Str("trace".to_string()))];
+    if let Some(last) = opts.get("last") {
+        entries.push((
+            "last".to_string(),
+            Value::U64(last.parse::<u64>().map_err(|e| format!("--last: {e}"))?),
+        ));
+    }
+    let (raw, parsed) = send_query(addr, &Value::Map(entries))?;
+    if !is_ok(&parsed) {
+        println!("{raw}");
+        return Err("trace request failed".into());
+    }
+    let Some(trace) = parsed.get("trace") else {
+        return Err(format!("malformed trace response: {raw}"));
+    };
+    let records = parsed.get("records").and_then(Value::as_u64).unwrap_or(0);
+    let dropped = parsed.get("dropped").and_then(Value::as_u64).unwrap_or(0);
+    let json = serde_json::to_string_pretty(trace).map_err(|e| e.to_string())?;
+    match opts.get("out") {
+        Some(path) => {
+            std::fs::write(path, json.as_bytes()).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("wrote {path}: {records} records ({dropped} dropped by the ring)");
+        }
+        None => {
+            println!("{json}");
+            eprintln!("{records} records ({dropped} dropped by the ring)");
+        }
+    }
+    Ok(())
 }
