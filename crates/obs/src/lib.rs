@@ -34,7 +34,9 @@ pub mod metrics;
 pub mod recorder;
 
 pub use metrics::{validate_exposition, Counter, Gauge, Histogram, MetricsRegistry};
-pub use recorder::{current_tid, Record, RecordKind, Recorder, Span, DEFAULT_CAPACITY};
+pub use recorder::{
+    current_tid, Record, RecordKind, Recorder, Span, CLAIM_SPIN_LIMIT, DEFAULT_CAPACITY,
+};
 
 /// Opens a span on the [global recorder](Recorder::global): begin now,
 /// end when the guard drops.

@@ -15,11 +15,22 @@
 //!    counted in [`Recorder::dropped`] rather than clobbering fresher
 //!    data. A slot mid-write by an *older* record is waited out with a
 //!    bounded spin (this only happens once the ring has lapped, i.e.
-//!    `capacity` records were written while one writer was stalled).
-//! 2. publish the payload with `Relaxed` stores — the fields are atomics,
+//!    `capacity` records were written while one writer was stalled);
+//!    if the bound ([`CLAIM_SPIN_LIMIT`]) is exhausted — the older
+//!    writer was preempted mid-write — the record is likewise abandoned
+//!    and counted dropped, so a stalled writer can delay a lapped slot
+//!    but never wedge the write path;
+//! 2. fence: a `Release` fence immediately after the successful claim
+//!    CAS orders the odd stamp store before every payload store (the
+//!    C11 seqlock writer pattern). Without it the CAS's store part is
+//!    effectively `Relaxed`, and on weakly-ordered targets (aarch64) a
+//!    payload store could become visible *before* the odd stamp — a
+//!    reader could then see the old even stamp on both of its loads yet
+//!    read payload mixed from two records;
+//! 3. publish the payload with `Relaxed` stores — the fields are atomics,
 //!    so there is no data race, only the *consistency* question of
 //!    whether a reader observes fields from two different records;
-//! 3. release: store `2*seq + 2` (even = complete) with `Release`
+//! 4. release: store `2*seq + 2` (even = complete) with `Release`
 //!    ordering, making every payload store visible before the stamp.
 //!
 //! A reader never blocks writers: it loads the stamp with `Acquire`,
@@ -33,9 +44,11 @@
 //! reused), so the equality check fails.
 //!
 //! The common-case write is wait-free: one `fetch_add`, one uncontended
-//! CAS, ~a dozen `Relaxed` stores and one `Release` store, plus a
-//! monotonic clock read — comfortably inside the 100 ns budget enforced
-//! by the `obs` Criterion bench.
+//! CAS, a fence, ~a dozen `Relaxed` stores and one `Release` store, plus
+//! a monotonic clock read — comfortably inside the 100 ns budget enforced
+//! by the `obs` Criterion bench. The worst case (lapping a preempted
+//! writer) is bounded by the claim spin limit, after which the record is
+//! dropped rather than blocking.
 
 use std::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering};
 use std::sync::OnceLock;
@@ -47,6 +60,12 @@ use crate::ctx;
 ///
 /// [global recorder]: Recorder::global
 pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+/// How many times a writer re-polls a slot held mid-write by an *older*
+/// record before abandoning its own record as dropped. Only reachable
+/// once the ring has lapped a stalled writer; the bound keeps the write
+/// path non-blocking even when that writer was preempted mid-write.
+pub const CLAIM_SPIN_LIMIT: u32 = 1 << 10;
 
 /// How a record marks time: the start of a span, its end, or a point
 /// event.
@@ -236,15 +255,20 @@ impl Recorder {
         self.slots.len()
     }
 
-    /// Total records claimed since creation (including ones later
-    /// overwritten by ring wrap-around).
+    /// Total records *claimed* since creation. This counts every
+    /// sequence number handed out, including claims that were later
+    /// abandoned (see [`Recorder::dropped`]) and records since
+    /// overwritten by ring wrap-around — so `recorded() - dropped()` is
+    /// the number of records actually written, **not** the number
+    /// retrievable from [`Recorder::snapshot`].
     pub fn recorded(&self) -> u64 {
         self.head.load(Ordering::Relaxed)
     }
 
-    /// Records abandoned because a newer record had already claimed the
-    /// same slot (only possible once the ring has lapped a stalled
-    /// writer).
+    /// Records abandoned without being written: either a newer record
+    /// had already claimed the same slot, or an older record held the
+    /// slot mid-write past [`CLAIM_SPIN_LIMIT`]. Both are only possible
+    /// once the ring has lapped a stalled writer.
     pub fn dropped(&self) -> u64 {
         self.dropped.load(Ordering::Relaxed)
     }
@@ -280,7 +304,12 @@ impl Recorder {
         let slot = &self.slots[(seq as usize) & (self.slots.len() - 1)];
         let writing = seq * 2 + 1;
         // Claim the slot (see the module docs): abandon if a newer record
-        // owns it, wait out an older in-progress write.
+        // owns it, wait out an older in-progress write up to the spin
+        // limit. Abandoning never touches the payload, so the slot keeps
+        // whatever complete record it already held — at quiescence every
+        // claimed slot therefore still holds one untorn record (the
+        // concurrent proptest's final assertion relies on this).
+        let mut spins = 0u32;
         let mut cur = slot.stamp.load(Ordering::Relaxed);
         loop {
             if cur > writing {
@@ -288,6 +317,11 @@ impl Recorder {
                 return;
             }
             if cur & 1 == 1 {
+                if spins >= CLAIM_SPIN_LIMIT {
+                    self.dropped.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                spins += 1;
                 std::hint::spin_loop();
                 cur = slot.stamp.load(Ordering::Relaxed);
                 continue;
@@ -302,6 +336,12 @@ impl Recorder {
                 Err(c) => cur = c,
             }
         }
+        // Seqlock writer fence: order the odd claim stamp before the
+        // payload stores below. The CAS's store part is effectively
+        // Relaxed, so without this a reader on a weakly-ordered target
+        // could observe new payload under the slot's old even stamp and
+        // assemble a torn record.
+        fence(Ordering::Release);
         let (name_ptr, name_len) = store_str(name);
         let (key_ptr, key_len) = store_str(key);
         let (sval_ptr, sval_len) = store_str(sval);

@@ -69,9 +69,12 @@ proptest! {
                 check_snapshot(&rec.snapshot());
             }
         });
-        // Quiescent: every written slot holds a complete record (a claim
-        // is only ever abandoned because a *newer* record took the slot),
-        // so the snapshot is exactly the ring's worth of newest records.
+        // Quiescent: every claimed slot holds a complete record. A claim
+        // is only abandoned when a *newer* record took the slot or an
+        // older writer held it past the spin limit — and abandoning
+        // never touches the payload, so the slot keeps the complete
+        // record it already had. The snapshot is therefore exactly one
+        // untorn record per claimed slot: min(total, capacity).
         let final_snap = rec.snapshot();
         check_snapshot(&final_snap);
         let total = writers as u64 * per_writer;
