@@ -45,12 +45,21 @@ diff -u crates/workload/tests/golden/train_n4.jsonl "$WL_TMP/train.jsonl" \
   | "$CPM" workload predict --nodes 4 --reps 1 | grep -q '"makespan_seconds"'
 "$CPM" workload run --trace "$WL_TMP/train.jsonl" --nodes 4 | grep -q '"msgs_sent"'
 
+echo "== reactor engine tests (event loop, framing, pipelining, idle reaping)"
+cargo test -p cpm-reactor -q
+cargo test -p cpm-serve --test reactor -q
+
 echo "== serve loadgen smoke (pool speedup, tracing overhead, exposition grammar)"
 ./target/release/loadgen --clients 4 --requests 60 --workers 2 \
   --out "$WL_TMP/serve_load.json" --require-speedup 1.0 --obs-overhead-max 5.0
 
-echo "== trace CLI smoke (server dump loads as Chrome trace JSON)"
-"$CPM" serve --store "$WL_TMP/trace-store" --addr 127.0.0.1:0 >"$WL_TMP/serve.log" 2>&1 &
+echo "== reactor loadgen gate (pipelined, reactor > 3x pool at equal workers)"
+./target/release/loadgen --clients 16 --requests 150 --workers 2 --pipeline 8 \
+  --out "$WL_TMP/serve_reactor.json" --require-speedup 3.0 --obs-overhead-max 5.0
+
+echo "== trace CLI smoke (reactor engine: query over both wires, trace dump)"
+"$CPM" serve --store "$WL_TMP/trace-store" --addr 127.0.0.1:0 --engine reactor \
+  >"$WL_TMP/serve.log" 2>&1 &
 SERVE_PID=$!
 for _ in $(seq 1 50); do
   ADDR="$(sed -n 's/.*listening on \([0-9.:]*\).*/\1/p' "$WL_TMP/serve.log")"
@@ -59,6 +68,7 @@ for _ in $(seq 1 50); do
 done
 [ -n "$ADDR" ] || { echo "serve did not report an address"; kill "$SERVE_PID"; exit 1; }
 "$CPM" query --addr "$ADDR" --verb stats --format text | grep -q '^cpm_serve_'
+"$CPM" query --addr "$ADDR" --verb stats --wire binary | grep -q '"ok":true'
 "$CPM" trace --addr "$ADDR" --out "$WL_TMP/trace.json" --last 1000
 grep -q '"traceEvents"' "$WL_TMP/trace.json"
 "$CPM" query --addr "$ADDR" --verb shutdown >/dev/null

@@ -1,17 +1,29 @@
-//! Load generator for the cpm-serve worker-pool server.
+//! Load generator for the cpm-serve server (both engines).
 //!
-//! Spins up an in-process server, primes the prediction cache, then
-//! drives K concurrent clients doing synchronous request/response round
-//! trips against it — once with `--baseline-workers` (default 1, the old
-//! serial server) and once with `--workers` — and reports throughput,
-//! client-side latency quantiles (from merged per-client
-//! [`LogHistogram`]s), the server's own per-verb latency stats, and the
-//! concurrent-over-baseline speedup. Results are persisted as JSON
-//! (default `bench_results/serve_load.json`).
+//! Two modes:
+//!
+//! **Closed-loop** (default): spins up an in-process server, primes the
+//! prediction cache, then drives K concurrent clients doing synchronous
+//! request/response round trips against it — once with
+//! `--baseline-workers` (default 1, the old serial server) and once with
+//! `--workers` — and reports throughput, client-side latency quantiles
+//! (from merged per-client [`LogHistogram`]s), the server's own per-verb
+//! latency stats, and the concurrent-over-baseline speedup. Results are
+//! persisted as JSON (default `bench_results/serve_load.json`).
+//! `--engine pool|reactor` selects the serving engine for both runs.
+//!
+//! **Pipelined** (`--pipeline DEPTH`): every client keeps DEPTH requests
+//! in flight on one connection (open-window pipelining with tagged ids,
+//! responses asserted in order) and the run compares the worker-pool
+//! engine against the reactor at *equal* `--workers` — the scenario the
+//! event loop exists for: many more connections than cores. Results go
+//! to `bench_results/serve_reactor.json` by default, and
+//! `--require-speedup X` gates reactor-over-pool throughput.
 //!
 //! ```text
 //! loadgen [--clients K] [--requests N] [--workers W]
-//!         [--baseline-workers B] [--out PATH] [--require-speedup X]
+//!         [--baseline-workers B] [--engine pool|reactor]
+//!         [--pipeline DEPTH] [--out PATH] [--require-speedup X]
 //!         [--obs-overhead-max PCT]
 //! ```
 //!
@@ -27,6 +39,7 @@
 //! the Prometheus exposition grammar ([`cpm_obs::validate_exposition`]),
 //! so a malformed metrics rendering fails the smoke gate too.
 
+use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::{Arc, Barrier};
@@ -34,7 +47,7 @@ use std::time::Instant;
 
 use cpm_cluster::{ClusterConfig, ClusterSpec};
 use cpm_estimate::EstimateConfig;
-use cpm_serve::{Server, ServerHandle, Service, ServiceConfig};
+use cpm_serve::{Engine, Server, ServerHandle, Service, ServiceConfig};
 use cpm_stats::LogHistogram;
 use serde::Serialize;
 use serde_json::Value;
@@ -48,8 +61,10 @@ struct Args {
     requests: usize,
     workers: usize,
     baseline_workers: usize,
+    engine: Engine,
+    pipeline: usize,
     think_us: u64,
-    out: std::path::PathBuf,
+    out: Option<std::path::PathBuf>,
     require_speedup: Option<f64>,
     obs_overhead_max: Option<f64>,
 }
@@ -57,7 +72,8 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--clients K] [--requests N] [--workers W]\n\
-         \x20              [--baseline-workers B] [--think-us T]\n\
+         \x20              [--baseline-workers B] [--engine pool|reactor]\n\
+         \x20              [--pipeline DEPTH] [--think-us T]\n\
          \x20              [--out PATH] [--require-speedup X]\n\
          \x20              [--obs-overhead-max PCT]"
     );
@@ -70,8 +86,10 @@ fn parse_args() -> Args {
         requests: 200,
         workers: 8,
         baseline_workers: 1,
+        engine: Engine::Pool,
+        pipeline: 0,
         think_us: 200,
-        out: cpm_bench::results_dir().join("serve_load.json"),
+        out: None,
         require_speedup: None,
         obs_overhead_max: None,
     };
@@ -85,8 +103,10 @@ fn parse_args() -> Args {
             "--baseline-workers" => {
                 args.baseline_workers = value.parse().unwrap_or_else(|_| usage())
             }
+            "--engine" => args.engine = Engine::parse(&value).unwrap_or_else(|_| usage()),
+            "--pipeline" => args.pipeline = value.parse().unwrap_or_else(|_| usage()),
             "--think-us" => args.think_us = value.parse().unwrap_or_else(|_| usage()),
-            "--out" => args.out = value.into(),
+            "--out" => args.out = Some(value.into()),
             "--require-speedup" => {
                 args.require_speedup = Some(value.parse().unwrap_or_else(|_| usage()))
             }
@@ -102,9 +122,17 @@ fn parse_args() -> Args {
     args
 }
 
+fn engine_name(engine: Engine) -> &'static str {
+    match engine {
+        Engine::Pool => "pool",
+        Engine::Reactor => "reactor",
+    }
+}
+
 /// Client- and server-side view of one timed run.
 #[derive(Serialize)]
 struct RunResult {
+    engine: &'static str,
     workers: usize,
     wall_seconds: f64,
     throughput_rps: f64,
@@ -137,7 +165,22 @@ struct LoadReport {
     obs_overhead: Option<ObsOverhead>,
 }
 
-fn start_server(store: &std::path::Path, workers: usize) -> ServerHandle {
+/// Report of the pipelined pool-vs-reactor comparison.
+#[derive(Serialize)]
+struct ReactorReport {
+    clients: usize,
+    requests_per_client: usize,
+    pipeline: usize,
+    think_us: u64,
+    workers: usize,
+    sizes: Vec<u64>,
+    pool: RunResult,
+    reactor: RunResult,
+    speedup: f64,
+    obs_overhead: Option<ObsOverhead>,
+}
+
+fn start_server(store: &std::path::Path, workers: usize, engine: Engine) -> ServerHandle {
     let cfg = ServiceConfig {
         est: EstimateConfig {
             reps: 1,
@@ -149,6 +192,7 @@ fn start_server(store: &std::path::Path, workers: usize) -> ServerHandle {
     Server::bind(service, "127.0.0.1:0")
         .expect("bind")
         .workers(workers)
+        .engine(engine)
         .spawn()
 }
 
@@ -174,6 +218,13 @@ fn predict_line(fp: &str, m: u64) -> String {
     )
 }
 
+fn predict_line_tagged(fp: &str, m: u64, id: &str) -> String {
+    format!(
+        "{{\"verb\":\"predict\",\"id\":\"{id}\",\"fingerprint\":\"{fp}\",\"model\":\"lmo\",\
+         \"collective\":\"scatter\",\"algorithm\":\"binomial\",\"m\":{m}}}"
+    )
+}
+
 fn quantile_ns(stats: &Value, verb: &str, q: &str) -> u64 {
     stats
         .get("latency")
@@ -183,27 +234,17 @@ fn quantile_ns(stats: &Value, verb: &str, q: &str) -> u64 {
         .unwrap_or(0)
 }
 
-/// One timed run: start a server with `workers` pool threads over
-/// `store`, prime the cache, drive the clients, read the server's own
-/// stats, shut down.
-///
-/// Clients are closed-loop with `think_us` of think time between round
-/// trips — the standard load-generator model of a client that does some
-/// work (or crosses a network) between requests. It is what makes the
-/// worker pool measurable at all on a small machine: a serial server is
-/// held hostage by an idle connection, a pool thinks in parallel.
-fn run_load(
+/// Starts a `workers`-wide `engine` server over `store`, estimates the
+/// canonical cluster (idempotent — the registry persists across runs)
+/// and primes every message size so the timed phase is warm. Returns the
+/// handle and the cluster fingerprint.
+fn primed_server(
     store: &std::path::Path,
     workers: usize,
-    clients: usize,
-    requests: usize,
-    think_us: u64,
-) -> RunResult {
-    let mut server = start_server(store, workers);
+    engine: Engine,
+) -> (ServerHandle, String) {
+    let server = start_server(store, workers, engine);
     let addr = server.addr();
-
-    // Estimate once (idempotent across runs — the registry persists in
-    // `store`), then prime every message size so the timed phase is warm.
     let config = ClusterConfig::ideal(ClusterSpec::homogeneous(4), 31);
     let est = request(
         addr,
@@ -222,6 +263,67 @@ fn run_load(
         let primed = request(addr, &predict_line(&fp, m));
         assert_eq!(primed.get("ok"), Some(&Value::Bool(true)), "{primed:?}");
     }
+    (server, fp)
+}
+
+/// Fetches the server's own stats, smoke-checks the unified metrics
+/// exposition, shuts the server down and folds everything into a
+/// [`RunResult`].
+fn finish_run(
+    mut server: ServerHandle,
+    engine: Engine,
+    workers: usize,
+    wall: f64,
+    total_requests: usize,
+    merged: &LogHistogram,
+) -> RunResult {
+    let addr = server.addr();
+    let stats = request(addr, "{\"verb\":\"stats\"}");
+    let text = request(addr, "{\"verb\":\"stats\",\"format\":\"text\"}");
+    let text = text
+        .get("text")
+        .and_then(Value::as_str)
+        .expect("text stats");
+    match cpm_obs::validate_exposition(text) {
+        Ok(samples) => assert!(samples > 0, "empty exposition"),
+        Err(e) => panic!("invalid metrics exposition: {e}"),
+    }
+    server.shutdown();
+
+    let h = merged.snapshot();
+    RunResult {
+        engine: engine_name(engine),
+        workers,
+        wall_seconds: wall,
+        throughput_rps: total_requests as f64 / wall,
+        client_p50_ns: h.quantile(0.50),
+        client_p95_ns: h.quantile(0.95),
+        client_p99_ns: h.quantile(0.99),
+        client_mean_ns: h.mean(),
+        server_predict_p50_ns: quantile_ns(&stats, "predict", "p50_ns"),
+        server_predict_p95_ns: quantile_ns(&stats, "predict", "p95_ns"),
+        server_predict_p99_ns: quantile_ns(&stats, "predict", "p99_ns"),
+    }
+}
+
+/// One timed closed-loop run against `engine` with `workers` threads (or
+/// shards) over `store`.
+///
+/// Clients are closed-loop with `think_us` of think time between round
+/// trips — the standard load-generator model of a client that does some
+/// work (or crosses a network) between requests. It is what makes the
+/// worker pool measurable at all on a small machine: a serial server is
+/// held hostage by an idle connection, a pool thinks in parallel.
+fn run_load(
+    store: &std::path::Path,
+    engine: Engine,
+    workers: usize,
+    clients: usize,
+    requests: usize,
+    think_us: u64,
+) -> RunResult {
+    let (server, fp) = primed_server(store, workers, engine);
+    let addr = server.addr();
 
     // Timed phase: every client is a synchronous request/response loop
     // over one connection, recording round-trip latency locally. Lines
@@ -272,40 +374,100 @@ fn run_load(
         merged.merge_from(&t.join().expect("client panicked"));
     }
     let wall = t0.elapsed().as_secs_f64();
+    finish_run(server, engine, workers, wall, clients * requests, &merged)
+}
 
-    let stats = request(addr, "{\"verb\":\"stats\"}");
-    // Smoke-check the unified metrics exposition: it must parse as
-    // Prometheus text and actually contain samples.
-    let text = request(addr, "{\"verb\":\"stats\",\"format\":\"text\"}");
-    let text = text
-        .get("text")
-        .and_then(Value::as_str)
-        .expect("text stats");
-    match cpm_obs::validate_exposition(text) {
-        Ok(samples) => assert!(samples > 0, "empty exposition"),
-        Err(e) => panic!("invalid metrics exposition: {e}"),
-    }
-    server.shutdown();
+/// One timed pipelined run: every client keeps up to `depth` tagged
+/// requests in flight on a single connection and asserts that responses
+/// come back in request order (the protocol guarantee the reactor's
+/// in-order state machine exists to keep). Latency is measured per
+/// request from its own send instant, so queueing inside the window is
+/// visible in the quantiles.
+fn run_pipelined(
+    store: &std::path::Path,
+    engine: Engine,
+    workers: usize,
+    clients: usize,
+    requests: usize,
+    depth: usize,
+    think_us: u64,
+) -> RunResult {
+    let (server, fp) = primed_server(store, workers, engine);
+    let addr = server.addr();
 
-    let h = merged.snapshot();
-    RunResult {
-        workers,
-        wall_seconds: wall,
-        throughput_rps: (clients * requests) as f64 / wall,
-        client_p50_ns: h.quantile(0.50),
-        client_p95_ns: h.quantile(0.95),
-        client_p99_ns: h.quantile(0.99),
-        client_mean_ns: h.mean(),
-        server_predict_p50_ns: quantile_ns(&stats, "predict", "p50_ns"),
-        server_predict_p95_ns: quantile_ns(&stats, "predict", "p95_ns"),
-        server_predict_p99_ns: quantile_ns(&stats, "predict", "p99_ns"),
+    let fp = Arc::new(fp);
+    let barrier = Arc::new(Barrier::new(clients + 1));
+    let threads: Vec<_> = (0..clients)
+        .map(|c| {
+            let fp = Arc::clone(&fp);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let stream = TcpStream::connect(addr).expect("connect");
+                let _ = stream.set_nodelay(true);
+                let mut writer = stream.try_clone().expect("clone");
+                let mut reader = BufReader::new(stream);
+                let hist = LogHistogram::new();
+                let mut sent_at: VecDeque<Instant> = VecDeque::with_capacity(depth);
+                let mut response = String::new();
+                let mut next = 0usize;
+                let mut received = 0usize;
+                barrier.wait();
+                while received < requests {
+                    // Top up the window, batching the burst into one write.
+                    if next < requests && next - received < depth {
+                        let mut burst = String::new();
+                        let t = Instant::now();
+                        while next < requests && next - received < depth {
+                            burst.push_str(&predict_line_tagged(
+                                &fp,
+                                SIZES[next % SIZES.len()],
+                                &format!("c{c}-{next}"),
+                            ));
+                            burst.push('\n');
+                            sent_at.push_back(t);
+                            next += 1;
+                        }
+                        writer.write_all(burst.as_bytes()).expect("write");
+                    }
+                    response.clear();
+                    assert!(
+                        reader.read_line(&mut response).expect("read") > 0,
+                        "lost response"
+                    );
+                    let sent = sent_at.pop_front().expect("response without request");
+                    hist.record(u64::try_from(sent.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                    let v: Value = serde_json::from_str(response.trim_end()).expect("json");
+                    assert_eq!(v.get("ok"), Some(&Value::Bool(true)), "{response}");
+                    let want = format!("c{c}-{received}");
+                    assert_eq!(
+                        v.get("id").and_then(Value::as_str),
+                        Some(want.as_str()),
+                        "pipelined responses out of order: {response}"
+                    );
+                    received += 1;
+                    if think_us > 0 {
+                        std::thread::sleep(std::time::Duration::from_micros(think_us));
+                    }
+                }
+                hist
+            })
+        })
+        .collect();
+    barrier.wait();
+    let t0 = Instant::now();
+    let merged = LogHistogram::new();
+    for t in threads {
+        merged.merge_from(&t.join().expect("client panicked"));
     }
+    let wall = t0.elapsed().as_secs_f64();
+    finish_run(server, engine, workers, wall, clients * requests, &merged)
 }
 
 fn print_run(tag: &str, r: &RunResult) {
     println!(
-        "{tag:<10} workers={:<2} wall={:.3}s throughput={:.0} req/s \
+        "{tag:<10} engine={:<7} workers={:<2} wall={:.3}s throughput={:.0} req/s \
          client p50/p95/p99={:.1}/{:.1}/{:.1}µs server predict p50={:.1}µs",
+        r.engine,
         r.workers,
         r.wall_seconds,
         r.throughput_rps,
@@ -316,30 +478,147 @@ fn print_run(tag: &str, r: &RunResult) {
     );
 }
 
-fn main() {
-    let args = parse_args();
-    let store = std::env::temp_dir().join(format!("cpm-loadgen-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&store);
-
+/// Best-of-N interleaved tracing-off/on throughput of `run`.
+///
+/// A single off/on pair at these run lengths shows scheduler jitter well
+/// above the gate threshold. Interleave trials and keep the best
+/// throughput per mode: noise only ever slows a run down, so the
+/// per-mode maximum is the stable estimator of its true rate.
+fn measure_obs_overhead(run: impl Fn() -> RunResult) -> ObsOverhead {
+    const TRIALS: usize = 3;
+    let rec = cpm_obs::Recorder::global();
+    let (mut off_rps, mut on_rps) = (0.0f64, 0.0f64);
+    for _ in 0..TRIALS {
+        rec.set_enabled(false);
+        off_rps = off_rps.max(run().throughput_rps);
+        rec.set_enabled(true);
+        on_rps = on_rps.max(run().throughput_rps);
+    }
+    let overhead_pct = (off_rps - on_rps) / off_rps * 100.0;
     println!(
-        "loadgen: {} clients x {} requests, {}µs think time, warm cache, sizes {:?}",
-        args.clients, args.requests, args.think_us, SIZES
+        "tracing overhead: {overhead_pct:.2}% \
+         (best-of-{TRIALS}: on {on_rps:.0} req/s vs off {off_rps:.0} req/s)"
     );
-    let baseline = run_load(
-        &store,
-        args.baseline_workers,
+    ObsOverhead {
+        off_rps,
+        on_rps,
+        overhead_pct,
+    }
+}
+
+fn write_report<T: Serialize>(out: &std::path::Path, report: &T) {
+    if let Some(dir) = out.parent() {
+        std::fs::create_dir_all(dir).expect("create output dir");
+    }
+    std::fs::write(
+        out,
+        serde_json::to_string_pretty(report).expect("report json"),
+    )
+    .expect("write report");
+    println!("wrote {}", out.display());
+}
+
+/// Exits 1 unless `speedup > required` (when a gate was requested).
+fn gate_speedup(speedup: f64, required: Option<f64>) {
+    if let Some(required) = required {
+        if speedup <= required {
+            eprintln!("FAIL: speedup {speedup:.2}x is not > {required:.2}x");
+            std::process::exit(1);
+        }
+        println!("ok: speedup {speedup:.2}x > {required:.2}x");
+    }
+}
+
+/// Exits 1 if the measured tracing overhead exceeds the gate.
+fn gate_obs(max: Option<f64>, obs: Option<&ObsOverhead>) {
+    if let (Some(max), Some(obs)) = (max, obs) {
+        if obs.overhead_pct > max {
+            eprintln!(
+                "FAIL: tracing overhead {:.2}% exceeds {max:.2}%",
+                obs.overhead_pct
+            );
+            std::process::exit(1);
+        }
+        println!("ok: tracing overhead {:.2}% <= {max:.2}%", obs.overhead_pct);
+    }
+}
+
+/// Pipelined pool-vs-reactor comparison at equal `--workers`.
+fn main_pipelined(args: &Args, store: &std::path::Path) {
+    println!(
+        "loadgen: {} clients x {} requests, pipeline depth {}, {}µs think time, \
+         pool vs reactor at {} workers, warm cache, sizes {:?}",
+        args.clients, args.requests, args.pipeline, args.think_us, args.workers, SIZES
+    );
+    let run = |engine| {
+        run_pipelined(
+            store,
+            engine,
+            args.workers,
+            args.clients,
+            args.requests,
+            args.pipeline,
+            args.think_us,
+        )
+    };
+    let pool = run(Engine::Pool);
+    print_run("pool", &pool);
+    let reactor = run(Engine::Reactor);
+    print_run("reactor", &reactor);
+    let speedup = reactor.throughput_rps / pool.throughput_rps;
+    println!(
+        "speedup: {speedup:.2}x (reactor over pool at {} workers)",
+        args.workers
+    );
+    let obs_overhead = args
+        .obs_overhead_max
+        .map(|_| measure_obs_overhead(|| run(Engine::Reactor)));
+
+    let report = ReactorReport {
+        clients: args.clients,
+        requests_per_client: args.requests,
+        pipeline: args.pipeline,
+        think_us: args.think_us,
+        workers: args.workers,
+        sizes: SIZES.to_vec(),
+        pool,
+        reactor,
+        speedup,
+        obs_overhead,
+    };
+    let out = args
+        .out
+        .clone()
+        .unwrap_or_else(|| cpm_bench::results_dir().join("serve_reactor.json"));
+    write_report(&out, &report);
+    gate_speedup(speedup, args.require_speedup);
+    gate_obs(args.obs_overhead_max, report.obs_overhead.as_ref());
+}
+
+/// Closed-loop baseline-vs-concurrent comparison on one engine.
+fn main_closed_loop(args: &Args, store: &std::path::Path) {
+    println!(
+        "loadgen: {} clients x {} requests, {}µs think time, {} engine, \
+         warm cache, sizes {:?}",
         args.clients,
         args.requests,
         args.think_us,
+        engine_name(args.engine),
+        SIZES
     );
+    let run = |workers| {
+        run_load(
+            store,
+            args.engine,
+            workers,
+            args.clients,
+            args.requests,
+            args.think_us,
+        )
+    };
+    let baseline = run(args.baseline_workers);
     print_run("baseline", &baseline);
-    let concurrent = run_load(
-        &store,
-        args.workers,
-        args.clients,
-        args.requests,
-        args.think_us,
-    );
+    let concurrent = run(args.workers);
     print_run("concurrent", &concurrent);
 
     let speedup = concurrent.throughput_rps / baseline.throughput_rps;
@@ -351,45 +630,9 @@ fn main() {
     // Tracing overhead: the same concurrent configuration with the
     // flight recorder off, then on (the server is in-process, so the
     // global recorder toggle reaches it directly).
-    let obs_overhead = args.obs_overhead_max.map(|_| {
-        // A single off/on pair at this run length shows scheduler jitter
-        // well above the gate threshold. Interleave trials and keep the
-        // best throughput per mode: noise only ever slows a run down, so
-        // the per-mode maximum is the stable estimator of its true rate.
-        const TRIALS: usize = 3;
-        let rec = cpm_obs::Recorder::global();
-        let (mut off_rps, mut on_rps) = (0.0f64, 0.0f64);
-        for _ in 0..TRIALS {
-            rec.set_enabled(false);
-            let off = run_load(
-                &store,
-                args.workers,
-                args.clients,
-                args.requests,
-                args.think_us,
-            );
-            rec.set_enabled(true);
-            let on = run_load(
-                &store,
-                args.workers,
-                args.clients,
-                args.requests,
-                args.think_us,
-            );
-            off_rps = off_rps.max(off.throughput_rps);
-            on_rps = on_rps.max(on.throughput_rps);
-        }
-        let overhead_pct = (off_rps - on_rps) / off_rps * 100.0;
-        println!(
-            "tracing overhead: {overhead_pct:.2}% \
-             (best-of-{TRIALS}: on {on_rps:.0} req/s vs off {off_rps:.0} req/s)"
-        );
-        ObsOverhead {
-            off_rps,
-            on_rps,
-            overhead_pct,
-        }
-    });
+    let obs_overhead = args
+        .obs_overhead_max
+        .map(|_| measure_obs_overhead(|| run(args.workers)));
 
     let report = LoadReport {
         clients: args.clients,
@@ -401,32 +644,23 @@ fn main() {
         speedup,
         obs_overhead,
     };
-    if let Some(dir) = args.out.parent() {
-        std::fs::create_dir_all(dir).expect("create output dir");
-    }
-    std::fs::write(
-        &args.out,
-        serde_json::to_string_pretty(&report).expect("report json"),
-    )
-    .expect("write report");
-    println!("wrote {}", args.out.display());
-    let _ = std::fs::remove_dir_all(&store);
+    let out = args
+        .out
+        .clone()
+        .unwrap_or_else(|| cpm_bench::results_dir().join("serve_load.json"));
+    write_report(&out, &report);
+    gate_speedup(speedup, args.require_speedup);
+    gate_obs(args.obs_overhead_max, report.obs_overhead.as_ref());
+}
 
-    if let Some(required) = args.require_speedup {
-        if speedup <= required {
-            eprintln!("FAIL: speedup {speedup:.2}x is not > {required:.2}x");
-            std::process::exit(1);
-        }
-        println!("ok: speedup {speedup:.2}x > {required:.2}x");
+fn main() {
+    let args = parse_args();
+    let store = std::env::temp_dir().join(format!("cpm-loadgen-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store);
+    if args.pipeline > 0 {
+        main_pipelined(&args, &store);
+    } else {
+        main_closed_loop(&args, &store);
     }
-    if let (Some(max), Some(obs)) = (args.obs_overhead_max, &report.obs_overhead) {
-        if obs.overhead_pct > max {
-            eprintln!(
-                "FAIL: tracing overhead {:.2}% exceeds {max:.2}%",
-                obs.overhead_pct
-            );
-            std::process::exit(1);
-        }
-        println!("ok: tracing overhead {:.2}% <= {max:.2}%", obs.overhead_pct);
-    }
+    let _ = std::fs::remove_dir_all(&store);
 }

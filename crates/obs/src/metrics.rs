@@ -52,6 +52,17 @@ impl Gauge {
         self.0.fetch_max(v, Ordering::Relaxed);
     }
 
+    /// Adds one (e.g. a connection opened).
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Subtracts one (e.g. a connection closed). Saturating would mask
+    /// bookkeeping bugs, so this wraps like the underlying atomic.
+    pub fn dec(&self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+
     /// The current value (relaxed load).
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)

@@ -1,0 +1,58 @@
+//! cpm-reactor: a dependency-free epoll event-loop serving engine.
+//!
+//! The worker-pool engine in `cpm-serve` pins one thread per live
+//! connection; past a few dozen mostly-idle clients the pool is the
+//! bottleneck, not the model evaluation. This crate multiplexes every
+//! connection over a handful of event-loop shards instead:
+//!
+//! * [`sys`] — raw `epoll`/`eventfd` syscall bindings (the workspace
+//!   builds offline, so no `libc`/`mio`; the handful of entry points
+//!   are declared `extern "C"` and wrapped in owning types).
+//! * [`poll`] — a mio-style [`Poll`]/[`Token`]/[`Interest`] readiness
+//!   API, edge-triggered.
+//! * [`frame`] — wire framing: JSON-lines or length-prefixed binary
+//!   frames, negotiated per connection by the first byte
+//!   ([`frame::BINARY_PREAMBLE`]).
+//! * [`conn`] — the per-connection state machine: non-blocking reads,
+//!   pipelined in-order request handling, write-buffer backpressure.
+//! * [`reactor`] — the sharded event loop itself: shared accept,
+//!   round-robin connection hand-off, idle-timeout sweep, graceful
+//!   drain on shutdown.
+//!
+//! The engine is protocol-agnostic: it hands each decoded request
+//! payload to a [`Handler`] and writes back whatever the handler
+//! returns, re-encoded in the connection's negotiated framing.
+//! `cpm-serve` plugs its existing line handler (request-id
+//! propagation, `serve.request` spans, per-verb latency histograms)
+//! straight in, so both engines share one protocol implementation.
+
+pub mod conn;
+pub mod frame;
+pub mod poll;
+pub mod reactor;
+pub mod sys;
+
+pub use conn::{Conn, FrameCounts, Status};
+pub use frame::{encode_request, encode_response, Decoder, Framing, Msg, BINARY_PREAMBLE};
+pub use poll::{Event, Events, Interest, Poll, Token};
+pub use reactor::{run, Config, Telemetry};
+
+/// Answers one request payload. The reactor calls this from shard
+/// threads, pipelined and in order per connection.
+///
+/// Returns the response payload and a shutdown flag: `true` asks the
+/// whole server to stop (after draining) — the same contract as the
+/// worker pool's line handler.
+pub trait Handler: Send + Sync + 'static {
+    /// Handles one request, returning `(response, shutdown)`.
+    fn handle(&self, payload: &str) -> (String, bool);
+}
+
+impl<F> Handler for F
+where
+    F: Fn(&str) -> (String, bool) + Send + Sync + 'static,
+{
+    fn handle(&self, payload: &str) -> (String, bool) {
+        self(payload)
+    }
+}

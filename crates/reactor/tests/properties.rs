@@ -1,0 +1,236 @@
+//! Property tests for the framing decoder and the connection state
+//! machine: no matter how the kernel fragments reads and throttles
+//! writes, every request decodes intact and every response comes back
+//! complete and in order.
+
+use std::io::{ErrorKind, Read, Write};
+
+use cpm_reactor::frame::{encode_request, Decoder, Framing, Msg, MAX_PAYLOAD};
+use cpm_reactor::{Conn, Status};
+use proptest::prelude::*;
+
+/// Printable-ASCII payloads: never empty, never containing `\n`, never
+/// starting with the binary preamble — valid in both framings.
+fn payload_strategy() -> impl Strategy<Value = Vec<String>> {
+    prop::collection::vec(prop::collection::vec(0x21u8..0x7e, 1..80), 1..12).prop_map(|vs| {
+        vs.into_iter()
+            .map(|v| String::from_utf8(v).unwrap())
+            .collect()
+    })
+}
+
+/// Splits `wire` into chunks whose sizes cycle through `cuts` (each at
+/// least 1 byte), exercising arbitrary packet boundaries.
+fn chunks<'a>(wire: &'a [u8], cuts: &'a [usize]) -> impl Iterator<Item = &'a [u8]> {
+    let mut pos = 0;
+    let mut i = 0;
+    std::iter::from_fn(move || {
+        if pos >= wire.len() {
+            return None;
+        }
+        let take = cuts[i % cuts.len()].clamp(1, wire.len() - pos);
+        i += 1;
+        let chunk = &wire[pos..pos + take];
+        pos += take;
+        Some(chunk)
+    })
+}
+
+/// A test socket with scripted read fragmentation and write throttling.
+/// Reads hand out at most the scripted number of bytes per call (then
+/// `WouldBlock` when the input is exhausted, or EOF once `eof` is set);
+/// writes accept at most the scripted number of bytes per call, with a
+/// `0` in the script meaning one `WouldBlock`.
+struct ScriptedSock {
+    input: Vec<u8>,
+    rpos: usize,
+    read_sizes: Vec<usize>,
+    ri: usize,
+    eof: bool,
+    output: Vec<u8>,
+    write_sizes: Vec<usize>,
+    wi: usize,
+}
+
+impl ScriptedSock {
+    fn new(input: Vec<u8>, read_sizes: Vec<usize>, write_sizes: Vec<usize>) -> ScriptedSock {
+        ScriptedSock {
+            input,
+            rpos: 0,
+            read_sizes: if read_sizes.is_empty() {
+                vec![usize::MAX]
+            } else {
+                read_sizes
+            },
+            ri: 0,
+            eof: false,
+            output: Vec::new(),
+            write_sizes: if write_sizes.is_empty() {
+                vec![usize::MAX]
+            } else {
+                write_sizes
+            },
+            wi: 0,
+        }
+    }
+
+    fn exhausted(&self) -> bool {
+        self.rpos >= self.input.len()
+    }
+}
+
+impl Read for ScriptedSock {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.exhausted() {
+            return if self.eof {
+                Ok(0)
+            } else {
+                Err(ErrorKind::WouldBlock.into())
+            };
+        }
+        let scripted = self.read_sizes[self.ri % self.read_sizes.len()].max(1);
+        self.ri += 1;
+        let n = scripted.min(buf.len()).min(self.input.len() - self.rpos);
+        buf[..n].copy_from_slice(&self.input[self.rpos..self.rpos + n]);
+        self.rpos += n;
+        Ok(n)
+    }
+}
+
+impl Write for ScriptedSock {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let scripted = self.write_sizes[self.wi % self.write_sizes.len()];
+        self.wi += 1;
+        if scripted == 0 {
+            return Err(ErrorKind::WouldBlock.into());
+        }
+        let n = scripted.min(buf.len());
+        self.output.extend_from_slice(&buf[..n]);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Drives `conn` with repeated readiness passes (as the event loop
+/// would) until the input is consumed, everything is flushed, and EOF
+/// has closed the connection. Returns the bytes the server "sent".
+fn drive_to_completion(mut sock_conn: Conn<ScriptedSock>) -> Vec<u8> {
+    let handler = |payload: &str| (format!("echo:{payload}"), false);
+    let mut stop = false;
+    for _ in 0..100_000 {
+        match sock_conn.on_ready(&handler, &mut stop) {
+            Ok(Status::Open) => {
+                if sock_conn.sock_mut().exhausted() && sock_conn.pending_write() == 0 {
+                    // All input served; deliver EOF so the close path runs.
+                    sock_conn.sock_mut().eof = true;
+                }
+            }
+            Ok(Status::Closed) => return std::mem::take(&mut sock_conn.sock_mut().output),
+            Err(e) => panic!("connection error: {e}"),
+        }
+    }
+    panic!("connection did not converge");
+}
+
+fn wire_for(framing: Framing, payloads: &[String]) -> Vec<u8> {
+    let mut wire = Vec::new();
+    if framing == Framing::Binary {
+        wire.push(0x00);
+    }
+    for p in payloads {
+        encode_request(framing, p, &mut wire);
+    }
+    wire
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The decoder yields every payload intact regardless of how the
+    /// byte stream is fragmented, in both framings.
+    #[test]
+    fn decoder_is_split_invariant(
+        payloads in payload_strategy(),
+        cuts in prop::collection::vec(1usize..40, 1..8),
+        binary in any::<bool>(),
+    ) {
+        let framing = if binary { Framing::Binary } else { Framing::JsonLines };
+        let wire = wire_for(framing, &payloads);
+        let mut dec = Decoder::new(MAX_PAYLOAD);
+        let mut got = Vec::new();
+        for chunk in chunks(&wire, &cuts) {
+            dec.push(chunk);
+            while let Some(msg) = dec.next_msg() {
+                match msg {
+                    Msg::Payload(p) => got.push(p),
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+        }
+        prop_assert_eq!(dec.framing(), Some(framing));
+        prop_assert_eq!(got, payloads);
+    }
+
+    /// The connection state machine answers every request in order and
+    /// byte-perfectly, no matter how reads fragment and writes stall —
+    /// including `WouldBlock` stalls mid-response (write script `0`s).
+    #[test]
+    fn conn_survives_partial_reads_and_writes(
+        payloads in payload_strategy(),
+        read_sizes in prop::collection::vec(1usize..33, 1..6),
+        write_sizes in prop::collection::vec(0usize..17, 1..6),
+        binary in any::<bool>(),
+    ) {
+        // An all-zero write script would never drain; guarantee progress.
+        prop_assume!(write_sizes.iter().any(|w| *w > 0));
+        let framing = if binary { Framing::Binary } else { Framing::JsonLines };
+        let wire = wire_for(framing, &payloads);
+        let sock = ScriptedSock::new(wire, read_sizes, write_sizes);
+        let out = drive_to_completion(Conn::new(sock, MAX_PAYLOAD, 1 << 16));
+
+        // Decode the response stream with a fresh decoder.
+        let mut dec = Decoder::with_framing(framing, MAX_PAYLOAD);
+        dec.push(&out);
+        let mut got = Vec::new();
+        while let Some(msg) = dec.next_msg() {
+            match msg {
+                Msg::Payload(p) => got.push(p),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        let want: Vec<String> = payloads.iter().map(|p| format!("echo:{p}")).collect();
+        prop_assert_eq!(got, want);
+        prop_assert_eq!(dec.pending(), 0, "no trailing garbage after responses");
+    }
+
+    /// Backpressure caps the write buffer: with a tiny cap and a peer
+    /// that never reads, the connection stops decoding instead of
+    /// buffering every response.
+    #[test]
+    fn conn_write_cap_bounds_memory(
+        payloads in prop::collection::vec(
+            prop::collection::vec(0x21u8..0x7e, 40..80), 4..10
+        ).prop_map(|vs| vs.into_iter().map(|v| String::from_utf8(v).unwrap()).collect::<Vec<_>>()),
+    ) {
+        let wire = wire_for(Framing::JsonLines, &payloads);
+        // Peer never accepts a byte.
+        let sock = ScriptedSock::new(wire, vec![usize::MAX], vec![0]);
+        let cap = 64;
+        let mut conn = Conn::new(sock, MAX_PAYLOAD, cap);
+        let handler = |payload: &str| (format!("echo:{payload}"), false);
+        let mut stop = false;
+        let status = conn.on_ready(&handler, &mut stop).unwrap();
+        prop_assert_eq!(status, Status::Open);
+        // At most one response can overshoot the cap (the check is
+        // before each decode, not before each byte).
+        let longest = payloads.iter().map(|p| p.len() + 6).max().unwrap();
+        prop_assert!(
+            conn.pending_write() <= cap + longest,
+            "write buffer {} exceeded cap {} + one response {}",
+            conn.pending_write(), cap, longest
+        );
+    }
+}

@@ -17,9 +17,13 @@
 //! - [`protocol`] — the JSON-lines request/response vocabulary, including
 //!   the `batch` verb (many requests per round trip) and the extended
 //!   `stats` verb (latency quantiles, text exposition);
-//! - [`server`] — a std-only TCP server: a worker pool serves up to
-//!   `workers` connections concurrently, with per-connection error
-//!   isolation and graceful shutdown that drains in-flight requests.
+//! - [`server`] — a std-only TCP server with two engines behind one
+//!   protocol seam: a bounded worker pool (thread per live connection)
+//!   and the `cpm-reactor` epoll event loop (all connections
+//!   multiplexed over `workers` shards, pipelined, backpressured).
+//!   Both negotiate JSON-lines or binary length-prefixed framing from
+//!   the connection's first byte, enforce an idle-connection timeout,
+//!   isolate errors per connection, and drain gracefully on shutdown.
 
 #![warn(missing_docs)]
 
@@ -36,7 +40,10 @@ pub use registry::{
     fingerprint, fingerprint_json, Lineage, ParamSet, Registry, ResidualSummary, Result,
     ServeError, FORMAT_VERSION, HISTORY_RING,
 };
-pub use server::{LineHandler, Server, ServerHandle, DEFAULT_WORKERS, MAX_LINE, POLL_INTERVAL};
+pub use server::{
+    Engine, LineHandler, Server, ServerHandle, DEFAULT_IDLE_TIMEOUT, DEFAULT_WORKERS, MAX_LINE,
+    POLL_INTERVAL,
+};
 pub use service::{
     Algorithm, ClusterRef, Collective, Metrics, MetricsSnapshot, ModelKind, PlannedWorkload,
     Prediction, Query, Service, ServiceConfig, Verb, VERBS,

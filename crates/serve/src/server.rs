@@ -1,28 +1,41 @@
-//! A JSON-lines TCP server over [`Service`], std-only networking.
+//! The TCP server over [`Service`], std-only networking, with two
+//! serving engines behind one protocol seam ([`LineHandler`]).
 //!
-//! Connections are handled by a **bounded worker pool**: one acceptor
-//! thread pushes accepted sockets into an MPMC channel, and `workers`
-//! pool threads pull connections and serve them to completion — up to
-//! `workers` connections are in flight at once, later ones queue. A
-//! connection reads request lines and writes one response line per
-//! request. Errors are isolated per connection: a malformed line gets an
-//! `{"ok": false}` response, an I/O error drops only that connection.
+//! **Pool** ([`Engine::Pool`]): one acceptor thread pushes accepted
+//! sockets into an MPMC channel, and `workers` pool threads pull
+//! connections and serve them to completion — up to `workers`
+//! connections are in flight at once, later ones queue. Simple and
+//! fair, but a mostly-idle connection still pins a whole thread.
+//!
+//! **Reactor** ([`Engine::Reactor`]): `workers` epoll event-loop shards
+//! (see `cpm-reactor`) multiplex *all* connections, with pipelined
+//! in-order request handling and write-buffer backpressure. Hundreds of
+//! mostly-idle clients cost a few file descriptors, not threads.
+//!
+//! Both engines negotiate the wire framing per connection by its first
+//! byte: anything but `0x00` is JSON lines, `0x00` selects the binary
+//! length-prefixed framing (see `cpm_reactor::frame`). Both enforce the
+//! same 1 MiB request bound and the idle-connection timeout
+//! ([`DEFAULT_IDLE_TIMEOUT`], anti-slowloris: the clock only resets on
+//! a *complete* request). Errors are isolated per connection: a
+//! malformed request gets an `{"ok": false}` response, an I/O error
+//! drops only that connection.
 //!
 //! Shutdown — via the `shutdown` verb or [`ServerHandle::shutdown`] — is
-//! graceful and deterministic: the acceptor stops admitting connections,
-//! workers **drain** every request already received (any line whose bytes
-//! reached the server before the worker's post-stop poll is fully
-//! processed and its response written) and only then close their
-//! connections; the acceptor joins all workers before the listener is
-//! dropped. Idle connections are closed at the next poll tick
-//! ([`POLL_INTERVAL`]).
+//! graceful and deterministic in both engines: no new connections are
+//! admitted, every request whose bytes already reached the server is
+//! fully processed and its response written, then connections close and
+//! every serving thread is joined before the listener drops.
 
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+use cpm_reactor::frame::BINARY_PREAMBLE;
+use cpm_reactor::{encode_response, Decoder, Framing, Msg, Telemetry};
 
 use crate::protocol::handle_line;
 use crate::registry::Result;
@@ -53,6 +66,32 @@ pub const DEFAULT_WORKERS: usize = 8;
 /// next request line on an idle connection. Bounds shutdown latency.
 pub const POLL_INTERVAL: Duration = Duration::from_millis(20);
 
+/// Default idle-connection timeout: a connection that has not delivered
+/// a *complete* request in this long is closed. Trickling bytes without
+/// finishing a request (slowloris) does not reset the clock.
+pub const DEFAULT_IDLE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Which serving engine drives connections. See the module docs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Engine {
+    /// Thread-per-connection worker pool (bounded, queueing).
+    Pool,
+    /// Sharded epoll event loop (`cpm-reactor`), multiplexing all
+    /// connections over `workers` shards.
+    Reactor,
+}
+
+impl Engine {
+    /// Parses the wire/CLI name (`pool|reactor`).
+    pub fn parse(s: &str) -> std::result::Result<Engine, String> {
+        match s {
+            "pool" => Ok(Engine::Pool),
+            "reactor" => Ok(Engine::Reactor),
+            other => Err(format!("unknown engine {other:?} (expected pool|reactor)")),
+        }
+    }
+}
+
 /// A bound server, not yet running. Call [`Server::spawn`] to start the
 /// acceptor and worker pool. Dropping a [`ServerHandle`] stops the server.
 pub struct Server {
@@ -62,6 +101,8 @@ pub struct Server {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     workers: usize,
+    engine: Engine,
+    idle_timeout: Option<Duration>,
 }
 
 /// Controls a server running on background threads.
@@ -96,14 +137,32 @@ impl Server {
             addr,
             stop: Arc::new(AtomicBool::new(false)),
             workers: DEFAULT_WORKERS,
+            engine: Engine::Pool,
+            idle_timeout: Some(DEFAULT_IDLE_TIMEOUT),
         })
     }
 
     /// Sets the worker-pool size: how many connections are served
-    /// concurrently. `workers = 1` reproduces the old serial server
+    /// concurrently (pool engine) or how many event-loop shards run
+    /// (reactor engine). `workers = 1` reproduces the old serial server
     /// (useful as a benchmarking baseline). Clamped to at least 1.
     pub fn workers(mut self, workers: usize) -> Server {
         self.workers = workers.max(1);
+        self
+    }
+
+    /// Selects the serving engine (default: [`Engine::Pool`]).
+    pub fn engine(mut self, engine: Engine) -> Server {
+        self.engine = engine;
+        self
+    }
+
+    /// Sets the idle-connection timeout (default:
+    /// [`DEFAULT_IDLE_TIMEOUT`]); `None` disables it. The clock resets
+    /// only when a complete request arrives, so a trickling sender
+    /// (slowloris) is still closed.
+    pub fn idle_timeout(mut self, idle: Option<Duration>) -> Server {
+        self.idle_timeout = idle;
         self
     }
 
@@ -112,8 +171,8 @@ impl Server {
         self.addr
     }
 
-    /// Starts the acceptor and worker pool on background threads and
-    /// returns a handle.
+    /// Starts the serving engine on background threads and returns a
+    /// handle.
     pub fn spawn(self) -> ServerHandle {
         let Server {
             service,
@@ -122,10 +181,33 @@ impl Server {
             addr,
             stop,
             workers,
+            engine,
+            idle_timeout,
         } = self;
+        let telemetry = Telemetry {
+            connections_active: Some(service.metrics().connections_active().clone()),
+            frames_json: Some(service.metrics().frames_json().clone()),
+            frames_binary: Some(service.metrics().frames_binary().clone()),
+        };
         let accept_stop = Arc::clone(&stop);
-        let accept_thread = std::thread::spawn(move || {
-            accept_loop(listener, handler, accept_stop, workers);
+        let accept_thread = std::thread::spawn(move || match engine {
+            Engine::Pool => accept_loop(
+                listener,
+                handler,
+                accept_stop,
+                workers,
+                idle_timeout,
+                telemetry,
+            ),
+            Engine::Reactor => {
+                let cfg = cpm_reactor::Config {
+                    shards: workers,
+                    idle_timeout,
+                    ..cpm_reactor::Config::default()
+                };
+                let handler: Arc<dyn cpm_reactor::Handler> = Arc::new(ReactorLines(handler));
+                let _ = cpm_reactor::run(listener, handler, cfg, telemetry, accept_stop);
+            }
         });
         ServerHandle {
             addr,
@@ -133,6 +215,17 @@ impl Server {
             accept_thread: Some(accept_thread),
             service,
         }
+    }
+}
+
+/// Adapts the serve-layer [`LineHandler`] to the reactor's
+/// payload-handler seam, so both engines share one protocol
+/// implementation (request-id propagation, spans, per-verb latency).
+struct ReactorLines(Arc<dyn LineHandler>);
+
+impl cpm_reactor::Handler for ReactorLines {
+    fn handle(&self, payload: &str) -> (String, bool) {
+        self.0.handle_line(payload)
     }
 }
 
@@ -144,6 +237,8 @@ fn accept_loop(
     handler: Arc<dyn LineHandler>,
     stop: Arc<AtomicBool>,
     workers: usize,
+    idle_timeout: Option<Duration>,
+    telemetry: Telemetry,
 ) {
     let (tx, rx) = crossbeam::channel::unbounded::<TcpStream>();
     let addr = listener.local_addr().ok();
@@ -152,11 +247,25 @@ fn accept_loop(
             let rx = rx.clone();
             let handler = Arc::clone(&handler);
             let stop = Arc::clone(&stop);
+            let telemetry = telemetry.clone();
             std::thread::spawn(move || {
                 while let Ok(stream) = rx.recv() {
+                    if let Some(g) = &telemetry.connections_active {
+                        g.inc();
+                    }
                     // Per-connection isolation: an I/O error here kills
                     // only this connection, not the worker.
-                    let _ = serve_connection(stream, handler.as_ref(), &stop, addr);
+                    let _ = serve_connection(
+                        stream,
+                        handler.as_ref(),
+                        &stop,
+                        addr,
+                        idle_timeout,
+                        &telemetry,
+                    );
+                    if let Some(g) = &telemetry.connections_active {
+                        g.dec();
+                    }
                     if stop.load(Ordering::SeqCst) {
                         break;
                     }
@@ -196,15 +305,20 @@ enum BadLine {
 
 /// Reads one `\n`-terminated line of at most [`MAX_LINE`] bytes.
 ///
-/// Returns `Ok(None)` at clean EOF, **or** when `stop` is raised while
-/// the connection is idle (no partial line buffered) — the shutdown
-/// drain path. A request whose bytes are already in flight is always
-/// read to completion. An oversized or non-UTF-8 line yields
-/// `Err(BadLine)` after consuming the offending line entirely, so the
-/// protocol stream stays aligned and the connection can keep serving.
+/// Returns `Ok(None)` at clean EOF, when `stop` is raised while the
+/// connection is idle (no partial line buffered) — the shutdown drain
+/// path — **or** when `deadline` passes without a complete line. The
+/// deadline fires even mid-line: it is the idle-connection timeout,
+/// whose clock only resets on complete requests, so a trickling sender
+/// (slowloris) is closed rather than waited on. A request whose bytes
+/// are already in flight during shutdown is still read to completion.
+/// An oversized or non-UTF-8 line yields `Err(BadLine)` after consuming
+/// the offending line entirely, so the protocol stream stays aligned
+/// and the connection can keep serving.
 fn read_bounded_line(
     reader: &mut BufReader<TcpStream>,
     stop: &AtomicBool,
+    deadline: Option<Instant>,
 ) -> std::io::Result<Option<std::result::Result<String, BadLine>>> {
     let mut buf: Vec<u8> = Vec::new();
     let mut dropped = 0usize; // bytes discarded once the line overflows
@@ -212,11 +326,16 @@ fn read_bounded_line(
         let chunk = match reader.fill_buf() {
             Ok(c) => c,
             Err(e) if e.kind() == ErrorKind::Interrupted => continue,
-            // The read timeout tick: close idle connections on stop,
-            // otherwise keep waiting (for the rest of a partial line too —
-            // its sender is mid-write and owed a response).
+            // The read timeout tick: close idle connections on stop or
+            // past the idle deadline, otherwise keep waiting (for the
+            // rest of a partial line too — its sender is mid-write and
+            // owed a response... until the idle deadline says otherwise).
             Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
                 if stop.load(Ordering::SeqCst) && buf.is_empty() && dropped == 0 {
+                    return Ok(None);
+                }
+                if deadline.is_some_and(|d| Instant::now() >= d) {
+                    cpm_obs::instant("serve.idle_close", "buffered", buf.len() as u64);
                     return Ok(None);
                 }
                 continue;
@@ -262,13 +381,18 @@ fn finish_line(mut buf: Vec<u8>) -> std::result::Result<String, BadLine> {
     String::from_utf8(buf).map_err(|_| BadLine::NotUtf8)
 }
 
-/// Serves one connection until client EOF or shutdown drain. Every fully
-/// received request line is answered before the connection closes.
+/// Serves one connection until client EOF, shutdown drain, or idle
+/// timeout. Every fully received request is answered before the
+/// connection closes. The first byte negotiates the framing: `0x00`
+/// hands the connection to the binary loop, anything else stays on
+/// JSON lines.
 fn serve_connection(
     stream: TcpStream,
     handler: &dyn LineHandler,
     stop: &AtomicBool,
     listen_addr: Option<SocketAddr>,
+    idle_timeout: Option<Duration>,
+    telemetry: &Telemetry,
 ) -> std::io::Result<()> {
     // The timeout turns blocked reads into stop-flag polls; see
     // read_bounded_line. Nagle would hold our small response segments
@@ -278,11 +402,49 @@ fn serve_connection(
     let _ = stream.set_nodelay(true);
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
-    while let Some(line) = read_bounded_line(&mut reader, stop)? {
+    let mut deadline = idle_timeout.map(|t| Instant::now() + t);
+
+    // Framing negotiation: peek the first byte without consuming it.
+    let first = loop {
+        match reader.fill_buf() {
+            Ok([]) => return Ok(()), // EOF before any request
+            Ok(chunk) => break chunk[0],
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if stop.load(Ordering::SeqCst) {
+                    return Ok(());
+                }
+                if deadline.is_some_and(|d| Instant::now() >= d) {
+                    cpm_obs::instant("serve.idle_close", "buffered", 0);
+                    return Ok(());
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    };
+    if first == BINARY_PREAMBLE {
+        reader.consume(1);
+        return serve_connection_binary(
+            reader,
+            writer,
+            handler,
+            stop,
+            listen_addr,
+            idle_timeout,
+            telemetry,
+        );
+    }
+
+    while let Some(line) = read_bounded_line(&mut reader, stop, deadline)? {
         let (mut response, shutdown) = match line {
             Ok(line) => {
                 if line.trim().is_empty() {
+                    // Blank lines are keep-alive noise, not requests:
+                    // they don't count as frames or reset the idle clock.
                     continue;
+                }
+                if let Some(c) = &telemetry.frames_json {
+                    c.inc();
                 }
                 handler.handle_line(&line)
             }
@@ -291,6 +453,9 @@ fn serve_connection(
             // from an unparseable line).
             Err(BadLine::TooLong(len)) => {
                 cpm_obs::instant("serve.bad_line.too_long", "bytes", len as u64);
+                if let Some(c) = &telemetry.frames_json {
+                    c.inc();
+                }
                 (
                     format!(
                         "{{\"ok\":false,\"error\":\"request line too long \
@@ -301,12 +466,17 @@ fn serve_connection(
             }
             Err(BadLine::NotUtf8) => {
                 cpm_obs::instant("serve.bad_line.not_utf8", "", 0);
+                if let Some(c) = &telemetry.frames_json {
+                    c.inc();
+                }
                 (
                     "{\"ok\":false,\"error\":\"request line is not valid utf-8\"}".to_string(),
                     false,
                 )
             }
         };
+        // A complete request arrived: the idle clock restarts.
+        deadline = idle_timeout.map(|t| Instant::now() + t);
         // One write per response: a split write of payload then newline is
         // two small segments, and Nagle + delayed ACK can park the second
         // one for tens of milliseconds.
@@ -325,6 +495,103 @@ fn serve_connection(
         }
     }
     Ok(())
+}
+
+/// The binary-framed sibling of the JSON-lines loop above: `u32` LE
+/// length-prefixed JSON payloads both ways (the preamble byte is
+/// already consumed). Shares the reactor's incremental [`Decoder`] so
+/// both engines enforce identical framing rules.
+#[allow(clippy::too_many_arguments)]
+fn serve_connection_binary(
+    mut reader: BufReader<TcpStream>,
+    mut writer: TcpStream,
+    handler: &dyn LineHandler,
+    stop: &AtomicBool,
+    listen_addr: Option<SocketAddr>,
+    idle_timeout: Option<Duration>,
+    telemetry: &Telemetry,
+) -> std::io::Result<()> {
+    let mut dec = Decoder::with_framing(Framing::Binary, MAX_LINE);
+    let mut deadline = idle_timeout.map(|t| Instant::now() + t);
+    let mut out = Vec::new();
+    loop {
+        while let Some(msg) = dec.next_msg() {
+            if let Some(c) = &telemetry.frames_binary {
+                c.inc();
+            }
+            deadline = idle_timeout.map(|t| Instant::now() + t);
+            out.clear();
+            let (response, shutdown, fatal) = match msg {
+                Msg::Payload(payload) => {
+                    let (response, shutdown) = handler.handle_line(&payload);
+                    (response, shutdown, false)
+                }
+                Msg::TooLong(len) => {
+                    cpm_obs::instant("serve.bad_frame.too_long", "bytes", len as u64);
+                    (
+                        format!(
+                            "{{\"ok\":false,\"error\":\"request frame too long \
+                             ({len} bytes, limit {MAX_LINE})\"}}"
+                        ),
+                        false,
+                        false,
+                    )
+                }
+                Msg::NotUtf8 => {
+                    cpm_obs::instant("serve.bad_frame.not_utf8", "", 0);
+                    (
+                        "{\"ok\":false,\"error\":\"request is not valid utf-8\"}".to_string(),
+                        false,
+                        false,
+                    )
+                }
+                Msg::Corrupt(len) => {
+                    cpm_obs::instant("serve.bad_frame.corrupt", "bytes", len as u64);
+                    (
+                        format!(
+                            "{{\"ok\":false,\"error\":\"unrecoverable frame length \
+                             {len}; closing connection\"}}"
+                        ),
+                        false,
+                        true,
+                    )
+                }
+            };
+            encode_response(Framing::Binary, &response, &mut out);
+            writer.write_all(&out)?;
+            writer.flush()?;
+            if shutdown {
+                stop.store(true, Ordering::SeqCst);
+                wake_acceptor(listen_addr);
+                return Ok(());
+            }
+            if fatal || stop.load(Ordering::SeqCst) {
+                return Ok(());
+            }
+        }
+        match reader.fill_buf() {
+            Ok([]) => return Ok(()), // EOF
+            Ok(chunk) => {
+                dec.push(chunk);
+                let n = chunk.len();
+                reader.consume(n);
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                // Shutdown drain: an incomplete frame is abandoned (its
+                // sender never finished it), matching the JSON path's
+                // idle-close-on-stop semantics.
+                if stop.load(Ordering::SeqCst) && dec.pending() == 0 {
+                    return Ok(());
+                }
+                if deadline.is_some_and(|d| Instant::now() >= d) {
+                    cpm_obs::instant("serve.idle_close", "buffered", dec.pending() as u64);
+                    return Ok(());
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
 }
 
 fn wake_acceptor(listen_addr: Option<SocketAddr>) {

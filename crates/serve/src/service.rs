@@ -369,6 +369,12 @@ pub struct Metrics {
     predict_count: Counter,
     predict_ns_total: Counter,
     predict_ns_max: Gauge,
+    /// Currently open client connections, across both serving engines.
+    connections_active: Gauge,
+    /// Request frames handled, by wire framing (`format="json"`).
+    frames_json: Counter,
+    /// Request frames handled, by wire framing (`format="binary"`).
+    frames_binary: Counter,
     /// Per-verb request latency histograms, indexed by [`VERBS`] order.
     /// Shared across all pool workers; recording is wait-free.
     latency: Vec<Histogram>,
@@ -474,10 +480,40 @@ impl Metrics {
                 "Parameter sets currently stored in the registry.",
                 &[],
             ),
+            connections_active: registry.gauge(
+                "cpm_serve_connections_active",
+                "Currently open client connections.",
+                &[],
+            ),
+            frames_json: registry.counter(
+                "cpm_serve_frames_total",
+                "Request frames handled, by wire framing.",
+                &[("format", "json")],
+            ),
+            frames_binary: registry.counter(
+                "cpm_serve_frames_total",
+                "Request frames handled, by wire framing.",
+                &[("format", "binary")],
+            ),
             latency,
             plan_phase,
             registry,
         }
+    }
+
+    /// Gauge of currently open client connections (both engines).
+    pub fn connections_active(&self) -> &Gauge {
+        &self.connections_active
+    }
+
+    /// Counter of handled JSON-lines request frames.
+    pub fn frames_json(&self) -> &Counter {
+        &self.frames_json
+    }
+
+    /// Counter of handled binary request frames.
+    pub fn frames_binary(&self) -> &Counter {
+        &self.frames_binary
     }
 
     /// The unified registry every counter above lives in. Extensions

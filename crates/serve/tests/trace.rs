@@ -198,6 +198,11 @@ fn stats_text_is_a_valid_prometheus_exposition_covering_all_subsystems() {
         "cpm_serve_plan_cache_misses 1",
         "cpm_serve_stored_param_sets 1",
         "cpm_serve_latency_ns_bucket{verb=\"predict\",le=\"",
+        // Engine-level metrics are registered up front (zero until a
+        // real server drives them; see tests/reactor.rs for non-zero).
+        "cpm_serve_connections_active 0",
+        "cpm_serve_frames_total{format=\"json\"} 0",
+        "cpm_serve_frames_total{format=\"binary\"} 0",
         "cpm_plan_phase_ns_bucket{phase=\"lower\",le=\"",
         "cpm_plan_phase_ns_count{phase=\"analyze\"} 1",
     ] {

@@ -34,6 +34,7 @@ use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
 use cpm::cluster::ClusterConfig;
 use cpm::collectives::measure;
@@ -140,22 +141,39 @@ statistics over --reps repetitions.",
     },
     CommandSpec {
         name: "serve",
-        flags: &["store", "addr", "seed", "reps", "workers"],
+        flags: &[
+            "store",
+            "addr",
+            "seed",
+            "reps",
+            "workers",
+            "engine",
+            "idle-timeout-ms",
+        ],
         help: "\
 USAGE: cpm serve [--store DIR] [--addr HOST:PORT] [--seed N] [--reps N]
-                 [--workers N]
+                 [--workers N] [--engine pool|reactor] [--idle-timeout-ms MS]
 
-Runs the prediction service: a JSON-lines TCP server backed by a
-fingerprinted parameter registry at --store (default cpm-store). The first
-query for a cluster estimates all model parameters once and persists them;
-later queries — across restarts — are served from the store and an
-in-memory prediction cache. --addr defaults to 127.0.0.1:7971 (use port 0
-for an ephemeral port); --seed and --reps configure the estimation runs.
-Connections are served by a pool of --workers threads (default 8), so up
-to N clients are handled concurrently; --workers 1 restores serial
-serving. The server speaks the drift-extended protocol: beyond the core
-verbs it accepts `observe` (ingest a measured transfer time into the
-drift monitor), `drift-status` (staleness report) and `history` (version
+Runs the prediction service: a TCP server backed by a fingerprinted
+parameter registry at --store (default cpm-store). The first query for a
+cluster estimates all model parameters once and persists them; later
+queries — across restarts — are served from the store and an in-memory
+prediction cache. --addr defaults to 127.0.0.1:7971 (use port 0 for an
+ephemeral port); --seed and --reps configure the estimation runs.
+
+--engine picks the serving engine. `pool` (default) serves up to
+--workers connections concurrently on dedicated threads; --workers 1
+restores serial serving. `reactor` multiplexes ALL connections over
+--workers epoll event-loop shards with pipelined request handling —
+choose it when many mostly-idle clients stay connected. Both engines
+speak JSON lines or the length-prefixed binary framing, negotiated by
+the first byte of each connection (see `cpm query --wire binary`), and
+close connections idle for --idle-timeout-ms (default 30000; only a
+complete request resets the clock; 0 disables).
+
+The server speaks the drift-extended protocol: beyond the core verbs it
+accepts `observe` (ingest a measured transfer time into the drift
+monitor), `drift-status` (staleness report) and `history` (version
 lineage). Send the `shutdown` verb (`cpm query --verb shutdown`) to stop
 it; in-flight requests are drained before the server exits.",
         run: cmd_serve,
@@ -179,6 +197,7 @@ it; in-flight requests are drained before the server exits.",
             "format",
             "batch",
             "last",
+            "wire",
         ],
         help: "\
 USAGE: cpm query [--addr HOST:PORT]
@@ -187,7 +206,7 @@ USAGE: cpm query [--addr HOST:PORT]
                  [--alg linear|binomial] [--m BYTES] [--root R]
                  [--config FILE | --fingerprint FP]
                  [--kind p2p|gather] [--src R] [--dst R] [--seconds T]
-                 [--format json|text] [--batch FILE|-]
+                 [--format json|text] [--batch FILE|-] [--wire jsonl|binary]
 
 Sends one request to a running `cpm serve` (default 127.0.0.1:7971) and
 prints the JSON response. predict/select/estimate identify the cluster by
@@ -203,7 +222,12 @@ versions with their re-estimation lineage.
 --batch FILE sends every JSON request line in FILE (`-` for stdin) as one
 `batch` round trip — the elements must be predict, select or plan
 requests — and prints one response line per element; the exit status is
-non-zero if any element failed.",
+non-zero if any element failed.
+
+--wire selects the framing: `jsonl` (default) sends newline-terminated
+JSON; `binary` opens with a 0x00 preamble and frames the same JSON
+payloads with u32 little-endian length prefixes both ways — useful to
+smoke-test the binary protocol against either serve engine.",
         run: cmd_query,
     },
     CommandSpec {
@@ -744,6 +768,19 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
     if workers == 0 {
         return Err("--workers must be at least 1".into());
     }
+    let engine = match opts.get("engine").map(String::as_str) {
+        None => cpm::serve::Engine::Pool,
+        Some(raw) => cpm::serve::Engine::parse(raw).map_err(|e| format!("--engine: {e}"))?,
+    };
+    let idle_timeout = match opts.get("idle-timeout-ms") {
+        None => Some(cpm::serve::DEFAULT_IDLE_TIMEOUT),
+        Some(raw) => {
+            let ms = raw
+                .parse::<u64>()
+                .map_err(|e| format!("--idle-timeout-ms: {e}"))?;
+            (ms > 0).then(|| Duration::from_millis(ms))
+        }
+    };
     let service = Arc::new(Service::open(store, cfg).map_err(|e| e.to_string())?);
     println!(
         "store: {store} ({} parameter set(s) on disk)",
@@ -754,9 +791,16 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
     let handler = DriftService::new(Arc::clone(&service), DriftConfig::default());
     let server = Server::bind_with(service, handler, addr)
         .map_err(|e| e.to_string())?
-        .workers(workers);
+        .workers(workers)
+        .engine(engine)
+        .idle_timeout(idle_timeout);
+    let engine_name = match engine {
+        cpm::serve::Engine::Pool => "pool",
+        cpm::serve::Engine::Reactor => "reactor",
+    };
     println!(
-        "cpm-serve listening on {} ({workers} worker(s), drift verbs enabled)",
+        "cpm-serve listening on {} (engine {engine_name}, {workers} worker(s), \
+         drift verbs enabled)",
         server.addr()
     );
     server.spawn().join();
@@ -1288,14 +1332,58 @@ fn send_query(addr: &str, request: &Value) -> Result<(String, Value), String> {
     Ok((response, parsed))
 }
 
+/// Like [`send_query`], but over the binary framing: `0x00` preamble,
+/// then `u32` LE length-prefixed JSON payloads both ways.
+fn send_query_binary(addr: &str, request: &Value) -> Result<(String, Value), String> {
+    let payload = serde_json::to_string(request).map_err(|e| e.to_string())?;
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
+    let mut wire = vec![0u8];
+    wire.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    wire.extend_from_slice(payload.as_bytes());
+    stream
+        .write_all(&wire)
+        .and_then(|()| stream.flush())
+        .map_err(|e| e.to_string())?;
+    let mut len = [0u8; 4];
+    stream
+        .read_exact(&mut len)
+        .map_err(|e| format!("reading response frame header: {e}"))?;
+    let mut buf = vec![0u8; u32::from_le_bytes(len) as usize];
+    stream
+        .read_exact(&mut buf)
+        .map_err(|e| format!("reading response frame: {e}"))?;
+    let response = String::from_utf8(buf).map_err(|e| e.to_string())?;
+    let parsed: Value = serde_json::from_str(&response).map_err(|e| e.to_string())?;
+    Ok((response, parsed))
+}
+
 fn is_ok(v: &Value) -> bool {
     matches!(v.get("ok"), Some(Value::Bool(true)))
+}
+
+/// Parses `--wire jsonl|binary` (default `jsonl`); returns `true` for
+/// the binary length-prefixed framing.
+fn parse_wire(opts: &Opts) -> Result<bool, String> {
+    match opts.get("wire").map(String::as_str) {
+        None | Some("jsonl") => Ok(false),
+        Some("binary") => Ok(true),
+        Some(other) => Err(format!("--wire must be jsonl or binary, got {other:?}")),
+    }
+}
+
+/// One round trip over the selected framing.
+fn send_query_wire(addr: &str, request: &Value, binary: bool) -> Result<(String, Value), String> {
+    if binary {
+        send_query_binary(addr, request)
+    } else {
+        send_query(addr, request)
+    }
 }
 
 /// `cpm query --batch FILE|-`: every JSON request line of FILE becomes
 /// one element of a single `batch` round trip; the per-element responses
 /// are printed one per line, in request order.
-fn query_batch(addr: &str, path: &str) -> Result<(), String> {
+fn query_batch(addr: &str, path: &str, binary: bool) -> Result<(), String> {
     let raw = if path == "-" {
         let mut buf = String::new();
         std::io::Read::read_to_string(&mut std::io::stdin(), &mut buf)
@@ -1320,7 +1408,7 @@ fn query_batch(addr: &str, path: &str) -> Result<(), String> {
         ("verb".to_string(), Value::Str("batch".to_string())),
         ("requests".to_string(), Value::Seq(requests)),
     ]);
-    let (raw, parsed) = send_query(addr, &batch)?;
+    let (raw, parsed) = send_query_wire(addr, &batch, binary)?;
     if !is_ok(&parsed) {
         println!("{raw}");
         return Err("batch request failed".into());
@@ -1346,11 +1434,12 @@ fn query_batch(addr: &str, path: &str) -> Result<(), String> {
 
 fn cmd_query(opts: &Opts) -> Result<(), String> {
     let addr = opts.get("addr").map(String::as_str).unwrap_or(DEFAULT_ADDR);
+    let binary = parse_wire(opts)?;
     if let Some(path) = opts.get("batch") {
-        return query_batch(addr, path);
+        return query_batch(addr, path, binary);
     }
     let request = build_query_request(opts)?;
-    let (raw, parsed) = send_query(addr, &request)?;
+    let (raw, parsed) = send_query_wire(addr, &request, binary)?;
     // A text-format stats response is an exposition document wrapped in
     // JSON; unwrap it for the terminal (and for piping to scrapers).
     match parsed.get("text").and_then(Value::as_str) {
