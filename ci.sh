@@ -57,6 +57,15 @@ echo "== reactor loadgen gate (pipelined, reactor > 3x pool at equal workers)"
 ./target/release/loadgen --clients 16 --requests 150 --workers 2 --pipeline 8 \
   --out "$WL_TMP/serve_reactor.json" --require-speedup 3.0 --obs-overhead-max 5.0
 
+echo "== fleet tests (ring rebalancing proptest, replication, leader failover)"
+cargo test -p cpm-fleet -q
+
+echo "== fleet loadgen smoke (3 nodes, 64 Zipf tenants, kill a replica, zero errors)"
+./target/release/loadgen --tenants 64 --zipf 1.1 --clients 8 --requests 100 \
+  --fleet 3 --replication 2 --kill-node 1 --p99-max-ms 200 \
+  --out "$WL_TMP/fleet_load.json"
+grep -q '"errors": 0' "$WL_TMP/fleet_load.json"
+
 echo "== trace CLI smoke (reactor engine: query over both wires, trace dump)"
 "$CPM" serve --store "$WL_TMP/trace-store" --addr 127.0.0.1:0 --engine reactor \
   >"$WL_TMP/serve.log" 2>&1 &

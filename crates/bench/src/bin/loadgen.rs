@@ -1,6 +1,7 @@
-//! Load generator for the cpm-serve server (both engines).
+//! Load generator for the cpm-serve server (both engines) and the
+//! cpm-fleet router.
 //!
-//! Two modes:
+//! Three modes:
 //!
 //! **Closed-loop** (default): spins up an in-process server, primes the
 //! prediction cache, then drives K concurrent clients doing synchronous
@@ -20,11 +21,29 @@
 //! to `bench_results/serve_reactor.json` by default, and
 //! `--require-speedup X` gates reactor-over-pool throughput.
 //!
+//! **Fleet** (`--tenants N`): spins up an in-process cpm-fleet — 3 nodes
+//! by default (`--fleet`), replication 2 (`--replication`), one router —
+//! estimates N distinct tenant clusters through the router (each lands
+//! on its ring owner and replicates), then drives clients whose queries
+//! pick tenants from a Zipf(`--zipf`) rank distribution: rank 1 is the
+//! hottest tenant, the tail is cold — the multi-tenant skew a shared
+//! parameter fleet actually sees. `--kill-node IDX` shuts that node down
+//! mid-run (clients drain in-flight work first, then resume through the
+//! router's now-stale connection pools, exercising reconnect +
+//! failover). The run reports overall and **per-tenant** latency
+//! quantiles, counts stale-flagged failover responses, and writes
+//! `bench_results/fleet_load.json`. Exit code 1 on any client-visible
+//! error (an error response, a missing/mismatched id echo, or a dropped
+//! connection), and `--p99-max-ms X` additionally gates the overall
+//! client p99.
+//!
 //! ```text
 //! loadgen [--clients K] [--requests N] [--workers W]
 //!         [--baseline-workers B] [--engine pool|reactor]
 //!         [--pipeline DEPTH] [--out PATH] [--require-speedup X]
 //!         [--obs-overhead-max PCT]
+//!         [--tenants N] [--zipf S] [--fleet NODES] [--replication R]
+//!         [--kill-node IDX] [--p99-max-ms X]
 //! ```
 //!
 //! With `--require-speedup X` the exit code is 1 unless the measured
@@ -41,13 +60,15 @@
 
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpStream};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::{Arc, Barrier};
 use std::time::Instant;
 
 use cpm_cluster::{ClusterConfig, ClusterSpec};
 use cpm_estimate::EstimateConfig;
-use cpm_serve::{Engine, Server, ServerHandle, Service, ServiceConfig};
+use cpm_fleet::{serve_router, FleetMap, FleetNode, Router, RouterConfig, RouterHandle};
+use cpm_reactor::ClientConfig;
+use cpm_serve::{Engine, LineHandler, Server, ServerHandle, Service, ServiceConfig};
 use cpm_stats::LogHistogram;
 use serde::Serialize;
 use serde_json::Value;
@@ -67,6 +88,12 @@ struct Args {
     out: Option<std::path::PathBuf>,
     require_speedup: Option<f64>,
     obs_overhead_max: Option<f64>,
+    tenants: usize,
+    zipf: f64,
+    fleet: usize,
+    replication: usize,
+    kill_node: Option<usize>,
+    p99_max_ms: Option<f64>,
 }
 
 fn usage() -> ! {
@@ -75,7 +102,9 @@ fn usage() -> ! {
          \x20              [--baseline-workers B] [--engine pool|reactor]\n\
          \x20              [--pipeline DEPTH] [--think-us T]\n\
          \x20              [--out PATH] [--require-speedup X]\n\
-         \x20              [--obs-overhead-max PCT]"
+         \x20              [--obs-overhead-max PCT]\n\
+         \x20              [--tenants N] [--zipf S] [--fleet NODES]\n\
+         \x20              [--replication R] [--kill-node IDX] [--p99-max-ms X]"
     );
     std::process::exit(2);
 }
@@ -92,6 +121,12 @@ fn parse_args() -> Args {
         out: None,
         require_speedup: None,
         obs_overhead_max: None,
+        tenants: 0,
+        zipf: 1.1,
+        fleet: 3,
+        replication: 2,
+        kill_node: None,
+        p99_max_ms: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -113,11 +148,25 @@ fn parse_args() -> Args {
             "--obs-overhead-max" => {
                 args.obs_overhead_max = Some(value.parse().unwrap_or_else(|_| usage()))
             }
+            "--tenants" => args.tenants = value.parse().unwrap_or_else(|_| usage()),
+            "--zipf" => args.zipf = value.parse().unwrap_or_else(|_| usage()),
+            "--fleet" => args.fleet = value.parse().unwrap_or_else(|_| usage()),
+            "--replication" => args.replication = value.parse().unwrap_or_else(|_| usage()),
+            "--kill-node" => args.kill_node = Some(value.parse().unwrap_or_else(|_| usage())),
+            "--p99-max-ms" => args.p99_max_ms = Some(value.parse().unwrap_or_else(|_| usage())),
             _ => usage(),
         }
     }
     if args.clients == 0 || args.requests == 0 || args.workers == 0 {
         usage();
+    }
+    if args.tenants > 0 && (args.fleet == 0 || args.replication == 0) {
+        usage();
+    }
+    if let Some(victim) = args.kill_node {
+        if victim >= args.fleet {
+            usage();
+        }
     }
     args
 }
@@ -653,11 +702,392 @@ fn main_closed_loop(args: &Args, store: &std::path::Path) {
     gate_obs(args.obs_overhead_max, report.obs_overhead.as_ref());
 }
 
+/// Deterministic per-client RNG (SplitMix64). Skewed tenant sampling
+/// needs reproducible draws, not cryptographic ones, and pulling a
+/// general RNG crate in for one loop would be overkill.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Zipf(s) over ranks `1..=n` as a precomputed CDF: rank k has weight
+/// k^-s, so rank 1 is the hottest tenant. Sampling is one uniform draw
+/// plus a binary search.
+struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    fn new(n: usize, s: f64) -> Zipf {
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += (k as f64).powf(-s);
+            cdf.push(acc);
+        }
+        for c in &mut cdf {
+            *c /= acc;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draws a 0-based tenant rank.
+    fn sample(&self, state: &mut u64) -> usize {
+        let u = (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64;
+        self.cdf
+            .partition_point(|&c| c <= u)
+            .min(self.cdf.len() - 1)
+    }
+}
+
+/// Starts an in-process fleet: `nodes` reactor-engine servers wrapped in
+/// [`FleetNode`] handlers over one shard map, plus the router in front.
+/// Listeners are bound first so every address is known before any
+/// handler (which embeds the map) is built. The reactor engine matters
+/// here: fleet peers park pooled connections on every node, and the
+/// thread-per-connection pool engine would pin a worker per parked
+/// connection.
+fn start_fleet(
+    store: &std::path::Path,
+    nodes: usize,
+    replication: usize,
+) -> (Vec<ServerHandle>, RouterHandle, FleetMap) {
+    let listeners: Vec<TcpListener> = (0..nodes)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind node"))
+        .collect();
+    let addrs: Vec<String> = listeners
+        .iter()
+        .map(|l| l.local_addr().expect("addr").to_string())
+        .collect();
+    let map = FleetMap::new(&addrs, replication, cpm_fleet::DEFAULT_VNODES);
+    let handles: Vec<ServerHandle> = listeners
+        .into_iter()
+        .enumerate()
+        .map(|(i, listener)| {
+            let cfg = ServiceConfig {
+                est: EstimateConfig {
+                    reps: 1,
+                    ..EstimateConfig::with_seed(41 + i as u64)
+                },
+                ..ServiceConfig::default()
+            };
+            let service = Arc::new(
+                Service::open(store.join(format!("node-{i}")), cfg).expect("open service"),
+            );
+            let inner: Arc<dyn LineHandler> = Arc::clone(&service) as Arc<dyn LineHandler>;
+            let node = FleetNode::new(
+                Arc::clone(&service),
+                inner,
+                map.clone(),
+                &format!("node-{i}"),
+                ClientConfig::default(),
+            )
+            .expect("fleet node");
+            Server::from_listener(service, node, listener)
+                .expect("server")
+                .engine(Engine::Reactor)
+                .workers(2)
+                .spawn()
+        })
+        .collect();
+    let router = Router::new(map.clone(), RouterConfig::default()).expect("router");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind router");
+    let handle = serve_router(listener, router, 2, None).expect("serve router");
+    (handles, handle, map)
+}
+
+/// Latency profile of one tenant (Zipf rank order: rank 0 is hottest).
+#[derive(Serialize)]
+struct TenantResult {
+    rank: usize,
+    fingerprint: String,
+    requests: u64,
+    p50_ns: u64,
+    p99_ns: u64,
+}
+
+#[derive(Serialize)]
+struct FleetReport {
+    fleet: usize,
+    replication: usize,
+    tenants: usize,
+    zipf: f64,
+    clients: usize,
+    requests_per_client: usize,
+    think_us: u64,
+    killed_node: Option<usize>,
+    wall_seconds: f64,
+    throughput_rps: f64,
+    errors: u64,
+    stale: u64,
+    client_p50_ns: u64,
+    client_p95_ns: u64,
+    client_p99_ns: u64,
+    router_stats: Value,
+    per_tenant: Vec<TenantResult>,
+}
+
+/// Multi-tenant Zipf-skewed load against an in-process fleet, optionally
+/// killing a node mid-run. Gates on zero client-visible errors, and on
+/// the overall client p99 when `--p99-max-ms` is given.
+fn main_fleet(args: &Args, store: &std::path::Path) {
+    let kill_note = match args.kill_node {
+        Some(i) => format!(", killing node {i} mid-load"),
+        None => String::new(),
+    };
+    println!(
+        "loadgen: fleet of {} (replication {}), {} tenants zipf(s={}), \
+         {} clients x {} requests, {}µs think time{kill_note}",
+        args.fleet,
+        args.replication,
+        args.tenants,
+        args.zipf,
+        args.clients,
+        args.requests,
+        args.think_us,
+    );
+    let (mut handles, mut router, _map) = start_fleet(store, args.fleet, args.replication);
+    let raddr = router.addr();
+
+    // One estimate per tenant through the router: each lands on its ring
+    // owner, replicates, and leaves the fleet warm for the timed phase.
+    let fps: Vec<String> = (0..args.tenants)
+        .map(|i| {
+            let config = ClusterConfig::ideal(ClusterSpec::homogeneous(4), 1000 + i as u64);
+            let est = request(
+                raddr,
+                &format!(
+                    "{{\"verb\":\"estimate\",\"config\":{}}}",
+                    serde_json::to_string(&config).expect("config json")
+                ),
+            );
+            assert_eq!(est.get("ok"), Some(&Value::Bool(true)), "{est:?}");
+            est.get("fingerprint")
+                .and_then(Value::as_str)
+                .expect("fingerprint")
+                .to_string()
+        })
+        .collect();
+    let fps = Arc::new(fps);
+    let zipf = Arc::new(Zipf::new(args.tenants, args.zipf));
+
+    // With a kill scheduled, two barriers bracket it mid-run: clients
+    // drain in-flight work, the main thread shuts the victim down while
+    // every pooled router connection to it is idle-but-open, and clients
+    // resume — phase two exercises reconnect + failover, not a clean
+    // slate. Lost and duplicated responses both surface as id-echo
+    // mismatches, counted as errors.
+    let split = args.requests / 2;
+    let start = Arc::new(Barrier::new(args.clients + 1));
+    let before_kill = Arc::new(Barrier::new(args.clients + 1));
+    let after_kill = Arc::new(Barrier::new(args.clients + 1));
+    let threads: Vec<_> = (0..args.clients)
+        .map(|c| {
+            let fps = Arc::clone(&fps);
+            let zipf = Arc::clone(&zipf);
+            let start = Arc::clone(&start);
+            let before_kill = Arc::clone(&before_kill);
+            let after_kill = Arc::clone(&after_kill);
+            let phased = args.kill_node.is_some();
+            let (requests, think_us) = (args.requests, args.think_us);
+            std::thread::spawn(move || {
+                let stream = TcpStream::connect(raddr).expect("connect");
+                let _ = stream.set_nodelay(true);
+                let mut writer = stream.try_clone().expect("clone");
+                let mut reader = BufReader::new(stream);
+                let overall = LogHistogram::new();
+                let per_tenant: Vec<LogHistogram> =
+                    (0..fps.len()).map(|_| LogHistogram::new()).collect();
+                let mut rng = 0x10ad_6e4b ^ ((c as u64) << 20);
+                let (mut errors, mut stale) = (0u64, 0u64);
+                let mut response = String::new();
+                start.wait();
+                for r in 0..requests {
+                    if phased && r == split {
+                        before_kill.wait();
+                        after_kill.wait();
+                    }
+                    let t_idx = zipf.sample(&mut rng);
+                    let id = format!("c{c}-{r}");
+                    let line = format!(
+                        "{}\n",
+                        predict_line_tagged(&fps[t_idx], SIZES[r % SIZES.len()], &id)
+                    );
+                    let t = Instant::now();
+                    writer.write_all(line.as_bytes()).expect("write");
+                    response.clear();
+                    if reader.read_line(&mut response).expect("read") == 0 {
+                        // Dropped connection: every response still owed
+                        // to this client is lost.
+                        errors += (requests - r) as u64;
+                        break;
+                    }
+                    let ns = u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    let Ok(v) = serde_json::from_str::<Value>(response.trim_end()) else {
+                        errors += 1;
+                        continue;
+                    };
+                    let ok = v.get("ok") == Some(&Value::Bool(true));
+                    let echoed = v.get("id").and_then(Value::as_str) == Some(id.as_str());
+                    if ok && echoed {
+                        overall.record(ns);
+                        per_tenant[t_idx].record(ns);
+                        if v.get("stale") == Some(&Value::Bool(true)) {
+                            stale += 1;
+                        }
+                    } else {
+                        errors += 1;
+                    }
+                    if think_us > 0 {
+                        std::thread::sleep(std::time::Duration::from_micros(think_us));
+                    }
+                }
+                (overall, per_tenant, errors, stale)
+            })
+        })
+        .collect();
+
+    start.wait();
+    let t0 = Instant::now();
+    if let Some(victim) = args.kill_node {
+        before_kill.wait();
+        handles[victim].shutdown();
+        after_kill.wait();
+    }
+    let overall = LogHistogram::new();
+    let per_tenant: Vec<LogHistogram> = (0..args.tenants).map(|_| LogHistogram::new()).collect();
+    let (mut errors, mut stale) = (0u64, 0u64);
+    for t in threads {
+        let (o, p, e, s) = t.join().expect("client panicked");
+        overall.merge_from(&o);
+        for (mine, theirs) in per_tenant.iter().zip(&p) {
+            mine.merge_from(theirs);
+        }
+        errors += e;
+        stale += s;
+    }
+    let wall = t0.elapsed().as_secs_f64();
+
+    // The router and a surviving node must still render valid Prometheus
+    // expositions covering the cpm_fleet_* families.
+    let router_stats = request(raddr, "{\"verb\":\"stats\"}");
+    let rtext = request(raddr, "{\"verb\":\"stats\",\"format\":\"text\"}");
+    let rtext = rtext
+        .get("text")
+        .and_then(Value::as_str)
+        .expect("router text stats");
+    match cpm_obs::validate_exposition(rtext) {
+        Ok(samples) => assert!(samples > 0, "empty router exposition"),
+        Err(e) => panic!("invalid router metrics exposition: {e}"),
+    }
+    assert!(
+        rtext.contains("cpm_fleet_router_forwards"),
+        "router exposition lacks cpm_fleet_router_forwards"
+    );
+    let survivor = (0..args.fleet)
+        .find(|i| Some(*i) != args.kill_node)
+        .expect("a surviving node");
+    let ntext = request(
+        handles[survivor].addr(),
+        "{\"verb\":\"stats\",\"format\":\"text\"}",
+    );
+    let ntext = ntext
+        .get("text")
+        .and_then(Value::as_str)
+        .expect("node text stats");
+    match cpm_obs::validate_exposition(ntext) {
+        Ok(samples) => assert!(samples > 0, "empty node exposition"),
+        Err(e) => panic!("invalid node metrics exposition: {e}"),
+    }
+
+    router.shutdown();
+    for h in &mut handles {
+        h.shutdown(); // idempotent, covers the killed node too
+    }
+
+    let h = overall.snapshot();
+    let total = args.clients * args.requests;
+    let per_tenant: Vec<TenantResult> = per_tenant
+        .iter()
+        .enumerate()
+        .map(|(rank, hist)| {
+            let s = hist.snapshot();
+            TenantResult {
+                rank,
+                fingerprint: fps[rank].clone(),
+                requests: s.count,
+                p50_ns: s.quantile(0.50),
+                p99_ns: s.quantile(0.99),
+            }
+        })
+        .collect();
+    let hottest = &per_tenant[0];
+    println!(
+        "fleet      wall={:.3}s throughput={:.0} req/s errors={errors} stale={stale} \
+         client p50/p95/p99={:.1}/{:.1}/{:.1}µs hottest tenant {} reqs p99={:.1}µs",
+        wall,
+        (total as u64 - errors) as f64 / wall,
+        h.quantile(0.50) as f64 / 1e3,
+        h.quantile(0.95) as f64 / 1e3,
+        h.quantile(0.99) as f64 / 1e3,
+        hottest.requests,
+        hottest.p99_ns as f64 / 1e3,
+    );
+
+    let report = FleetReport {
+        fleet: args.fleet,
+        replication: args.replication,
+        tenants: args.tenants,
+        zipf: args.zipf,
+        clients: args.clients,
+        requests_per_client: args.requests,
+        think_us: args.think_us,
+        killed_node: args.kill_node,
+        wall_seconds: wall,
+        throughput_rps: (total as u64 - errors) as f64 / wall,
+        errors,
+        stale,
+        client_p50_ns: h.quantile(0.50),
+        client_p95_ns: h.quantile(0.95),
+        client_p99_ns: h.quantile(0.99),
+        router_stats,
+        per_tenant,
+    };
+    let out = args
+        .out
+        .clone()
+        .unwrap_or_else(|| cpm_bench::results_dir().join("fleet_load.json"));
+    write_report(&out, &report);
+
+    if errors > 0 {
+        eprintln!("FAIL: {errors} client-visible errors (want 0)");
+        std::process::exit(1);
+    }
+    println!("ok: zero client-visible errors across {total} requests");
+    if args.kill_node.is_some() && stale == 0 {
+        eprintln!("FAIL: node killed but no stale-flagged responses — failover never engaged");
+        std::process::exit(1);
+    }
+    if let Some(max_ms) = args.p99_max_ms {
+        let p99_ms = h.quantile(0.99) as f64 / 1e6;
+        if p99_ms > max_ms {
+            eprintln!("FAIL: client p99 {p99_ms:.2}ms exceeds {max_ms:.2}ms");
+            std::process::exit(1);
+        }
+        println!("ok: client p99 {p99_ms:.2}ms <= {max_ms:.2}ms");
+    }
+}
+
 fn main() {
     let args = parse_args();
     let store = std::env::temp_dir().join(format!("cpm-loadgen-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&store);
-    if args.pipeline > 0 {
+    if args.tenants > 0 {
+        main_fleet(&args, &store);
+    } else if args.pipeline > 0 {
         main_pipelined(&args, &store);
     } else {
         main_closed_loop(&args, &store);

@@ -1,0 +1,101 @@
+//! Serving the router on the reactor engine.
+//!
+//! The router is pure request/response state, so it plugs straight
+//! into the reactor's [`cpm_reactor::Handler`] seam and gets both wire
+//! framings (JSON-lines and length-prefixed binary), pipelining, and
+//! idle reaping for free — the same engine the nodes themselves can
+//! run on.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::router::Router;
+
+/// Controls a router serving on background threads. Dropping the
+/// handle stops the router.
+pub struct RouterHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl RouterHandle {
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Waits for the router to stop on its own (a `shutdown` verb from
+    /// a client stops the reactor), without initiating a stop.
+    pub fn join(&mut self) {
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// Signals the reactor to stop and joins it (idempotent).
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the acceptor so it notices the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for RouterHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Starts `router` on the reactor over `listener` with `shards`
+/// event-loop threads. Connection and frame telemetry lands in the
+/// router's own metrics registry (`cpm_fleet_router_connections`,
+/// `cpm_fleet_router_frames{format}`).
+pub fn serve_router(
+    listener: TcpListener,
+    router: Arc<Router>,
+    shards: usize,
+    idle_timeout: Option<Duration>,
+) -> io::Result<RouterHandle> {
+    let addr = listener.local_addr()?;
+    let registry = router.registry();
+    let telemetry = cpm_reactor::Telemetry {
+        connections_active: Some(registry.gauge(
+            "cpm_fleet_router_connections",
+            "Open client connections on the router",
+            &[],
+        )),
+        frames_json: Some(registry.counter(
+            "cpm_fleet_router_frames",
+            "Requests handled by the router, by wire format",
+            &[("format", "json")],
+        )),
+        frames_binary: Some(registry.counter(
+            "cpm_fleet_router_frames",
+            "Requests handled by the router, by wire format",
+            &[("format", "binary")],
+        )),
+    };
+    let cfg = cpm_reactor::Config {
+        shards: shards.max(1),
+        idle_timeout,
+        ..cpm_reactor::Config::default()
+    };
+    let stop = Arc::new(AtomicBool::new(false));
+    let run_stop = Arc::clone(&stop);
+    let thread = std::thread::spawn(move || {
+        let _ = cpm_reactor::run(listener, router, cfg, telemetry, run_stop);
+    });
+    Ok(RouterHandle {
+        addr,
+        stop,
+        thread: Some(thread),
+    })
+}

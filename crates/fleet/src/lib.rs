@@ -1,0 +1,47 @@
+//! cpm-fleet: a sharded, replicated multi-tenant parameter fleet.
+//!
+//! One `cpm-serve` process owns one parameter store. This crate turns
+//! a set of such processes into a fleet serving thousands of tenant
+//! clusters behind a single endpoint:
+//!
+//! * [`ring`] — a consistent-hash ring with virtual nodes. Tenants
+//!   (cluster fingerprints) hash onto a 64-bit circle; each node
+//!   projects `vnodes` points; membership changes move only the keys
+//!   they must (proptest-pinned in `tests/`).
+//! * [`map`] — the [`FleetMap`]: the static JSON topology document
+//!   (nodes, replication factor, vnodes) every process shares, so
+//!   ownership is agreed without coordination.
+//! * [`node`] — the member side: [`FleetNode`] adds the
+//!   `fleet-install`/`fleet-info` verbs, a `fleet` section on `stats`,
+//!   shard-aware `estimate` refusal, and leader-driven replication —
+//!   every local publish (cold estimate or drift republish) fans the
+//!   versioned set out to the other owners through the service's
+//!   publish hook, reusing the registry's lineage/version machinery.
+//! * [`router`] — the front door: [`Router`] hashes each request's
+//!   fingerprint, forwards the raw line to the owning node over
+//!   pooled connections ([`cpm_reactor::ClientPool`]), retries with
+//!   backoff, fails over to replicas, and flags follower-served
+//!   responses `"stale"`. Synthesized error responses echo the
+//!   client's request id, like every other path in the protocol.
+//! * [`front`] — [`serve_router`] runs the router on the reactor
+//!   engine, so it speaks both wire framings with pipelining.
+//!
+//! Everything observable lands in metrics named `cpm_fleet_*`: node
+//! metrics in the wrapped service's unified registry (one exposition
+//! covers serve, drift, and fleet), router metrics in the router's
+//! own.
+
+#![warn(missing_docs)]
+
+pub mod front;
+pub mod map;
+pub mod node;
+pub mod ring;
+pub mod router;
+mod util;
+
+pub use front::{serve_router, RouterHandle};
+pub use map::{FleetMap, NodeInfo, DEFAULT_REPLICATION, DEFAULT_VNODES};
+pub use node::{FleetNode, Replicator};
+pub use ring::{key_point, Ring};
+pub use router::{Router, RouterConfig};

@@ -1,0 +1,173 @@
+//! Fleet topology: the node list, replication factor, and ring shape.
+//!
+//! A [`FleetMap`] is the one JSON document every fleet process shares
+//! (written by `cpm fleet init`, read by nodes and the router). It is
+//! deliberately static per process lifetime — membership changes mean
+//! writing a new map and restarting, which keeps ownership decisions
+//! reproducible: any two processes holding the same map agree on every
+//! key's leader and replica set without talking to each other.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ring::Ring;
+
+/// Default virtual nodes per member.
+pub const DEFAULT_VNODES: usize = 64;
+
+/// Default replication factor (leader + one follower).
+pub const DEFAULT_REPLICATION: usize = 2;
+
+/// One fleet member: a stable name and the address it serves on.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeInfo {
+    /// Stable node name — the ring hashes this, so renaming a node
+    /// reshuffles its keys.
+    pub name: String,
+    /// `host:port` the node's server listens on.
+    pub addr: String,
+}
+
+/// The shared fleet topology document.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FleetMap {
+    /// Every member, in declaration order.
+    pub nodes: Vec<NodeInfo>,
+    /// Copies of each parameter set (leader included). Clamped to the
+    /// node count when larger.
+    pub replication: usize,
+    /// Virtual nodes each member projects onto the ring.
+    pub vnodes: usize,
+}
+
+impl FleetMap {
+    /// Builds a map over `addrs` with generated names `node-0..`,
+    /// using defaults for any zero `replication`/`vnodes`.
+    pub fn new(addrs: &[String], replication: usize, vnodes: usize) -> FleetMap {
+        FleetMap {
+            nodes: addrs
+                .iter()
+                .enumerate()
+                .map(|(i, addr)| NodeInfo {
+                    name: format!("node-{i}"),
+                    addr: addr.clone(),
+                })
+                .collect(),
+            replication: if replication == 0 {
+                DEFAULT_REPLICATION
+            } else {
+                replication
+            },
+            vnodes: if vnodes == 0 { DEFAULT_VNODES } else { vnodes },
+        }
+    }
+
+    /// Parses a map from its JSON document.
+    pub fn from_json(json: &str) -> Result<FleetMap, String> {
+        let map: FleetMap = serde_json::from_str(json).map_err(|e| e.to_string())?;
+        map.validate()?;
+        Ok(map)
+    }
+
+    /// Serializes the map as a pretty JSON document.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).unwrap_or_default()
+    }
+
+    /// Structural sanity: at least one node, unique names, non-empty
+    /// addresses, replication at least 1.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes.is_empty() {
+            return Err("fleet map has no nodes".into());
+        }
+        if self.replication == 0 {
+            return Err("replication must be at least 1".into());
+        }
+        if self.vnodes == 0 {
+            return Err("vnodes must be at least 1".into());
+        }
+        for (i, n) in self.nodes.iter().enumerate() {
+            if n.name.is_empty() || n.addr.is_empty() {
+                return Err(format!("node {i} has an empty name or addr"));
+            }
+            if self.nodes[..i].iter().any(|m| m.name == n.name) {
+                return Err(format!("duplicate node name {:?}", n.name));
+            }
+        }
+        Ok(())
+    }
+
+    /// Effective replication: the declared factor capped by membership.
+    pub fn effective_replication(&self) -> usize {
+        self.replication.min(self.nodes.len()).max(1)
+    }
+
+    /// The ring this map describes.
+    pub fn ring(&self) -> Ring {
+        let names: Vec<&str> = self.nodes.iter().map(|n| n.name.as_str()).collect();
+        Ring::with_nodes(&names, self.vnodes)
+    }
+
+    /// Looks up a member by name.
+    pub fn node(&self, name: &str) -> Option<&NodeInfo> {
+        self.nodes.iter().find(|n| n.name == name)
+    }
+
+    /// The owner set (leader first) for a key, resolved to members.
+    pub fn owners(&self, ring: &Ring, key: &str) -> Vec<&NodeInfo> {
+        ring.owners(key, self.effective_replication())
+            .into_iter()
+            .filter_map(|name| self.node(name))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map3() -> FleetMap {
+        FleetMap::new(
+            &[
+                "127.0.0.1:9101".to_string(),
+                "127.0.0.1:9102".to_string(),
+                "127.0.0.1:9103".to_string(),
+            ],
+            2,
+            32,
+        )
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let map = map3();
+        let back = FleetMap::from_json(&map.to_json()).unwrap();
+        assert_eq!(map, back);
+    }
+
+    #[test]
+    fn validate_rejects_duplicates_and_empties() {
+        let mut map = map3();
+        map.nodes[1].name = "node-0".into();
+        assert!(map.validate().is_err());
+        let mut map = map3();
+        map.nodes[2].addr.clear();
+        assert!(map.validate().is_err());
+        assert!(FleetMap::new(&[], 2, 32).validate().is_err());
+    }
+
+    #[test]
+    fn owners_resolve_to_distinct_members() {
+        let map = map3();
+        let ring = map.ring();
+        let owners = map.owners(&ring, "some-fingerprint");
+        assert_eq!(owners.len(), 2);
+        assert_ne!(owners[0].name, owners[1].name);
+    }
+
+    #[test]
+    fn replication_caps_at_membership() {
+        let mut map = map3();
+        map.replication = 9;
+        assert_eq!(map.effective_replication(), 3);
+    }
+}

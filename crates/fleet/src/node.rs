@@ -1,0 +1,416 @@
+//! The node side of the fleet: replication fan-out and fleet verbs.
+//!
+//! [`FleetNode`] wraps any [`LineHandler`] (typically the drift-enabled
+//! handler) and adds the fleet vocabulary:
+//!
+//! - `fleet-install` — apply a parameter set replicated by a peer at
+//!   its already-assigned version (never re-fans-out, so replication
+//!   cannot echo between replicas);
+//! - `fleet-info` — this node's name, role, and shard topology;
+//! - `stats` — delegated, then extended with a `fleet` section (role,
+//!   ownership ranges, replication lag per peer);
+//! - `estimate` — shard-aware: refused with the owner list when this
+//!   node does not own the config's fingerprint, so writes land only
+//!   where the ring says they belong.
+//!
+//! The [`Replicator`] hangs off the service's publish hook: every local
+//! publish (cold estimate or drift republish) fans the new version out
+//! to the other owners *synchronously*, so by the time the triggering
+//! client sees a response, every reachable replica holds the version.
+
+use std::sync::Arc;
+
+use cpm_obs::{Counter, Gauge};
+use cpm_reactor::{ClientConfig, ClientPool};
+use cpm_serve::service::Verb;
+use cpm_serve::{LineHandler, ParamSet, ServeError, Service};
+use serde_json::Value;
+
+use crate::map::{FleetMap, NodeInfo};
+use crate::ring::Ring;
+use crate::util::{obj, resolve_addr, SResult};
+
+/// Per-peer replication state: a pooled connection plus push/ack
+/// accounting, all registered in the node's unified metrics registry.
+struct Peer {
+    info: NodeInfo,
+    pool: ClientPool,
+    /// `cpm_fleet_replication_pushes{peer}` — installs sent.
+    pushed: Counter,
+    /// `cpm_fleet_replication_acks{peer}` — installs acknowledged.
+    acked: Counter,
+    /// `cpm_fleet_replication_errors{peer}` — pushes that failed.
+    errors: Counter,
+    /// `cpm_fleet_replication_lag{peer}` — pushed minus acked.
+    lag: Gauge,
+}
+
+/// Leader-driven replication fan-out, invoked from the service's
+/// publish hook.
+pub struct Replicator {
+    name: String,
+    map: FleetMap,
+    ring: Ring,
+    peers: Vec<Peer>,
+}
+
+impl Replicator {
+    fn new(
+        service: &Arc<Service>,
+        map: &FleetMap,
+        name: &str,
+        client_cfg: &ClientConfig,
+    ) -> Result<Replicator, String> {
+        let registry = Arc::clone(service.metrics().registry());
+        let mut peers = Vec::new();
+        for info in map.nodes.iter().filter(|n| n.name != name) {
+            let addr = resolve_addr(&info.addr)?;
+            let labels = [("peer", info.name.as_str())];
+            peers.push(Peer {
+                info: info.clone(),
+                pool: ClientPool::new(addr, client_cfg.clone(), 2),
+                pushed: registry.counter(
+                    "cpm_fleet_replication_pushes",
+                    "Parameter-set installs pushed to a peer",
+                    &labels,
+                ),
+                acked: registry.counter(
+                    "cpm_fleet_replication_acks",
+                    "Parameter-set installs acknowledged by a peer",
+                    &labels,
+                ),
+                errors: registry.counter(
+                    "cpm_fleet_replication_errors",
+                    "Parameter-set pushes that failed",
+                    &labels,
+                ),
+                lag: registry.gauge(
+                    "cpm_fleet_replication_lag",
+                    "Installs pushed to a peer but not acknowledged",
+                    &labels,
+                ),
+            });
+        }
+        Ok(Replicator {
+            name: name.to_string(),
+            map: map.clone(),
+            ring: map.ring(),
+            peers,
+        })
+    }
+
+    /// Pushes `ps` to every other owner of its fingerprint. Failures
+    /// are counted (and visible as lag), never propagated: a publish
+    /// must not fail because a replica is down — the router degrades to
+    /// the surviving owners instead.
+    pub fn replicate(&self, ps: &ParamSet) {
+        let owners = self
+            .ring
+            .owners(&ps.fingerprint, self.map.effective_replication());
+        if !owners.iter().any(|o| *o == self.name) {
+            // Not an owner (a directly-addressed estimate on a
+            // non-owner node): nothing to fan out.
+            return;
+        }
+        let set_json = match serde_json::to_string(ps) {
+            Ok(j) => j,
+            Err(_) => return,
+        };
+        let line = format!(
+            "{{\"verb\":\"fleet-install\",\"from\":{:?},\"set\":{set_json}}}",
+            self.name
+        );
+        for (idx, peer) in self
+            .peers
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| owners.iter().any(|o| *o == p.info.name))
+        {
+            // Span fields carry static strings only; the peer's index
+            // in the map stands in for its name.
+            let mut sp = cpm_obs::span("fleet.replicate");
+            sp.field_u64("peer", idx as u64);
+            peer.pushed.inc();
+            match peer.pool.call(&line) {
+                Ok(resp)
+                    if serde_json::from_str::<Value>(&resp)
+                        .map(|v| v.get("ok") == Some(&Value::Bool(true)))
+                        .unwrap_or(false) =>
+                {
+                    peer.acked.inc();
+                }
+                _ => {
+                    peer.errors.inc();
+                }
+            }
+            peer.lag
+                .set(peer.pushed.get().saturating_sub(peer.acked.get()));
+        }
+    }
+
+    /// `(peer, pushed, acked)` accounting for the stats section.
+    fn peer_lag(&self) -> Vec<(String, u64, u64)> {
+        self.peers
+            .iter()
+            .map(|p| (p.info.name.clone(), p.pushed.get(), p.acked.get()))
+            .collect()
+    }
+}
+
+/// A fleet member's line handler: the wrapped protocol plus the fleet
+/// verbs and shard-aware write routing.
+pub struct FleetNode {
+    inner: Arc<dyn LineHandler>,
+    service: Arc<Service>,
+    name: String,
+    map: FleetMap,
+    ring: Ring,
+    replicator: Arc<Replicator>,
+    /// `cpm_fleet_installs` — replicated sets applied.
+    installs: Counter,
+    /// `cpm_fleet_installs_stale` — replicated sets at or below the
+    /// version already held (archived, not applied).
+    installs_stale: Counter,
+    /// `cpm_fleet_writes_rejected` — estimates refused because this
+    /// node does not own the fingerprint.
+    writes_rejected: Counter,
+}
+
+impl FleetNode {
+    /// Wraps `inner` as fleet member `name` of `map`, registering the
+    /// replication fan-out as `service`'s publish hook. `service` must
+    /// be the same service `inner` ultimately delegates to.
+    pub fn new(
+        service: Arc<Service>,
+        inner: Arc<dyn LineHandler>,
+        map: FleetMap,
+        name: &str,
+        client_cfg: ClientConfig,
+    ) -> Result<Arc<FleetNode>, String> {
+        map.validate()?;
+        if map.node(name).is_none() {
+            return Err(format!("node {name:?} is not in the fleet map"));
+        }
+        let replicator = Arc::new(Replicator::new(&service, &map, name, &client_cfg)?);
+        let hook = Arc::clone(&replicator);
+        service.set_publish_hook(Box::new(move |ps| hook.replicate(ps)));
+        let registry = Arc::clone(service.metrics().registry());
+        Ok(Arc::new(FleetNode {
+            ring: map.ring(),
+            inner,
+            name: name.to_string(),
+            replicator,
+            installs: registry.counter(
+                "cpm_fleet_installs",
+                "Replicated parameter sets applied at their assigned version",
+                &[],
+            ),
+            installs_stale: registry.counter(
+                "cpm_fleet_installs_stale",
+                "Replicated parameter sets ignored as stale",
+                &[],
+            ),
+            writes_rejected: registry.counter(
+                "cpm_fleet_writes_rejected",
+                "Estimates refused because this node does not own the fingerprint",
+                &[],
+            ),
+            map,
+            service,
+        }))
+    }
+
+    /// This node's name in the fleet map.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The wrapped core service.
+    pub fn service(&self) -> &Arc<Service> {
+        &self.service
+    }
+
+    fn handle_install(&self, v: &Value) -> SResult<Value> {
+        let set = v
+            .get("set")
+            .ok_or_else(|| ServeError::Protocol("missing field \"set\"".into()))?;
+        let set_json =
+            serde_json::to_string(set).map_err(|e| ServeError::Protocol(e.to_string()))?;
+        let ps: ParamSet =
+            serde_json::from_str(&set_json).map_err(|e| ServeError::Protocol(e.to_string()))?;
+        let (current, applied) = self.service.install(ps)?;
+        if applied {
+            self.installs.inc();
+        } else {
+            self.installs_stale.inc();
+        }
+        Ok(obj(vec![
+            ("fingerprint", Value::Str(current.fingerprint.clone())),
+            ("param_version", Value::U64(current.param_version)),
+            ("applied", Value::Bool(applied)),
+        ]))
+    }
+
+    fn handle_info(&self) -> Value {
+        obj(vec![
+            ("node", Value::Str(self.name.clone())),
+            ("role", Value::Str("fleet-node".into())),
+            ("nodes", Value::U64(self.map.nodes.len() as u64)),
+            (
+                "replication",
+                Value::U64(self.map.effective_replication() as u64),
+            ),
+            ("vnodes", Value::U64(self.map.vnodes as u64)),
+        ])
+    }
+
+    /// The `fleet` section injected into JSON `stats` responses.
+    fn fleet_section(&self) -> Value {
+        let ranges: Vec<Value> = self
+            .ring
+            .ranges(&self.name)
+            .into_iter()
+            .map(|(start, end)| Value::Str(format!("{start:016x}..{end:016x}")))
+            .collect();
+        let peers: Vec<Value> = self
+            .replicator
+            .peer_lag()
+            .into_iter()
+            .map(|(name, pushed, acked)| {
+                obj(vec![
+                    ("name", Value::Str(name)),
+                    ("pushed", Value::U64(pushed)),
+                    ("acked", Value::U64(acked)),
+                    ("lag", Value::U64(pushed.saturating_sub(acked))),
+                ])
+            })
+            .collect();
+        obj(vec![
+            ("node", Value::Str(self.name.clone())),
+            ("role", Value::Str("fleet-node".into())),
+            (
+                "replication",
+                Value::U64(self.map.effective_replication() as u64),
+            ),
+            (
+                "ownership",
+                obj(vec![
+                    ("share", Value::F64(self.ring.share(&self.name))),
+                    ("arcs", Value::U64(ranges.len() as u64)),
+                    ("ranges", Value::Seq(ranges)),
+                ]),
+            ),
+            ("peers", Value::Seq(peers)),
+        ])
+    }
+
+    /// Delegates `stats` to the wrapped handler and splices the fleet
+    /// section into the JSON response. Text-format stats need no help:
+    /// the `cpm_fleet_*` metrics live in the same unified registry the
+    /// exposition renders.
+    fn handle_stats(&self, line: &str) -> (String, bool) {
+        let (text, shutdown) = self.inner.handle_line(line);
+        let Ok(Value::Map(mut entries)) = serde_json::from_str::<Value>(&text) else {
+            return (text, shutdown);
+        };
+        // Text-format stats wrap the exposition in {"text": ...}; leave
+        // those untouched.
+        if entries.iter().any(|(k, _)| k == "text") {
+            return (text, shutdown);
+        }
+        entries.push(("fleet".to_string(), self.fleet_section()));
+        let text = serde_json::to_string(&Value::Map(entries)).unwrap_or(text);
+        (text, shutdown)
+    }
+
+    /// Shard-aware `estimate`: owners estimate (and fan out), everyone
+    /// else refuses with the owner list so the caller can re-aim.
+    fn check_estimate_ownership(&self, v: &Value) -> SResult<()> {
+        let config = v
+            .get("config")
+            .ok_or_else(|| ServeError::Protocol("estimate requires \"config\"".into()))?;
+        let config_json =
+            serde_json::to_string(config).map_err(|e| ServeError::Protocol(e.to_string()))?;
+        let fp = cpm_serve::fingerprint_json(&config_json)?;
+        let owners = self.ring.owners(&fp, self.map.effective_replication());
+        if owners.iter().any(|o| *o == self.name) {
+            return Ok(());
+        }
+        self.writes_rejected.inc();
+        Err(ServeError::Protocol(format!(
+            "node {:?} does not own fingerprint {fp}; owners: {}",
+            self.name,
+            owners.join(", ")
+        )))
+    }
+
+    fn fleet_verb(v: &Value) -> Option<Verb> {
+        match v.get("verb").and_then(Value::as_str) {
+            Some("fleet-install") => Some(Verb::FleetInstall),
+            Some("fleet-info") => Some(Verb::FleetInfo),
+            _ => None,
+        }
+    }
+}
+
+impl LineHandler for FleetNode {
+    fn handle_line(&self, line: &str) -> (String, bool) {
+        let start = std::time::Instant::now();
+        let Ok(v) = serde_json::from_str::<Value>(line) else {
+            return self.inner.handle_line(line);
+        };
+        match v.get("verb").and_then(Value::as_str) {
+            Some("stats") => return self.handle_stats(line),
+            Some("estimate") => {
+                if let Err(e) = self.check_estimate_ownership(&v) {
+                    let id = cpm_serve::client_id(&v);
+                    let mut value = obj(vec![
+                        ("ok", Value::Bool(false)),
+                        ("error", Value::Str(e.to_string())),
+                    ]);
+                    cpm_serve::echo_id(&mut value, &id);
+                    let text = serde_json::to_string(&value)
+                        .unwrap_or_else(|_| "{\"ok\":false}".to_string());
+                    return (text, false);
+                }
+                return self.inner.handle_line(line);
+            }
+            _ => {}
+        }
+        let Some(verb) = Self::fleet_verb(&v) else {
+            return self.inner.handle_line(line);
+        };
+        // Mirror the core protocol's request-id handling so fleet-verb
+        // spans and responses are attributable the same way.
+        let id = cpm_serve::client_id(&v);
+        let _ctx = cpm_obs::ctx::with_request(
+            cpm_obs::next_request_id(),
+            id.as_ref().map(cpm_serve::id_tag).unwrap_or_default(),
+        );
+        let outcome = {
+            let mut sp = cpm_obs::span("serve.request");
+            sp.field_str("verb", verb.as_str());
+            match verb {
+                Verb::FleetInstall => self.handle_install(&v),
+                _ => Ok(self.handle_info()),
+            }
+        };
+        let mut value = match outcome {
+            Ok(Value::Map(mut entries)) => {
+                entries.insert(0, ("ok".to_string(), Value::Bool(true)));
+                Value::Map(entries)
+            }
+            Ok(other) => other,
+            Err(e) => obj(vec![
+                ("ok", Value::Bool(false)),
+                ("error", Value::Str(e.to_string())),
+            ]),
+        };
+        cpm_serve::echo_id(&mut value, &id);
+        let text = serde_json::to_string(&value)
+            .unwrap_or_else(|_| "{\"ok\":false,\"error\":\"serialization failure\"}".to_string());
+        let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.service.metrics().record_verb_latency(verb, ns);
+        (text, false)
+    }
+}

@@ -1,0 +1,262 @@
+//! Consistent-hash ring with virtual nodes.
+//!
+//! Tenants (cluster fingerprints) are placed on a 64-bit hash circle;
+//! each fleet node projects `vnodes` points onto the circle, and a key
+//! belongs to the first node point at or clockwise of the key's hash.
+//! Replicas are the next distinct nodes continuing clockwise, so every
+//! key has a deterministic leader and follower set.
+//!
+//! Virtual nodes smooth the load split and bound the churn of a
+//! membership change: a node's points depend only on its own name, so
+//! adding a node steals keys *only for the new node* and removing one
+//! reassigns *only the keys it owned*. The rebalancing proptest in
+//! `tests/` pins the quantitative version of that claim (single
+//! join/leave moves at most about `K / nodes` of `K` keys).
+
+/// FNV-1a 64-bit over `bytes`, finished with a murmur3-style mixer.
+/// FNV alone clusters short ASCII inputs in the low bits; the final
+/// avalanche spreads vnode points evenly around the circle, which the
+/// rebalancing bound depends on.
+fn hash64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    h ^ (h >> 33)
+}
+
+/// Where `key` (a cluster fingerprint) lands on the circle.
+pub fn key_point(key: &str) -> u64 {
+    hash64(key.as_bytes())
+}
+
+fn vnode_point(name: &str, replica: usize) -> u64 {
+    hash64(format!("{name}#{replica}").as_bytes())
+}
+
+/// The hash circle: node names plus their sorted virtual-node points.
+#[derive(Clone, Debug)]
+pub struct Ring {
+    vnodes: usize,
+    names: Vec<String>,
+    /// `(point, index into names)`, sorted by point.
+    points: Vec<(u64, usize)>,
+}
+
+impl Ring {
+    /// An empty ring projecting `vnodes` points per node (clamped to
+    /// at least 1).
+    pub fn new(vnodes: usize) -> Ring {
+        Ring {
+            vnodes: vnodes.max(1),
+            names: Vec::new(),
+            points: Vec::new(),
+        }
+    }
+
+    /// A ring populated with `names` in one call.
+    pub fn with_nodes<S: AsRef<str>>(names: &[S], vnodes: usize) -> Ring {
+        let mut ring = Ring::new(vnodes);
+        for n in names {
+            ring.add(n.as_ref());
+        }
+        ring
+    }
+
+    /// Member names in insertion order.
+    pub fn nodes(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Member count.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the ring has no members.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    fn rebuild(&mut self) {
+        self.points.clear();
+        self.points.reserve(self.names.len() * self.vnodes);
+        for (i, name) in self.names.iter().enumerate() {
+            for r in 0..self.vnodes {
+                self.points.push((vnode_point(name, r), i));
+            }
+        }
+        // Ties (two nodes hashing a vnode to the same point) resolve by
+        // insertion order so ownership stays deterministic.
+        self.points.sort_unstable();
+    }
+
+    /// Adds a node (no-op if the name is already a member).
+    pub fn add(&mut self, name: &str) {
+        if self.names.iter().any(|n| n == name) {
+            return;
+        }
+        self.names.push(name.to_string());
+        self.rebuild();
+    }
+
+    /// Removes a node (no-op if the name is not a member).
+    pub fn remove(&mut self, name: &str) {
+        let before = self.names.len();
+        self.names.retain(|n| n != name);
+        if self.names.len() != before {
+            self.rebuild();
+        }
+    }
+
+    /// Index into `points` of the point owning the circle position `p`
+    /// (first point at or clockwise of `p`, wrapping).
+    fn point_at(&self, p: u64) -> Option<usize> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let i = self.points.partition_point(|&(h, _)| h < p);
+        Some(if i == self.points.len() { 0 } else { i })
+    }
+
+    /// The leader node for `key`, or `None` on an empty ring.
+    pub fn primary(&self, key: &str) -> Option<&str> {
+        self.point_at(key_point(key))
+            .map(|i| self.names[self.points[i].1].as_str())
+    }
+
+    /// The first `n` *distinct* nodes clockwise of `key`: the leader
+    /// followed by its replicas. Shorter than `n` when the ring has
+    /// fewer members.
+    pub fn owners(&self, key: &str, n: usize) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::with_capacity(n.min(self.names.len()));
+        let Some(start) = self.point_at(key_point(key)) else {
+            return out;
+        };
+        let mut seen = vec![false; self.names.len()];
+        for off in 0..self.points.len() {
+            if out.len() == n {
+                break;
+            }
+            let (_, node) = self.points[(start + off) % self.points.len()];
+            if !seen[node] {
+                seen[node] = true;
+                out.push(self.names[node].as_str());
+            }
+        }
+        out
+    }
+
+    /// The circle arcs where `name` is the leader, as `(start, end)`
+    /// pairs with `start` exclusive and `end` inclusive (an arc may
+    /// wrap past `u64::MAX`). Empty if `name` is not a member.
+    pub fn ranges(&self, name: &str) -> Vec<(u64, u64)> {
+        let Some(idx) = self.names.iter().position(|n| n == name) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for (i, &(point, node)) in self.points.iter().enumerate() {
+            if node != idx {
+                continue;
+            }
+            let prev = if i == 0 {
+                self.points[self.points.len() - 1].0
+            } else {
+                self.points[i - 1].0
+            };
+            out.push((prev, point));
+        }
+        out
+    }
+
+    /// Fraction of the circle where `name` leads (0.0 for non-members;
+    /// sums to ~1.0 across members).
+    pub fn share(&self, name: &str) -> f64 {
+        let mut arc_sum: u64 = 0;
+        for (start, end) in self.ranges(name) {
+            arc_sum = arc_sum.wrapping_add(end.wrapping_sub(start));
+        }
+        if self.names.len() == 1 {
+            return 1.0;
+        }
+        arc_sum as f64 / (u64::MAX as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("fp-{i:04x}")).collect()
+    }
+
+    #[test]
+    fn owners_are_distinct_and_lead_with_primary() {
+        let ring = Ring::with_nodes(&["a", "b", "c"], 64);
+        for k in keys(100) {
+            let owners = ring.owners(&k, 2);
+            assert_eq!(owners.len(), 2);
+            assert_ne!(owners[0], owners[1]);
+            assert_eq!(owners[0], ring.primary(&k).unwrap());
+        }
+    }
+
+    #[test]
+    fn replication_capped_by_membership() {
+        let ring = Ring::with_nodes(&["a", "b"], 16);
+        assert_eq!(ring.owners("k", 3).len(), 2);
+        assert!(Ring::new(8).owners("k", 2).is_empty());
+        assert_eq!(Ring::new(8).primary("k"), None);
+    }
+
+    #[test]
+    fn shares_sum_to_one_and_are_roughly_even() {
+        let ring = Ring::with_nodes(&["a", "b", "c", "d"], 128);
+        let total: f64 = ["a", "b", "c", "d"].iter().map(|n| ring.share(n)).sum();
+        assert!((total - 1.0).abs() < 1e-6, "shares sum to {total}");
+        for n in ["a", "b", "c", "d"] {
+            let s = ring.share(n);
+            assert!((0.10..0.40).contains(&s), "share({n}) = {s}");
+        }
+    }
+
+    #[test]
+    fn ranges_cover_primary_assignment() {
+        let ring = Ring::with_nodes(&["a", "b", "c"], 32);
+        for k in keys(50) {
+            let p = key_point(&k);
+            let owner = ring.primary(&k).unwrap();
+            let covered = ring.ranges(owner).iter().any(|&(start, end)| {
+                if start < end {
+                    p > start && p <= end
+                } else {
+                    // Wrapping arc.
+                    p > start || p <= end
+                }
+            });
+            assert!(covered, "key {k} not covered by its owner's ranges");
+        }
+    }
+
+    #[test]
+    fn add_then_remove_is_identity() {
+        let mut ring = Ring::with_nodes(&["a", "b", "c"], 64);
+        let before: Vec<_> = keys(200)
+            .iter()
+            .map(|k| ring.primary(k).unwrap().to_string())
+            .collect();
+        ring.add("d");
+        ring.remove("d");
+        let after: Vec<_> = keys(200)
+            .iter()
+            .map(|k| ring.primary(k).unwrap().to_string())
+            .collect();
+        assert_eq!(before, after);
+    }
+}

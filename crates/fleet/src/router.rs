@@ -1,0 +1,509 @@
+//! The fleet's front door: a routing line handler on the reactor.
+//!
+//! The [`Router`] owns no parameter sets. It hashes each request's
+//! cluster fingerprint onto the ring, forwards the line verbatim to
+//! the owning node over a pooled connection, and relays the response
+//! untouched — the fast path is parse-route-relay with zero re-
+//! serialization. Failure handling is where the value is:
+//!
+//! - per-upstream connect/read timeouts (the pool's [`ClientConfig`]);
+//! - bounded retry with exponential backoff on one upstream, then
+//!   failover to the next replica in ring order;
+//! - follower-served responses are flagged `"stale": true` with
+//!   `"served_by"` naming the replica, so clients can tell degraded
+//!   reads from leader reads when a shard is partially down;
+//! - when every owner is down, the synthesized error response still
+//!   echoes the client's request `"id"` — the same contract the serve
+//!   protocol keeps for its own error responses.
+//!
+//! Batches are split by owner chain, forwarded as per-shard
+//! sub-batches, and spliced back in request order.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use cpm_obs::{Counter, Histogram, MetricsRegistry};
+use cpm_reactor::{ClientConfig, ClientPool};
+use cpm_serve::LineHandler;
+use serde_json::Value;
+
+use crate::map::{FleetMap, NodeInfo};
+use crate::ring::Ring;
+use crate::util::{obj, resolve_addr};
+
+/// Router tuning.
+#[derive(Clone, Debug)]
+pub struct RouterConfig {
+    /// Connection settings for every upstream pool (per-upstream
+    /// connect and read timeouts live here).
+    pub client: ClientConfig,
+    /// Calls attempted on one upstream before failing over to the next
+    /// replica (clamped to at least 1).
+    pub attempts_per_upstream: usize,
+    /// Backoff before the second attempt on an upstream; doubles per
+    /// further attempt.
+    pub backoff: Duration,
+    /// Idle connections kept per upstream.
+    pub pool_idle: usize,
+}
+
+impl Default for RouterConfig {
+    fn default() -> RouterConfig {
+        RouterConfig {
+            client: ClientConfig::default(),
+            attempts_per_upstream: 2,
+            backoff: Duration::from_millis(5),
+            pool_idle: 8,
+        }
+    }
+}
+
+/// One forwarding target: a member plus its pool and counters.
+struct Upstream {
+    info: NodeInfo,
+    pool: ClientPool,
+    /// `cpm_fleet_router_forwards{upstream}` — responses relayed.
+    forwards: Counter,
+    /// `cpm_fleet_router_upstream_errors{upstream}` — failed calls.
+    errors: Counter,
+}
+
+/// The routing line handler. Serve it on the reactor with
+/// [`crate::serve_router`], or embed it anywhere a [`LineHandler`]
+/// fits (it implements [`cpm_reactor::Handler`] too).
+pub struct Router {
+    map: FleetMap,
+    ring: Ring,
+    upstreams: Vec<Upstream>,
+    cfg: RouterConfig,
+    registry: Arc<MetricsRegistry>,
+    /// `cpm_fleet_router_retries` — extra attempts past the first.
+    retries: Counter,
+    /// `cpm_fleet_router_stale_reads` — follower-served responses.
+    stale_reads: Counter,
+    /// `cpm_fleet_router_failures` — requests with every owner down.
+    failures: Counter,
+    /// `cpm_fleet_router_forward_ns` — end-to-end routed latency.
+    latency: Histogram,
+}
+
+impl Router {
+    /// Builds a router over `map`, resolving every member address up
+    /// front.
+    pub fn new(map: FleetMap, cfg: RouterConfig) -> Result<Arc<Router>, String> {
+        map.validate()?;
+        let registry = Arc::new(MetricsRegistry::new());
+        let mut upstreams = Vec::with_capacity(map.nodes.len());
+        for info in &map.nodes {
+            let addr = resolve_addr(&info.addr)?;
+            let labels = [("upstream", info.name.as_str())];
+            upstreams.push(Upstream {
+                pool: ClientPool::new(addr, cfg.client.clone(), cfg.pool_idle),
+                forwards: registry.counter(
+                    "cpm_fleet_router_forwards",
+                    "Responses relayed from an upstream",
+                    &labels,
+                ),
+                errors: registry.counter(
+                    "cpm_fleet_router_upstream_errors",
+                    "Calls to an upstream that failed",
+                    &labels,
+                ),
+                info: info.clone(),
+            });
+        }
+        Ok(Arc::new(Router {
+            ring: map.ring(),
+            upstreams,
+            registry: Arc::clone(&registry),
+            retries: registry.counter(
+                "cpm_fleet_router_retries",
+                "Forwarding attempts past the first (same or next replica)",
+                &[],
+            ),
+            stale_reads: registry.counter(
+                "cpm_fleet_router_stale_reads",
+                "Responses served by a follower and flagged stale",
+                &[],
+            ),
+            failures: registry.counter(
+                "cpm_fleet_router_failures",
+                "Requests that failed on every owner",
+                &[],
+            ),
+            latency: registry.histogram(
+                "cpm_fleet_router_forward_ns",
+                "End-to-end routed request latency in nanoseconds",
+                &[],
+            ),
+            map,
+            cfg,
+        }))
+    }
+
+    /// The router's metrics registry (`stats format:text` renders it).
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// The routing key of one request value: an explicit
+    /// `"fingerprint"`, else the fingerprint of the embedded
+    /// `"config"`.
+    fn routing_key(v: &Value) -> Result<String, String> {
+        if let Some(fp) = v.get("fingerprint").and_then(Value::as_str) {
+            return Ok(fp.to_string());
+        }
+        if let Some(config) = v.get("config") {
+            let json = serde_json::to_string(config).map_err(|e| e.to_string())?;
+            return cpm_serve::fingerprint_json(&json).map_err(|e| e.to_string());
+        }
+        Err("request carries neither \"fingerprint\" nor \"config\"".into())
+    }
+
+    /// Upstream indices of a key's owner chain, leader first.
+    fn owner_chain(&self, key: &str) -> Vec<usize> {
+        self.ring
+            .owners(key, self.map.effective_replication())
+            .into_iter()
+            .filter_map(|name| self.upstreams.iter().position(|u| u.info.name == name))
+            .collect()
+    }
+
+    /// Calls `line` down an owner chain with per-upstream retry and
+    /// backoff. Returns the raw response and the chain rank that
+    /// served it (0 = leader).
+    fn call_chain(&self, chain: &[usize], line: &str) -> Result<(String, usize), String> {
+        let mut first = true;
+        let mut last_err = "no owners".to_string();
+        for (rank, &ui) in chain.iter().enumerate() {
+            let up = &self.upstreams[ui];
+            for attempt in 0..self.cfg.attempts_per_upstream.max(1) {
+                if !first {
+                    self.retries.inc();
+                }
+                first = false;
+                if attempt > 0 {
+                    std::thread::sleep(self.cfg.backoff * (1 << (attempt - 1)));
+                }
+                // Span fields carry static strings only; the upstream's
+                // index in the map stands in for its name.
+                let mut sp = cpm_obs::span("router.forward");
+                sp.field_u64("upstream", ui as u64);
+                match up.pool.call(line) {
+                    Ok(resp) => {
+                        up.forwards.inc();
+                        return Ok((resp, rank));
+                    }
+                    Err(e) => {
+                        up.errors.inc();
+                        last_err = format!("{}: {e}", up.info.name);
+                    }
+                }
+            }
+        }
+        self.failures.inc();
+        Err(last_err)
+    }
+
+    /// Marks a follower-served success response `"stale"` and names the
+    /// serving replica. Error responses relay unchanged.
+    fn flag_stale(&self, resp: String, rank: usize, chain: &[usize]) -> String {
+        if rank == 0 {
+            return resp;
+        }
+        let Ok(Value::Map(mut entries)) = serde_json::from_str::<Value>(&resp) else {
+            return resp;
+        };
+        if !entries
+            .iter()
+            .any(|(k, v)| k == "ok" && *v == Value::Bool(true))
+        {
+            return resp;
+        }
+        self.stale_reads.inc();
+        let served_by = self.upstreams[chain[rank]].info.name.clone();
+        entries.push(("stale".to_string(), Value::Bool(true)));
+        entries.push(("served_by".to_string(), Value::Str(served_by)));
+        serde_json::to_string(&Value::Map(entries)).unwrap_or(resp)
+    }
+
+    fn error_response(id: &Option<Value>, msg: &str) -> String {
+        let mut value = obj(vec![
+            ("ok", Value::Bool(false)),
+            ("error", Value::Str(msg.to_string())),
+        ]);
+        // The forwarding path keeps the protocol's contract: even a
+        // synthesized upstream-failure response echoes the request id.
+        cpm_serve::echo_id(&mut value, id);
+        serde_json::to_string(&value).unwrap_or_else(|_| "{\"ok\":false}".to_string())
+    }
+
+    /// Routes one single-key request (everything except batch/local
+    /// verbs).
+    fn route_single(&self, v: &Value, line: &str, id: &Option<Value>) -> String {
+        let key = match Self::routing_key(v) {
+            Ok(k) => k,
+            Err(e) => return Self::error_response(id, &e),
+        };
+        let chain = self.owner_chain(&key);
+        match self.call_chain(&chain, line) {
+            Ok((resp, rank)) => self.flag_stale(resp, rank, &chain),
+            Err(e) => Self::error_response(id, &format!("shard unavailable for {key}: {e}")),
+        }
+    }
+
+    /// Splits a batch by owner chain, forwards per-shard sub-batches,
+    /// and splices the responses back in request order. A group whose
+    /// owners are all down yields per-item error responses (echoing
+    /// each item's id) without failing the rest of the batch.
+    fn route_batch(&self, v: &Value, id: &Option<Value>) -> String {
+        let Some(Value::Seq(items)) = v.get("requests") else {
+            return Self::error_response(id, "batch requires a \"requests\" array");
+        };
+        if items.is_empty() {
+            return Self::error_response(id, "batch is empty");
+        }
+        // Group item indices by owner chain so every group shares one
+        // leader and one failover order.
+        let mut groups: Vec<(Vec<usize>, Vec<usize>)> = Vec::new(); // (chain, item indices)
+        let mut keyed: Vec<Option<String>> = Vec::with_capacity(items.len());
+        for (i, item) in items.iter().enumerate() {
+            match Self::routing_key(item) {
+                Ok(key) => {
+                    let chain = self.owner_chain(&key);
+                    match groups.iter_mut().find(|(c, _)| *c == chain) {
+                        Some((_, idxs)) => idxs.push(i),
+                        None => groups.push((chain, vec![i])),
+                    }
+                    keyed.push(Some(key));
+                }
+                Err(_) => keyed.push(None),
+            }
+        }
+        let mut merged: Vec<Option<Value>> = vec![None; items.len()];
+        for (i, key) in keyed.iter().enumerate() {
+            if key.is_none() {
+                let item_id = cpm_serve::client_id(&items[i]);
+                let mut e = obj(vec![
+                    ("ok", Value::Bool(false)),
+                    (
+                        "error",
+                        Value::Str(
+                            "request carries neither \"fingerprint\" nor \"config\"".to_string(),
+                        ),
+                    ),
+                ]);
+                cpm_serve::echo_id(&mut e, &item_id);
+                merged[i] = Some(e);
+            }
+        }
+        for (chain, idxs) in &groups {
+            let sub = Value::Map(vec![
+                ("verb".to_string(), Value::Str("batch".to_string())),
+                (
+                    "requests".to_string(),
+                    Value::Seq(idxs.iter().map(|&i| items[i].clone()).collect()),
+                ),
+            ]);
+            let sub_line = match serde_json::to_string(&sub) {
+                Ok(l) => l,
+                Err(e) => return Self::error_response(id, &e.to_string()),
+            };
+            match self.call_chain(chain, &sub_line) {
+                Ok((resp, rank)) => {
+                    let responses = serde_json::from_str::<Value>(&resp)
+                        .ok()
+                        .and_then(|rv| match rv.get("responses") {
+                            Some(Value::Seq(rs)) => Some(rs.clone()),
+                            _ => None,
+                        })
+                        .unwrap_or_default();
+                    for (slot, &i) in idxs.iter().enumerate() {
+                        let mut item_resp = responses.get(slot).cloned().unwrap_or_else(|| {
+                            obj(vec![
+                                ("ok", Value::Bool(false)),
+                                (
+                                    "error",
+                                    Value::Str("upstream returned a short batch".to_string()),
+                                ),
+                            ])
+                        });
+                        if rank > 0 {
+                            if let Value::Map(entries) = &mut item_resp {
+                                if entries
+                                    .iter()
+                                    .any(|(k, v)| k == "ok" && *v == Value::Bool(true))
+                                {
+                                    self.stale_reads.inc();
+                                    entries.push(("stale".to_string(), Value::Bool(true)));
+                                    entries.push((
+                                        "served_by".to_string(),
+                                        Value::Str(self.upstreams[chain[rank]].info.name.clone()),
+                                    ));
+                                }
+                            }
+                        }
+                        merged[i] = Some(item_resp);
+                    }
+                }
+                Err(e) => {
+                    for &i in idxs {
+                        let item_id = cpm_serve::client_id(&items[i]);
+                        let mut err = obj(vec![
+                            ("ok", Value::Bool(false)),
+                            ("error", Value::Str(format!("shard unavailable: {e}"))),
+                        ]);
+                        cpm_serve::echo_id(&mut err, &item_id);
+                        merged[i] = Some(err);
+                    }
+                }
+            }
+        }
+        let responses: Vec<Value> = merged
+            .into_iter()
+            .map(|r| r.expect("every batch slot filled"))
+            .collect();
+        let mut value = obj(vec![
+            ("ok", Value::Bool(true)),
+            ("count", Value::U64(responses.len() as u64)),
+            ("responses", Value::Seq(responses)),
+        ]);
+        cpm_serve::echo_id(&mut value, id);
+        serde_json::to_string(&value).unwrap_or_else(|_| "{\"ok\":false}".to_string())
+    }
+
+    /// Local `stats`: the router's own counters (`format: "text"`
+    /// renders the Prometheus exposition of its registry).
+    fn handle_stats(&self, v: &Value, id: &Option<Value>) -> String {
+        let mut value = if v.get("format").and_then(Value::as_str) == Some("text") {
+            obj(vec![
+                ("ok", Value::Bool(true)),
+                ("text", Value::Str(self.registry.exposition())),
+            ])
+        } else {
+            let upstreams: Vec<Value> = self
+                .upstreams
+                .iter()
+                .map(|u| {
+                    obj(vec![
+                        ("name", Value::Str(u.info.name.clone())),
+                        ("addr", Value::Str(u.info.addr.clone())),
+                        ("forwards", Value::U64(u.forwards.get())),
+                        ("errors", Value::U64(u.errors.get())),
+                    ])
+                })
+                .collect();
+            obj(vec![
+                ("ok", Value::Bool(true)),
+                ("role", Value::Str("router".to_string())),
+                ("nodes", Value::U64(self.map.nodes.len() as u64)),
+                (
+                    "replication",
+                    Value::U64(self.map.effective_replication() as u64),
+                ),
+                ("retries", Value::U64(self.retries.get())),
+                ("stale_reads", Value::U64(self.stale_reads.get())),
+                ("failures", Value::U64(self.failures.get())),
+                ("upstreams", Value::Seq(upstreams)),
+            ])
+        };
+        cpm_serve::echo_id(&mut value, id);
+        serde_json::to_string(&value).unwrap_or_else(|_| "{\"ok\":false}".to_string())
+    }
+
+    fn handle_info(&self, id: &Option<Value>) -> String {
+        let mut value = obj(vec![
+            ("ok", Value::Bool(true)),
+            ("role", Value::Str("router".to_string())),
+            ("nodes", Value::U64(self.map.nodes.len() as u64)),
+            (
+                "replication",
+                Value::U64(self.map.effective_replication() as u64),
+            ),
+            ("vnodes", Value::U64(self.map.vnodes as u64)),
+        ]);
+        cpm_serve::echo_id(&mut value, id);
+        serde_json::to_string(&value).unwrap_or_else(|_| "{\"ok\":false}".to_string())
+    }
+
+    fn handle(&self, line: &str) -> (String, bool) {
+        let start = std::time::Instant::now();
+        let Ok(v) = serde_json::from_str::<Value>(line) else {
+            return (
+                Self::error_response(&None, "request is not valid JSON"),
+                false,
+            );
+        };
+        let id = cpm_serve::client_id(&v);
+        let _ctx = cpm_obs::ctx::with_request(
+            cpm_obs::next_request_id(),
+            id.as_ref().map(cpm_serve::id_tag).unwrap_or_default(),
+        );
+        let verb = v.get("verb").and_then(Value::as_str).unwrap_or("");
+        let mut sp = cpm_obs::span("router.request");
+        sp.field_str(
+            "verb",
+            match verb {
+                "predict" => "predict",
+                "select" => "select",
+                "estimate" => "estimate",
+                "plan" => "plan",
+                "batch" => "batch",
+                "history" => "history",
+                "stats" => "stats",
+                "observe" => "observe",
+                "drift-status" => "drift-status",
+                "fleet-info" => "fleet-info",
+                "shutdown" => "shutdown",
+                _ => "other",
+            },
+        );
+        let out = match verb {
+            "" => (Self::error_response(&id, "missing verb"), false),
+            "stats" => (self.handle_stats(&v, &id), false),
+            "fleet-info" => (self.handle_info(&id), false),
+            "shutdown" => {
+                let mut value = obj(vec![
+                    ("ok", Value::Bool(true)),
+                    ("shutting_down", Value::Bool(true)),
+                ]);
+                cpm_serve::echo_id(&mut value, &id);
+                (
+                    serde_json::to_string(&value).unwrap_or_else(|_| "{\"ok\":true}".to_string()),
+                    true,
+                )
+            }
+            "batch" => (self.route_batch(&v, &id), false),
+            "trace" => (
+                Self::error_response(&id, "trace is not routable; query a node directly"),
+                false,
+            ),
+            "fleet-install" => (
+                Self::error_response(&id, "fleet-install is node-to-node, not routable"),
+                false,
+            ),
+            "predict" | "select" | "estimate" | "plan" | "history" | "observe" | "drift-status" => {
+                (self.route_single(&v, line, &id), false)
+            }
+            other => (
+                Self::error_response(&id, &format!("unknown verb {other:?}")),
+                false,
+            ),
+        };
+        let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.latency.record(ns);
+        out
+    }
+}
+
+impl LineHandler for Router {
+    fn handle_line(&self, line: &str) -> (String, bool) {
+        self.handle(line)
+    }
+}
+
+impl cpm_reactor::Handler for Router {
+    fn handle(&self, payload: &str) -> (String, bool) {
+        Router::handle(self, payload)
+    }
+}

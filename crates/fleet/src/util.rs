@@ -1,0 +1,27 @@
+//! Small shared helpers for the fleet handlers.
+
+use std::net::{SocketAddr, ToSocketAddrs};
+
+use cpm_serve::ServeError;
+use serde_json::Value;
+
+/// Result alias matching the serve protocol's error type.
+pub type SResult<T> = std::result::Result<T, ServeError>;
+
+/// Builds a JSON object from `(key, value)` pairs.
+pub fn obj(entries: Vec<(&str, Value)>) -> Value {
+    Value::Map(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// Resolves a `host:port` string to its first socket address.
+pub fn resolve_addr(addr: &str) -> Result<SocketAddr, String> {
+    addr.to_socket_addrs()
+        .map_err(|e| format!("{addr}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("{addr}: no addresses"))
+}

@@ -1,0 +1,297 @@
+//! Fleet behaviour over real sockets: replication fan-out, shard-aware
+//! writes, the stats fleet section, router forwarding/batching, the
+//! error-id-echo contract on the forwarding path, and the Prometheus
+//! exposition grammar for the `cpm_fleet_*` metrics.
+
+mod common;
+
+use std::net::TcpListener;
+use std::time::Duration;
+
+use common::*;
+use cpm_fleet::{serve_router, FleetMap, Router, RouterConfig};
+use cpm_reactor::ClientConfig;
+use serde_json::Value;
+
+fn estimate_line(config_json: &str) -> String {
+    format!("{{\"verb\":\"estimate\",\"config\":{config_json}}}")
+}
+
+fn predict_line(fp: &str, id: &str) -> String {
+    format!(
+        "{{\"verb\":\"predict\",\"id\":{id:?},\"fingerprint\":{fp:?},\
+         \"model\":\"lmo\",\"collective\":\"gather\",\"algorithm\":\"linear\",\"m\":4096}}"
+    )
+}
+
+#[test]
+fn estimate_on_leader_replicates_to_follower() {
+    let tmp = temp_dir("replicate");
+    let fleet = start_fleet(&tmp, 2, 2);
+    let (config, fp) = tenant(7);
+    let ring = fleet.map.ring();
+    let leader = ring.primary(&fp).unwrap().to_string();
+    let leader_idx = fleet.index_of(&leader);
+    let follower_idx = 1 - leader_idx;
+
+    let resp = request(
+        fleet.addr(leader_idx),
+        &estimate_line(&config_json(&config)),
+    );
+    assert!(is_ok(&resp), "estimate failed: {resp:?}");
+
+    // The follower can serve the fingerprint without any config: the
+    // leader's publish hook pushed it the versioned set synchronously.
+    let resp = request(fleet.addr(follower_idx), &predict_line(&fp, "p1"));
+    assert!(is_ok(&resp), "follower predict failed: {resp:?}");
+    assert_eq!(resp.get("id"), Some(&Value::Str("p1".into())));
+
+    // The leader's stats fleet section shows one pushed, one acked.
+    let stats = request(fleet.addr(leader_idx), "{\"verb\":\"stats\"}");
+    let fleet_section = stats.get("fleet").expect("fleet section");
+    assert_eq!(
+        fleet_section.get("role"),
+        Some(&Value::Str("fleet-node".into()))
+    );
+    let Some(Value::Seq(peers)) = fleet_section.get("peers") else {
+        panic!("no peers in {fleet_section:?}");
+    };
+    assert_eq!(peers.len(), 1);
+    assert_eq!(peers[0].get("pushed"), Some(&Value::U64(1)));
+    assert_eq!(peers[0].get("acked"), Some(&Value::U64(1)));
+    assert_eq!(peers[0].get("lag"), Some(&Value::U64(0)));
+    let ownership = fleet_section.get("ownership").expect("ownership");
+    assert!(matches!(ownership.get("ranges"), Some(Value::Seq(r)) if !r.is_empty()));
+
+    let _ = std::fs::remove_dir_all(&tmp);
+}
+
+#[test]
+fn estimate_refused_on_non_owner_with_id_echo() {
+    let tmp = temp_dir("shard-aware");
+    // Replication 1: exactly one owner per tenant, so a non-owner
+    // exists to aim at.
+    let fleet = start_fleet(&tmp, 3, 1);
+    let ring = fleet.map.ring();
+    let (config, fp) = tenant(23);
+    let owner = ring.primary(&fp).unwrap().to_string();
+    let non_owner_idx = (0..3).find(|i| fleet.map.nodes[*i].name != owner).unwrap();
+
+    let line = format!(
+        "{{\"verb\":\"estimate\",\"id\":\"w9\",\"config\":{}}}",
+        config_json(&config)
+    );
+    let resp = request(fleet.addr(non_owner_idx), &line);
+    assert_eq!(resp.get("ok"), Some(&Value::Bool(false)));
+    assert_eq!(resp.get("id"), Some(&Value::Str("w9".into())));
+    let err = resp.get("error").and_then(Value::as_str).unwrap_or("");
+    assert!(err.contains("does not own"), "unexpected error: {err}");
+    assert!(err.contains(&fp), "error names the fingerprint: {err}");
+    assert!(err.contains(&owner), "error names the owners: {err}");
+
+    let _ = std::fs::remove_dir_all(&tmp);
+}
+
+#[test]
+fn reinstall_of_same_version_is_stale() {
+    let tmp = temp_dir("stale-install");
+    let fleet = start_fleet(&tmp, 2, 2);
+    let (config, fp) = tenant(41);
+    let ring = fleet.map.ring();
+    let leader_idx = fleet.index_of(ring.primary(&fp).unwrap());
+    let follower_idx = 1 - leader_idx;
+
+    assert!(is_ok(&request(
+        fleet.addr(leader_idx),
+        &estimate_line(&config_json(&config))
+    )));
+
+    // Replay the same versioned set at the follower: archived, not
+    // applied, and the response says so.
+    let ps = fleet.services[leader_idx]
+        .param_set(&cpm_serve::ClusterRef::Fingerprint(fp.clone()))
+        .expect("leader holds the set");
+    let set_json = serde_json::to_string(&*ps).unwrap();
+    let resp = request(
+        fleet.addr(follower_idx),
+        &format!("{{\"verb\":\"fleet-install\",\"set\":{set_json}}}"),
+    );
+    assert!(is_ok(&resp), "install failed: {resp:?}");
+    assert_eq!(resp.get("applied"), Some(&Value::Bool(false)));
+    assert_eq!(
+        resp.get("param_version"),
+        Some(&Value::U64(ps.param_version))
+    );
+
+    let _ = std::fs::remove_dir_all(&tmp);
+}
+
+#[test]
+fn router_forwards_batches_and_reports() {
+    let tmp = temp_dir("router");
+    let fleet = start_fleet(&tmp, 3, 2);
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let router = Router::new(fleet.map.clone(), RouterConfig::default()).unwrap();
+    let mut handle = serve_router(listener, router, 1, None).unwrap();
+
+    let tenants: Vec<_> = (0..4).map(|s| tenant(60 + s)).collect();
+    for (config, _) in &tenants {
+        let resp = request(handle.addr(), &estimate_line(&config_json(config)));
+        assert!(is_ok(&resp), "routed estimate failed: {resp:?}");
+    }
+    for (i, (_, fp)) in tenants.iter().enumerate() {
+        let resp = request(handle.addr(), &predict_line(fp, &format!("q{i}")));
+        assert!(is_ok(&resp), "routed predict failed: {resp:?}");
+        assert_eq!(resp.get("id"), Some(&Value::Str(format!("q{i}"))));
+        // Leader-served: no stale flag.
+        assert!(resp.get("stale").is_none(), "unexpected stale: {resp:?}");
+    }
+
+    // A batch spanning tenants on different shards comes back merged in
+    // request order with per-item ids echoed.
+    let items: Vec<String> = tenants
+        .iter()
+        .enumerate()
+        .map(|(i, (_, fp))| {
+            format!(
+                "{{\"verb\":\"predict\",\"id\":\"b{i}\",\"fingerprint\":{fp:?},\
+                 \"model\":\"lmo\",\"collective\":\"gather\",\"algorithm\":\"linear\",\"m\":1024}}"
+            )
+        })
+        .collect();
+    let batch = format!(
+        "{{\"verb\":\"batch\",\"id\":\"B\",\"requests\":[{}]}}",
+        items.join(",")
+    );
+    let resp = request(handle.addr(), &batch);
+    assert!(is_ok(&resp), "batch failed: {resp:?}");
+    assert_eq!(resp.get("id"), Some(&Value::Str("B".into())));
+    let Some(Value::Seq(responses)) = resp.get("responses") else {
+        panic!("no responses in {resp:?}");
+    };
+    assert_eq!(responses.len(), tenants.len());
+    for (i, r) in responses.iter().enumerate() {
+        assert!(is_ok(r), "batch item {i} failed: {r:?}");
+        assert_eq!(r.get("id"), Some(&Value::Str(format!("b{i}"))));
+    }
+
+    // Router stats: role, per-upstream forwards.
+    let stats = request(handle.addr(), "{\"verb\":\"stats\"}");
+    assert_eq!(stats.get("role"), Some(&Value::Str("router".into())));
+    let Some(Value::Seq(upstreams)) = stats.get("upstreams") else {
+        panic!("no upstreams in {stats:?}");
+    };
+    assert_eq!(upstreams.len(), 3);
+    let forwarded: u64 = upstreams
+        .iter()
+        .filter_map(|u| u.get("forwards").and_then(Value::as_u64))
+        .sum();
+    assert!(forwarded >= 9, "expected forwards on upstreams: {stats:?}");
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&tmp);
+}
+
+#[test]
+fn router_upstream_failure_echoes_request_id() {
+    // A fleet map whose only node is a dead address: bind a listener to
+    // reserve a port, then drop it.
+    let dead_addr = {
+        let l = TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap().to_string()
+    };
+    let map = FleetMap::new(&[dead_addr], 1, 16);
+    let cfg = RouterConfig {
+        client: ClientConfig {
+            connect_timeout: Duration::from_millis(100),
+            read_timeout: Duration::from_millis(200),
+            ..ClientConfig::default()
+        },
+        attempts_per_upstream: 1,
+        backoff: Duration::from_millis(1),
+        ..RouterConfig::default()
+    };
+    let router = Router::new(map, cfg).unwrap();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let mut handle = serve_router(listener, router, 1, None).unwrap();
+
+    // Single request: the synthesized shard-unavailable error must echo
+    // the client's id (the error-id-echo contract on the forwarding
+    // path).
+    let resp = request(handle.addr(), &predict_line("deadbeef", "req-77"));
+    assert_eq!(resp.get("ok"), Some(&Value::Bool(false)));
+    assert_eq!(resp.get("id"), Some(&Value::Str("req-77".into())));
+    let err = resp.get("error").and_then(Value::as_str).unwrap_or("");
+    assert!(err.contains("shard unavailable"), "unexpected error: {err}");
+
+    // Batch: every per-item synthesized error echoes that item's id,
+    // and the envelope echoes the batch id.
+    let batch = "{\"verb\":\"batch\",\"id\":\"BB\",\"requests\":[\
+        {\"verb\":\"predict\",\"id\":\"x1\",\"fingerprint\":\"deadbeef\",\
+         \"model\":\"lmo\",\"collective\":\"gather\",\"algorithm\":\"linear\",\"m\":1024},\
+        {\"verb\":\"predict\",\"id\":\"x2\",\"fingerprint\":\"deadbeef\",\
+         \"model\":\"lmo\",\"collective\":\"gather\",\"algorithm\":\"linear\",\"m\":2048}]}";
+    let resp = request(handle.addr(), batch);
+    assert_eq!(resp.get("id"), Some(&Value::Str("BB".into())));
+    let Some(Value::Seq(responses)) = resp.get("responses") else {
+        panic!("no responses in {resp:?}");
+    };
+    assert_eq!(responses.len(), 2);
+    for (r, want) in responses.iter().zip(["x1", "x2"]) {
+        assert_eq!(r.get("ok"), Some(&Value::Bool(false)));
+        assert_eq!(r.get("id"), Some(&Value::Str(want.into())));
+    }
+
+    handle.shutdown();
+}
+
+#[test]
+fn stats_text_is_a_valid_prometheus_exposition_covering_fleet() {
+    let tmp = temp_dir("exposition");
+    let fleet = start_fleet(&tmp, 2, 2);
+    let (config, fp) = tenant(83);
+    let ring = fleet.map.ring();
+    let leader_idx = fleet.index_of(ring.primary(&fp).unwrap());
+    assert!(is_ok(&request(
+        fleet.addr(leader_idx),
+        &estimate_line(&config_json(&config))
+    )));
+
+    // Node exposition: the unified registry now carries cpm_fleet_*
+    // series alongside cpm_serve_*, and the grammar still validates.
+    let stats = request(
+        fleet.addr(leader_idx),
+        "{\"verb\":\"stats\",\"format\":\"text\"}",
+    );
+    let text = stats.get("text").and_then(Value::as_str).expect("text");
+    assert!(text.contains("cpm_serve_"), "serve series missing");
+    assert!(
+        text.contains("cpm_fleet_replication_pushes"),
+        "fleet series missing:\n{text}"
+    );
+    assert!(
+        text.contains("peer=\"node-"),
+        "per-peer labels missing:\n{text}"
+    );
+    let samples = cpm_obs::validate_exposition(text)
+        .unwrap_or_else(|e| panic!("node exposition invalid: {e}"));
+    assert!(samples > 0);
+
+    // Router exposition: its own registry validates too.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let router = Router::new(fleet.map.clone(), RouterConfig::default()).unwrap();
+    let mut handle = serve_router(listener, router, 1, None).unwrap();
+    assert!(is_ok(&request(handle.addr(), &predict_line(&fp, "s1"))));
+    let stats = request(handle.addr(), "{\"verb\":\"stats\",\"format\":\"text\"}");
+    let text = stats.get("text").and_then(Value::as_str).expect("text");
+    assert!(
+        text.contains("cpm_fleet_router_forwards"),
+        "router series missing:\n{text}"
+    );
+    let samples = cpm_obs::validate_exposition(text)
+        .unwrap_or_else(|e| panic!("router exposition invalid: {e}"));
+    assert!(samples > 0);
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&tmp);
+}

@@ -1,0 +1,100 @@
+//! Rebalancing properties of the consistent-hash ring.
+//!
+//! The point of consistent hashing over `hash(key) % n` is bounded
+//! churn: one membership change must move roughly one node's share of
+//! the keys, not reshuffle everything. These properties pin both the
+//! quantitative bound (≤ K/nodes + slack moved keys on a single
+//! join/leave) and the exact structural claims (a join moves keys only
+//! *onto* the new node; a leave moves only the leaver's keys).
+
+use cpm_fleet::Ring;
+use proptest::prelude::*;
+
+const VNODES: usize = 64;
+
+fn node_names(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("node-{i}")).collect()
+}
+
+fn keys(k: usize) -> Vec<String> {
+    (0..k).map(|i| format!("tenant-fp-{i:08x}")).collect()
+}
+
+fn primaries(ring: &Ring, keys: &[String]) -> Vec<String> {
+    keys.iter()
+        .map(|k| ring.primary(k).expect("non-empty ring").to_string())
+        .collect()
+}
+
+/// `K/nodes` expected movement plus slack for vnode placement variance
+/// (64 vnodes per node keeps shares within a few tens of percent of
+/// fair, so one extra fair share plus a small constant covers it).
+fn movement_bound(k: usize, nodes_after: usize) -> usize {
+    k / nodes_after + k / nodes_after + 8
+}
+
+proptest! {
+    #[test]
+    fn single_join_moves_at_most_one_share(n in 2usize..8, k in 128usize..400) {
+        let names = node_names(n);
+        let keys = keys(k);
+        let mut ring = Ring::with_nodes(&names, VNODES);
+        let before = primaries(&ring, &keys);
+        ring.add("joiner");
+        let after = primaries(&ring, &keys);
+        let mut moved = 0;
+        for (b, a) in before.iter().zip(&after) {
+            if b != a {
+                moved += 1;
+                // A join steals keys only for the new node; any other
+                // reassignment would be gratuitous churn.
+                prop_assert_eq!(a.as_str(), "joiner");
+            }
+        }
+        let bound = movement_bound(k, n + 1);
+        prop_assert!(moved <= bound, "join moved {moved} of {k} keys (bound {bound})");
+    }
+
+    #[test]
+    fn single_leave_moves_only_the_leavers_keys(n in 3usize..9, k in 128usize..400) {
+        let names = node_names(n);
+        let keys = keys(k);
+        let mut ring = Ring::with_nodes(&names, VNODES);
+        let before = primaries(&ring, &keys);
+        let leaver = names[n / 2].clone();
+        ring.remove(&leaver);
+        let after = primaries(&ring, &keys);
+        let mut moved = 0;
+        for (b, a) in before.iter().zip(&after) {
+            if b != a {
+                moved += 1;
+                // Only keys the leaver owned may move, and never to a
+                // node that just lost membership.
+                prop_assert_eq!(b.as_str(), leaver.as_str());
+                prop_assert_ne!(a.as_str(), leaver.as_str());
+            }
+        }
+        let bound = movement_bound(k, n);
+        prop_assert!(moved <= bound, "leave moved {moved} of {k} keys (bound {bound})");
+    }
+
+    #[test]
+    fn owner_chains_stay_mostly_stable_on_join(n in 2usize..6, k in 64usize..200) {
+        let names = node_names(n);
+        let keys = keys(k);
+        let mut ring = Ring::with_nodes(&names, VNODES);
+        let before: Vec<Vec<String>> = keys
+            .iter()
+            .map(|key| ring.owners(key, 2).iter().map(|s| s.to_string()).collect())
+            .collect();
+        ring.add("joiner");
+        // Every key whose leader did not change keeps its leader at the
+        // head of the new owner chain (replica sets may rotate).
+        for (key, old) in keys.iter().zip(&before) {
+            let new = ring.owners(key, 2);
+            if new[0] != "joiner" {
+                prop_assert_eq!(&new[0], &old[0]);
+            }
+        }
+    }
+}

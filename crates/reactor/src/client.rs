@@ -1,0 +1,183 @@
+//! Client-side framed connections and a small per-upstream pool.
+//!
+//! The reactor serves both wire framings; this module speaks them from
+//! the other end. A [`ClientConn`] is one blocking TCP connection with
+//! connect/read deadlines and a [`Decoder`] for the chosen framing; a
+//! [`ClientPool`] keeps a bounded stack of idle connections to one
+//! upstream so a router can forward thousands of requests without a
+//! TCP handshake per call.
+//!
+//! Error handling is deliberately pessimistic: any I/O or framing
+//! error on a pooled connection discards it — the next call dials
+//! fresh. That makes a pool safe across upstream restarts without a
+//! health-check protocol.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::frame::{encode_request, Decoder, Framing, Msg, BINARY_PREAMBLE, MAX_PAYLOAD};
+
+/// Tuning for client connections.
+#[derive(Clone, Debug)]
+pub struct ClientConfig {
+    /// Wire framing to speak. Binary writes the [`BINARY_PREAMBLE`]
+    /// byte right after connecting, mirroring the server's
+    /// first-byte negotiation.
+    pub framing: Framing,
+    /// TCP connect deadline.
+    pub connect_timeout: Duration,
+    /// Per-call read deadline: longest [`ClientConn::call`] waits for
+    /// a complete response frame.
+    pub read_timeout: Duration,
+    /// Upper bound on one response payload, bytes.
+    pub max_payload: usize,
+}
+
+impl Default for ClientConfig {
+    fn default() -> ClientConfig {
+        ClientConfig {
+            framing: Framing::JsonLines,
+            connect_timeout: Duration::from_millis(500),
+            read_timeout: Duration::from_secs(5),
+            max_payload: MAX_PAYLOAD,
+        }
+    }
+}
+
+/// One blocking framed connection to an upstream.
+pub struct ClientConn {
+    stream: TcpStream,
+    dec: Decoder,
+    framing: Framing,
+    buf: Vec<u8>,
+}
+
+impl ClientConn {
+    /// Dials `addr` and negotiates `cfg.framing` (binary sends the
+    /// preamble byte immediately; JSON-lines sends nothing).
+    pub fn connect(addr: SocketAddr, cfg: &ClientConfig) -> io::Result<ClientConn> {
+        let stream = TcpStream::connect_timeout(&addr, cfg.connect_timeout)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(cfg.read_timeout))?;
+        stream.set_write_timeout(Some(cfg.read_timeout))?;
+        let mut conn = ClientConn {
+            stream,
+            dec: Decoder::with_framing(cfg.framing, cfg.max_payload),
+            framing: cfg.framing,
+            buf: Vec::with_capacity(256),
+        };
+        if cfg.framing == Framing::Binary {
+            conn.stream.write_all(&[BINARY_PREAMBLE])?;
+        }
+        Ok(conn)
+    }
+
+    /// Sends one request payload and blocks for the matching response
+    /// payload. The wire is strictly request/response in order, so the
+    /// next complete frame is the answer.
+    pub fn call(&mut self, payload: &str) -> io::Result<String> {
+        self.buf.clear();
+        encode_request(self.framing, payload, &mut self.buf);
+        self.stream.write_all(&self.buf)?;
+        let mut chunk = [0u8; 4096];
+        loop {
+            if let Some(msg) = self.dec.next_msg() {
+                return match msg {
+                    Msg::Payload(s) => Ok(s),
+                    Msg::TooLong(n) => Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("response frame too long ({n} bytes)"),
+                    )),
+                    Msg::NotUtf8 => Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "response frame is not UTF-8",
+                    )),
+                    Msg::Corrupt(n) => Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("corrupt response frame ({n} bytes)"),
+                    )),
+                };
+            }
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "upstream closed mid-response",
+                ));
+            }
+            self.dec.push(&chunk[..n]);
+        }
+    }
+}
+
+/// A bounded stack of idle [`ClientConn`]s to one upstream address.
+///
+/// [`ClientPool::call`] checks a connection out (dialing fresh when
+/// the stack is empty), runs one request/response round trip, and
+/// checks it back in on success. Any error discards the connection; a
+/// call that failed on a *reused* connection is retried once on a
+/// fresh dial, so an upstream restart costs one reconnect, not one
+/// client-visible error.
+pub struct ClientPool {
+    addr: SocketAddr,
+    cfg: ClientConfig,
+    idle: Mutex<Vec<ClientConn>>,
+    max_idle: usize,
+}
+
+impl ClientPool {
+    /// Creates an empty pool for `addr` keeping at most `max_idle`
+    /// idle connections (clamped to at least 1).
+    pub fn new(addr: SocketAddr, cfg: ClientConfig, max_idle: usize) -> ClientPool {
+        ClientPool {
+            addr,
+            cfg,
+            idle: Mutex::new(Vec::new()),
+            max_idle: max_idle.max(1),
+        }
+    }
+
+    /// The upstream address this pool dials.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Idle connections currently parked.
+    pub fn idle_len(&self) -> usize {
+        self.idle.lock().map(|v| v.len()).unwrap_or(0)
+    }
+
+    fn checkout(&self) -> Option<ClientConn> {
+        self.idle.lock().ok().and_then(|mut v| v.pop())
+    }
+
+    fn checkin(&self, conn: ClientConn) {
+        if let Ok(mut v) = self.idle.lock() {
+            if v.len() < self.max_idle {
+                v.push(conn);
+            }
+        }
+    }
+
+    /// One request/response round trip through a pooled connection.
+    pub fn call(&self, payload: &str) -> io::Result<String> {
+        if let Some(mut conn) = self.checkout() {
+            match conn.call(payload) {
+                Ok(resp) => {
+                    self.checkin(conn);
+                    return Ok(resp);
+                }
+                // A parked connection may have been idle-reaped by the
+                // upstream; retry the call once on a fresh dial before
+                // surfacing an error.
+                Err(_) => drop(conn),
+            }
+        }
+        let mut conn = ClientConn::connect(self.addr, &self.cfg)?;
+        let resp = conn.call(payload)?;
+        self.checkin(conn);
+        Ok(resp)
+    }
+}

@@ -18,6 +18,9 @@
 //! * [`reactor`] — the sharded event loop itself: shared accept,
 //!   round-robin connection hand-off, idle-timeout sweep, graceful
 //!   drain on shutdown.
+//! * [`client`] — the other end of the wire: blocking framed
+//!   [`ClientConn`]s and a per-upstream [`ClientPool`], used by the
+//!   fleet router to forward requests over pooled connections.
 //!
 //! The engine is protocol-agnostic: it hands each decoded request
 //! payload to a [`Handler`] and writes back whatever the handler
@@ -26,12 +29,14 @@
 //! propagation, `serve.request` spans, per-verb latency histograms)
 //! straight in, so both engines share one protocol implementation.
 
+pub mod client;
 pub mod conn;
 pub mod frame;
 pub mod poll;
 pub mod reactor;
 pub mod sys;
 
+pub use client::{ClientConfig, ClientConn, ClientPool};
 pub use conn::{Conn, FrameCounts, Status};
 pub use frame::{encode_request, encode_response, Decoder, Framing, Msg, BINARY_PREAMBLE};
 pub use poll::{Event, Events, Interest, Poll, Token};

@@ -46,5 +46,5 @@ pub use server::{
 };
 pub use service::{
     Algorithm, ClusterRef, Collective, Metrics, MetricsSnapshot, ModelKind, PlannedWorkload,
-    Prediction, Query, Service, ServiceConfig, Verb, VERBS,
+    Prediction, PublishHook, Query, Service, ServiceConfig, Verb, VERBS,
 };

@@ -322,6 +322,39 @@ impl Registry {
         Ok(ps)
     }
 
+    /// Installs a parameter set at its *existing* `param_version`
+    /// without assigning a new one — the follower half of fleet
+    /// replication, where the leader already versioned the set and
+    /// replicas must store it under the same number so lineage and
+    /// history agree across the shard. Archives the set in the version
+    /// ring, updates the latest pointer only if this version is the
+    /// newest seen, and prunes the ring like [`Registry::publish`].
+    pub fn install(&self, ps: ParamSet) -> Result<ParamSet> {
+        if ps.param_version == 0 {
+            return Err(ServeError::Protocol(
+                "install requires a published set (param_version >= 1)".into(),
+            ));
+        }
+        self.write_atomic(
+            &self.path_for_version(&ps.fingerprint, ps.param_version),
+            &ps,
+        )?;
+        let latest = self
+            .load(&ps.fingerprint)?
+            .map(|prev| prev.param_version)
+            .unwrap_or(0);
+        if ps.param_version >= latest {
+            self.store(&ps)?;
+        }
+        let versions = self.versions(&ps.fingerprint)?;
+        if versions.len() > HISTORY_RING {
+            for &v in &versions[..versions.len() - HISTORY_RING] {
+                let _ = fs::remove_file(self.path_for_version(&ps.fingerprint, v));
+            }
+        }
+        Ok(ps)
+    }
+
     /// The archived version numbers of a fingerprint, ascending.
     pub fn versions(&self, fp: &str) -> Result<Vec<u64>> {
         let prefix = format!("{fp}.v");

@@ -129,6 +129,18 @@ impl Server {
         addr: &str,
     ) -> Result<Server> {
         let listener = TcpListener::bind(addr)?;
+        Self::from_listener(service, handler, listener)
+    }
+
+    /// Builds a server over an already-bound listener. Fleet start-up
+    /// needs this: every node's address must be known (to build the
+    /// shard map each node's handler embeds) before any handler can be
+    /// constructed, so the listeners are bound first and handed over.
+    pub fn from_listener(
+        service: Arc<Service>,
+        handler: Arc<dyn LineHandler>,
+        listener: TcpListener,
+    ) -> Result<Server> {
         let addr = listener.local_addr()?;
         Ok(Server {
             service,

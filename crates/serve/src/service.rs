@@ -302,10 +302,16 @@ pub enum Verb {
     Trace,
     /// `shutdown` — stop the server.
     Shutdown,
+    /// `fleet-install` — fleet-extension: apply a replicated parameter
+    /// set at its already-assigned version (follower side).
+    FleetInstall,
+    /// `fleet-info` — fleet-extension: node role and shard topology.
+    FleetInfo,
 }
 
-/// Every tracked verb, in wire-stable reporting order.
-pub const VERBS: [Verb; 11] = [
+/// Every tracked verb, in wire-stable reporting order (new verbs are
+/// appended, never inserted, so positional consumers stay valid).
+pub const VERBS: [Verb; 13] = [
     Verb::Predict,
     Verb::Select,
     Verb::Estimate,
@@ -317,6 +323,8 @@ pub const VERBS: [Verb; 11] = [
     Verb::DriftStatus,
     Verb::Trace,
     Verb::Shutdown,
+    Verb::FleetInstall,
+    Verb::FleetInfo,
 ];
 
 impl Verb {
@@ -334,6 +342,8 @@ impl Verb {
             Verb::DriftStatus => "drift-status",
             Verb::Trace => "trace",
             Verb::Shutdown => "shutdown",
+            Verb::FleetInstall => "fleet-install",
+            Verb::FleetInfo => "fleet-info",
         }
     }
 
@@ -657,6 +667,12 @@ pub struct PlannedWorkload {
     pub cached: bool,
 }
 
+/// Callback invoked after every local publish or republish with the
+/// newly versioned parameter set. Fleet nodes hang replication fan-out
+/// here; [`Service::install`] (the receiving side of that fan-out)
+/// deliberately does *not* fire it, so replication cannot echo.
+pub type PublishHook = Box<dyn Fn(&Arc<ParamSet>) + Send + Sync>;
+
 /// The concurrent prediction service.
 pub struct Service {
     registry: Registry,
@@ -667,6 +683,7 @@ pub struct Service {
     plans: Mutex<HashMap<PlanKey, (Arc<Plan>, u64)>>,
     plan_tick: AtomicU64,
     metrics: Metrics,
+    publish_hook: RwLock<Option<PublishHook>>,
 }
 
 impl Service {
@@ -681,6 +698,7 @@ impl Service {
             plans: Mutex::new(HashMap::new()),
             plan_tick: AtomicU64::new(0),
             metrics: Metrics::default(),
+            publish_hook: RwLock::new(None),
         };
         service.metrics.stored.set(service.registry.len() as u64);
         Ok(service)
@@ -694,6 +712,23 @@ impl Service {
     /// The underlying registry.
     pub fn registry(&self) -> &Registry {
         &self.registry
+    }
+
+    /// Registers the publish hook (replacing any previous one). It runs
+    /// synchronously — with no service locks held — after every
+    /// [`Service::param_set`] estimation publish and every
+    /// [`Service::republish`], before the triggering request returns.
+    /// A fleet leader uses that ordering to guarantee its replicas hold
+    /// a version before any client learns it exists.
+    pub fn set_publish_hook(&self, hook: PublishHook) {
+        *self.publish_hook.write() = Some(hook);
+    }
+
+    fn notify_publish(&self, ps: &Arc<ParamSet>) {
+        let hook = self.publish_hook.read();
+        if let Some(hook) = hook.as_ref() {
+            hook(ps);
+        }
     }
 
     fn shard_of(&self, key: &CacheKey) -> &Mutex<Shard> {
@@ -756,7 +791,11 @@ impl Service {
             }
             self.inflight.lock().remove(&fp);
             state.finish();
-            return outcome.map(Arc::new);
+            let outcome = outcome.map(Arc::new);
+            if let Ok(ps) = &outcome {
+                self.notify_publish(ps);
+            }
+            return outcome;
         }
     }
 
@@ -773,7 +812,42 @@ impl Service {
         self.params.write().insert(fp.clone(), Arc::clone(&ps));
         let dropped = self.invalidate(&fp, touched);
         self.metrics.republishes.inc();
+        self.notify_publish(&ps);
         Ok((ps, dropped))
+    }
+
+    /// Applies a parameter set replicated from another fleet node at
+    /// its already-assigned `param_version` (see [`Registry::install`]).
+    /// Newer versions replace the in-memory set and invalidate every
+    /// model's cached predictions; an incoming version at or below the
+    /// one already held is archived but otherwise ignored. Returns the
+    /// set now current for the fingerprint and whether the install was
+    /// applied. Never fires the publish hook.
+    pub fn install(&self, ps: ParamSet) -> Result<(Arc<ParamSet>, bool)> {
+        let fp = ps.fingerprint.clone();
+        let current = match self.params.read().get(&fp) {
+            Some(p) => Some(Arc::clone(p)),
+            None => self.registry.load(&fp)?.map(Arc::new),
+        };
+        if let Some(cur) = current {
+            if cur.param_version >= ps.param_version {
+                // Still archive the version so history converges across
+                // replicas, but keep serving what we have.
+                self.registry.install(ps)?;
+                return Ok((cur, false));
+            }
+        }
+        let ps = Arc::new(self.registry.install(ps)?);
+        self.metrics.stored.set(self.registry.len() as u64);
+        self.params.write().insert(fp.clone(), Arc::clone(&ps));
+        let all = [
+            ModelKind::Lmo,
+            ModelKind::Hockney,
+            ModelKind::Loggp,
+            ModelKind::Plogp,
+        ];
+        self.invalidate(&fp, &all);
+        Ok((ps, true))
     }
 
     /// Drops every cached prediction for `fp` whose model is in `models`,

@@ -27,6 +27,13 @@
 //!   registry, estimate-once caching, JSON-lines TCP server.
 //! * [`drift`] — online drift detection over served parameters: residual
 //!   monitoring, staleness scoring, minimal re-estimation, republication.
+//! * [`reactor`] — the epoll event-loop serving engine and framed-wire
+//!   client connection pool both `serve` and `fleet` build on.
+//! * [`obs`] — structured tracing, the flight recorder, and the unified
+//!   metrics registry behind every `stats` exposition.
+//! * [`fleet`] — the multi-node tier: consistent-hash sharding of tenants
+//!   over replicated `serve` nodes, leader-driven parameter replication,
+//!   and a router front-end with failover and stale reads.
 //! * [`workload`] — trace-driven application workloads: canonical trace
 //!   generators, critical-path makespan prediction under each model, and
 //!   DES replay with per-op residuals.
@@ -54,8 +61,11 @@ pub use cpm_collectives as collectives;
 pub use cpm_core as core;
 pub use cpm_drift as drift;
 pub use cpm_estimate as estimate;
+pub use cpm_fleet as fleet;
 pub use cpm_models as models;
 pub use cpm_netsim as netsim;
+pub use cpm_obs as obs;
+pub use cpm_reactor as reactor;
 pub use cpm_serve as serve;
 pub use cpm_stats as stats;
 pub use cpm_vmpi as vmpi;

@@ -45,9 +45,10 @@ use cpm::estimate::lmo::estimate_lmo_full;
 use cpm::estimate::{
     estimate_gather_empirics, estimate_hockney_het, estimate_loggp, estimate_plogp, EstimateConfig,
 };
+use cpm::fleet::{serve_router, FleetMap, FleetNode, Router, RouterConfig};
 use cpm::models::{GatherEmpirics, HockneyHet, LmoExtended, LogGp, PLogP};
 use cpm::netsim::{DriftChange, DriftSchedule, DriftShape, DriftTarget, SimCluster};
-use cpm::serve::{fingerprint, ResidualSummary, Server, Service, ServiceConfig};
+use cpm::serve::{fingerprint, LineHandler, ResidualSummary, Server, Service, ServiceConfig};
 use cpm::stats::Summary;
 use cpm::workload::{self, PlanModel, Trace};
 use serde::{Deserialize, Serialize};
@@ -149,10 +150,13 @@ statistics over --reps repetitions.",
             "workers",
             "engine",
             "idle-timeout-ms",
+            "fleet",
+            "node",
         ],
         help: "\
 USAGE: cpm serve [--store DIR] [--addr HOST:PORT] [--seed N] [--reps N]
                  [--workers N] [--engine pool|reactor] [--idle-timeout-ms MS]
+                 [--fleet MAP.json --node NAME]
 
 Runs the prediction service: a TCP server backed by a fingerprinted
 parameter registry at --store (default cpm-store). The first query for a
@@ -175,8 +179,52 @@ The server speaks the drift-extended protocol: beyond the core verbs it
 accepts `observe` (ingest a measured transfer time into the drift
 monitor), `drift-status` (staleness report) and `history` (version
 lineage). Send the `shutdown` verb (`cpm query --verb shutdown`) to stop
-it; in-flight requests are drained before the server exits.",
+it; in-flight requests are drained before the server exits.
+
+--fleet MAP.json (with --node NAME, the member this process is) joins a
+parameter fleet (see `cpm fleet init`): the server refuses estimates for
+tenants this node does not own on the map's consistent-hash ring,
+synchronously replicates every published parameter set to the tenant's
+follower nodes (`fleet-install`), and reports role, ownership ranges and
+per-peer replication lag in a `fleet` stats section. --addr should be
+this node's address in the map. Prefer --engine reactor in a fleet:
+peers park pooled connections on every node, and the pool engine pins a
+worker thread per parked connection.",
         run: cmd_serve,
+    },
+    CommandSpec {
+        name: "fleet init",
+        flags: &["addrs", "replication", "vnodes", "out"],
+        help: "\
+USAGE: cpm fleet init --addrs H1:P1,H2:P2,... [--replication R] [--vnodes V]
+                      [--out fleet.json]
+
+Builds a fleet map: the shared topology document every node and router
+loads. Members are named node-0, node-1, ... in --addrs order and placed
+on a consistent-hash ring with --vnodes virtual nodes each (default 64);
+each tenant (cluster fingerprint) is owned by --replication consecutive
+distinct nodes (default 2), the first being its leader. Prints the map
+and each member's ownership share; --out writes the JSON.",
+        run: cmd_fleet_init,
+    },
+    CommandSpec {
+        name: "fleet route",
+        flags: &["map", "addr", "shards", "idle-timeout-ms"],
+        help: "\
+USAGE: cpm fleet route --map fleet.json [--addr HOST:PORT] [--shards N]
+                       [--idle-timeout-ms MS]
+
+Runs the fleet router: a stateless front-end that forwards predict,
+select, estimate, plan and batch requests to the owning node (by the
+tenant fingerprint on the map's ring), with pooled upstream connections,
+bounded retry with backoff, and failover to a replica when the leader is
+down — follower-served responses are flagged `\"stale\": true` with
+`\"served_by\"` naming the replica. Batches are split by owner and the
+responses spliced back in request order. Runs on the reactor engine
+(--shards event loops, default 2) and speaks both wire framings. `stats`
+returns router-side counters (forwards, retries, stale reads, failures;
+--format text for the Prometheus exposition); `shutdown` stops it.",
+        run: cmd_fleet_route,
     },
     CommandSpec {
         name: "query",
@@ -436,6 +484,18 @@ fn main() -> ExitCode {
             }
         }
     }
+    if args.first().map(String::as_str) == Some("fleet") {
+        match args.get(1) {
+            Some(sub) if !sub.starts_with('-') => {
+                let sub = args.remove(1);
+                args[0] = format!("fleet {sub}");
+            }
+            _ => {
+                eprintln!("error: fleet needs a subcommand (init|route)\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
     let Some((cmd, rest)) = args.split_first() else {
         eprintln!("{USAGE}");
         return ExitCode::from(2);
@@ -480,6 +540,7 @@ USAGE:
   cpm observe   --op scatter|gather|bcast|alltoall --m BYTES
                 [--alg linear|binomial] [--reps N] [--config FILE]
   cpm serve     [--store DIR] [--addr HOST:PORT] [--seed N] [--reps N]
+                [--fleet MAP.json --node NAME]
   cpm query     [--addr HOST:PORT] [--verb predict|select|estimate|observe|
                 drift-status|history|stats|trace|shutdown] [--model M] [--collective C]
                 [--alg A] [--m BYTES] [--root R] [--config FILE | --fingerprint FP]
@@ -488,6 +549,9 @@ USAGE:
   cpm drift replay  [--store DIR] [--schedule FILE] [--epochs N] [--obs N]
   cpm drift watch   (replay, narrated per epoch)
   cpm drift report  [--store DIR] [--fingerprint FP | --config FILE]
+  cpm fleet init    --addrs H1:P1,H2:P2,... [--replication R] [--vnodes V]
+                    [--out fleet.json]
+  cpm fleet route   --map fleet.json [--addr HOST:PORT] [--shards N]
   cpm workload gen      [--kind train|pipeline|moe|halo] [--nodes N] [--m BYTES]
                         [--iters N] [--out trace.jsonl]
   cpm workload predict  [--trace FILE|-] [--model M] [--nodes N] [--reps N]
@@ -788,7 +852,32 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
     );
     // Wrap the core service in the drift-aware handler: the server then
     // also accepts the observe and drift-status verbs.
-    let handler = DriftService::new(Arc::clone(&service), DriftConfig::default());
+    let handler: Arc<dyn LineHandler> =
+        DriftService::new(Arc::clone(&service), DriftConfig::default());
+    // In fleet mode, wrap again: the node then enforces tenant
+    // ownership, replicates publishes to its peers and answers the
+    // fleet-install / fleet-info verbs.
+    let mut fleet_note = String::new();
+    let handler = match (opts.get("fleet"), opts.get("node")) {
+        (None, None) => handler,
+        (Some(path), Some(name)) => {
+            let json = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let map = FleetMap::from_json(&json).map_err(|e| format!("{path}: {e}"))?;
+            fleet_note = format!(
+                ", fleet member {name} of {} (replication {})",
+                map.nodes.len(),
+                map.effective_replication()
+            );
+            FleetNode::new(
+                Arc::clone(&service),
+                handler,
+                map,
+                name,
+                cpm::reactor::ClientConfig::default(),
+            )? as Arc<dyn LineHandler>
+        }
+        _ => return Err("--fleet MAP.json and --node NAME go together".into()),
+    };
     let server = Server::bind_with(service, handler, addr)
         .map_err(|e| e.to_string())?
         .workers(workers)
@@ -800,11 +889,101 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
     };
     println!(
         "cpm-serve listening on {} (engine {engine_name}, {workers} worker(s), \
-         drift verbs enabled)",
+         drift verbs enabled{fleet_note})",
         server.addr()
     );
     server.spawn().join();
     println!("cpm-serve stopped");
+    Ok(())
+}
+
+/// Default address for `cpm fleet route` (the node default plus one).
+const DEFAULT_ROUTER_ADDR: &str = "127.0.0.1:7972";
+
+fn cmd_fleet_init(opts: &Opts) -> Result<(), String> {
+    let raw = opts
+        .get("addrs")
+        .ok_or("--addrs is required (comma-separated HOST:PORT list)")?;
+    let addrs: Vec<String> = raw
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(String::from)
+        .collect();
+    let replication = opts
+        .get("replication")
+        .map(|s| {
+            s.parse::<usize>()
+                .map_err(|e| format!("--replication: {e}"))
+        })
+        .transpose()?
+        .unwrap_or(cpm::fleet::DEFAULT_REPLICATION);
+    let vnodes = opts
+        .get("vnodes")
+        .map(|s| s.parse::<usize>().map_err(|e| format!("--vnodes: {e}")))
+        .transpose()?
+        .unwrap_or(cpm::fleet::DEFAULT_VNODES);
+    let map = FleetMap::new(&addrs, replication, vnodes);
+    map.validate()?;
+    let ring = map.ring();
+    println!(
+        "fleet map: {} member(s), replication {} (effective {}), {vnodes} vnodes each",
+        map.nodes.len(),
+        map.replication,
+        map.effective_replication()
+    );
+    for n in &map.nodes {
+        println!(
+            "  {}: {} (ring share {:.1}%)",
+            n.name,
+            n.addr,
+            ring.share(&n.name) * 100.0
+        );
+    }
+    match opts.get("out") {
+        Some(path) => {
+            std::fs::write(path, map.to_json()).map_err(|e| format!("{path}: {e}"))?;
+            println!("wrote {path}");
+        }
+        None => println!("{}", map.to_json()),
+    }
+    Ok(())
+}
+
+fn cmd_fleet_route(opts: &Opts) -> Result<(), String> {
+    let path = opts.get("map").ok_or("--map fleet.json is required")?;
+    let json = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let map = FleetMap::from_json(&json).map_err(|e| format!("{path}: {e}"))?;
+    let addr = opts
+        .get("addr")
+        .map(String::as_str)
+        .unwrap_or(DEFAULT_ROUTER_ADDR);
+    let shards = opts
+        .get("shards")
+        .map(|s| s.parse::<usize>().map_err(|e| format!("--shards: {e}")))
+        .transpose()?
+        .unwrap_or(2);
+    let idle_timeout = match opts.get("idle-timeout-ms") {
+        None => Some(cpm::serve::DEFAULT_IDLE_TIMEOUT),
+        Some(raw) => {
+            let ms = raw
+                .parse::<u64>()
+                .map_err(|e| format!("--idle-timeout-ms: {e}"))?;
+            (ms > 0).then(|| Duration::from_millis(ms))
+        }
+    };
+    let (nodes, replication) = (map.nodes.len(), map.effective_replication());
+    let router = Router::new(map, RouterConfig::default())?;
+    let listener = std::net::TcpListener::bind(addr).map_err(|e| format!("{addr}: {e}"))?;
+    let mut handle =
+        serve_router(listener, router, shards, idle_timeout).map_err(|e| e.to_string())?;
+    println!(
+        "cpm-fleet router listening on {} ({nodes} node(s), replication {replication}, \
+         {shards} shard(s))",
+        handle.addr()
+    );
+    handle.join();
+    println!("cpm-fleet router stopped");
     Ok(())
 }
 
