@@ -34,6 +34,14 @@ cargo bench -p cpm-bench --bench workload -- --test
 echo "== flight-recorder bench (smoke + <100ns/record gate)"
 cargo bench -p cpm-bench --bench obs -- --test
 
+echo "== DES engine tests (calendar queue, pooled events, schedule fuzzing)"
+cargo test -p cpm-des -q
+cargo test -p cpm-workload --test determinism -q
+cargo test -p cpm-collectives --test schedule_fuzz -q
+
+echo "== DES bench gate (no per-event allocation, 1000-rank replay < 5 s)"
+cargo bench -p cpm-bench --bench des -- --test
+
 echo "== workload CLI smoke + golden trace schema"
 CPM="./target/release/cpm"
 WL_TMP="$(mktemp -d)"
@@ -76,7 +84,22 @@ for _ in $(seq 1 50); do
   sleep 0.1
 done
 [ -n "$ADDR" ] || { echo "serve did not report an address"; kill "$SERVE_PID"; exit 1; }
-"$CPM" query --addr "$ADDR" --verb stats --format text | grep -q '^cpm_serve_'
+# DES-fidelity plan over the wire: embed the 16-node config + a 16-rank
+# trace in one plan request (the single-object trace form is the jsonl
+# header plus an "ops" array), then assert the des metrics show up.
+"$CPM" spec --profile ideal --out "$WL_TMP/cluster16.json" >/dev/null
+"$CPM" workload gen --kind train --nodes 16 --m 8K --iters 1 --out "$WL_TMP/t16.jsonl" >/dev/null
+CFG="$(tr -d '\n' < "$WL_TMP/cluster16.json")"
+HDR="$(head -n1 "$WL_TMP/t16.jsonl")"
+OPS="$(tail -n +2 "$WL_TMP/t16.jsonl" | paste -sd, -)"
+TRACE="${HDR%\}},\"ops\":[$OPS]}"
+printf '{"verb":"plan","fidelity":"des","config":%s,"trace":%s}\n' \
+  "$CFG" "$TRACE" > "$WL_TMP/plan_des.jsonl"
+"$CPM" query --addr "$ADDR" --batch "$WL_TMP/plan_des.jsonl" | grep -q '"fidelity":"des"'
+"$CPM" query --addr "$ADDR" --verb stats --format text > "$WL_TMP/expo.txt"
+grep -q '^cpm_serve_' "$WL_TMP/expo.txt"
+grep -q '^cpm_des_events_total [1-9]' "$WL_TMP/expo.txt"
+grep -q '^cpm_des_replay_ns_count 1' "$WL_TMP/expo.txt"
 "$CPM" query --addr "$ADDR" --verb stats --wire binary | grep -q '"ok":true'
 "$CPM" trace --addr "$ADDR" --out "$WL_TMP/trace.json" --last 1000
 grep -q '"traceEvents"' "$WL_TMP/trace.json"

@@ -1,0 +1,200 @@
+//! A small component-model layer over the engine, after the
+//! embedded-emulator template: each component exposes `next_tick` (when
+//! it first wants the clock) and `tick` (run at that time, return the
+//! next wake-up, if any). The system schedules wake-ups keyed by
+//! `(time, ComponentId)`, so co-scheduled components always run in
+//! stable id order — determinism by construction, independent of
+//! registration-order quirks or hash maps.
+
+use crate::engine::{Engine, EngineStats};
+use crate::key::DesTime;
+
+/// Stable identity of a component within a [`System`]: its registration
+/// index. Used as the tie-break key for same-time wake-ups.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ComponentId(pub usize);
+
+/// A simulated entity driven by clock wake-ups.
+pub trait Component<K: DesTime> {
+    /// The first instant this component wants to run, or `None` to
+    /// start dormant (it can still be woken via [`System::wake`]).
+    fn next_tick(&self) -> Option<K>;
+
+    /// Runs the component at `now`; returns when it next wants to run,
+    /// or `None` to go dormant.
+    fn tick(&mut self, now: K, id: ComponentId) -> Option<K>;
+}
+
+/// Drives a set of components to quiescence in deterministic
+/// `(time, ComponentId)` order.
+pub struct System<K: DesTime, C: Component<K>> {
+    components: Vec<C>,
+    engine: Engine<K, ComponentId>,
+    /// One outstanding wake-up per component, so a tick result and an
+    /// external `wake` cannot double-schedule.
+    pending: Vec<bool>,
+    ticks: u64,
+}
+
+impl<K: DesTime, C: Component<K>> System<K, C> {
+    /// Builds a system over `components`; each is asked for its initial
+    /// wake-up via [`Component::next_tick`].
+    pub fn new(components: Vec<C>) -> Self {
+        let mut engine = Engine::new();
+        let mut pending = vec![false; components.len()];
+        for (i, c) in components.iter().enumerate() {
+            if let Some(at) = c.next_tick() {
+                engine.schedule_keyed(at, i as u64, ComponentId(i));
+                pending[i] = true;
+            }
+        }
+        System {
+            components,
+            engine,
+            pending,
+            ticks: 0,
+        }
+    }
+
+    /// As [`System::new`] but with seeded schedule fuzzing: same-time
+    /// wake-ups run in a deterministic per-seed permutation instead of
+    /// id order (order-dependence detector).
+    pub fn with_fuzz(components: Vec<C>, seed: u64) -> Self {
+        let mut sys = Self::new(components);
+        let mut engine = Engine::with_fuzz(seed);
+        // Re-issue the initial wake-ups through the fuzzed engine.
+        sys.pending.iter_mut().for_each(|p| *p = false);
+        for (i, c) in sys.components.iter().enumerate() {
+            if let Some(at) = c.next_tick() {
+                engine.schedule_keyed(at, i as u64, ComponentId(i));
+                sys.pending[i] = true;
+            }
+        }
+        sys.engine = engine;
+        sys
+    }
+
+    /// Requests a wake-up for `id` at `at`. Ignored when the component
+    /// already has an outstanding wake-up (the earlier one stands).
+    pub fn wake(&mut self, id: ComponentId, at: K) {
+        if !self.pending[id.0] {
+            self.engine.schedule_keyed(at, id.0 as u64, id);
+            self.pending[id.0] = true;
+        }
+    }
+
+    /// Runs until no wake-ups remain; returns the time of the last tick,
+    /// or `None` if nothing ever ran.
+    pub fn run(&mut self) -> Option<K> {
+        let mut last = None;
+        while let Some((now, id)) = self.engine.pop() {
+            self.pending[id.0] = false;
+            self.ticks += 1;
+            last = Some(now);
+            if let Some(next) = self.components[id.0].tick(now, id) {
+                self.engine.schedule_keyed(next, id.0 as u64, id);
+                self.pending[id.0] = true;
+            }
+        }
+        last
+    }
+
+    /// Shared access to a component.
+    pub fn component(&self, id: ComponentId) -> &C {
+        &self.components[id.0]
+    }
+
+    /// Total ticks delivered so far.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// The underlying engine's counters.
+    pub fn stats(&self) -> EngineStats {
+        self.engine.stats()
+    }
+
+    /// Consumes the system, returning its components.
+    pub fn into_components(self) -> Vec<C> {
+        self.components
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Appends `(time, id)` to a shared log every `period` ticks, `n` times.
+    struct Ticker {
+        period: u64,
+        left: u32,
+        log: std::rc::Rc<std::cell::RefCell<Vec<(u64, usize)>>>,
+    }
+
+    impl Component<u64> for Ticker {
+        fn next_tick(&self) -> Option<u64> {
+            (self.left > 0).then_some(self.period)
+        }
+        fn tick(&mut self, now: u64, id: ComponentId) -> Option<u64> {
+            self.log.borrow_mut().push((now, id.0));
+            self.left -= 1;
+            (self.left > 0).then_some(now + self.period)
+        }
+    }
+
+    fn run_tickers(fuzz: Option<u64>) -> Vec<(u64, usize)> {
+        let log = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let tickers: Vec<Ticker> = (0..8)
+            .map(|_| Ticker {
+                period: 10,
+                left: 5,
+                log: log.clone(),
+            })
+            .collect();
+        let mut sys = match fuzz {
+            Some(seed) => System::with_fuzz(tickers, seed),
+            None => System::new(tickers),
+        };
+        assert_eq!(sys.run(), Some(50));
+        assert_eq!(sys.ticks(), 40);
+        let out = log.borrow().clone();
+        out
+    }
+
+    #[test]
+    fn co_scheduled_components_run_in_id_order() {
+        let log = run_tickers(None);
+        for (chunk, t) in log.chunks(8).zip([10u64, 20, 30, 40, 50]) {
+            let expect: Vec<(u64, usize)> = (0..8).map(|i| (t, i)).collect();
+            assert_eq!(chunk, expect, "at t={t} components must run in id order");
+        }
+    }
+
+    #[test]
+    fn fuzz_permutes_same_time_components_deterministically() {
+        let a = run_tickers(Some(7));
+        let b = run_tickers(Some(7));
+        let c = run_tickers(Some(8));
+        assert_eq!(a, b, "same seed, same order");
+        assert_ne!(a, c, "different seed, different same-time order");
+        let plain = run_tickers(None);
+        assert_ne!(a, plain);
+        // Times are identical in all runs; only same-time order differs.
+        let times = |l: &[(u64, usize)]| l.iter().map(|(t, _)| *t).collect::<Vec<_>>();
+        assert_eq!(times(&a), times(&plain));
+        assert_eq!(times(&c), times(&plain));
+    }
+
+    #[test]
+    fn wake_dedupes_outstanding_requests() {
+        let log = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let mut sys = System::new(vec![Ticker {
+            period: 3,
+            left: 1,
+            log: log.clone(),
+        }]);
+        sys.wake(ComponentId(0), 1); // ignored: initial wake at 3 stands
+        assert_eq!(sys.run(), Some(3));
+        assert_eq!(*log.borrow(), [(3, 0)]);
+    }
+}

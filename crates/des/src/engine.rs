@@ -1,0 +1,328 @@
+//! The engine facade: pooled payloads, the calendar queue with its heap
+//! fallback, and deterministic (optionally fuzzed) tie-breaking, with
+//! counters downstream crates export through the metrics registry.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::calendar::{Calendar, Entry};
+use crate::key::DesTime;
+use crate::pool::Pool;
+
+/// How many pops to observe between fallback-decision checkpoints.
+const FALLBACK_WINDOW: u64 = 4096;
+/// Mean buckets scanned per pop above which the calendar has lost its
+/// O(1) behaviour and the heap takes over.
+const FALLBACK_SCAN_LIMIT: f64 = 24.0;
+
+/// Counters describing an engine's life so far. Snapshot via
+/// [`Engine::stats`]; downstream crates fold these into
+/// `cpm_des_events_total` and friends.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Events ever scheduled.
+    pub scheduled: u64,
+    /// Events ever popped (fired).
+    pub fired: u64,
+    /// Maximum number of simultaneously pending events — also the exact
+    /// number of payload slots allocated, since slots are pooled.
+    pub pool_slots: usize,
+    /// Calendar sweeps that missed a whole year and fell back to a
+    /// direct min-search across bucket fronts.
+    pub direct_searches: u64,
+    /// Calendar bucket-array rebuilds.
+    pub resizes: u64,
+    /// Whether the engine abandoned the calendar for the binary heap.
+    pub heap_fallback: bool,
+}
+
+enum Sched {
+    Calendar(Calendar),
+    Heap(BinaryHeap<Reverse<Entry>>),
+}
+
+/// A discrete-event scheduler: schedule `(time, payload)` pairs, pop
+/// them back in deterministic `(time, fuzz, tie, insertion)` order.
+///
+/// Payloads live in a slot pool, so the steady-state schedule/pop cycle
+/// allocates nothing. The queue is a calendar queue that self-monitors
+/// and migrates to a `BinaryHeap` if the timestamp distribution turns
+/// pathological — ordering is identical either way.
+///
+/// # Determinism
+///
+/// Same schedule calls in the same order always pop in the same order.
+/// Events at equal times order by the `tie` key passed to
+/// [`Engine::schedule_keyed`] (components use their stable id), then by
+/// insertion order. [`Engine::with_fuzz`] inserts a seeded hash *before*
+/// the tie key, deterministically permuting same-time events per seed
+/// while leaving time order untouched — an order-dependence detector.
+pub struct Engine<K: DesTime, E> {
+    pool: Pool<(K, E)>,
+    sched: Sched,
+    seq: u64,
+    fuzz_seed: Option<u64>,
+    scheduled: u64,
+    fired: u64,
+    // Scan-cost window at the last fallback checkpoint.
+    last_pops: u64,
+    last_scanned: u64,
+}
+
+impl<K: DesTime, E> Engine<K, E> {
+    /// An empty engine with deterministic FIFO tie-breaking.
+    pub fn new() -> Self {
+        Engine {
+            pool: Pool::new(),
+            sched: Sched::Calendar(Calendar::new()),
+            seq: 0,
+            fuzz_seed: None,
+            scheduled: 0,
+            fired: 0,
+            last_pops: 0,
+            last_scanned: 0,
+        }
+    }
+
+    /// An engine whose same-time tie order is deterministically permuted
+    /// by `seed` (time order is never affected).
+    pub fn with_fuzz(seed: u64) -> Self {
+        let mut e = Self::new();
+        e.fuzz_seed = Some(seed);
+        e
+    }
+
+    /// Schedules `event` at `at` with tie key 0 (pure FIFO among
+    /// same-time events when not fuzzing).
+    #[inline]
+    pub fn schedule(&mut self, at: K, event: E) {
+        self.schedule_keyed(at, 0, event);
+    }
+
+    /// Schedules `event` at `at`; among same-time events, lower `tie`
+    /// pops first (insertion order breaks remaining ties).
+    pub fn schedule_keyed(&mut self, at: K, tie: u64, event: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.scheduled += 1;
+        let fuzz = match self.fuzz_seed {
+            Some(seed) => splitmix64(seq ^ seed),
+            None => 0,
+        };
+        let slot = self.pool.insert((at, event));
+        let entry = Entry {
+            ticks: at.ticks(),
+            fuzz,
+            tie,
+            seq,
+            slot,
+        };
+        match &mut self.sched {
+            Sched::Calendar(c) => c.push(entry),
+            Sched::Heap(h) => h.push(Reverse(entry)),
+        }
+    }
+
+    /// Pops the earliest pending event, or `None` when idle.
+    pub fn pop(&mut self) -> Option<(K, E)> {
+        let entry = match &mut self.sched {
+            Sched::Calendar(c) => c.pop(),
+            Sched::Heap(h) => h.pop().map(|Reverse(e)| e),
+        }?;
+        self.fired += 1;
+        self.maybe_fall_back();
+        Some(self.pool.take(entry.slot))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        match &self.sched {
+            Sched::Calendar(c) => c.len(),
+            Sched::Heap(h) => h.len(),
+        }
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the engine's counters.
+    pub fn stats(&self) -> EngineStats {
+        let (direct_searches, resizes, heap_fallback) = match &self.sched {
+            Sched::Calendar(c) => (c.direct_searches, c.resizes, false),
+            Sched::Heap(_) => (0, 0, true),
+        };
+        EngineStats {
+            scheduled: self.scheduled,
+            fired: self.fired,
+            pool_slots: self.pool.high_water(),
+            direct_searches,
+            resizes,
+            heap_fallback,
+        }
+    }
+
+    /// Every `FALLBACK_WINDOW` pops, check the calendar's amortized scan
+    /// cost; if resizing has not tamed the distribution, migrate every
+    /// pending entry into a `BinaryHeap` (same total order) for the rest
+    /// of this engine's life.
+    fn maybe_fall_back(&mut self) {
+        let Sched::Calendar(c) = &mut self.sched else {
+            return;
+        };
+        if c.pops - self.last_pops < FALLBACK_WINDOW {
+            return;
+        }
+        let scanned = c.buckets_scanned - self.last_scanned;
+        let pops = c.pops - self.last_pops;
+        self.last_pops = c.pops;
+        self.last_scanned = c.buckets_scanned;
+        if scanned as f64 / pops as f64 > FALLBACK_SCAN_LIMIT {
+            self.migrate_to_heap();
+        }
+    }
+
+    fn migrate_to_heap(&mut self) {
+        if let Sched::Calendar(c) = &mut self.sched {
+            let mut heap = BinaryHeap::with_capacity(c.len());
+            heap.extend(c.drain_all().into_iter().map(Reverse));
+            self.sched = Sched::Heap(heap);
+        }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn force_heap(&mut self) {
+        self.migrate_to_heap();
+    }
+}
+
+impl<K: DesTime, E> Default for Engine<K, E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// SplitMix64 finalizer: a bijective avalanche over `u64`, so distinct
+/// sequence numbers always get distinct fuzz hashes (the permutation of
+/// same-time events is total and deterministic per seed).
+#[inline]
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::Seconds;
+
+    #[test]
+    fn pops_in_time_then_fifo_order() {
+        let mut e: Engine<u64, &str> = Engine::new();
+        e.schedule(5, "c");
+        e.schedule(1, "a");
+        e.schedule(5, "d");
+        e.schedule(3, "b");
+        let order: Vec<&str> = std::iter::from_fn(|| e.pop()).map(|(_, v)| v).collect();
+        assert_eq!(order, ["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn tie_key_orders_before_insertion() {
+        let mut e: Engine<u64, u32> = Engine::new();
+        e.schedule_keyed(7, 2, 20);
+        e.schedule_keyed(7, 0, 0);
+        e.schedule_keyed(7, 1, 10);
+        let order: Vec<u32> = std::iter::from_fn(|| e.pop()).map(|(_, v)| v).collect();
+        assert_eq!(order, [0, 10, 20]);
+    }
+
+    #[test]
+    fn steady_state_allocates_no_new_slots() {
+        let mut e: Engine<Seconds, [u8; 64]> = Engine::new();
+        for i in 0..64 {
+            e.schedule(Seconds::new(i as f64), [0u8; 64]);
+        }
+        for i in 0..100_000 {
+            let (t, ev) = e.pop().unwrap();
+            e.schedule(Seconds::new(t.secs() + 1.0 + (i % 7) as f64), ev);
+        }
+        assert_eq!(e.stats().pool_slots, 64);
+    }
+
+    #[test]
+    fn fuzz_preserves_time_order_and_multiset() {
+        let mut plain: Engine<u64, u32> = Engine::new();
+        let mut fuzzed: Engine<u64, u32> = Engine::with_fuzz(0xFEED);
+        for i in 0..500u32 {
+            let t = (i / 10) as u64; // 10 events per timestamp
+            plain.schedule(t, i);
+            fuzzed.schedule(t, i);
+        }
+        let a: Vec<(u64, u32)> = std::iter::from_fn(|| plain.pop()).collect();
+        let b: Vec<(u64, u32)> = std::iter::from_fn(|| fuzzed.pop()).collect();
+        assert_ne!(a, b, "fuzz seed should permute same-time events");
+        let times_a: Vec<u64> = a.iter().map(|(t, _)| *t).collect();
+        let times_b: Vec<u64> = b.iter().map(|(t, _)| *t).collect();
+        assert_eq!(times_a, times_b, "time order must be untouched");
+        let mut pa = a.clone();
+        let mut pb = b.clone();
+        pa.sort();
+        pb.sort();
+        assert_eq!(pa, pb, "fuzz must only permute, not drop or duplicate");
+    }
+
+    #[test]
+    fn fuzz_is_deterministic_per_seed() {
+        let run = |seed: u64| -> Vec<(u64, u32)> {
+            let mut e: Engine<u64, u32> = Engine::with_fuzz(seed);
+            for i in 0..200u32 {
+                e.schedule((i / 20) as u64, i);
+            }
+            std::iter::from_fn(|| e.pop()).collect()
+        };
+        assert_eq!(run(1), run(1));
+        assert_eq!(run(2), run(2));
+        assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    fn heap_migration_preserves_order_mid_run() {
+        let mut e: Engine<u64, u64> = Engine::new();
+        let mut x = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for _ in 0..2000 {
+            let t = next() >> 1;
+            e.schedule(t, t);
+        }
+        let mut last = 0;
+        for _ in 0..500 {
+            let (t, v) = e.pop().unwrap();
+            assert_eq!(t, v);
+            assert!(t >= last);
+            last = t;
+        }
+        // Migrate the remaining 1500 entries to the heap mid-run and
+        // keep going: the total order must be seamless across the switch.
+        e.force_heap();
+        assert!(e.stats().heap_fallback);
+        for _ in 0..2000 {
+            let t = last.saturating_add(next() >> 20);
+            e.schedule(t, t);
+        }
+        while let Some((t, _)) = e.pop() {
+            assert!(t >= last);
+            last = t;
+        }
+        assert_eq!(e.stats().scheduled, e.stats().fired);
+        assert_eq!(e.stats().scheduled, 4000);
+    }
+}

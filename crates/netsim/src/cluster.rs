@@ -22,6 +22,11 @@ pub struct SimCluster {
     /// Network topology (the paper's platform is a single switch; the
     /// two-switch variant exists to demonstrate the model's boundary).
     pub topology: Topology,
+    /// `Some(seed)` enables the schedule fuzzer: same-timestamp kernel
+    /// events fire in a deterministic per-seed permutation instead of
+    /// insertion order, shaking out order-dependent bugs. Time order is
+    /// never affected. `None` (the default) keeps plain FIFO ties.
+    pub fuzz_seed: Option<u64>,
 }
 
 impl SimCluster {
@@ -41,6 +46,18 @@ impl SimCluster {
             seed,
             noise_seed: seed,
             topology: Topology::SingleSwitch,
+            fuzz_seed: None,
+        }
+    }
+
+    /// The same cluster with the schedule fuzzer enabled: same-timestamp
+    /// kernel events fire in a deterministic per-`seed` permutation
+    /// (an order-dependence detector; results of correct programs must
+    /// not change).
+    pub fn with_schedule_fuzz(self, seed: u64) -> Self {
+        SimCluster {
+            fuzz_seed: Some(seed),
+            ..self
         }
     }
 
@@ -98,6 +115,7 @@ impl SimCluster {
             seed: self.seed,
             noise_seed: self.noise_seed,
             topology: self.topology.clone(),
+            fuzz_seed: self.fuzz_seed,
         }
     }
 }

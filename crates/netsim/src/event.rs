@@ -1,9 +1,12 @@
-//! The event queue of the discrete-event kernel.
-
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+//! The event queue of the discrete-event kernel — a thin facade over the
+//! unified [`cpm_des`] engine (calendar queue + pooled payloads), keeping
+//! the kernel's historical push/pop API. Determinism contract: events pop
+//! in time order, ties broken by insertion order — unless the cluster
+//! enables schedule fuzzing, in which case same-time events permute
+//! deterministically per seed (time order is never affected).
 
 use cpm_core::time::Time;
+use cpm_des::{Engine, EngineStats};
 
 /// Index of a simulated process.
 pub type ProcId = usize;
@@ -26,70 +29,70 @@ pub enum EventKind {
     Deliver(MsgId),
 }
 
-/// An event: fires at `at`; `seq` breaks ties deterministically in insertion
-/// order.
-#[derive(Clone, Copy, Debug)]
+/// An event as the kernel consumes it: what fires, and when.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Event {
+    /// When the event fires.
     pub at: Time,
-    pub seq: u64,
+    /// What fires.
     pub kind: EventKind,
 }
 
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for Event {}
-
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse: BinaryHeap is a max-heap, we need earliest-first.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-
-/// A deterministic time-ordered event queue.
-#[derive(Debug, Default)]
+/// A deterministic time-ordered event queue backed by [`cpm_des::Engine`].
 pub struct EventQueue {
-    heap: BinaryHeap<Event>,
-    next_seq: u64,
+    engine: Engine<Time, EventKind>,
 }
 
 impl EventQueue {
+    /// An empty queue with FIFO tie-breaking.
     pub fn new() -> Self {
-        Self::default()
+        EventQueue {
+            engine: Engine::new(),
+        }
+    }
+
+    /// An empty queue; `Some(seed)` permutes same-time events
+    /// deterministically per seed (the schedule fuzzer).
+    pub fn with_fuzz(fuzz_seed: Option<u64>) -> Self {
+        EventQueue {
+            engine: match fuzz_seed {
+                Some(seed) => Engine::with_fuzz(seed),
+                None => Engine::new(),
+            },
+        }
     }
 
     /// Schedules `kind` at time `at`.
     pub fn push(&mut self, at: Time, kind: EventKind) {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.heap.push(Event { at, seq, kind });
+        self.engine.schedule(at, kind);
     }
 
-    /// Pops the earliest event (ties broken by insertion order).
+    /// Pops the earliest event (ties broken by insertion order, or by the
+    /// fuzz permutation when enabled).
     pub fn pop(&mut self) -> Option<Event> {
-        self.heap.pop()
+        self.engine.pop().map(|(at, kind)| Event { at, kind })
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.engine.len()
     }
 
     /// `true` when no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.engine.is_empty()
+    }
+
+    /// Scheduling counters from the underlying engine (event totals, pool
+    /// high-water, calendar health).
+    pub fn stats(&self) -> EngineStats {
+        self.engine.stats()
+    }
+}
+
+impl Default for EventQueue {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -136,5 +139,29 @@ mod tests {
         assert_eq!(q.pop().unwrap().at, Time::from_secs(5.0));
         assert!(q.is_empty());
         assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn fuzz_permutes_ties_but_not_times() {
+        let run = |fuzz: Option<u64>| -> Vec<(u32, usize)> {
+            let mut q = EventQueue::with_fuzz(fuzz);
+            for i in 0..20 {
+                q.push(Time::from_secs((i / 5) as f64), EventKind::Wake(i));
+            }
+            std::iter::from_fn(|| q.pop())
+                .map(|e| {
+                    let EventKind::Wake(p) = e.kind else {
+                        unreachable!()
+                    };
+                    (e.at.secs() as u32, p)
+                })
+                .collect()
+        };
+        let plain = run(None);
+        let fuzzed = run(Some(42));
+        assert_eq!(fuzzed, run(Some(42)), "fuzz is deterministic per seed");
+        assert_ne!(plain, fuzzed, "fuzz permutes same-time events");
+        let times = |v: &[(u32, usize)]| v.iter().map(|(t, _)| *t).collect::<Vec<_>>();
+        assert_eq!(times(&plain), times(&fuzzed), "time order untouched");
     }
 }

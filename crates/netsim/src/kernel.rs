@@ -40,6 +40,7 @@ use crate::event::{EventKind, EventQueue, MsgId, ProcId};
 use crate::msg::{Grant, MsgState, MsgView, Syscall, Tag};
 use crate::noise::NoiseSource;
 use crate::proc::Proc;
+use crate::script::ScriptProc;
 use crate::trace::{Trace, TraceEvent};
 
 /// Kernel counters, for conservation checks and performance analysis.
@@ -53,6 +54,10 @@ pub struct SimStats {
     pub msgs_received: usize,
     /// Events the kernel processed.
     pub events: usize,
+    /// Peak number of simultaneously pending events — equal to the number
+    /// of payload slots the pooled event queue ever allocated, since slots
+    /// are recycled (the no-per-event-allocation property benches assert).
+    pub pool_slots: usize,
 }
 
 /// The value a simulation returns.
@@ -128,10 +133,10 @@ fn simulate_mpmd_inner<'a, R: Send>(
     let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
 
     let kernel_out = std::thread::scope(|scope| {
-        let mut grant_txs = Vec::with_capacity(n);
+        let mut ports = Vec::with_capacity(n);
         for (idx, prog) in progs.into_iter().enumerate() {
             let (gtx, grx) = unbounded::<Grant>();
-            grant_txs.push(gtx);
+            ports.push(ProcPort::Thread(gtx));
             let sys_tx = sys_tx.clone();
             let results = &results;
             scope.spawn(move || {
@@ -157,7 +162,7 @@ fn simulate_mpmd_inner<'a, R: Send>(
             });
         }
         drop(sys_tx);
-        Kernel::new(cluster, grant_txs, sys_rx, traced).run()
+        Kernel::new(cluster, ports, sys_rx, traced).run()
     })?;
 
     if !kernel_out.panicked.is_empty() {
@@ -204,8 +209,16 @@ enum Status {
     Finished,
 }
 
+/// How the kernel drives a rank: a channel to a dedicated OS thread (the
+/// general programming model), or an in-kernel script interpreter (the
+/// threadless fast path for straight-line replay programs).
+pub(crate) enum ProcPort {
+    Thread(Sender<Grant>),
+    Script(ScriptProc),
+}
+
 struct ProcState {
-    grant_tx: Sender<Grant>,
+    port: ProcPort,
     status: Status,
     local: Time,
     pending_recv: Option<(Option<Rank>, Option<Tag>)>,
@@ -213,12 +226,25 @@ struct ProcState {
     panicked: bool,
 }
 
-struct KernelOut {
-    end_time: Time,
-    finish_times: Vec<Time>,
-    panicked: Vec<usize>,
-    stats: SimStats,
-    trace: Option<Trace>,
+pub(crate) struct KernelOut {
+    pub(crate) end_time: Time,
+    pub(crate) finish_times: Vec<Time>,
+    pub(crate) panicked: Vec<usize>,
+    pub(crate) stats: SimStats,
+    pub(crate) trace: Option<Trace>,
+    /// Per-rank op windows for scripted ranks (empty for threaded ranks).
+    pub(crate) windows: Vec<Vec<(f64, f64)>>,
+}
+
+/// Runs scripted programs through the kernel (no rank threads; the dummy
+/// syscall channel is never used because no `ProcPort::Thread` exists).
+pub(crate) fn run_scripts_kernel(
+    cluster: &SimCluster,
+    scripts: Vec<ScriptProc>,
+) -> Result<KernelOut> {
+    let (_sys_tx, sys_rx) = unbounded::<(ProcId, Syscall)>();
+    let ports = scripts.into_iter().map(ProcPort::Script).collect();
+    Kernel::new(cluster, ports, sys_rx, false).run()
 }
 
 struct Kernel<'c> {
@@ -267,20 +293,20 @@ struct Kernel<'c> {
 impl<'c> Kernel<'c> {
     fn new(
         cl: &'c SimCluster,
-        grant_txs: Vec<Sender<Grant>>,
+        ports: Vec<ProcPort>,
         sys_rx: Receiver<(ProcId, Syscall)>,
         traced: bool,
     ) -> Self {
-        let n = grant_txs.len();
+        let n = ports.len();
         Kernel {
             cl,
-            q: EventQueue::new(),
+            q: EventQueue::with_fuzz(cl.fuzz_seed),
             msgs: Vec::new(),
             mailbox: vec![Vec::new(); n],
-            procs: grant_txs
+            procs: ports
                 .into_iter()
-                .map(|grant_tx| ProcState {
-                    grant_tx,
+                .map(|port| ProcState {
+                    port,
                     status: Status::Idle,
                     local: Time::ZERO,
                     pending_recv: None,
@@ -402,12 +428,22 @@ impl<'c> Kernel<'c> {
             .filter(|(_, p)| p.panicked)
             .map(|(i, _)| i)
             .collect();
+        self.stats.pool_slots = self.q.stats().pool_slots;
+        let windows = self
+            .procs
+            .iter_mut()
+            .map(|p| match &mut p.port {
+                ProcPort::Script(s) => std::mem::take(&mut s.windows),
+                ProcPort::Thread(_) => Vec::new(),
+            })
+            .collect();
         Ok(KernelOut {
             end_time,
             finish_times: self.finish_times,
             panicked,
             stats: self.stats,
             trace: self.trace,
+            windows,
         })
     }
 
@@ -440,20 +476,25 @@ impl<'c> Kernel<'c> {
         }
         self.procs[p].local = self.now;
         let msg = self.procs[p].ready_msg.take();
-        self.procs[p]
-            .grant_tx
-            .send(Grant {
-                now: self.now,
-                msg,
-                handle: None,
-            })
-            .map_err(|_| CpmError::Simulation(format!("rank {p} died before its grant")))?;
-        let (from, sc) = self
-            .sys_rx
-            .recv()
-            .map_err(|_| CpmError::Simulation("all rank programs disappeared".to_string()))?;
-        debug_assert_eq!(from, p, "only the granted process may issue a syscall");
-        self.handle_syscall(from, sc);
+        let now = self.now;
+        let sc = match &mut self.procs[p].port {
+            ProcPort::Thread(grant_tx) => {
+                grant_tx
+                    .send(Grant {
+                        now,
+                        msg,
+                        handle: None,
+                    })
+                    .map_err(|_| CpmError::Simulation(format!("rank {p} died before its grant")))?;
+                let (from, sc) = self.sys_rx.recv().map_err(|_| {
+                    CpmError::Simulation("all rank programs disappeared".to_string())
+                })?;
+                debug_assert_eq!(from, p, "only the granted process may issue a syscall");
+                sc
+            }
+            ProcPort::Script(s) => s.step(now),
+        };
+        self.handle_syscall(p, sc);
         Ok(())
     }
 
@@ -471,8 +512,15 @@ impl<'c> Kernel<'c> {
                     msg: None,
                     handle: Some(mid),
                 };
-                if self.procs[p].grant_tx.send(grant).is_err() {
-                    debug_assert!(false, "isend grant failed");
+                match &self.procs[p].port {
+                    ProcPort::Thread(grant_tx) => {
+                        if grant_tx.send(grant).is_err() {
+                            debug_assert!(false, "isend grant failed");
+                        }
+                    }
+                    ProcPort::Script(_) => {
+                        debug_assert!(false, "scripted ranks never issue ISend");
+                    }
                 }
                 // The process is still running: immediately read its next
                 // syscall (same protocol as wake()).

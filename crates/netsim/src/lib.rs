@@ -65,12 +65,15 @@
 //! assert!(out.results[0] > 0.0);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod cluster;
 pub mod event;
 pub mod kernel;
 pub mod msg;
 pub mod noise;
 pub mod proc;
+pub mod script;
 pub mod trace;
 
 pub use cluster::SimCluster;
@@ -78,4 +81,5 @@ pub use kernel::{simulate, simulate_mpmd, simulate_traced, SimOutcome, SimStats}
 pub use msg::{MsgView, Tag};
 pub use noise::{DriftChange, DriftSchedule, DriftShape, DriftTarget};
 pub use proc::{Proc, RecvRequest, SendRequest};
+pub use script::{run_script, ScriptOp, ScriptOutcome};
 pub use trace::{render_timeline, Trace, TraceEvent};

@@ -10,9 +10,13 @@ pub type Tag = u32;
 /// What a `recv` returns: the envelope of a delivered message.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct MsgView {
+    /// Sending rank.
     pub src: Rank,
+    /// Receiving rank.
     pub dst: Rank,
+    /// Message tag.
     pub tag: Tag,
+    /// Payload size in bytes.
     pub bytes: Bytes,
 }
 

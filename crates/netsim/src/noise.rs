@@ -70,9 +70,19 @@ impl NoiseSource {
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub enum DriftTarget {
     /// Bandwidth `β_ij` of one link.
-    LinkBeta { i: u32, j: u32 },
+    LinkBeta {
+        /// Source rank index.
+        i: u32,
+        /// Destination rank index.
+        j: u32,
+    },
     /// Latency `L_ij` of one link.
-    LinkLatency { i: u32, j: u32 },
+    LinkLatency {
+        /// Source rank index.
+        i: u32,
+        /// Destination rank index.
+        j: u32,
+    },
     /// Fixed processing delay `C_i` of one node.
     NodeFixed(u32),
     /// Per-byte processing delay `t_i` of one node.
@@ -90,15 +100,20 @@ pub enum DriftShape {
     Step,
     /// The factor interpolates linearly from 1 to its full value over
     /// `duration` seconds starting at the change time.
-    Ramp { duration: f64 },
+    Ramp {
+        /// Ramp length in virtual seconds.
+        duration: f64,
+    },
 }
 
 /// One scheduled multiplicative change to a ground-truth parameter.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct DriftChange {
+    /// Which parameter the change scales.
     pub target: DriftTarget,
     /// Virtual time (seconds) at which the change begins.
     pub at: f64,
+    /// How the change unfolds over time.
     pub shape: DriftShape,
     /// The multiplicative factor once fully applied (e.g. 0.5 halves a
     /// bandwidth, 2.0 doubles a latency).
@@ -130,6 +145,7 @@ impl DriftChange {
 /// stays drift-free, so all existing simulations are unaffected).
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct DriftSchedule {
+    /// The scheduled changes, in no particular order.
     pub changes: Vec<DriftChange>,
 }
 

@@ -1,0 +1,252 @@
+//! Threadless rank programs ("scripts").
+//!
+//! The thread-based programming model ([`crate::simulate`]) spawns one OS
+//! thread per rank and round-trips a channel per syscall — perfect for
+//! expressing arbitrary algorithms, but the context switches cap it at a
+//! few hundred ranks. Workload replay doesn't need arbitrary code: after
+//! lowering, every rank is a straight-line sequence of send/recv/compute/
+//! barrier primitives. [`run_script`] interprets such sequences directly
+//! inside the kernel's event loop — no threads, no channels, no per-event
+//! allocation — with *identical* event semantics and therefore identical
+//! virtual timings. This is what makes 1000-rank replay a subsecond
+//! operation instead of a thread-pool stress test.
+
+use cpm_core::error::Result;
+use cpm_core::rank::Rank;
+use cpm_core::time::Time;
+use cpm_core::units::Bytes;
+
+use crate::cluster::SimCluster;
+use crate::kernel::{run_scripts_kernel, SimStats};
+use crate::msg::Syscall;
+
+/// One straight-line primitive of a scripted rank program.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ScriptOp {
+    /// Blocking send of `bytes` to `dst` (tag 0), exactly like
+    /// [`crate::Proc::send`].
+    Send {
+        /// Destination rank.
+        dst: Rank,
+        /// Message size in bytes.
+        bytes: Bytes,
+    },
+    /// Blocking receive of the next message from `src` (any tag), exactly
+    /// like [`crate::Proc::recv`].
+    Recv {
+        /// Source rank to match.
+        src: Rank,
+    },
+    /// Occupy the local CPU for `secs` of virtual time.
+    Compute {
+        /// Duration in seconds.
+        secs: f64,
+    },
+    /// Global barrier across all ranks.
+    Barrier,
+}
+
+/// What a scripted simulation returns.
+#[derive(Clone, Debug)]
+pub struct ScriptOutcome {
+    /// Per-rank, per-op `(start, end)` windows in virtual seconds: op `k`
+    /// of rank `r` ran over `windows[r][k]`.
+    pub windows: Vec<Vec<(f64, f64)>>,
+    /// Virtual time at which the last rank finished, seconds.
+    pub end_time: f64,
+    /// Per-rank finish times, seconds.
+    pub finish_times: Vec<f64>,
+    /// Kernel counters.
+    pub stats: SimStats,
+}
+
+/// Kernel-side interpreter state for one scripted rank.
+pub(crate) struct ScriptProc {
+    ops: Vec<ScriptOp>,
+    pc: usize,
+    started: bool,
+    pub(crate) windows: Vec<(f64, f64)>,
+}
+
+impl ScriptProc {
+    pub(crate) fn new(ops: Vec<ScriptOp>) -> Self {
+        let windows = vec![(0.0, 0.0); ops.len()];
+        ScriptProc {
+            ops,
+            pc: 0,
+            started: false,
+            windows,
+        }
+    }
+
+    /// Called on every kernel wake of this rank: closes the in-flight
+    /// op's window (every wake after the first means the previous op
+    /// completed — the moment a threaded program would regain control),
+    /// then issues the next op as a syscall.
+    pub(crate) fn step(&mut self, now: Time) -> Syscall {
+        if self.started {
+            if let Some(w) = self.windows.get_mut(self.pc) {
+                w.1 = now.secs();
+            }
+            self.pc += 1;
+        }
+        self.started = true;
+        match self.ops.get(self.pc) {
+            None => Syscall::Finish { panicked: false },
+            Some(op) => {
+                self.windows[self.pc].0 = now.secs();
+                match *op {
+                    ScriptOp::Send { dst, bytes } => Syscall::Send { dst, tag: 0, bytes },
+                    ScriptOp::Recv { src } => Syscall::Recv {
+                        src: Some(src),
+                        tag: None,
+                    },
+                    ScriptOp::Compute { secs } => Syscall::Compute { secs },
+                    ScriptOp::Barrier => Syscall::Barrier,
+                }
+            }
+        }
+    }
+}
+
+/// Runs one scripted program per rank through the kernel's event loop —
+/// same timing semantics as the threaded [`crate::simulate`], no threads.
+///
+/// # Errors
+/// Returns a simulation error on deadlock (e.g. a `Recv` nobody answers).
+///
+/// # Panics
+/// Panics when `programs.len()` differs from the cluster size.
+pub fn run_script(cluster: &SimCluster, programs: &[Vec<ScriptOp>]) -> Result<ScriptOutcome> {
+    assert_eq!(
+        programs.len(),
+        cluster.n(),
+        "need one script per rank ({})",
+        cluster.n()
+    );
+    let scripts = programs
+        .iter()
+        .map(|ops| ScriptProc::new(ops.clone()))
+        .collect();
+    let out = run_scripts_kernel(cluster, scripts)?;
+    Ok(ScriptOutcome {
+        windows: out.windows,
+        end_time: out.end_time.secs(),
+        finish_times: out.finish_times.iter().map(|t| t.secs()).collect(),
+        stats: out.stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate;
+    use cpm_cluster::{ClusterSpec, GroundTruth, MpiProfile};
+    use cpm_core::units::KIB;
+
+    fn cluster(n: usize, noise: f64) -> SimCluster {
+        let truth = GroundTruth::synthesize(&ClusterSpec::homogeneous(n), 1);
+        SimCluster::new(truth, MpiProfile::lam_7_1_3(), noise, 1)
+    }
+
+    /// The defining property: a script and the equivalent threaded program
+    /// produce bit-identical virtual timings.
+    #[test]
+    fn script_matches_threaded_simulation_exactly() {
+        let cl = cluster(4, 0.01);
+        let m = 32 * KIB;
+        // Rank 0 gathers from everyone, then all barrier, then rank 0
+        // scatters back.
+        let threaded = simulate(&cl, |p| {
+            if p.rank() == Rank(0) {
+                for i in 1..p.size() {
+                    let _ = p.recv(Rank::from(i));
+                }
+                p.barrier();
+                for i in 1..p.size() {
+                    p.send(Rank::from(i), m);
+                }
+            } else {
+                p.compute(1e-4);
+                p.send(Rank(0), m);
+                p.barrier();
+                let _ = p.recv(Rank(0));
+            }
+        })
+        .unwrap();
+
+        let programs: Vec<Vec<ScriptOp>> = (0..4)
+            .map(|r| {
+                if r == 0 {
+                    let mut ops: Vec<ScriptOp> =
+                        (1..4).map(|i| ScriptOp::Recv { src: Rank(i) }).collect();
+                    ops.push(ScriptOp::Barrier);
+                    ops.extend((1..4).map(|i| ScriptOp::Send {
+                        dst: Rank(i),
+                        bytes: m,
+                    }));
+                    ops
+                } else {
+                    vec![
+                        ScriptOp::Compute { secs: 1e-4 },
+                        ScriptOp::Send {
+                            dst: Rank(0),
+                            bytes: m,
+                        },
+                        ScriptOp::Barrier,
+                        ScriptOp::Recv { src: Rank(0) },
+                    ]
+                }
+            })
+            .collect();
+        let scripted = run_script(&cl, &programs).unwrap();
+
+        assert_eq!(
+            scripted.end_time, threaded.end_time,
+            "timings must be bit-identical"
+        );
+        assert_eq!(scripted.finish_times, threaded.finish_times);
+        assert_eq!(scripted.stats, threaded.stats);
+    }
+
+    #[test]
+    fn windows_cover_each_op_in_order() {
+        let cl = cluster(2, 0.0);
+        let programs = vec![
+            vec![
+                ScriptOp::Compute { secs: 0.5 },
+                ScriptOp::Send {
+                    dst: Rank(1),
+                    bytes: KIB,
+                },
+            ],
+            vec![ScriptOp::Recv { src: Rank(0) }],
+        ];
+        let out = run_script(&cl, &programs).unwrap();
+        let w0 = &out.windows[0];
+        assert_eq!(w0.len(), 2);
+        assert_eq!(w0[0].0, 0.0);
+        assert_eq!(w0[0].1, 0.5, "compute occupies exactly its duration");
+        assert!(w0[1].0 >= w0[0].1 && w0[1].1 >= w0[1].0, "ops run in order");
+        let w1 = &out.windows[1];
+        assert_eq!(w1[0].0, 0.0);
+        assert!(w1[0].1 > 0.5, "recv completes after the send posted at 0.5");
+        assert!((out.end_time - w1[0].1).abs() < 1e-15);
+    }
+
+    #[test]
+    fn script_deadlock_is_reported() {
+        let cl = cluster(2, 0.0);
+        let programs = vec![vec![ScriptOp::Recv { src: Rank(1) }], vec![]];
+        let err = run_script(&cl, &programs).unwrap_err();
+        assert!(err.to_string().contains("deadlock"), "{err}");
+    }
+
+    #[test]
+    fn empty_scripts_finish_at_zero() {
+        let cl = cluster(3, 0.0);
+        let out = run_script(&cl, &[vec![], vec![], vec![]]).unwrap();
+        assert_eq!(out.end_time, 0.0);
+        assert_eq!(out.stats.msgs_sent, 0);
+    }
+}

@@ -15,33 +15,58 @@ use cpm_core::units::Bytes;
 pub enum TraceEvent {
     /// A send occupied the sender's tx engine over `[start, end)`.
     TxSlot {
+        /// Message id in the kernel's table.
         msg: usize,
+        /// Sending rank.
         src: Rank,
+        /// Receiving rank.
         dst: Rank,
+        /// Payload size.
         bytes: Bytes,
+        /// Slot start, virtual seconds.
         start: f64,
+        /// Slot end, virtual seconds.
         end: f64,
     },
     /// The message crossed the receiver's ingress over `[start, end)`
     /// (includes any escalation delay and uplink/ingress queueing).
     Wire {
+        /// Message id in the kernel's table.
         msg: usize,
+        /// Sending rank.
         src: Rank,
+        /// Receiving rank.
         dst: Rank,
+        /// Wire start, virtual seconds.
         start: f64,
+        /// Wire end, virtual seconds.
         end: f64,
     },
     /// The receiver's rx engine processed the message over `[start, end)`.
     RxSlot {
+        /// Message id in the kernel's table.
         msg: usize,
+        /// Receiving rank.
         dst: Rank,
+        /// Slot start, virtual seconds.
         start: f64,
+        /// Slot end, virtual seconds.
         end: f64,
     },
     /// A matching `recv` consumed the message at `at`.
-    Received { msg: usize, by: Rank, at: f64 },
+    Received {
+        /// Message id in the kernel's table.
+        msg: usize,
+        /// The rank that received it.
+        by: Rank,
+        /// When, virtual seconds.
+        at: f64,
+    },
     /// The global barrier released all ranks at `at`.
-    BarrierRelease { at: f64 },
+    BarrierRelease {
+        /// Release time, virtual seconds.
+        at: f64,
+    },
 }
 
 impl TraceEvent {
@@ -60,6 +85,7 @@ impl TraceEvent {
 /// (non-decreasing start times within each category).
 #[derive(Clone, Debug, Default)]
 pub struct Trace {
+    /// Events in kernel emission order.
     pub events: Vec<TraceEvent>,
 }
 

@@ -45,6 +45,6 @@ pub use server::{
     POLL_INTERVAL,
 };
 pub use service::{
-    Algorithm, ClusterRef, Collective, Metrics, MetricsSnapshot, ModelKind, PlannedWorkload,
-    Prediction, PublishHook, Query, Service, ServiceConfig, Verb, VERBS,
+    Algorithm, ClusterRef, Collective, Fidelity, Metrics, MetricsSnapshot, ModelKind,
+    PlannedWorkload, Prediction, PublishHook, Query, Service, ServiceConfig, Verb, VERBS,
 };

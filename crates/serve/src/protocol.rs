@@ -17,6 +17,9 @@
 //! - `plan` — critical-path prediction of a whole workload trace: per-op
 //!   algorithm choices, per-phase breakdown, and end-to-end makespan,
 //!   cached by `(fingerprint, param_version, model, trace hash)`.
+//!   `"fidelity":"des"` answers with a full discrete-event replay on the
+//!   embedded config instead (identical to `cpm workload run`); the
+//!   default `"analytic"` is the cached critical-path evaluation.
 //! - `batch` — an array of predict/select/plan requests answered in one
 //!   round trip (each element independently; one bad element does not
 //!   fail the batch).
@@ -46,7 +49,9 @@ use cpm_cluster::ClusterConfig;
 use serde_json::Value;
 
 use crate::registry::{Result, ServeError};
-use crate::service::{Algorithm, ClusterRef, Collective, ModelKind, Query, Service, Verb};
+use crate::service::{
+    Algorithm, ClusterRef, Collective, Fidelity, ModelKind, Query, Service, Verb,
+};
 
 /// A parsed request.
 #[derive(Clone, Debug)]
@@ -80,8 +85,11 @@ pub enum Request {
     Plan {
         /// The cluster to plan against.
         cluster: ClusterRef,
-        /// Model family the critical-path machine charges costs under.
+        /// Model family the critical-path machine charges costs under
+        /// (analytic fidelity only).
         model: ModelKind,
+        /// Analytic critical-path evaluation, or full DES replay.
+        fidelity: Fidelity,
         /// The submitted trace.
         trace: Box<cpm_workload::Trace>,
     },
@@ -225,6 +233,13 @@ pub fn parse_request_value(v: &Value) -> Result<Request> {
                         .ok_or_else(|| bad("field \"model\" must be a string"))?,
                 )?,
             };
+            let fidelity = match v.get("fidelity") {
+                None => Fidelity::Analytic,
+                Some(f) => Fidelity::parse(
+                    f.as_str()
+                        .ok_or_else(|| bad("field \"fidelity\" must be a string"))?,
+                )?,
+            };
             let trace = v
                 .get("trace")
                 .ok_or_else(|| bad("missing field \"trace\""))?;
@@ -233,6 +248,7 @@ pub fn parse_request_value(v: &Value) -> Result<Request> {
             Ok(Request::Plan {
                 cluster: cluster_field(v)?,
                 model,
+                fidelity,
                 trace: Box::new(trace),
             })
         }
@@ -381,6 +397,7 @@ pub fn respond(service: &Service, req: &Request) -> Result<Value> {
         Request::Plan {
             cluster,
             model,
+            fidelity: Fidelity::Analytic,
             trace,
         } => {
             let planned = service.plan(cluster, trace, *model)?;
@@ -390,11 +407,37 @@ pub fn respond(service: &Service, req: &Request) -> Result<Value> {
                     "param_version".to_string(),
                     Value::U64(planned.param_version),
                 ),
+                (
+                    "fidelity".to_string(),
+                    Value::Str(Fidelity::Analytic.as_str().to_string()),
+                ),
                 ("cached".to_string(), Value::Bool(planned.cached)),
             ];
             // Splice in the plan body (model, trace_hash, makespan, per-op
             // schedule, per-phase breakdown).
             if let Value::Map(body) = planned.plan.to_value() {
+                entries.extend(body);
+            }
+            Ok(Value::Map(entries))
+        }
+        Request::Plan {
+            cluster,
+            fidelity: Fidelity::Des,
+            trace,
+            ..
+        } => {
+            let (report, fingerprint) = service.plan_des(cluster, trace)?;
+            let mut entries = vec![
+                ("fingerprint".to_string(), Value::Str(fingerprint)),
+                (
+                    "fidelity".to_string(),
+                    Value::Str(Fidelity::Des.as_str().to_string()),
+                ),
+                ("trace_hash".to_string(), Value::Str(trace.hash())),
+            ];
+            // Splice in the replay body (makespan, message/event counters,
+            // observed per-op windows).
+            if let Value::Map(body) = report.to_value() {
                 entries.extend(body);
             }
             Ok(Value::Map(entries))

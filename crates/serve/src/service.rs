@@ -78,6 +78,39 @@ impl ModelKind {
     }
 }
 
+/// How a `plan` request evaluates the submitted trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Fidelity {
+    /// Critical-path evaluation under an estimated model (cheap,
+    /// cacheable, the default).
+    Analytic,
+    /// Full discrete-event replay of the lowered trace on the simulated
+    /// cluster — the same engine and algorithm choices as a direct
+    /// `workload run`, so both answer identically on the same trace.
+    Des,
+}
+
+impl Fidelity {
+    /// Parses the wire name (`analytic|des`).
+    pub fn parse(s: &str) -> Result<Self> {
+        match s {
+            "analytic" => Ok(Fidelity::Analytic),
+            "des" => Ok(Fidelity::Des),
+            other => Err(ServeError::Protocol(format!(
+                "unknown fidelity {other:?} (expected analytic|des)"
+            ))),
+        }
+    }
+
+    /// The wire name (the inverse of [`Fidelity::parse`]).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Fidelity::Analytic => "analytic",
+            Fidelity::Des => "des",
+        }
+    }
+}
+
 /// The collective operation being predicted.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Collective {
@@ -391,6 +424,10 @@ pub struct Metrics {
     /// Workload-planner phase timings (`phase="lower"` / `"analyze"`),
     /// fed from [`cpm_workload::PlanProfile`] on every plan-cache miss.
     plan_phase: [Histogram; 2],
+    /// Discrete events processed by DES-fidelity plan replays.
+    des_events: Counter,
+    /// Wall-clock time of each DES-fidelity plan replay, nanoseconds.
+    des_replay_ns: Histogram,
 }
 
 impl Default for Metrics {
@@ -505,6 +542,16 @@ impl Metrics {
                 "Request frames handled, by wire framing.",
                 &[("format", "binary")],
             ),
+            des_events: registry.counter(
+                "cpm_des_events_total",
+                "Discrete events processed by DES-fidelity plan replays.",
+                &[],
+            ),
+            des_replay_ns: registry.histogram(
+                "cpm_des_replay_ns",
+                "Wall-clock time of each DES-fidelity plan replay, nanoseconds.",
+                &[],
+            ),
             latency,
             plan_phase,
             registry,
@@ -548,6 +595,11 @@ impl Metrics {
     fn observe_plan_profile(&self, profile: &PlanProfile) {
         self.plan_phase[0].record(profile.lower_ns);
         self.plan_phase[1].record(profile.analyze_ns);
+    }
+
+    fn observe_des_replay(&self, events: u64, ns: u64) {
+        self.des_events.add(events);
+        self.des_replay_ns.record(ns);
     }
 
     /// Records one request's end-to-end handling latency under its verb.
@@ -942,6 +994,41 @@ impl Service {
             trace_hash: key.trace_hash,
             cached: false,
         })
+    }
+
+    /// Answers a `plan` request at DES fidelity: replays the trace on the
+    /// simulated cluster through the discrete-event engine, with algorithm
+    /// choices made under the cluster's own ground-truth parameters —
+    /// byte-for-byte the computation a direct `cpm workload run` performs,
+    /// so both answer identically on the same trace and config. Requires
+    /// an embedded config (the simulator needs the full cluster, not just
+    /// estimated parameters), and is never cached: the replay *is* the
+    /// answer. Returns the report plus the config's fingerprint.
+    pub fn plan_des(
+        &self,
+        cluster: &ClusterRef,
+        trace: &Trace,
+    ) -> Result<(cpm_workload::ReplayReport, String)> {
+        let mut sp = cpm_obs::span("service.plan_des");
+        sp.field_u64("ranks", trace.n as u64);
+        let Some(config) = cluster.config() else {
+            return Err(ServeError::Protocol(
+                "fidelity \"des\" requires an embedded \"config\" \
+                 (the simulator replays the real cluster, not estimated parameters)"
+                    .into(),
+            ));
+        };
+        trace
+            .validate()
+            .map_err(|e| ServeError::Protocol(format!("bad trace: {e}")))?;
+        let sim = cpm_netsim::SimCluster::from_config(config);
+        let choices = cpm_workload::truth_choices(&sim, trace);
+        let start = Instant::now();
+        let report = cpm_workload::replay(&sim, trace, &choices)
+            .map_err(|e| ServeError::Protocol(format!("replay failed: {e}")))?;
+        self.metrics
+            .observe_des_replay(report.events as u64, start.elapsed().as_nanos() as u64);
+        Ok((report, cluster.resolve_fingerprint()))
     }
 
     /// Predicts one collective execution time.

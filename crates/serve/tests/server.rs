@@ -248,6 +248,95 @@ fn plan_verb_round_trips_caches_and_invalidates_on_republish() {
 }
 
 #[test]
+fn plan_des_fidelity_matches_a_direct_workload_replay() {
+    let store = std::env::temp_dir().join(format!("cpm-serve-des-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store);
+    let config = ClusterConfig::ideal(ClusterSpec::homogeneous(8), 41);
+    let config_json = serde_json::to_string(&config).unwrap();
+    let trace = cpm_workload::gen::canonical("train", 8, 8192, 2).unwrap();
+    let trace_json = serde_json::to_string(&trace.to_value()).unwrap();
+    let line = format!(
+        "{{\"verb\":\"plan\",\"fidelity\":\"des\",\"trace\":{trace_json},\
+         \"config\":{config_json}}}"
+    );
+
+    let mut server = start_server(&store);
+    let addr = server.addr();
+    let served = request(addr, &line);
+    assert!(ok(&served), "{served:?}");
+    assert_eq!(
+        served.get("fidelity").and_then(Value::as_str),
+        Some("des"),
+        "{served:?}"
+    );
+
+    // The served answer must equal a direct replay (`cpm workload run`)
+    // on the same cluster and trace: same truth-tuned algorithm choices,
+    // same DES engine.
+    let sim = cpm_netsim::SimCluster::from_config(&config);
+    let choices = cpm_workload::truth_choices(&sim, &trace);
+    let report = cpm_workload::replay(&sim, &trace, &choices).unwrap();
+    assert_eq!(
+        served.get("makespan_seconds").and_then(Value::as_f64),
+        Some(report.makespan),
+        "served DES plan must be bit-identical to the direct replay"
+    );
+    assert_eq!(
+        served.get("events").and_then(Value::as_u64),
+        Some(report.events as u64)
+    );
+    assert_eq!(
+        served.get("msgs_sent").and_then(Value::as_u64),
+        Some(report.msgs_sent as u64)
+    );
+    let Some(Value::Seq(ops)) = served.get("ops") else {
+        panic!("no ops in {served:?}");
+    };
+    assert_eq!(ops.len(), report.ops.len());
+    for (served_op, replayed) in ops.iter().zip(&report.ops) {
+        assert_eq!(
+            served_op.get("start").and_then(Value::as_f64),
+            Some(replayed.start)
+        );
+        assert_eq!(
+            served_op.get("end").and_then(Value::as_f64),
+            Some(replayed.end)
+        );
+    }
+
+    // DES replays never estimate parameters and are never cached, but
+    // they do feed the unified metrics registry.
+    let stats = request(addr, "{\"verb\":\"stats\",\"format\":\"text\"}");
+    let text = stats.get("text").and_then(Value::as_str).unwrap();
+    assert!(
+        text.contains("cpm_des_events_total"),
+        "exposition must carry the DES event counter"
+    );
+    assert!(
+        text.contains("cpm_des_replay_ns"),
+        "exposition must carry the DES replay histogram"
+    );
+    let events_line = text
+        .lines()
+        .find(|l| l.starts_with("cpm_des_events_total") && !l.starts_with('#'))
+        .unwrap();
+    let counted: u64 = events_line.rsplit(' ').next().unwrap().parse().unwrap();
+    assert_eq!(counted, report.events as u64);
+
+    // A fingerprint-only DES request is rejected: the simulator needs the
+    // embedded config.
+    let fp_line = format!(
+        "{{\"verb\":\"plan\",\"fidelity\":\"des\",\"trace\":{trace_json},\
+         \"fingerprint\":\"deadbeef\"}}"
+    );
+    let rejected = request(addr, &fp_line);
+    assert_eq!(rejected.get("ok"), Some(&Value::Bool(false)));
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+#[test]
 fn oversized_and_non_utf8_lines_get_structured_errors_not_dropped_connections() {
     let store = std::env::temp_dir().join(format!("cpm-serve-maxline-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&store);

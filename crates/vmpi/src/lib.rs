@@ -15,12 +15,15 @@
 //! * [`timing`] — the MPIBlib timing methods (root / max / global) and
 //!   their trade-offs.
 
+#![warn(missing_docs)]
+
 pub mod comm;
 pub mod probe;
 pub mod runner;
 pub mod timing;
 
 pub use comm::Comm;
+pub use cpm_netsim::{ScriptOp, ScriptOutcome};
 pub use probe::one_way_times;
-pub use runner::{run, run_timed, run_timed_max, RunOutput};
+pub use runner::{run, run_program, run_timed, run_timed_max, RunOutput};
 pub use timing::{measure_with_method, TimingMethod};

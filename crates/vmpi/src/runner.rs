@@ -2,13 +2,14 @@
 
 use cpm_core::error::Result;
 use cpm_core::rank::Rank;
-use cpm_netsim::{simulate, SimCluster, SimStats};
+use cpm_netsim::{run_script, simulate, ScriptOp, ScriptOutcome, SimCluster, SimStats};
 
 use crate::comm::Comm;
 
 /// Output of [`run`]: per-rank results plus end-of-simulation times.
 #[derive(Clone, Debug)]
 pub struct RunOutput<R> {
+    /// Per-rank return values of the program.
     pub results: Vec<R>,
     /// Virtual time when the last rank finished, seconds.
     pub end_time: f64,
@@ -31,6 +32,18 @@ where
         end_time: out.end_time,
         stats: out.stats,
     })
+}
+
+/// Runs one straight-line script per rank through the kernel's threadless
+/// fast path: no OS threads, no channel round-trips, pooled events — the
+/// route workload replay takes to make 1000-rank simulations cheap. Timing
+/// semantics are identical to expressing the same operations through
+/// [`run`] with blocking [`Comm`] calls.
+///
+/// # Errors
+/// Returns a simulation error on deadlock.
+pub fn run_program(cluster: &SimCluster, programs: &[Vec<ScriptOp>]) -> Result<ScriptOutcome> {
+    run_script(cluster, programs)
 }
 
 /// Runs a *timed experiment*: every rank executes `op` `reps` times with

@@ -49,7 +49,8 @@ pub use plan::{
     PlanProfile,
 };
 pub use replay::{
-    compare, replay, CompareReport, OpResidual, P2pObservation, ReplayOp, ReplayReport,
+    compare, replay, truth_choices, CompareReport, OpResidual, P2pObservation, ReplayOp,
+    ReplayReport,
 };
 pub use trace::{OpKind, Trace, TraceOp, WorkloadError};
 

@@ -23,9 +23,6 @@
 //! `TunedCollectives`/`select` comparisons of `cpm-collectives`), then a
 //! single lowering feeds both this evaluator and the DES replay.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
 use cpm_core::rank::Rank;
 use cpm_core::traits::PointToPoint;
 use cpm_core::tree::BinomialTree;
@@ -319,14 +316,6 @@ pub fn choose(trace: &Trace, model: &PlanModel) -> Vec<Option<Algorithm>> {
         .collect()
 }
 
-/// Heap entry ordered by (time, insertion sequence).
-#[derive(Clone, Copy, Debug)]
-struct Ev {
-    t: f64,
-    seq: u64,
-    kind: EvKind,
-}
-
 #[derive(Clone, Copy, Debug, PartialEq)]
 enum EvKind {
     /// Resume a rank's program.
@@ -335,25 +324,6 @@ enum EvKind {
     TransferDone(usize),
     /// A message left the receiver's rx engine and entered the mailbox.
     Deliver(usize),
-}
-
-impl PartialEq for Ev {
-    fn eq(&self, other: &Self) -> bool {
-        self.t == other.t && self.seq == other.seq
-    }
-}
-impl Eq for Ev {}
-impl PartialOrd for Ev {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Ev {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.t
-            .total_cmp(&other.t)
-            .then_with(|| self.seq.cmp(&other.seq))
-    }
 }
 
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -386,8 +356,12 @@ struct Machine<'a> {
     /// Delivered-but-unconsumed messages per rank, delivery order.
     mailbox: Vec<Vec<usize>>,
     msgs: Vec<Msg>,
-    events: BinaryHeap<Reverse<Ev>>,
-    seq: u64,
+    /// The analytic machine's schedule runs on the same DES engine as the
+    /// simulator: keys are [`cpm_des::Seconds`] (bit-order == value order
+    /// for the machine's non-negative times) and ties break by insertion
+    /// sequence — exactly the `(total_cmp, seq)` order the old ad-hoc
+    /// binary heap used, so plan goldens are unchanged.
+    events: cpm_des::Engine<cpm_des::Seconds, EvKind>,
     barrier: Vec<(usize, usize)>,
     /// Per-op (earliest, latest) activity.
     windows: Vec<(f64, f64)>,
@@ -411,17 +385,14 @@ impl<'a> Machine<'a> {
             rx_free: vec![0.0; n],
             mailbox: vec![Vec::new(); n],
             msgs: Vec::new(),
-            events: BinaryHeap::new(),
-            seq: 0,
+            events: cpm_des::Engine::new(),
             barrier: Vec::new(),
             windows: vec![(f64::INFINITY, f64::NEG_INFINITY); ops],
         }
     }
 
     fn push(&mut self, t: f64, kind: EvKind) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.events.push(Reverse(Ev { t, seq, kind }));
+        self.events.schedule(cpm_des::Seconds::new(t), kind);
     }
 
     fn touch(&mut self, op: usize, start: f64, end: f64) {
@@ -529,20 +500,21 @@ impl<'a> Machine<'a> {
         for r in 0..self.lowered.n {
             self.push(0.0, EvKind::Wake(r));
         }
-        while let Some(Reverse(ev)) = self.events.pop() {
-            match ev.kind {
+        while let Some((at, kind)) = self.events.pop() {
+            let t = at.secs();
+            match kind {
                 EvKind::Wake(rank) => {
                     if self.state[rank] == RankState::Done {
                         continue;
                     }
-                    self.clock[rank] = self.clock[rank].max(ev.t);
+                    self.clock[rank] = self.clock[rank].max(t);
                     self.run_rank(rank);
                 }
                 EvKind::TransferDone(id) => {
                     // rx engine slot, in arrival order, posted or not.
                     let (dst, m) = (self.msgs[id].dst, self.msgs[id].m);
                     let l = self.lmo.expect("TransferDone only under LMO");
-                    let r0 = self.rx_free[dst].max(ev.t);
+                    let r0 = self.rx_free[dst].max(t);
                     let r1 = r0 + l.c[dst] + m as f64 * l.t[dst];
                     self.rx_free[dst] = r1;
                     self.push(r1, EvKind::Deliver(id));
@@ -554,7 +526,7 @@ impl<'a> Machine<'a> {
                         if want.idx() == self.msgs[id].src {
                             // Re-run the pending receive at delivery time.
                             self.state[dst] = RankState::Runnable;
-                            self.push(ev.t, EvKind::Wake(dst));
+                            self.push(t, EvKind::Wake(dst));
                         }
                     }
                 }

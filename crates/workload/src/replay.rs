@@ -10,10 +10,11 @@
 
 use cpm_core::units::Bytes;
 use cpm_netsim::SimCluster;
+use cpm_vmpi::ScriptOp;
 use serde_json::Value;
 
 use crate::lower::{lower, Algorithm, Prim};
-use crate::plan::Plan;
+use crate::plan::{Plan, PlanModel};
 use crate::trace::{OpKind, Trace, WorkloadError};
 
 /// Observed window of one op.
@@ -75,6 +76,22 @@ impl ReplayReport {
     }
 }
 
+/// Algorithm choices for a bare replay: made under the simulator's own
+/// ground-truth LMO parameters, so the replayed program matches what a
+/// tuned dispatcher would execute on that cluster. Both the CLI's
+/// `workload run` and the serve layer's `"fidelity":"des"` plan path use
+/// this, which is what makes their answers comparable on golden traces.
+pub fn truth_choices(cluster: &SimCluster, trace: &Trace) -> Vec<Option<Algorithm>> {
+    let truth = PlanModel::Lmo(cpm_models::LmoExtended::new(
+        cluster.truth.c.clone(),
+        cluster.truth.t.clone(),
+        cluster.truth.l.clone(),
+        cluster.truth.beta.clone(),
+        cpm_models::GatherEmpirics::none(),
+    ));
+    crate::plan::choose(trace, &truth)
+}
+
 /// Replays `trace` on `cluster` with the given per-op algorithm choices
 /// (use [`crate::plan::choose`] so the replay matches the plan).
 pub fn replay(
@@ -98,44 +115,45 @@ pub fn replay(
     let n_ops = trace.ops.len();
     let mut sp_des = cpm_obs::span("replay.des");
     sp_des.field_u64("ranks", trace.n as u64);
-    let out = cpm_vmpi::run(cluster, |c| {
-        let me = c.rank().idx();
-        let mut windows: Vec<Option<(f64, f64)>> = vec![None; n_ops];
-        for rp in &lowered.per_rank[me] {
-            let t0 = c.wtime();
-            match rp.prim {
-                Prim::Send { dst, m } => c.send(dst, m),
-                Prim::Recv { src } => {
-                    let _ = c.recv(src);
-                }
-                Prim::Compute { secs } => c.compute(secs),
-                Prim::Barrier => c.barrier(),
-            }
-            let t1 = c.wtime();
-            let w = windows[rp.op].get_or_insert((t0, t1));
+    // The threadless script path: lowered primitives are straight-line
+    // programs, so the kernel interprets them directly — no OS thread and
+    // no channel round-trips per rank, which is what makes 1000-rank
+    // replay cheap. Timing semantics are identical to the threaded path.
+    let programs: Vec<Vec<ScriptOp>> = lowered
+        .per_rank
+        .iter()
+        .map(|prims| {
+            prims
+                .iter()
+                .map(|rp| match rp.prim {
+                    Prim::Send { dst, m } => ScriptOp::Send { dst, bytes: m },
+                    Prim::Recv { src } => ScriptOp::Recv { src },
+                    Prim::Compute { secs } => ScriptOp::Compute { secs },
+                    Prim::Barrier => ScriptOp::Barrier,
+                })
+                .collect()
+        })
+        .collect();
+    let out =
+        cpm_vmpi::run_program(cluster, &programs).map_err(|e| WorkloadError::Sim(e.to_string()))?;
+    drop(sp_des);
+
+    // Merge per-primitive windows into per-op windows across all ranks.
+    let mut op_windows: Vec<Option<(f64, f64)>> = vec![None; n_ops];
+    for (rank, prims) in lowered.per_rank.iter().enumerate() {
+        for (k, rp) in prims.iter().enumerate() {
+            let (t0, t1) = out.windows[rank][k];
+            let w = op_windows[rp.op].get_or_insert((t0, t1));
             w.0 = w.0.min(t0);
             w.1 = w.1.max(t1);
         }
-        windows
-    })
-    .map_err(|e| WorkloadError::Sim(e.to_string()))?;
-    drop(sp_des);
-
+    }
     let ops: Vec<ReplayOp> = trace
         .ops
         .iter()
         .enumerate()
         .map(|(idx, op)| {
-            let (mut start, mut end) = (f64::INFINITY, f64::NEG_INFINITY);
-            for rank_windows in &out.results {
-                if let Some((s, e)) = rank_windows[idx] {
-                    start = start.min(s);
-                    end = end.max(e);
-                }
-            }
-            if start > end {
-                (start, end) = (0.0, 0.0);
-            }
+            let (start, end) = op_windows[idx].unwrap_or((0.0, 0.0));
             ReplayOp {
                 id: op.id,
                 phase: op.phase.clone(),

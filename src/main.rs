@@ -46,7 +46,7 @@ use cpm::estimate::{
     estimate_gather_empirics, estimate_hockney_het, estimate_loggp, estimate_plogp, EstimateConfig,
 };
 use cpm::fleet::{serve_router, FleetMap, FleetNode, Router, RouterConfig};
-use cpm::models::{GatherEmpirics, HockneyHet, LmoExtended, LogGp, PLogP};
+use cpm::models::{HockneyHet, LmoExtended, LogGp, PLogP};
 use cpm::netsim::{DriftChange, DriftSchedule, DriftShape, DriftTarget, SimCluster};
 use cpm::serve::{fingerprint, LineHandler, ResidualSummary, Server, Service, ServiceConfig};
 use cpm::stats::Summary;
@@ -396,6 +396,7 @@ straight into `cpm workload predict --trace -`.",
         flags: &[
             "trace",
             "model",
+            "fidelity",
             "nodes",
             "reps",
             "profile",
@@ -405,6 +406,7 @@ straight into `cpm workload predict --trace -`.",
         ],
         help: "\
 USAGE: cpm workload predict [--trace FILE|-] [--model lmo|hockney|loggp|plogp]
+                            [--fidelity analytic|des]
                             [--nodes N | --config FILE | --profile P] [--seed N]
                             [--noise-seed N] [--reps N]
 
@@ -413,7 +415,11 @@ an ideal homogeneous N-node cluster; otherwise --config/--profile as for
 `cpm estimate`), then predicts the trace's end-to-end makespan by
 critical-path evaluation and prints the plan as JSON: per-op algorithm
 choices and windows, per-phase breakdown, makespan. --trace reads the
-JSON-lines trace from a file or stdin (`-`, the default).",
+JSON-lines trace from a file or stdin (`-`, the default).
+
+--fidelity des skips the analytic machine and answers with a full
+discrete-event replay on the simulated cluster instead — the same
+computation as `cpm workload run`, so both print identical reports.",
         run: cmd_workload_predict,
     },
     CommandSpec {
@@ -554,7 +560,8 @@ USAGE:
   cpm fleet route   --map fleet.json [--addr HOST:PORT] [--shards N]
   cpm workload gen      [--kind train|pipeline|moe|halo] [--nodes N] [--m BYTES]
                         [--iters N] [--out trace.jsonl]
-  cpm workload predict  [--trace FILE|-] [--model M] [--nodes N] [--reps N]
+  cpm workload predict  [--trace FILE|-] [--model M] [--fidelity analytic|des]
+                        [--nodes N] [--reps N]
   cpm workload run      [--trace FILE|-] [--nodes N]
   cpm workload compare  [--trace FILE|-] [--model M] [--nodes N] [--reps N]
 
@@ -1396,20 +1403,6 @@ fn workload_model(opts: &Opts, sim: &SimCluster) -> Result<PlanModel, String> {
     Ok(model)
 }
 
-/// Algorithm choices for a bare replay (`workload run`): made under the
-/// simulator's own ground-truth LMO parameters, so the replayed program
-/// matches what a tuned dispatcher would execute on that cluster.
-fn truth_choices(sim: &SimCluster, trace: &Trace) -> Vec<Option<workload::Algorithm>> {
-    let truth = PlanModel::Lmo(LmoExtended::new(
-        sim.truth.c.clone(),
-        sim.truth.t.clone(),
-        sim.truth.l.clone(),
-        sim.truth.beta.clone(),
-        GatherEmpirics::none(),
-    ));
-    workload::choose(trace, &truth)
-}
-
 fn print_pretty(v: &Value) -> Result<(), String> {
     let json = serde_json::to_string_pretty(v).map_err(|e| e.to_string())?;
     write_stdout(&json)?;
@@ -1465,15 +1458,25 @@ fn cmd_workload_gen(opts: &Opts) -> Result<(), String> {
 fn cmd_workload_predict(opts: &Opts) -> Result<(), String> {
     let trace = read_trace(opts)?;
     let sim = workload_cluster(opts)?;
-    let model = workload_model(opts, &sim)?;
-    let plan = workload::plan(&trace, &model).map_err(|e| e.to_string())?;
-    print_pretty(&plan.to_value())
+    match opts.get("fidelity").map(String::as_str) {
+        None | Some("analytic") => {
+            let model = workload_model(opts, &sim)?;
+            let plan = workload::plan(&trace, &model).map_err(|e| e.to_string())?;
+            print_pretty(&plan.to_value())
+        }
+        Some("des") => {
+            let choices = workload::truth_choices(&sim, &trace);
+            let report = workload::replay(&sim, &trace, &choices).map_err(|e| e.to_string())?;
+            print_pretty(&report.to_value())
+        }
+        Some(other) => Err(format!("unknown fidelity {other:?} (analytic|des)")),
+    }
 }
 
 fn cmd_workload_run(opts: &Opts) -> Result<(), String> {
     let trace = read_trace(opts)?;
     let sim = workload_cluster(opts)?;
-    let choices = truth_choices(&sim, &trace);
+    let choices = workload::truth_choices(&sim, &trace);
     let report = workload::replay(&sim, &trace, &choices).map_err(|e| e.to_string())?;
     print_pretty(&report.to_value())
 }
