@@ -106,4 +106,36 @@ grep -q '"traceEvents"' "$WL_TMP/trace.json"
 "$CPM" query --addr "$ADDR" --verb shutdown >/dev/null
 wait "$SERVE_PID"
 
+echo "== hierarchical walkthrough (README 'Hierarchical clusters', live server)"
+"$CPM" spec --nodes 4 --cores 8 --out "$WL_TMP/hier.json" \
+  | grep 'topology: hierarchical (node x8 -> switch x4)' >/dev/null
+"$CPM" estimate --model lmo-hier --config "$WL_TMP/hier.json" --out "$WL_TMP/hier-model.json" \
+  | grep 'hierarchical LMO: n = 32 (2 levels)' >/dev/null
+"$CPM" predict --model-file "$WL_TMP/hier-model.json" --op bcast --m 64K --alg two-phase \
+  | grep 'selected: two-phase' >/dev/null
+"$CPM" workload gen --kind train --nodes 32 --m 64K --out "$WL_TMP/train32.jsonl" >/dev/null
+"$CPM" workload predict --trace "$WL_TMP/train32.jsonl" --model lmo-hier --nodes 4 --cores 8 \
+  | grep '"algorithm": "two-phase"' >/dev/null
+"$CPM" serve --store "$WL_TMP/hier-store" --addr 127.0.0.1:0 --engine reactor \
+  >"$WL_TMP/hier-serve.log" 2>&1 &
+HIER_PID=$!
+for _ in $(seq 1 50); do
+  HADDR="$(sed -n 's/.*listening on \([0-9.:]*\).*/\1/p' "$WL_TMP/hier-serve.log")"
+  [ -n "$HADDR" ] && break
+  sleep 0.1
+done
+[ -n "$HADDR" ] || { echo "hier serve did not report an address"; kill "$HIER_PID"; exit 1; }
+"$CPM" query --addr "$HADDR" --verb plan --trace "$WL_TMP/train32.jsonl" --model lmo-hier \
+  --config "$WL_TMP/hier.json" > "$WL_TMP/hier-plan.json"
+grep -q '"model":"lmo-hier"' "$WL_TMP/hier-plan.json"
+grep -q '"algorithm":"two-phase"' "$WL_TMP/hier-plan.json"
+# Unknown fidelity values must be a structured error, not a fallback.
+if "$CPM" query --addr "$HADDR" --verb plan --trace "$WL_TMP/train32.jsonl" \
+  --fidelity chaotic --config "$WL_TMP/hier.json" > "$WL_TMP/hier-bad.json" 2>/dev/null; then
+  echo "bad fidelity unexpectedly accepted"; kill "$HIER_PID"; exit 1
+fi
+grep -q 'unknown fidelity' "$WL_TMP/hier-bad.json"
+"$CPM" query --addr "$HADDR" --verb shutdown >/dev/null
+wait "$HIER_PID"
+
 echo "CI OK"

@@ -112,6 +112,8 @@ fn main() {
     fig.save(cpm_bench::output::results_dir())
         .expect("write results");
 
+    hierarchical_row(iters);
+
     println!();
     if lmo_wins.is_empty() {
         println!("FAIL: LMO was not strictly the most accurate model on any workload");
@@ -125,6 +127,86 @@ fn main() {
     );
 }
 
+/// The hierarchical row: the same canonical workloads on a 4-node ×
+/// 8-core cluster, planned once with the level-aware hierarchical LMO
+/// (which may pick leader-based two-phase lowerings) and once with the
+/// folded flat LMO (identical point-to-point times, flat algorithm menu
+/// only). Both plans are replayed against the DES with their own
+/// choices, so the gap isolates what level-awareness buys at schedule
+/// level. Writes `bench_results/workloads_hier.json`.
+fn hierarchical_row(iters: usize) {
+    use cpm_cluster::ClusterConfig;
+    use cpm_models::HierLmo;
+    use cpm_netsim::SimCluster;
+    use cpm_workload::{replay, PlanModel};
+
+    let (nodes, cores) = (4usize, 8usize);
+    let config = ClusterConfig::hierarchical(nodes, cores, 2009);
+    let sim = SimCluster::from_config(&config);
+    let h = HierLmo::from_truth(&sim.truth, &config.topology).expect("hierarchical truth");
+    let hier = PlanModel::LmoHier(h.clone());
+    let flat = PlanModel::Lmo(h.to_extended());
+    let n = nodes * cores;
+
+    println!();
+    println!("hierarchical row: {nodes} nodes x {cores} cores, level-aware vs flat LMO");
+    println!(
+        "{:<18} {:>10} {:>10} {:>12} {:>12}",
+        "workload", "hier err", "flat err", "hier DES", "flat DES"
+    );
+    let m: Bytes = 64 * 1024;
+    for kind in gen::CANONICAL_KINDS {
+        let trace = gen::canonical(kind, n, m, iters).expect("canonical kind");
+        let eval = |pm: &PlanModel| {
+            let p = plan(&trace, pm).expect("plan");
+            let r = replay(&sim, &trace, &choose(&trace, pm)).expect("replay");
+            (compare(&trace, &p, &r).rel_error.abs(), r.makespan)
+        };
+        let (he, hm) = eval(&hier);
+        let (fe, fm) = eval(&flat);
+        println!(
+            "{:<18} {:>9.1}% {:>9.1}% {:>10.1}ms {:>10.1}ms",
+            format!("{kind}@{}", format_bytes(m)),
+            he * 100.0,
+            fe * 100.0,
+            hm * 1e3,
+            fm * 1e3
+        );
+    }
+
+    // The figure: the training workload over a size sweep — DES makespan
+    // under each model's own choices, plus each model's prediction of its
+    // own schedule.
+    let sweep: Vec<Bytes> = vec![1024, 4096, 16 * 1024, 64 * 1024, 256 * 1024];
+    let mut fig = Figure::new(
+        "workloads_hier",
+        "train workload on 4 nodes x 8 cores: level-aware vs flat LMO",
+    );
+    let series = |label: &str, pm: &PlanModel, observed: bool| Series {
+        label: label.into(),
+        points: sweep
+            .iter()
+            .map(|&m| {
+                let t = gen::canonical("train", n, m, iters).expect("train");
+                let v = if observed {
+                    replay(&sim, &t, &choose(&t, pm)).expect("replay").makespan
+                } else {
+                    plan(&t, pm).expect("plan").makespan
+                };
+                (m, v)
+            })
+            .collect(),
+    };
+    fig.push(series("DES (hier choices)", &hier, true));
+    fig.push(series("hier LMO prediction", &hier, false));
+    fig.push(series("DES (flat choices)", &flat, true));
+    fig.push(series("flat LMO prediction", &flat, false));
+    println!();
+    print!("{}", fig.render());
+    fig.save(cpm_bench::output::results_dir())
+        .expect("write results");
+}
+
 fn replay_checked(
     ctx: &PaperContext,
     trace: &cpm_workload::Trace,
@@ -136,6 +218,7 @@ fn replay_checked(
 fn label_of(mk: ModelKind) -> &'static str {
     match mk {
         ModelKind::Lmo => "LMO",
+        ModelKind::LmoHier => "hier LMO",
         ModelKind::Hockney => "het Hockney",
         ModelKind::Loggp => "LogGP",
         ModelKind::Plogp => "PLogP",

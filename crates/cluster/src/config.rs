@@ -25,8 +25,11 @@ pub enum TruthSource {
 /// A complete, serializable simulation configuration.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ClusterConfig {
+    /// Hardware description of the cluster's nodes.
     pub spec: ClusterSpec,
+    /// Where the ground-truth communication parameters come from.
     pub truth: TruthSource,
+    /// MPI irregularity profile the simulator applies.
     pub profile: MpiProfile,
     /// Relative standard deviation of multiplicative measurement noise
     /// applied to simulated durations (0 disables noise).
@@ -80,10 +83,25 @@ impl ClusterConfig {
         }
     }
 
-    /// Resolves the ground truth (synthesizing it when seeded).
+    /// A hierarchical cluster: `nodes` machines of `cores` ranks each,
+    /// homogeneous hardware, ideal MPI profile, no noise. The link
+    /// parameters follow [`Topology::hierarchical`]'s two-level node/switch
+    /// tree.
+    pub fn hierarchical(nodes: usize, cores: usize, seed: u64) -> Self {
+        ClusterConfig {
+            topology: Topology::hierarchical(cores, nodes),
+            ..Self::ideal(ClusterSpec::homogeneous(nodes * cores), seed)
+        }
+    }
+
+    /// Resolves the ground truth (synthesizing it when seeded). Seeded
+    /// synthesis is topology-aware: a hierarchical topology lays its
+    /// per-level link parameters over the spec-derived node parameters.
     pub fn ground_truth(&self) -> GroundTruth {
         match &self.truth {
-            TruthSource::Seed(s) => GroundTruth::synthesize(&self.spec, *s),
+            TruthSource::Seed(s) => {
+                GroundTruth::synthesize_hierarchical(&self.spec, *s, &self.topology)
+            }
             TruthSource::Explicit(g) => g.clone(),
         }
     }
@@ -136,5 +154,20 @@ mod tests {
     #[test]
     fn rejects_malformed_json() {
         assert!(ClusterConfig::from_json("{\"nope\": 1}").is_err());
+    }
+
+    #[test]
+    fn hierarchical_preset_round_trips_and_resolves() {
+        let cfg = ClusterConfig::hierarchical(4, 8, 2009);
+        assert_eq!(cfg.spec.n_nodes(), 32);
+        assert_eq!(cfg.topology.ranks(), Some(32));
+        let back = ClusterConfig::from_json(&cfg.to_json()).unwrap();
+        assert_eq!(cfg, back);
+        // Topology-aware synthesis: intra-node links are faster than
+        // inter-node links.
+        let g = cfg.ground_truth();
+        use cpm_core::rank::Rank;
+        assert!(g.beta.get(Rank(0), Rank(1)) > g.beta.get(Rank(0), Rank(8)));
+        assert!(g.l.get(Rank(0), Rank(1)) < g.l.get(Rank(0), Rank(8)));
     }
 }

@@ -8,11 +8,14 @@
 //!   (`C_i`, `t_i`, `L_ij`, `β_ij`) from a spec. The simulator consumes
 //!   these; the estimators never see them and must recover them from
 //!   simulated measurements.
-//! * [`topology`] — single-switch (the paper's platform) and the
-//!   two-switch boundary-of-validity extension.
+//! * [`topology`] — single-switch (the paper's platform), the two-switch
+//!   boundary-of-validity extension, and hierarchical level trees (cores
+//!   sharing a node, nodes sharing a switch).
 //! * [`profile`] — MPI implementation profiles: the irregularity thresholds
 //!   and magnitudes the paper reports for LAM 7.1.3 and MPICH 1.2.7.
 //! * [`config`] — serde round-trip of a complete simulation configuration.
+
+#![warn(missing_docs)]
 
 pub mod config;
 pub mod profile;
@@ -23,5 +26,5 @@ pub mod truth;
 pub use config::ClusterConfig;
 pub use profile::MpiProfile;
 pub use spec::{ClusterSpec, NodeTypeSpec};
-pub use topology::Topology;
+pub use topology::{Level, Topology};
 pub use truth::{GroundTruth, SynthesisBaseline};

@@ -30,7 +30,9 @@ pub struct NodeTypeSpec {
 /// order.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ClusterSpec {
+    /// Human-readable cluster name.
     pub name: String,
+    /// Node types in table order; the cluster is their expansion.
     pub types: Vec<NodeTypeSpec>,
 }
 

@@ -10,6 +10,25 @@
 
 use serde::{Deserialize, Serialize};
 
+/// One level of a hierarchical topology: `arity` children of the previous
+/// level share an interconnect with the given link characteristics.
+///
+/// Levels are listed **innermost first**: level 0 groups individual ranks
+/// (cores sharing a node), level 1 groups level-0 blocks (nodes sharing a
+/// switch), and so on. A pair of ranks communicates over the innermost
+/// level whose blocks contain both.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Level {
+    /// Human-readable level name (`"node"`, `"switch"`, `"uplink"`, ...).
+    pub name: String,
+    /// How many units of the previous level share this interconnect.
+    pub arity: usize,
+    /// Link capacity at this level, bytes/second.
+    pub beta: f64,
+    /// Fixed one-way link latency at this level, seconds.
+    pub latency: f64,
+}
+
 /// How the cluster's nodes are wired.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize, Default)]
 pub enum Topology {
@@ -26,6 +45,13 @@ pub enum Topology {
         /// Extra fixed latency per cross-switch hop, seconds.
         uplink_latency: f64,
     },
+    /// A level tree, innermost first: ranks are numbered depth-first so
+    /// each level-`k` block is a contiguous range of `arity_0 · … · arity_k`
+    /// ranks. The total rank count is the product of all arities.
+    Hierarchical {
+        /// The levels, innermost (cores sharing a node) first.
+        levels: Vec<Level>,
+    },
 }
 
 impl Topology {
@@ -39,18 +65,85 @@ impl Topology {
         }
     }
 
+    /// The canonical two-level node/switch hierarchy: `cores` ranks per
+    /// node over a loopback-grade intra-node channel, `nodes` nodes on a
+    /// Fast-Ethernet-class switch. The intra-node level is deliberately
+    /// TCP-loopback-like (LAM-era MPI without a shared-memory RPI): a low
+    /// latency but also a modest wire rate, which is what makes
+    /// leader-based two-phase collectives pay off.
+    pub fn hierarchical(cores: usize, nodes: usize) -> Self {
+        Topology::Hierarchical {
+            levels: vec![
+                Level {
+                    name: "node".into(),
+                    arity: cores,
+                    beta: 45e6,
+                    latency: 15e-6,
+                },
+                Level {
+                    name: "switch".into(),
+                    arity: nodes,
+                    beta: 11.7e6,
+                    latency: 42e-6,
+                },
+            ],
+        }
+    }
+
+    /// Total rank count implied by a hierarchical level tree (product of
+    /// arities); `None` for the flat topologies, which carry no size.
+    pub fn ranks(&self) -> Option<usize> {
+        match self {
+            Topology::Hierarchical { levels } => {
+                Some(levels.iter().map(|l| l.arity).product::<usize>())
+            }
+            _ => None,
+        }
+    }
+
+    /// The levels of a hierarchical topology, innermost first.
+    pub fn levels(&self) -> &[Level] {
+        match self {
+            Topology::Hierarchical { levels } => levels,
+            _ => &[],
+        }
+    }
+
+    /// The index of the innermost level whose blocks contain both ranks —
+    /// the level the pair communicates over. `None` for flat topologies
+    /// or for `src == dst`.
+    pub fn level_of(&self, src: usize, dst: usize) -> Option<usize> {
+        let Topology::Hierarchical { levels } = self else {
+            return None;
+        };
+        if src == dst {
+            return None;
+        }
+        let mut block = 1usize;
+        for (k, level) in levels.iter().enumerate() {
+            block *= level.arity;
+            if src / block == dst / block {
+                return Some(k);
+            }
+        }
+        // Distinct ranks always share the outermost block when the rank
+        // count matches the level tree; treat strays as outermost.
+        Some(levels.len().saturating_sub(1))
+    }
+
     /// `true` when a transfer from `src` to `dst` crosses switches.
     pub fn crosses(&self, src: usize, dst: usize) -> bool {
         match self {
             Topology::SingleSwitch => false,
             Topology::TwoSwitch { split, .. } => (src < *split) != (dst < *split),
+            Topology::Hierarchical { .. } => false,
         }
     }
 
     /// Uplink characteristics if this topology has one.
     pub fn uplink(&self) -> Option<(f64, f64)> {
         match self {
-            Topology::SingleSwitch => None,
+            Topology::SingleSwitch | Topology::Hierarchical { .. } => None,
             Topology::TwoSwitch {
                 uplink_beta,
                 uplink_latency,
@@ -87,11 +180,34 @@ mod tests {
 
     #[test]
     fn serde_round_trip() {
-        for t in [Topology::SingleSwitch, Topology::two_switch(4, 5e6)] {
+        for t in [
+            Topology::SingleSwitch,
+            Topology::two_switch(4, 5e6),
+            Topology::hierarchical(8, 4),
+        ] {
             let json = serde_json::to_string(&t).unwrap();
             let back: Topology = serde_json::from_str(&json).unwrap();
             assert_eq!(t, back);
         }
+    }
+
+    #[test]
+    fn hierarchical_level_resolution() {
+        let t = Topology::hierarchical(8, 4); // 4 nodes × 8 cores = 32 ranks
+        assert_eq!(t.ranks(), Some(32));
+        assert_eq!(t.levels().len(), 2);
+        // Same node (block of 8) → level 0; different nodes → level 1.
+        assert_eq!(t.level_of(0, 7), Some(0));
+        assert_eq!(t.level_of(8, 15), Some(0));
+        assert_eq!(t.level_of(0, 8), Some(1));
+        assert_eq!(t.level_of(7, 31), Some(1));
+        assert_eq!(t.level_of(3, 3), None);
+        // Hierarchical carries no two-switch semantics.
+        assert!(!t.crosses(0, 31));
+        assert!(t.uplink().is_none());
+        // Flat topologies have no levels.
+        assert_eq!(Topology::SingleSwitch.level_of(0, 1), None);
+        assert_eq!(Topology::SingleSwitch.ranks(), None);
     }
 
     #[test]

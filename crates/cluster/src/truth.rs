@@ -21,6 +21,7 @@ use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::spec::ClusterSpec;
+use crate::topology::Topology;
 
 /// Ground-truth parameters of a simulated cluster, in the vocabulary of the
 /// extended LMO model.
@@ -137,6 +138,33 @@ impl GroundTruth {
         });
 
         GroundTruth { c, t, l, beta }
+    }
+
+    /// Synthesizes ground truth whose per-pair link parameters follow a
+    /// hierarchical topology: each pair's `L_ij`/`β_ij` baseline comes from
+    /// the innermost level containing both ranks (per-link jitter still
+    /// applies), while the per-node CPU parameters come from the spec as in
+    /// the flat synthesis. For flat topologies this is exactly
+    /// [`GroundTruth::synthesize`].
+    pub fn synthesize_hierarchical(spec: &ClusterSpec, seed: u64, topology: &Topology) -> Self {
+        let mut g = Self::synthesize(spec, seed);
+        let Topology::Hierarchical { levels } = topology else {
+            return g;
+        };
+        let n = g.n();
+        let base = SynthesisBaseline::default();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x51e7_70b0_7f4a_7c15);
+        g.l = SymMatrix::from_fn(n, |i, j| {
+            let jitter = 1.0 + rng.gen_range(-base.link_jitter..=base.link_jitter);
+            let k = topology.level_of(i.idx(), j.idx()).unwrap_or(0);
+            levels[k].latency * jitter
+        });
+        g.beta = SymMatrix::from_fn(n, |i, j| {
+            let jitter = 1.0 + rng.gen_range(-base.link_jitter..=base.link_jitter);
+            let k = topology.level_of(i.idx(), j.idx()).unwrap_or(0);
+            levels[k].beta * jitter
+        });
+        g
     }
 
     /// Number of nodes.
@@ -265,6 +293,27 @@ mod tests {
         // them would more than halve the time.
         let proc_part = m as f64 * (ib.t[0] + ib.t[1]) + ib.c[0] + ib.c[1];
         assert!(proc_part > 0.5 * t_ib, "proc {proc_part} of {t_ib}");
+    }
+
+    #[test]
+    fn hierarchical_synthesis_splits_intra_and_inter() {
+        let topo = Topology::hierarchical(8, 4);
+        let spec = ClusterSpec::homogeneous(32);
+        let g = GroundTruth::synthesize_hierarchical(&spec, 3, &topo);
+        // Intra-node pairs ride the fast low-latency level, inter-node the
+        // Ethernet level — with ≤6% jitter the two populations never mix.
+        for ((i, j), &b) in g.beta.iter() {
+            if topo.level_of(i.idx(), j.idx()) == Some(0) {
+                assert!(b > 40e6, "intra β_{i}{j} = {b}");
+                assert!(*g.l.get(i, j) < 20e-6, "intra L");
+            } else {
+                assert!(b < 14e6, "inter β_{i}{j} = {b}");
+                assert!(*g.l.get(i, j) > 35e-6, "inter L");
+            }
+        }
+        // Flat topologies pass through unchanged.
+        let flat = GroundTruth::synthesize_hierarchical(&spec, 3, &Topology::SingleSwitch);
+        assert_eq!(flat, GroundTruth::synthesize(&spec, 3));
     }
 
     #[test]

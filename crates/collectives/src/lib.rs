@@ -26,13 +26,20 @@
 //!   downstream application uses: estimate once, then every collective
 //!   call picks its algorithm from the model (the paper's companion
 //!   software tool \[13\]);
+//! * [`hier`] — level-aware two-phase collectives for hierarchical
+//!   clusters (binomial over node leaders, linear inside each node), with
+//!   closed-form predictions under the hierarchical LMO model and a
+//!   crossover locator;
 //! * [`measure`] — the observation harness: barrier-synchronized
 //!   repetitions timed on the root.
+
+#![warn(missing_docs)]
 
 pub mod allgather;
 pub mod alltoall;
 pub mod bcast;
 pub mod gather;
+pub mod hier;
 pub mod mapping;
 pub mod measure;
 pub mod optimized;
@@ -46,6 +53,10 @@ pub use allgather::{ring_allgather, ring_allgather_overlap};
 pub use alltoall::linear_alltoall;
 pub use bcast::{binomial_bcast, linear_bcast};
 pub use gather::{binomial_gather, linear_gather};
+pub use hier::{
+    select_bcast_hier, two_phase_allreduce, two_phase_bcast, two_phase_reduce, HierBcastAlgorithm,
+    HierBcastPrediction,
+};
 pub use optimized::optimized_gather;
 pub use reduce::{binomial_reduce, linear_reduce};
 pub use scatter::{binomial_scatter, linear_scatter};

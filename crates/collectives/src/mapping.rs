@@ -22,7 +22,9 @@ use cpm_models::collective::binomial_recursive;
 /// A mapping and its predicted binomial scatter/gather time.
 #[derive(Clone, Debug)]
 pub struct MappingChoice {
+    /// The binomial tree realizing the mapping.
     pub tree: BinomialTree,
+    /// Predicted collective time under the model, seconds.
     pub predicted: f64,
 }
 

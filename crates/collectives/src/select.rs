@@ -16,14 +16,18 @@ use cpm_models::LmoExtended;
 /// A scatter algorithm choice.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ScatterAlgorithm {
+    /// Flat-tree scatter: the root sends each block directly.
     Linear,
+    /// Binomial-tree scatter: blocks travel down a recursive-halving tree.
     Binomial,
 }
 
 /// Predictions a selection is based on.
 #[derive(Clone, Copy, Debug)]
 pub struct ScatterPrediction {
+    /// Predicted linear scatter time, seconds.
     pub linear: f64,
+    /// Predicted binomial scatter time, seconds.
     pub binomial: f64,
 }
 

@@ -20,6 +20,7 @@ use crate::experiment::{gather_observation, roundtrip_round};
 /// Outcome of an adaptive measurement, with cost accounting.
 #[derive(Clone, Debug)]
 pub struct AdaptiveOutcome {
+    /// The converged measurement.
     pub result: BenchResult,
     /// Virtual cluster time consumed, seconds.
     pub virtual_cost: f64,

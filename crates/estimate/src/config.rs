@@ -21,8 +21,11 @@ use cpm_core::units::{Bytes, KIB};
 /// fidelity ablation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum SolverVariant {
+    /// Solve with the root's send serialization overlapping the slower
+    /// child's transfer (matches the simulator's semantics).
     #[default]
     Overlap,
+    /// Solve the paper's eqs. (6)-(11) verbatim.
     Paper,
 }
 
@@ -98,6 +101,7 @@ impl EstimateConfig {
 /// An estimated model together with what the estimation cost.
 #[derive(Clone, Debug)]
 pub struct Estimated<T> {
+    /// The estimated model.
     pub model: T,
     /// Total *virtual* cluster time consumed by the communication
     /// experiments, seconds — the quantity the paper's serial-vs-parallel

@@ -16,6 +16,7 @@ use cpm_vmpi::run;
 /// Measurements of one roundtrip unit.
 #[derive(Clone, Debug)]
 pub struct PairSample {
+    /// The measured pair.
     pub pair: Pair,
     /// Roundtrip times measured on `pair.a`, one per repetition.
     pub t: Vec<f64>,
@@ -24,6 +25,7 @@ pub struct PairSample {
 /// Measurements of one one-to-two unit.
 #[derive(Clone, Debug)]
 pub struct TripletSample {
+    /// The measured triplet.
     pub triplet: Triplet,
     /// The member that acted as the root of the one-to-two communication.
     pub root: Rank,

@@ -1,0 +1,290 @@
+//! Hierarchical LMO estimation.
+//!
+//! The flat procedure of [`crate::lmo`] measures every pair and every
+//! triplet — `O(n²)` roundtrip series and `O(n³)` one-to-two series. On a
+//! hierarchical cluster the link parameters collapse to one `(L, β)` pair
+//! *per level*, so the experiment design collapses too:
+//!
+//! 1. **Per-rank `C_i`, `t_i`** still need one-to-two experiments (the
+//!    paper's eqs. (8) and (11)), but any triplet containing `i` works —
+//!    the link terms cancel against the roundtrips of the same pairs. The
+//!    ranks are partitioned into disjoint triplets of consecutive ranks,
+//!    each measured once with every member as root, giving every rank its
+//!    processing parameters from `⌈n/3⌉` units instead of `C(n,3)`.
+//! 2. **Per-level `L^(k)`, `β^(k)`** come from roundtrips over one
+//!    representative pair per level-`k` block — two ranks whose innermost
+//!    common level is `k` — solved with the already-known `C`/`t` via the
+//!    same equations and averaged across blocks (the eq. (12) redundancy,
+//!    applied per level instead of per link).
+//!
+//! The estimated per-level endpoint terms are folded into the level's
+//! `L`/`β` (the experiments cannot tell `L^(k)` from `L^(k) + 2·C^(k)`),
+//! matching [`HierLmo::from_truth`]'s convention of zero `C^(k)`/`t^(k)`.
+
+use cpm_cluster::Topology;
+use cpm_core::error::{CpmError, Result};
+use cpm_core::rank::{Pair, Rank, Triplet};
+use cpm_models::{GatherEmpirics, HierLevel, HierLmo};
+use cpm_netsim::SimCluster;
+use cpm_stats::Summary;
+
+use crate::config::{EstimateConfig, Estimated, SolverVariant};
+use crate::experiment::{one_to_two_round, roundtrip_round};
+
+fn order_by_tail(t: Triplet, root: Rank, tail: impl Fn(Rank) -> f64) -> [Rank; 2] {
+    let [x, y] = t.others(root);
+    if tail(x) <= tail(y) {
+        [x, y]
+    } else {
+        [y, x]
+    }
+}
+
+/// Estimates a hierarchical LMO model on a cluster with a hierarchical
+/// topology: per-rank `C`/`t` from disjoint triplets, per-level `L`/`β`
+/// from representative intra-level and cross-level roundtrips (see the
+/// module docs for the experiment design).
+///
+/// Fails when the cluster's topology is not hierarchical, does not cover
+/// the cluster, has a level of arity < 2, or the cluster is too small for
+/// triplets.
+pub fn estimate_hier_lmo(cluster: &SimCluster, cfg: &EstimateConfig) -> Result<Estimated<HierLmo>> {
+    let n = cluster.n();
+    let Topology::Hierarchical { levels } = &cluster.topology else {
+        return Err(CpmError::Estimation(
+            "hierarchical estimation needs a hierarchical topology".into(),
+        ));
+    };
+    if cluster.topology.ranks() != Some(n) {
+        return Err(CpmError::Estimation(format!(
+            "level tree covers {:?} ranks but the cluster has {n}",
+            cluster.topology.ranks()
+        )));
+    }
+    if levels.iter().any(|l| l.arity < 2) {
+        return Err(CpmError::Estimation(
+            "every level needs arity >= 2 to expose a representative pair".into(),
+        ));
+    }
+    if n < 3 {
+        return Err(CpmError::Estimation(
+            "the triplet procedure needs at least 3 processors".into(),
+        ));
+    }
+    let m = cfg.probe_m;
+    let mf = m as f64;
+    let mut seed = cfg.seed ^ 0x41e7;
+    let mut cost = 0.0;
+    let mut runs = 0;
+
+    // ── Phase 1: disjoint consecutive triplets → C_i, t_i ───────────────
+    let mut rounds: Vec<Vec<Triplet>> = vec![Vec::new()];
+    for start in (0..n - n % 3).step_by(3) {
+        rounds[0].push(Triplet::new(
+            Rank::from(start),
+            Rank::from(start + 1),
+            Rank::from(start + 2),
+        ));
+    }
+    if !n.is_multiple_of(3) {
+        // The leftover ranks ride a trailing triplet in a second round.
+        rounds.push(vec![Triplet::new(
+            Rank::from(n - 3),
+            Rank::from(n - 2),
+            Rank::from(n - 1),
+        )]);
+    }
+
+    let mut c = vec![0.0f64; n];
+    let mut t_per_byte = vec![0.0f64; n];
+    for round in rounds {
+        // Roundtrips over the three pair "sides" of each triplet — each
+        // side is a disjoint pair set, measurable in one simulation run.
+        let sides: [Vec<Pair>; 3] = [
+            round.iter().map(|t| Pair::new(t.a, t.b)).collect(),
+            round.iter().map(|t| Pair::new(t.a, t.c)).collect(),
+            round.iter().map(|t| Pair::new(t.b, t.c)).collect(),
+        ];
+        let mut rt0: Vec<(Pair, f64)> = Vec::new();
+        let mut rtm: Vec<(Pair, f64)> = Vec::new();
+        for side in &sides {
+            for (msg, table) in [(0u64, &mut rt0), (m, &mut rtm)] {
+                seed = seed.wrapping_add(1);
+                let (samples, end) = roundtrip_round(cluster, side, msg, msg, cfg.reps, seed)?;
+                cost += end;
+                runs += 1;
+                for s in samples {
+                    table.push((s.pair, Summary::of(&s.t).mean()));
+                }
+            }
+        }
+        let rt = |table: &[(Pair, f64)], x: Rank, y: Rank| {
+            let p = Pair::new(x, y);
+            table
+                .iter()
+                .find(|(q, _)| *q == p)
+                .map(|(_, v)| *v)
+                .expect("pair measured")
+        };
+        let order0 = |t: Triplet, root: Rank| order_by_tail(t, root, |x| rt(&rt0, root, x));
+        let order_m = |t: Triplet, root: Rank| {
+            order_by_tail(t, root, |x| (rt(&rt0, root, x) + rt(&rtm, root, x)) / 2.0)
+        };
+        seed = seed.wrapping_add(1);
+        let (s0, end0) = one_to_two_round(cluster, &round, 0, 0, cfg.reps, seed, Some(&order0))?;
+        seed = seed.wrapping_add(1);
+        let (sm, endm) = one_to_two_round(cluster, &round, m, 0, cfg.reps, seed, Some(&order_m))?;
+        cost += end0 + endm;
+        runs += 2;
+        for tr in &round {
+            for root in tr.members() {
+                let [x, y] = tr.others(root);
+                let t0 = s0
+                    .iter()
+                    .find(|s| s.triplet == *tr && s.root == root)
+                    .map(|s| Summary::of(&s.t).mean())
+                    .expect("zero sample present");
+                let tm = sm
+                    .iter()
+                    .find(|s| s.triplet == *tr && s.root == root)
+                    .map(|s| Summary::of(&s.t).mean())
+                    .expect("M sample present");
+                // Eq. (8): C from the one-to-two zero experiment, in the
+                // solver variant's calibration (see `SolverVariant`).
+                let max_rt = rt(&rt0, root, x).max(rt(&rt0, root, y));
+                let ci = match cfg.solver {
+                    SolverVariant::Paper => (t0 - max_rt) / 2.0,
+                    SolverVariant::Overlap => t0 - max_rt,
+                };
+                // Eq. (11): t from the medium-message experiment.
+                let half = |z: Rank| (rt(&rt0, root, z) + rt(&rtm, root, z)) / 2.0;
+                let c_terms = match cfg.solver {
+                    SolverVariant::Paper => 2.0 * ci,
+                    SolverVariant::Overlap => ci,
+                };
+                let ti = (tm - half(x).max(half(y)) - c_terms) / mf;
+                c[root.idx()] = ci;
+                t_per_byte[root.idx()] = ti;
+            }
+        }
+    }
+
+    // ── Phase 2: one representative pair per level-k block → L, β ───────
+    let mut hier_levels = Vec::with_capacity(levels.len());
+    let mut inner = 1usize; // ranks per block of the level below k
+    for lv in levels.iter() {
+        let block = inner * lv.arity;
+        // First rank of each level-k block paired with the first rank of
+        // that block's second sub-block: their innermost common level is k.
+        let pairs: Vec<Pair> = (0..n / block)
+            .map(|b| Pair::new(Rank::from(b * block), Rank::from(b * block + inner)))
+            .collect();
+        seed = seed.wrapping_add(1);
+        let (s0, end0) = roundtrip_round(cluster, &pairs, 0, 0, cfg.reps, seed)?;
+        seed = seed.wrapping_add(1);
+        let (sm, endm) = roundtrip_round(cluster, &pairs, m, m, cfg.reps, seed)?;
+        cost += end0 + endm;
+        runs += 2;
+        let mut l_acc = 0.0;
+        let mut ib_acc = 0.0;
+        for (z, v) in s0.iter().zip(&sm) {
+            let (i, j) = (z.pair.a, z.pair.b);
+            let rt0 = Summary::of(&z.t).mean();
+            let rtm = Summary::of(&v.t).mean();
+            // Paper eq. (8)/(11) solved for the link, C and t known.
+            let l_pair = rt0 / 2.0 - c[i.idx()] - c[j.idx()];
+            let ib_pair = (rtm / 2.0 - c[i.idx()] - l_pair - c[j.idx()]) / mf
+                - t_per_byte[i.idx()]
+                - t_per_byte[j.idx()];
+            l_acc += l_pair;
+            ib_acc += ib_pair;
+        }
+        let k = pairs.len() as f64;
+        hier_levels.push(HierLevel {
+            name: lv.name.clone(),
+            arity: lv.arity,
+            c: 0.0,
+            t: 0.0,
+            l: l_acc / k,
+            beta: k / ib_acc,
+        });
+        inner = block;
+    }
+
+    Ok(Estimated {
+        model: HierLmo::new(c, t_per_byte, hier_levels, GatherEmpirics::none()),
+        virtual_cost: cost,
+        runs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpm_cluster::ClusterConfig;
+
+    #[test]
+    fn recovers_per_level_parameters() {
+        let cfg = ClusterConfig::hierarchical(3, 4, 17);
+        let cluster = SimCluster::from_config(&cfg);
+        let est = estimate_hier_lmo(&cluster, &EstimateConfig::with_seed(5)).unwrap();
+        let h = &est.model;
+        assert_eq!(h.levels.len(), 2);
+        assert_eq!(h.n(), 12);
+        // Link jitter is ±6%, so the level means land near the nominal
+        // preset values.
+        assert!(
+            (h.levels[0].beta - 45e6).abs() / 45e6 < 0.10,
+            "intra beta {}",
+            h.levels[0].beta
+        );
+        assert!(
+            (h.levels[1].beta - 11.7e6).abs() / 11.7e6 < 0.10,
+            "inter beta {}",
+            h.levels[1].beta
+        );
+        assert!(
+            (h.levels[0].l - 15e-6).abs() / 15e-6 < 0.12,
+            "intra latency {}",
+            h.levels[0].l
+        );
+        assert!(
+            (h.levels[1].l - 42e-6).abs() / 42e-6 < 0.12,
+            "inter latency {}",
+            h.levels[1].l
+        );
+        // Per-rank processing parameters near the synthesized truth.
+        for i in 0..h.n() {
+            let rel_c = (h.c[i] - cluster.truth.c[i]).abs() / cluster.truth.c[i];
+            assert!(rel_c < 0.10, "C_{i}: {} vs {}", h.c[i], cluster.truth.c[i]);
+            let rel_t = (h.t[i] - cluster.truth.t[i]).abs() / cluster.truth.t[i];
+            assert!(rel_t < 0.15, "t_{i}: {} vs {}", h.t[i], cluster.truth.t[i]);
+        }
+        assert!(est.virtual_cost > 0.0);
+        assert!(est.runs > 0);
+    }
+
+    #[test]
+    fn estimation_predicts_p2p_times() {
+        let cfg = ClusterConfig::hierarchical(2, 6, 23);
+        let cluster = SimCluster::from_config(&cfg);
+        let est = estimate_hier_lmo(&cluster, &EstimateConfig::with_seed(9)).unwrap();
+        let truth = HierLmo::from_truth(&cluster.truth, &cluster.topology).unwrap();
+        let m = 64 * 1024;
+        for (i, j) in [(0u32, 1u32), (0, 6), (2, 3), (5, 10)] {
+            let p = est.model.time(Rank(i), Rank(j), m);
+            let q = truth.time(Rank(i), Rank(j), m);
+            let rel = (p - q).abs() / q;
+            assert!(rel < 0.10, "({i},{j}): est {p} vs truth {q} ({rel:.3})");
+        }
+    }
+
+    #[test]
+    fn rejects_flat_topologies_and_tiny_trees() {
+        let flat = SimCluster::from_config(&ClusterConfig::ideal(
+            cpm_cluster::ClusterSpec::homogeneous(8),
+            1,
+        ));
+        assert!(estimate_hier_lmo(&flat, &EstimateConfig::with_seed(1)).is_err());
+    }
+}

@@ -20,16 +20,25 @@
 //! parameters (`M1`, `M2`, escalation statistics) come from a preliminary
 //! sweep of linear gather ([`empirics`]).
 //!
+//! On hierarchical clusters the link parameters collapse to one pair per
+//! level, and so does the experiment design: [`hier`] recovers per-rank
+//! `C`/`t` from disjoint triplets and per-level `L`/`β` from one
+//! representative roundtrip per block — `O(n)` experiments instead of
+//! `O(n³)`.
+//!
 //! Two optimizations from the paper are implemented in [`schedule`]:
 //! running experiments on *non-overlapping* pairs/triplets in parallel
 //! (a single switch forwards them without contention), and reusing each
 //! processor's redundant appearances across triplets statistically instead
 //! of repeating measurements.
 
+#![warn(missing_docs)]
+
 pub mod adaptive;
 pub mod config;
 pub mod empirics;
 pub mod experiment;
+pub mod hier;
 pub mod hockney;
 pub mod lmo;
 pub mod logp;
@@ -38,6 +47,7 @@ pub mod schedule;
 pub use adaptive::{adaptive_gather, adaptive_roundtrip, AdaptiveOutcome};
 pub use config::{EstimateConfig, Estimated};
 pub use empirics::estimate_gather_empirics;
+pub use hier::estimate_hier_lmo;
 pub use hockney::{estimate_hockney_het, estimate_hockney_hom};
 pub use lmo::estimate_lmo;
 pub use logp::{estimate_loggp, estimate_logp, estimate_plogp};

@@ -1,0 +1,302 @@
+//! Hierarchical LMO: per-level communication parameters.
+//!
+//! The paper's extended LMO treats the cluster as one flat switched level.
+//! Real clusters are hierarchical — cores share a node, nodes share a
+//! switch, switches share an uplink — and the intra-node and inter-node
+//! costs differ by an order of magnitude (Task & Chauhan, arXiv 0810.2150;
+//! Barchet-Estefanel & Mounié). [`HierLmo`] keeps the per-rank processing
+//! parameters (`C_i`, `t_i`) of the flat model and replaces the per-link
+//! matrices with **per-level** parameter sets: a pair communicating over
+//! level `k` pays that level's fixed cost `C^(k)` and per-byte cost `t^(k)`
+//! at each endpoint plus the level link terms `L^(k)` and `1/β^(k)`:
+//!
+//! ```text
+//! T_ij(M) = C_i + C_j + 2·C^(k) + L^(k) + M·(t_i + t_j + 2·t^(k) + 1/β^(k))
+//! ```
+//!
+//! where `k = level(i, j)` is the innermost level whose blocks contain both
+//! ranks. Because the per-level endpoint terms enter every transfer of the
+//! level exactly twice, the model folds *losslessly* into a flat
+//! [`LmoExtended`] with effective links `L'_ij = L^(k) + 2·C^(k)` and
+//! `1/β'_ij = 1/β^(k) + 2·t^(k)` ([`HierLmo::to_extended`]) — which is how
+//! the analytic planner evaluates it without a second engine.
+
+use cpm_cluster::{GroundTruth, Topology};
+use cpm_core::matrix::SymMatrix;
+use cpm_core::rank::Rank;
+use cpm_core::traits::PointToPoint;
+use cpm_core::units::Bytes;
+use serde::{Deserialize, Serialize};
+
+use crate::lmo::{GatherEmpirics, LmoExtended};
+
+/// One level of a hierarchical LMO model, innermost first.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HierLevel {
+    /// Level name (`"node"`, `"switch"`, ...), mirrored from the topology.
+    pub name: String,
+    /// How many blocks of the previous level this level groups.
+    pub arity: usize,
+    /// Fixed per-endpoint processing cost of crossing this level, seconds.
+    pub c: f64,
+    /// Per-byte per-endpoint processing cost of this level, seconds/byte.
+    pub t: f64,
+    /// Fixed link latency of this level, seconds.
+    pub l: f64,
+    /// Link transmission rate of this level, bytes/second.
+    pub beta: f64,
+}
+
+/// The hierarchical extended LMO model: per-rank processing parameters plus
+/// per-level link parameter sets (see the module docs for the cost form).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HierLmo {
+    /// Fixed processing delay of each rank, seconds (`C_i`).
+    pub c: Vec<f64>,
+    /// Per-byte processing delay of each rank, seconds/byte (`t_i`).
+    pub t: Vec<f64>,
+    /// Per-level parameters, innermost (cores sharing a node) first. The
+    /// product of the arities equals the rank count.
+    pub levels: Vec<HierLevel>,
+    /// Empirical gather parameters (disabled by default).
+    pub gather: GatherEmpirics,
+}
+
+impl HierLmo {
+    /// Creates the model, checking that the level tree covers exactly the
+    /// ranks described by `c`/`t`.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch or an empty level list.
+    pub fn new(c: Vec<f64>, t: Vec<f64>, levels: Vec<HierLevel>, gather: GatherEmpirics) -> Self {
+        assert_eq!(c.len(), t.len(), "C and t must cover the same ranks");
+        assert!(!levels.is_empty(), "a hierarchical model needs levels");
+        let ranks: usize = levels.iter().map(|l| l.arity).product();
+        assert_eq!(
+            ranks,
+            c.len(),
+            "level tree covers {ranks} ranks but C/t cover {}",
+            c.len()
+        );
+        HierLmo {
+            c,
+            t,
+            levels,
+            gather,
+        }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> usize {
+        self.c.len()
+    }
+
+    /// The innermost level index whose blocks contain both ranks.
+    ///
+    /// # Panics
+    /// Panics on `i == j` (no self-links).
+    pub fn level_of(&self, i: Rank, j: Rank) -> usize {
+        assert_ne!(i, j, "no self-link ({i:?},{j:?}) in a hierarchy");
+        let (a, b) = (i.idx(), j.idx());
+        let mut block = 1usize;
+        for (k, level) in self.levels.iter().enumerate() {
+            block *= level.arity;
+            if a / block == b / block {
+                return k;
+            }
+        }
+        self.levels.len() - 1
+    }
+
+    /// Ranks per block of the level below the outermost one — the natural
+    /// intra-group size for leader-based two-phase collectives (for a
+    /// node/switch tree: cores per node).
+    pub fn intra_size(&self) -> usize {
+        self.levels[..self.levels.len() - 1]
+            .iter()
+            .map(|l| l.arity)
+            .product::<usize>()
+            .max(1)
+    }
+
+    /// Ideal point-to-point time of an `m`-byte transfer from `i` to `j`.
+    pub fn time(&self, i: Rank, j: Rank, m: Bytes) -> f64 {
+        let lv = &self.levels[self.level_of(i, j)];
+        let mf = m as f64;
+        self.c[i.idx()]
+            + self.c[j.idx()]
+            + 2.0 * lv.c
+            + lv.l
+            + mf * (self.t[i.idx()] + self.t[j.idx()] + 2.0 * lv.t + 1.0 / lv.beta)
+    }
+
+    /// Folds the per-level parameters into a flat [`LmoExtended`] with
+    /// identical point-to-point times: `L'_ij = L^(k) + 2·C^(k)`,
+    /// `1/β'_ij = 1/β^(k) + 2·t^(k)` for `k = level(i, j)`.
+    pub fn to_extended(&self) -> LmoExtended {
+        let n = self.n();
+        let l = SymMatrix::from_fn(n, |i, j| {
+            let lv = &self.levels[self.level_of(i, j)];
+            lv.l + 2.0 * lv.c
+        });
+        let beta = SymMatrix::from_fn(n, |i, j| {
+            let lv = &self.levels[self.level_of(i, j)];
+            1.0 / (1.0 / lv.beta + 2.0 * lv.t)
+        });
+        LmoExtended::new(self.c.clone(), self.t.clone(), l, beta, self.gather.clone())
+    }
+
+    /// Builds a hierarchical model directly from ground truth and its
+    /// topology: per-rank `C`/`t` are copied, each level's `L`/`β` is the
+    /// mean over the truth's links communicating at that level, and the
+    /// per-level endpoint terms are zero (the truth charges processing per
+    /// rank, not per level). Returns `None` for flat topologies.
+    pub fn from_truth(truth: &GroundTruth, topology: &Topology) -> Option<Self> {
+        let Topology::Hierarchical { levels } = topology else {
+            return None;
+        };
+        let n = truth.n();
+        if topology.ranks() != Some(n) {
+            return None;
+        }
+        let mut l_sum = vec![(0.0f64, 0usize); levels.len()];
+        let mut ib_sum = vec![(0.0f64, 0usize); levels.len()];
+        for ((i, j), &l) in truth.l.iter() {
+            let k = topology.level_of(i.idx(), j.idx()).unwrap_or(0);
+            l_sum[k].0 += l;
+            l_sum[k].1 += 1;
+            ib_sum[k].0 += 1.0 / truth.beta.get(i, j);
+            ib_sum[k].1 += 1;
+        }
+        let hier_levels = levels
+            .iter()
+            .enumerate()
+            .map(|(k, lv)| HierLevel {
+                name: lv.name.clone(),
+                arity: lv.arity,
+                c: 0.0,
+                t: 0.0,
+                l: if l_sum[k].1 > 0 {
+                    l_sum[k].0 / l_sum[k].1 as f64
+                } else {
+                    lv.latency
+                },
+                beta: if ib_sum[k].1 > 0 {
+                    ib_sum[k].1 as f64 / ib_sum[k].0
+                } else {
+                    lv.beta
+                },
+            })
+            .collect();
+        Some(HierLmo::new(
+            truth.c.clone(),
+            truth.t.clone(),
+            hier_levels,
+            GatherEmpirics::none(),
+        ))
+    }
+}
+
+impl PointToPoint for HierLmo {
+    fn p2p(&self, src: Rank, dst: Rank, m: Bytes) -> f64 {
+        self.time(src, dst, m)
+    }
+    fn n(&self) -> usize {
+        self.n()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpm_cluster::ClusterSpec;
+
+    fn two_level(cores: usize, nodes: usize) -> HierLmo {
+        let n = cores * nodes;
+        HierLmo::new(
+            vec![40e-6; n],
+            vec![7e-9; n],
+            vec![
+                HierLevel {
+                    name: "node".into(),
+                    arity: cores,
+                    c: 2e-6,
+                    t: 1e-9,
+                    l: 15e-6,
+                    beta: 45e6,
+                },
+                HierLevel {
+                    name: "switch".into(),
+                    arity: nodes,
+                    c: 5e-6,
+                    t: 2e-9,
+                    l: 42e-6,
+                    beta: 11.7e6,
+                },
+            ],
+            GatherEmpirics::none(),
+        )
+    }
+
+    #[test]
+    fn level_resolution_and_intra_size() {
+        let h = two_level(8, 4);
+        assert_eq!(h.n(), 32);
+        assert_eq!(h.intra_size(), 8);
+        assert_eq!(h.level_of(Rank(0), Rank(7)), 0);
+        assert_eq!(h.level_of(Rank(0), Rank(8)), 1);
+        assert_eq!(h.level_of(Rank(24), Rank(31)), 0);
+    }
+
+    #[test]
+    fn intra_is_faster_than_inter() {
+        let h = two_level(8, 4);
+        let m = 64 * 1024;
+        assert!(h.time(Rank(0), Rank(1), m) < h.time(Rank(0), Rank(8), m));
+    }
+
+    #[test]
+    fn folding_preserves_p2p_times_exactly() {
+        let h = two_level(4, 3);
+        let flat = h.to_extended();
+        for i in 0..12u32 {
+            for j in 0..12u32 {
+                if i == j {
+                    continue;
+                }
+                for m in [0u64, 1024, 64 * 1024] {
+                    let a = h.time(Rank(i), Rank(j), m);
+                    let b = flat.time(Rank(i), Rank(j), m);
+                    assert!((a - b).abs() < 1e-15, "({i},{j},{m}): {a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn from_truth_recovers_level_means() {
+        let topo = Topology::hierarchical(4, 3);
+        let spec = ClusterSpec::homogeneous(12);
+        let truth = GroundTruth::synthesize_hierarchical(&spec, 9, &topo);
+        let h = HierLmo::from_truth(&truth, &topo).unwrap();
+        assert_eq!(h.levels.len(), 2);
+        // Jitter is ±6%, so the level means land near the topology's
+        // nominal values.
+        assert!((h.levels[0].beta - 45e6).abs() / 45e6 < 0.06);
+        assert!((h.levels[1].beta - 11.7e6).abs() / 11.7e6 < 0.06);
+        assert!((h.levels[0].l - 15e-6).abs() / 15e-6 < 0.06);
+        // Per-rank processing parameters pass through untouched.
+        assert_eq!(h.c, truth.c);
+        assert_eq!(h.t, truth.t);
+        // Flat topologies yield no hierarchical model.
+        assert!(HierLmo::from_truth(&truth, &Topology::SingleSwitch).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "level tree covers")]
+    fn dimension_mismatch_rejected() {
+        let mut h = two_level(2, 2);
+        h.c.push(1e-6);
+        let _ = HierLmo::new(h.c, vec![7e-9; 5], h.levels, GatherEmpirics::none());
+    }
+}

@@ -23,16 +23,21 @@
 //! * [`hockney`], [`logp`], [`plogp`], [`lmo`] — the models themselves;
 //! * [`collective`] — generic collective predictors (linear serial/parallel
 //!   combinations, the recursive binomial formula, paper eq. (1));
+//! * [`hier`] — the hierarchical LMO extension: per-level (C, t, L, β)
+//!   parameter sets over a level tree, folding losslessly into the flat
+//!   extended model;
 //! * [`table2`] — the closed-form linear scatter/gather predictions of
 //!   Table II for all models side by side.
 
 pub mod collective;
+pub mod hier;
 pub mod hockney;
 pub mod lmo;
 pub mod logp;
 pub mod plogp;
 pub mod table2;
 
+pub use hier::{HierLevel, HierLmo};
 pub use hockney::{HockneyHet, HockneyHom};
 pub use lmo::{GatherEmpirics, GatherRegime, LmoExtended, LmoOriginal};
 pub use logp::{LogGp, LogP};

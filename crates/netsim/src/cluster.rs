@@ -69,11 +69,22 @@ impl SimCluster {
 
     /// The same cluster rewired to a different topology.
     pub fn with_topology(self, topology: Topology) -> Self {
-        if let Topology::TwoSwitch { split, .. } = &topology {
-            assert!(
-                *split > 0 && *split < self.n(),
-                "two-switch split must leave nodes on both sides"
-            );
+        match &topology {
+            Topology::TwoSwitch { split, .. } => {
+                assert!(
+                    *split > 0 && *split < self.n(),
+                    "two-switch split must leave nodes on both sides"
+                );
+            }
+            Topology::Hierarchical { .. } => {
+                let ranks = topology.ranks().unwrap_or(0);
+                assert!(
+                    ranks == self.n(),
+                    "hierarchical level tree covers {ranks} ranks but the cluster has {}",
+                    self.n()
+                );
+            }
+            Topology::SingleSwitch => {}
         }
         SimCluster { topology, ..self }
     }
@@ -171,5 +182,20 @@ mod tests {
     #[should_panic(expected = "non-negative")]
     fn negative_noise_rejected() {
         let _ = SimCluster::new(truth(), MpiProfile::ideal(), -0.1, 1);
+    }
+
+    #[test]
+    fn hierarchical_config_builds_and_checks_size() {
+        let cfg = ClusterConfig::hierarchical(2, 2, 7);
+        let sim = SimCluster::from_config(&cfg);
+        assert_eq!(sim.n(), 4);
+        assert_eq!(sim.topology.ranks(), Some(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "hierarchical level tree")]
+    fn hierarchical_size_mismatch_rejected() {
+        let sim = SimCluster::new(truth(), MpiProfile::ideal(), 0.0, 1);
+        let _ = sim.with_topology(Topology::hierarchical(8, 4)); // 32 ≠ 4
     }
 }

@@ -88,6 +88,12 @@ pub enum Request {
         /// Model family the critical-path machine charges costs under
         /// (analytic fidelity only).
         model: ModelKind,
+        /// `true` when the request named the hierarchical model
+        /// (`"model":"lmo-hier"`): the plan is evaluated under per-level
+        /// parameters derived from an embedded hierarchical config, with
+        /// level-aware (two-phase) algorithm candidates. Ignored at DES
+        /// fidelity, where the replay is hierarchy-aware by construction.
+        hier: bool,
         /// Analytic critical-path evaluation, or full DES replay.
         fidelity: Fidelity,
         /// The submitted trace.
@@ -226,12 +232,21 @@ pub fn parse_request_value(v: &Value) -> Result<Request> {
             Ok(Request::Estimate { config })
         }
         "plan" => {
-            let model = match v.get("model") {
-                None => ModelKind::Lmo,
-                Some(m) => ModelKind::parse(
-                    m.as_str()
-                        .ok_or_else(|| bad("field \"model\" must be a string"))?,
-                )?,
+            let (model, hier) = match v.get("model") {
+                None => (ModelKind::Lmo, false),
+                Some(m) => {
+                    let s = m
+                        .as_str()
+                        .ok_or_else(|| bad("field \"model\" must be a string"))?;
+                    // The hierarchical model is not one of the registry's
+                    // flat parameter families — it is derived per request
+                    // from an embedded hierarchical config.
+                    if s == "lmo-hier" {
+                        (ModelKind::Lmo, true)
+                    } else {
+                        (ModelKind::parse(s)?, false)
+                    }
+                }
             };
             let fidelity = match v.get("fidelity") {
                 None => Fidelity::Analytic,
@@ -248,6 +263,7 @@ pub fn parse_request_value(v: &Value) -> Result<Request> {
             Ok(Request::Plan {
                 cluster: cluster_field(v)?,
                 model,
+                hier,
                 fidelity,
                 trace: Box::new(trace),
             })
@@ -397,10 +413,15 @@ pub fn respond(service: &Service, req: &Request) -> Result<Value> {
         Request::Plan {
             cluster,
             model,
+            hier,
             fidelity: Fidelity::Analytic,
             trace,
         } => {
-            let planned = service.plan(cluster, trace, *model)?;
+            let planned = if *hier {
+                service.plan_hier(cluster, trace)?
+            } else {
+                service.plan(cluster, trace, *model)?
+            };
             let mut entries = vec![
                 ("fingerprint".to_string(), Value::Str(planned.fingerprint)),
                 (

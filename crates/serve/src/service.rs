@@ -996,6 +996,46 @@ impl Service {
         })
     }
 
+    /// Answers a `plan` request under the hierarchical LMO model
+    /// (`"model":"lmo-hier"`): builds per-level parameters from the
+    /// embedded config's ground truth and its level tree, then evaluates
+    /// the critical path with the level-aware chooser, which also
+    /// considers leader-based two-phase broadcast/reduce schedules. Never
+    /// cached: the model is derived from the config itself, not from the
+    /// registry's flat parameter sets, so there is no `param_version` to
+    /// key on (the response reports version 0).
+    pub fn plan_hier(&self, cluster: &ClusterRef, trace: &Trace) -> Result<PlannedWorkload> {
+        let mut sp = cpm_obs::span("service.plan_hier");
+        sp.field_u64("ranks", trace.n as u64);
+        let Some(config) = cluster.config() else {
+            return Err(ServeError::Protocol(
+                "model \"lmo-hier\" requires an embedded \"config\" \
+                 (the per-level model is derived from its topology)"
+                    .into(),
+            ));
+        };
+        trace
+            .validate()
+            .map_err(|e| ServeError::Protocol(format!("bad trace: {e}")))?;
+        let truth = config.ground_truth();
+        let Some(h) = cpm_models::HierLmo::from_truth(&truth, &config.topology) else {
+            return Err(ServeError::Protocol(
+                "model \"lmo-hier\" requires a hierarchical topology in the embedded config".into(),
+            ));
+        };
+        let (plan, profile) =
+            cpm_workload::plan_profiled(trace, &cpm_workload::PlanModel::LmoHier(h))
+                .map_err(|e| ServeError::Protocol(format!("plan failed: {e}")))?;
+        self.metrics.observe_plan_profile(&profile);
+        Ok(PlannedWorkload {
+            plan: Arc::new(plan),
+            fingerprint: cluster.resolve_fingerprint(),
+            param_version: 0,
+            trace_hash: trace.hash(),
+            cached: false,
+        })
+    }
+
     /// Answers a `plan` request at DES fidelity: replays the trace on the
     /// simulated cluster through the discrete-event engine, with algorithm
     /// choices made under the cluster's own ground-truth parameters —
@@ -1368,6 +1408,35 @@ mod tests {
         };
         let err = service.predict(&cluster, &q).unwrap_err();
         assert!(matches!(err, ServeError::Protocol(_)), "{err}");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn plan_hier_uses_the_level_model_and_requires_a_hierarchical_config() {
+        let (dir, service) = test_service("hier");
+        let trace = cpm_workload::gen::canonical("train", 8, 64 * 1024, 2).unwrap();
+
+        // An embedded hierarchical config plans under the per-level model.
+        let cluster = ClusterRef::Config(Box::new(ClusterConfig::hierarchical(4, 2, 7)));
+        let planned = service.plan_hier(&cluster, &trace).unwrap();
+        assert_eq!(planned.plan.model, cpm_workload::ModelKind::LmoHier);
+        assert!(planned.plan.makespan > 0.0);
+        assert!(!planned.cached);
+
+        // The hierarchical config fingerprints differently from the same
+        // spec on a flat topology — the level tree is part of identity.
+        let flat = small_cluster();
+        assert_ne!(planned.fingerprint, flat.resolve_fingerprint());
+
+        // A fingerprint-only reference cannot carry the level tree.
+        let by_fp = ClusterRef::Fingerprint(planned.fingerprint.clone());
+        let err = service.plan_hier(&by_fp, &trace).unwrap_err();
+        assert!(matches!(err, ServeError::Protocol(_)), "{err}");
+        assert!(err.to_string().contains("embedded"), "{err}");
+
+        // A flat embedded config is rejected with a topology error.
+        let err = service.plan_hier(&flat, &trace).unwrap_err();
+        assert!(err.to_string().contains("hierarchical topology"), "{err}");
         let _ = std::fs::remove_dir_all(dir);
     }
 

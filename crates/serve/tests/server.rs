@@ -386,3 +386,88 @@ fn oversized_and_non_utf8_lines_get_structured_errors_not_dropped_connections() 
     server.shutdown();
     let _ = std::fs::remove_dir_all(&store);
 }
+
+#[test]
+fn hier_plan_selects_two_phase_and_bad_fidelity_errors() {
+    let store = std::env::temp_dir().join(format!("cpm-serve-hier-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store);
+    let config = ClusterConfig::hierarchical(4, 8, 2009);
+    let config_json = serde_json::to_string(&config).unwrap();
+    let trace = cpm_workload::gen::canonical("train", 32, 65536, 2).unwrap();
+    let trace_json = serde_json::to_string(&trace.to_value()).unwrap();
+
+    let mut server = start_server(&store);
+    let addr = server.addr();
+
+    // A plan under "lmo-hier" derives the per-level model from the
+    // embedded config and considers the two-phase schedules; at 64 KiB on
+    // 4 nodes x 8 cores the broadcasts go two-phase.
+    let line = format!(
+        "{{\"verb\":\"plan\",\"model\":\"lmo-hier\",\"trace\":{trace_json},\
+         \"config\":{config_json}}}"
+    );
+    let served = request(addr, &line);
+    assert!(ok(&served), "{served:?}");
+    assert_eq!(
+        served.get("model").and_then(Value::as_str),
+        Some("lmo-hier")
+    );
+    let Some(Value::Seq(ops)) = served.get("ops") else {
+        panic!("no ops in {served:?}");
+    };
+    let algorithms: Vec<&str> = ops
+        .iter()
+        .filter_map(|o| o.get("algorithm").and_then(Value::as_str))
+        .collect();
+    assert!(
+        algorithms.contains(&"two-phase"),
+        "expected a two-phase op in {algorithms:?}"
+    );
+
+    // The hierarchical and flat fingerprints of the same spec differ: the
+    // level tree is part of cluster identity.
+    let hier_fp = served
+        .get("fingerprint")
+        .and_then(Value::as_str)
+        .unwrap()
+        .to_string();
+    let flat = ClusterConfig::ideal(ClusterSpec::homogeneous(32), 2009);
+    let flat_json = serde_json::to_string(&flat).unwrap();
+    let flat_line = format!(
+        "{{\"verb\":\"plan\",\"model\":\"lmo\",\"trace\":{trace_json},\
+         \"config\":{flat_json}}}"
+    );
+    let flat_served = request(addr, &flat_line);
+    assert!(ok(&flat_served), "{flat_served:?}");
+    assert_ne!(
+        flat_served.get("fingerprint").and_then(Value::as_str),
+        Some(hier_fp.as_str())
+    );
+
+    // "lmo-hier" without an embedded config is a structured error.
+    let bad_ref = format!(
+        "{{\"verb\":\"plan\",\"model\":\"lmo-hier\",\"trace\":{trace_json},\
+         \"fingerprint\":\"{hier_fp}\"}}"
+    );
+    let err = request(addr, &bad_ref);
+    assert_eq!(err.get("ok"), Some(&Value::Bool(false)));
+    let msg = err.get("error").and_then(Value::as_str).unwrap();
+    assert!(msg.contains("embedded"), "{msg}");
+
+    // An unknown fidelity value is a structured protocol error naming the
+    // accepted values, not a dropped connection.
+    let bad_fidelity = format!(
+        "{{\"verb\":\"plan\",\"fidelity\":\"chaotic\",\"trace\":{trace_json},\
+         \"config\":{config_json}}}"
+    );
+    let err = request(addr, &bad_fidelity);
+    assert_eq!(err.get("ok"), Some(&Value::Bool(false)));
+    let msg = err.get("error").and_then(Value::as_str).unwrap();
+    assert!(
+        msg.contains("unknown fidelity") && msg.contains("analytic|des"),
+        "{msg}"
+    );
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&store);
+}

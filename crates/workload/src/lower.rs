@@ -58,6 +58,15 @@ pub enum Algorithm {
     Linear,
     /// Binomial tree over the participating ranks.
     Binomial,
+    /// Leader-based two-phase schedule for hierarchical clusters: ranks are
+    /// split into contiguous groups of `intra` (the ranks sharing a node);
+    /// a binomial tree runs over the group leaders and each leader
+    /// exchanges linearly within its group. The root acts as its own
+    /// group's leader.
+    TwoPhase {
+        /// Ranks per group (cores per node).
+        intra: usize,
+    },
     /// Ring schedule (allgather).
     Ring,
     /// Rank-rotation schedule (alltoall).
@@ -70,6 +79,7 @@ impl Algorithm {
         match self {
             Algorithm::Linear => "linear",
             Algorithm::Binomial => "binomial",
+            Algorithm::TwoPhase { .. } => "two-phase",
             Algorithm::Ring => "ring",
             Algorithm::Rotation => "rotation",
         }
@@ -141,6 +151,10 @@ pub fn lower(trace: &Trace, choices: &[Option<Algorithm>]) -> Lowered {
                     lower_binomial(&mut e, n, *root, |_| *m);
                     Some(Algorithm::Binomial)
                 }
+                Algorithm::TwoPhase { intra } if intra > 0 && intra < n => {
+                    lower_two_phase_bcast(&mut e, n, *root, *m, intra);
+                    Some(Algorithm::TwoPhase { intra })
+                }
                 _ => {
                     lower_linear_root_send(&mut e, n, *root, *m);
                     Some(Algorithm::Linear)
@@ -160,6 +174,10 @@ pub fn lower(trace: &Trace, choices: &[Option<Algorithm>]) -> Lowered {
                 Algorithm::Binomial => {
                     lower_binomial_up(&mut e, n, *root, *m, gamma * *m as f64);
                     Some(Algorithm::Binomial)
+                }
+                Algorithm::TwoPhase { intra } if intra > 0 && intra < n => {
+                    lower_two_phase_reduce(&mut e, n, *root, *m, gamma * *m as f64, intra);
+                    Some(Algorithm::TwoPhase { intra })
                 }
                 _ => {
                     lower_linear_root_recv(&mut e, n, *root, *m, gamma * *m as f64);
@@ -270,6 +288,92 @@ fn lower_binomial_up(e: &mut Emitter, n: usize, root: Rank, m: Bytes, combine_se
                 tree.subtree_size(me) * m
             };
             e.send(me, parent, bytes);
+        }
+    }
+}
+
+/// The leader of the group holding `g` under a two-phase split: the root
+/// for the root's own group, the group's first rank otherwise.
+fn leader_of_group(group: usize, root: Rank, intra: usize) -> Rank {
+    if group == root.idx() / intra {
+        root
+    } else {
+        Rank((group * intra) as u32)
+    }
+}
+
+/// Two-phase broadcast: a binomial tree over the group leaders moves the
+/// payload between groups (largest sub-tree first, as in the flat binomial),
+/// then each leader sends linearly to the other members of its group.
+/// Leaders forward to child leaders before serving their own group, keeping
+/// the inter-group pipeline moving.
+fn lower_two_phase_bcast(e: &mut Emitter, n: usize, root: Rank, m: Bytes, intra: usize) {
+    let groups = n.div_ceil(intra);
+    let tree = BinomialTree::new(groups, Rank((root.idx() / intra) as u32));
+    for i in 0..n as u32 {
+        let me = Rank(i);
+        let leader = leader_of_group(me.idx() / intra, root, intra);
+        if me == leader {
+            let g = Rank((me.idx() / intra) as u32);
+            if let Some(pg) = tree.parent_of(g) {
+                e.recv(me, leader_of_group(pg.idx(), root, intra));
+            }
+            for (cg, _) in tree.children_of(g) {
+                e.send(me, leader_of_group(cg.idx(), root, intra), m);
+            }
+            let lo = (me.idx() / intra) * intra;
+            for j in lo..(lo + intra).min(n) {
+                if Rank(j as u32) != me {
+                    e.send(me, Rank(j as u32), m);
+                }
+            }
+        } else {
+            e.recv(me, leader);
+        }
+    }
+}
+
+/// Two-phase reduce: each group gathers linearly to its leader (combining
+/// after every receive), then a binomial tree over the leaders merges the
+/// per-group results upward to the root (smallest sub-tree first, as in
+/// the flat binomial reduce).
+fn lower_two_phase_reduce(
+    e: &mut Emitter,
+    n: usize,
+    root: Rank,
+    m: Bytes,
+    combine_secs: f64,
+    intra: usize,
+) {
+    let groups = n.div_ceil(intra);
+    let tree = BinomialTree::new(groups, Rank((root.idx() / intra) as u32));
+    for i in 0..n as u32 {
+        let me = Rank(i);
+        let leader = leader_of_group(me.idx() / intra, root, intra);
+        if me == leader {
+            let lo = (me.idx() / intra) * intra;
+            for j in lo..(lo + intra).min(n) {
+                if Rank(j as u32) != me {
+                    e.recv(me, Rank(j as u32));
+                    if combine_secs > 0.0 {
+                        e.emit(me, Prim::Compute { secs: combine_secs });
+                    }
+                }
+            }
+            let g = Rank((me.idx() / intra) as u32);
+            let mut children = tree.children_of(g);
+            children.reverse(); // smallest sub-tree first
+            for (cg, _) in children {
+                e.recv(me, leader_of_group(cg.idx(), root, intra));
+                if combine_secs > 0.0 {
+                    e.emit(me, Prim::Compute { secs: combine_secs });
+                }
+            }
+            if let Some(pg) = tree.parent_of(g) {
+                e.send(me, leader_of_group(pg.idx(), root, intra), m);
+            }
+        } else {
+            e.send(me, leader, m);
         }
     }
 }
@@ -399,6 +503,80 @@ mod tests {
         // Root of an 8-node binomial tree sends sub-trees of 4, 2, 1 blocks.
         assert_eq!(root_sends, vec![400, 200, 100]);
         assert_eq!(l.algorithms[0], Some(Algorithm::Binomial));
+    }
+
+    #[test]
+    fn two_phase_bcast_structure() {
+        let t = crate::trace::Trace {
+            name: "b".into(),
+            n: 8,
+            ops: vec![crate::trace::TraceOp {
+                id: 0,
+                phase: "p".into(),
+                kind: crate::trace::OpKind::Bcast {
+                    root: Rank(0),
+                    m: 64,
+                },
+            }],
+        };
+        let l = lower(&t, &[Some(Algorithm::TwoPhase { intra: 4 })]);
+        assert_eq!(l.algorithms[0], Some(Algorithm::TwoPhase { intra: 4 }));
+        // Every message is accounted for: n−1 receives in total.
+        assert_eq!(count_sends(&l), 7);
+        assert_eq!(count_recvs(&l), 7);
+        // Root (leader of group 0) sends to the other leader then its own
+        // group; rank 4 (leader of group 1) receives from the root and
+        // serves ranks 5–7; non-leaders receive exactly once.
+        let sends = |r: usize| {
+            l.per_rank[r]
+                .iter()
+                .filter_map(|p| match p.prim {
+                    Prim::Send { dst, .. } => Some(dst.idx()),
+                    _ => None,
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(sends(0), vec![4, 1, 2, 3]);
+        assert_eq!(sends(4), vec![5, 6, 7]);
+        for r in [1, 2, 3, 5, 6, 7] {
+            assert!(sends(r).is_empty());
+            assert_eq!(
+                l.per_rank[r]
+                    .iter()
+                    .filter(|p| matches!(p.prim, Prim::Recv { .. }))
+                    .count(),
+                1
+            );
+        }
+    }
+
+    #[test]
+    fn two_phase_reduce_balances_and_combines() {
+        let t = crate::trace::Trace {
+            name: "r".into(),
+            n: 12,
+            ops: vec![crate::trace::TraceOp {
+                id: 0,
+                phase: "p".into(),
+                kind: crate::trace::OpKind::Reduce {
+                    root: Rank(5), // non-leader rank: becomes its group's leader
+                    m: 128,
+                    gamma: 1e-9,
+                },
+            }],
+        };
+        let l = lower(&t, &[Some(Algorithm::TwoPhase { intra: 4 })]);
+        assert_eq!(count_sends(&l), 11);
+        assert_eq!(count_recvs(&l), 11);
+        // The root combines once per received vector: 3 intra + 2 leaders.
+        let root_combines = l.per_rank[5]
+            .iter()
+            .filter(|p| matches!(p.prim, Prim::Compute { .. }))
+            .count();
+        assert_eq!(root_combines, 5);
+        // Rank 4 defers leadership of group 1 to the root and just sends.
+        assert_eq!(l.per_rank[4].len(), 1);
+        assert!(matches!(l.per_rank[4][0].prim, Prim::Send { dst, .. } if dst == Rank(5)));
     }
 
     #[test]

@@ -28,16 +28,19 @@ use cpm_core::traits::PointToPoint;
 use cpm_core::tree::BinomialTree;
 use cpm_core::units::Bytes;
 use cpm_models::collective::{binomial_recursive_full, linear_serial};
-use cpm_models::{HockneyHet, LmoExtended, LogGp, PLogP};
+use cpm_models::{HierLmo, HockneyHet, LmoExtended, LogGp, PLogP};
 
 use crate::lower::{lower, Algorithm, Lowered, Prim};
-use crate::trace::{OpKind, Trace, WorkloadError};
+use crate::trace::{OpKind, Trace, TraceOp, WorkloadError};
 
 /// The model a plan is evaluated under.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ModelKind {
     /// The paper's heterogeneous LMO model.
     Lmo,
+    /// The hierarchical LMO extension: per-level (C, t, L, β) parameters
+    /// over a level tree, with level-aware algorithm choice.
+    LmoHier,
     /// Hockney's latency/bandwidth model.
     Hockney,
     /// LogGP with a distinct gap per byte for large messages.
@@ -47,7 +50,9 @@ pub enum ModelKind {
 }
 
 impl ModelKind {
-    /// Every model, in reporting order.
+    /// The flat models every [`ModelSet`] stores, in reporting order.
+    /// `LmoHier` is deliberately excluded: it needs a topology, so it is
+    /// built per-cluster rather than stored in a set.
     pub const ALL: [ModelKind; 4] = [
         ModelKind::Lmo,
         ModelKind::Hockney,
@@ -59,6 +64,7 @@ impl ModelKind {
     pub fn as_str(&self) -> &'static str {
         match self {
             ModelKind::Lmo => "lmo",
+            ModelKind::LmoHier => "lmo-hier",
             ModelKind::Hockney => "hockney",
             ModelKind::Loggp => "loggp",
             ModelKind::Plogp => "plogp",
@@ -69,6 +75,7 @@ impl ModelKind {
     pub fn parse(s: &str) -> Option<ModelKind> {
         match s {
             "lmo" => Some(ModelKind::Lmo),
+            "lmo-hier" => Some(ModelKind::LmoHier),
             "hockney" => Some(ModelKind::Hockney),
             "loggp" => Some(ModelKind::Loggp),
             "plogp" => Some(ModelKind::Plogp),
@@ -88,6 +95,11 @@ impl std::fmt::Display for ModelKind {
 pub enum PlanModel {
     /// An estimated extended-LMO parameter set.
     Lmo(LmoExtended),
+    /// A hierarchical LMO parameter set (per-level links over a level
+    /// tree). The machine evaluates it through its lossless fold into the
+    /// flat extended model; the algorithm chooser additionally considers
+    /// leader-based two-phase schedules.
+    LmoHier(HierLmo),
     /// An estimated per-pair Hockney fit.
     Hockney(HockneyHet),
     /// An estimated LogGP fit.
@@ -101,6 +113,7 @@ impl PlanModel {
     pub fn kind(&self) -> ModelKind {
         match self {
             PlanModel::Lmo(_) => ModelKind::Lmo,
+            PlanModel::LmoHier(_) => ModelKind::LmoHier,
             PlanModel::Hockney(_) => ModelKind::Hockney,
             PlanModel::Loggp(_) => ModelKind::Loggp,
             PlanModel::Plogp(_) => ModelKind::Plogp,
@@ -110,9 +123,20 @@ impl PlanModel {
     fn as_p2p(&self) -> &dyn PointToPoint {
         match self {
             PlanModel::Lmo(m) => m,
+            PlanModel::LmoHier(m) => m,
             PlanModel::Hockney(m) => m,
             PlanModel::Loggp(m) => m,
             PlanModel::Plogp(m) => m,
+        }
+    }
+
+    /// The model the critical-path machine evaluates: hierarchical models
+    /// fold into their equivalent flat extended-LMO form (identical
+    /// point-to-point times), everything else is itself.
+    fn machine_model(&self) -> std::borrow::Cow<'_, PlanModel> {
+        match self {
+            PlanModel::LmoHier(h) => std::borrow::Cow::Owned(PlanModel::Lmo(h.to_extended())),
+            m => std::borrow::Cow::Borrowed(m),
         }
     }
 }
@@ -133,9 +157,17 @@ pub struct ModelSet {
 
 impl ModelSet {
     /// The concrete model of the requested family (cloned out).
+    ///
+    /// # Panics
+    /// Panics for [`ModelKind::LmoHier`]: hierarchical models carry a
+    /// topology and are built per-cluster (see `cpm_models::HierLmo`), not
+    /// stored in a flat set.
     pub fn get(&self, kind: ModelKind) -> PlanModel {
         match kind {
             ModelKind::Lmo => PlanModel::Lmo(self.lmo.clone()),
+            ModelKind::LmoHier => {
+                panic!("ModelSet stores only flat models; build PlanModel::LmoHier from a HierLmo")
+            }
             ModelKind::Hockney => PlanModel::Hockney(self.hockney.clone()),
             ModelKind::Loggp => PlanModel::Loggp(self.loggp.clone()),
             ModelKind::Plogp => PlanModel::Plogp(self.plogp.clone()),
@@ -241,10 +273,65 @@ fn ceil_log2(n: usize) -> f64 {
     }
 }
 
+/// Evaluates one op in isolation under `alg` with the exact critical-path
+/// machine — the arbiter the hierarchical chooser ranks candidates with
+/// (closed forms for two-phase schedules would drift from the lowering;
+/// the machine cannot).
+fn eval_single_op(n: usize, op: &TraceOp, alg: Algorithm, model: &PlanModel) -> f64 {
+    let t = Trace {
+        name: "probe".into(),
+        n,
+        ops: vec![op.clone()],
+    };
+    let lowered = lower(&t, &[Some(alg)]);
+    let mut machine = Machine::new(&lowered, model);
+    match machine.run() {
+        Ok(()) => machine.makespan(),
+        Err(_) => f64::INFINITY,
+    }
+}
+
+/// Level-aware algorithm choice: per rooted collective, the machine-exact
+/// argmin over linear, binomial and (for bcast/reduce) the leader-based
+/// two-phase schedule with the model's natural intra-group size.
+fn choose_hier(trace: &Trace, hier: &HierLmo) -> Vec<Option<Algorithm>> {
+    let n = trace.n;
+    let flat = PlanModel::Lmo(hier.to_extended());
+    let intra = hier.intra_size();
+    let two_phase = (intra > 1 && intra < n).then_some(Algorithm::TwoPhase { intra });
+    let argmin = |op: &TraceOp, candidates: &[Algorithm]| {
+        candidates.iter().copied().min_by(|a, b| {
+            eval_single_op(n, op, *a, &flat).total_cmp(&eval_single_op(n, op, *b, &flat))
+        })
+    };
+    trace
+        .ops
+        .iter()
+        .map(|op| match &op.kind {
+            OpKind::Scatter { .. } | OpKind::Gather { .. } => {
+                argmin(op, &[Algorithm::Linear, Algorithm::Binomial])
+            }
+            OpKind::Bcast { .. } | OpKind::Reduce { .. } => {
+                let mut candidates = vec![Algorithm::Linear, Algorithm::Binomial];
+                candidates.extend(two_phase);
+                argmin(op, &candidates)
+            }
+            OpKind::Allgather { .. } => Some(Algorithm::Ring),
+            OpKind::Alltoall { .. } => Some(Algorithm::Rotation),
+            _ => None,
+        })
+        .collect()
+}
+
 /// Chooses the algorithm per collective op under `model` — the same
 /// linear-vs-binomial comparisons `TunedCollectives` and
-/// `cpm_collectives::select` make per collective, applied op by op.
+/// `cpm_collectives::select` make per collective, applied op by op. Under
+/// [`PlanModel::LmoHier`] the comparison is machine-exact and extends to
+/// the leader-based two-phase schedules (see [`Algorithm::TwoPhase`]).
 pub fn choose(trace: &Trace, model: &PlanModel) -> Vec<Option<Algorithm>> {
+    if let PlanModel::LmoHier(h) = model {
+        return choose_hier(trace, h);
+    }
     let n = trace.n;
     let pick = |linear: f64, binomial: f64| {
         if linear <= binomial {
@@ -600,7 +687,8 @@ pub fn plan_profiled(
     profile.lower_ns = elapsed_ns(t_lower);
     let t_analyze = std::time::Instant::now();
     let sp_analyze = cpm_obs::span("plan.analyze");
-    let mut machine = Machine::new(&lowered, model);
+    let machine_model = model.machine_model();
+    let mut machine = Machine::new(&lowered, &machine_model);
     machine.run()?;
 
     let ops: Vec<OpReport> = trace
@@ -841,6 +929,86 @@ mod tests {
         };
         let p = plan(&t, &PlanModel::Lmo(lmo(n))).unwrap();
         assert!((p.makespan - 1.0).abs() < 1e-12);
+    }
+
+    fn hier(cores: usize, nodes: usize) -> HierLmo {
+        let n = cores * nodes;
+        HierLmo::new(
+            vec![40e-6; n],
+            vec![7e-9; n],
+            vec![
+                cpm_models::HierLevel {
+                    name: "node".into(),
+                    arity: cores,
+                    c: 0.0,
+                    t: 0.0,
+                    l: 15e-6,
+                    beta: 45e6,
+                },
+                cpm_models::HierLevel {
+                    name: "switch".into(),
+                    arity: nodes,
+                    c: 0.0,
+                    t: 0.0,
+                    l: 42e-6,
+                    beta: 11.7e6,
+                },
+            ],
+            GatherEmpirics::none(),
+        )
+    }
+
+    #[test]
+    fn hier_chooser_picks_two_phase_when_favored() {
+        // 4 nodes × 8 cores, 64 KiB bcast: the intra-node wire is slow
+        // relative to the endpoint processing costs, so serving a node
+        // once over the switch and fanning out locally wins.
+        let h = hier(8, 4);
+        let t = Trace {
+            name: "b".into(),
+            n: 32,
+            ops: vec![TraceOp {
+                id: 0,
+                phase: "p".into(),
+                kind: OpKind::Bcast {
+                    root: Rank(0),
+                    m: 64 * 1024,
+                },
+            }],
+        };
+        let choices = choose(&t, &PlanModel::LmoHier(h.clone()));
+        assert_eq!(choices[0], Some(Algorithm::TwoPhase { intra: 8 }));
+        // The machine confirms: two-phase strictly beats the flat binomial.
+        let flat = PlanModel::Lmo(h.to_extended());
+        let two = eval_single_op(32, &t.ops[0], Algorithm::TwoPhase { intra: 8 }, &flat);
+        let bin = eval_single_op(32, &t.ops[0], Algorithm::Binomial, &flat);
+        assert!(two < bin, "two-phase {two} vs binomial {bin}");
+    }
+
+    #[test]
+    fn hier_plan_reports_its_kind_and_never_loses_to_flat_choice() {
+        let h = hier(4, 4);
+        for kind in gen::CANONICAL_KINDS {
+            let t = gen::canonical(kind, 16, 32 * 1024, 2).unwrap();
+            let hp = plan(&t, &PlanModel::LmoHier(h.clone())).unwrap();
+            assert_eq!(hp.model, ModelKind::LmoHier);
+            // Same machine semantics, strictly larger algorithm menu: the
+            // hierarchical chooser can only match or improve the flat one.
+            let fp = plan(&t, &PlanModel::Lmo(h.to_extended())).unwrap();
+            assert!(
+                hp.makespan <= fp.makespan + 1e-12,
+                "{kind}: hier {} vs flat {}",
+                hp.makespan,
+                fp.makespan
+            );
+        }
+    }
+
+    #[test]
+    fn model_kind_round_trips_lmo_hier() {
+        assert_eq!(ModelKind::parse("lmo-hier"), Some(ModelKind::LmoHier));
+        assert_eq!(ModelKind::LmoHier.as_str(), "lmo-hier");
+        assert!(!ModelKind::ALL.contains(&ModelKind::LmoHier));
     }
 
     #[test]

@@ -81,14 +81,19 @@ impl ReplayReport {
 /// tuned dispatcher would execute on that cluster. Both the CLI's
 /// `workload run` and the serve layer's `"fidelity":"des"` plan path use
 /// this, which is what makes their answers comparable on golden traces.
+/// On a hierarchical topology the choices are level-aware (the chooser's
+/// menu includes leader-based two-phase schedules).
 pub fn truth_choices(cluster: &SimCluster, trace: &Trace) -> Vec<Option<Algorithm>> {
-    let truth = PlanModel::Lmo(cpm_models::LmoExtended::new(
-        cluster.truth.c.clone(),
-        cluster.truth.t.clone(),
-        cluster.truth.l.clone(),
-        cluster.truth.beta.clone(),
-        cpm_models::GatherEmpirics::none(),
-    ));
+    let truth = match cpm_models::HierLmo::from_truth(&cluster.truth, &cluster.topology) {
+        Some(h) => PlanModel::LmoHier(h),
+        None => PlanModel::Lmo(cpm_models::LmoExtended::new(
+            cluster.truth.c.clone(),
+            cluster.truth.t.clone(),
+            cluster.truth.l.clone(),
+            cluster.truth.beta.clone(),
+            cpm_models::GatherEmpirics::none(),
+        )),
+    };
     crate::plan::choose(trace, &truth)
 }
 

@@ -43,10 +43,11 @@ use cpm::core::Rank;
 use cpm::drift::{replay, DriftConfig, DriftService, RefitReport, ReplayConfig, ReplayOutcome};
 use cpm::estimate::lmo::estimate_lmo_full;
 use cpm::estimate::{
-    estimate_gather_empirics, estimate_hockney_het, estimate_loggp, estimate_plogp, EstimateConfig,
+    estimate_gather_empirics, estimate_hier_lmo, estimate_hockney_het, estimate_loggp,
+    estimate_plogp, EstimateConfig,
 };
 use cpm::fleet::{serve_router, FleetMap, FleetNode, Router, RouterConfig};
-use cpm::models::{HockneyHet, LmoExtended, LogGp, PLogP};
+use cpm::models::{HierLmo, HockneyHet, LmoExtended, LogGp, PLogP};
 use cpm::netsim::{DriftChange, DriftSchedule, DriftShape, DriftTarget, SimCluster};
 use cpm::serve::{fingerprint, LineHandler, ResidualSummary, Server, Service, ServiceConfig};
 use cpm::stats::Summary;
@@ -62,6 +63,8 @@ enum ModelFile {
     Hockney(HockneyHet),
     Loggp(LogGp),
     Plogp(PLogP),
+    #[serde(rename = "lmo-hier")]
+    LmoHier(HierLmo),
 }
 
 /// One subcommand: its allowed flags, its help text, its implementation.
@@ -75,26 +78,39 @@ struct CommandSpec {
 const COMMANDS: &[CommandSpec] = &[
     CommandSpec {
         name: "spec",
-        flags: &["profile", "seed", "noise-seed", "out", "config"],
+        flags: &["profile", "seed", "noise-seed", "out", "config", "nodes", "cores"],
         help: "\
 USAGE: cpm spec [--profile lam|mpich|ideal] [--seed N] [--noise-seed N]
-                [--config FILE] [--out config.json]
+                [--nodes N --cores K] [--config FILE] [--out config.json]
 
 Prints the cluster specification (the paper's 16-node heterogeneous cluster,
-Table I) and optionally writes the full ClusterConfig JSON to --out.",
+Table I) and optionally writes the full ClusterConfig JSON to --out.
+
+--nodes N --cores K builds a hierarchical cluster instead: N identical
+nodes of K cores each, fast intra-node links under a slower inter-node
+switch (the multi-level LMO setting). The printed topology line shows the
+level tree; write the config with --out and feed it to
+`cpm estimate --model lmo-hier` or the serve `plan` verb.",
         run: cmd_spec,
     },
     CommandSpec {
         name: "estimate",
         flags: &["model", "profile", "seed", "noise-seed", "config", "out"],
         help: "\
-USAGE: cpm estimate --model lmo|hockney|loggp|plogp [--profile lam|mpich|ideal]
-                    [--seed N] [--noise-seed N] [--config FILE] [--out model.json]
+USAGE: cpm estimate --model lmo|hockney|loggp|plogp|lmo-hier
+                    [--profile lam|mpich|ideal] [--seed N] [--noise-seed N]
+                    [--config FILE] [--out model.json]
 
 Runs the model's communication experiments on the simulated cluster and
 prints the estimated parameters; --out persists them as a tagged JSON file
 for `cpm predict`. --noise-seed re-draws the measurement noise without
-changing the cluster's ground-truth parameters (the topology seed).",
+changing the cluster's ground-truth parameters (the topology seed).
+
+--model lmo-hier estimates the hierarchical (multi-level) LMO: per-rank
+C/t from disjoint one-to-two triplets and per-level L/β from one
+representative pair per level — O(n) experiments instead of O(n³). It
+needs a hierarchical cluster: pass a --config written by
+`cpm spec --nodes N --cores K --out`.",
         run: cmd_estimate,
     },
     CommandSpec {
@@ -112,11 +128,17 @@ Locates the empirical gather thresholds M1/M2 and escalation statistics
         name: "predict",
         flags: &["model-file", "op", "m", "root", "alg"],
         help: "\
-USAGE: cpm predict --model-file model.json --op scatter|gather --m BYTES
-                   [--root R] [--alg linear|binomial]
+USAGE: cpm predict --model-file model.json --op scatter|gather|bcast --m BYTES
+                   [--root R] [--alg linear|binomial|two-phase]
 
 Predicts a collective's execution time from a previously estimated model
-file (see `cpm estimate --out`).",
+file (see `cpm estimate --out`).
+
+With an lmo-hier model file, --op bcast predicts the level-aware
+broadcast: --alg two-phase is the leader-based two-phase algorithm
+(binomial over node leaders, then fan-out inside each node), and the
+output also reports which algorithm the model selects for this message
+size (linear, binomial or two-phase).",
         run: cmd_predict,
     },
     CommandSpec {
@@ -246,26 +268,37 @@ returns router-side counters (forwards, retries, stale reads, failures;
             "batch",
             "last",
             "wire",
+            "trace",
+            "fidelity",
         ],
         help: "\
 USAGE: cpm query [--addr HOST:PORT]
-                 [--verb predict|select|estimate|observe|drift-status|history|stats|trace|shutdown]
-                 [--model lmo|hockney|loggp|plogp] [--collective scatter|gather|bcast]
+                 [--verb predict|select|estimate|plan|observe|drift-status|history|stats|trace|shutdown]
+                 [--model lmo|hockney|loggp|plogp|lmo-hier] [--collective scatter|gather|bcast]
                  [--alg linear|binomial] [--m BYTES] [--root R]
                  [--config FILE | --fingerprint FP]
+                 [--trace FILE|-] [--fidelity analytic|des]
                  [--kind p2p|gather] [--src R] [--dst R] [--seconds T]
                  [--format json|text] [--batch FILE|-] [--wire jsonl|binary]
 
 Sends one request to a running `cpm serve` (default 127.0.0.1:7971) and
-prints the JSON response. predict/select/estimate identify the cluster by
-an embedded --config file or by --fingerprint; stats and shutdown need
-neither. --verb stats reports cache counters plus per-verb latency
-quantiles; --format text renders it as a Prometheus-style exposition
-instead of JSON. The drift verbs take --fingerprint: observe ingests one
-measured transfer time (--kind p2p with --src/--dst, or --kind gather
-with --root, plus --m and --seconds) and reports any drift events it
-raises; drift-status prints the staleness report; history lists parameter
-versions with their re-estimation lineage.
+prints the JSON response. predict/select/estimate/plan identify the
+cluster by an embedded --config file or by --fingerprint; stats and
+shutdown need neither. --verb stats reports cache counters plus per-verb
+latency quantiles; --format text renders it as a Prometheus-style
+exposition instead of JSON. The drift verbs take --fingerprint: observe
+ingests one measured transfer time (--kind p2p with --src/--dst, or
+--kind gather with --root, plus --m and --seconds) and reports any drift
+events it raises; drift-status prints the staleness report; history lists
+parameter versions with their re-estimation lineage.
+
+--verb plan submits a workload trace (--trace FILE, or stdin for `-`; see
+`cpm workload gen`) and returns the server's plan: per-op algorithm
+choices and the critical-path makespan. Optional \"model\" (--model,
+default lmo; lmo-hier plans with the hierarchical LMO and needs an
+embedded hierarchical --config) and \"fidelity\" (--fidelity, default
+analytic; des replays the trace on the server's discrete-event simulator;
+anything else is a structured error) fields shape the planning machine.
 
 --batch FILE sends every JSON request line in FILE (`-` for stdin) as one
 `batch` round trip — the elements must be predict, select or plan
@@ -388,7 +421,15 @@ communication op per line): a data-parallel training step (reduce+bcast
 allreduce per layer), a pipeline-parallel p2p chain, an MoE-style
 alltoall, or a 2-D halo exchange. Defaults: train, 16 nodes, 16K per op,
 2 iterations. Writes to stdout unless --out is given, so it pipes
-straight into `cpm workload predict --trace -`.",
+straight into `cpm workload predict --trace -`.
+
+The same trace is the payload of the serve `plan` verb (`cpm query --verb
+plan --trace FILE`): the request embeds the trace JSON plus two optional
+string fields, \"model\" (lmo, the default | hockney | loggp | plogp |
+lmo-hier) and \"fidelity\". \"fidelity\" picks the planning machine:
+\"analytic\" (the default) evaluates the model's closed forms along the
+critical path, \"des\" replays the trace on the server's discrete-event
+simulator; any other value is rejected with a structured error.",
         run: cmd_workload_gen,
     },
     CommandSpec {
@@ -398,6 +439,7 @@ straight into `cpm workload predict --trace -`.",
             "model",
             "fidelity",
             "nodes",
+            "cores",
             "reps",
             "profile",
             "seed",
@@ -405,29 +447,46 @@ straight into `cpm workload predict --trace -`.",
             "config",
         ],
         help: "\
-USAGE: cpm workload predict [--trace FILE|-] [--model lmo|hockney|loggp|plogp]
+USAGE: cpm workload predict [--trace FILE|-]
+                            [--model lmo|hockney|loggp|plogp|lmo-hier]
                             [--fidelity analytic|des]
-                            [--nodes N | --config FILE | --profile P] [--seed N]
-                            [--noise-seed N] [--reps N]
+                            [--nodes N [--cores K] | --config FILE | --profile P]
+                            [--seed N] [--noise-seed N] [--reps N]
 
 Estimates the chosen model's parameters on the cluster (--nodes N builds
-an ideal homogeneous N-node cluster; otherwise --config/--profile as for
+an ideal homogeneous N-node cluster, --nodes N --cores K a hierarchical
+N-node K-core cluster; otherwise --config/--profile as for
 `cpm estimate`), then predicts the trace's end-to-end makespan by
 critical-path evaluation and prints the plan as JSON: per-op algorithm
 choices and windows, per-phase breakdown, makespan. --trace reads the
 JSON-lines trace from a file or stdin (`-`, the default).
 
+--model lmo-hier plans with the hierarchical LMO (needs a hierarchical
+cluster): per-op algorithm choice considers the level-aware two-phase
+lowerings next to the flat linear/binomial ones, and the chosen
+algorithm is reported per op in the plan JSON.
+
 --fidelity des skips the analytic machine and answers with a full
 discrete-event replay on the simulated cluster instead — the same
-computation as `cpm workload run`, so both print identical reports.",
+computation as `cpm workload run`, so both print identical reports. Any
+other --fidelity value is a structured error, matching the serve `plan`
+verb's \"fidelity\" field.",
         run: cmd_workload_predict,
     },
     CommandSpec {
         name: "workload run",
-        flags: &["trace", "nodes", "profile", "seed", "noise-seed", "config"],
+        flags: &[
+            "trace",
+            "nodes",
+            "cores",
+            "profile",
+            "seed",
+            "noise-seed",
+            "config",
+        ],
         help: "\
-USAGE: cpm workload run [--trace FILE|-] [--nodes N | --config FILE |
-                        --profile P] [--seed N] [--noise-seed N]
+USAGE: cpm workload run [--trace FILE|-] [--nodes N [--cores K] |
+                        --config FILE | --profile P] [--seed N] [--noise-seed N]
 
 Replays the trace as a virtual-MPI program on the simulated cluster (the
 same lowering the predictor evaluates analytically) and prints the
@@ -441,6 +500,7 @@ Deterministic for a fixed trace and cluster seed.",
             "trace",
             "model",
             "nodes",
+            "cores",
             "reps",
             "profile",
             "seed",
@@ -448,9 +508,10 @@ Deterministic for a fixed trace and cluster seed.",
             "config",
         ],
         help: "\
-USAGE: cpm workload compare [--trace FILE|-] [--model lmo|hockney|loggp|plogp]
-                            [--nodes N | --config FILE | --profile P] [--seed N]
-                            [--noise-seed N] [--reps N]
+USAGE: cpm workload compare [--trace FILE|-]
+                            [--model lmo|hockney|loggp|plogp|lmo-hier]
+                            [--nodes N [--cores K] | --config FILE | --profile P]
+                            [--seed N] [--noise-seed N] [--reps N]
 
 Predicts the trace under the chosen model (estimated from communication
 experiments, as `workload predict`) AND replays it through the simulator,
@@ -538,18 +599,21 @@ const USAGE: &str = "\
 cpm — communication performance models for switched clusters
 
 USAGE:
-  cpm spec      [--profile lam|mpich|ideal] [--seed N] [--out config.json]
-  cpm estimate  --model lmo|hockney|loggp|plogp [--config FILE] [--out model.json]
+  cpm spec      [--profile lam|mpich|ideal] [--seed N] [--nodes N --cores K]
+                [--out config.json]
+  cpm estimate  --model lmo|hockney|loggp|plogp|lmo-hier [--config FILE]
+                [--out model.json]
   cpm empirics  [--config FILE]
-  cpm predict   --model-file model.json --op scatter|gather --m BYTES
-                [--root R] [--alg linear|binomial]
+  cpm predict   --model-file model.json --op scatter|gather|bcast --m BYTES
+                [--root R] [--alg linear|binomial|two-phase]
   cpm observe   --op scatter|gather|bcast|alltoall --m BYTES
                 [--alg linear|binomial] [--reps N] [--config FILE]
   cpm serve     [--store DIR] [--addr HOST:PORT] [--seed N] [--reps N]
                 [--fleet MAP.json --node NAME]
-  cpm query     [--addr HOST:PORT] [--verb predict|select|estimate|observe|
+  cpm query     [--addr HOST:PORT] [--verb predict|select|estimate|plan|observe|
                 drift-status|history|stats|trace|shutdown] [--model M] [--collective C]
                 [--alg A] [--m BYTES] [--root R] [--config FILE | --fingerprint FP]
+                [--trace FILE|-] [--fidelity analytic|des]
                 [--kind p2p|gather] [--src R] [--dst R] [--seconds T]
   cpm trace     [--addr HOST:PORT] [--out trace.json] [--last N]
   cpm drift replay  [--store DIR] [--schedule FILE] [--epochs N] [--obs N]
@@ -561,9 +625,10 @@ USAGE:
   cpm workload gen      [--kind train|pipeline|moe|halo] [--nodes N] [--m BYTES]
                         [--iters N] [--out trace.jsonl]
   cpm workload predict  [--trace FILE|-] [--model M] [--fidelity analytic|des]
-                        [--nodes N] [--reps N]
-  cpm workload run      [--trace FILE|-] [--nodes N]
-  cpm workload compare  [--trace FILE|-] [--model M] [--nodes N] [--reps N]
+                        [--nodes N [--cores K]] [--reps N]
+  cpm workload run      [--trace FILE|-] [--nodes N [--cores K]]
+  cpm workload compare  [--trace FILE|-] [--model M] [--nodes N [--cores K]]
+                        [--reps N]
 
 Run `cpm <command> --help` for per-command details.
 
@@ -632,9 +697,59 @@ fn parse_bytes(opts: &Opts, key: &str) -> Result<Bytes, String> {
 }
 
 fn cmd_spec(opts: &Opts) -> Result<(), String> {
-    let (config, sim) = cluster_from(opts)?;
-    println!("cluster: {} ({} nodes)", config.spec.name, sim.n());
+    let (config, sim) = if opts.contains_key("nodes") || opts.contains_key("cores") {
+        if opts.contains_key("config") {
+            return Err("give either --nodes/--cores or --config, not both".into());
+        }
+        let dim = |key: &str| -> Result<usize, String> {
+            let raw = opts
+                .get(key)
+                .ok_or_else(|| "a hierarchical spec needs both --nodes and --cores".to_string())?;
+            let v = raw.parse::<usize>().map_err(|e| format!("--{key}: {e}"))?;
+            if v < 2 {
+                return Err(format!("--{key} must be at least 2"));
+            }
+            Ok(v)
+        };
+        let (nodes, cores) = (dim("nodes")?, dim("cores")?);
+        let seed = opts
+            .get("seed")
+            .map(|s| s.parse::<u64>().map_err(|e| e.to_string()))
+            .transpose()?
+            .unwrap_or(2009);
+        let mut config = ClusterConfig::hierarchical(nodes, cores, seed);
+        if let Some(raw) = opts.get("noise-seed") {
+            config.noise_seed = Some(
+                raw.parse::<u64>()
+                    .map_err(|e| format!("--noise-seed: {e}"))?,
+            );
+        }
+        let sim = SimCluster::from_config(&config);
+        (config, sim)
+    } else {
+        cluster_from(opts)?
+    };
+    let levels = config.topology.levels();
+    let unit = if levels.is_empty() { "nodes" } else { "ranks" };
+    println!("cluster: {} ({} {unit})", config.spec.name, sim.n());
     println!("profile: {}", config.profile.name);
+    if !levels.is_empty() {
+        let tree = levels
+            .iter()
+            .map(|l| format!("{} x{}", l.name, l.arity))
+            .collect::<Vec<_>>()
+            .join(" -> ");
+        println!("topology: hierarchical ({tree})");
+        for l in levels {
+            println!(
+                "  level {:<6}: arity {:>2}, latency {:5.1} µs, beta {:6.1} MB/s",
+                l.name,
+                l.arity,
+                l.latency * 1e6,
+                l.beta / 1e6
+            );
+        }
+    }
     for (k, t) in config.spec.types.iter().enumerate() {
         println!(
             "  type {}: {} — {} ({}x)",
@@ -655,7 +770,7 @@ fn cmd_estimate(opts: &Opts) -> Result<(), String> {
     let (_, sim) = cluster_from(opts)?;
     let which = opts
         .get("model")
-        .ok_or("--model is required (lmo|hockney|loggp|plogp)")?;
+        .ok_or("--model is required (lmo|hockney|loggp|plogp|lmo-hier)")?;
     let cfg = EstimateConfig::with_seed(0xC11);
     let (file, cost, runs) = match which.as_str() {
         "lmo" => {
@@ -705,7 +820,35 @@ fn cmd_estimate(opts: &Opts) -> Result<(), String> {
             );
             (ModelFile::Plogp(e.model), e.virtual_cost, e.runs)
         }
-        other => return Err(format!("unknown model {other:?}")),
+        "lmo-hier" => {
+            let e = estimate_hier_lmo(&sim, &cfg).map_err(|e| e.to_string())?;
+            let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+            println!(
+                "hierarchical LMO: n = {} ({} levels)",
+                e.model.n(),
+                e.model.levels.len()
+            );
+            println!(
+                "  per rank: mean C = {:5.1} µs, mean t = {:5.2} ns/B",
+                mean(&e.model.c) * 1e6,
+                mean(&e.model.t) * 1e9
+            );
+            for l in &e.model.levels {
+                println!(
+                    "  level {:<6}: arity {:>2}, L = {:5.1} µs, beta = {:6.1} MB/s",
+                    l.name,
+                    l.arity,
+                    l.l * 1e6,
+                    l.beta / 1e6
+                );
+            }
+            (ModelFile::LmoHier(e.model), e.virtual_cost, e.runs)
+        }
+        other => {
+            return Err(format!(
+                "unknown model {other:?} (lmo|hockney|loggp|plogp|lmo-hier)"
+            ))
+        }
     };
     println!("estimation: {runs} runs, {cost:.1} s of virtual cluster time");
     if let Some(path) = opts.get("out") {
@@ -761,6 +904,25 @@ fn cmd_predict(opts: &Opts) -> Result<(), String> {
         (ModelFile::Hockney(model), "scatter" | "gather") => model.linear_serial(root, m),
         (ModelFile::Loggp(model), "scatter" | "gather") => model.linear(m),
         (ModelFile::Plogp(model), "scatter" | "gather") => model.linear(m),
+        (ModelFile::LmoHier(model), "bcast") => match alg {
+            "linear" => cpm::collectives::hier::linear_bcast_time(model, root, m),
+            "binomial" => cpm::collectives::hier::binomial_bcast_time(model, root, m),
+            "two-phase" => cpm::collectives::hier::two_phase_bcast_time(model, root, m),
+            other => {
+                return Err(format!(
+                    "unknown --alg {other:?} (linear|binomial|two-phase)"
+                ))
+            }
+        },
+        (ModelFile::LmoHier(model), "scatter") if alg == "binomial" => {
+            let flat = model.to_extended();
+            let tree = cpm::core::BinomialTree::new(flat.c.len(), root);
+            flat.binomial_scatter(&tree, m)
+        }
+        (ModelFile::LmoHier(model), "scatter") => model.to_extended().linear_scatter(root, m),
+        (ModelFile::LmoHier(model), "gather") => {
+            model.to_extended().linear_gather(root, m).expected
+        }
         (_, other) => return Err(format!("unknown op {other:?}")),
     };
     println!(
@@ -768,6 +930,16 @@ fn cmd_predict(opts: &Opts) -> Result<(), String> {
         format_bytes(m),
         prediction * 1e3
     );
+    if let (ModelFile::LmoHier(model), "bcast") = (&file, op.as_str()) {
+        let p = cpm::collectives::hier::predict_bcast_hier(model, root, m);
+        println!(
+            "selected: {} (linear {:.3} ms, binomial {:.3} ms, two-phase {:.3} ms)",
+            p.best().as_str(),
+            p.linear * 1e3,
+            p.binomial * 1e3,
+            p.two_phase * 1e3
+        );
+    }
     Ok(())
 }
 
@@ -1223,7 +1395,7 @@ fn build_query_request(opts: &Opts) -> Result<Value, String> {
     let mut entries: Vec<(String, Value)> =
         vec![("verb".to_string(), Value::Str(verb.to_string()))];
     let mut push = |k: &str, v: Value| entries.push((k.to_string(), v));
-    let needs_cluster = matches!(verb, "predict" | "select" | "estimate");
+    let needs_cluster = matches!(verb, "predict" | "select" | "estimate" | "plan");
     if needs_cluster {
         match (opts.get("config"), opts.get("fingerprint")) {
             (Some(path), None) => {
@@ -1316,10 +1488,20 @@ fn build_query_request(opts: &Opts) -> Result<Value, String> {
                 );
             }
         }
+        "plan" => {
+            let trace = read_trace(opts)?;
+            push("trace", trace.to_value());
+            if let Some(model) = opts.get("model") {
+                push("model", Value::Str(model.clone()));
+            }
+            if let Some(fidelity) = opts.get("fidelity") {
+                push("fidelity", Value::Str(fidelity.clone()));
+            }
+        }
         "estimate" | "drift-status" | "history" | "shutdown" => {}
         other => {
             return Err(format!(
-                "unknown verb {other:?} (expected predict|select|estimate|observe|\
+                "unknown verb {other:?} (expected predict|select|estimate|plan|observe|\
                  drift-status|history|stats|trace|shutdown)"
             ))
         }
@@ -1328,8 +1510,9 @@ fn build_query_request(opts: &Opts) -> Result<Value, String> {
 }
 
 /// Cluster selection for the workload commands: `--nodes N` builds an
-/// ideal homogeneous N-node cluster (seeded by --seed); otherwise the
-/// shared --config/--profile selection applies.
+/// ideal homogeneous N-node cluster (seeded by --seed), `--nodes N
+/// --cores K` a hierarchical N×K cluster; otherwise the shared
+/// --config/--profile selection applies.
 fn workload_cluster(opts: &Opts) -> Result<SimCluster, String> {
     if let Some(raw) = opts.get("nodes") {
         let n = raw.parse::<usize>().map_err(|e| format!("--nodes: {e}"))?;
@@ -1341,7 +1524,15 @@ fn workload_cluster(opts: &Opts) -> Result<SimCluster, String> {
             .map(|s| s.parse::<u64>().map_err(|e| e.to_string()))
             .transpose()?
             .unwrap_or(2009);
-        let mut config = ClusterConfig::ideal(cpm::cluster::ClusterSpec::homogeneous(n), seed);
+        let mut config = if let Some(raw) = opts.get("cores") {
+            let k = raw.parse::<usize>().map_err(|e| format!("--cores: {e}"))?;
+            if k < 2 {
+                return Err("--cores must be at least 2".into());
+            }
+            ClusterConfig::hierarchical(n, k, seed)
+        } else {
+            ClusterConfig::ideal(cpm::cluster::ClusterSpec::homogeneous(n), seed)
+        };
         if let Some(raw) = opts.get("noise-seed") {
             config.noise_seed = Some(
                 raw.parse::<u64>()
@@ -1349,6 +1540,8 @@ fn workload_cluster(opts: &Opts) -> Result<SimCluster, String> {
             );
         }
         Ok(SimCluster::from_config(&config))
+    } else if opts.contains_key("cores") {
+        Err("--cores needs --nodes (a hierarchical N-node, K-core cluster)".into())
     } else {
         cluster_from(opts).map(|(_, sim)| sim)
     }
@@ -1376,7 +1569,7 @@ fn workload_model(opts: &Opts, sim: &SimCluster) -> Result<PlanModel, String> {
     let kind = match opts.get("model") {
         None => workload::ModelKind::Lmo,
         Some(raw) => workload::ModelKind::parse(raw)
-            .ok_or_else(|| format!("unknown model {raw:?} (lmo|hockney|loggp|plogp)"))?,
+            .ok_or_else(|| format!("unknown model {raw:?} (lmo|hockney|loggp|plogp|lmo-hier)"))?,
     };
     let mut cfg = EstimateConfig::with_seed(0xC11);
     if let Some(raw) = opts.get("reps") {
@@ -1399,6 +1592,11 @@ fn workload_model(opts: &Opts, sim: &SimCluster) -> Result<PlanModel, String> {
         workload::ModelKind::Plogp => {
             PlanModel::Plogp(estimate_plogp(sim, &cfg).map_err(|e| e.to_string())?.model)
         }
+        workload::ModelKind::LmoHier => PlanModel::LmoHier(
+            estimate_hier_lmo(sim, &cfg)
+                .map_err(|e| e.to_string())?
+                .model,
+        ),
     };
     Ok(model)
 }
