@@ -53,6 +53,25 @@ diff -u crates/workload/tests/golden/train_n4.jsonl "$WL_TMP/train.jsonl" \
   | "$CPM" workload predict --nodes 4 --reps 1 | grep -q '"makespan_seconds"'
 "$CPM" workload run --trace "$WL_TMP/train.jsonl" --nodes 4 | grep -q '"msgs_sent"'
 
+echo "== critical-path attribution in plan output (all four canonical workloads)"
+for KIND in train pipeline moe halo; do
+  "$CPM" workload gen --kind "$KIND" --nodes 8 --m 8K --iters 1 \
+    | "$CPM" workload predict --nodes 8 --reps 1 > "$WL_TMP/cp_$KIND.json"
+  grep -q '"critical_path"' "$WL_TMP/cp_$KIND.json" || { echo "$KIND plan lacks critical_path"; exit 1; }
+  grep -q '"terms"' "$WL_TMP/cp_$KIND.json" || { echo "$KIND critical path lacks term attribution"; exit 1; }
+done
+
+echo "== DES timeline export (16-rank train; recording must not change the replay)"
+"$CPM" workload gen --kind train --nodes 16 --out "$WL_TMP/train16.jsonl" >/dev/null
+"$CPM" workload run --trace "$WL_TMP/train16.jsonl" --nodes 16 \
+  --trace-out "$WL_TMP/replay16.json" > "$WL_TMP/run16_traced.json" 2>/dev/null
+grep -q '"traceEvents"' "$WL_TMP/replay16.json"
+grep -q '"desEvents"' "$WL_TMP/replay16.json"
+grep -q '"thread_name"' "$WL_TMP/replay16.json"
+"$CPM" workload run --trace "$WL_TMP/train16.jsonl" --nodes 16 > "$WL_TMP/run16_plain.json"
+diff -u "$WL_TMP/run16_plain.json" "$WL_TMP/run16_traced.json" \
+  || { echo "DES recording changed the replayed timings"; exit 1; }
+
 echo "== reactor engine tests (event loop, framing, pipelining, idle reaping)"
 cargo test -p cpm-reactor -q
 cargo test -p cpm-serve --test reactor -q
@@ -73,6 +92,9 @@ echo "== fleet loadgen smoke (3 nodes, 64 Zipf tenants, kill a replica, zero err
   --fleet 3 --replication 2 --kill-node 1 --p99-max-ms 200 \
   --out "$WL_TMP/fleet_load.json"
 grep -q '"errors": 0' "$WL_TMP/fleet_load.json"
+
+echo "== fleet trace smoke (one traced request; merged dump spans >=2 distinct nodes)"
+./target/release/loadgen --trace-fleet 3
 
 echo "== trace CLI smoke (reactor engine: query over both wires, trace dump)"
 "$CPM" serve --store "$WL_TMP/trace-store" --addr 127.0.0.1:0 --engine reactor \
@@ -103,6 +125,12 @@ grep -q '^cpm_des_replay_ns_count 1' "$WL_TMP/expo.txt"
 "$CPM" query --addr "$ADDR" --verb stats --wire binary | grep -q '"ok":true'
 "$CPM" trace --addr "$ADDR" --out "$WL_TMP/trace.json" --last 1000
 grep -q '"traceEvents"' "$WL_TMP/trace.json"
+# --fleet must refuse a single-node dump instead of silently passing it off
+# as a fleet merge.
+if "$CPM" trace --addr "$ADDR" --fleet >/dev/null 2>"$WL_TMP/fleet-err.txt"; then
+  echo "trace --fleet unexpectedly accepted a single-node dump"; kill "$SERVE_PID"; exit 1
+fi
+grep -q 'single-node dump' "$WL_TMP/fleet-err.txt"
 "$CPM" query --addr "$ADDR" --verb shutdown >/dev/null
 wait "$SERVE_PID"
 

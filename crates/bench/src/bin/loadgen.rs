@@ -37,6 +37,13 @@
 //! connection), and `--p99-max-ms X` additionally gates the overall
 //! client p99.
 //!
+//! **Fleet trace** (`--trace-fleet NODES`): spins up an in-process
+//! NODES-node fleet plus router, sends one estimate carrying an explicit
+//! trace context through the router, then dumps the router's fleet-wide
+//! flight-recorder merge and asserts the merged Chrome trace contains
+//! spans reported by at least two distinct nodes linked by that trace
+//! id — the end-to-end distributed-tracing smoke.
+//!
 //! ```text
 //! loadgen [--clients K] [--requests N] [--workers W]
 //!         [--baseline-workers B] [--engine pool|reactor]
@@ -44,6 +51,7 @@
 //!         [--obs-overhead-max PCT]
 //!         [--tenants N] [--zipf S] [--fleet NODES] [--replication R]
 //!         [--kill-node IDX] [--p99-max-ms X]
+//!         [--trace-fleet NODES]
 //! ```
 //!
 //! With `--require-speedup X` the exit code is 1 unless the measured
@@ -94,6 +102,7 @@ struct Args {
     replication: usize,
     kill_node: Option<usize>,
     p99_max_ms: Option<f64>,
+    trace_fleet: Option<usize>,
 }
 
 fn usage() -> ! {
@@ -104,7 +113,8 @@ fn usage() -> ! {
          \x20              [--out PATH] [--require-speedup X]\n\
          \x20              [--obs-overhead-max PCT]\n\
          \x20              [--tenants N] [--zipf S] [--fleet NODES]\n\
-         \x20              [--replication R] [--kill-node IDX] [--p99-max-ms X]"
+         \x20              [--replication R] [--kill-node IDX] [--p99-max-ms X]\n\
+         \x20              [--trace-fleet NODES]"
     );
     std::process::exit(2);
 }
@@ -127,6 +137,7 @@ fn parse_args() -> Args {
         replication: 2,
         kill_node: None,
         p99_max_ms: None,
+        trace_fleet: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -154,6 +165,7 @@ fn parse_args() -> Args {
             "--replication" => args.replication = value.parse().unwrap_or_else(|_| usage()),
             "--kill-node" => args.kill_node = Some(value.parse().unwrap_or_else(|_| usage())),
             "--p99-max-ms" => args.p99_max_ms = Some(value.parse().unwrap_or_else(|_| usage())),
+            "--trace-fleet" => args.trace_fleet = Some(value.parse().unwrap_or_else(|_| usage())),
             _ => usage(),
         }
     }
@@ -1081,11 +1093,79 @@ fn main_fleet(args: &Args, store: &std::path::Path) {
     }
 }
 
+/// Fleet distributed-tracing smoke: spin up an in-process fleet plus
+/// router, send one estimate carrying an explicit trace context through
+/// the router, dump the fleet-wide flight-recorder merge from the
+/// router, and assert the merged Chrome trace contains spans reported by
+/// at least two distinct nodes linked by that trace id. Panics (exit
+/// code != 0) on any violated expectation — the CI smoke gate.
+fn main_trace_fleet(nodes: usize, store: &std::path::Path) {
+    assert!(nodes >= 2, "--trace-fleet needs at least 2 nodes");
+    println!("loadgen: fleet trace smoke over {nodes} nodes + router");
+    let (mut handles, mut router, _map) = start_fleet(store, nodes, 2.min(nodes));
+    let raddr = router.addr();
+
+    let trace_id = "00000000c0ffee42";
+    let config = ClusterConfig::ideal(ClusterSpec::homogeneous(4), 4242);
+    let est = request(
+        raddr,
+        &format!(
+            "{{\"ctx\":{{\"trace\":\"{trace_id}\",\"parent\":\"0000000000000001\"}},\
+             \"verb\":\"estimate\",\"config\":{},\"id\":\"trace-smoke\"}}",
+            serde_json::to_string(&config).expect("config json")
+        ),
+    );
+    assert_eq!(est.get("ok"), Some(&Value::Bool(true)), "{est:?}");
+
+    let dump = request(raddr, "{\"verb\":\"trace\"}");
+    assert_eq!(dump.get("ok"), Some(&Value::Bool(true)), "{dump:?}");
+    let merged = dump
+        .get("nodes")
+        .and_then(Value::as_u64)
+        .expect("router trace response carries a fleet merge");
+    assert!(
+        merged as usize > nodes,
+        "merge covers the router and all {nodes} members, got {merged}"
+    );
+    if let Some(Value::Seq(missing)) = dump.get("missing") {
+        assert!(missing.is_empty(), "unreachable members: {missing:?}");
+    }
+    let events = match dump.get("trace").and_then(|t| t.get("traceEvents")) {
+        Some(Value::Seq(events)) => events,
+        other => panic!("merged trace lacks traceEvents: {other:?}"),
+    };
+    let mut span_nodes = std::collections::BTreeSet::new();
+    for e in events {
+        let args = e.get("args");
+        if args.and_then(|a| a.get("trace")).and_then(Value::as_str) == Some(trace_id) {
+            if let Some(node) = args.and_then(|a| a.get("node")).and_then(Value::as_str) {
+                span_nodes.insert(node.to_string());
+            }
+        }
+    }
+    assert!(
+        span_nodes.len() >= 2,
+        "traced spans must come from >=2 distinct nodes, got {span_nodes:?}"
+    );
+
+    router.shutdown();
+    for h in &mut handles {
+        h.shutdown();
+    }
+    println!(
+        "ok: merged {merged} recorders; trace {trace_id} spans on {} nodes: {}",
+        span_nodes.len(),
+        span_nodes.into_iter().collect::<Vec<_>>().join(", ")
+    );
+}
+
 fn main() {
     let args = parse_args();
     let store = std::env::temp_dir().join(format!("cpm-loadgen-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&store);
-    if args.tenants > 0 {
+    if let Some(nodes) = args.trace_fleet {
+        main_trace_fleet(nodes, &store);
+    } else if args.tenants > 0 {
         main_fleet(&args, &store);
     } else if args.pipeline > 0 {
         main_pipelined(&args, &store);

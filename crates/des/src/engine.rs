@@ -41,6 +41,10 @@ enum Sched {
     Heap(BinaryHeap<Reverse<Entry>>),
 }
 
+/// A recording hook invoked on every fired event (see
+/// [`Engine::set_observer`]).
+pub type PopObserver<K, E> = Box<dyn FnMut(&K, &E)>;
+
 /// A discrete-event scheduler: schedule `(time, payload)` pairs, pop
 /// them back in deterministic `(time, fuzz, tie, insertion)` order.
 ///
@@ -67,6 +71,10 @@ pub struct Engine<K: DesTime, E> {
     // Scan-cost window at the last fallback checkpoint.
     last_pops: u64,
     last_scanned: u64,
+    /// Recording hook called on every pop, after ordering is resolved
+    /// but before the event is handed to the caller. `None` (the
+    /// default) costs one branch per pop.
+    observer: Option<PopObserver<K, E>>,
 }
 
 impl<K: DesTime, E> Engine<K, E> {
@@ -81,6 +89,7 @@ impl<K: DesTime, E> Engine<K, E> {
             fired: 0,
             last_pops: 0,
             last_scanned: 0,
+            observer: None,
         }
     }
 
@@ -90,6 +99,30 @@ impl<K: DesTime, E> Engine<K, E> {
         let mut e = Self::new();
         e.fuzz_seed = Some(seed);
         e
+    }
+
+    /// An engine with a recording hook installed from the start: `f` is
+    /// called for every fired event, in pop order, with the event's time
+    /// and payload. Observation never changes scheduling — the observer
+    /// runs after ordering is resolved, and an engine without one pays
+    /// only an `Option` check per pop (the obs-overhead gate relies on
+    /// that).
+    pub fn with_observer(f: impl FnMut(&K, &E) + 'static) -> Self {
+        let mut e = Self::new();
+        e.set_observer(f);
+        e
+    }
+
+    /// Installs (or replaces) the recording hook; see
+    /// [`Engine::with_observer`].
+    pub fn set_observer(&mut self, f: impl FnMut(&K, &E) + 'static) {
+        self.observer = Some(Box::new(f));
+    }
+
+    /// Removes the recording hook, returning pops to the unobserved
+    /// fast path.
+    pub fn clear_observer(&mut self) {
+        self.observer = None;
     }
 
     /// Schedules `event` at `at` with tie key 0 (pure FIFO among
@@ -131,7 +164,11 @@ impl<K: DesTime, E> Engine<K, E> {
         }?;
         self.fired += 1;
         self.maybe_fall_back();
-        Some(self.pool.take(entry.slot))
+        let (at, event) = self.pool.take(entry.slot);
+        if let Some(obs) = self.observer.as_mut() {
+            obs(&at, &event);
+        }
+        Some((at, event))
     }
 
     /// Number of pending events.
@@ -287,6 +324,57 @@ mod tests {
         assert_eq!(run(1), run(1));
         assert_eq!(run(2), run(2));
         assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    fn observer_sees_every_fired_event_in_pop_order() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let seen: Rc<RefCell<Vec<(u64, u32)>>> = Rc::new(RefCell::new(Vec::new()));
+        let sink = Rc::clone(&seen);
+        let mut e: Engine<u64, u32> = Engine::with_observer(move |at, ev| {
+            sink.borrow_mut().push((*at, *ev));
+        });
+        e.schedule(5, 50);
+        e.schedule(1, 10);
+        e.schedule(3, 30);
+        let popped: Vec<(u64, u32)> = std::iter::from_fn(|| e.pop()).collect();
+        assert_eq!(popped, vec![(1, 10), (3, 30), (5, 50)]);
+        assert_eq!(*seen.borrow(), popped, "observer mirrors pop order");
+    }
+
+    #[test]
+    fn observer_does_not_perturb_ordering_or_stats() {
+        let run = |observed: bool| -> (Vec<(u64, u32)>, EngineStats) {
+            let mut e: Engine<u64, u32> = Engine::with_fuzz(0xBEEF);
+            if observed {
+                e.set_observer(|_, _| {});
+            }
+            for i in 0..300u32 {
+                e.schedule((i / 9) as u64, i);
+            }
+            let order = std::iter::from_fn(|| e.pop()).collect();
+            (order, e.stats())
+        };
+        let (plain, plain_stats) = run(false);
+        let (observed, observed_stats) = run(true);
+        assert_eq!(plain, observed, "observation must not reorder events");
+        assert_eq!(plain_stats, observed_stats);
+    }
+
+    #[test]
+    fn clear_observer_stops_recording() {
+        use std::cell::Cell;
+        use std::rc::Rc;
+        let count = Rc::new(Cell::new(0u32));
+        let sink = Rc::clone(&count);
+        let mut e: Engine<u64, ()> = Engine::with_observer(move |_, _| sink.set(sink.get() + 1));
+        e.schedule(1, ());
+        e.schedule(2, ());
+        let _ = e.pop();
+        e.clear_observer();
+        let _ = e.pop();
+        assert_eq!(count.get(), 1);
     }
 
     #[test]

@@ -21,6 +21,11 @@
 //!   same-time events deterministically per seed without touching time
 //!   order, turning "does the answer depend on tie order?" into a
 //!   property test.
+//! * **Recording hook** — [`Engine::with_observer`] installs a callback
+//!   that sees every fired event in pop order (the seam the netsim
+//!   kernel uses for DES timeline capture). Observation never changes
+//!   scheduling, and an engine without an observer pays one branch per
+//!   pop.
 //! * **[`Component`]/[`System`]** — a `next_tick`/`tick` component model
 //!   for simulations structured as independent clocked entities.
 //!
@@ -38,5 +43,5 @@ mod key;
 mod pool;
 
 pub use component::{Component, ComponentId, System};
-pub use engine::{Engine, EngineStats};
+pub use engine::{Engine, EngineStats, PopObserver};
 pub use key::{DesTime, Seconds};

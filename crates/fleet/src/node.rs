@@ -7,6 +7,9 @@
 //!   its already-assigned version (never re-fans-out, so replication
 //!   cannot echo between replicas);
 //! - `fleet-info` — this node's name, role, and shard topology;
+//! - `trace` — fleet-wide: merges this node's flight recorder with raw
+//!   dumps collected from every peer into one Chrome trace with a
+//!   process track per node (`"raw":true` keeps the local-only dump);
 //! - `stats` — delegated, then extended with a `fleet` section (role,
 //!   ownership ranges, replication lag per peer);
 //! - `estimate` — shard-aware: refused with the owner list when this
@@ -20,7 +23,7 @@
 
 use std::sync::Arc;
 
-use cpm_obs::{Counter, Gauge};
+use cpm_obs::{Counter, Gauge, Histogram};
 use cpm_reactor::{ClientConfig, ClientPool};
 use cpm_serve::service::Verb;
 use cpm_serve::{LineHandler, ParamSet, ServeError, Service};
@@ -52,6 +55,8 @@ pub struct Replicator {
     map: FleetMap,
     ring: Ring,
     peers: Vec<Peer>,
+    /// `cpm_fleet_push_ns` — wall-clock time per replication push.
+    push_ns: Histogram,
 }
 
 impl Replicator {
@@ -96,6 +101,11 @@ impl Replicator {
             map: map.clone(),
             ring: map.ring(),
             peers,
+            push_ns: registry.histogram(
+                "cpm_fleet_push_ns",
+                "Wall-clock nanoseconds per replication push to a peer",
+                &[],
+            ),
         })
     }
 
@@ -130,8 +140,25 @@ impl Replicator {
             // in the map stands in for its name.
             let mut sp = cpm_obs::span("fleet.replicate");
             sp.field_u64("peer", idx as u64);
+            // When a trace is being recorded, stamp the push with a
+            // trace context whose parent is this push's span, so the
+            // peer's install spans appear as children in merged fleet
+            // dumps. The recorder-off path keeps the single shared
+            // line untouched.
+            let traced_line = if sp.span_id() != 0 {
+                let (trace_id, _) = cpm_obs::ctx::trace_current();
+                Some(format!(
+                    "{{\"ctx\":{{\"trace\":\"{}\",\"parent\":\"{}\"}},{}",
+                    cpm_obs::wire::hex16(trace_id),
+                    cpm_obs::wire::hex16(sp.span_id()),
+                    &line[1..]
+                ))
+            } else {
+                None
+            };
             peer.pushed.inc();
-            match peer.pool.call(&line) {
+            let push_start = std::time::Instant::now();
+            match peer.pool.call(traced_line.as_deref().unwrap_or(&line)) {
                 Ok(resp)
                     if serde_json::from_str::<Value>(&resp)
                         .map(|v| v.get("ok") == Some(&Value::Bool(true)))
@@ -143,6 +170,8 @@ impl Replicator {
                     peer.errors.inc();
                 }
             }
+            self.push_ns
+                .record(u64::try_from(push_start.elapsed().as_nanos()).unwrap_or(u64::MAX));
             peer.lag
                 .set(peer.pushed.get().saturating_sub(peer.acked.get()));
         }
@@ -344,6 +373,47 @@ impl FleetNode {
         )))
     }
 
+    /// Fleet-wide `trace`: merge this node's flight recorder with a raw
+    /// dump fanned out to every peer, rendered as one Chrome trace with
+    /// a process track per node.
+    ///
+    /// Before observability v2 a `trace` sent to a fleet member dumped
+    /// that single node's recorder only — replication spans ended at
+    /// the local `fleet.replicate` push and the peer's install side was
+    /// invisible. Any member now answers with the merged fleet view;
+    /// `"raw":true` keeps the old single-node machine-readable dump
+    /// (and is what the fan-out itself uses, so collection never
+    /// recurses).
+    fn handle_trace(&self, v: &Value) -> String {
+        let id = cpm_serve::client_id(v);
+        let last = v.get("last").and_then(Value::as_u64).map(|n| n as usize);
+        let raw_line = crate::util::raw_trace_line(last);
+        let mut nodes = vec![(self.name.clone(), crate::util::own_records(last))];
+        let mut missing = Vec::new();
+        for peer in &self.replicator.peers {
+            match peer
+                .pool
+                .call(&raw_line)
+                .ok()
+                .as_deref()
+                .and_then(crate::util::decode_raw_trace)
+            {
+                Some(records) => nodes.push((peer.info.name.clone(), records)),
+                None => missing.push(Value::Str(peer.info.name.clone())),
+            }
+        }
+        let total: usize = nodes.iter().map(|(_, r)| r.len()).sum();
+        let mut value = obj(vec![
+            ("ok", Value::Bool(true)),
+            ("nodes", Value::U64(nodes.len() as u64)),
+            ("records", Value::U64(total as u64)),
+            ("missing", Value::Seq(missing)),
+            ("trace", cpm_obs::chrome::chrome_trace_fleet(&nodes)),
+        ]);
+        cpm_serve::echo_id(&mut value, &id);
+        serde_json::to_string(&value).unwrap_or_else(|_| "{\"ok\":false}".to_string())
+    }
+
     fn fleet_verb(v: &Value) -> Option<Verb> {
         match v.get("verb").and_then(Value::as_str) {
             Some("fleet-install") => Some(Verb::FleetInstall),
@@ -361,6 +431,9 @@ impl LineHandler for FleetNode {
         };
         match v.get("verb").and_then(Value::as_str) {
             Some("stats") => return self.handle_stats(line),
+            Some("trace") if v.get("raw") != Some(&Value::Bool(true)) => {
+                return (self.handle_trace(&v), false);
+            }
             Some("estimate") => {
                 if let Err(e) = self.check_estimate_ownership(&v) {
                     let id = cpm_serve::client_id(&v);
@@ -387,6 +460,12 @@ impl LineHandler for FleetNode {
             cpm_obs::next_request_id(),
             id.as_ref().map(cpm_serve::id_tag).unwrap_or_default(),
         );
+        // Join the caller's distributed trace (a replicating leader
+        // stamps its pushes) or root a fresh one, so install spans link
+        // back across nodes in merged fleet dumps.
+        let (trace_id, parent_span) =
+            cpm_serve::trace_ctx(&v).unwrap_or_else(|| (cpm_obs::ctx::next_span_id(), 0));
+        let _tctx = cpm_obs::ctx::with_trace(trace_id, parent_span);
         let outcome = {
             let mut sp = cpm_obs::span("serve.request");
             sp.field_str("verb", verb.as_str());

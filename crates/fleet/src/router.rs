@@ -1,10 +1,12 @@
 //! The fleet's front door: a routing line handler on the reactor.
 //!
 //! The [`Router`] owns no parameter sets. It hashes each request's
-//! cluster fingerprint onto the ring, forwards the line verbatim to
-//! the owning node over a pooled connection, and relays the response
-//! untouched — the fast path is parse-route-relay with zero re-
-//! serialization. Failure handling is where the value is:
+//! cluster fingerprint onto the ring, forwards the line to the owning
+//! node over a pooled connection, and relays the response untouched —
+//! the fast path is parse-route-relay with zero re-serialization while
+//! the flight recorder is off; with recording on, each forward attempt
+//! re-serializes once to stamp its span as the downstream trace parent
+//! (see `call_chain`). Failure handling is where the value is:
 //!
 //! - per-upstream connect/read timeouts (the pool's [`ClientConfig`]);
 //! - bounded retry with exponential backoff on one upstream, then
@@ -169,10 +171,22 @@ impl Router {
             .collect()
     }
 
-    /// Calls `line` down an owner chain with per-upstream retry and
-    /// backoff. Returns the raw response and the chain rank that
-    /// served it (0 = leader).
-    fn call_chain(&self, chain: &[usize], line: &str) -> Result<(String, usize), String> {
+    /// Calls `v` (pre-serialized as `line`) down an owner chain with
+    /// per-upstream retry and backoff. Returns the raw response and the
+    /// chain rank that served it (0 = leader).
+    ///
+    /// While the flight recorder is enabled, every attempt opens its own
+    /// `router.forward` span and the forwarded line is re-serialized
+    /// with that span stamped as the downstream trace parent — so
+    /// retries and failovers each appear as distinct child hops in a
+    /// merged fleet trace. With recording off the raw line is relayed
+    /// verbatim (the zero-re-serialization fast path).
+    fn call_chain(
+        &self,
+        chain: &[usize],
+        v: &Value,
+        line: &str,
+    ) -> Result<(String, usize), String> {
         let mut first = true;
         let mut last_err = "no owners".to_string();
         for (rank, &ui) in chain.iter().enumerate() {
@@ -189,7 +203,15 @@ impl Router {
                 // index in the map stands in for its name.
                 let mut sp = cpm_obs::span("router.forward");
                 sp.field_u64("upstream", ui as u64);
-                match up.pool.call(line) {
+                let traced_line = if sp.span_id() != 0 {
+                    let mut fv = v.clone();
+                    let (trace_id, _) = cpm_obs::ctx::trace_current();
+                    cpm_serve::inject_trace_ctx(&mut fv, trace_id, sp.span_id());
+                    serde_json::to_string(&fv).ok()
+                } else {
+                    None
+                };
+                match up.pool.call(traced_line.as_deref().unwrap_or(line)) {
                     Ok(resp) => {
                         up.forwards.inc();
                         return Ok((resp, rank));
@@ -246,7 +268,7 @@ impl Router {
             Err(e) => return Self::error_response(id, &e),
         };
         let chain = self.owner_chain(&key);
-        match self.call_chain(&chain, line) {
+        match self.call_chain(&chain, v, line) {
             Ok((resp, rank)) => self.flag_stale(resp, rank, &chain),
             Err(e) => Self::error_response(id, &format!("shard unavailable for {key}: {e}")),
         }
@@ -309,7 +331,7 @@ impl Router {
                 Ok(l) => l,
                 Err(e) => return Self::error_response(id, &e.to_string()),
             };
-            match self.call_chain(chain, &sub_line) {
+            match self.call_chain(chain, &sub, &sub_line) {
                 Ok((resp, rank)) => {
                     let responses = serde_json::from_str::<Value>(&resp)
                         .ok()
@@ -411,6 +433,40 @@ impl Router {
         serde_json::to_string(&value).unwrap_or_else(|_| "{\"ok\":false}".to_string())
     }
 
+    /// The fleet trace collector: fans a raw flight-recorder dump out
+    /// to every member, merges the dumps (plus the router's own records)
+    /// into one multi-process Chrome trace with cross-node flow arrows,
+    /// and reports how many nodes answered.
+    fn collect_trace(&self, v: &Value, id: &Option<Value>) -> String {
+        let last = v.get("last").and_then(Value::as_u64).map(|n| n as usize);
+        let raw_line = crate::util::raw_trace_line(last);
+        let mut nodes: Vec<(String, Vec<cpm_obs::OwnedRecord>)> =
+            vec![("router".to_string(), crate::util::own_records(last))];
+        let mut missing = Vec::new();
+        for up in &self.upstreams {
+            match up
+                .pool
+                .call(&raw_line)
+                .ok()
+                .as_deref()
+                .and_then(crate::util::decode_raw_trace)
+            {
+                Some(records) => nodes.push((up.info.name.clone(), records)),
+                None => missing.push(Value::Str(up.info.name.clone())),
+            }
+        }
+        let records: usize = nodes.iter().map(|(_, r)| r.len()).sum();
+        let mut value = obj(vec![
+            ("ok", Value::Bool(true)),
+            ("nodes", Value::U64(nodes.len() as u64)),
+            ("records", Value::U64(records as u64)),
+            ("missing", Value::Seq(missing)),
+            ("trace", cpm_obs::chrome::chrome_trace_fleet(&nodes)),
+        ]);
+        cpm_serve::echo_id(&mut value, id);
+        serde_json::to_string(&value).unwrap_or_else(|_| "{\"ok\":false}".to_string())
+    }
+
     fn handle_info(&self, id: &Option<Value>) -> String {
         let mut value = obj(vec![
             ("ok", Value::Bool(true)),
@@ -439,6 +495,11 @@ impl Router {
             cpm_obs::next_request_id(),
             id.as_ref().map(cpm_serve::id_tag).unwrap_or_default(),
         );
+        // Join the caller's trace or root a fresh one; forwarded lines
+        // carry this id so member spans merge into the same trace.
+        let (trace_id, parent_span) =
+            cpm_serve::trace_ctx(&v).unwrap_or_else(|| (cpm_obs::ctx::next_span_id(), 0));
+        let _tctx = cpm_obs::ctx::with_trace(trace_id, parent_span);
         let verb = v.get("verb").and_then(Value::as_str).unwrap_or("");
         let mut sp = cpm_obs::span("router.request");
         sp.field_str(
@@ -451,6 +512,7 @@ impl Router {
                 "batch" => "batch",
                 "history" => "history",
                 "stats" => "stats",
+                "trace" => "trace",
                 "observe" => "observe",
                 "drift-status" => "drift-status",
                 "fleet-info" => "fleet-info",
@@ -474,10 +536,7 @@ impl Router {
                 )
             }
             "batch" => (self.route_batch(&v, &id), false),
-            "trace" => (
-                Self::error_response(&id, "trace is not routable; query a node directly"),
-                false,
-            ),
+            "trace" => (self.collect_trace(&v, &id), false),
             "fleet-install" => (
                 Self::error_response(&id, "fleet-install is node-to-node, not routable"),
                 false,

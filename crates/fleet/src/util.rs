@@ -2,6 +2,7 @@
 
 use std::net::{SocketAddr, ToSocketAddrs};
 
+use cpm_obs::OwnedRecord;
 use cpm_serve::ServeError;
 use serde_json::Value;
 
@@ -24,4 +25,38 @@ pub fn resolve_addr(addr: &str) -> Result<SocketAddr, String> {
         .map_err(|e| format!("{addr}: {e}"))?
         .next()
         .ok_or_else(|| format!("{addr}: no addresses"))
+}
+
+/// The raw flight-recorder dump request the fleet trace collectors fan
+/// out to members (`raw` keeps the records machine-readable instead of
+/// the single-node Chrome rendering).
+pub fn raw_trace_line(last: Option<usize>) -> String {
+    match last {
+        Some(n) => format!("{{\"verb\":\"trace\",\"raw\":true,\"last\":{n}}}"),
+        None => "{\"verb\":\"trace\",\"raw\":true}".to_string(),
+    }
+}
+
+/// Decodes a raw trace response (`{"ok":true,"records":[...]}`) into
+/// owned records; `None` for errors or unrecognized shapes.
+pub fn decode_raw_trace(resp: &str) -> Option<Vec<OwnedRecord>> {
+    let v = serde_json::from_str::<Value>(resp).ok()?;
+    if v.get("ok") != Some(&Value::Bool(true)) {
+        return None;
+    }
+    let Some(Value::Seq(items)) = v.get("records") else {
+        return None;
+    };
+    Some(items.iter().filter_map(OwnedRecord::from_value).collect())
+}
+
+/// This process's own flight-recorder records, oldest first, optionally
+/// clipped to the last `n` — the local leg of a fleet trace merge.
+pub fn own_records(last: Option<usize>) -> Vec<OwnedRecord> {
+    let mut records = cpm_obs::Recorder::global().snapshot();
+    if let Some(n) = last {
+        let len = records.len();
+        records.drain(..len.saturating_sub(n));
+    }
+    records.iter().map(OwnedRecord::from).collect()
 }

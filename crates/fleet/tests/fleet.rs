@@ -245,6 +245,165 @@ fn router_upstream_failure_echoes_request_id() {
     handle.shutdown();
 }
 
+/// Events in a merged fleet dump carrying `args.trace == trace_id`.
+fn events_for_trace<'a>(dump: &'a Value, trace_id: &str) -> Vec<&'a Value> {
+    let Some(Value::Seq(events)) = dump.get("trace").and_then(|t| t.get("traceEvents")) else {
+        panic!("no traceEvents in {dump:?}");
+    };
+    events
+        .iter()
+        .filter(|e| {
+            e.get("args")
+                .and_then(|a| a.get("trace"))
+                .and_then(Value::as_str)
+                == Some(trace_id)
+        })
+        .collect()
+}
+
+fn event_names(events: &[&Value]) -> Vec<String> {
+    events
+        .iter()
+        .map(|e| e.get("name").and_then(Value::as_str).unwrap().to_string())
+        .collect()
+}
+
+/// `args.<key>` of every event named `name`.
+fn arg_of_named(events: &[&Value], name: &str, key: &str) -> Vec<String> {
+    events
+        .iter()
+        .filter(|e| e.get("name").and_then(Value::as_str) == Some(name))
+        .filter_map(|e| e.get("args")?.get(key)?.as_str().map(str::to_string))
+        .collect()
+}
+
+/// Regression for the single-node `trace` verb on fleet members: before
+/// observability v2 a `trace` (with or without `last`) sent to any node
+/// of an active fleet dumped only that node's flight recorder, so the
+/// replication half of a traced request was invisible. Any member now
+/// routes the verb through the fleet collector and answers with every
+/// node's records merged into one Chrome trace.
+#[test]
+fn member_trace_merges_the_fleet_flight_recorders() {
+    let tmp = temp_dir("fleet-trace");
+    let fleet = start_fleet(&tmp, 2, 2);
+    let (config, fp) = tenant(91);
+    let ring = fleet.map.ring();
+    let leader_idx = fleet.index_of(ring.primary(&fp).unwrap());
+    let follower_idx = 1 - leader_idx;
+
+    // A traced estimate: the client roots the trace, the leader joins
+    // it, and the replication push carries it to the follower.
+    let trace_id = "00000000feedf00d";
+    let line = format!(
+        "{{\"verb\":\"estimate\",\"id\":\"tr-1\",\
+         \"ctx\":{{\"trace\":\"{trace_id}\",\"parent\":\"0000000000000001\"}},\
+         \"config\":{}}}",
+        config_json(&config)
+    );
+    assert!(is_ok(&request(fleet.addr(leader_idx), &line)));
+
+    // Ask the FOLLOWER (not the leader that served the request): any
+    // member must return the fleet-wide merge.
+    let dump = request(
+        fleet.addr(follower_idx),
+        "{\"verb\":\"trace\",\"id\":\"t-dump\"}",
+    );
+    assert!(is_ok(&dump), "{dump:?}");
+    assert_eq!(dump.get("id"), Some(&Value::Str("t-dump".into())));
+    assert_eq!(dump.get("nodes"), Some(&Value::U64(2)));
+    assert_eq!(dump.get("missing"), Some(&Value::Seq(Vec::new())));
+    assert!(dump.get("records").and_then(Value::as_u64).unwrap() > 0);
+
+    // One process track per fleet member.
+    let Some(Value::Seq(events)) = dump.get("trace").and_then(|t| t.get("traceEvents")) else {
+        panic!("no traceEvents in {dump:?}");
+    };
+    let tracks: Vec<&str> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(Value::as_str) == Some("M"))
+        .filter_map(|e| e.get("args")?.get("name")?.as_str())
+        .collect();
+    for i in [leader_idx, follower_idx] {
+        let name = fleet.map.nodes[i].name.as_str();
+        assert!(tracks.contains(&name), "no track for {name}: {tracks:?}");
+    }
+
+    // The client's trace id threads through the serving request, the
+    // replication push, and the follower's install: the install-side
+    // serve.request span's wire parent is a fleet.replicate push span.
+    let traced = events_for_trace(&dump, trace_id);
+    let names = event_names(&traced);
+    assert!(names.contains(&"serve.request".to_string()), "{names:?}");
+    assert!(names.contains(&"fleet.replicate".to_string()), "{names:?}");
+    let push_spans = arg_of_named(&traced, "fleet.replicate", "span");
+    assert!(!push_spans.is_empty(), "replicate span ids missing");
+    let install_parents = arg_of_named(&traced, "serve.request", "parent");
+    assert!(
+        install_parents.iter().any(|p| push_spans.contains(p)),
+        "no serve.request span is parented by a replication push:\n\
+         parents {install_parents:?} vs pushes {push_spans:?}"
+    );
+
+    // `"raw":true` keeps the pre-v2 single-node machine-readable dump
+    // (it is also what the collector itself fans out, so merged
+    // collection never recurses).
+    let raw = request(
+        fleet.addr(follower_idx),
+        "{\"verb\":\"trace\",\"raw\":true}",
+    );
+    assert!(is_ok(&raw), "{raw:?}");
+    assert!(matches!(raw.get("records"), Some(Value::Seq(_))));
+    assert!(raw.get("nodes").is_none(), "raw dump must stay single-node");
+
+    let _ = std::fs::remove_dir_all(&tmp);
+}
+
+/// The acceptance path: one traced request through a routed fleet, then
+/// one `trace` to the router, yields a single merged Chrome trace whose
+/// router, leader, and follower spans all carry the same trace id.
+#[test]
+fn routed_trace_links_router_leader_and_follower_spans() {
+    let tmp = temp_dir("routed-trace");
+    let fleet = start_fleet(&tmp, 3, 2);
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let router = Router::new(fleet.map.clone(), RouterConfig::default()).unwrap();
+    let mut handle = serve_router(listener, router, 1, None).unwrap();
+
+    let (config, _) = tenant(97);
+    let trace_id = "00000000deadbeef";
+    let line = format!(
+        "{{\"verb\":\"estimate\",\"id\":\"rt-1\",\
+         \"ctx\":{{\"trace\":\"{trace_id}\",\"parent\":\"0000000000000002\"}},\
+         \"config\":{}}}",
+        config_json(&config)
+    );
+    assert!(is_ok(&request(handle.addr(), &line)));
+
+    let dump = request(handle.addr(), "{\"verb\":\"trace\"}");
+    assert!(is_ok(&dump), "{dump:?}");
+    assert_eq!(dump.get("nodes"), Some(&Value::U64(4)), "{dump:?}");
+    assert_eq!(dump.get("missing"), Some(&Value::Seq(Vec::new())));
+
+    // Router hop, forward hop, member serving, and the replication push
+    // all share the client's trace id in the one merged dump.
+    let names = event_names(&events_for_trace(&dump, trace_id));
+    for needle in [
+        "router.request",
+        "router.forward",
+        "serve.request",
+        "fleet.replicate",
+    ] {
+        assert!(
+            names.contains(&needle.to_string()),
+            "missing {needle} among traced spans: {names:?}"
+        );
+    }
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&tmp);
+}
+
 #[test]
 fn stats_text_is_a_valid_prometheus_exposition_covering_fleet() {
     let tmp = temp_dir("exposition");
@@ -276,6 +435,16 @@ fn stats_text_is_a_valid_prometheus_exposition_covering_fleet() {
     let samples = cpm_obs::validate_exposition(text)
         .unwrap_or_else(|e| panic!("node exposition invalid: {e}"));
     assert!(samples > 0);
+    // The estimate above pushed to one peer, so the replication-push
+    // latency histogram renders (zero-count histograms are skipped).
+    assert!(
+        text.contains("cpm_fleet_push_ns_bucket"),
+        "push latency histogram missing:\n{text}"
+    );
+    assert!(
+        text.contains("cpm_fleet_push_ns_count"),
+        "push latency count missing:\n{text}"
+    );
 
     // Router exposition: its own registry validates too.
     let listener = TcpListener::bind("127.0.0.1:0").unwrap();

@@ -24,7 +24,9 @@
 //! `r₁`. Summed over a lone transfer this is exactly the extended LMO
 //! point-to-point time `C_i + L_ij + C_j + M(t_i + 1/β_ij + t_j)`.
 
+use std::cell::RefCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::rc::Rc;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
@@ -36,7 +38,7 @@ use cpm_core::rank::Rank;
 use cpm_core::time::Time;
 
 use crate::cluster::SimCluster;
-use crate::event::{EventKind, EventQueue, MsgId, ProcId};
+use crate::event::{DesEventCounts, EventKind, EventQueue, MsgId, ProcId};
 use crate::msg::{Grant, MsgState, MsgView, Syscall, Tag};
 use crate::noise::NoiseSource;
 use crate::proc::Proc;
@@ -234,6 +236,8 @@ pub(crate) struct KernelOut {
     pub(crate) trace: Option<Trace>,
     /// Per-rank op windows for scripted ranks (empty for threaded ranks).
     pub(crate) windows: Vec<Vec<(f64, f64)>>,
+    /// DES engine event counts from the recording hook (traced runs only).
+    pub(crate) des_events: Option<DesEventCounts>,
 }
 
 /// Runs scripted programs through the kernel (no rank threads; the dummy
@@ -241,10 +245,11 @@ pub(crate) struct KernelOut {
 pub(crate) fn run_scripts_kernel(
     cluster: &SimCluster,
     scripts: Vec<ScriptProc>,
+    traced: bool,
 ) -> Result<KernelOut> {
     let (_sys_tx, sys_rx) = unbounded::<(ProcId, Syscall)>();
     let ports = scripts.into_iter().map(ProcPort::Script).collect();
-    Kernel::new(cluster, ports, sys_rx, false).run()
+    Kernel::new(cluster, ports, sys_rx, traced).run()
 }
 
 struct Kernel<'c> {
@@ -285,6 +290,10 @@ struct Kernel<'c> {
     finish_times: Vec<Time>,
     stats: SimStats,
     trace: Option<Trace>,
+    /// Per-kind DES event counts, filled by the engine's recording hook
+    /// (traced runs only; `None` means the hook is not installed and pops
+    /// pay a single untaken branch).
+    des_counts: Option<Rc<RefCell<DesEventCounts>>>,
     /// Per-message local send-completion time (end of the tx slot) —
     /// what `WaitSend` waits for.
     send_local_done: Vec<Time>,
@@ -298,9 +307,18 @@ impl<'c> Kernel<'c> {
         traced: bool,
     ) -> Self {
         let n = ports.len();
+        let mut q = EventQueue::with_fuzz(cl.fuzz_seed);
+        let des_counts = if traced {
+            let counts = Rc::new(RefCell::new(DesEventCounts::default()));
+            let hook = Rc::clone(&counts);
+            q.set_observer(move |_, kind| hook.borrow_mut().observe(kind));
+            Some(counts)
+        } else {
+            None
+        };
         Kernel {
             cl,
-            q: EventQueue::with_fuzz(cl.fuzz_seed),
+            q,
             msgs: Vec::new(),
             mailbox: vec![Vec::new(); n],
             procs: ports
@@ -332,6 +350,7 @@ impl<'c> Kernel<'c> {
             finish_times: vec![Time::ZERO; n],
             stats: SimStats::default(),
             trace: traced.then(Trace::default),
+            des_counts,
             send_local_done: Vec::new(),
         }
     }
@@ -444,6 +463,7 @@ impl<'c> Kernel<'c> {
             stats: self.stats,
             trace: self.trace,
             windows,
+            des_events: self.des_counts.as_ref().map(|c| *c.borrow()),
         })
     }
 

@@ -77,9 +77,10 @@ pub mod script;
 pub mod trace;
 
 pub use cluster::SimCluster;
+pub use event::DesEventCounts;
 pub use kernel::{simulate, simulate_mpmd, simulate_traced, SimOutcome, SimStats};
 pub use msg::{MsgView, Tag};
 pub use noise::{DriftChange, DriftSchedule, DriftShape, DriftTarget};
 pub use proc::{Proc, RecvRequest, SendRequest};
-pub use script::{run_script, ScriptOp, ScriptOutcome};
+pub use script::{run_script, run_script_traced, ScriptOp, ScriptOutcome};
 pub use trace::{render_timeline, Trace, TraceEvent};

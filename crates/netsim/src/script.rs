@@ -17,8 +17,10 @@ use cpm_core::time::Time;
 use cpm_core::units::Bytes;
 
 use crate::cluster::SimCluster;
+use crate::event::DesEventCounts;
 use crate::kernel::{run_scripts_kernel, SimStats};
 use crate::msg::Syscall;
+use crate::trace::Trace;
 
 /// One straight-line primitive of a scripted rank program.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -58,6 +60,12 @@ pub struct ScriptOutcome {
     pub finish_times: Vec<f64>,
     /// Kernel counters.
     pub stats: SimStats,
+    /// Semantic kernel trace (tx slots, wire crossings, rx slots) —
+    /// `Some` only for [`run_script_traced`] runs.
+    pub trace: Option<Trace>,
+    /// Per-kind DES engine event counts captured via the engine's
+    /// recording hook — `Some` only for [`run_script_traced`] runs.
+    pub des_events: Option<DesEventCounts>,
 }
 
 /// Kernel-side interpreter state for one scripted rank.
@@ -118,6 +126,31 @@ impl ScriptProc {
 /// # Panics
 /// Panics when `programs.len()` differs from the cluster size.
 pub fn run_script(cluster: &SimCluster, programs: &[Vec<ScriptOp>]) -> Result<ScriptOutcome> {
+    run_script_inner(cluster, programs, false)
+}
+
+/// [`run_script`] with recording enabled: the outcome additionally carries
+/// the kernel's semantic trace and the DES engine's per-kind event counts.
+/// Virtual timings are identical to the untraced path — recording is a
+/// pop-side observer, never a scheduling input.
+///
+/// # Errors
+/// Returns a simulation error on deadlock (e.g. a `Recv` nobody answers).
+///
+/// # Panics
+/// Panics when `programs.len()` differs from the cluster size.
+pub fn run_script_traced(
+    cluster: &SimCluster,
+    programs: &[Vec<ScriptOp>],
+) -> Result<ScriptOutcome> {
+    run_script_inner(cluster, programs, true)
+}
+
+fn run_script_inner(
+    cluster: &SimCluster,
+    programs: &[Vec<ScriptOp>],
+    traced: bool,
+) -> Result<ScriptOutcome> {
     assert_eq!(
         programs.len(),
         cluster.n(),
@@ -128,12 +161,14 @@ pub fn run_script(cluster: &SimCluster, programs: &[Vec<ScriptOp>]) -> Result<Sc
         .iter()
         .map(|ops| ScriptProc::new(ops.clone()))
         .collect();
-    let out = run_scripts_kernel(cluster, scripts)?;
+    let out = run_scripts_kernel(cluster, scripts, traced)?;
     Ok(ScriptOutcome {
         windows: out.windows,
         end_time: out.end_time.secs(),
         finish_times: out.finish_times.iter().map(|t| t.secs()).collect(),
         stats: out.stats,
+        trace: out.trace,
+        des_events: out.des_events,
     })
 }
 
@@ -232,6 +267,54 @@ mod tests {
         assert_eq!(w1[0].0, 0.0);
         assert!(w1[0].1 > 0.5, "recv completes after the send posted at 0.5");
         assert!((out.end_time - w1[0].1).abs() < 1e-15);
+    }
+
+    /// Recording is observational: the traced run reproduces the untraced
+    /// timings bit-for-bit, and additionally carries a semantic trace plus
+    /// DES event counts consistent with the kernel's own event counter.
+    #[test]
+    fn traced_script_matches_untraced_and_records() {
+        let cl = cluster(3, 0.01);
+        let programs: Vec<Vec<ScriptOp>> = (0..3)
+            .map(|r| {
+                if r == 0 {
+                    vec![
+                        ScriptOp::Send {
+                            dst: Rank(1),
+                            bytes: 4 * KIB,
+                        },
+                        ScriptOp::Barrier,
+                        ScriptOp::Recv { src: Rank(2) },
+                    ]
+                } else if r == 1 {
+                    vec![ScriptOp::Recv { src: Rank(0) }, ScriptOp::Barrier]
+                } else {
+                    vec![
+                        ScriptOp::Compute { secs: 1e-4 },
+                        ScriptOp::Barrier,
+                        ScriptOp::Send {
+                            dst: Rank(0),
+                            bytes: KIB,
+                        },
+                    ]
+                }
+            })
+            .collect();
+        let plain = run_script(&cl, &programs).unwrap();
+        let traced = run_script_traced(&cl, &programs).unwrap();
+        assert_eq!(traced.end_time, plain.end_time, "timings bit-identical");
+        assert_eq!(traced.finish_times, plain.finish_times);
+        assert_eq!(traced.windows, plain.windows);
+        assert_eq!(traced.stats, plain.stats);
+        assert!(plain.trace.is_none() && plain.des_events.is_none());
+        let trace = traced.trace.expect("traced run records a trace");
+        assert!(!trace.events.is_empty());
+        let counts = traced.des_events.expect("traced run counts DES events");
+        assert_eq!(
+            counts.total() as usize,
+            traced.stats.events,
+            "observer sees exactly the events the kernel processed"
+        );
     }
 
     #[test]

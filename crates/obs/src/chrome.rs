@@ -13,6 +13,7 @@
 use serde_json::Value;
 
 use crate::recorder::{Record, RecordKind};
+use crate::wire::{hex16, OwnedRecord};
 
 fn obj(entries: Vec<(&str, Value)>) -> Value {
     Value::Map(
@@ -83,6 +84,15 @@ pub fn chrome_trace(records: &[Record]) -> Value {
                     args.push((r.key, Value::Str(r.sval.to_string())));
                 }
             }
+            if r.trace_id != 0 {
+                args.push(("trace", Value::Str(hex16(r.trace_id))));
+            }
+            if r.span_id != 0 {
+                args.push(("span", Value::Str(hex16(r.span_id))));
+            }
+            if r.parent_span != 0 {
+                args.push(("parent", Value::Str(hex16(r.parent_span))));
+            }
             let mut event = vec![
                 ("name", Value::Str(r.name.to_string())),
                 ("cat", Value::Str("cpm".to_string())),
@@ -102,6 +112,144 @@ pub fn chrome_trace(records: &[Record]) -> Value {
             obj(event)
         })
         .collect();
+    obj(vec![
+        ("traceEvents", Value::Seq(events)),
+        ("displayTimeUnit", Value::Str("ns".to_string())),
+    ])
+}
+
+/// Renders per-node flight-recorder dumps (as collected by the fleet
+/// `trace` verb) as one merged Chrome trace: each node becomes a process
+/// track (pid = node index + 1, named by a `process_name` metadata
+/// event), records pair B/E per `(node, thread)` exactly as
+/// [`chrome_trace`] does, and every cross-node parent/child span link —
+/// a span on node A whose id is the wire `parent` of a span on node B —
+/// becomes a flow arrow (`"s"`/`"f"` events keyed on the child span id).
+///
+/// Each node's recorder has its own monotonic epoch, so per-node
+/// timestamps are re-based to that node's earliest record. Tracks
+/// therefore align at zero rather than by true wall time; flow arrows,
+/// not horizontal position, are the cross-node ordering evidence.
+pub fn chrome_trace_fleet(nodes: &[(String, Vec<OwnedRecord>)]) -> Value {
+    let mut events: Vec<Value> = Vec::new();
+    // Span begin index across all nodes: span id -> (pid, tid, ts_us).
+    let mut begins: std::collections::HashMap<u64, (u64, u64, f64)> =
+        std::collections::HashMap::new();
+    // (child pid, tid, ts_us, child span id, parent span id) to resolve
+    // into flow arrows once every node's begins are indexed.
+    let mut links: Vec<(u64, u64, f64, u64, u64)> = Vec::new();
+
+    for (node_idx, (node, records)) in nodes.iter().enumerate() {
+        let pid = node_idx as u64 + 1;
+        events.push(obj(vec![
+            ("name", Value::Str("process_name".to_string())),
+            ("ph", Value::Str("M".to_string())),
+            ("pid", Value::U64(pid)),
+            ("args", obj(vec![("name", Value::Str(node.clone()))])),
+        ]));
+        let base = records.iter().map(|r| r.t_ns).min().unwrap_or(0);
+
+        // Same pairing pass as the single-node renderer, per thread.
+        let mut phase: Vec<Phase> = vec![Phase::Instant; records.len()];
+        let mut stacks: std::collections::HashMap<u32, Vec<usize>> =
+            std::collections::HashMap::new();
+        for (i, r) in records.iter().enumerate() {
+            match r.kind {
+                RecordKind::Begin => stacks.entry(r.tid).or_default().push(i),
+                RecordKind::End => {
+                    let stack = stacks.entry(r.tid).or_default();
+                    if let Some(pos) = stack.iter().rposition(|&b| records[b].name == r.name) {
+                        let begin = stack[pos];
+                        stack.truncate(pos);
+                        phase[begin] = Phase::Begin;
+                        phase[i] = Phase::End;
+                    }
+                }
+                RecordKind::Instant => {}
+            }
+        }
+
+        for (r, ph) in records.iter().zip(&phase) {
+            let ts = (r.t_ns - base) as f64 / 1e3;
+            if *ph == Phase::Begin && r.span_id != 0 {
+                begins.insert(r.span_id, (pid, u64::from(r.tid), ts));
+                if r.parent_span != 0 {
+                    links.push((pid, u64::from(r.tid), ts, r.span_id, r.parent_span));
+                }
+            }
+            let ph_str = match ph {
+                Phase::Begin => "B",
+                Phase::End => "E",
+                Phase::Instant => "i",
+            };
+            let mut args = vec![("node", Value::Str(node.clone()))];
+            if r.req != 0 {
+                args.push(("req", Value::U64(r.req)));
+            }
+            if !r.tag.is_empty() {
+                args.push(("id", Value::Str(r.tag.clone())));
+            }
+            if !r.key.is_empty() {
+                if r.sval.is_empty() {
+                    args.push((r.key.as_str(), Value::U64(r.num)));
+                } else {
+                    args.push((r.key.as_str(), Value::Str(r.sval.clone())));
+                }
+            }
+            if r.trace_id != 0 {
+                args.push(("trace", Value::Str(hex16(r.trace_id))));
+            }
+            if r.span_id != 0 {
+                args.push(("span", Value::Str(hex16(r.span_id))));
+            }
+            if r.parent_span != 0 {
+                args.push(("parent", Value::Str(hex16(r.parent_span))));
+            }
+            let mut event = vec![
+                ("name", Value::Str(r.name.clone())),
+                ("cat", Value::Str("cpm".to_string())),
+                ("ph", Value::Str(ph_str.to_string())),
+                ("pid", Value::U64(pid)),
+                ("tid", Value::U64(u64::from(r.tid))),
+                ("ts", Value::F64(ts)),
+            ];
+            if *ph == Phase::Instant {
+                event.push(("s", Value::Str("t".to_string())));
+            }
+            event.push(("args", obj(args)));
+            events.push(obj(event));
+        }
+    }
+
+    // Cross-node flow arrows: only links whose parent lives on another
+    // process track become arrows (same-node nesting is already visible
+    // as stack depth).
+    for (child_pid, child_tid, child_ts, span_id, parent_span) in links {
+        let Some(&(parent_pid, parent_tid, parent_ts)) = begins.get(&parent_span) else {
+            continue;
+        };
+        if parent_pid == child_pid {
+            continue;
+        }
+        let flow = |ph: &str, pid: u64, tid: u64, ts: f64| {
+            let mut event = vec![
+                ("name", Value::Str("trace".to_string())),
+                ("cat", Value::Str("cpm-flow".to_string())),
+                ("ph", Value::Str(ph.to_string())),
+                ("id", Value::U64(span_id)),
+                ("pid", Value::U64(pid)),
+                ("tid", Value::U64(tid)),
+                ("ts", Value::F64(ts)),
+            ];
+            if ph == "f" {
+                event.push(("bp", Value::Str("e".to_string())));
+            }
+            obj(event)
+        };
+        events.push(flow("s", parent_pid, parent_tid, parent_ts));
+        events.push(flow("f", child_pid, child_tid, child_ts));
+    }
+
     obj(vec![
         ("traceEvents", Value::Seq(events)),
         ("displayTimeUnit", Value::Str("ns".to_string())),
@@ -145,6 +293,53 @@ mod tests {
                 ("outer".to_string(), "E".to_string()),
             ]
         );
+    }
+
+    #[test]
+    fn fleet_merge_draws_cross_node_flow_arrows() {
+        use crate::wire::OwnedRecord;
+        let mk = |seq, kind, t_ns, name: &str, span_id, parent_span| OwnedRecord {
+            seq,
+            kind,
+            tid: 0,
+            t_ns,
+            req: 1,
+            tag: String::new(),
+            name: name.to_string(),
+            key: String::new(),
+            num: 0,
+            sval: String::new(),
+            trace_id: 0xabc,
+            span_id,
+            parent_span,
+        };
+        let router = vec![
+            mk(0, crate::RecordKind::Begin, 100, "router.request", 10, 0),
+            mk(1, crate::RecordKind::End, 900, "router.request", 10, 0),
+        ];
+        let node = vec![
+            mk(0, crate::RecordKind::Begin, 5000, "serve.request", 11, 10),
+            mk(1, crate::RecordKind::End, 5800, "serve.request", 11, 10),
+        ];
+        let trace =
+            chrome_trace_fleet(&[("router".to_string(), router), ("node-0".to_string(), node)]);
+        let Some(Value::Seq(events)) = trace.get("traceEvents") else {
+            panic!("no traceEvents");
+        };
+        // Two process_name metadata events, four span edges, one s/f pair.
+        let phs: Vec<&str> = events
+            .iter()
+            .filter_map(|e| e.get("ph").and_then(Value::as_str))
+            .collect();
+        assert_eq!(phs.iter().filter(|p| **p == "M").count(), 2);
+        assert_eq!(phs.iter().filter(|p| **p == "s").count(), 1);
+        assert_eq!(phs.iter().filter(|p| **p == "f").count(), 1);
+        // Distinct pids for the two nodes; timestamps re-based per node.
+        let pids: std::collections::HashSet<u64> = events
+            .iter()
+            .filter_map(|e| e.get("pid").and_then(Value::as_u64))
+            .collect();
+        assert_eq!(pids, [1u64, 2].into_iter().collect());
     }
 
     #[test]

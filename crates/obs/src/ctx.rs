@@ -11,9 +11,48 @@
 //! client id.
 
 use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
 thread_local! {
     static CURRENT: Cell<(u64, [u8; 16])> = const { Cell::new((0, [0; 16])) };
+    /// `(trace id, current span id)` — the distributed-tracing context.
+    /// `(0, _)` means no trace is active on this thread.
+    static TRACE: Cell<(u64, u64)> = const { Cell::new((0, 0)) };
+}
+
+/// Process-unique-ish id allocator for trace and span ids. Seeded from
+/// the PID and wall clock so two fleet members started at the same
+/// moment still draw from disjoint ranges with overwhelming likelihood —
+/// span ids are the join key of cross-node flow arrows in a merged
+/// Chrome trace, so collisions across processes must stay improbable.
+fn id_counter() -> &'static AtomicU64 {
+    static NEXT: OnceLock<AtomicU64> = OnceLock::new();
+    NEXT.get_or_init(|| {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        let pid = u64::from(std::process::id());
+        // SplitMix64 finalizer over (pid, time): spreads the seed across
+        // the id space so per-process ranges do not cluster.
+        let mut z = nanos ^ (pid << 32) ^ 0x9e37_79b9_7f4a_7c15;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        AtomicU64::new(z | 1)
+    })
+}
+
+/// Allocates a fresh nonzero trace/span id (monotone within the process,
+/// seeded per process so concurrent servers don't collide).
+pub fn next_span_id() -> u64 {
+    let id = id_counter().fetch_add(1, Ordering::Relaxed);
+    if id == 0 {
+        id_counter().fetch_add(1, Ordering::Relaxed)
+    } else {
+        id
+    }
 }
 
 /// The calling thread's current request context: `(internal request id,
@@ -54,6 +93,44 @@ impl Drop for CtxGuard {
     }
 }
 
+/// The calling thread's distributed-tracing context: `(trace id, current
+/// span id)`. `(0, 0)` when no trace is active — spans recorded then
+/// carry no trace fields at all.
+pub fn trace_current() -> (u64, u64) {
+    TRACE.with(Cell::get)
+}
+
+/// Installs `(trace_id, parent_span)` as the thread's tracing context
+/// until the returned guard drops (restoring whatever was active before
+/// — batch sub-requests and relay hops nest). `parent_span` is the span
+/// id of the caller's span on the *previous* hop (0 for a trace root);
+/// spans opened under this guard become its children.
+pub fn with_trace(trace_id: u64, parent_span: u64) -> TraceGuard {
+    let prev = TRACE.with(|c| c.replace((trace_id, parent_span)));
+    TraceGuard { prev }
+}
+
+/// Sets the thread's *current span id* within the active trace (used by
+/// span guards to parent their children); returns the previous value.
+pub(crate) fn set_trace_span(span_id: u64) -> u64 {
+    TRACE.with(|c| {
+        let (trace, prev) = c.get();
+        c.set((trace, span_id));
+        prev
+    })
+}
+
+/// Restores the previous tracing context on drop (see [`with_trace`]).
+pub struct TraceGuard {
+    prev: (u64, u64),
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        TRACE.with(|c| c.set(self.prev));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -70,6 +147,29 @@ mod tests {
         assert_eq!(current(), (7, tag16("outer")));
         drop(outer);
         assert_eq!(current().0, 0);
+    }
+
+    #[test]
+    fn trace_contexts_nest_and_restore() {
+        assert_eq!(trace_current(), (0, 0));
+        let outer = with_trace(0xabc, 7);
+        assert_eq!(trace_current(), (0xabc, 7));
+        {
+            let _inner = with_trace(0xdef, 9);
+            assert_eq!(trace_current(), (0xdef, 9));
+        }
+        assert_eq!(trace_current(), (0xabc, 7));
+        drop(outer);
+        assert_eq!(trace_current(), (0, 0));
+    }
+
+    #[test]
+    fn span_ids_are_nonzero_and_distinct() {
+        let a = next_span_id();
+        let b = next_span_id();
+        assert_ne!(a, 0);
+        assert_ne!(b, 0);
+        assert_ne!(a, b);
     }
 
     #[test]

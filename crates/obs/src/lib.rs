@@ -23,6 +23,15 @@
 //! [`chrome::chrome_trace`] renders a snapshot as Chrome trace-event
 //! JSON, loadable in `about:tracing` or Perfetto — the payload of the
 //! `trace` protocol verb and the `cpm trace` CLI subcommand.
+//! [`chrome::chrome_trace_fleet`] merges per-node dumps (shipped as
+//! [`wire::OwnedRecord`]s) into one multi-process trace with cross-node
+//! flow arrows — the payload of the fleet `trace` collector.
+//!
+//! Distributed tracing rides on [`ctx`]: [`ctx::with_trace`] installs a
+//! `(trace id, parent span id)` pair for the current hop, every
+//! [`span`] opened under it allocates its own span id and parents its
+//! children, and the ids travel in each record so a merged dump can
+//! stitch request flow across processes.
 //!
 //! [validator]: validate_exposition
 
@@ -32,11 +41,13 @@ pub mod chrome;
 pub mod ctx;
 pub mod metrics;
 pub mod recorder;
+pub mod wire;
 
 pub use metrics::{validate_exposition, Counter, Gauge, Histogram, MetricsRegistry};
 pub use recorder::{
     current_tid, Record, RecordKind, Recorder, Span, CLAIM_SPIN_LIMIT, DEFAULT_CAPACITY,
 };
+pub use wire::OwnedRecord;
 
 /// Opens a span on the [global recorder](Recorder::global): begin now,
 /// end when the guard drops.

@@ -122,6 +122,14 @@ pub struct Record {
     pub num: u64,
     /// String field value (`""` = none; wins over `num` when set).
     pub sval: &'static str,
+    /// Distributed-tracing trace id (0 = recorded outside any trace).
+    pub trace_id: u64,
+    /// This span's own id within the trace (0 for instants and for
+    /// records outside any trace).
+    pub span_id: u64,
+    /// Span id of the parent span — on a remote hop, the span id carried
+    /// in on the wire (0 = trace root).
+    pub parent_span: u64,
 }
 
 impl Record {
@@ -149,6 +157,9 @@ struct Slot {
     num: AtomicU64,
     sval_ptr: AtomicU64,
     sval_len: AtomicU64,
+    trace_id: AtomicU64,
+    span_id: AtomicU64,
+    parent_span: AtomicU64,
 }
 
 impl Slot {
@@ -166,6 +177,9 @@ impl Slot {
             num: AtomicU64::new(0),
             sval_ptr: AtomicU64::new(0),
             sval_len: AtomicU64::new(0),
+            trace_id: AtomicU64::new(0),
+            span_id: AtomicU64::new(0),
+            parent_span: AtomicU64::new(0),
         }
     }
 }
@@ -285,7 +299,8 @@ impl Recorder {
     }
 
     /// Writes one record. The request id and tag are taken from the
-    /// calling thread's [request context](crate::ctx).
+    /// calling thread's [request context](crate::ctx); the trace id from
+    /// its tracing context (instants parent to the current span).
     pub fn record(
         &self,
         kind: RecordKind,
@@ -293,6 +308,24 @@ impl Recorder {
         key: &'static str,
         num: u64,
         sval: &'static str,
+    ) {
+        let (trace_id, parent) = ctx::trace_current();
+        self.record_traced(kind, name, key, num, sval, trace_id, 0, parent);
+    }
+
+    /// Writes one record with explicit trace/span ids (the span guard's
+    /// path — [`Recorder::record`] fills them from the thread context).
+    #[allow(clippy::too_many_arguments)]
+    fn record_traced(
+        &self,
+        kind: RecordKind,
+        name: &'static str,
+        key: &'static str,
+        num: u64,
+        sval: &'static str,
+        trace_id: u64,
+        span_id: u64,
+        parent_span: u64,
     ) {
         if !self.enabled.load(Ordering::Relaxed) {
             return;
@@ -364,6 +397,9 @@ impl Recorder {
         slot.num.store(num, Ordering::Relaxed);
         slot.sval_ptr.store(sval_ptr, Ordering::Relaxed);
         slot.sval_len.store(sval_len, Ordering::Relaxed);
+        slot.trace_id.store(trace_id, Ordering::Relaxed);
+        slot.span_id.store(span_id, Ordering::Relaxed);
+        slot.parent_span.store(parent_span, Ordering::Relaxed);
         slot.stamp.store(seq * 2 + 2, Ordering::Release);
     }
 
@@ -378,15 +414,43 @@ impl Recorder {
     }
 
     /// Opens a span: records the begin edge now, the end edge when the
-    /// returned guard drops (with any field set on the guard).
+    /// returned guard drops (with any field set on the guard). When the
+    /// calling thread has an active [tracing context](crate::ctx), the
+    /// span allocates its own span id, records the current span as its
+    /// parent, and becomes the current span until the guard drops — so
+    /// nested spans form a tree and spans on the next hop (which carry
+    /// this span's id as their wire parent) link across processes.
     pub fn span(&self, name: &'static str) -> Span<'_> {
-        self.record(RecordKind::Begin, name, "", 0, "");
+        let (trace_id, parent) = ctx::trace_current();
+        // Id allocation is skipped when recording is off, so the
+        // recorder-disabled path stays as close to free as the record
+        // path itself (the CI obs-overhead gate measures exactly this).
+        let (span_id, prev) = if trace_id != 0 && self.enabled() {
+            let id = ctx::next_span_id();
+            (id, ctx::set_trace_span(id))
+        } else {
+            (0, 0)
+        };
+        self.record_traced(
+            RecordKind::Begin,
+            name,
+            "",
+            0,
+            "",
+            trace_id,
+            span_id,
+            parent,
+        );
         Span {
             rec: self,
             name,
             key: "",
             num: 0,
             sval: "",
+            trace_id,
+            span_id,
+            parent_span: parent,
+            prev_span: prev,
         }
     }
 
@@ -422,6 +486,9 @@ impl Recorder {
                 let num = slot.num.load(Ordering::Relaxed);
                 let sval_ptr = slot.sval_ptr.load(Ordering::Relaxed);
                 let sval_len = slot.sval_len.load(Ordering::Relaxed);
+                let trace_id = slot.trace_id.load(Ordering::Relaxed);
+                let span_id = slot.span_id.load(Ordering::Relaxed);
+                let parent_span = slot.parent_span.load(Ordering::Relaxed);
                 fence(Ordering::Acquire);
                 if slot.stamp.load(Ordering::Relaxed) != s1 {
                     continue; // a writer raced us: retry
@@ -440,6 +507,9 @@ impl Recorder {
                     key: load_str(key_ptr, key_len),
                     num,
                     sval: load_str(sval_ptr, sval_len),
+                    trace_id,
+                    span_id,
+                    parent_span,
                 });
                 break;
             }
@@ -457,6 +527,10 @@ pub struct Span<'a> {
     key: &'static str,
     num: u64,
     sval: &'static str,
+    trace_id: u64,
+    span_id: u64,
+    parent_span: u64,
+    prev_span: u64,
 }
 
 impl Span<'_> {
@@ -472,12 +546,30 @@ impl Span<'_> {
         self.key = key;
         self.sval = sval;
     }
+
+    /// This span's id within the active trace (0 when no trace was
+    /// active at creation). The value a downstream hop must carry as its
+    /// wire `parent` to appear as this span's child in a merged trace.
+    pub fn span_id(&self) -> u64 {
+        self.span_id
+    }
 }
 
 impl Drop for Span<'_> {
     fn drop(&mut self) {
-        self.rec
-            .record(RecordKind::End, self.name, self.key, self.num, self.sval);
+        self.rec.record_traced(
+            RecordKind::End,
+            self.name,
+            self.key,
+            self.num,
+            self.sval,
+            self.trace_id,
+            self.span_id,
+            self.parent_span,
+        );
+        if self.span_id != 0 {
+            ctx::set_trace_span(self.prev_span);
+        }
     }
 }
 
@@ -503,6 +595,42 @@ mod tests {
         assert_eq!(records[2].sval, "predict");
         assert!(records[1].t_ns >= records[0].t_ns);
         assert!(records[2].t_ns >= records[1].t_ns);
+    }
+
+    #[test]
+    fn spans_form_a_tree_under_a_trace_context() {
+        let rec = Recorder::new(64);
+        let _t = ctx::with_trace(0xfeed, 0x77);
+        let outer_id;
+        {
+            let outer = rec.span("outer");
+            outer_id = outer.span_id();
+            let inner = rec.span("inner");
+            assert_ne!(outer_id, 0);
+            assert_ne!(inner.span_id(), 0);
+            rec.instant("tick", "", 0);
+        }
+        let records = rec.snapshot();
+        assert!(records.iter().all(|r| r.trace_id == 0xfeed));
+        // outer B, inner B, tick i, inner E, outer E.
+        assert_eq!(records[0].parent_span, 0x77); // wire parent
+        assert_eq!(records[1].parent_span, outer_id);
+        assert_eq!(records[2].parent_span, records[1].span_id); // instant under inner
+        assert_eq!(records[2].span_id, 0);
+        assert_eq!(records[4].span_id, outer_id);
+        // Guard restored: a fresh span parents to the wire parent again.
+        let fresh = rec.span("fresh");
+        assert_eq!(rec.snapshot().last().unwrap().parent_span, 0x77);
+        drop(fresh);
+    }
+
+    #[test]
+    fn untraced_spans_carry_no_trace_fields() {
+        let rec = Recorder::new(8);
+        drop(rec.span("plain"));
+        for r in rec.snapshot() {
+            assert_eq!((r.trace_id, r.span_id, r.parent_span), (0, 0, 0));
+        }
     }
 
     #[test]

@@ -1,0 +1,220 @@
+//! Owned, wire-serializable flight-recorder records.
+//!
+//! [`crate::Record`] borrows its strings as `&'static str` —
+//! perfect for the in-process ring, useless on a network. The fleet
+//! trace collector ships each member's snapshot as JSON, so this module
+//! provides [`OwnedRecord`]: the same fields with owned strings, plus a
+//! compact `Value` encoding (`to_value` / `from_value`) used by the
+//! `trace` verb's raw mode and the multi-node Chrome merger
+//! ([`chrome_trace_fleet`](crate::chrome::chrome_trace_fleet)).
+
+use serde_json::Value;
+
+use crate::recorder::{Record, RecordKind};
+
+/// One flight-recorder record with owned strings — the form that crosses
+/// the wire between fleet members and the trace collector.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OwnedRecord {
+    /// Global sequence number on the originating node.
+    pub seq: u64,
+    /// Begin / end / instant.
+    pub kind: RecordKind,
+    /// Recorder-assigned thread id on the originating node.
+    pub tid: u32,
+    /// Monotonic nanoseconds since the originating recorder's epoch.
+    pub t_ns: u64,
+    /// Internal request id on the originating node (0 = none).
+    pub req: u64,
+    /// Client-supplied request tag (may be empty).
+    pub tag: String,
+    /// Span/event name.
+    pub name: String,
+    /// Optional structured field key (empty = none).
+    pub key: String,
+    /// Numeric field value (meaningful when `key` is set and `sval` is
+    /// empty).
+    pub num: u64,
+    /// String field value (empty = none; wins over `num` when set).
+    pub sval: String,
+    /// Distributed-tracing trace id (0 = outside any trace).
+    pub trace_id: u64,
+    /// This span's own id (0 for instants / untraced records).
+    pub span_id: u64,
+    /// Parent span id (0 = trace root or untraced).
+    pub parent_span: u64,
+}
+
+fn kind_str(kind: RecordKind) -> &'static str {
+    match kind {
+        RecordKind::Begin => "B",
+        RecordKind::End => "E",
+        RecordKind::Instant => "i",
+    }
+}
+
+fn kind_from(s: &str) -> RecordKind {
+    match s {
+        "B" => RecordKind::Begin,
+        "E" => RecordKind::End,
+        _ => RecordKind::Instant,
+    }
+}
+
+impl From<&Record> for OwnedRecord {
+    fn from(r: &Record) -> OwnedRecord {
+        OwnedRecord {
+            seq: r.seq,
+            kind: r.kind,
+            tid: r.tid,
+            t_ns: r.t_ns,
+            req: r.req,
+            tag: r.tag_str(),
+            name: r.name.to_string(),
+            key: r.key.to_string(),
+            num: r.num,
+            sval: r.sval.to_string(),
+            trace_id: r.trace_id,
+            span_id: r.span_id,
+            parent_span: r.parent_span,
+        }
+    }
+}
+
+impl OwnedRecord {
+    /// Encodes the record as a JSON object. Zero/empty fields are
+    /// omitted, so untraced records stay compact on the wire.
+    pub fn to_value(&self) -> Value {
+        let mut entries = vec![
+            ("seq".to_string(), Value::U64(self.seq)),
+            (
+                "ph".to_string(),
+                Value::Str(kind_str(self.kind).to_string()),
+            ),
+            ("tid".to_string(), Value::U64(u64::from(self.tid))),
+            ("t_ns".to_string(), Value::U64(self.t_ns)),
+            ("name".to_string(), Value::Str(self.name.clone())),
+        ];
+        if self.req != 0 {
+            entries.push(("req".to_string(), Value::U64(self.req)));
+        }
+        if !self.tag.is_empty() {
+            entries.push(("tag".to_string(), Value::Str(self.tag.clone())));
+        }
+        if !self.key.is_empty() {
+            entries.push(("key".to_string(), Value::Str(self.key.clone())));
+            if self.sval.is_empty() {
+                entries.push(("num".to_string(), Value::U64(self.num)));
+            } else {
+                entries.push(("sval".to_string(), Value::Str(self.sval.clone())));
+            }
+        }
+        if self.trace_id != 0 {
+            entries.push(("trace".to_string(), Value::Str(hex16(self.trace_id))));
+        }
+        if self.span_id != 0 {
+            entries.push(("span".to_string(), Value::Str(hex16(self.span_id))));
+        }
+        if self.parent_span != 0 {
+            entries.push(("parent".to_string(), Value::Str(hex16(self.parent_span))));
+        }
+        Value::Map(entries)
+    }
+
+    /// Decodes a record from the [`OwnedRecord::to_value`] encoding.
+    /// Returns `None` when the required fields are missing or mistyped.
+    pub fn from_value(v: &Value) -> Option<OwnedRecord> {
+        let get_str = |k: &str| v.get(k).and_then(Value::as_str);
+        let get_u64 = |k: &str| v.get(k).and_then(Value::as_u64);
+        Some(OwnedRecord {
+            seq: get_u64("seq")?,
+            kind: kind_from(get_str("ph")?),
+            tid: u32::try_from(get_u64("tid")?).ok()?,
+            t_ns: get_u64("t_ns")?,
+            req: get_u64("req").unwrap_or(0),
+            tag: get_str("tag").unwrap_or("").to_string(),
+            name: get_str("name")?.to_string(),
+            key: get_str("key").unwrap_or("").to_string(),
+            num: get_u64("num").unwrap_or(0),
+            sval: get_str("sval").unwrap_or("").to_string(),
+            trace_id: get_str("trace").and_then(parse_hex16).unwrap_or(0),
+            span_id: get_str("span").and_then(parse_hex16).unwrap_or(0),
+            parent_span: get_str("parent").and_then(parse_hex16).unwrap_or(0),
+        })
+    }
+}
+
+/// Renders a trace/span id as the 16-hex-digit form carried on the wire.
+pub fn hex16(id: u64) -> String {
+    format!("{id:016x}")
+}
+
+/// Parses a 16-hex-digit (or shorter) id. `None` on empty/invalid input
+/// or a zero id (zero means "absent" everywhere in the protocol).
+pub fn parse_hex16(s: &str) -> Option<u64> {
+    if s.is_empty() || s.len() > 16 {
+        return None;
+    }
+    match u64::from_str_radix(s, 16) {
+        Ok(0) | Err(_) => None,
+        Ok(id) => Some(id),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owned_records_round_trip_through_values() {
+        let r = OwnedRecord {
+            seq: 42,
+            kind: RecordKind::Begin,
+            tid: 3,
+            t_ns: 123_456,
+            req: 9,
+            tag: "c0-7".to_string(),
+            name: "router.forward".to_string(),
+            key: "upstream".to_string(),
+            num: 2,
+            sval: String::new(),
+            trace_id: 0xdead_beef,
+            span_id: 0x1234,
+            parent_span: 0x99,
+        };
+        let back = OwnedRecord::from_value(&r.to_value()).expect("decode");
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn untraced_records_omit_trace_fields() {
+        let r = OwnedRecord {
+            seq: 0,
+            kind: RecordKind::Instant,
+            tid: 0,
+            t_ns: 1,
+            req: 0,
+            tag: String::new(),
+            name: "tick".to_string(),
+            key: String::new(),
+            num: 0,
+            sval: String::new(),
+            trace_id: 0,
+            span_id: 0,
+            parent_span: 0,
+        };
+        let v = r.to_value();
+        assert!(v.get("trace").is_none());
+        assert!(v.get("req").is_none());
+        assert_eq!(OwnedRecord::from_value(&v), Some(r));
+    }
+
+    #[test]
+    fn hex_ids_round_trip_and_reject_rot() {
+        assert_eq!(parse_hex16(&hex16(0xabcdef)), Some(0xabcdef));
+        assert_eq!(parse_hex16(""), None);
+        assert_eq!(parse_hex16("zz"), None);
+        assert_eq!(parse_hex16("0"), None); // zero = absent
+        assert_eq!(parse_hex16("00000000000000000"), None); // too long
+    }
+}

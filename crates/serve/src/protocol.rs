@@ -31,7 +31,10 @@
 //!   registry's Prometheus-style text exposition instead.
 //! - `trace` — dump the flight recorder as Chrome trace-event JSON
 //!   (loadable in `about:tracing`/Perfetto); `"last": N` bounds the dump
-//!   to the newest N records.
+//!   to the newest N records. `"raw": true` returns the records
+//!   themselves (the [`cpm_obs::OwnedRecord`] encoding) instead of a
+//!   rendered trace — the form the fleet trace collector ships between
+//!   nodes before merging.
 //! - `shutdown` — stop the server after responding (the worker pool
 //!   drains in-flight requests first).
 //!
@@ -44,6 +47,19 @@
 //! flight-recorder span the request produces, so a `trace` dump
 //! attributes service/registry/cache/model/planner spans to the client's
 //! request id.
+//!
+//! # Trace context
+//!
+//! Any request may carry a `"ctx"` object: `{"trace": "<16 hex
+//! digits>", "parent": "<16 hex digits>"}` — a distributed-tracing
+//! trace id plus the span id of the sender's span on the previous hop.
+//! (The key is `"ctx"`, not `"trace"`, because `plan` already uses
+//! `"trace"` for the workload trace itself.) The handler installs it for
+//! the request's duration, so every span recorded below carries the
+//! trace id and parents across the wire; a request without one becomes
+//! its own trace root with a fresh trace id. The binary framing carries
+//! the same JSON payload, so the context propagates identically on both
+//! wires.
 
 use cpm_cluster::ClusterConfig;
 use serde_json::Value;
@@ -114,10 +130,13 @@ pub enum Request {
         /// `true` for the Prometheus-style text exposition format.
         text: bool,
     },
-    /// Flight-recorder dump as Chrome trace-event JSON.
+    /// Flight-recorder dump as Chrome trace-event JSON (or raw records).
     Trace {
         /// Bound the dump to the newest N records.
         last: Option<usize>,
+        /// `true` to return raw records instead of a rendered Chrome
+        /// trace — the fleet collector's per-node collection form.
+        raw: bool,
     },
     /// Stop the server after responding.
     Shutdown,
@@ -324,7 +343,12 @@ pub fn parse_request_value(v: &Value) -> Result<Request> {
                         .ok_or_else(|| bad("field \"last\" must be a positive integer"))?,
                 ),
             };
-            Ok(Request::Trace { last })
+            let raw = match v.get("raw") {
+                None => false,
+                Some(Value::Bool(b)) => *b,
+                Some(_) => return Err(bad("field \"raw\" must be a boolean")),
+            };
+            Ok(Request::Trace { last, raw })
         }
         "shutdown" => Ok(Request::Shutdown),
         other => Err(bad(format!(
@@ -371,6 +395,44 @@ pub fn echo_id(value: &mut Value, id: &Option<Value>) {
     if let (Value::Map(entries), Some(id)) = (value, id) {
         let at = usize::from(entries.first().is_some_and(|(k, _)| k == "ok"));
         entries.insert(at, ("id".to_string(), id.clone()));
+    }
+}
+
+/// Extracts the wire trace context from a request object: `"ctx":
+/// {"trace": "<hex16>", "parent": "<hex16>"}`. Returns `(trace id,
+/// parent span id)`; `None` when absent or malformed (a bad context is
+/// ignored rather than failing the request — tracing is best-effort).
+pub fn trace_ctx(v: &Value) -> Option<(u64, u64)> {
+    let ctx = v.get("ctx")?;
+    let trace = ctx
+        .get("trace")
+        .and_then(Value::as_str)
+        .and_then(cpm_obs::wire::parse_hex16)?;
+    let parent = ctx
+        .get("parent")
+        .and_then(Value::as_str)
+        .and_then(cpm_obs::wire::parse_hex16)
+        .unwrap_or(0);
+    Some((trace, parent))
+}
+
+/// Injects (or replaces) the wire trace context on a request object —
+/// what a relay hop does before forwarding, so downstream spans parent
+/// to the relay's own span.
+pub fn inject_trace_ctx(v: &mut Value, trace_id: u64, parent_span: u64) {
+    if trace_id == 0 {
+        return;
+    }
+    let ctx = obj(vec![
+        ("trace", Value::Str(cpm_obs::wire::hex16(trace_id))),
+        ("parent", Value::Str(cpm_obs::wire::hex16(parent_span))),
+    ]);
+    if let Value::Map(entries) = v {
+        if let Some(slot) = entries.iter_mut().find(|(k, _)| k == "ctx") {
+            slot.1 = ctx;
+        } else {
+            entries.push(("ctx".to_string(), ctx));
+        }
     }
 }
 
@@ -531,13 +593,26 @@ pub fn respond(service: &Service, req: &Request) -> Result<Value> {
                 ("responses", Value::Seq(responses)),
             ]))
         }
-        Request::Trace { last } => {
+        Request::Trace { last, raw } => {
             let recorder = cpm_obs::Recorder::global();
             let mut records = recorder.snapshot();
             if let Some(last) = *last {
                 if records.len() > last {
                     records.drain(..records.len() - last);
                 }
+            }
+            if *raw {
+                // The fleet collector's per-node form: records themselves,
+                // ready to merge into a multi-process Chrome trace.
+                let raw: Vec<Value> = records
+                    .iter()
+                    .map(|r| cpm_obs::OwnedRecord::from(r).to_value())
+                    .collect();
+                return Ok(obj(vec![
+                    ("recorded", Value::U64(recorder.recorded())),
+                    ("dropped", Value::U64(recorder.dropped())),
+                    ("records", Value::Seq(raw)),
+                ]));
             }
             Ok(obj(vec![
                 ("recorded", Value::U64(recorder.recorded())),
@@ -613,6 +688,15 @@ pub fn handle_line(service: &Service, line: &str) -> (String, bool) {
         cpm_obs::next_request_id(),
         id.as_ref().map(id_tag).unwrap_or_default(),
     );
+    // Distributed-tracing context: adopt the wire's `(trace, parent)`
+    // when the request carried one, otherwise this request becomes its
+    // own trace root with a fresh trace id. Every span below inherits it.
+    let (trace_id, parent_span) = decoded
+        .as_ref()
+        .ok()
+        .and_then(trace_ctx)
+        .unwrap_or_else(|| (cpm_obs::ctx::next_span_id(), 0));
+    let _tctx = cpm_obs::ctx::with_trace(trace_id, parent_span);
     // The request span covers shape validation, execution and response
     // serialization — everything attributed to this verb's latency
     // histogram except the raw JSON decode above.
@@ -742,14 +826,50 @@ mod tests {
     fn parses_trace() {
         assert!(matches!(
             parse_request("{\"verb\":\"trace\"}").unwrap(),
-            Request::Trace { last: None }
+            Request::Trace {
+                last: None,
+                raw: false
+            }
         ));
         assert!(matches!(
             parse_request("{\"verb\":\"trace\",\"last\":100}").unwrap(),
-            Request::Trace { last: Some(100) }
+            Request::Trace {
+                last: Some(100),
+                raw: false
+            }
+        ));
+        assert!(matches!(
+            parse_request("{\"verb\":\"trace\",\"raw\":true,\"last\":5}").unwrap(),
+            Request::Trace {
+                last: Some(5),
+                raw: true
+            }
         ));
         assert!(parse_request("{\"verb\":\"trace\",\"last\":0}").is_err());
         assert!(parse_request("{\"verb\":\"trace\",\"last\":\"x\"}").is_err());
+        assert!(parse_request("{\"verb\":\"trace\",\"raw\":1}").is_err());
+    }
+
+    #[test]
+    fn trace_context_parses_and_injects() {
+        let v: Value = serde_json::from_str(
+            "{\"verb\":\"stats\",\"ctx\":{\"trace\":\"00000000000000ab\",\
+             \"parent\":\"00000000000000cd\"}}",
+        )
+        .unwrap();
+        assert_eq!(trace_ctx(&v), Some((0xab, 0xcd)));
+        // Absent / malformed contexts are ignored, not errors.
+        let plain: Value = serde_json::from_str("{\"verb\":\"stats\"}").unwrap();
+        assert_eq!(trace_ctx(&plain), None);
+        let rot: Value =
+            serde_json::from_str("{\"verb\":\"stats\",\"ctx\":{\"trace\":\"zz\"}}").unwrap();
+        assert_eq!(trace_ctx(&rot), None);
+        // Injection adds the context, and re-injection replaces it.
+        let mut fwd = plain.clone();
+        inject_trace_ctx(&mut fwd, 0xab, 0x11);
+        assert_eq!(trace_ctx(&fwd), Some((0xab, 0x11)));
+        inject_trace_ctx(&mut fwd, 0xab, 0x22);
+        assert_eq!(trace_ctx(&fwd), Some((0xab, 0x22)));
     }
 
     #[test]

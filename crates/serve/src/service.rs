@@ -428,6 +428,17 @@ pub struct Metrics {
     des_events: Counter,
     /// Wall-clock time of each DES-fidelity plan replay, nanoseconds.
     des_replay_ns: Histogram,
+    /// Flight-recorder records abandoned by the global ring (mirrors
+    /// [`cpm_obs::Recorder::dropped`], synced on every exposition).
+    obs_dropped: Counter,
+    /// Last recorder dropped-count folded into `obs_dropped` (the sync
+    /// is a delta so the counter stays monotone across calls).
+    obs_dropped_synced: AtomicU64,
+    /// Critical-path length of each analytic plan, nanoseconds of
+    /// predicted makespan attributed along the path.
+    plan_critical_ns: Histogram,
+    /// Number of ops on each analytic plan's critical path.
+    plan_critical_ops: Histogram,
 }
 
 impl Default for Metrics {
@@ -552,6 +563,22 @@ impl Metrics {
                 "Wall-clock time of each DES-fidelity plan replay, nanoseconds.",
                 &[],
             ),
+            obs_dropped: registry.counter(
+                "cpm_obs_records_dropped_total",
+                "Flight-recorder records abandoned by the global ring.",
+                &[],
+            ),
+            obs_dropped_synced: AtomicU64::new(0),
+            plan_critical_ns: registry.histogram(
+                "cpm_plan_critical_ns",
+                "Predicted makespan attributed along each plan's critical path, nanoseconds.",
+                &[],
+            ),
+            plan_critical_ops: registry.histogram(
+                "cpm_plan_critical_ops",
+                "Number of ops on each plan's critical path.",
+                &[],
+            ),
             latency,
             plan_phase,
             registry,
@@ -581,8 +608,16 @@ impl Metrics {
     }
 
     /// The Prometheus-style text exposition of the whole registry (the
-    /// `stats` verb's `"format":"text"` answer).
+    /// `stats` verb's `"format":"text"` answer). Folds the global
+    /// flight recorder's dropped count into
+    /// `cpm_obs_records_dropped_total` first, so the exposition always
+    /// reflects the ring's current state.
     pub fn exposition(&self) -> String {
+        let dropped = cpm_obs::Recorder::global().dropped();
+        let prev = self.obs_dropped_synced.swap(dropped, Ordering::Relaxed);
+        if dropped > prev {
+            self.obs_dropped.add(dropped - prev);
+        }
         self.registry.exposition()
     }
 
@@ -595,6 +630,15 @@ impl Metrics {
     fn observe_plan_profile(&self, profile: &PlanProfile) {
         self.plan_phase[0].record(profile.lower_ns);
         self.plan_phase[1].record(profile.analyze_ns);
+    }
+
+    /// Records one analytic plan's critical-path shape: predicted
+    /// nanoseconds along the path and the number of ops on it.
+    fn observe_plan_critical(&self, plan: &Plan) {
+        let cp = &plan.critical_path;
+        self.plan_critical_ns
+            .record((cp.seconds * 1e9).max(0.0) as u64);
+        self.plan_critical_ops.record(cp.steps.len() as u64);
     }
 
     fn observe_des_replay(&self, events: u64, ns: u64) {
@@ -973,6 +1017,7 @@ impl Service {
         // not misreported as plan-cache misses.
         self.metrics.plan_misses.inc();
         self.metrics.observe_plan_profile(&profile);
+        self.metrics.observe_plan_critical(&plan);
         let plan = Arc::new(plan);
         {
             let mut plans = self.plans.lock();
@@ -1027,6 +1072,7 @@ impl Service {
             cpm_workload::plan_profiled(trace, &cpm_workload::PlanModel::LmoHier(h))
                 .map_err(|e| ServeError::Protocol(format!("plan failed: {e}")))?;
         self.metrics.observe_plan_profile(&profile);
+        self.metrics.observe_plan_critical(&plan);
         Ok(PlannedWorkload {
             plan: Arc::new(plan),
             fingerprint: cluster.resolve_fingerprint(),

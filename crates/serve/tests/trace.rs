@@ -205,6 +205,11 @@ fn stats_text_is_a_valid_prometheus_exposition_covering_all_subsystems() {
         "cpm_serve_frames_total{format=\"binary\"} 0",
         "cpm_plan_phase_ns_bucket{phase=\"lower\",le=\"",
         "cpm_plan_phase_ns_count{phase=\"analyze\"} 1",
+        // The flight-recorder drop counter always renders (counters are
+        // never skipped), and the plan above recorded its critical path.
+        "cpm_obs_records_dropped_total",
+        "cpm_plan_critical_ns_count 1",
+        "cpm_plan_critical_ops_count 1",
     ] {
         assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
     }

@@ -23,7 +23,7 @@ pub mod runner;
 pub mod timing;
 
 pub use comm::Comm;
-pub use cpm_netsim::{ScriptOp, ScriptOutcome};
+pub use cpm_netsim::{DesEventCounts, ScriptOp, ScriptOutcome, Trace};
 pub use probe::one_way_times;
-pub use runner::{run, run_program, run_timed, run_timed_max, RunOutput};
+pub use runner::{run, run_program, run_program_traced, run_timed, run_timed_max, RunOutput};
 pub use timing::{measure_with_method, TimingMethod};

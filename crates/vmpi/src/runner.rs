@@ -2,7 +2,9 @@
 
 use cpm_core::error::Result;
 use cpm_core::rank::Rank;
-use cpm_netsim::{run_script, simulate, ScriptOp, ScriptOutcome, SimCluster, SimStats};
+use cpm_netsim::{
+    run_script, run_script_traced, simulate, ScriptOp, ScriptOutcome, SimCluster, SimStats,
+};
 
 use crate::comm::Comm;
 
@@ -44,6 +46,20 @@ where
 /// Returns a simulation error on deadlock.
 pub fn run_program(cluster: &SimCluster, programs: &[Vec<ScriptOp>]) -> Result<ScriptOutcome> {
     run_script(cluster, programs)
+}
+
+/// [`run_program`] with recording enabled: the outcome additionally
+/// carries the kernel's semantic trace and the DES engine's per-kind
+/// event counts, at identical virtual timings (recording is a pop-side
+/// observer on the event queue, never a scheduling input).
+///
+/// # Errors
+/// Returns a simulation error on deadlock.
+pub fn run_program_traced(
+    cluster: &SimCluster,
+    programs: &[Vec<ScriptOp>],
+) -> Result<ScriptOutcome> {
+    run_script_traced(cluster, programs)
 }
 
 /// Runs a *timed experiment*: every rank executes `op` `reps` times with

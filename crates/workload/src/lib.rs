@@ -45,12 +45,12 @@ pub mod trace;
 
 pub use lower::{lower, Algorithm, Lowered, Prim, RankPrim};
 pub use plan::{
-    choose, plan, plan_profiled, ModelKind, ModelSet, OpReport, PhaseReport, Plan, PlanModel,
-    PlanProfile,
+    choose, plan, plan_profiled, CpStep, CriticalPath, ModelKind, ModelSet, OpReport, PhaseReport,
+    Plan, PlanModel, PlanProfile,
 };
 pub use replay::{
-    compare, replay, truth_choices, CompareReport, OpResidual, P2pObservation, ReplayOp,
-    ReplayReport,
+    compare, replay, replay_traced, truth_choices, CompareReport, OpResidual, P2pObservation,
+    ReplayOp, ReplayReport,
 };
 pub use trace::{OpKind, Trace, TraceOp, WorkloadError};
 

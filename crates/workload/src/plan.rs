@@ -203,6 +203,87 @@ pub struct PhaseReport {
     pub end: f64,
 }
 
+/// One resource occupancy on the critical path.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CpStep {
+    /// Rank whose resource the step occupies: the sender for
+    /// `tx`/`latency`/`wire`/`p2p` steps, the receiver for `rx`.
+    pub rank: usize,
+    /// Trace op id the step implements.
+    pub op: u64,
+    /// Resource kind: `"tx"`, `"latency"`, `"wire"`, `"rx"` (separable
+    /// LMO), `"p2p"` (whole-transfer models) or `"compute"`.
+    pub kind: &'static str,
+    /// Step start, seconds from t=0.
+    pub start: f64,
+    /// Step end, seconds from t=0.
+    pub end: f64,
+    /// Model-term attribution of `end - start`: `C`/`t`/`L`/`beta` under
+    /// LMO (`L[<level>]`/`beta[<level>]` under the hierarchical model),
+    /// `alpha`/`beta` under whole-transfer models, plus `compute`.
+    pub terms: Vec<(String, f64)>,
+}
+
+/// The longest dependency chain behind a plan's makespan: the sequence of
+/// resource occupancies in which every step begins exactly where its
+/// binding predecessor ends, starting at t=0 and ending at the makespan.
+///
+/// This is the explanation the paper asks predictions to come with:
+/// summing [`CriticalPath::terms`] recovers the makespan (up to float
+/// rounding), so the breakdown says which model parameters — per-level
+/// where the model is hierarchical — the predicted time is made of.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CriticalPath {
+    /// Total path time, seconds. Equals the makespan up to rounding.
+    pub seconds: f64,
+    /// The chain in time order; `steps[k].start == steps[k-1].end`.
+    pub steps: Vec<CpStep>,
+    /// Term attribution summed over the steps, in first-seen order.
+    pub terms: Vec<(String, f64)>,
+}
+
+impl CriticalPath {
+    /// JSON form embedded in [`Plan::to_value`].
+    pub fn to_value(&self) -> serde_json::Value {
+        use serde_json::Value;
+        let steps: Vec<Value> = self
+            .steps
+            .iter()
+            .map(|s| {
+                Value::Map(vec![
+                    ("rank".to_string(), Value::U64(s.rank as u64)),
+                    ("op".to_string(), Value::U64(s.op)),
+                    ("kind".to_string(), Value::Str(s.kind.to_string())),
+                    ("start".to_string(), Value::F64(s.start)),
+                    ("end".to_string(), Value::F64(s.end)),
+                    (
+                        "terms".to_string(),
+                        Value::Map(
+                            s.terms
+                                .iter()
+                                .map(|(k, v)| (k.clone(), Value::F64(*v)))
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        Value::Map(vec![
+            ("seconds".to_string(), Value::F64(self.seconds)),
+            (
+                "terms".to_string(),
+                Value::Map(
+                    self.terms
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Value::F64(*v)))
+                        .collect(),
+                ),
+            ),
+            ("steps".to_string(), Value::Seq(steps)),
+        ])
+    }
+}
+
 /// The analytic prediction for one trace under one model.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Plan {
@@ -216,6 +297,8 @@ pub struct Plan {
     pub ops: Vec<OpReport>,
     /// Per-phase spans.
     pub phases: Vec<PhaseReport>,
+    /// The binding dependency chain and its model-term attribution.
+    pub critical_path: CriticalPath,
 }
 
 impl Plan {
@@ -260,6 +343,7 @@ impl Plan {
             ("makespan_seconds".to_string(), Value::F64(self.makespan)),
             ("ops".to_string(), Value::Seq(ops)),
             ("phases".to_string(), Value::Seq(phases)),
+            ("critical_path".to_string(), self.critical_path.to_value()),
         ])
     }
 }
@@ -425,6 +509,243 @@ struct Msg {
     src: usize,
     dst: usize,
     m: Bytes,
+    /// Index into `trace.ops` of the op whose send produced the message.
+    op: usize,
+}
+
+/// One tracked resource occupancy; `pred` is the segment whose end bound
+/// this segment's start (the binding dependency, not program order).
+struct CpSeg {
+    rank: usize,
+    op: usize,
+    kind: &'static str,
+    start: f64,
+    end: f64,
+    terms: Vec<(String, f64)>,
+    pred: Option<usize>,
+}
+
+/// Critical-path bookkeeping, kept out of the machine's hot loop unless
+/// requested (the hierarchical chooser runs the machine many times per
+/// plan and never needs a path).
+///
+/// Invariant: after every machine step, `rank_seg[r]` (if any) ends
+/// exactly at `clock[r]`, so walking `pred` links back from the rank that
+/// realizes the makespan yields a gap-free chain from t=0.
+struct CpTracker {
+    segs: Vec<CpSeg>,
+    /// Segment that produced each rank's current clock.
+    rank_seg: Vec<Option<usize>>,
+    /// Segment that last occupied each connection (`src·n + dst`).
+    conn_seg: Vec<Option<usize>>,
+    /// Segment that last occupied each rank's rx engine.
+    rx_seg: Vec<Option<usize>>,
+    /// Head segment of each in-flight message's chain.
+    msg_seg: Vec<Option<usize>>,
+    /// Innermost common level per pair (`src·n + dst`), when the plan is
+    /// for a hierarchical model — selects the level-suffixed term names.
+    pair_level: Option<Vec<usize>>,
+    /// Latency term name per level (just `"L"` for flat models).
+    lat_names: Vec<String>,
+    /// Wire term name per level (just `"beta"` for flat models).
+    wire_names: Vec<String>,
+}
+
+impl CpTracker {
+    fn new(n: usize, hier: Option<&HierLmo>) -> Self {
+        let (pair_level, lat_names, wire_names) = match hier {
+            Some(h) => {
+                let mut pl = vec![0usize; n * n];
+                for i in 0..n {
+                    for j in 0..n {
+                        if i != j {
+                            pl[i * n + j] = h.level_of(Rank(i as u32), Rank(j as u32));
+                        }
+                    }
+                }
+                let lat = h.levels.iter().map(|l| format!("L[{}]", l.name)).collect();
+                let wire = h
+                    .levels
+                    .iter()
+                    .map(|l| format!("beta[{}]", l.name))
+                    .collect();
+                (Some(pl), lat, wire)
+            }
+            None => (None, vec!["L".to_string()], vec!["beta".to_string()]),
+        };
+        CpTracker {
+            segs: Vec::new(),
+            rank_seg: vec![None; n],
+            conn_seg: vec![None; n * n],
+            rx_seg: vec![None; n],
+            msg_seg: Vec::new(),
+            pair_level,
+            lat_names,
+            wire_names,
+        }
+    }
+
+    fn push(&mut self, seg: CpSeg) -> usize {
+        self.segs.push(seg);
+        self.segs.len() - 1
+    }
+
+    fn end_of(&self, seg: Option<usize>) -> f64 {
+        seg.map_or(0.0, |i| self.segs[i].end)
+    }
+
+    /// Separable LMO send: tx occupancy, then latency, then the wire slot
+    /// (bound by whichever of arrival and connection availability is
+    /// later). Registers the wire segment as the message chain head.
+    #[allow(clippy::too_many_arguments)]
+    fn lmo_send(
+        &mut self,
+        n: usize,
+        src: usize,
+        dst: usize,
+        op: usize,
+        now: f64,
+        s1: f64,
+        c_term: f64,
+        t_term: f64,
+        lat: f64,
+        arrival: f64,
+        conn_was: f64,
+        wire_start: f64,
+        done: f64,
+        wire: f64,
+    ) {
+        let lv = self.pair_level.as_ref().map_or(0, |pl| pl[src * n + dst]);
+        let pred = self.rank_seg[src];
+        let tx = self.push(CpSeg {
+            rank: src,
+            op,
+            kind: "tx",
+            start: now,
+            end: s1,
+            terms: vec![("C".to_string(), c_term), ("t".to_string(), t_term)],
+            pred,
+        });
+        self.rank_seg[src] = Some(tx);
+        let lat_terms = vec![(self.lat_names[lv].clone(), lat)];
+        let latseg = self.push(CpSeg {
+            rank: src,
+            op,
+            kind: "latency",
+            start: s1,
+            end: arrival,
+            terms: lat_terms,
+            pred: Some(tx),
+        });
+        let wire_pred = if conn_was > arrival {
+            self.conn_seg[src * n + dst]
+        } else {
+            Some(latseg)
+        };
+        let wire_terms = vec![(self.wire_names[lv].clone(), wire)];
+        let w = self.push(CpSeg {
+            rank: src,
+            op,
+            kind: "wire",
+            start: wire_start,
+            end: done,
+            terms: wire_terms,
+            pred: wire_pred,
+        });
+        self.conn_seg[src * n + dst] = Some(w);
+        self.msg_seg.push(Some(w));
+    }
+
+    /// Whole-transfer send under a non-separable model, split into the
+    /// model's zero-byte time (`alpha`) and the size-dependent remainder
+    /// (`beta`).
+    fn p2p_send(&mut self, src: usize, op: usize, now: f64, s1: f64, alpha: f64) {
+        let pred = self.rank_seg[src];
+        let seg = self.push(CpSeg {
+            rank: src,
+            op,
+            kind: "p2p",
+            start: now,
+            end: s1,
+            terms: vec![
+                ("alpha".to_string(), alpha),
+                ("beta".to_string(), (s1 - now) - alpha),
+            ],
+            pred,
+        });
+        self.rank_seg[src] = Some(seg);
+        self.msg_seg.push(Some(seg));
+    }
+
+    fn compute(&mut self, rank: usize, op: usize, start: f64, end: f64) {
+        let pred = self.rank_seg[rank];
+        let seg = self.push(CpSeg {
+            rank,
+            op,
+            kind: "compute",
+            start,
+            end,
+            terms: vec![("compute".to_string(), end - start)],
+            pred,
+        });
+        self.rank_seg[rank] = Some(seg);
+    }
+
+    /// Rx-engine occupancy of a delivered message, bound by the later of
+    /// the wire completion and the engine's previous occupancy.
+    #[allow(clippy::too_many_arguments)]
+    fn rx(
+        &mut self,
+        msg_id: usize,
+        dst: usize,
+        op: usize,
+        rx_was: f64,
+        arrived: f64,
+        r0: f64,
+        r1: f64,
+        c_term: f64,
+        t_term: f64,
+    ) {
+        let pred = if rx_was > arrived {
+            self.rx_seg[dst]
+        } else {
+            self.msg_seg[msg_id]
+        };
+        let seg = self.push(CpSeg {
+            rank: dst,
+            op,
+            kind: "rx",
+            start: r0,
+            end: r1,
+            terms: vec![("C".to_string(), c_term), ("t".to_string(), t_term)],
+            pred,
+        });
+        self.rx_seg[dst] = Some(seg);
+        self.msg_seg[msg_id] = Some(seg);
+    }
+
+    /// A receive consumed `msg_id`: if the message chain is what raised
+    /// the rank's clock, it becomes the rank's binding chain.
+    fn consume(&mut self, rank: usize, msg_id: usize) {
+        if self.end_of(self.msg_seg[msg_id]) > self.end_of(self.rank_seg[rank]) {
+            self.rank_seg[rank] = self.msg_seg[msg_id];
+        }
+    }
+
+    /// A full barrier released: every waiter's clock becomes the latest
+    /// arriver's, so every waiter binds to that arriver's chain.
+    fn barrier_release(&mut self, waiters: &[(usize, usize)], clocks: &[f64]) {
+        let Some(&(star, _)) = waiters
+            .iter()
+            .max_by(|a, b| clocks[a.0].total_cmp(&clocks[b.0]))
+        else {
+            return;
+        };
+        let chain = self.rank_seg[star];
+        for &(r, _) in waiters {
+            self.rank_seg[r] = chain;
+        }
+    }
 }
 
 struct Machine<'a> {
@@ -452,6 +773,9 @@ struct Machine<'a> {
     barrier: Vec<(usize, usize)>,
     /// Per-op (earliest, latest) activity.
     windows: Vec<(f64, f64)>,
+    /// Critical-path bookkeeping; `None` (the chooser's probes) costs
+    /// nothing.
+    cp: Option<CpTracker>,
 }
 
 impl<'a> Machine<'a> {
@@ -475,7 +799,14 @@ impl<'a> Machine<'a> {
             events: cpm_des::Engine::new(),
             barrier: Vec::new(),
             windows: vec![(f64::INFINITY, f64::NEG_INFINITY); ops],
+            cp: None,
         }
+    }
+
+    /// Turns on critical-path tracking; pass the hierarchical model when
+    /// planning under one so link terms carry level-suffixed names.
+    fn track_critical_path(&mut self, hier: Option<&HierLmo>) {
+        self.cp = Some(CpTracker::new(self.lowered.n, hier));
     }
 
     fn push(&mut self, t: f64, kind: EvKind) {
@@ -502,22 +833,52 @@ impl<'a> Machine<'a> {
                 Prim::Send { dst, m } => {
                     let (s1, deliver_path) = if let Some(l) = self.lmo {
                         // tx engine slot; the sender returns when it ends.
-                        let s1 = now + l.c[rank] + m as f64 * l.t[rank];
+                        let c_term = l.c[rank];
+                        let t_term = m as f64 * l.t[rank];
+                        let s1 = now + c_term + t_term;
                         // Wire: latency, then serialization behind earlier
                         // transfers on the same connection. Same-pair
                         // arrivals are posting-ordered (same sender tx
                         // serialization, same latency), so the connection
                         // slot can be claimed at post time.
-                        let arrival = s1 + *l.l.get(Rank(rank as u32), dst);
-                        let conn = &mut self.conn_free[rank * self.lowered.n + dst.idx()];
-                        let wire_start = conn.max(arrival);
-                        let done = wire_start + m as f64 / *l.beta.get(Rank(rank as u32), dst);
-                        *conn = done;
+                        let lat = *l.l.get(Rank(rank as u32), dst);
+                        let arrival = s1 + lat;
+                        let conn = rank * self.lowered.n + dst.idx();
+                        let conn_was = self.conn_free[conn];
+                        let wire_start = conn_was.max(arrival);
+                        let wire = m as f64 / *l.beta.get(Rank(rank as u32), dst);
+                        let done = wire_start + wire;
+                        self.conn_free[conn] = done;
+                        if let Some(cp) = self.cp.as_mut() {
+                            cp.lmo_send(
+                                self.lowered.n,
+                                rank,
+                                dst.idx(),
+                                rp.op,
+                                now,
+                                s1,
+                                c_term,
+                                t_term,
+                                lat,
+                                arrival,
+                                conn_was,
+                                wire_start,
+                                done,
+                                wire,
+                            );
+                        }
                         (s1, Some(done))
                     } else {
                         // Non-separable model: the whole transfer occupies
                         // the sender; delivery coincides with completion.
                         let t = self.p2p.p2p(Rank(rank as u32), dst, m);
+                        if let Some(cp) = self.cp.as_mut() {
+                            // Zero-byte time is the model's fixed part;
+                            // clamp so a degenerate fit still attributes
+                            // non-negative alpha/beta.
+                            let alpha = self.p2p.p2p(Rank(rank as u32), dst, 0).clamp(0.0, t);
+                            cp.p2p_send(rank, rp.op, now, now + t, alpha);
+                        }
                         (now + t, None)
                     };
                     let msg_id = self.msgs.len();
@@ -525,6 +886,7 @@ impl<'a> Machine<'a> {
                         src: rank,
                         dst: dst.idx(),
                         m,
+                        op: rp.op,
                     });
                     match deliver_path {
                         Some(done) => self.push(done, EvKind::TransferDone(msg_id)),
@@ -542,7 +904,10 @@ impl<'a> Machine<'a> {
                         .iter()
                         .position(|&id| self.msgs[id].src == src.idx())
                     {
-                        self.mailbox[rank].remove(pos);
+                        let id = self.mailbox[rank].remove(pos);
+                        if let Some(cp) = self.cp.as_mut() {
+                            cp.consume(rank, id);
+                        }
                         self.touch(rp.op, now, now);
                         self.pc[rank] += 1;
                         continue;
@@ -553,6 +918,9 @@ impl<'a> Machine<'a> {
                 }
                 Prim::Compute { secs } => {
                     let end = now + secs;
+                    if let Some(cp) = self.cp.as_mut() {
+                        cp.compute(rank, rp.op, now, end);
+                    }
                     self.touch(rp.op, now, end);
                     self.clock[rank] = end;
                     self.pc[rank] += 1;
@@ -571,6 +939,9 @@ impl<'a> Machine<'a> {
                             .map(|&(r, _)| self.clock[r])
                             .fold(0.0, f64::max);
                         let waiters = std::mem::take(&mut self.barrier);
+                        if let Some(cp) = self.cp.as_mut() {
+                            cp.barrier_release(&waiters, &self.clock);
+                        }
                         for (r, op) in waiters {
                             self.touch(op, release, release);
                             self.clock[r] = release;
@@ -599,11 +970,17 @@ impl<'a> Machine<'a> {
                 }
                 EvKind::TransferDone(id) => {
                     // rx engine slot, in arrival order, posted or not.
-                    let (dst, m) = (self.msgs[id].dst, self.msgs[id].m);
+                    let (dst, m, op) = (self.msgs[id].dst, self.msgs[id].m, self.msgs[id].op);
                     let l = self.lmo.expect("TransferDone only under LMO");
-                    let r0 = self.rx_free[dst].max(t);
-                    let r1 = r0 + l.c[dst] + m as f64 * l.t[dst];
+                    let rx_was = self.rx_free[dst];
+                    let r0 = rx_was.max(t);
+                    let c_term = l.c[dst];
+                    let t_term = m as f64 * l.t[dst];
+                    let r1 = r0 + c_term + t_term;
                     self.rx_free[dst] = r1;
+                    if let Some(cp) = self.cp.as_mut() {
+                        cp.rx(id, dst, op, rx_was, t, r0, r1, c_term, t_term);
+                    }
                     self.push(r1, EvKind::Deliver(id));
                 }
                 EvKind::Deliver(id) => {
@@ -630,6 +1007,55 @@ impl<'a> Machine<'a> {
 
     fn makespan(&self) -> f64 {
         self.clock.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Walks the binding-predecessor links back from the rank that
+    /// realizes the makespan and renders the chain in time order.
+    /// Requires [`Machine::track_critical_path`] before [`Machine::run`];
+    /// returns an empty path otherwise (or when nothing advanced a clock).
+    fn critical_path(&self, trace: &Trace) -> CriticalPath {
+        let Some(cp) = &self.cp else {
+            return CriticalPath::default();
+        };
+        let Some(last) = (0..self.lowered.n)
+            .max_by(|&a, &b| self.clock[a].total_cmp(&self.clock[b]))
+            .and_then(|r| cp.rank_seg[r])
+        else {
+            return CriticalPath::default();
+        };
+        let mut idxs = Vec::new();
+        let mut cur = Some(last);
+        while let Some(i) = cur {
+            idxs.push(i);
+            cur = cp.segs[i].pred;
+        }
+        idxs.reverse();
+        let mut steps = Vec::with_capacity(idxs.len());
+        let mut terms: Vec<(String, f64)> = Vec::new();
+        let mut seconds = 0.0;
+        for &i in &idxs {
+            let s = &cp.segs[i];
+            seconds += s.end - s.start;
+            for (k, v) in &s.terms {
+                match terms.iter_mut().find(|(name, _)| name == k) {
+                    Some((_, acc)) => *acc += *v,
+                    None => terms.push((k.clone(), *v)),
+                }
+            }
+            steps.push(CpStep {
+                rank: s.rank,
+                op: trace.ops[s.op].id,
+                kind: s.kind,
+                start: s.start,
+                end: s.end,
+                terms: s.terms.clone(),
+            });
+        }
+        CriticalPath {
+            seconds,
+            steps,
+            terms,
+        }
     }
 }
 
@@ -689,6 +1115,10 @@ pub fn plan_profiled(
     let sp_analyze = cpm_obs::span("plan.analyze");
     let machine_model = model.machine_model();
     let mut machine = Machine::new(&lowered, &machine_model);
+    machine.track_critical_path(match model {
+        PlanModel::LmoHier(h) => Some(h),
+        _ => None,
+    });
     machine.run()?;
 
     let ops: Vec<OpReport> = trace
@@ -731,6 +1161,7 @@ pub fn plan_profiled(
         model: model.kind(),
         trace_hash: trace.hash(),
         makespan: machine.makespan(),
+        critical_path: machine.critical_path(trace),
         ops,
         phases,
     };
@@ -1002,6 +1433,181 @@ mod tests {
                 fp.makespan
             );
         }
+    }
+
+    fn assert_path_explains(p: &Plan, what: &str) {
+        let cp = &p.critical_path;
+        let rel = |a: f64, b: f64| (a - b).abs() / b.abs().max(1e-30);
+        assert!(
+            rel(cp.seconds, p.makespan) < 1e-9,
+            "{what}: path {} vs makespan {}",
+            cp.seconds,
+            p.makespan
+        );
+        let term_sum: f64 = cp.terms.iter().map(|(_, v)| v).sum();
+        assert!(
+            rel(term_sum, p.makespan) < 1e-9,
+            "{what}: terms {term_sum} vs makespan {}",
+            p.makespan
+        );
+        // The chain is gap-free: starts at 0, each step starts where its
+        // predecessor ends, and it ends at the makespan.
+        let mut at = 0.0;
+        for s in &cp.steps {
+            assert!(
+                (s.start - at).abs() < 1e-12 * (1.0 + at.abs()),
+                "{what}: step starts at {} but chain is at {at}",
+                s.start
+            );
+            let step_terms: f64 = s.terms.iter().map(|(_, v)| v).sum();
+            assert!(
+                (step_terms - (s.end - s.start)).abs() < 1e-12 + 1e-9 * s.end,
+                "{what}: step terms {step_terms} vs span {}",
+                s.end - s.start
+            );
+            at = s.end;
+        }
+        assert!(rel(at, p.makespan) < 1e-9, "{what}: chain ends at {at}");
+    }
+
+    #[test]
+    fn lone_p2p_critical_path_walks_tx_latency_wire_rx() {
+        let model = lmo(4);
+        let m = 8192u64;
+        let p = plan(&p2p_trace(4, m), &PlanModel::Lmo(model.clone())).unwrap();
+        let kinds: Vec<&str> = p.critical_path.steps.iter().map(|s| s.kind).collect();
+        assert_eq!(kinds, ["tx", "latency", "wire", "rx"]);
+        assert_path_explains(&p, "lone p2p");
+        // Terms are exactly the extended-LMO decomposition of eq. (1).
+        let get = |k: &str| {
+            p.critical_path
+                .terms
+                .iter()
+                .find(|(n, _)| n == k)
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+        assert!((get("C") - 2.0 * 40e-6).abs() < 1e-15);
+        assert!((get("t") - 2.0 * m as f64 * 7e-9).abs() < 1e-15);
+        assert!((get("L") - 42e-6).abs() < 1e-15);
+        assert!((get("beta") - m as f64 / 11.7e6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn critical_path_explains_every_canonical_workload_under_every_model() {
+        let n = 8;
+        let models = [
+            PlanModel::Lmo(lmo(n)),
+            PlanModel::Hockney(cpm_models::HockneyHet::new(
+                SymMatrix::filled(n, 90e-6),
+                SymMatrix::filled(n, 10e6),
+            )),
+            PlanModel::Loggp(LogGp {
+                l: 50e-6,
+                o: 5e-6,
+                g: 1e-6,
+                big_g: 9e-8,
+                p: n,
+            }),
+        ];
+        for kind in gen::CANONICAL_KINDS {
+            let t = gen::canonical(kind, n, 4096, 2).unwrap();
+            for pm in &models {
+                let what = format!("{kind}/{}", pm.kind());
+                let p = plan(&t, pm).unwrap();
+                assert!(!p.critical_path.steps.is_empty(), "{what}: empty path");
+                assert_path_explains(&p, &what);
+            }
+        }
+    }
+
+    #[test]
+    fn hier_critical_path_labels_terms_per_level() {
+        let h = hier(4, 4);
+        let t = gen::canonical("train", 16, 32 * 1024, 2).unwrap();
+        let p = plan(&t, &PlanModel::LmoHier(h)).unwrap();
+        assert_path_explains(&p, "hier train");
+        let names: Vec<&str> = p
+            .critical_path
+            .terms
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .collect();
+        assert!(
+            names
+                .iter()
+                .any(|n| n.starts_with("L[") || n.starts_with("beta[")),
+            "no level-suffixed link terms in {names:?}"
+        );
+        // Level names come from the model's topology.
+        for n in names {
+            if let Some(rest) = n.strip_prefix("L[").or_else(|| n.strip_prefix("beta[")) {
+                assert!(matches!(rest, "node]" | "switch]"), "unknown level in {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn critical_path_rides_the_slow_compute_through_a_barrier() {
+        // Rank 2 computes for a full second, everyone barriers, then rank 0
+        // sends to rank 1: the path must be compute → (barrier) → send.
+        let n = 4;
+        let t = Trace {
+            name: "cb".into(),
+            n,
+            ops: vec![
+                TraceOp {
+                    id: 7,
+                    phase: "a".into(),
+                    kind: OpKind::Compute {
+                        ranks: vec![Rank(2)],
+                        seconds: 1.0,
+                    },
+                },
+                TraceOp {
+                    id: 8,
+                    phase: "a".into(),
+                    kind: OpKind::Barrier,
+                },
+                TraceOp {
+                    id: 9,
+                    phase: "b".into(),
+                    kind: OpKind::P2p {
+                        src: Rank(0),
+                        dst: Rank(1),
+                        m: 4096,
+                    },
+                },
+            ],
+        };
+        let p = plan(&t, &PlanModel::Lmo(lmo(n))).unwrap();
+        assert_path_explains(&p, "compute+barrier+p2p");
+        let cp = &p.critical_path;
+        assert_eq!(cp.steps[0].kind, "compute");
+        assert_eq!(cp.steps[0].op, 7);
+        assert_eq!(cp.steps[0].rank, 2);
+        assert!(cp.steps[1..].iter().all(|s| s.op == 9));
+        let compute = cp
+            .terms
+            .iter()
+            .find(|(n, _)| n == "compute")
+            .map(|(_, v)| *v)
+            .unwrap();
+        assert!((compute - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn plan_json_carries_the_critical_path_section() {
+        let p = plan(&p2p_trace(4, 1024), &PlanModel::Lmo(lmo(4))).unwrap();
+        let v = p.to_value();
+        let cp = v.get("critical_path").expect("critical_path section");
+        let secs = cp.get("seconds").and_then(|s| s.as_f64()).unwrap();
+        assert!((secs - p.makespan).abs() < 1e-12);
+        let serde_json::Value::Seq(steps) = cp.get("steps").unwrap() else {
+            panic!("steps should be a sequence");
+        };
+        assert_eq!(steps.len(), 4);
+        assert!(cp.get("terms").and_then(|t| t.get("L")).is_some());
     }
 
     #[test]

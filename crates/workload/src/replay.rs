@@ -13,7 +13,7 @@ use cpm_netsim::SimCluster;
 use cpm_vmpi::ScriptOp;
 use serde_json::Value;
 
-use crate::lower::{lower, Algorithm, Prim};
+use crate::lower::{lower, Algorithm, Lowered, Prim};
 use crate::plan::{Plan, PlanModel};
 use crate::trace::{OpKind, Trace, WorkloadError};
 
@@ -104,6 +104,30 @@ pub fn replay(
     trace: &Trace,
     choices: &[Option<Algorithm>],
 ) -> Result<ReplayReport, WorkloadError> {
+    replay_inner(cluster, trace, choices, false).map(|(report, _)| report)
+}
+
+/// [`replay`] with the DES recording hook enabled: returns the report plus
+/// a Perfetto-loadable Chrome trace of the simulated execution — one
+/// thread track per rank carrying its send/recv/compute/barrier windows,
+/// ranks grouped into one process per level-0 block (node) on hierarchical
+/// topologies. Virtual timings are identical to [`replay`]; recording is a
+/// pop-side observer on the event queue, never a scheduling input.
+pub fn replay_traced(
+    cluster: &SimCluster,
+    trace: &Trace,
+    choices: &[Option<Algorithm>],
+) -> Result<(ReplayReport, Value), WorkloadError> {
+    let (report, timeline) = replay_inner(cluster, trace, choices, true)?;
+    Ok((report, timeline.expect("traced replay builds a timeline")))
+}
+
+fn replay_inner(
+    cluster: &SimCluster,
+    trace: &Trace,
+    choices: &[Option<Algorithm>],
+    traced: bool,
+) -> Result<(ReplayReport, Option<Value>), WorkloadError> {
     trace.validate()?;
     if cluster.truth.c.len() != trace.n {
         return Err(WorkloadError::Invalid(format!(
@@ -139,9 +163,15 @@ pub fn replay(
                 .collect()
         })
         .collect();
-    let out =
-        cpm_vmpi::run_program(cluster, &programs).map_err(|e| WorkloadError::Sim(e.to_string()))?;
+    let out = if traced {
+        cpm_vmpi::run_program_traced(cluster, &programs)
+    } else {
+        cpm_vmpi::run_program(cluster, &programs)
+    }
+    .map_err(|e| WorkloadError::Sim(e.to_string()))?;
     drop(sp_des);
+
+    let timeline = traced.then(|| build_timeline(cluster, trace, &lowered, &out));
 
     // Merge per-primitive windows into per-op windows across all ranks.
     let mut op_windows: Vec<Option<(f64, f64)>> = vec![None; n_ops];
@@ -169,13 +199,125 @@ pub fn replay(
         })
         .collect();
 
-    Ok(ReplayReport {
-        makespan: out.end_time,
-        ops,
-        msgs_sent: out.stats.msgs_sent,
-        msgs_received: out.stats.msgs_received,
-        events: out.stats.events,
-    })
+    Ok((
+        ReplayReport {
+            makespan: out.end_time,
+            ops,
+            msgs_sent: out.stats.msgs_sent,
+            msgs_received: out.stats.msgs_received,
+            events: out.stats.events,
+        },
+        timeline,
+    ))
+}
+
+/// Builds the Chrome-trace JSON for a traced replay. Timestamps are
+/// microseconds of virtual time; every lowered primitive becomes one
+/// complete (`"X"`) event on its rank's thread track, tagged with the
+/// trace op it implements. Hierarchical clusters get one process per
+/// level-0 block so Perfetto groups rank tracks by node.
+fn build_timeline(
+    cluster: &SimCluster,
+    trace: &Trace,
+    lowered: &Lowered,
+    out: &cpm_vmpi::ScriptOutcome,
+) -> Value {
+    let levels = cluster.topology.levels();
+    let cores = levels.first().map(|l| l.arity).filter(|&a| a > 0);
+    let pid_of = |rank: usize| -> u64 {
+        match cores {
+            Some(c) => (rank / c) as u64 + 1,
+            None => 1,
+        }
+    };
+    let str_arg = |k: &str, v: String| (k.to_string(), Value::Str(v));
+    let meta = |name: &str, pid: u64, tid: u64, label: String| {
+        Value::Map(vec![
+            str_arg("ph", "M".to_string()),
+            str_arg("name", name.to_string()),
+            ("pid".to_string(), Value::U64(pid)),
+            ("tid".to_string(), Value::U64(tid)),
+            ("args".to_string(), Value::Map(vec![str_arg("name", label)])),
+        ])
+    };
+
+    let mut events: Vec<Value> = Vec::new();
+    match cores {
+        Some(c) => {
+            let level_name = &levels[0].name;
+            let blocks = trace.n.div_ceil(c);
+            for b in 0..blocks {
+                events.push(meta(
+                    "process_name",
+                    b as u64 + 1,
+                    0,
+                    format!("{level_name} {b}"),
+                ));
+            }
+        }
+        None => events.push(meta(
+            "process_name",
+            1,
+            0,
+            format!("cluster (n={})", trace.n),
+        )),
+    }
+    for rank in 0..trace.n {
+        let label = match cores {
+            Some(c) => format!("rank {rank} ({}.{})", rank / c, rank % c),
+            None => format!("rank {rank}"),
+        };
+        events.push(meta("thread_name", pid_of(rank), rank as u64 + 1, label));
+    }
+
+    for (rank, prims) in lowered.per_rank.iter().enumerate() {
+        for (k, rp) in prims.iter().enumerate() {
+            let (t0, t1) = out.windows[rank][k];
+            let op = &trace.ops[rp.op];
+            let (name, mut args) = match rp.prim {
+                Prim::Send { dst, m } => (
+                    "send",
+                    vec![
+                        ("dst".to_string(), Value::U64(dst.0 as u64)),
+                        ("bytes".to_string(), Value::U64(m)),
+                    ],
+                ),
+                Prim::Recv { src } => ("recv", vec![("src".to_string(), Value::U64(src.0 as u64))]),
+                Prim::Compute { secs } => ("compute", vec![("secs".to_string(), Value::F64(secs))]),
+                Prim::Barrier => ("barrier", Vec::new()),
+            };
+            args.push(("op".to_string(), Value::U64(op.id)));
+            args.push(str_arg("phase", op.phase.clone()));
+            events.push(Value::Map(vec![
+                str_arg("ph", "X".to_string()),
+                str_arg("name", name.to_string()),
+                str_arg("cat", op.kind.name().to_string()),
+                ("pid".to_string(), Value::U64(pid_of(rank))),
+                ("tid".to_string(), Value::U64(rank as u64 + 1)),
+                ("ts".to_string(), Value::F64(t0 * 1e6)),
+                ("dur".to_string(), Value::F64((t1 - t0).max(0.0) * 1e6)),
+                ("args".to_string(), Value::Map(args)),
+            ]));
+        }
+    }
+
+    let mut top = vec![
+        ("traceEvents".to_string(), Value::Seq(events)),
+        ("displayTimeUnit".to_string(), Value::Str("ms".to_string())),
+    ];
+    if let Some(c) = out.des_events {
+        top.push((
+            "desEvents".to_string(),
+            Value::Map(vec![
+                ("wakes".to_string(), Value::U64(c.wakes)),
+                ("arrivals".to_string(), Value::U64(c.arrivals)),
+                ("transfers".to_string(), Value::U64(c.transfers)),
+                ("delivers".to_string(), Value::U64(c.delivers)),
+                ("total".to_string(), Value::U64(c.total())),
+            ]),
+        ));
+    }
+    Value::Map(top)
 }
 
 /// Predicted-vs-observed residual of one op.
@@ -373,6 +515,100 @@ mod tests {
         assert_eq!(c.ops.len(), t.ops.len());
         assert!(!c.observations.is_empty(), "pipeline has p2p ops");
         assert!(c.rel_error.abs() < 0.10, "rel error {}", c.rel_error);
+    }
+
+    fn timeline_events(tl: &Value) -> &[Value] {
+        match tl.get("traceEvents") {
+            Some(Value::Seq(events)) => events,
+            other => panic!("traceEvents must be a sequence, got {other:?}"),
+        }
+    }
+
+    fn events_with_ph<'a>(events: &'a [Value], ph: &str) -> Vec<&'a Value> {
+        events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Value::as_str) == Some(ph))
+            .collect()
+    }
+
+    /// The traced replay reproduces the untraced report bit-for-bit and
+    /// emits one complete event per lowered primitive on one thread track
+    /// per rank.
+    #[test]
+    fn traced_replay_matches_untraced_and_builds_per_rank_timeline() {
+        let cl = ideal_cluster(8, 5);
+        let t = gen::canonical("train", 8, 2048, 2).unwrap();
+        let choices = vec![None; t.ops.len()];
+        let plain = replay(&cl, &t, &choices).unwrap();
+        let (report, tl) = replay_traced(&cl, &t, &choices).unwrap();
+        assert_eq!(report, plain, "recording must not perturb the replay");
+
+        let events = timeline_events(&tl);
+        let metas = events_with_ph(events, "M");
+        let tracks: Vec<&Value> = metas
+            .iter()
+            .filter(|e| e.get("name").and_then(Value::as_str) == Some("thread_name"))
+            .copied()
+            .collect();
+        assert_eq!(tracks.len(), 8, "one thread track per rank");
+        assert_eq!(
+            metas.len() - tracks.len(),
+            1,
+            "flat topology: a single process"
+        );
+
+        let slices = events_with_ph(events, "X");
+        let lowered = lower(&t, &choices);
+        let n_prims: usize = lowered.per_rank.iter().map(Vec::len).sum();
+        assert_eq!(slices.len(), n_prims, "one slice per lowered primitive");
+        for s in &slices {
+            let name = s.get("name").and_then(Value::as_str).unwrap();
+            assert!(
+                ["send", "recv", "compute", "barrier"].contains(&name),
+                "unexpected slice {name}"
+            );
+            assert!(s.get("ts").and_then(Value::as_f64).unwrap() >= 0.0);
+            assert!(s.get("dur").and_then(Value::as_f64).unwrap() >= 0.0);
+            assert!(s.get("args").and_then(|a| a.get("phase")).is_some());
+        }
+        let des = tl.get("desEvents").expect("DES observer counts present");
+        assert_eq!(
+            des.get("total").and_then(Value::as_u64),
+            Some(report.events as u64),
+            "observer sees exactly the events the kernel processed"
+        );
+    }
+
+    /// On a hierarchical topology ranks group into one Perfetto process
+    /// per level-0 block (node), so 2 nodes × 2 cores yields 2 process
+    /// tracks of 2 rank threads each.
+    #[test]
+    fn hierarchical_timeline_groups_ranks_by_node() {
+        let cfg = cpm_cluster::ClusterConfig::hierarchical(2, 2, 7);
+        let cl = SimCluster::from_config(&cfg);
+        let t = gen::canonical("train", 4, 2048, 1).unwrap();
+        let choices = truth_choices(&cl, &t);
+        let (_, tl) = replay_traced(&cl, &t, &choices).unwrap();
+        let events = timeline_events(&tl);
+        let process_names: Vec<String> = events_with_ph(events, "M")
+            .iter()
+            .filter(|e| e.get("name").and_then(Value::as_str) == Some("process_name"))
+            .map(|e| {
+                e.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Value::as_str)
+                    .unwrap()
+                    .to_string()
+            })
+            .collect();
+        assert_eq!(process_names.len(), 2, "one process per node");
+        assert!(process_names[0].contains("node"), "{process_names:?}");
+        for s in events_with_ph(events, "X") {
+            let pid = s.get("pid").and_then(Value::as_u64).unwrap();
+            let tid = s.get("tid").and_then(Value::as_u64).unwrap();
+            let rank = tid - 1;
+            assert_eq!(pid, rank / 2 + 1, "rank {rank} on its node's track");
+        }
     }
 
     #[test]

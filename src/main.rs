@@ -313,9 +313,9 @@ smoke-test the binary protocol against either serve engine.",
     },
     CommandSpec {
         name: "trace",
-        flags: &["addr", "out", "last"],
+        flags: &["addr", "out", "last", "!fleet"],
         help: "\
-USAGE: cpm trace [--addr HOST:PORT] [--out trace.json] [--last N]
+USAGE: cpm trace [--addr HOST:PORT] [--out trace.json] [--last N] [--fleet]
 
 Dumps the flight recorder of a running `cpm serve` (default
 127.0.0.1:7971) as Chrome trace-event JSON, loadable in about:tracing or
@@ -326,7 +326,16 @@ and the client-supplied \"id\", so the dump attributes time to
 individual requests. --last N bounds the dump to the newest N records;
 the recorder itself is a fixed-size ring (oldest records are overwritten
 under sustained load — the `dropped` count on stderr says how many).
-Writes to stdout unless --out is given.",
+Writes to stdout unless --out is given.
+
+When --addr points at a fleet member or router, the server answers with
+the *fleet-wide* merge: it fans the dump request out to every reachable
+peer and returns one Chrome trace with a process track per node and flow
+arrows linking cross-node parent/child spans (replication pushes, router
+forwards) that share a trace id. --fleet asserts that this merge
+happened — the command fails if the target served a single-node dump —
+and reports the per-node breakdown plus any unreachable peers on
+stderr.",
         run: cmd_trace,
     },
     CommandSpec {
@@ -477,6 +486,7 @@ verb's \"fidelity\" field.",
         name: "workload run",
         flags: &[
             "trace",
+            "trace-out",
             "nodes",
             "cores",
             "profile",
@@ -485,13 +495,22 @@ verb's \"fidelity\" field.",
             "config",
         ],
         help: "\
-USAGE: cpm workload run [--trace FILE|-] [--nodes N [--cores K] |
+USAGE: cpm workload run [--trace FILE|-] [--trace-out FILE]
+                        [--nodes N [--cores K] |
                         --config FILE | --profile P] [--seed N] [--noise-seed N]
 
 Replays the trace as a virtual-MPI program on the simulated cluster (the
 same lowering the predictor evaluates analytically) and prints the
 observed schedule as JSON: per-op windows, makespan, message counts.
-Deterministic for a fixed trace and cluster seed.",
+Deterministic for a fixed trace and cluster seed.
+
+--trace-out FILE additionally records the simulated execution through the
+DES engine's observer hook and writes it as Chrome trace-event JSON
+(loadable in https://ui.perfetto.dev): one thread track per rank carrying
+its send/recv/compute/barrier windows in virtual microseconds; on a
+hierarchical cluster (--cores) rank tracks group into one process per
+node. Recording never changes the replayed timings — the report printed
+on stdout is identical with or without it.",
         run: cmd_workload_run,
     },
     CommandSpec {
@@ -615,7 +634,7 @@ USAGE:
                 [--alg A] [--m BYTES] [--root R] [--config FILE | --fingerprint FP]
                 [--trace FILE|-] [--fidelity analytic|des]
                 [--kind p2p|gather] [--src R] [--dst R] [--seconds T]
-  cpm trace     [--addr HOST:PORT] [--out trace.json] [--last N]
+  cpm trace     [--addr HOST:PORT] [--out trace.json] [--last N] [--fleet]
   cpm drift replay  [--store DIR] [--schedule FILE] [--epochs N] [--obs N]
   cpm drift watch   (replay, narrated per epoch)
   cpm drift report  [--store DIR] [--fingerprint FP | --config FILE]
@@ -626,7 +645,7 @@ USAGE:
                         [--iters N] [--out trace.jsonl]
   cpm workload predict  [--trace FILE|-] [--model M] [--fidelity analytic|des]
                         [--nodes N [--cores K]] [--reps N]
-  cpm workload run      [--trace FILE|-] [--nodes N [--cores K]]
+  cpm workload run      [--trace FILE|-] [--trace-out FILE] [--nodes N [--cores K]]
   cpm workload compare  [--trace FILE|-] [--model M] [--nodes N [--cores K]]
                         [--reps N]
 
@@ -639,7 +658,9 @@ only the measurement noise, keeping the ground truth fixed.";
 
 type Opts = HashMap<String, String>;
 
-/// Parses `--flag value` pairs, rejecting flags outside `known`.
+/// Parses `--flag value` pairs, rejecting flags outside `known`. A known
+/// entry spelled `"!name"` declares a boolean switch: `--name` takes no
+/// value and parses as `"true"`.
 fn parse_opts(args: &[String], known: &[&str]) -> Result<Opts, String> {
     let mut out = HashMap::new();
     let mut it = args.iter();
@@ -647,13 +668,17 @@ fn parse_opts(args: &[String], known: &[&str]) -> Result<Opts, String> {
         let Some(name) = flag.strip_prefix("--") else {
             return Err(format!("expected --flag, got {flag:?}"));
         };
-        if !known.contains(&name) {
+        let boolean = known.iter().any(|k| k.strip_prefix('!') == Some(name));
+        if !boolean && !known.contains(&name) {
             return Err(format!("unknown flag --{name}"));
         }
-        let value = it
-            .next()
-            .ok_or_else(|| format!("--{name} needs a value"))?
-            .clone();
+        let value = if boolean {
+            "true".to_string()
+        } else {
+            it.next()
+                .ok_or_else(|| format!("--{name} needs a value"))?
+                .clone()
+        };
         if out.insert(name.to_string(), value).is_some() {
             return Err(format!("--{name} given twice"));
         }
@@ -1675,7 +1700,17 @@ fn cmd_workload_run(opts: &Opts) -> Result<(), String> {
     let trace = read_trace(opts)?;
     let sim = workload_cluster(opts)?;
     let choices = workload::truth_choices(&sim, &trace);
-    let report = workload::replay(&sim, &trace, &choices).map_err(|e| e.to_string())?;
+    let report = match opts.get("trace-out") {
+        Some(path) => {
+            let (report, timeline) =
+                workload::replay_traced(&sim, &trace, &choices).map_err(|e| e.to_string())?;
+            let json = serde_json::to_string(&timeline).map_err(|e| e.to_string())?;
+            std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("wrote DES timeline to {path} (load in https://ui.perfetto.dev)");
+            report
+        }
+        None => workload::replay(&sim, &trace, &choices).map_err(|e| e.to_string())?,
+    };
     print_pretty(&report.to_value())
 }
 
@@ -1855,6 +1890,27 @@ fn cmd_trace(opts: &Opts) -> Result<(), String> {
     };
     let records = parsed.get("records").and_then(Value::as_u64).unwrap_or(0);
     let dropped = parsed.get("dropped").and_then(Value::as_u64).unwrap_or(0);
+    let nodes = parsed.get("nodes").and_then(Value::as_u64);
+    if opts.contains_key("fleet") {
+        let Some(nodes) = nodes else {
+            return Err(format!(
+                "{addr} served a single-node dump, not a fleet merge — \
+                 point --addr at a fleet member or router"
+            ));
+        };
+        let missing: Vec<&str> = match parsed.get("missing") {
+            Some(Value::Seq(names)) => names.iter().filter_map(Value::as_str).collect(),
+            _ => Vec::new(),
+        };
+        if missing.is_empty() {
+            eprintln!("fleet merge: {nodes} nodes, all reachable");
+        } else {
+            eprintln!(
+                "fleet merge: {nodes} nodes reachable, missing: {}",
+                missing.join(", ")
+            );
+        }
+    }
     let json = serde_json::to_string_pretty(trace).map_err(|e| e.to_string())?;
     match opts.get("out") {
         Some(path) => {
